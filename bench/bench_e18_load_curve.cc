@@ -1,0 +1,94 @@
+// E18 — latency vs offered load (extension; the systems view).
+//
+// The introduction's "hardest instances" intuition says difficulty comes
+// from load: near capacity, an online scheduler must pack essentially
+// perfectly.  This bench traces the classic latency-vs-load curve for
+// FIFO (non-clairvoyant) and Algorithm A (clairvoyant) on Poisson
+// streams of random out-trees at utilizations 0.5 .. 0.95, showing where
+// each policy's maximum flow takes off.  Denominators are conservative
+// lower bounds.
+#include <cstdio>
+
+#include "analysis/ratio.h"
+#include "analysis/sweep.h"
+#include "common/csv.h"
+#include "common/table.h"
+#include "core/alg_a_full.h"
+#include "gen/arrivals.h"
+#include "gen/random_trees.h"
+#include "sched/fifo.h"
+#include "sched/list_greedy.h"
+
+using namespace otsched;
+
+int main() {
+  std::printf("== E18: maximum flow vs offered load (m = 32) ==\n\n");
+
+  const int m = 32;
+  const NodeId mean_work = 128;  // ~ per-job subjobs
+  const std::vector<double> loads = {0.5, 0.7, 0.8, 0.9, 0.95};
+  const int kSeeds = 4;
+  const int kJobs = 60;
+
+  struct Row {
+    double load;
+    double fifo;
+    double greedy;
+    double alg_a;
+  };
+
+  const auto rows = RunSweep<Row>(loads.size(), [&](std::size_t i) {
+    const double load = loads[i];
+    // Poisson arrivals with mean gap = work / (load * m).
+    const double rate =
+        load * static_cast<double>(m) / static_cast<double>(mean_work);
+    Row row{load, 0.0, 0.0, 0.0};
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      Rng rng(static_cast<std::uint64_t>(seed) * 10601 + i);
+      Instance instance = MakePoissonArrivals(
+          kJobs, std::min(1.0, rate),
+          [&](std::int64_t k, Rng& r) {
+            return MakeTree(static_cast<TreeFamily>(k % 4),
+                            static_cast<NodeId>(mean_work / 2 +
+                                                r.next_below(mean_work)),
+                            r);
+          },
+          rng);
+      {
+        FifoScheduler fifo;
+        row.fifo = std::max(row.fifo, MeasureRatio(instance, m, fifo).ratio);
+      }
+      {
+        ListGreedyScheduler greedy(static_cast<std::uint64_t>(seed));
+        row.greedy =
+            std::max(row.greedy, MeasureRatio(instance, m, greedy).ratio);
+      }
+      {
+        AlgAScheduler::Options options;
+        options.beta = 16;
+        AlgAScheduler alg_a(options);
+        row.alg_a =
+            std::max(row.alg_a, MeasureRatio(instance, m, alg_a).ratio);
+      }
+    }
+    return row;
+  });
+
+  CsvWriter csv("e18_load_curve.csv",
+                {"load", "fifo", "list_greedy", "alg_a"});
+  TextTable table({"offered load", "FIFO", "list-greedy", "Algorithm A"});
+  for (const Row& row : rows) {
+    table.row(row.load, row.fifo, row.greedy, row.alg_a);
+    csv.row(row.load, row.fifo, row.greedy, row.alg_a);
+  }
+  table.print();
+  std::printf(
+      "\nReading: FIFO hugs the lower bound until high load; Algorithm\n"
+      "A pays its constant-factor insurance premium at every load (its\n"
+      "per-job width cap m/alpha slows light-load jobs) but stays\n"
+      "BOUNDED as load -> 1 by Theorem 5.7, which is the regime the\n"
+      "paper is about.  list-greedy shows what dropping the age priority\n"
+      "costs in the tail.\n"
+      "(raw data: e18_load_curve.csv)\n");
+  return 0;
+}

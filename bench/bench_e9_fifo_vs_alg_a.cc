@@ -1,0 +1,96 @@
+// E9 — the paper's headline separation, head to head.
+//
+// On the Section 4 family, as m grows:
+//   * arbitrary (non-clairvoyant) FIFO's ratio grows like lg m - lg lg m
+//     (Theorem 4.2);
+//   * clairvoyant Algorithm A's ratio stays CONSTANT (Theorem 5.7);
+//   * clairvoyant FIFO (LPF-height tie-break) collapses to ~1, showing
+//     the damage is entirely in the intra-job subjob choice.
+//
+// Note the constants: Algorithm A's flat ratio starts higher than FIFO's
+// slowly-growing curve, so the curves cross only at astronomically large
+// m — exactly what "O(1) vs Theta(log m)" predicts.  The artifact here is
+// the pair of TRENDS, not a small-m win.
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/sweep.h"
+#include "common/csv.h"
+#include "common/table.h"
+#include "core/alg_a.h"
+#include "gen/fifo_adversary.h"
+#include "sched/fifo.h"
+#include "sim/validator.h"
+
+using namespace otsched;
+
+int main() {
+  std::printf("== E9: FIFO vs Algorithm A on the Section 4 family ==\n\n");
+
+  const std::vector<int> ms = {8, 16, 32, 64, 128};
+
+  struct Row {
+    int m;
+    double fifo_ratio;
+    double alg_a_ratio;
+    double clairvoyant_fifo_ratio;
+  };
+
+  const auto rows = RunSweep<Row>(ms.size(), [&](std::size_t i) {
+    const int m = ms[i];
+    LowerBoundSimOptions options;
+    options.m = m;
+    options.num_jobs = std::min<std::int64_t>(12LL * m, 1200);
+    const AdversarialInstance adv = MakeAdversarialInstance(options);
+    const double opt_upper =
+        static_cast<double>(adv.fifo_run.certified_opt_upper);
+
+    Row row{m, 0.0, 0.0, 0.0};
+    row.fifo_ratio = static_cast<double>(adv.fifo_run.max_flow) / opt_upper;
+
+    {
+      AlgASemiBatchedScheduler::Options a_options;
+      a_options.known_opt = 2 * (m + 1);
+      AlgASemiBatchedScheduler alg_a(a_options);
+      const SimResult result = Simulate(adv.instance, m, alg_a);
+      row.alg_a_ratio =
+          static_cast<double>(result.flows.max_flow) / opt_upper;
+    }
+    {
+      FifoScheduler::Options lpf_options;
+      lpf_options.tie_break = FifoTieBreak::kLpfHeight;
+      FifoScheduler lpf_fifo(std::move(lpf_options));
+      const SimResult result = Simulate(adv.instance, m, lpf_fifo);
+      row.clairvoyant_fifo_ratio =
+          static_cast<double>(result.flows.max_flow) / opt_upper;
+    }
+    return row;
+  });
+
+  CsvWriter csv("e9_fifo_vs_alg_a.csv",
+                {"m", "fifo_ratio", "alg_a_ratio", "clairvoyant_fifo"});
+  TextTable table({"m", "arbitrary FIFO", "Algorithm A", "clairvoyant FIFO",
+                   "lgm-lglgm"});
+  for (const Row& row : rows) {
+    table.row(row.m, row.fifo_ratio, row.alg_a_ratio,
+              row.clairvoyant_fifo_ratio,
+              std::log2(static_cast<double>(row.m)) -
+                  std::log2(std::log2(static_cast<double>(row.m))));
+    csv.row(static_cast<long long>(row.m), row.fifo_ratio, row.alg_a_ratio,
+            row.clairvoyant_fifo_ratio);
+  }
+  table.print();
+
+  const double fifo_growth = rows.back().fifo_ratio / rows.front().fifo_ratio;
+  const double a_growth =
+      rows.back().alg_a_ratio / rows.front().alg_a_ratio;
+  std::printf(
+      "\ntrend over m = %d..%d: FIFO ratio grew %.2fx, Algorithm A's "
+      "%.2fx.\n"
+      "paper artifact: Omega(log m) for FIFO (growing column 2) vs O(1)\n"
+      "for Algorithm A (flat column 3); clairvoyance alone already fixes\n"
+      "FIFO on this family (column 4 ~ 1).\n"
+      "(raw data: e9_fifo_vs_alg_a.csv)\n",
+      ms.front(), ms.back(), fifo_growth, a_growth);
+  return 0;
+}

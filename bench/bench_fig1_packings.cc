@@ -1,0 +1,111 @@
+// E1 — Figure 1: two feasible packings of one job (DAG) on three
+// processors, respecting the DAG structure.
+//
+// The paper's figure illustrates the scheduler-as-Tetris-player framing:
+// the same job admits tight and loose packings.  We regenerate it with a
+// height-first (LPF) packing and a height-last packing of a fork-heavy
+// out-tree, validate both against the Section 3 axioms, and report their
+// lengths against the exact OPT of Corollary 5.4.
+#include <algorithm>
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/lpf.h"
+#include "dag/builders.h"
+#include "dag/metrics.h"
+#include "dag/validate.h"
+#include "opt/single_batch.h"
+#include "sim/renderer.h"
+#include "sim/validator.h"
+
+using namespace otsched;
+
+namespace {
+
+Schedule ToSchedule(const JobSchedule& js, int m) {
+  Schedule schedule(m);
+  for (Time t = 1; t <= js.length(); ++t) {
+    for (NodeId v : js.at(t)) schedule.place(t, SubjobRef{0, v});
+  }
+  return schedule;
+}
+
+// Greedy packing that runs the ready subjobs of LOWEST height first —
+// feasible, work-conserving, and deliberately shape-blind.
+JobSchedule AntiLpf(const Dag& dag, const DagMetrics& metrics, int p) {
+  JobSchedule schedule;
+  schedule.p = p;
+  schedule.slot_of.assign(static_cast<std::size_t>(dag.node_count()),
+                          kNoTime);
+  std::vector<NodeId> pending(static_cast<std::size_t>(dag.node_count()));
+  std::vector<NodeId> ready;
+  for (NodeId v = 0; v < dag.node_count(); ++v) {
+    pending[static_cast<std::size_t>(v)] = dag.in_degree(v);
+    if (pending[static_cast<std::size_t>(v)] == 0) ready.push_back(v);
+  }
+  std::int64_t done = 0;
+  while (done < dag.node_count()) {
+    std::sort(ready.begin(), ready.end(), [&](NodeId a, NodeId b) {
+      return metrics.height[static_cast<std::size_t>(a)] <
+             metrics.height[static_cast<std::size_t>(b)];
+    });
+    std::vector<NodeId> slot;
+    for (int k = 0; k < p && !ready.empty(); ++k) {
+      slot.push_back(ready.front());
+      ready.erase(ready.begin());
+    }
+    schedule.slots.push_back(slot);
+    for (NodeId v : slot) {
+      schedule.slot_of[static_cast<std::size_t>(v)] = schedule.length();
+      ++done;
+      for (NodeId c : dag.children(v)) {
+        if (--pending[static_cast<std::size_t>(c)] == 0) ready.push_back(c);
+      }
+    }
+  }
+  return schedule;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E1 / Figure 1: two packings of one job on 3 processors ==\n\n");
+  const int m = 3;
+  const Dag dag = MakeSpineWithBursts(3, 2);
+  const DagMetrics metrics = ComputeMetrics(dag);
+  Instance instance;
+  instance.add_job(Job(Dag(dag), 0, "fig1"));
+
+  std::printf("job: %s, work=%lld, span=%lld, OPT[m=3]=%lld\n\n",
+              DescribeShape(dag).c_str(),
+              static_cast<long long>(metrics.work),
+              static_cast<long long>(metrics.span),
+              static_cast<long long>(SingleBatchOpt(dag, m)));
+
+  const JobSchedule tight = BuildLpfSchedule(dag, metrics, m);
+  const JobSchedule loose = AntiLpf(dag, metrics, m);
+
+  TextTable table({"packing", "slots", "idle-cells", "feasible"});
+  const std::vector<std::pair<const JobSchedule*, const char*>> entries = {
+      {&tight, "LPF (height-first)"},
+      {&loose, "anti-LPF (height-last)"}};
+  for (const auto& [packing, label] : entries) {
+    const Schedule schedule = ToSchedule(*packing, m);
+    const bool ok = ValidateSchedule(schedule, instance).feasible &&
+                    CheckJobSchedule(dag, *packing).empty();
+    table.row(label, packing->length(), schedule.idle_processor_slots(),
+              ok ? "yes" : "NO");
+  }
+  table.print();
+
+  RenderOptions options;
+  options.label_nodes = true;
+  std::printf("\nLPF packing (cells = subjob id mod 10):\n%s",
+              RenderSchedule(ToSchedule(tight, m), instance, options).c_str());
+  std::printf("\nanti-LPF packing of the SAME job:\n%s",
+              RenderSchedule(ToSchedule(loose, m), instance, options).c_str());
+  std::printf(
+      "\npaper artifact: Figure 1 — same DAG, different packings; LPF's is\n"
+      "never longer (Lemma 5.3 optimality at full machine width).\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// E2 — Figure 2: the generic shape of an LPF[m/alpha] schedule.
+//
+// Claim (Lemma 5.2 + Lemma 5.3): for an out-forest job, the LPF schedule
+// on m/alpha processors consists of a "head" of at most OPT[m] slots of
+// arbitrary shape followed by a fully packed rectangular "tail" of length
+// at most (alpha - 1) * OPT[m].  We sweep tree families, sizes and m, and
+// report, per configuration: the worst observed last-underfull slot
+// relative to OPT, whether any tail slot was underfull (should never
+// happen), and the worst tail length relative to (alpha - 1) * OPT.
+#include <cstdio>
+
+#include "analysis/sweep.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/lpf.h"
+#include "gen/random_trees.h"
+#include "opt/single_batch.h"
+
+using namespace otsched;
+
+namespace {
+
+struct Cell {
+  double worst_last_underfull_vs_opt = 0.0;
+  double worst_tail_vs_bound = 0.0;
+  std::int64_t underfull_tail_slots = 0;
+  std::int64_t lemma52_violations = 0;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== E2 / Figure 2: head/tail shape of LPF[m/alpha] ==\n");
+  std::printf("alpha = 4; 20 seeds per cell; bound checks per Lemma 5.2.\n\n");
+
+  const int kAlpha = 4;
+  const std::vector<int> ms = {8, 16, 32, 64};
+  const std::vector<TreeFamily> families = {
+      TreeFamily::kBushy, TreeFamily::kMixed, TreeFamily::kSpiny,
+      TreeFamily::kBranchy};
+  const int kSeeds = 20;
+
+  TextTable table({"family", "m", "max lastIdle/OPT", "tail packed",
+                   "max tail/(a-1)OPT", "Lemma5.2 ok"});
+
+  struct Config {
+    TreeFamily family;
+    int m;
+  };
+  std::vector<Config> configs;
+  for (TreeFamily family : families) {
+    for (int m : ms) configs.push_back({family, m});
+  }
+
+  const auto cells = RunSweep<Cell>(configs.size(), [&](std::size_t i) {
+    const Config& config = configs[i];
+    Cell cell;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      Rng rng(static_cast<std::uint64_t>(seed) * 1009 + i);
+      const NodeId size = static_cast<NodeId>(
+          config.m * 20 + static_cast<int>(rng.next_below(200)));
+      const Dag tree = MakeTree(config.family, size, rng);
+      const Time opt = SingleBatchOpt(tree, config.m);
+      const JobSchedule s = BuildLpfSchedule(tree, config.m / kAlpha);
+
+      const Lemma52Report lemma = CheckLemma52(tree, s);
+      if (!lemma.holds) ++cell.lemma52_violations;
+      if (lemma.last_underfull != kNoTime) {
+        cell.worst_last_underfull_vs_opt =
+            std::max(cell.worst_last_underfull_vs_opt,
+                     static_cast<double>(lemma.last_underfull) /
+                         static_cast<double>(opt));
+      }
+      const HeadTailShape shape = AnalyzeHeadTail(s, opt);
+      cell.underfull_tail_slots +=
+          static_cast<std::int64_t>(shape.underfull_tail_slots.size());
+      if (shape.tail_len > 0) {
+        cell.worst_tail_vs_bound =
+            std::max(cell.worst_tail_vs_bound,
+                     static_cast<double>(shape.tail_len) /
+                         static_cast<double>((kAlpha - 1) * opt));
+      }
+    }
+    return cell;
+  });
+
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const Cell& cell = cells[i];
+    table.row(ToString(configs[i].family), configs[i].m,
+              cell.worst_last_underfull_vs_opt,
+              cell.underfull_tail_slots == 0 ? "yes" : "NO",
+              cell.worst_tail_vs_bound,
+              cell.lemma52_violations == 0 ? "yes" : "NO");
+  }
+  table.print();
+  std::printf(
+      "\npaper artifact: Figure 2 — head of <= OPT slots (col 3 <= 1),\n"
+      "then a fully packed tail (col 4) of length <= (alpha-1)*OPT\n"
+      "(col 5 <= 1).  The ancestor-chain structure of Lemma 5.2 is\n"
+      "verified node-by-node (col 6).\n");
+  return 0;
+}

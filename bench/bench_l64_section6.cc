@@ -1,0 +1,115 @@
+// E14 — Lemma 6.4 / Proposition 6.2: the Section 6 bookkeeping, verified
+// on real FIFO runs.
+//
+// Theorem 6.1's induction rests on per-job invariants relating remaining
+// work w_i(t), restricted idle time z_i(t), and OPT.  This bench replays
+// FIFO on batched workloads (certified OPT) and on the Section 4 family
+// and checks every invariant at every slot, reporting how tight Lemma 6.4
+// gets (w_i(t) / ((OPT - z_i(t)) m), max over i, t) and how much of the
+// z <= OPT budget FIFO actually burns.
+#include <cstdio>
+
+#include "analysis/section6.h"
+#include "analysis/sweep.h"
+#include "common/table.h"
+#include "gen/certified.h"
+#include "gen/fifo_adversary.h"
+#include "sched/fifo.h"
+#include "sim/engine.h"
+
+using namespace otsched;
+
+int main() {
+  std::printf("== E14 / Lemma 6.4 + Prop 6.2: Section 6 invariants ==\n\n");
+
+  const std::vector<int> ms = {4, 8, 16, 32, 64};
+
+  struct Row {
+    int m;
+    bool forest_ok;
+    double forest_tightness;
+    double forest_z_share;  // max_z / OPT
+    bool adversary_ok;
+    double adversary_tightness;
+    double adversary_z_share;
+    std::int64_t checks;
+    bool lemma65_ok = true;
+    std::int64_t max_alive = 0;
+    int log_tau = 0;
+  };
+
+  const auto rows = RunSweep<Row>(ms.size(), [&](std::size_t i) {
+    const int m = ms[i];
+    Row row{m, true, 0.0, 0.0, true, 0.0, 0.0, 0};
+
+    for (int seed = 0; seed < 3; ++seed) {
+      Rng rng(static_cast<std::uint64_t>(seed) * 4799 + m);
+      CertifiedInstance cert = MakeSpacedSaturatedInstance(m, 8, 8, rng);
+      FifoScheduler fifo;
+      const SimResult run = Simulate(cert.instance, m, fifo);
+      const Section6Report report = CheckSection6Invariants(
+          run.schedule, cert.instance, m, cert.opt);
+      row.forest_ok = row.forest_ok && report.all_hold();
+      row.forest_tightness =
+          std::max(row.forest_tightness, report.lemma64_tightness);
+      row.forest_z_share = std::max(
+          row.forest_z_share,
+          static_cast<double>(report.max_z) / static_cast<double>(cert.opt));
+      row.checks += report.checks;
+    }
+    {
+      LowerBoundSimOptions options;
+      options.m = m;
+      options.num_jobs = 8 * m;
+      const AdversarialInstance adv = MakeAdversarialInstance(options);
+      FifoScheduler::Options avoid;
+      avoid.tie_break = FifoTieBreak::kAvoidMarked;
+      avoid.deprioritize = [&adv](JobId job, NodeId node) {
+        return adv.is_key(job, node);
+      };
+      FifoScheduler fifo(std::move(avoid));
+      const SimResult run = Simulate(adv.instance, m, fifo);
+      const Section6Report report =
+          CheckSection6Invariants(run.schedule, adv.instance, m,
+                                  adv.fifo_run.certified_opt_upper);
+      row.adversary_ok = report.all_hold();
+      row.adversary_tightness = report.lemma64_tightness;
+      row.adversary_z_share =
+          static_cast<double>(report.max_z) /
+          static_cast<double>(adv.fifo_run.certified_opt_upper);
+      row.checks += report.checks;
+      // The main lemma (Lemma 6.5): the inductive inequalities at every
+      // arrival boundary, plus the log(tau)+1 cap on alive jobs.
+      const Lemma65Report main_lemma = CheckLemma65(
+          run.schedule, adv.instance, m, adv.fifo_run.certified_opt_upper);
+      row.lemma65_ok = main_lemma.all_hold();
+      row.max_alive = main_lemma.max_alive_at_boundary;
+      row.log_tau = main_lemma.log_tau;
+    }
+    return row;
+  });
+
+  TextTable table({"m", "batched ok", "tightness", "z/OPT", "adversary ok",
+                   "tightness", "z/OPT", "Lemma6.5", "alive<=lgTau+1",
+                   "checks"});
+  bool all_ok = true;
+  for (const Row& row : rows) {
+    all_ok = all_ok && row.forest_ok && row.adversary_ok && row.lemma65_ok;
+    char alive[32];
+    std::snprintf(alive, sizeof(alive), "%lld <= %d",
+                  static_cast<long long>(row.max_alive), row.log_tau + 1);
+    table.row(row.m, row.forest_ok ? "yes" : "NO", row.forest_tightness,
+              row.forest_z_share, row.adversary_ok ? "yes" : "NO",
+              row.adversary_tightness, row.adversary_z_share,
+              row.lemma65_ok ? "yes" : "NO", alive, row.checks);
+  }
+  table.print();
+  std::printf(
+      "\npaper artifact: the Lemma 6.4 inequality w <= (OPT - z)m and the\n"
+      "Prop 6.2 structure (idle S_i step => job i runs a subjob ending a\n"
+      ">= z_i path; z_i <= OPT) hold at every slot of every run: %s.\n"
+      "The adversarial family drives both the tightness and the z budget\n"
+      "toward 1 — it is exactly the input the induction must survive.\n",
+      all_ok ? "yes" : "NO");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,142 @@
+// E11 — microbenchmarks of the simulation substrate (google-benchmark).
+//
+// Not a paper artifact per se; these numbers document why the Theorem 4.2
+// sweep can reach m = 4096 (lbsim slot cost) and what the generic engine,
+// LPF construction, MC replay, and metric computation cost.
+#include <benchmark/benchmark.h>
+
+#include "advsim/adaptive.h"
+#include "analysis/section6.h"
+#include "core/lpf.h"
+#include "sim/trace.h"
+#include "core/most_children.h"
+#include "dag/metrics.h"
+#include "gen/certified.h"
+#include "gen/random_trees.h"
+#include "lbsim/lbsim.h"
+#include "sched/fifo.h"
+#include "sim/engine.h"
+
+namespace otsched {
+namespace {
+
+void BM_DagMetrics(benchmark::State& state) {
+  Rng rng(1);
+  const Dag tree =
+      MakeAttachmentTree(static_cast<NodeId>(state.range(0)), 0.5, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeMetrics(tree));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DagMetrics)->Arg(1000)->Arg(100000);
+
+void BM_LpfBuild(benchmark::State& state) {
+  Rng rng(2);
+  const Dag tree =
+      MakeAttachmentTree(static_cast<NodeId>(state.range(0)), 0.5, rng);
+  const DagMetrics metrics = ComputeMetrics(tree);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildLpfSchedule(tree, metrics, 16));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LpfBuild)->Arg(1000)->Arg(100000);
+
+void BM_McReplay(benchmark::State& state) {
+  Rng rng(3);
+  const Dag tree =
+      MakeAttachmentTree(static_cast<NodeId>(state.range(0)), 0.3, rng);
+  const JobSchedule lpf = BuildLpfSchedule(tree, 16);
+  for (auto _ : state) {
+    MostChildrenReplayer mc(tree, lpf);
+    while (!mc.done()) mc.step(16);
+    benchmark::DoNotOptimize(mc.now());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_McReplay)->Arg(1000)->Arg(20000);
+
+void BM_EngineFifo(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  Rng rng(4);
+  CertifiedInstance cert = MakeSpacedSaturatedInstance(m, 8, 6, rng);
+  for (auto _ : state) {
+    FifoScheduler fifo;
+    benchmark::DoNotOptimize(Simulate(cert.instance, m, fifo));
+  }
+  state.SetItemsProcessed(state.iterations() * cert.instance.total_work());
+}
+BENCHMARK(BM_EngineFifo)->Arg(16)->Arg(128);
+
+void BM_LbSimSlots(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    LowerBoundSimOptions options;
+    options.m = m;
+    options.num_jobs = 4LL * m;
+    options.record_sublayer_trace = false;
+    const LowerBoundSimResult result = RunLowerBoundSim(options);
+    benchmark::DoNotOptimize(result.max_flow);
+  }
+  // items = simulated slots (horizon ~ num_jobs * (m+1)).
+  state.SetItemsProcessed(state.iterations() * 4LL * m * (m + 1));
+}
+BENCHMARK(BM_LbSimSlots)->Arg(64)->Arg(512);
+
+void BM_AdaptiveAdversary(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    FifoScheduler fifo;
+    AdaptiveAdversaryOptions options;
+    options.m = m;
+    options.num_jobs = 2LL * m;
+    benchmark::DoNotOptimize(RunAdaptiveAdversary(fifo, options).max_flow);
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * m * m * (m + 1));
+}
+BENCHMARK(BM_AdaptiveAdversary)->Arg(16)->Arg(64);
+
+void BM_Section6Checker(benchmark::State& state) {
+  Rng rng(9);
+  CertifiedInstance cert = MakeSpacedSaturatedInstance(
+      static_cast<int>(state.range(0)), 8, 8, rng);
+  FifoScheduler fifo;
+  const SimResult run =
+      Simulate(cert.instance, static_cast<int>(state.range(0)), fifo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CheckSection6Invariants(run.schedule, cert.instance,
+                                static_cast<int>(state.range(0)), cert.opt)
+            .checks);
+  }
+  state.SetItemsProcessed(state.iterations() * cert.instance.total_work());
+}
+BENCHMARK(BM_Section6Checker)->Arg(16)->Arg(64);
+
+void BM_TraceDerive(benchmark::State& state) {
+  Rng rng(10);
+  CertifiedInstance cert = MakeSpacedSaturatedInstance(16, 8, 12, rng);
+  FifoScheduler fifo;
+  const SimResult run = Simulate(cert.instance, 16, fifo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DeriveTrace(run.schedule, cert.instance).size());
+  }
+  state.SetItemsProcessed(state.iterations() * cert.instance.total_work());
+}
+BENCHMARK(BM_TraceDerive);
+
+void BM_SaturatedGenerator(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(++seed);
+    benchmark::DoNotOptimize(MakeSaturatedForest(m, 8, 6, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * m * 8);
+}
+BENCHMARK(BM_SaturatedGenerator)->Arg(16)->Arg(256);
+
+}  // namespace
+}  // namespace otsched

@@ -1,0 +1,110 @@
+// E3 — Theorem 4.2 / Lemma 4.1: FIFO is Omega(log m)-competitive.
+//
+// Co-simulates arbitrary FIFO against the Section 4 adaptive adversary
+// across m = 8 .. 4096 and reports the measured competitive ratio
+// (max flow / certified OPT upper bound m+1) against the paper's
+// lg m - lg lg m curve.  Also prints the U(t) sublayer trace of Lemma 4.1
+// for one configuration, showing the strict growth phase.
+//
+// The specialized lbsim runs in O(alive jobs) per slot, which is what
+// makes m = 4096 reachable; cross-validation against the generic engine
+// is covered by tests (lbsim_test.cc).
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/sweep.h"
+#include "analysis/timeseries.h"
+#include "common/csv.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "lbsim/lbsim.h"
+
+using namespace otsched;
+
+int main() {
+  std::printf("== E3 / Theorem 4.2: FIFO lower bound, ratio vs m ==\n\n");
+
+  const std::vector<int> ms = {8, 16, 32, 64, 128, 256, 512, 1024, 2048,
+                               4096, 8192};
+
+  struct Row {
+    int m;
+    double ratio;
+    double lg_term;
+    std::int64_t max_alive;
+    Time max_flow;
+    double seconds;
+  };
+
+  WallTimer total;
+  const auto rows = RunSweep<Row>(ms.size(), [&](std::size_t i) {
+    const int m = ms[i];
+    LowerBoundSimOptions options;
+    options.m = m;
+    // The queue saturates long before the paper's 2*m*lg(m) jobs; 16*m
+    // keeps the deep sweep under control while preserving the plateau.
+    options.num_jobs = std::min<std::int64_t>(16LL * m, 60000);
+    options.record_sublayer_trace = false;
+    options.record_layer_sizes = false;  // O(jobs * m) memory otherwise
+    WallTimer timer;
+    const LowerBoundSimResult result = RunLowerBoundSim(options);
+    Row row;
+    row.m = m;
+    row.ratio = static_cast<double>(result.max_flow) /
+                static_cast<double>(result.certified_opt_upper);
+    row.lg_term = std::log2(static_cast<double>(m)) -
+                  std::log2(std::log2(static_cast<double>(m)));
+    row.max_alive = result.max_alive;
+    row.max_flow = result.max_flow;
+    row.seconds = timer.elapsed_seconds();
+    return row;
+  });
+
+  CsvWriter csv("t42_fifo_lower_bound.csv",
+                {"m", "ratio", "lg_m_minus_lglg_m", "max_alive", "max_flow"});
+  TextTable table({"m", "FIFO ratio", "lgm-lglgm", "ratio/curve",
+                   "peak queue", "sim time (s)"});
+  for (const Row& row : rows) {
+    table.row(row.m, row.ratio, row.lg_term, row.ratio / row.lg_term,
+              row.max_alive, row.seconds);
+    csv.row(static_cast<long long>(row.m), row.ratio, row.lg_term,
+            static_cast<long long>(row.max_alive),
+            static_cast<long long>(row.max_flow));
+  }
+  table.print();
+  {
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (const Row& row : rows) {
+      xs.push_back(static_cast<double>(row.m));
+      ys.push_back(row.ratio);
+    }
+    const LogFit fit = FitLogarithm(xs, ys);
+    std::printf(
+        "fitted: ratio ~ %.3f * lg(m) %+.3f  (R^2 = %.4f) — Theorem 4.2\n"
+        "predicts slope ~1: one extra OPT of flow per doubling of m.\n",
+        fit.slope, fit.intercept, fit.r_squared);
+  }
+  std::printf("(raw data: t42_fifo_lower_bound.csv; total %.1fs)\n\n",
+              total.elapsed_seconds());
+
+  // Lemma 4.1: the U(t) trace at one m — strict growth while small.
+  std::printf("Lemma 4.1 sublayer trace, m = 256 (U at release boundaries):\n");
+  LowerBoundSimOptions trace_options;
+  trace_options.m = 256;
+  trace_options.num_jobs = 64;
+  const LowerBoundSimResult trace = RunLowerBoundSim(trace_options);
+  std::printf("  k:    ");
+  for (std::size_t k = 0; k < 16 && k < trace.sublayer_trace.size(); ++k) {
+    std::printf("%5zu", k);
+  }
+  std::printf("\n  U(k): ");
+  for (std::size_t k = 0; k < 16 && k < trace.sublayer_trace.size(); ++k) {
+    std::printf("%5lld", static_cast<long long>(trace.sublayer_trace[k]));
+  }
+  std::printf(
+      "\n\npaper artifact: Theorem 4.2 — the ratio grows with m and tracks\n"
+      "lg m - lg lg m (column 4 roughly constant).  Lemma 4.1 — U(k)\n"
+      "strictly increases while below the threshold.\n");
+  return 0;
+}

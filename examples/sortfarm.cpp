@@ -1,0 +1,85 @@
+// sortfarm: a "sorting service" scenario.
+//
+// A server with m workers receives quicksort requests of mixed sizes over
+// time (Poisson arrivals).  Each request is a fork-join quicksort program
+// — an out-tree, the paper's motivating class.  We compare every policy in
+// the library on tail latency (maximum flow) and mean latency, and print
+// one row per policy.
+//
+//   $ ./sortfarm [m] [jobs] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "analysis/ratio.h"
+#include "common/table.h"
+#include "core/alg_a_full.h"
+#include "core/lpf.h"
+#include "gen/arrivals.h"
+#include "gen/recursive.h"
+#include "sched/fifo.h"
+#include "sched/list_greedy.h"
+#include "sched/round_robin.h"
+
+using namespace otsched;
+
+int main(int argc, char** argv) {
+  const int m = argc > 1 ? std::atoi(argv[1]) : 16;
+  const int jobs = argc > 2 ? std::atoi(argv[2]) : 40;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
+
+  Rng rng(seed);
+  // Arrival rate tuned to ~70% machine load for the default sizes.
+  Instance instance = MakePoissonArrivals(
+      jobs, 0.12,
+      [](std::int64_t i, Rng& r) {
+        QuicksortOptions qs;
+        qs.n = 200 + static_cast<std::int64_t>(r.next_below(2000));
+        qs.grain = 32;
+        qs.cutoff = 32;
+        qs.pivot_quality = (i % 3 == 0) ? 0.05 : 0.3;  // some skewed runs
+        return MakeQuicksortTree(qs, r);
+      },
+      rng);
+  instance.set_name("sortfarm");
+
+  std::printf("sortfarm: %d quicksort requests, %lld subjobs, m=%d\n",
+              instance.job_count(),
+              static_cast<long long>(instance.total_work()), m);
+  std::printf("lower bound on OPT max-flow: %lld\n\n",
+              static_cast<long long>(MaxFlowLowerBound(instance, m)));
+
+  std::vector<std::unique_ptr<Scheduler>> policies;
+  policies.push_back(std::make_unique<FifoScheduler>());
+  {
+    FifoScheduler::Options o;
+    o.tie_break = FifoTieBreak::kRandom;
+    o.seed = seed;
+    policies.push_back(std::make_unique<FifoScheduler>(std::move(o)));
+  }
+  {
+    FifoScheduler::Options o;
+    o.tie_break = FifoTieBreak::kLpfHeight;
+    policies.push_back(std::make_unique<FifoScheduler>(std::move(o)));
+  }
+  policies.push_back(std::make_unique<ListGreedyScheduler>(seed));
+  policies.push_back(std::make_unique<RoundRobinScheduler>());
+  policies.push_back(std::make_unique<GlobalLpfScheduler>());
+  {
+    AlgAScheduler::Options o;
+    o.beta = 16;
+    policies.push_back(std::make_unique<AlgAScheduler>(o));
+  }
+
+  TextTable table({"policy", "max-flow", "ratio-vs-LB", "mean-flow", "p99"});
+  for (const auto& policy : policies) {
+    const RatioMeasurement r = MeasureRatio(instance, m, *policy);
+    table.row(r.scheduler, r.max_flow, r.ratio, r.flow_stats.mean,
+              r.flow_stats.p99);
+  }
+  table.print("latency by policy (flows in slots):");
+  std::printf(
+      "\nNote: FIFO variants differ only in INTRA-job subjob choice — the\n"
+      "degree of freedom the paper's Section 4 lower bound exploits.\n");
+  return 0;
+}

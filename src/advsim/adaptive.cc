@@ -1,0 +1,233 @@
+#include "advsim/adaptive.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "sim/validator.h"
+
+namespace otsched {
+namespace {
+
+class AdaptiveEngine final : public EngineBackend {
+ public:
+  AdaptiveEngine(Scheduler& scheduler, const AdaptiveAdversaryOptions& options)
+      : scheduler_(scheduler),
+        m_(options.m),
+        layers_(options.layers_per_job > 0 ? options.layers_per_job
+                                           : options.m),
+        width_(options.m + 1),
+        gap_(options.gap > 0 ? options.gap : options.m + 2),
+        num_jobs_(options.num_jobs) {
+    OTSCHED_CHECK(m_ >= 2);
+    OTSCHED_CHECK(num_jobs_ >= 1);
+    OTSCHED_CHECK(layers_ >= 1);
+    max_horizon_ = options.max_horizon > 0
+                       ? options.max_horizon
+                       : (num_jobs_ * gap_ +
+                          8 * num_jobs_ * layers_ * width_ + 1024);
+  }
+
+  AdaptiveAdversaryResult run();
+
+  // --- EngineBackend ---
+  Time slot() const override { return slot_; }
+  int m() const override { return m_; }
+  JobId job_count() const override {
+    return static_cast<JobId>(num_jobs_);
+  }
+  std::span<const JobId> alive() const override { return alive_; }
+  Time release(JobId id) const override { return id * gap_; }
+  bool arrived(JobId id) const override { return release(id) < slot_; }
+  bool finished(JobId id) const override {
+    return jobs_[static_cast<std::size_t>(id)].done_layers == layers_;
+  }
+  std::span<const NodeId> ready(JobId id) const override {
+    const JobState& job = jobs_[static_cast<std::size_t>(id)];
+    if (!arrived(id) || job.done_layers == layers_ || !job.layer_open) {
+      return {};
+    }
+    return job.ready;
+  }
+  std::int64_t remaining_work(JobId id) const override {
+    return static_cast<std::int64_t>(layers_) * width_ -
+           jobs_[static_cast<std::size_t>(id)].done_nodes;
+  }
+  std::int64_t done_work(JobId id) const override {
+    return jobs_[static_cast<std::size_t>(id)].done_nodes;
+  }
+  bool executed(JobId id, NodeId v) const override {
+    const JobState& job = jobs_[static_cast<std::size_t>(id)];
+    return v >= 0 && static_cast<std::size_t>(v) < job.executed.size() &&
+           job.executed[static_cast<std::size_t>(v)] != 0;
+  }
+  const Dag& dag(JobId) const override {
+    OTSCHED_CHECK(false,
+                  "the adaptive adversary plays non-clairvoyant schedulers "
+                  "only; job DAGs do not exist until the run finishes");
+  }
+  const DagMetrics& metrics(JobId) const override {
+    OTSCHED_CHECK(false, "no metrics in the adaptive environment");
+  }
+  bool clairvoyant_allowed() const override { return false; }
+
+ private:
+  struct JobState {
+    int done_layers = 0;
+    bool layer_open = false;       // current layer's subjobs are ready
+    std::vector<NodeId> ready;     // unexecuted nodes of the open layer
+    std::vector<char> executed;    // over all layers_ * width_ node ids
+    std::int64_t done_nodes = 0;
+    std::vector<NodeId> keys;      // chosen key per finished layer
+    Time completion = kNoTime;
+  };
+
+  void open_next_layer(JobId id);
+
+  Scheduler& scheduler_;
+  int m_;
+  int layers_;
+  int width_;   // m + 1 subjobs per layer
+  Time gap_;
+  std::int64_t num_jobs_;
+  Time max_horizon_ = 0;
+
+  Time slot_ = 0;
+  std::vector<JobState> jobs_;
+  std::vector<JobId> alive_;
+  std::int64_t next_arrival_ = 0;
+  std::int64_t finished_jobs_ = 0;
+};
+
+void AdaptiveEngine::open_next_layer(JobId id) {
+  JobState& job = jobs_[static_cast<std::size_t>(id)];
+  OTSCHED_CHECK(!job.layer_open);
+  OTSCHED_CHECK(job.done_layers < layers_);
+  job.layer_open = true;
+  job.ready.clear();
+  const NodeId base = static_cast<NodeId>(job.done_layers) * width_;
+  for (NodeId v = base; v < base + width_; ++v) job.ready.push_back(v);
+}
+
+AdaptiveAdversaryResult AdaptiveEngine::run() {
+  jobs_.assign(static_cast<std::size_t>(num_jobs_), JobState{});
+  for (JobState& job : jobs_) {
+    job.executed.assign(
+        static_cast<std::size_t>(layers_) * static_cast<std::size_t>(width_),
+        0);
+  }
+
+  scheduler_.reset(m_, static_cast<JobId>(num_jobs_));
+  SchedulerView view(*this);
+  AdaptiveAdversaryResult result;
+  result.schedule = Schedule(m_);
+  result.certified_opt_upper = gap_;
+
+  std::vector<SubjobRef> picks;
+  std::vector<std::pair<JobId, NodeId>> last_in_layer;  // per slot scratch
+
+  slot_ = 1;
+  while (finished_jobs_ < num_jobs_) {
+    if (alive_.empty() && next_arrival_ < num_jobs_) {
+      slot_ = std::max(slot_, next_arrival_ * gap_ + 1);
+    }
+    OTSCHED_CHECK(slot_ <= max_horizon_,
+                  "scheduler '" << scheduler_.name()
+                                << "' exceeded the adversary horizon");
+    while (next_arrival_ < num_jobs_ && next_arrival_ * gap_ < slot_) {
+      const JobId id = static_cast<JobId>(next_arrival_++);
+      alive_.push_back(id);
+      open_next_layer(id);
+      scheduler_.on_arrival(id, view);
+    }
+    result.max_alive =
+        std::max(result.max_alive, static_cast<std::int64_t>(alive_.size()));
+
+    picks.clear();
+    scheduler_.pick(view, picks);
+    OTSCHED_CHECK(static_cast<int>(picks.size()) <= m_,
+                  "scheduler picked " << picks.size() << " on " << m_
+                                      << " processors");
+
+    // Validate, execute, and track layer completions.
+    last_in_layer.clear();
+    for (const SubjobRef& ref : picks) {
+      OTSCHED_CHECK(ref.job >= 0 && ref.job < job_count(),
+                    "pick references unknown job " << ref.job);
+      JobState& job = jobs_[static_cast<std::size_t>(ref.job)];
+      OTSCHED_CHECK(arrived(ref.job), "picked before arrival");
+      // The node must be in the open layer's ready set.
+      auto it = std::find(job.ready.begin(), job.ready.end(), ref.node);
+      OTSCHED_CHECK(job.layer_open && it != job.ready.end(),
+                    "job " << ref.job << " node " << ref.node
+                           << " is not ready at slot " << slot_);
+      // Layers completed this slot only open AFTER the pick loop, so a
+      // key's children can never run in the slot the key completes —
+      // readiness is correct by construction.
+      job.ready.erase(it);
+      job.executed[static_cast<std::size_t>(ref.node)] = 1;
+      ++job.done_nodes;
+      result.schedule.place(slot_, ref);
+      if (job.ready.empty()) {
+        last_in_layer.emplace_back(ref.job, ref.node);
+      }
+    }
+    // Layers that completed this slot: crown the LAST pick of the layer
+    // in this slot as the key, then open the next layer (ready from the
+    // next slot).
+    for (const auto& [job_id, last_node] : last_in_layer) {
+      JobState& job = jobs_[static_cast<std::size_t>(job_id)];
+      job.keys.push_back(last_node);
+      ++job.done_layers;
+      job.layer_open = false;
+      if (job.done_layers == layers_) {
+        job.completion = slot_;
+        ++finished_jobs_;
+      } else {
+        open_next_layer(job_id);
+      }
+    }
+    std::erase_if(alive_, [this](JobId id) { return finished(id); });
+    ++slot_;
+  }
+
+  // Materialize the instance with the chosen keys wired in.
+  for (std::int64_t j = 0; j < num_jobs_; ++j) {
+    const JobState& job = jobs_[static_cast<std::size_t>(j)];
+    Dag::Builder builder(static_cast<NodeId>(layers_) * width_);
+    for (int layer = 0; layer + 1 < layers_; ++layer) {
+      const NodeId key = job.keys[static_cast<std::size_t>(layer)];
+      const NodeId next_base = static_cast<NodeId>(layer + 1) * width_;
+      for (NodeId v = next_base; v < next_base + width_; ++v) {
+        builder.add_edge(key, v);
+      }
+    }
+    result.instance.add_job(Job(std::move(builder).build(), j * gap_,
+                                "adaptive-" + std::to_string(j)));
+    result.keys.push_back(job.keys);
+  }
+  result.instance.set_name("adaptive-adversary-m" + std::to_string(m_));
+
+  // The produced schedule must be a feasible schedule of the materialized
+  // instance — this is the consistency proof of the adversary.
+  const ValidationReport report =
+      ValidateSchedule(result.schedule, result.instance);
+  OTSCHED_CHECK(report.feasible,
+                "adaptive adversary inconsistency: " << report.violation);
+  result.flows = ComputeFlows(result.schedule, result.instance);
+  result.max_flow = result.flows.max_flow;
+  return result;
+}
+
+}  // namespace
+
+AdaptiveAdversaryResult RunAdaptiveAdversary(
+    Scheduler& scheduler, const AdaptiveAdversaryOptions& options) {
+  OTSCHED_CHECK(!scheduler.requires_clairvoyance(),
+                "the adaptive adversary only plays non-clairvoyant "
+                "schedulers; '"
+                    << scheduler.name() << "' declares clairvoyance");
+  AdaptiveEngine engine(scheduler, options);
+  return engine.run();
+}
+
+}  // namespace otsched

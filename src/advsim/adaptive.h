@@ -1,0 +1,62 @@
+// A generalized Section 4 adversary that plays against ANY
+// non-clairvoyant scheduler.
+//
+// The paper's lower-bound construction is specified against FIFO: layer
+// sizes adapt to the processors FIFO had available, which is well-defined
+// because FIFO is work-conserving.  Its conclusion notes that extending
+// the Omega(log m) bound to arbitrary non-clairvoyant algorithms "does
+// not seem straightforward".  This module implements the natural
+// generalization and lets experiments measure what it achieves:
+//
+//   * every job is L layers of exactly m+1 subjobs (fixed widths keep the
+//     adversary CONSISTENT: the ready sets it shows can never shrink);
+//   * the *key* of a layer is chosen adaptively as the subjob the
+//     scheduler completes LAST (ties broken arbitrarily within the final
+//     slot) — an adversary choice that is invisible until the layer is
+//     done, because the next layer only becomes ready once its key (and
+//     hence the whole layer) has finished;
+//   * jobs are released every gap = m+2 slots; the key-spine witness
+//     schedule gives OPT <= m+2 (keys at r+1..r+L, the m*L non-key
+//     subjobs fit in the leftover capacity of the window).
+//
+// For a DETERMINISTIC scheduler the adaptive run and a replay of the
+// materialized instance coincide exactly (the key, being last-finished,
+// never gates anything the scheduler observed differently) — a property
+// the tests verify, mirroring the lbsim cross-validation.
+//
+// The backend rejects dag()/metrics() queries: the adversary is defined
+// for the non-clairvoyant information model only.
+#pragma once
+
+#include "job/instance.h"
+#include "sim/engine.h"
+
+namespace otsched {
+
+struct AdaptiveAdversaryOptions {
+  int m = 16;
+  std::int64_t num_jobs = 64;
+  int layers_per_job = -1;  // -1 => m
+  Time gap = -1;            // -1 => m + 2
+  Time max_horizon = 0;     // 0 => auto
+};
+
+struct AdaptiveAdversaryResult {
+  /// The schedule the scheduler produced during the adaptive run.
+  Schedule schedule{1};  // re-sized to the run's m by the runner
+  /// The materialized instance (keys wired as chosen); `schedule` is a
+  /// feasible schedule of it, which the runner validates.
+  Instance instance;
+  /// keys[job][layer] = the node id the adversary crowned.
+  std::vector<std::vector<NodeId>> keys;
+  FlowSummary flows;
+  Time max_flow = 0;
+  Time certified_opt_upper = 0;  // = gap
+  std::int64_t max_alive = 0;
+};
+
+/// Runs `scheduler` against the adaptive environment to completion.
+AdaptiveAdversaryResult RunAdaptiveAdversary(
+    Scheduler& scheduler, const AdaptiveAdversaryOptions& options);
+
+}  // namespace otsched

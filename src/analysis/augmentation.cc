@@ -1,0 +1,44 @@
+#include "analysis/augmentation.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "sim/validator.h"
+
+namespace otsched {
+
+AugmentedMeasurement MeasureAugmentedRatio(const Instance& instance, int m,
+                                           double eps, Scheduler& scheduler,
+                                           Time certified_opt) {
+  OTSCHED_CHECK(m >= 1);
+  OTSCHED_CHECK(eps >= 0.0);
+  AugmentedMeasurement result;
+  result.eps = eps;
+  result.algorithm_m = static_cast<int>(
+      std::ceil((1.0 + eps) * static_cast<double>(m)));
+
+  SimResult sim = Simulate(instance, result.algorithm_m, scheduler);
+  const ValidationReport report = ValidateSchedule(sim.schedule, instance);
+  OTSCHED_CHECK(report.feasible, report.violation);
+  OTSCHED_CHECK(sim.flows.all_completed);
+
+  RatioMeasurement& r = result.measurement;
+  r.scheduler = scheduler.name();
+  r.m = result.algorithm_m;
+  r.max_flow = sim.flows.max_flow;
+  if (certified_opt > 0) {
+    r.opt_denominator = certified_opt;
+    r.denominator_exact = true;
+  } else {
+    r.opt_denominator = MaxFlowLowerBound(instance, m);
+    r.denominator_exact = false;
+  }
+  OTSCHED_CHECK(r.opt_denominator > 0);
+  r.ratio = static_cast<double>(r.max_flow) /
+            static_cast<double>(r.opt_denominator);
+  r.flow_stats = ComputeFlowStats(sim.flows);
+  r.sim_stats = sim.stats;
+  return result;
+}
+
+}  // namespace otsched

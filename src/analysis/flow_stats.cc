@@ -1,0 +1,43 @@
+#include "analysis/flow_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace otsched {
+
+FlowStats ComputeFlowStats(const FlowSummary& flows) {
+  OTSCHED_CHECK(flows.all_completed,
+                "flow stats require a completed schedule");
+  FlowStats stats;
+  stats.jobs = static_cast<std::int64_t>(flows.flow.size());
+  if (stats.jobs == 0) return stats;
+
+  std::vector<Time> sorted = flows.flow;
+  std::sort(sorted.begin(), sorted.end());
+  auto pct = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+  };
+  stats.min = sorted.front();
+  stats.max = sorted.back();
+  stats.p50 = pct(0.50);
+  stats.p90 = pct(0.90);
+  stats.p99 = pct(0.99);
+  for (Time f : sorted) stats.total += f;
+  stats.mean = static_cast<double>(stats.total) /
+               static_cast<double>(stats.jobs);
+  return stats;
+}
+
+std::string ToString(const FlowStats& stats) {
+  std::ostringstream out;
+  out << "jobs=" << stats.jobs << " max=" << stats.max
+      << " mean=" << stats.mean << " p50=" << stats.p50
+      << " p90=" << stats.p90 << " p99=" << stats.p99;
+  return out.str();
+}
+
+}  // namespace otsched

@@ -1,0 +1,30 @@
+// Summary statistics over per-job flow times.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/schedule.h"
+
+namespace otsched {
+
+struct FlowStats {
+  std::int64_t jobs = 0;
+  Time max = 0;
+  Time min = 0;
+  double mean = 0.0;
+  Time p50 = 0;
+  Time p90 = 0;
+  Time p99 = 0;
+  /// Total flow (the l1 objective, for context).
+  std::int64_t total = 0;
+};
+
+/// Computes stats over finished jobs; aborts if any job is unfinished
+/// (experiments always run to completion).
+FlowStats ComputeFlowStats(const FlowSummary& flows);
+
+std::string ToString(const FlowStats& stats);
+
+}  // namespace otsched

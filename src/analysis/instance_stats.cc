@@ -1,0 +1,50 @@
+#include "analysis/instance_stats.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace otsched {
+
+InstanceStats ComputeInstanceStats(const Instance& instance, int m) {
+  OTSCHED_CHECK(m >= 1);
+  InstanceStats stats;
+  stats.jobs = instance.job_count();
+  if (stats.jobs == 0) return stats;
+
+  stats.min_work = instance.job(0).work();
+  stats.first_release = instance.min_release();
+  stats.last_release = instance.max_release();
+  for (const Job& job : instance.jobs()) {
+    stats.total_work += job.work();
+    stats.min_work = std::min(stats.min_work, job.work());
+    stats.max_work = std::max(stats.max_work, job.work());
+    stats.max_span = std::max(stats.max_span, job.span());
+    stats.max_avg_parallelism =
+        std::max(stats.max_avg_parallelism,
+                 static_cast<double>(job.work()) /
+                     static_cast<double>(job.span()));
+    stats.release_gcd = std::gcd(stats.release_gcd, job.release());
+  }
+  const Time window = stats.last_release - stats.first_release + 1;
+  stats.load_factor = static_cast<double>(stats.total_work) /
+                      (static_cast<double>(m) * static_cast<double>(window));
+  stats.all_out_forests = instance.all_out_forests();
+  return stats;
+}
+
+std::string ToString(const InstanceStats& stats) {
+  std::ostringstream out;
+  out << stats.jobs << " jobs, work " << stats.total_work << " (per job "
+      << stats.min_work << ".." << stats.max_work << "), max span "
+      << stats.max_span << ", max avg parallelism "
+      << stats.max_avg_parallelism << ", releases " << stats.first_release
+      << ".." << stats.last_release << " (gcd " << stats.release_gcd
+      << "), load factor " << stats.load_factor << ", "
+      << (stats.all_out_forests ? "all out-forests" : "general DAGs");
+  return out.str();
+}
+
+}  // namespace otsched

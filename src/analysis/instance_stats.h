@@ -1,0 +1,35 @@
+// Descriptive statistics of an instance: what load a scheduler is about
+// to face.  Used by the CLI `describe` command and by experiment logs.
+#pragma once
+
+#include <string>
+
+#include "job/instance.h"
+
+namespace otsched {
+
+struct InstanceStats {
+  JobId jobs = 0;
+  std::int64_t total_work = 0;
+  std::int64_t min_work = 0;
+  std::int64_t max_work = 0;
+  std::int64_t max_span = 0;
+  /// Average parallelism of the widest job: max_i work_i / span_i.
+  double max_avg_parallelism = 0.0;
+  Time first_release = 0;
+  Time last_release = 0;
+  /// Offered load vs an m-processor machine over the arrival span:
+  /// total_work / (m * (last_release - first_release + 1)).  > 1 means
+  /// work arrives faster than the machine can drain it during arrivals.
+  double load_factor = 0.0;
+  bool all_out_forests = false;
+  /// Largest quantum q such that all releases are multiples of q (0 when
+  /// all releases are 0): reveals batched structure.
+  Time release_gcd = 0;
+};
+
+InstanceStats ComputeInstanceStats(const Instance& instance, int m);
+
+std::string ToString(const InstanceStats& stats);
+
+}  // namespace otsched

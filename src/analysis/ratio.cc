@@ -1,0 +1,44 @@
+#include "analysis/ratio.h"
+
+#include "common/assert.h"
+
+namespace otsched {
+
+RatioMeasurement MeasureRatio(const Instance& instance, int m,
+                              Scheduler& scheduler, Time certified_opt,
+                              const SimOptions& options) {
+  RatioMeasurement result;
+  result.scheduler = scheduler.name();
+  result.m = m;
+
+  SimResult sim = Simulate(instance, m, scheduler, options);
+  const ValidationReport report = ValidateSchedule(sim.schedule, instance);
+  OTSCHED_CHECK(report.feasible, "scheduler '" << scheduler.name()
+                                               << "' produced an infeasible "
+                                                  "schedule: "
+                                               << report.violation);
+  OTSCHED_CHECK(sim.flows.all_completed);
+
+  result.max_flow = sim.flows.max_flow;
+  if (certified_opt > 0) {
+    result.opt_denominator = certified_opt;
+    result.denominator_exact = true;
+  } else {
+    result.opt_denominator = MaxFlowLowerBound(instance, m);
+    result.denominator_exact = false;
+  }
+  OTSCHED_CHECK(result.opt_denominator > 0);
+  if (result.denominator_exact) {
+    OTSCHED_CHECK(result.max_flow >= result.opt_denominator,
+                  "schedule beat certified OPT — certification bug ("
+                      << result.max_flow << " < " << result.opt_denominator
+                      << ")");
+  }
+  result.ratio = static_cast<double>(result.max_flow) /
+                 static_cast<double>(result.opt_denominator);
+  result.flow_stats = ComputeFlowStats(sim.flows);
+  result.sim_stats = sim.stats;
+  return result;
+}
+
+}  // namespace otsched

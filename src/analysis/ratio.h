@@ -1,0 +1,40 @@
+// Running a scheduler on an instance and measuring its competitive ratio.
+//
+// The denominator policy is conservative: a certified OPT when the
+// generator provides one, otherwise the best implemented lower bound — so
+// reported ratios are upper bounds on the flattering interpretation and
+// lower bounds on nothing.
+#pragma once
+
+#include <string>
+
+#include "analysis/flow_stats.h"
+#include "opt/lower_bounds.h"
+#include "sim/engine.h"
+#include "sim/validator.h"
+
+namespace otsched {
+
+struct RatioMeasurement {
+  std::string scheduler;
+  int m = 0;
+  Time max_flow = 0;
+  Time opt_denominator = 0;
+  /// True when opt_denominator is a certified exact OPT, false when it is
+  /// only a lower bound (ratio then conservative / possibly overstated
+  /// against true OPT — never understated).
+  bool denominator_exact = false;
+  double ratio = 0.0;
+  FlowStats flow_stats;
+  SimStats sim_stats;
+};
+
+/// Runs `scheduler` on `instance` with m processors, validates the
+/// resulting schedule end to end, and divides the achieved maximum flow
+/// by `certified_opt` (> 0) or, if certified_opt == 0, by the computed
+/// lower bound.
+RatioMeasurement MeasureRatio(const Instance& instance, int m,
+                              Scheduler& scheduler, Time certified_opt = 0,
+                              const SimOptions& options = {});
+
+}  // namespace otsched

@@ -1,0 +1,104 @@
+#include "analysis/section5.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace otsched {
+
+Section5Report CheckSection5Structure(const Schedule& schedule,
+                                      const Instance& instance, int m,
+                                      int alpha, Time window) {
+  OTSCHED_CHECK(m >= 1);
+  OTSCHED_CHECK(alpha >= 2 && m % alpha == 0);
+  OTSCHED_CHECK(window >= 1);
+  const int p = m / alpha;
+
+  Section5Report report;
+  if (instance.job_count() == 0) return report;
+
+  auto fail = [&report](bool& flag, const std::string& message) {
+    if (report.violation.empty()) report.violation = message;
+    flag = false;
+  };
+
+  // Batch = release group.
+  std::map<Time, std::int64_t> batch_work;
+  for (const Job& job : instance.jobs()) {
+    OTSCHED_CHECK(job.release() % window == 0,
+                  "semi-batched instance required");
+    batch_work[job.release()] += job.work();
+  }
+  // Remaining work per batch, updated slot by slot.
+  std::map<Time, std::int64_t> remaining = batch_work;
+
+  std::int64_t tail_live_slots = 0;
+  std::int64_t tail_contended_slots = 0;
+
+  for (Time t = 1; t <= schedule.horizon(); ++t) {
+    // Width per batch this slot.
+    std::map<Time, int> width;
+    for (const SubjobRef& ref : schedule.at(t)) {
+      ++width[instance.job(ref.job).release()];
+    }
+    int used = 0;
+    for (const auto& [release, count] : width) used += count;
+
+    for (const auto& [release, count] : width) {
+      ++report.checks;
+      report.max_batch_width = std::max(report.max_batch_width, count);
+      if (count > p) {
+        std::ostringstream out;
+        out << "batch at release " << release << " ran " << count
+            << " subjobs in slot " << t << " > p = " << p;
+        fail(report.width_cap_holds, out.str());
+      }
+    }
+
+    // Tail contention accounting: for every batch older than 2W with
+    // work remaining, it is a "live tail"; if it ran fewer than
+    // min(p, remaining) subjobs while the machine had spare capacity for
+    // it, that is a contention-free shortfall (a bug in MC);
+    // shortfalls WITH a saturated machine are the proof's beta-budgeted
+    // slots.
+    for (auto& [release, left] : remaining) {
+      if (left <= 0) continue;
+      const Time age = t - release;
+      if (age <= 2 * window) continue;
+      ++tail_live_slots;
+      const int ran =
+          width.count(release) ? width.at(release) : 0;
+      const std::int64_t expected =
+          std::min<std::int64_t>(p, left);
+      if (ran < expected) {
+        if (used < m) {
+          // Spare processors existed and an old tail still fell short:
+          // head-priority / busy property broken.
+          std::ostringstream out;
+          out << "batch at release " << release << " ran " << ran << " < "
+              << expected << " in slot " << t << " with only " << used
+              << "/" << m << " processors used";
+          fail(report.head_priority_holds, out.str());
+        } else {
+          ++tail_contended_slots;
+        }
+      }
+    }
+
+    for (const SubjobRef& ref : schedule.at(t)) {
+      --remaining[instance.job(ref.job).release()];
+    }
+  }
+
+  if (tail_live_slots > 0) {
+    report.tail_contention_share =
+        static_cast<double>(tail_contended_slots) /
+        static_cast<double>(tail_live_slots);
+  }
+  return report;
+}
+
+}  // namespace otsched

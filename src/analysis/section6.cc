@@ -1,0 +1,290 @@
+#include "analysis/section6.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace otsched {
+
+Section6Report CheckSection6Invariants(const Schedule& schedule,
+                                       const Instance& instance, int m,
+                                       Time opt) {
+  OTSCHED_CHECK(m >= 1);
+  OTSCHED_CHECK(opt >= 1);
+  Section6Report report;
+  const JobId n = instance.job_count();
+  if (n == 0) return report;
+
+  auto fail = [&report](bool& flag, const std::string& message) {
+    if (report.violation.empty()) report.violation = message;
+    flag = false;
+  };
+
+  // Completion times and per-job progress.
+  const FlowSummary flows = ComputeFlows(schedule, instance);
+  OTSCHED_CHECK(flows.all_completed,
+                "Section 6 checks need a finished schedule");
+
+  std::vector<std::int64_t> remaining(static_cast<std::size_t>(n));
+  std::vector<Time> z(static_cast<std::size_t>(n), 0);
+  for (JobId i = 0; i < n; ++i) {
+    remaining[static_cast<std::size_t>(i)] = instance.job(i).work();
+  }
+
+  // Distinct releases, ascending, for the restricted-load prefix sums.
+  std::vector<Time> releases;
+  for (const Job& job : instance.jobs()) releases.push_back(job.release());
+  std::sort(releases.begin(), releases.end());
+  releases.erase(std::unique(releases.begin(), releases.end()),
+                 releases.end());
+  auto release_rank = [&](Time r) {
+    return static_cast<std::size_t>(
+        std::lower_bound(releases.begin(), releases.end(), r) -
+        releases.begin());
+  };
+
+  std::vector<std::int64_t> load_by_rank(releases.size());
+  std::vector<std::vector<NodeId>> ran_nodes(static_cast<std::size_t>(n));
+
+  for (Time t = 1; t <= schedule.horizon(); ++t) {
+    // Per-slot loads bucketed by the running job's release rank, plus the
+    // set of (job, node) pairs that ran.
+    std::fill(load_by_rank.begin(), load_by_rank.end(), 0);
+    for (JobId i = 0; i < n; ++i) ran_nodes[static_cast<std::size_t>(i)].clear();
+    for (const SubjobRef& ref : schedule.at(t)) {
+      ++load_by_rank[release_rank(instance.job(ref.job).release())];
+      ran_nodes[static_cast<std::size_t>(ref.job)].push_back(ref.node);
+    }
+    // Prefix sums: restricted load |S_i(t)| for a job with release rank k
+    // is prefix[k].
+    std::vector<std::int64_t> prefix(releases.size());
+    std::int64_t acc = 0;
+    for (std::size_t k = 0; k < releases.size(); ++k) {
+      acc += load_by_rank[k];
+      prefix[k] = acc;
+    }
+
+    for (JobId i = 0; i < n; ++i) {
+      const std::size_t idx = static_cast<std::size_t>(i);
+      const Job& job = instance.job(i);
+      const Time completion = flows.completion[idx];
+      const bool in_window = job.release() < t && t <= completion;
+      if (in_window) {
+        const std::int64_t restricted_load =
+            prefix[release_rank(job.release())];
+        if (restricted_load < m) {
+          // Idle step of S_i.
+          ++z[idx];
+          ++report.checks;
+          // Proposition 6.2: FIFO must be running a subjob of job i now.
+          if (ran_nodes[idx].empty()) {
+            std::ostringstream out;
+            out << "Prop 6.2: slot " << t << " idle in S_" << i
+                << " but job " << i << " runs nothing";
+            fail(report.prop62_runs_job, out.str());
+          }
+          // ... and every such subjob ends a path of >= z_i(t) vertices.
+          for (NodeId v : ran_nodes[idx]) {
+            const std::int32_t depth =
+                job.metrics().depth[static_cast<std::size_t>(v)];
+            if (depth < z[idx]) {
+              std::ostringstream out;
+              out << "Prop 6.2: job " << i << " node " << v << " depth "
+                  << depth << " < z_i(t) = " << z[idx] << " at slot " << t;
+              fail(report.prop62_path_depth, out.str());
+            }
+          }
+          if (z[idx] > opt) {
+            std::ostringstream out;
+            out << "z_" << i << "(" << t << ") = " << z[idx] << " > OPT = "
+                << opt;
+            fail(report.z_bounded_by_opt, out.str());
+          }
+        }
+      }
+      // Progress update happens for every job with work this slot.
+      remaining[idx] -=
+          static_cast<std::int64_t>(ran_nodes[idx].size());
+      // Lemma 6.4 at the end of slot t, while the job is live.
+      if (job.release() <= t && t <= completion) {
+        ++report.checks;
+        const std::int64_t bound = (opt - z[idx]) * m;
+        if (remaining[idx] > bound) {
+          std::ostringstream out;
+          out << "Lemma 6.4: w_" << i << "(" << t << ") = " << remaining[idx]
+              << " > (OPT - z)(m) = " << bound;
+          fail(report.lemma64_holds, out.str());
+        }
+        if (bound > 0) {
+          report.lemma64_tightness =
+              std::max(report.lemma64_tightness,
+                       static_cast<double>(remaining[idx]) /
+                           static_cast<double>(bound));
+        }
+      }
+    }
+  }
+
+  for (JobId i = 0; i < n; ++i) {
+    report.max_z = std::max(report.max_z, z[static_cast<std::size_t>(i)]);
+  }
+  return report;
+}
+
+Lemma65Report CheckLemma65(const Schedule& schedule,
+                           const Instance& instance, int m, Time opt) {
+  OTSCHED_CHECK(m >= 1);
+  OTSCHED_CHECK(opt >= 1);
+  Lemma65Report report;
+  const JobId n = instance.job_count();
+  if (n == 0) return report;
+
+  // Precondition: job i released exactly at i*opt.
+  for (JobId i = 0; i < n; ++i) {
+    OTSCHED_CHECK(instance.job(i).release() == i * opt,
+                  "Lemma 6.5 needs job i released at i*OPT; job "
+                      << i << " is at " << instance.job(i).release());
+  }
+
+  // tau: the power of two in [2*m*opt, 4*m*opt).
+  report.tau = 1;
+  while (report.tau < 2 * static_cast<Time>(m) * opt) {
+    report.tau *= 2;
+    ++report.log_tau;
+  }
+
+  const FlowSummary flows = ComputeFlows(schedule, instance);
+  OTSCHED_CHECK(flows.all_completed, "Lemma 6.5 needs a finished schedule");
+
+  auto fail = [&report](bool& flag, const std::string& message) {
+    if (report.violation.empty()) report.violation = message;
+    flag = false;
+  };
+
+  // Walk the schedule once, maintaining w_k and z_k; snapshot at each
+  // boundary t = i*opt.
+  std::vector<std::int64_t> w(static_cast<std::size_t>(n));
+  std::vector<Time> z(static_cast<std::size_t>(n), 0);
+  for (JobId k = 0; k < n; ++k) {
+    w[static_cast<std::size_t>(k)] = instance.job(k).work();
+  }
+
+  // Per slot, loads bucketed by job index prefix (releases are ordered
+  // by index here, so |S_k(u)| = #subjobs from jobs <= k).
+  std::vector<std::int64_t> per_job_load(static_cast<std::size_t>(n));
+
+  const Time last_boundary = (n - 1) * opt;
+  Time next_boundary = 0;
+  JobId boundary_index = 0;
+
+  auto snapshot = [&](JobId i, Time t) {
+    const JobId j = i - static_cast<JobId>(report.log_tau);
+    ++report.boundaries_checked;
+
+    std::int64_t alive = 0;
+    for (JobId k = 0; k <= std::min<JobId>(i, n - 1); ++k) {
+      if (flows.completion[static_cast<std::size_t>(k)] > t) ++alive;
+    }
+    report.max_alive_at_boundary =
+        std::max(report.max_alive_at_boundary, alive);
+
+    // (1): jobs 0 .. j-1 done by t.
+    for (JobId k = 0; k < std::min<JobId>(j, n); ++k) {
+      if (flows.completion[static_cast<std::size_t>(k)] > t) {
+        std::ostringstream out;
+        out << "Lemma 6.5(1): job " << k << " alive at boundary i=" << i;
+        fail(report.part1_holds, out.str());
+      }
+    }
+    // (2) and (3) for each l.
+    for (int l = 0; l <= report.log_tau - 1; ++l) {
+      double lhs = 0.0;
+      Time min_z = kInfiniteTime;
+      bool any = false;
+      for (JobId k = std::max<JobId>(0, j);
+           k <= std::min<JobId>(j + l, n - 1); ++k) {
+        if (k > i) break;  // not released yet (cannot happen: j+l <= i-1)
+        lhs += static_cast<double>(w[static_cast<std::size_t>(k)]);
+        // Paper convention: z = infinity once the job completed.
+        const Time zk =
+            flows.completion[static_cast<std::size_t>(k)] <= t
+                ? kInfiniteTime
+                : z[static_cast<std::size_t>(k)];
+        min_z = std::min(min_z, zk);
+        any = true;
+      }
+      if (!any) continue;
+      lhs /= static_cast<double>(m);
+      ++report.inequalities_checked;
+
+      const double rhs2 =
+          static_cast<double>(l) * static_cast<double>(opt) +
+          (min_z == kInfiniteTime ? 1e18 : static_cast<double>(min_z));
+      if (lhs > rhs2 + 1e-9) {
+        std::ostringstream out;
+        out << "Lemma 6.5(2): boundary i=" << i << " l=" << l << ": "
+            << lhs << " > " << rhs2;
+        fail(report.part2_holds, out.str());
+      }
+      double rhs3 = 0.0;
+      double half = 0.5;
+      for (int k = 1; k <= l + 1; ++k) {
+        rhs3 += (1.0 - half) * static_cast<double>(opt);
+        half /= 2.0;
+      }
+      if (rhs3 > 0.0) {
+        report.part3_tightness =
+            std::max(report.part3_tightness, lhs / rhs3);
+      }
+      if (lhs > rhs3 + 1e-9) {
+        std::ostringstream out;
+        out << "Lemma 6.5(3): boundary i=" << i << " l=" << l << ": "
+            << lhs << " > " << rhs3;
+        fail(report.part3_holds, out.str());
+      }
+    }
+  };
+
+  // Boundary at t = 0 (trivial; start the induction).
+  snapshot(0, 0);
+  next_boundary = opt;
+  boundary_index = 1;
+
+  for (Time t = 1; t <= schedule.horizon(); ++t) {
+    std::fill(per_job_load.begin(), per_job_load.end(), 0);
+    for (const SubjobRef& ref : schedule.at(t)) {
+      ++per_job_load[static_cast<std::size_t>(ref.job)];
+    }
+    // z updates: idle in S_k <=> prefix load up to k is < m, for alive
+    // arrived jobs k (r_k < t <= C_k).
+    std::int64_t prefix = 0;
+    for (JobId k = 0; k < n; ++k) {
+      prefix += per_job_load[static_cast<std::size_t>(k)];
+      const bool alive = instance.job(k).release() < t &&
+                         t <= flows.completion[static_cast<std::size_t>(k)];
+      if (alive && prefix < m) ++z[static_cast<std::size_t>(k)];
+    }
+    for (const SubjobRef& ref : schedule.at(t)) {
+      --w[static_cast<std::size_t>(ref.job)];
+    }
+    while (boundary_index < n && t == next_boundary) {
+      snapshot(boundary_index, t);
+      ++boundary_index;
+      next_boundary += opt;
+    }
+  }
+  // Boundaries past the horizon (everything finished) are trivial; check
+  // part (1) only, which still must hold.
+  while (boundary_index < n) {
+    snapshot(boundary_index, next_boundary);
+    ++boundary_index;
+    next_boundary += opt;
+  }
+  (void)last_boundary;
+  return report;
+}
+
+}  // namespace otsched

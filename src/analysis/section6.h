@@ -1,0 +1,95 @@
+// Empirical verification of the Section 6 analysis machinery.
+//
+// Theorem 6.1's proof tracks, for each job i in a FIFO schedule S:
+//
+//   S_i(t)   — S(t) restricted to jobs released no later than r_i,
+//   z_i(t)   — the number of *idle* steps of S_i (|S_i(u)| < m) in
+//              (r_i, t],
+//   w_i(t)   — job i's remaining work at time t,
+//
+// and rests on two structural facts:
+//
+//   Proposition 6.2 — at every step u that is idle in S_i (with
+//     r_i < u <= C_i), FIFO runs at least one subjob v of job i, and v
+//     terminates a directed path of >= z_i(u) vertices in G_i (hence
+//     z_i(u) <= OPT);
+//   Lemma 6.4 — w_i(t) <= (OPT - z_i(t)) * m at all times t >= r_i.
+//
+// CheckSection6Invariants replays a finished schedule and verifies all of
+// these exactly, job by job and slot by slot.  The checks are only
+// guaranteed for FIFO schedules (they use FIFO's age-priority and
+// work-conservation), which is what the callers pass.
+#pragma once
+
+#include <string>
+
+#include "job/instance.h"
+#include "sim/schedule.h"
+
+namespace otsched {
+
+struct Section6Report {
+  bool lemma64_holds = true;
+  bool prop62_runs_job = true;    // idle step in S_i runs a subjob of i
+  bool prop62_path_depth = true;  // that subjob has depth >= z_i(t)
+  bool z_bounded_by_opt = true;   // z_i(t) <= OPT throughout
+
+  /// max over jobs i of z_i(C_i) — how much restricted idle time FIFO
+  /// accumulated on its worst job.
+  Time max_z = 0;
+  /// Tightness of Lemma 6.4: max over (i, t) of w_i(t) / ((OPT-z_i(t))m).
+  double lemma64_tightness = 0.0;
+  std::int64_t checks = 0;
+  std::string violation;  // first violation, when any flag is false
+
+  bool all_hold() const {
+    return lemma64_holds && prop62_runs_job && prop62_path_depth &&
+           z_bounded_by_opt;
+  }
+};
+
+/// Verifies the Section 6 invariants of `schedule` (produced by FIFO on
+/// `instance` with m processors) against the optimum `opt`.  Pass a
+/// certified exact OPT for the full-strength check; a valid upper bound
+/// on OPT still yields a sound (just weaker) check.
+Section6Report CheckSection6Invariants(const Schedule& schedule,
+                                       const Instance& instance, int m,
+                                       Time opt);
+
+/// Lemma 6.5 — the MAIN lemma of Section 6, verified directly.
+///
+/// Setting: a batched instance with job i released exactly at i*opt
+/// (one job per boundary; union jobs beforehand if needed).  With
+/// tau = the power of two in [2*m*opt, 4*m*opt) and j = i - log(tau),
+/// at every boundary t = i*opt:
+///   (1) jobs 0 .. j-1 have completed by t;
+///   (2) for 0 <= l <= log(tau)-1:
+///         (1/m) * sum_{k=j}^{j+l} w_k(t) <= l*opt + min_k z_k(t);
+///   (3) for 0 <= l <= log(tau)-1:
+///         (1/m) * sum_{k=j}^{j+l} w_k(t) <= sum_{k=1}^{l+1}(1-1/2^k)*opt.
+/// (Nonexistent job indices contribute w = 0 and are skipped in the min;
+/// completed jobs have z = +infinity per the paper's convention.)
+struct Lemma65Report {
+  bool part1_holds = true;  // old jobs done
+  bool part2_holds = true;  // work vs restricted idle (inequalities 12)
+  bool part3_holds = true;  // absolute work bound (inequalities 13)
+  std::int64_t boundaries_checked = 0;
+  std::int64_t inequalities_checked = 0;
+  Time tau = 0;
+  int log_tau = 0;
+  /// Max over boundaries of (alive job count) — Lemma 6.5 caps it at
+  /// log(tau) + 1.
+  std::int64_t max_alive_at_boundary = 0;
+  /// Tightness of the part-3 bound: max LHS/RHS over all inequalities.
+  double part3_tightness = 0.0;
+  std::string violation;
+
+  bool all_hold() const {
+    return part1_holds && part2_holds && part3_holds;
+  }
+};
+
+Lemma65Report CheckLemma65(const Schedule& schedule,
+                           const Instance& instance, int m, Time opt);
+
+}  // namespace otsched

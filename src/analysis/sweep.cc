@@ -1,0 +1,21 @@
+#include "analysis/sweep.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace otsched {
+
+SeedAggregate Aggregate(const std::vector<double>& values) {
+  SeedAggregate agg;
+  agg.count = values.size();
+  if (values.empty()) return agg;
+  agg.min = *std::min_element(values.begin(), values.end());
+  agg.max = *std::max_element(values.begin(), values.end());
+  double total = 0.0;
+  for (double v : values) total += v;
+  agg.mean = total / static_cast<double>(values.size());
+  return agg;
+}
+
+}  // namespace otsched

@@ -1,0 +1,37 @@
+// Parallel parameter-sweep runner for the experiment harnesses.
+//
+// A sweep is a grid of independent cells (one (m, seed, config) point
+// each); cells run across a thread pool and results come back in grid
+// order regardless of completion order, so experiment tables are
+// deterministic given the seeds.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace otsched {
+
+/// Runs `cell(i)` for i in [0, n) across a pool and returns the results
+/// in index order.  R must be default-constructible and movable.
+template <typename R>
+std::vector<R> RunSweep(std::size_t n, const std::function<R(std::size_t)>& cell,
+                        std::size_t workers = 0) {
+  std::vector<R> results(n);
+  ParallelForEachIndex(
+      n, [&](std::size_t i) { results[i] = cell(i); }, workers);
+  return results;
+}
+
+/// Aggregates per-seed doubles into mean / min / max.
+struct SeedAggregate {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+SeedAggregate Aggregate(const std::vector<double>& values);
+
+}  // namespace otsched

@@ -1,0 +1,125 @@
+#include "analysis/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace otsched {
+
+std::int64_t RunTimeSeries::peak_queue() const {
+  std::int64_t peak = 0;
+  for (std::int64_t q : queue_length) peak = std::max(peak, q);
+  return peak;
+}
+
+std::int64_t RunTimeSeries::peak_backlog() const {
+  std::int64_t peak = 0;
+  for (std::int64_t b : backlog) peak = std::max(peak, b);
+  return peak;
+}
+
+double RunTimeSeries::average_utilization(int m) const {
+  OTSCHED_CHECK(m >= 1);
+  if (busy.empty()) return 0.0;
+  std::int64_t total = 0;
+  for (int b : busy) total += b;
+  return static_cast<double>(total) /
+         (static_cast<double>(busy.size()) * static_cast<double>(m));
+}
+
+std::string RunTimeSeries::to_csv() const {
+  std::ostringstream out;
+  out << "slot,busy,queue,backlog\n";
+  for (std::size_t i = 0; i < busy.size(); ++i) {
+    out << (first_slot + static_cast<Time>(i)) << ',' << busy[i] << ','
+        << queue_length[i] << ',' << backlog[i] << '\n';
+  }
+  return out.str();
+}
+
+RunTimeSeries ComputeTimeSeries(const Schedule& schedule,
+                                const Instance& instance) {
+  RunTimeSeries series;
+  const Time horizon = schedule.horizon();
+  if (horizon == 0) return series;
+  series.busy.resize(static_cast<std::size_t>(horizon), 0);
+  series.queue_length.resize(static_cast<std::size_t>(horizon), 0);
+  series.backlog.resize(static_cast<std::size_t>(horizon), 0);
+
+  // Per-job remaining counts, updated slot by slot; arrivals sorted.
+  std::vector<std::int64_t> remaining(
+      static_cast<std::size_t>(instance.job_count()));
+  for (JobId id = 0; id < instance.job_count(); ++id) {
+    remaining[static_cast<std::size_t>(id)] = instance.job(id).work();
+  }
+  std::vector<JobId> arrivals = instance.release_order();
+  std::size_t next_arrival = 0;
+  std::int64_t alive = 0;
+  std::int64_t outstanding = 0;  // released, unexecuted subjobs
+
+  for (Time t = 1; t <= horizon; ++t) {
+    while (next_arrival < arrivals.size() &&
+           instance.job(arrivals[next_arrival]).release() < t) {
+      ++alive;
+      outstanding +=
+          remaining[static_cast<std::size_t>(arrivals[next_arrival])];
+      ++next_arrival;
+    }
+    const auto slot = schedule.at(t);
+    series.busy[static_cast<std::size_t>(t - 1)] =
+        static_cast<int>(slot.size());
+    for (const SubjobRef& ref : slot) {
+      auto& left = remaining[static_cast<std::size_t>(ref.job)];
+      --left;
+      --outstanding;
+      if (left == 0) --alive;
+    }
+    series.queue_length[static_cast<std::size_t>(t - 1)] = alive;
+    series.backlog[static_cast<std::size_t>(t - 1)] = outstanding;
+  }
+  return series;
+}
+
+LogFit FitLogarithm(const std::vector<double>& xs,
+                    const std::vector<double>& ys) {
+  OTSCHED_CHECK(xs.size() == ys.size());
+  OTSCHED_CHECK(xs.size() >= 2, "need at least two points to fit");
+  const auto n = static_cast<double>(xs.size());
+  double sum_l = 0.0;
+  double sum_y = 0.0;
+  double sum_ll = 0.0;
+  double sum_ly = 0.0;
+  double sum_yy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    OTSCHED_CHECK(xs[i] > 0.0, "log fit needs positive x");
+    const double l = std::log2(xs[i]);
+    sum_l += l;
+    sum_y += ys[i];
+    sum_ll += l * l;
+    sum_ly += l * ys[i];
+    sum_yy += ys[i] * ys[i];
+  }
+  LogFit fit;
+  const double denom = n * sum_ll - sum_l * sum_l;
+  OTSCHED_CHECK(std::fabs(denom) > 1e-12,
+                "degenerate x values (all equal?)");
+  fit.slope = (n * sum_ly - sum_l * sum_y) / denom;
+  fit.intercept = (sum_y - fit.slope * sum_l) / n;
+  const double ss_tot = sum_yy - sum_y * sum_y / n;
+  if (ss_tot > 1e-12) {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double predicted =
+          fit.slope * std::log2(xs[i]) + fit.intercept;
+      ss_res += (ys[i] - predicted) * (ys[i] - predicted);
+    }
+    fit.r_squared = 1.0 - ss_res / ss_tot;
+  } else {
+    fit.r_squared = 1.0;  // constant data, perfectly fit by slope ~0
+  }
+  return fit;
+}
+
+}  // namespace otsched

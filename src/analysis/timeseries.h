@@ -1,0 +1,52 @@
+// Per-slot time series of a finished run: machine utilization, alive-job
+// count (queue length), and work backlog.
+//
+// These are the quantities the paper's narrative reasons about — "the
+// online scheduler can never allow a processor to be idle", "the number
+// of unfinished jobs will continue to increase" (Lemma 4.1) — extracted
+// from a schedule so experiments can plot them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "job/instance.h"
+#include "sim/schedule.h"
+
+namespace otsched {
+
+struct RunTimeSeries {
+  Time first_slot = 1;
+  /// Subjobs executed per slot (utilization = busy[i] / m).
+  std::vector<int> busy;
+  /// Jobs released and unfinished per slot (measured at slot end).
+  std::vector<std::int64_t> queue_length;
+  /// Released-but-unexecuted subjobs per slot (backlog; FIFO "falls
+  /// behind" exactly when this grows).
+  std::vector<std::int64_t> backlog;
+
+  Time horizon() const { return static_cast<Time>(busy.size()); }
+  std::int64_t peak_queue() const;
+  std::int64_t peak_backlog() const;
+  double average_utilization(int m) const;
+
+  /// CSV text ("slot,busy,queue,backlog") for plotting.
+  std::string to_csv() const;
+};
+
+/// Derives the series from a finished schedule.
+RunTimeSeries ComputeTimeSeries(const Schedule& schedule,
+                                const Instance& instance);
+
+/// Least-squares fit of y ~ a * log2(x) + b; used to report the measured
+/// growth rate of ratio-vs-m curves (Theorem 4.2 predicts slope ~1 in
+/// lg m for FIFO on the adversarial family, 0 for Algorithm A).
+struct LogFit {
+  double slope = 0.0;      // a
+  double intercept = 0.0;  // b
+  double r_squared = 0.0;
+};
+LogFit FitLogarithm(const std::vector<double>& xs,
+                    const std::vector<double>& ys);
+
+}  // namespace otsched

@@ -1,0 +1,19 @@
+#include "common/assert.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace otsched::internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::fprintf(stderr, "OTSCHED_CHECK failed at %s:%d: %s", file, line, expr);
+  if (!message.empty()) {
+    std::fprintf(stderr, " — %s", message.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace otsched::internal

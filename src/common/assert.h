@@ -1,0 +1,51 @@
+// Checked assertions that stay on in release builds.
+//
+// The simulator is the ground truth for every experimental claim in this
+// repository, so internal invariants are enforced unconditionally (they are
+// cheap relative to the work they guard).  OTSCHED_CHECK aborts with a
+// source location and message; OTSCHED_DCHECK compiles out in NDEBUG builds
+// and is reserved for hot inner loops.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace otsched::internal {
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+/// Builds the optional streamed message for a failing check.
+class CheckMessageBuilder {
+ public:
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace otsched::internal
+
+#define OTSCHED_CHECK(cond, ...)                                          \
+  do {                                                                    \
+    if (!(cond)) [[unlikely]] {                                           \
+      ::otsched::internal::CheckFailed(                                   \
+          __FILE__, __LINE__, #cond,                                      \
+          (::otsched::internal::CheckMessageBuilder()                     \
+               __VA_OPT__(<< __VA_ARGS__))                                \
+              .str());                                                    \
+    }                                                                     \
+  } while (false)
+
+#ifdef NDEBUG
+#define OTSCHED_DCHECK(cond, ...) \
+  do {                            \
+  } while (false)
+#else
+#define OTSCHED_DCHECK(cond, ...) OTSCHED_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+#endif

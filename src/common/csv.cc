@@ -1,0 +1,50 @@
+#include "common/csv.h"
+
+#include <cstdio>
+
+#include "common/assert.h"
+
+namespace otsched {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path), columns_(header.size()) {
+  OTSCHED_CHECK(out_.good(), "cannot open CSV output file " << path);
+  OTSCHED_CHECK(!header.empty(), "CSV header must be non-empty");
+  write_row(header);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  OTSCHED_CHECK(cells.size() == columns_,
+                "row has " << cells.size() << " cells, header has "
+                           << columns_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  OTSCHED_CHECK(out_.good(), "write failure on " << path_);
+}
+
+std::string CsvWriter::format_cell(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+std::string CsvWriter::format_cell(long long value) {
+  return std::to_string(value);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace otsched

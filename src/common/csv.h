@@ -1,0 +1,56 @@
+// Minimal CSV writer used by the experiment harnesses to dump raw sweep
+// results next to the human-readable tables, so that downstream plotting
+// does not require re-running the sweep.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace otsched {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.  Aborts on I/O
+  /// failure: losing experiment output silently is worse than crashing.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one row; the cell count must match the header.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats arbitrary streamable values into a row.
+  template <typename... Ts>
+  void row(const Ts&... values) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(values));
+    (cells.push_back(to_cell(values)), ...);
+    write_row(cells);
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& value) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(value);
+    } else {
+      return format_cell(value);
+    }
+  }
+  static std::string format_cell(double value);
+  static std::string format_cell(long long value);
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string format_cell(T value) {
+    return format_cell(static_cast<long long>(value));
+  }
+
+  static std::string escape(const std::string& cell);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace otsched

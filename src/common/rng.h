@@ -1,0 +1,64 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// Every stochastic component in the library (workload generators, the
+// "arbitrary" tie-breaking in FIFO, adversarial processor-budget streams)
+// takes an explicit Rng so that every experiment and test is reproducible
+// from a single seed.  The generator is xoshiro256**, which is fast, has a
+// 256-bit state, and passes BigCrush; `split()` derives an independent
+// stream for parallel sweeps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace otsched {
+
+class Rng {
+ public:
+  /// Seeds the state via SplitMix64 so that nearby seeds give unrelated
+  /// streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) with rejection sampling (no modulo bias).
+  /// Requires bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in the inclusive range [lo, hi].  Requires lo <= hi.
+  std::int64_t next_in_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool next_bool(double p);
+
+  /// Geometric-ish branching helper: number of successes before failure,
+  /// capped at `cap`.  Used by tree generators.
+  int next_geometric(double p, int cap);
+
+  /// Derives an independently-seeded generator (for worker threads).
+  Rng split();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) in uniformly random order.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace otsched

@@ -1,0 +1,64 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "common/assert.h"
+
+namespace otsched {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  OTSCHED_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  OTSCHED_CHECK(cells.size() == header_.size(),
+                "row width " << cells.size() << " != header width "
+                             << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+  return buffer;
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += (c == 0) ? "| " : " | ";
+      out += row[c];
+      out.append(width[c] - row[c].size(), ' ');
+    }
+    out += " |\n";
+  };
+
+  std::string out;
+  emit_row(header_, out);
+  out += '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out.append(width[c] + 2, '-');
+    out += '|';
+  }
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+void TextTable::print(const std::string& caption) const {
+  if (!caption.empty()) std::cout << caption << '\n';
+  std::cout << to_string() << std::flush;
+}
+
+}  // namespace otsched

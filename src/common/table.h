@@ -1,0 +1,53 @@
+// Fixed-width text table formatting for experiment binaries.
+//
+// Every bench_* executable prints one table per paper artifact it
+// regenerates; this helper keeps them aligned and consistent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace otsched {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arbitrary streamable values into a row.
+  template <typename... Ts>
+  void row(const Ts&... values) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(values));
+    (cells.push_back(to_cell(values)), ...);
+    add_row(std::move(cells));
+  }
+
+  /// Renders with a separator under the header, columns padded to the
+  /// widest cell.
+  std::string to_string() const;
+
+  /// Prints to stdout with an optional caption line above.
+  void print(const std::string& caption = "") const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& value) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(value);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      return format_double(value);
+    } else {
+      return std::to_string(value);
+    }
+  }
+  static std::string format_double(double value);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace otsched

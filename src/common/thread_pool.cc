@@ -1,0 +1,94 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace otsched {
+
+ThreadPool::ThreadPool(std::size_t worker_count) {
+  if (worker_count == 0) {
+    worker_count = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      wake_.wait(lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutting down
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for_each_index(
+    std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  auto remaining = std::make_shared<std::atomic<std::size_t>>(n);
+  auto first_error = std::make_shared<std::exception_ptr>();
+  auto error_once = std::make_shared<std::once_flag>();
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+
+  // One queue entry per worker; each entry drains indices until exhausted.
+  const std::size_t shards = std::min(n, workers_.size());
+  auto shard = [=, &done_mutex, &done_cv, &done] {
+    for (;;) {
+      const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        fn(i);
+      } catch (...) {
+        std::call_once(*error_once,
+                       [&] { *first_error = std::current_exception(); });
+      }
+      if (remaining->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard lock(done_mutex);
+        done = true;
+        done_cv.notify_all();
+      }
+    }
+  };
+
+  {
+    std::lock_guard lock(mutex_);
+    OTSCHED_CHECK(!shutting_down_, "pool is shutting down");
+    for (std::size_t s = 0; s < shards; ++s) tasks_.push(shard);
+  }
+  wake_.notify_all();
+
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return done; });
+  if (*first_error) std::rethrow_exception(*first_error);
+}
+
+void ParallelForEachIndex(std::size_t n,
+                          const std::function<void(std::size_t)>& fn,
+                          std::size_t worker_count) {
+  ThreadPool pool(worker_count);
+  pool.parallel_for_each_index(n, fn);
+}
+
+}  // namespace otsched

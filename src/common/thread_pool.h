@@ -1,0 +1,56 @@
+// A small work-queue thread pool for parallel parameter sweeps.
+//
+// Experiments iterate over grids of (m, seed, workload-shape); the cells are
+// independent, so we follow the standard HPC pattern of a fixed pool of
+// workers draining a queue of tasks.  The pool is deliberately simple: no
+// futures, no task graphs — `parallel_for_each_index` blocks until the whole
+// grid is done and rethrows the first task exception on the caller thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace otsched {
+
+class ThreadPool {
+ public:
+  /// Spawns `worker_count` threads (0 means hardware_concurrency, min 1).
+  explicit ThreadPool(std::size_t worker_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Runs fn(0), fn(1), ..., fn(n-1) across the pool, blocking until all
+  /// complete.  The indices are claimed atomically, so long tasks load-
+  /// balance naturally.  If any task throws, the first exception is
+  /// rethrown here after all workers stop claiming new indices.
+  void parallel_for_each_index(std::size_t n,
+                               const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::queue<std::function<void()>> tasks_;
+  bool shutting_down_ = false;
+};
+
+/// One-shot convenience wrapper: creates a pool sized for the machine, runs
+/// the loop, and tears the pool down.
+void ParallelForEachIndex(std::size_t n,
+                          const std::function<void(std::size_t)>& fn,
+                          std::size_t worker_count = 0);
+
+}  // namespace otsched

@@ -1,0 +1,3 @@
+// Intentionally empty: WallTimer is header-only, but keeping a .cc per
+// header makes the target layout uniform and catches ODR problems early.
+#include "common/timer.h"

@@ -1,0 +1,47 @@
+// Core identifier and time types shared across the library.
+//
+// Time convention (matches the paper, Section 3): a subjob scheduled "at
+// time t" executes during the half-open interval (t-1, t].  A job released
+// at time r may first be scheduled at slot r+1, and its flow time is its
+// completion slot minus r.  Slots are 1-based.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace otsched {
+
+/// Discrete scheduling time (a 1-based slot index; 0 means "before start").
+using Time = std::int64_t;
+
+/// Index of a job within an Instance.
+using JobId = std::int32_t;
+
+/// Index of a subjob (DAG vertex) within a job's Dag.
+using NodeId = std::int32_t;
+
+inline constexpr JobId kInvalidJob = -1;
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr Time kNoTime = 0;
+inline constexpr Time kInfiniteTime = std::numeric_limits<Time>::max();
+
+/// A reference to one subjob of one job: the unit that schedulers place
+/// into schedule slots.
+struct SubjobRef {
+  JobId job = kInvalidJob;
+  NodeId node = kInvalidNode;
+
+  friend bool operator==(const SubjobRef&, const SubjobRef&) = default;
+  friend auto operator<=>(const SubjobRef&, const SubjobRef&) = default;
+};
+
+}  // namespace otsched
+
+template <>
+struct std::hash<otsched::SubjobRef> {
+  std::size_t operator()(const otsched::SubjobRef& r) const noexcept {
+    return (static_cast<std::size_t>(static_cast<std::uint32_t>(r.job)) << 32) |
+           static_cast<std::uint32_t>(r.node);
+  }
+};

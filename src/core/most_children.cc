@@ -1,0 +1,111 @@
+#include "core/most_children.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace otsched {
+
+MostChildrenReplayer::MostChildrenReplayer(const Dag& dag,
+                                           const JobSchedule& schedule)
+    : dag_(dag), remaining_(dag.node_count()) {
+  const NodeId n = dag.node_count();
+  executed_.assign(static_cast<std::size_t>(n), 0);
+  done_at_.assign(static_cast<std::size_t>(n), kNoTime);
+  next_level_children_.assign(static_cast<std::size_t>(n), 0);
+
+  // Static priority: children of v scheduled exactly one S-slot after v.
+  for (NodeId v = 0; v < n; ++v) {
+    const Time sv = schedule.slot_of[static_cast<std::size_t>(v)];
+    OTSCHED_CHECK(sv != kNoTime,
+                  "MC input schedule misses node " << v);
+    for (NodeId c : dag.children(v)) {
+      if (schedule.slot_of[static_cast<std::size_t>(c)] == sv + 1) {
+        ++next_level_children_[static_cast<std::size_t>(v)];
+      }
+    }
+  }
+
+  level_nodes_.resize(static_cast<std::size_t>(schedule.length()));
+  for (Time s = 1; s <= schedule.length(); ++s) {
+    auto& level = level_nodes_[static_cast<std::size_t>(s - 1)];
+    level = schedule.at(s);
+    std::stable_sort(level.begin(), level.end(), [this](NodeId a, NodeId b) {
+      return next_level_children_[static_cast<std::size_t>(a)] >
+             next_level_children_[static_cast<std::size_t>(b)];
+    });
+  }
+}
+
+void MostChildrenReplayer::mark_prefix_executed(Time prefix_len) {
+  OTSCHED_CHECK(!stepped_, "prefix must be marked before stepping");
+  prefix_len = std::min<Time>(prefix_len,
+                              static_cast<Time>(level_nodes_.size()));
+  for (Time s = 1; s <= prefix_len; ++s) {
+    for (NodeId v : level_nodes_[static_cast<std::size_t>(s - 1)]) {
+      if (!executed_[static_cast<std::size_t>(v)]) {
+        executed_[static_cast<std::size_t>(v)] = 1;
+        done_at_[static_cast<std::size_t>(v)] = 0;
+        --remaining_;
+      }
+    }
+  }
+  min_level_ = static_cast<std::size_t>(prefix_len);
+}
+
+bool MostChildrenReplayer::ready_at(NodeId v, Time t) const {
+  for (NodeId p : dag_.parents(v)) {
+    if (!executed_[static_cast<std::size_t>(p)] ||
+        done_at_[static_cast<std::size_t>(p)] >= t) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int MostChildrenReplayer::step(int budget, std::vector<NodeId>* out) {
+  OTSCHED_CHECK(budget >= 0);
+  stepped_ = true;
+  const Time t = ++now_;
+  int scheduled = 0;
+
+  while (scheduled < budget && remaining_ > 0) {
+    // Advance past exhausted levels.
+    while (min_level_ < level_nodes_.size()) {
+      auto& level = level_nodes_[static_cast<std::size_t>(min_level_)];
+      std::erase_if(level, [this](NodeId v) {
+        return executed_[static_cast<std::size_t>(v)] != 0;
+      });
+      if (!level.empty()) break;
+      ++min_level_;
+    }
+    OTSCHED_CHECK(min_level_ < level_nodes_.size() || remaining_ == 0,
+                  "MC lost track of " << remaining_ << " nodes");
+
+    // Scan levels from the earliest unfinished one for a ready subjob;
+    // within a level the list is pre-sorted by most-children priority.
+    NodeId chosen = kInvalidNode;
+    for (std::size_t lvl = min_level_;
+         lvl < level_nodes_.size() && chosen == kInvalidNode; ++lvl) {
+      for (NodeId v : level_nodes_[static_cast<std::size_t>(lvl)]) {
+        if (executed_[static_cast<std::size_t>(v)]) continue;
+        if (ready_at(v, t)) {
+          chosen = v;
+          break;
+        }
+      }
+    }
+    if (chosen == kInvalidNode) break;  // no ready subjob anywhere
+
+    executed_[static_cast<std::size_t>(chosen)] = 1;
+    done_at_[static_cast<std::size_t>(chosen)] = t;
+    --remaining_;
+    ++scheduled;
+    if (out != nullptr) out->push_back(chosen);
+  }
+
+  if (scheduled < budget && remaining_ > 0) ++busy_violations_;
+  return scheduled;
+}
+
+}  // namespace otsched

@@ -1,0 +1,69 @@
+#include "dag/serialize.h"
+
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace otsched {
+
+std::string ToText(const Dag& dag) {
+  std::ostringstream out;
+  out << dag.node_count() << '\n';
+  for (NodeId v = 0; v < dag.node_count(); ++v) {
+    for (NodeId c : dag.children(v)) {
+      out << v << ' ' << c << '\n';
+    }
+  }
+  return out.str();
+}
+
+Dag FromText(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  NodeId node_count = -1;
+  Dag::Builder builder;
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Strip comments and whitespace-only lines.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    if (node_count < 0) {
+      if (fields >> node_count) {
+        OTSCHED_CHECK(node_count >= 0,
+                      "line " << line_number << ": negative node count");
+        builder.add_nodes(node_count);
+      }
+      continue;
+    }
+    NodeId from = kInvalidNode;
+    NodeId to = kInvalidNode;
+    if (fields >> from) {
+      OTSCHED_CHECK(fields >> to,
+                    "line " << line_number << ": edge needs two endpoints");
+      builder.add_edge(from, to);
+    }
+  }
+  OTSCHED_CHECK(node_count >= 0, "missing node-count header line");
+  return std::move(builder).build();
+}
+
+std::string ToDot(const Dag& dag, const std::string& name) {
+  std::ostringstream out;
+  out << "digraph " << name << " {\n";
+  out << "  rankdir=TB;\n";
+  for (NodeId v = 0; v < dag.node_count(); ++v) {
+    out << "  n" << v << " [label=\"" << v << "\"];\n";
+  }
+  for (NodeId v = 0; v < dag.node_count(); ++v) {
+    for (NodeId c : dag.children(v)) {
+      out << "  n" << v << " -> n" << c << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace otsched

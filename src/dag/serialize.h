@@ -1,0 +1,31 @@
+// Text import/export for job DAGs.
+//
+// The text format is a trivial adjacency list used by golden tests and the
+// examples; the DOT export is for eyeballing generated workloads with
+// graphviz.
+//
+// Text format:
+//   line 1:            <node_count>
+//   following lines:   <from> <to>        (one edge per line)
+// Blank lines and lines starting with '#' are ignored.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dag/dag.h"
+
+namespace otsched {
+
+/// Serializes to the adjacency text format.
+std::string ToText(const Dag& dag);
+
+/// Parses the adjacency text format.  Aborts on malformed input with a
+/// line-number diagnostic.
+Dag FromText(const std::string& text);
+
+/// Graphviz DOT export; `name` becomes the digraph name.  Node labels show
+/// the node id.
+std::string ToDot(const Dag& dag, const std::string& name = "job");
+
+}  // namespace otsched

@@ -1,0 +1,73 @@
+#include "dag/validate.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "dag/metrics.h"
+
+namespace otsched {
+
+bool IsAcyclic(const Dag& dag) {
+  const NodeId n = dag.node_count();
+  std::vector<NodeId> indegree(static_cast<std::size_t>(n));
+  std::vector<NodeId> queue;
+  for (NodeId v = 0; v < n; ++v) {
+    indegree[static_cast<std::size_t>(v)] = dag.in_degree(v);
+    if (indegree[static_cast<std::size_t>(v)] == 0) queue.push_back(v);
+  }
+  std::size_t seen = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head, ++seen) {
+    for (NodeId c : dag.children(queue[head])) {
+      if (--indegree[static_cast<std::size_t>(c)] == 0) queue.push_back(c);
+    }
+  }
+  return seen == static_cast<std::size_t>(n);
+}
+
+bool IsOutForest(const Dag& dag) {
+  for (NodeId v = 0; v < dag.node_count(); ++v) {
+    if (dag.in_degree(v) > 1) return false;
+  }
+  // With in-degree <= 1, a cycle would require some node on it to have
+  // in-degree >= 1 from within the cycle; a pure cycle is still possible,
+  // so acyclicity must be checked explicitly.
+  return IsAcyclic(dag);
+}
+
+bool IsOutTree(const Dag& dag) {
+  if (dag.empty() || !IsOutForest(dag)) return false;
+  return dag.roots().size() == 1;
+}
+
+DagShape AnalyzeShape(const Dag& dag) {
+  DagShape shape;
+  shape.acyclic = IsAcyclic(dag);
+  shape.out_forest = IsOutForest(dag);
+  for (NodeId v = 0; v < dag.node_count(); ++v) {
+    if (dag.in_degree(v) == 0) ++shape.root_count;
+    shape.max_in_degree = std::max(shape.max_in_degree, dag.in_degree(v));
+    shape.max_out_degree = std::max(shape.max_out_degree, dag.out_degree(v));
+  }
+  return shape;
+}
+
+std::string DescribeShape(const Dag& dag) {
+  const DagShape shape = AnalyzeShape(dag);
+  std::ostringstream out;
+  if (!shape.acyclic) {
+    out << "cyclic digraph";
+  } else if (shape.out_forest) {
+    out << (shape.root_count == 1 ? "out-tree" : "out-forest");
+  } else {
+    out << "general DAG";
+  }
+  out << ", " << dag.node_count() << " nodes, " << dag.edge_count()
+      << " edges";
+  if (shape.acyclic && !dag.empty()) {
+    out << ", span " << Span(dag);
+  }
+  return out.str();
+}
+
+}  // namespace otsched

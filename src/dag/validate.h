@@ -1,0 +1,40 @@
+// Structural validation of job DAGs.
+//
+// The paper's main algorithmic results are restricted to out-trees /
+// out-forests (Section 5), while the FIFO results (Sections 4 and 6) allow
+// arbitrary DAGs.  Algorithms that require the restriction check it at the
+// boundary with these predicates.
+#pragma once
+
+#include <string>
+
+#include "dag/dag.h"
+
+namespace otsched {
+
+/// True iff the digraph has no directed cycle.
+bool IsAcyclic(const Dag& dag);
+
+/// True iff every node has in-degree <= 1 and the graph is acyclic — i.e.
+/// the DAG is a disjoint union of out-trees ("out-forest", Section 5).
+bool IsOutForest(const Dag& dag);
+
+/// True iff the DAG is an out-forest with exactly one root (a single
+/// out-tree).  The empty DAG is not an out-tree.
+bool IsOutTree(const Dag& dag);
+
+/// Full structural report, for error messages and tests.
+struct DagShape {
+  bool acyclic = false;
+  bool out_forest = false;
+  NodeId root_count = 0;
+  NodeId max_in_degree = 0;
+  NodeId max_out_degree = 0;
+};
+
+DagShape AnalyzeShape(const Dag& dag);
+
+/// Human-readable one-line description ("out-tree, 17 nodes, span 5", ...).
+std::string DescribeShape(const Dag& dag);
+
+}  // namespace otsched

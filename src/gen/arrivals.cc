@@ -1,0 +1,55 @@
+#include "gen/arrivals.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace otsched {
+
+Instance MakePeriodicArrivals(std::int64_t jobs, Time period,
+                              const DagFactory& factory, Rng& rng) {
+  OTSCHED_CHECK(jobs >= 1);
+  OTSCHED_CHECK(period >= 1);
+  Instance instance;
+  for (std::int64_t i = 0; i < jobs; ++i) {
+    instance.add_job(Job(factory(i, rng), i * period));
+  }
+  instance.set_name("periodic");
+  return instance;
+}
+
+Instance MakePoissonArrivals(std::int64_t jobs, double rate,
+                             const DagFactory& factory, Rng& rng) {
+  OTSCHED_CHECK(jobs >= 1);
+  OTSCHED_CHECK(rate > 0.0 && rate <= 1.0);
+  Instance instance;
+  Time release = 0;
+  for (std::int64_t i = 0; i < jobs; ++i) {
+    instance.add_job(Job(factory(i, rng), release));
+    // Geometric inter-arrival with success probability `rate` (mean
+    // 1/rate), the discrete analogue of exponential gaps.
+    Time gap = 0;
+    while (!rng.next_bool(rate)) ++gap;
+    release += gap;
+  }
+  instance.set_name("poisson");
+  return instance;
+}
+
+Instance MakeBurstyArrivals(int bursts, int burst_size, Time gap,
+                            const DagFactory& factory, Rng& rng) {
+  OTSCHED_CHECK(bursts >= 1);
+  OTSCHED_CHECK(burst_size >= 1);
+  OTSCHED_CHECK(gap >= 1);
+  Instance instance;
+  std::int64_t index = 0;
+  for (int b = 0; b < bursts; ++b) {
+    for (int k = 0; k < burst_size; ++k) {
+      instance.add_job(Job(factory(index++, rng), b * gap));
+    }
+  }
+  instance.set_name("bursty");
+  return instance;
+}
+
+}  // namespace otsched

@@ -1,0 +1,29 @@
+// Arrival-process helpers: turn a supply of DAGs into an online Instance.
+#pragma once
+
+#include <functional>
+
+#include "common/rng.h"
+#include "job/instance.h"
+
+namespace otsched {
+
+/// A DAG supplier; invoked once per job in release order.
+using DagFactory = std::function<Dag(std::int64_t job_index, Rng& rng)>;
+
+/// Jobs released at fixed intervals: job i at i * period.
+Instance MakePeriodicArrivals(std::int64_t jobs, Time period,
+                              const DagFactory& factory, Rng& rng);
+
+/// Poisson-like arrivals: i.i.d. geometric gaps with mean ~1/rate slots
+/// (rate in (0, 1]); integer release times, possibly several jobs per
+/// slot.
+Instance MakePoissonArrivals(std::int64_t jobs, double rate,
+                             const DagFactory& factory, Rng& rng);
+
+/// Bursty arrivals: `bursts` groups of `burst_size` simultaneous jobs,
+/// groups separated by `gap` slots.
+Instance MakeBurstyArrivals(int bursts, int burst_size, Time gap,
+                            const DagFactory& factory, Rng& rng);
+
+}  // namespace otsched

@@ -1,0 +1,124 @@
+#include "gen/certified.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "dag/builders.h"
+#include "dag/metrics.h"
+#include "opt/single_batch.h"
+
+namespace otsched {
+
+Dag MakeSaturatedForest(int m, Time delta, Time depth_limit, Rng& rng) {
+  OTSCHED_CHECK(m >= 1);
+  OTSCHED_CHECK(delta >= 1);
+  OTSCHED_CHECK(depth_limit >= 1 && depth_limit <= delta);
+
+  // Level sizes n_d (depth d = 1..depth_limit), chosen deepest-first so
+  // that every suffix satisfies W(d) = sum_{d' > d} n_{d'} <= m*(delta-d).
+  std::vector<NodeId> levels(static_cast<std::size_t>(depth_limit), 1);
+  std::int64_t suffix = 0;
+  for (Time d = depth_limit; d >= 1; --d) {
+    const std::int64_t cap =
+        std::min<std::int64_t>(m, m * (delta - d + 1) - suffix);
+    OTSCHED_CHECK(cap >= 1);
+    const auto size = static_cast<NodeId>(rng.next_in_range(1, cap));
+    levels[static_cast<std::size_t>(d - 1)] = size;
+    suffix += size;
+  }
+
+  Dag shaped = MakeLayeredRandomTree(levels, rng);
+  const std::int64_t pad = m * delta - shaped.node_count();
+  OTSCHED_CHECK(pad >= 0);
+  if (pad == 0) return shaped;
+  // Padding leaves at depth 1 raise W(0) to exactly m*delta without
+  // touching any deeper W(d).
+  std::vector<Dag> parts;
+  parts.push_back(std::move(shaped));
+  parts.push_back(MakeParallelBlob(static_cast<NodeId>(pad)));
+  Dag forest = DisjointUnion(parts);
+  OTSCHED_CHECK(SingleBatchOpt(forest, m) == delta,
+                "saturated construction failed to pin OPT");
+  return forest;
+}
+
+CertifiedInstance MakeSpacedSaturatedInstance(int m, Time delta, int batches,
+                                              Rng& rng) {
+  OTSCHED_CHECK(batches >= 1);
+  CertifiedInstance result;
+  result.opt = delta;
+  for (int b = 0; b < batches; ++b) {
+    const Time depth_limit =
+        rng.next_in_range(std::max<Time>(1, delta / 2), delta);
+    Dag forest = MakeSaturatedForest(m, delta, depth_limit, rng);
+    result.instance.add_job(Job(std::move(forest), b * delta,
+                                "sat-batch-" + std::to_string(b)));
+  }
+  result.instance.set_name("spaced-saturated");
+  return result;
+}
+
+CertifiedInstance MakePipelinedSemiBatchedInstance(int m, Time delta,
+                                                   int batches, Rng& rng) {
+  OTSCHED_CHECK(m >= 2 && m % 2 == 0, "pipelined family needs even m");
+  OTSCHED_CHECK(delta >= 1);
+  OTSCHED_CHECK(batches >= 1);
+  const auto half = static_cast<NodeId>(m / 2);
+
+  CertifiedInstance result;
+  result.opt = 2 * delta;
+  const std::vector<NodeId> levels(static_cast<std::size_t>(2 * delta),
+                                   half);
+  for (int b = 0; b < batches; ++b) {
+    Dag rect = MakeLayeredRandomTree(levels, rng);
+    OTSCHED_CHECK(SingleBatchOpt(rect, m) == 2 * delta);
+    result.instance.add_job(Job(std::move(rect), b * delta,
+                                "pipe-batch-" + std::to_string(b)));
+  }
+  result.instance.set_name("pipelined-semi-batched");
+  return result;
+}
+
+CertifiedInstance MakeBatchedFamilyInstance(int m, Time delta, int batches,
+                                            TreeFamily family, Rng& rng) {
+  OTSCHED_CHECK(m >= 1);
+  OTSCHED_CHECK(delta >= 1);
+  OTSCHED_CHECK(batches >= 1);
+
+  // Build the batch forests first (a few family trees each, sized so a
+  // batch's work is about m*delta), then space them by the realized
+  // per-batch optimum: with spacing = max_b OPT_b the windows are
+  // disjoint, so the instance OPT equals max_b OPT_b exactly.
+  std::vector<Dag> forests;
+  Time spacing = 1;
+  for (int b = 0; b < batches; ++b) {
+    const int trees = static_cast<int>(rng.next_in_range(1, 4));
+    std::vector<Dag> parts;
+    std::int64_t budget = m * delta;
+    for (int k = 0; k < trees; ++k) {
+      const std::int64_t share =
+          (k + 1 == trees) ? budget : budget / (trees - k);
+      if (share < 1) break;
+      parts.push_back(
+          MakeTree(family, static_cast<NodeId>(std::max<std::int64_t>(
+                               1, share)),
+                   rng));
+      budget -= share;
+    }
+    Dag forest = DisjointUnion(parts);
+    spacing = std::max(spacing, SingleBatchOpt(forest, m));
+    forests.push_back(std::move(forest));
+  }
+
+  CertifiedInstance result;
+  result.opt = spacing;
+  for (int b = 0; b < batches; ++b) {
+    result.instance.add_job(Job(std::move(forests[static_cast<std::size_t>(b)]),
+                                b * spacing,
+                                "fam-batch-" + std::to_string(b)));
+  }
+  result.instance.set_name(std::string("batched-") + ToString(family));
+  return result;
+}
+
+}  // namespace otsched

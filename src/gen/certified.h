@@ -1,0 +1,60 @@
+// Instance generators with a CERTIFIED optimal maximum flow.
+//
+// Measured competitive ratios are only meaningful against a denominator we
+// can trust.  These constructions carry a proof of their OPT:
+//
+//  * Saturated batch: a random out-forest whose depth profile satisfies
+//    W(d) <= m * (delta - d) for every d, padded with depth-1 leaves until
+//    total work = m * delta.  Corollary 5.4 then gives OPT = delta
+//    EXACTLY for the batch alone.
+//
+//  * Spaced saturated instance: such batches released every delta slots.
+//    Feasible: run each batch in its own window via LPF (windows are
+//    disjoint).  Lower bound: each batch alone needs delta.  Hence the
+//    instance OPT = delta exactly — while leaving ZERO slack (work arrives
+//    at exactly m per slot), the "fully packed" hard regime the
+//    introduction describes.
+//
+//  * Pipelined semi-batched instance: (m/2)-wide saturated batches of
+//    length 2*delta released every delta slots.  Releases are multiples of
+//    OPT/2 and consecutive batches overlap, each using half the machine:
+//    OPT = 2*delta exactly, again with zero slack in steady state.  This
+//    is the native input format for Algorithm A's semi-batched mode
+//    (Theorem 5.6) with known_opt = 2*delta.
+#pragma once
+
+#include "common/rng.h"
+#include "gen/random_trees.h"
+#include "job/instance.h"
+
+namespace otsched {
+
+struct CertifiedInstance {
+  Instance instance;
+  /// Exact optimal maximum flow, certified by construction.
+  Time opt;
+};
+
+/// One out-forest with SingleBatchOpt == delta exactly on m processors
+/// and total work exactly m * delta ("saturated").  depth_limit caps the
+/// deepest level (must be in [1, delta]); the profile below it is random.
+Dag MakeSaturatedForest(int m, Time delta, Time depth_limit, Rng& rng);
+
+/// `batches` saturated batches released every `delta` slots.  OPT = delta.
+CertifiedInstance MakeSpacedSaturatedInstance(int m, Time delta, int batches,
+                                              Rng& rng);
+
+/// Pipelined semi-batched family: (m/2)-wide, 2*delta-deep saturated
+/// batches released every delta slots.  OPT = 2 * delta; feed Algorithm A
+/// known_opt = 2 * delta.  Requires m even.
+CertifiedInstance MakePipelinedSemiBatchedInstance(int m, Time delta,
+                                                   int batches, Rng& rng);
+
+/// Batched (quantum = OPT) instance for the Section 6 experiments: same
+/// as MakeSpacedSaturatedInstance but with per-batch shapes drawn from the
+/// given family where possible (the profile constraint is enforced by
+/// trimming).  OPT = delta.
+CertifiedInstance MakeBatchedFamilyInstance(int m, Time delta, int batches,
+                                            TreeFamily family, Rng& rng);
+
+}  // namespace otsched

@@ -1,0 +1,32 @@
+#include "gen/fifo_adversary.h"
+
+#include "common/assert.h"
+#include "dag/builders.h"
+
+namespace otsched {
+
+AdversarialInstance MakeAdversarialInstance(
+    const LowerBoundSimOptions& options) {
+  AdversarialInstance result;
+  result.fifo_run = RunLowerBoundSim(options);
+  const auto& run = result.fifo_run;
+  const Time gap = run.m + 1;
+
+  for (std::int64_t i = 0; i < run.num_jobs; ++i) {
+    const auto& sizes_int = run.layer_sizes[static_cast<std::size_t>(i)];
+    std::vector<NodeId> sizes(sizes_int.begin(), sizes_int.end());
+    std::vector<NodeId> keys;
+    Dag dag = MakeLayeredKeyForest(sizes, &keys);
+
+    std::vector<char> mask(static_cast<std::size_t>(dag.node_count()), 0);
+    for (NodeId key : keys) mask[static_cast<std::size_t>(key)] = 1;
+    result.key_mask.push_back(std::move(mask));
+
+    result.instance.add_job(
+        Job(std::move(dag), i * gap, "adv-" + std::to_string(i)));
+  }
+  result.instance.set_name("fifo-adversary-m" + std::to_string(run.m));
+  return result;
+}
+
+}  // namespace otsched

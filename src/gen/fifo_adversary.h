@@ -1,0 +1,40 @@
+// The Section 4 adaptive adversary, materialized.
+//
+// RunLowerBoundSim (lbsim) co-simulates arbitrary FIFO against the
+// adaptive construction and fixes every layer size.  This wrapper turns
+// the result into a concrete Instance of layered out-forest jobs — key
+// spine plus leaf bunches — so that OTHER schedulers (Algorithm A,
+// clairvoyant FIFO variants, baselines) can be run on the exact instance
+// that defeats FIFO.  The key subjob of every layer is exposed so that
+// FifoScheduler(kAvoidMarked) reproduces the adversarial run on the fixed
+// instance (cross-validated in tests).
+//
+// NOTE on validity: the adaptive construction is only a lower bound for
+// NON-clairvoyant FIFO — a clairvoyant scheduler sees the keys at arrival
+// and is immune, which is precisely the paper's point (Section 5's
+// algorithm is clairvoyant).
+#pragma once
+
+#include "job/instance.h"
+#include "lbsim/lbsim.h"
+
+namespace otsched {
+
+struct AdversarialInstance {
+  Instance instance;
+  /// key_mask[job][node] != 0 iff the node is a key subjob.
+  std::vector<std::vector<char>> key_mask;
+  /// The co-simulated FIFO flows (what arbitrary FIFO achieves).
+  LowerBoundSimResult fifo_run;
+
+  bool is_key(JobId job, NodeId node) const {
+    return key_mask[static_cast<std::size_t>(job)]
+                   [static_cast<std::size_t>(node)] != 0;
+  }
+};
+
+/// Runs the co-simulation and materializes the instance.
+AdversarialInstance MakeAdversarialInstance(
+    const LowerBoundSimOptions& options);
+
+}  // namespace otsched

@@ -1,0 +1,133 @@
+#include "gen/numerics.h"
+
+#include <map>
+#include <tuple>
+
+#include "common/assert.h"
+
+namespace otsched {
+
+Dag MakeTiledCholeskyDag(int n) {
+  OTSCHED_CHECK(n >= 1);
+  Dag::Builder builder;
+  // Task id maps, keyed by the standard (kernel, indices) naming.
+  std::map<int, NodeId> potrf;                       // k
+  std::map<std::pair<int, int>, NodeId> trsm;        // (i, k), i > k
+  std::map<std::pair<int, int>, NodeId> syrk;        // (i, k), i > k
+  std::map<std::tuple<int, int, int>, NodeId> gemm;  // (i, j, k), i > j > k
+
+  for (int k = 0; k < n; ++k) {
+    const NodeId p = builder.add_node();
+    potrf[k] = p;
+    // POTRF(k) consumes the accumulated diagonal tile: SYRK(k, k-1).
+    if (k > 0) builder.add_edge(syrk[{k, k - 1}], p);
+
+    for (int i = k + 1; i < n; ++i) {
+      const NodeId t = builder.add_node();
+      trsm[{i, k}] = t;
+      builder.add_edge(p, t);
+      if (k > 0) builder.add_edge(gemm[{i, k, k - 1}], t);
+    }
+    for (int i = k + 1; i < n; ++i) {
+      const NodeId s = builder.add_node();
+      syrk[{i, k}] = s;
+      builder.add_edge(trsm[{i, k}], s);
+      if (k > 0) builder.add_edge(syrk[{i, k - 1}], s);
+    }
+    for (int i = k + 1; i < n; ++i) {
+      for (int j = k + 1; j < i; ++j) {
+        const NodeId g = builder.add_node();
+        gemm[{i, j, k}] = g;
+        builder.add_edge(trsm[{i, k}], g);
+        builder.add_edge(trsm[{j, k}], g);
+        if (k > 0) builder.add_edge(gemm[{i, j, k - 1}], g);
+      }
+    }
+  }
+  return std::move(builder).build();
+}
+
+Dag MakeTiledLuDag(int n) {
+  OTSCHED_CHECK(n >= 1);
+  Dag::Builder builder;
+  std::map<int, NodeId> getrf;                        // k
+  std::map<std::pair<int, int>, NodeId> trsm_row;     // (k, j), j > k
+  std::map<std::pair<int, int>, NodeId> trsm_col;     // (i, k), i > k
+  std::map<std::tuple<int, int, int>, NodeId> gemm;   // (i, j, k), i,j > k
+
+  for (int k = 0; k < n; ++k) {
+    const NodeId f = builder.add_node();
+    getrf[k] = f;
+    if (k > 0) builder.add_edge(gemm[{k, k, k - 1}], f);
+
+    for (int j = k + 1; j < n; ++j) {
+      const NodeId t = builder.add_node();
+      trsm_row[{k, j}] = t;
+      builder.add_edge(f, t);
+      if (k > 0) builder.add_edge(gemm[{k, j, k - 1}], t);
+    }
+    for (int i = k + 1; i < n; ++i) {
+      const NodeId t = builder.add_node();
+      trsm_col[{i, k}] = t;
+      builder.add_edge(f, t);
+      if (k > 0) builder.add_edge(gemm[{i, k, k - 1}], t);
+    }
+    for (int i = k + 1; i < n; ++i) {
+      for (int j = k + 1; j < n; ++j) {
+        const NodeId g = builder.add_node();
+        gemm[{i, j, k}] = g;
+        builder.add_edge(trsm_col[{i, k}], g);
+        builder.add_edge(trsm_row[{k, j}], g);
+        if (k > 0) builder.add_edge(gemm[{i, j, k - 1}], g);
+      }
+    }
+  }
+  return std::move(builder).build();
+}
+
+Dag MakeStencil1dDag(int cells, int steps) {
+  OTSCHED_CHECK(cells >= 1);
+  OTSCHED_CHECK(steps >= 1);
+  Dag::Builder builder(static_cast<NodeId>(cells) * steps);
+  auto id = [cells](int t, int i) {
+    return static_cast<NodeId>(t) * cells + i;
+  };
+  for (int t = 1; t < steps; ++t) {
+    for (int i = 0; i < cells; ++i) {
+      for (int di = -1; di <= 1; ++di) {
+        const int j = i + di;
+        if (j < 0 || j >= cells) continue;
+        builder.add_edge(id(t - 1, j), id(t, i));
+      }
+    }
+  }
+  return std::move(builder).build();
+}
+
+Dag MakeFftButterflyDag(int log2n) {
+  OTSCHED_CHECK(log2n >= 1 && log2n <= 20);
+  const int n = 1 << log2n;
+  const int half = n / 2;
+  Dag::Builder builder(static_cast<NodeId>(log2n) * half);
+
+  // Butterfly id at stage s that consumes (and produces) values v and
+  // v ^ (1 << s): drop bit s from v.
+  auto butterfly = [half](int s, int v) {
+    const int low = v & ((1 << s) - 1);
+    const int high = (v >> (s + 1)) << s;
+    return static_cast<NodeId>(s) * half + (high | low);
+  };
+
+  for (int s = 1; s < log2n; ++s) {
+    for (int v = 0; v < n; ++v) {
+      if (v & (1 << s)) continue;  // enumerate each butterfly once
+      const NodeId b = butterfly(s, v);
+      // Inputs v and v ^ (1<<s) were produced at stage s-1.
+      builder.add_edge(butterfly(s - 1, v), b);
+      builder.add_edge(butterfly(s - 1, v ^ (1 << s)), b);
+    }
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace otsched

@@ -1,0 +1,44 @@
+// Task DAGs of classic dense-numerics and HPC kernels.
+//
+// Dynamic-multithreaded runtimes (the Cilk/TBB/OpenMP systems the paper's
+// introduction targets) are routinely evaluated on tiled linear-algebra
+// and stencil task graphs.  These generators produce the standard
+// dependency structures so the library's schedulers can be exercised on
+// the workloads an HPC runtime actually sees:
+//
+//   * tiled Cholesky factorization (POTRF/TRSM/SYRK/GEMM tasks),
+//   * tiled LU without pivoting (GETRF/TRSM/GEMM),
+//   * 1-D stencil wavefront (time-step x cell grid),
+//   * radix-2 FFT butterfly network.
+//
+// All are genuine DAGs (not out-trees): joins abound, which makes them
+// the natural stress inputs for the Section 6 experiments and the E15
+// general-DAG frontier.  Every task is one unit-time subjob, consistent
+// with the paper's model (a tile kernel = one unit).
+#pragma once
+
+#include "dag/dag.h"
+
+namespace otsched {
+
+/// Tiled Cholesky on an n x n tile grid.  Task counts: n POTRF,
+/// n(n-1)/2 TRSM, n(n-1)/2 SYRK, n(n-1)(n-2)/6 GEMM; span 3n - 2 for
+/// n >= 2 (POTRF_k -> TRSM_k -> (SYRK|GEMM)_k -> POTRF_{k+1} chains).
+Dag MakeTiledCholeskyDag(int n);
+
+/// Tiled LU (no pivoting) on an n x n tile grid: n GETRF, n(n-1) TRSM
+/// (row + column panels), n(n-1)(2n-1)/6... trailing GEMM updates.
+Dag MakeTiledLuDag(int n);
+
+/// 1-D three-point stencil: `cells` cells advanced for `steps` time
+/// steps; cell (t, i) depends on (t-1, i-1), (t-1, i), (t-1, i+1).
+/// Work = cells * steps, span = steps.
+Dag MakeStencil1dDag(int cells, int steps);
+
+/// Radix-2 decimation FFT butterfly on n = 2^log2n points: log2n stages
+/// of n/2 butterflies; each butterfly depends on the two butterflies of
+/// the previous stage that produced its inputs.  Work = log2n * n / 2,
+/// span = log2n.
+Dag MakeFftButterflyDag(int log2n);
+
+}  // namespace otsched

@@ -1,0 +1,125 @@
+#include "gen/random_trees.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace otsched {
+
+Dag MakeAttachmentTree(NodeId size, double recency_bias, Rng& rng) {
+  OTSCHED_CHECK(size >= 1);
+  OTSCHED_CHECK(recency_bias >= 0.0 && recency_bias <= 1.0);
+  Dag::Builder builder;
+  NodeId last = builder.add_node();
+  for (NodeId v = 1; v < size; ++v) {
+    NodeId parent;
+    if (rng.next_bool(recency_bias)) {
+      parent = last;
+    } else {
+      parent = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(v)));
+    }
+    last = builder.add_node();
+    builder.add_edge(parent, last);
+  }
+  return std::move(builder).build();
+}
+
+Dag MakeBranchingTree(NodeId size, double child_p, int max_children,
+                      Rng& rng) {
+  OTSCHED_CHECK(size >= 1);
+  OTSCHED_CHECK(max_children >= 1);
+  Dag::Builder builder;
+  std::vector<NodeId> frontier = {builder.add_node()};
+  while (builder.node_count() < size) {
+    if (frontier.empty()) {
+      // The birth process died out early; restart growth from a uniformly
+      // random existing node so the tree reaches the requested size.
+      frontier.push_back(static_cast<NodeId>(
+          rng.next_below(static_cast<std::uint64_t>(builder.node_count()))));
+    }
+    std::vector<NodeId> next;
+    for (NodeId parent : frontier) {
+      if (builder.node_count() >= size) break;
+      int kids = rng.next_geometric(child_p, max_children);
+      // Guarantee overall progress: the first frontier node of a round
+      // always gets at least one child if the process would otherwise die.
+      if (next.empty() && kids == 0 && parent == frontier.back()) kids = 1;
+      for (int k = 0; k < kids && builder.node_count() < size; ++k) {
+        const NodeId child = builder.add_node();
+        builder.add_edge(parent, child);
+        next.push_back(child);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return std::move(builder).build();
+}
+
+Dag MakeLayeredRandomTree(std::span<const NodeId> level_sizes, Rng& rng) {
+  OTSCHED_CHECK(!level_sizes.empty());
+  Dag::Builder builder;
+  std::vector<NodeId> previous;
+  for (NodeId width : level_sizes) {
+    OTSCHED_CHECK(width >= 1, "every level needs at least one node");
+    std::vector<NodeId> current;
+    current.reserve(static_cast<std::size_t>(width));
+    for (NodeId i = 0; i < width; ++i) {
+      const NodeId v = builder.add_node();
+      if (!previous.empty()) {
+        const NodeId parent = previous[static_cast<std::size_t>(
+            rng.next_below(previous.size()))];
+        builder.add_edge(parent, v);
+      }
+      current.push_back(v);
+    }
+    previous = std::move(current);
+  }
+  return std::move(builder).build();
+}
+
+Dag MakeRandomForest(NodeId size, int trees, double recency_bias, Rng& rng) {
+  OTSCHED_CHECK(size >= trees);
+  OTSCHED_CHECK(trees >= 1);
+  // Split `size` into `trees` positive parts.
+  std::vector<NodeId> sizes(static_cast<std::size_t>(trees), 1);
+  for (NodeId extra = size - trees; extra > 0; --extra) {
+    ++sizes[static_cast<std::size_t>(rng.next_below(sizes.size()))];
+  }
+  std::vector<Dag> parts;
+  parts.reserve(sizes.size());
+  for (NodeId part_size : sizes) {
+    parts.push_back(MakeAttachmentTree(part_size, recency_bias, rng));
+  }
+  return DisjointUnion(parts);
+}
+
+const char* ToString(TreeFamily family) {
+  switch (family) {
+    case TreeFamily::kBushy:
+      return "bushy";
+    case TreeFamily::kMixed:
+      return "mixed";
+    case TreeFamily::kSpiny:
+      return "spiny";
+    case TreeFamily::kBranchy:
+      return "branchy";
+  }
+  return "?";
+}
+
+Dag MakeTree(TreeFamily family, NodeId size, Rng& rng) {
+  switch (family) {
+    case TreeFamily::kBushy:
+      return MakeAttachmentTree(size, 0.0, rng);
+    case TreeFamily::kMixed:
+      return MakeAttachmentTree(size, 0.5, rng);
+    case TreeFamily::kSpiny:
+      return MakeAttachmentTree(size, 0.9, rng);
+    case TreeFamily::kBranchy:
+      return MakeBranchingTree(size, 0.55, 4, rng);
+  }
+  OTSCHED_CHECK(false, "unknown family");
+  return {};
+}
+
+}  // namespace otsched

@@ -1,0 +1,53 @@
+// Randomized out-tree / out-forest workload generators.
+//
+// Shapes cover the spectrum the paper's analysis cares about:
+//   * attachment trees (uniform = bushy/shallow, recency-biased = deep and
+//     spiny) — stand-ins for irregular divide-and-conquer,
+//   * geometric branching trees — sub-critical birth processes,
+//   * layered trees with a prescribed depth profile — direct control over
+//     W(d), the quantity Lemma 5.1 / Corollary 5.4 reason about,
+//   * random out-forests — disjoint unions of the above.
+#pragma once
+
+#include "common/rng.h"
+#include "dag/dag.h"
+
+namespace otsched {
+
+/// Random attachment out-tree with `size` nodes.  Each new node picks its
+/// parent among existing nodes: with probability `recency_bias` the most
+/// recently added node (growing a spine), otherwise uniformly at random
+/// (growing a bush).  recency_bias = 0 gives the classic random recursive
+/// tree (expected depth O(log n)); recency_bias = 1 gives a chain.
+Dag MakeAttachmentTree(NodeId size, double recency_bias, Rng& rng);
+
+/// Galton-Watson-style out-tree: each node spawns Geometric(child_p)
+/// children (capped at max_children), generated breadth-first until `size`
+/// nodes exist (forced continuation keeps the tree alive until then).
+Dag MakeBranchingTree(NodeId size, double child_p, int max_children,
+                      Rng& rng);
+
+/// Layered out-tree with the given per-depth level sizes
+/// (level_sizes[d-1] nodes at depth d, each wired to a uniformly random
+/// parent in the previous level).  level_sizes must be nonempty with every
+/// entry >= 1.
+Dag MakeLayeredRandomTree(std::span<const NodeId> level_sizes, Rng& rng);
+
+/// Random out-forest: `trees` independent attachment trees with sizes
+/// split uniformly, total `size` nodes.
+Dag MakeRandomForest(NodeId size, int trees, double recency_bias, Rng& rng);
+
+/// Enumerates shape presets for parameterized sweeps.
+enum class TreeFamily {
+  kBushy,     // attachment, recency_bias = 0
+  kMixed,     // attachment, recency_bias = 0.5
+  kSpiny,     // attachment, recency_bias = 0.9
+  kBranchy,   // branching, child_p = 0.55, max 4 children
+};
+
+const char* ToString(TreeFamily family);
+
+/// Materializes one tree of the family with ~size nodes.
+Dag MakeTree(TreeFamily family, NodeId size, Rng& rng);
+
+}  // namespace otsched

@@ -1,0 +1,132 @@
+#include "gen/recursive.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "dag/builders.h"
+
+namespace otsched {
+namespace {
+
+// Appends the quicksort call tree for `n` elements under `parent`
+// (kInvalidNode for the root call).
+void QuicksortCall(Dag::Builder& builder, NodeId parent, std::int64_t n,
+                   const QuicksortOptions& options, Rng& rng, int depth) {
+  OTSCHED_CHECK(depth < 4096, "quicksort recursion ran away");
+  auto attach = [&](NodeId node) {
+    if (parent != kInvalidNode) builder.add_edge(parent, node);
+    parent = node;
+  };
+
+  if (n <= options.cutoff) {
+    attach(builder.add_node());
+    return;
+  }
+  // Partition work: a chain of ceil(n / grain) unit subjobs.
+  const std::int64_t chain =
+      std::max<std::int64_t>(1, (n + options.grain - 1) / options.grain);
+  for (std::int64_t i = 0; i < chain; ++i) attach(builder.add_node());
+
+  const double lo = options.pivot_quality;
+  const double hi = 1.0 - options.pivot_quality;
+  const double fraction = lo + (hi - lo) * rng.next_double();
+  const auto left = static_cast<std::int64_t>(
+      static_cast<double>(n - 1) * fraction);
+  const std::int64_t right = (n - 1) - left;
+  if (left > 0) QuicksortCall(builder, parent, left, options, rng, depth + 1);
+  if (right > 0) {
+    QuicksortCall(builder, parent, right, options, rng, depth + 1);
+  }
+}
+
+}  // namespace
+
+Dag MakeQuicksortTree(const QuicksortOptions& options, Rng& rng) {
+  OTSCHED_CHECK(options.n >= 1);
+  OTSCHED_CHECK(options.grain >= 1);
+  OTSCHED_CHECK(options.cutoff >= 1);
+  OTSCHED_CHECK(options.pivot_quality > 0.0 && options.pivot_quality <= 0.5);
+  Dag::Builder builder;
+  QuicksortCall(builder, kInvalidNode, options.n, options, rng, 0);
+  return std::move(builder).build();
+}
+
+Dag MakeParallelForSeries(std::span<const NodeId> widths) {
+  OTSCHED_CHECK(!widths.empty());
+  Dag::Builder builder;
+  NodeId previous_spawn = kInvalidNode;
+  for (NodeId width : widths) {
+    OTSCHED_CHECK(width >= 1);
+    const NodeId spawn = builder.add_node();
+    if (previous_spawn != kInvalidNode) {
+      builder.add_edge(previous_spawn, spawn);
+    }
+    for (NodeId i = 0; i < width; ++i) {
+      const NodeId iter = builder.add_node();
+      builder.add_edge(spawn, iter);
+    }
+    previous_spawn = spawn;
+  }
+  return std::move(builder).build();
+}
+
+Dag MakeRandomParallelForSeries(int phases, NodeId max_width, Rng& rng) {
+  OTSCHED_CHECK(phases >= 1);
+  OTSCHED_CHECK(max_width >= 1);
+  std::vector<NodeId> widths(static_cast<std::size_t>(phases));
+  for (auto& width : widths) {
+    width = static_cast<NodeId>(
+        rng.next_in_range(1, static_cast<std::int64_t>(max_width)));
+  }
+  return MakeParallelForSeries(widths);
+}
+
+namespace {
+
+NodeId FibCall(Dag::Builder& builder, NodeId parent, int k) {
+  const NodeId node = builder.add_node();
+  if (parent != kInvalidNode) builder.add_edge(parent, node);
+  if (k >= 2) {
+    FibCall(builder, node, k - 1);
+    FibCall(builder, node, k - 2);
+  }
+  return node;
+}
+
+}  // namespace
+
+Dag MakeFibTree(int k) {
+  OTSCHED_CHECK(k >= 0 && k <= 30, "fib tree size explodes past k = 30");
+  Dag::Builder builder;
+  FibCall(builder, kInvalidNode, k);
+  return std::move(builder).build();
+}
+
+Dag MakeMapReduceRound(NodeId width) {
+  return MakeForkJoin(width);
+}
+
+Dag MakeMapReducePipeline(int rounds, NodeId max_width, Rng& rng) {
+  OTSCHED_CHECK(rounds >= 1);
+  OTSCHED_CHECK(max_width >= 1);
+  Dag::Builder builder;
+  NodeId previous_sink = kInvalidNode;
+  for (int r = 0; r < rounds; ++r) {
+    const NodeId source = builder.add_node();
+    if (previous_sink != kInvalidNode) {
+      builder.add_edge(previous_sink, source);
+    }
+    const auto width = static_cast<NodeId>(
+        rng.next_in_range(1, static_cast<std::int64_t>(max_width)));
+    const NodeId sink = builder.add_node();
+    for (NodeId i = 0; i < width; ++i) {
+      const NodeId mapper = builder.add_node();
+      builder.add_edge(source, mapper);
+      builder.add_edge(mapper, sink);
+    }
+    previous_sink = sink;
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace otsched

@@ -1,0 +1,56 @@
+// DAGs of canonical dynamic-multithreaded programs (Section 1's motivating
+// workloads), expressed as unit-time subjob graphs.
+//
+//   * Quicksort: the introduction's example of a tail-recursive algorithm
+//     whose natural fork-join program is an out-tree.  A call on n
+//     elements is a chain of ceil(n / grain) partition subjobs whose last
+//     subjob spawns the two recursive calls.
+//   * Parallel-for series: "a sequence of parallel for-loops" — per phase,
+//     a spawn node fans out to `width` unit iterations; phases chain
+//     through the spawn nodes, which keeps the whole program an out-tree
+//     (iterations are leaves).
+//   * Fibonacci: fib(k) spawns fib(k-1) and fib(k-2) — the classic Cilk
+//     toy, a binary out-tree.
+//   * Map-reduce round (general series-parallel, NOT a tree): fork to
+//     `width` mappers which all join into a reducer; used by the Section 6
+//     experiments, which allow arbitrary DAGs.
+#pragma once
+
+#include "common/rng.h"
+#include "dag/dag.h"
+
+namespace otsched {
+
+struct QuicksortOptions {
+  std::int64_t n = 1024;  // elements to sort
+  std::int64_t grain = 64;  // elements per unit subjob of partition work
+  std::int64_t cutoff = 64;  // below this, a call is a single leaf subjob
+  /// Pivot quality: 0.5 = perfect median splits; smaller = more skew.
+  /// The split fraction is drawn uniformly from
+  /// [pivot_quality, 1 - pivot_quality] for each call.
+  double pivot_quality = 0.25;
+};
+
+/// The recursion out-tree of randomized quicksort.
+Dag MakeQuicksortTree(const QuicksortOptions& options, Rng& rng);
+
+/// `phases` parallel-for loops in series; phase i has widths[i] unit
+/// iterations.  Out-tree: spawn_1 -> {iters_1}, spawn_1 -> spawn_2 -> ...
+Dag MakeParallelForSeries(std::span<const NodeId> widths);
+
+/// Random parallel-for series: `phases` loops with widths uniform in
+/// [1, max_width].
+Dag MakeRandomParallelForSeries(int phases, NodeId max_width, Rng& rng);
+
+/// The fib(k) spawn tree (one subjob per call).
+Dag MakeFibTree(int k);
+
+/// One map-reduce round: source -> `width` mappers -> sink reducer.
+/// General series-parallel DAG (in-degree `width` at the sink).
+Dag MakeMapReduceRound(NodeId width);
+
+/// `rounds` map-reduce rounds in series with the given widths drawn
+/// uniformly from [1, max_width]; a general DAG for Section 6 experiments.
+Dag MakeMapReducePipeline(int rounds, NodeId max_width, Rng& rng);
+
+}  // namespace otsched

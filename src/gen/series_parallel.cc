@@ -1,0 +1,146 @@
+#include "gen/series_parallel.h"
+
+#include <map>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace otsched {
+namespace {
+
+// Materializes an SP subgraph between existing nodes s and t using about
+// `budget` internal nodes.  Proper series composition IDENTIFIES the
+// junction node (no bridging edge), matching the textbook two-terminal
+// definition.
+void BuildBetween(Dag::Builder& builder, NodeId s, NodeId t,
+                  NodeId budget, const SeriesParallelOptions& options,
+                  Rng& rng, int depth) {
+  OTSCHED_CHECK(depth < 64, "SP recursion ran away");
+  if (budget <= 0) {
+    builder.add_edge(s, t);
+    return;
+  }
+  if (budget == 1 || !rng.next_bool(options.parallel_p)) {
+    // Series: s -> x -> t with the budget split across the two halves.
+    const NodeId x = builder.add_node();
+    const NodeId left = (budget - 1) / 2;
+    BuildBetween(builder, s, x, left, options, rng, depth + 1);
+    BuildBetween(builder, x, t, budget - 1 - left, options, rng, depth + 1);
+    return;
+  }
+  // Parallel: 2..max_branches branches.  EVERY branch receives at least
+  // one internal node, so a bare s->t edge can only ever be produced
+  // under a series junction — which makes duplicate (parallel) edges
+  // impossible anywhere in the construction.
+  int branches = 2 + static_cast<int>(rng.next_below(
+                         static_cast<std::uint64_t>(options.max_branches - 1)));
+  branches = std::min<int>(branches, static_cast<int>(budget));
+  OTSCHED_CHECK(branches >= 2);  // budget >= 2 whenever parallel is chosen
+  NodeId left = budget;
+  for (int b = 0; b < branches; ++b) {
+    const NodeId share =
+        b + 1 == branches
+            ? left
+            : std::max<NodeId>(1, budget / static_cast<NodeId>(branches));
+    OTSCHED_CHECK(share >= 1 && share <= left);
+    BuildBetween(builder, s, t, share, options, rng, depth + 1);
+    left -= share;
+  }
+}
+
+}  // namespace
+
+Dag MakeSeriesParallelDag(const SeriesParallelOptions& options, Rng& rng) {
+  OTSCHED_CHECK(options.size >= 2);
+  OTSCHED_CHECK(options.parallel_p >= 0.0 && options.parallel_p <= 1.0);
+  OTSCHED_CHECK(options.max_branches >= 2);
+  Dag::Builder builder;
+  const NodeId source = builder.add_node();
+  const NodeId sink = builder.add_node();
+  BuildBetween(builder, source, sink, options.size - 2, options, rng, 0);
+  return std::move(builder).build();
+}
+
+bool IsTwoTerminalSeriesParallel(const Dag& dag) {
+  if (dag.node_count() < 2) return false;
+  // Edge multiset and degree counts over live nodes.
+  std::map<std::pair<NodeId, NodeId>, std::int64_t> edges;
+  std::vector<std::int64_t> in(static_cast<std::size_t>(dag.node_count()));
+  std::vector<std::int64_t> out(static_cast<std::size_t>(dag.node_count()));
+  for (NodeId v = 0; v < dag.node_count(); ++v) {
+    for (NodeId c : dag.children(v)) {
+      ++edges[{v, c}];
+      ++out[static_cast<std::size_t>(v)];
+      ++in[static_cast<std::size_t>(c)];
+    }
+  }
+  NodeId source = kInvalidNode;
+  NodeId sink = kInvalidNode;
+  for (NodeId v = 0; v < dag.node_count(); ++v) {
+    if (in[static_cast<std::size_t>(v)] == 0) {
+      if (out[static_cast<std::size_t>(v)] == 0) return false;  // isolated
+      if (source != kInvalidNode) return false;
+      source = v;
+    }
+    if (out[static_cast<std::size_t>(v)] == 0 &&
+        in[static_cast<std::size_t>(v)] > 0) {
+      if (sink != kInvalidNode) return false;
+      sink = v;
+    }
+  }
+  if (source == kInvalidNode || sink == kInvalidNode) return false;
+
+  // Reduce to a single edge: parallel merges are implicit (edge counts
+  // collapse to presence), series contractions remove degree-(1,1)
+  // nodes.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Parallel reduction: collapse multi-edges.
+    for (auto& [key, count] : edges) {
+      if (count > 1) {
+        in[static_cast<std::size_t>(key.second)] -= count - 1;
+        out[static_cast<std::size_t>(key.first)] -= count - 1;
+        count = 1;
+        changed = true;
+      }
+    }
+    // Series reduction.
+    for (NodeId v = 0; v < dag.node_count(); ++v) {
+      if (v == source || v == sink) continue;
+      if (in[static_cast<std::size_t>(v)] != 1 ||
+          out[static_cast<std::size_t>(v)] != 1) {
+        continue;
+      }
+      // Find the unique in- and out-edges of v.
+      NodeId u = kInvalidNode;
+      NodeId w = kInvalidNode;
+      for (const auto& [key, count] : edges) {
+        if (count <= 0) continue;
+        if (key.second == v) u = key.first;
+        if (key.first == v) w = key.second;
+      }
+      OTSCHED_CHECK(u != kInvalidNode && w != kInvalidNode);
+      if (u == w) return false;  // would create a self-loop: not a DAG SP
+      --edges[{u, v}];
+      --edges[{v, w}];
+      ++edges[{u, w}];
+      in[static_cast<std::size_t>(v)] = 0;
+      out[static_cast<std::size_t>(v)] = 0;
+      // u's out-degree and w's in-degree are unchanged (one edge swapped
+      // for another).
+      changed = true;
+    }
+  }
+
+  std::int64_t live_edges = 0;
+  for (const auto& [key, count] : edges) {
+    if (count > 0) {
+      live_edges += count;
+      if (key.first != source || key.second != sink) return false;
+    }
+  }
+  return live_edges == 1;
+}
+
+}  // namespace otsched

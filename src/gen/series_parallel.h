@@ -1,0 +1,33 @@
+// Random two-terminal series-parallel DAGs.
+//
+// The conclusion's open questions single out series-parallel DAGs — the
+// natural model of fork-join programs ("spawn"/"sync") — as the next
+// class after out-trees.  This generator builds them by the recursive
+// definition: a single edge (two nodes), a series composition, or a
+// parallel composition of smaller SP graphs, with the recursion shape
+// drawn from the given options.
+#pragma once
+
+#include "common/rng.h"
+#include "dag/dag.h"
+
+namespace otsched {
+
+struct SeriesParallelOptions {
+  /// Approximate node budget for the whole DAG.
+  NodeId size = 64;
+  /// Probability that an internal composition is PARALLEL (else series).
+  double parallel_p = 0.5;
+  /// Maximum branches of one parallel composition.
+  int max_branches = 4;
+};
+
+/// Builds a random two-terminal SP DAG (single source, single sink).
+Dag MakeSeriesParallelDag(const SeriesParallelOptions& options, Rng& rng);
+
+/// True iff `dag` is two-terminal series-parallel: one source, one sink,
+/// and reducible to a single edge by repeatedly (a) contracting series
+/// vertices (in-degree = out-degree = 1) and (b) merging parallel edges.
+bool IsTwoTerminalSeriesParallel(const Dag& dag);
+
+}  // namespace otsched

@@ -1,0 +1,86 @@
+#include "gen/tetris.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "gen/random_trees.h"
+
+namespace otsched {
+namespace {
+
+struct ActivePiece {
+  Time start = 0;           // first column (1-based)
+  Time duration = 0;        // total columns
+  std::vector<NodeId> widths;
+};
+
+}  // namespace
+
+CertifiedInstance MakeTetrisInstance(const TetrisOptions& options, Rng& rng) {
+  OTSCHED_CHECK(options.m >= 1);
+  OTSCHED_CHECK(options.horizon >= 1);
+  OTSCHED_CHECK(options.mean_duration >= 1);
+  OTSCHED_CHECK(options.max_active >= 1 && options.max_active <= options.m,
+                "every active piece needs at least one cell per column");
+
+  CertifiedInstance result;
+  result.opt = 1;
+  std::vector<ActivePiece> active;
+
+  auto draw_duration = [&](Time column) {
+    const Time lo = std::max<Time>(1, options.mean_duration / 2);
+    const Time hi = 2 * options.mean_duration;
+    Time d = rng.next_in_range(lo, hi);
+    return std::min(d, options.horizon - column + 1);
+  };
+
+  auto finalize = [&](ActivePiece& piece) {
+    Dag forest = MakeLayeredRandomTree(piece.widths, rng);
+    result.opt = std::max(result.opt, piece.duration);
+    result.instance.add_job(Job(std::move(forest), piece.start - 1));
+  };
+
+  for (Time t = 1; t <= options.horizon; ++t) {
+    // Retire pieces that ended at t-1.
+    for (auto it = active.begin(); it != active.end();) {
+      if (it->start + it->duration <= t) {
+        finalize(*it);
+        it = active.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Spawn: always keep at least one piece; otherwise spawn with
+    // probability 1/2 while below the cap (and while a new piece could
+    // still fit a column).
+    while (static_cast<int>(active.size()) < options.max_active &&
+           (active.empty() || rng.next_bool(0.5))) {
+      ActivePiece piece;
+      piece.start = t;
+      piece.duration = draw_duration(t);
+      active.push_back(std::move(piece));
+      if (!rng.next_bool(0.5)) break;
+    }
+    // Split this column's m cells: one per active piece, remainder at
+    // random.
+    const auto k = static_cast<int>(active.size());
+    std::vector<NodeId> share(static_cast<std::size_t>(k), 1);
+    for (int extra = options.m - k; extra > 0; --extra) {
+      ++share[static_cast<std::size_t>(rng.next_below(
+          static_cast<std::uint64_t>(k)))];
+    }
+    for (int i = 0; i < k; ++i) {
+      active[static_cast<std::size_t>(i)].widths.push_back(
+          share[static_cast<std::size_t>(i)]);
+    }
+  }
+  for (ActivePiece& piece : active) finalize(piece);
+
+  result.instance.set_name("tetris-packed");
+  OTSCHED_CHECK(result.instance.total_work() ==
+                    static_cast<std::int64_t>(options.m) * options.horizon,
+                "board not fully covered");
+  return result;
+}
+
+}  // namespace otsched

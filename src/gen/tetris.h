@@ -1,0 +1,43 @@
+// Perfectly-packed ("Tetris") instances: the introduction's hardest case.
+//
+// "Intuitively, the hardest instances for a runtime scheduler are those
+// where it is possible to pack/schedule all the jobs relatively soon
+// after they arrive in such a way that the space/schedule is fully
+// packed.  That is, there are never any idle processors."
+//
+// This generator BUILDS the packed schedule first and derives the jobs
+// from it: it sweeps a width-m board column by column, splitting each
+// column's m cells among the active jobs; a job's per-column widths
+// become the level sizes of a layered random out-forest (level t of the
+// tree runs in column t of the witness schedule, so the witness is
+// feasible).  Each job is released one slot before its first column.
+//
+// Certification: the witness schedule gives every job flow exactly its
+// duration D_j, and span(job) = D_j is a per-job lower bound, so
+//   OPT = max_j D_j   EXACTLY,
+// while the witness has ZERO idle processors over the whole horizon —
+// the regime where an online scheduler "can never ever allow a
+// processor to be idle".
+#pragma once
+
+#include "common/rng.h"
+#include "gen/certified.h"
+
+namespace otsched {
+
+struct TetrisOptions {
+  int m = 16;
+  /// Board length in slots; total work is exactly m * horizon.
+  Time horizon = 64;
+  /// Mean job duration (columns); actual durations are uniform in
+  /// [max(1, mean/2), 2*mean], truncated at the board edge.
+  Time mean_duration = 8;
+  /// Maximum simultaneously active jobs (board rows are split at most
+  /// this many ways per column).
+  int max_active = 4;
+};
+
+/// Generates the instance plus its exact OPT (= max duration used).
+CertifiedInstance MakeTetrisInstance(const TetrisOptions& options, Rng& rng);
+
+}  // namespace otsched

@@ -1,0 +1,68 @@
+#include "job/instance.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "dag/validate.h"
+
+namespace otsched {
+
+Instance::Instance(std::vector<Job> jobs, std::string name)
+    : jobs_(std::move(jobs)), name_(std::move(name)) {}
+
+JobId Instance::add_job(Job job) {
+  jobs_.push_back(std::move(job));
+  return static_cast<JobId>(jobs_.size() - 1);
+}
+
+const Job& Instance::job(JobId id) const {
+  OTSCHED_CHECK(id >= 0 && id < job_count(), "job id " << id);
+  return jobs_[static_cast<std::size_t>(id)];
+}
+
+std::int64_t Instance::total_work() const {
+  std::int64_t total = 0;
+  for (const Job& job : jobs_) total += job.work();
+  return total;
+}
+
+std::int64_t Instance::max_span() const {
+  std::int64_t best = 0;
+  for (const Job& job : jobs_) best = std::max(best, job.span());
+  return best;
+}
+
+Time Instance::min_release() const {
+  Time best = jobs_.empty() ? 0 : kInfiniteTime;
+  for (const Job& job : jobs_) best = std::min(best, job.release());
+  return best;
+}
+
+Time Instance::max_release() const {
+  Time best = 0;
+  for (const Job& job : jobs_) best = std::max(best, job.release());
+  return best;
+}
+
+std::vector<JobId> Instance::release_order() const {
+  std::vector<JobId> order(static_cast<std::size_t>(job_count()));
+  for (JobId i = 0; i < job_count(); ++i) order[static_cast<std::size_t>(i)] = i;
+  std::stable_sort(order.begin(), order.end(), [this](JobId a, JobId b) {
+    return job(a).release() < job(b).release();
+  });
+  return order;
+}
+
+bool Instance::all_out_forests() const {
+  return std::all_of(jobs_.begin(), jobs_.end(),
+                     [](const Job& job) { return IsOutForest(job.dag()); });
+}
+
+bool Instance::is_batched(Time quantum) const {
+  OTSCHED_CHECK(quantum > 0);
+  return std::all_of(jobs_.begin(), jobs_.end(), [quantum](const Job& job) {
+    return job.release() % quantum == 0;
+  });
+}
+
+}  // namespace otsched

@@ -1,0 +1,53 @@
+// An Instance is the full online input: a collection of jobs with release
+// times, to be scheduled on m identical processors.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "job/job.h"
+
+namespace otsched {
+
+class Instance {
+ public:
+  Instance() = default;
+  explicit Instance(std::vector<Job> jobs, std::string name = "");
+
+  /// Appends a job; returns its JobId.
+  JobId add_job(Job job);
+
+  JobId job_count() const { return static_cast<JobId>(jobs_.size()); }
+  const Job& job(JobId id) const;
+  const std::vector<Job>& jobs() const { return jobs_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  bool empty() const { return jobs_.empty(); }
+
+  /// Total number of subjobs across all jobs.
+  std::int64_t total_work() const;
+
+  /// Maximum span over jobs (0 for the empty instance).
+  std::int64_t max_span() const;
+
+  /// Earliest and latest release times (0 for the empty instance).
+  Time min_release() const;
+  Time max_release() const;
+
+  /// Job ids sorted by (release, id) — the FIFO priority order.
+  std::vector<JobId> release_order() const;
+
+  /// True iff every job's DAG is an out-forest (Section 5 precondition).
+  bool all_out_forests() const;
+
+  /// True iff all releases are integer multiples of `quantum` (> 0) — the
+  /// batched (quantum = OPT) / semi-batched (quantum = OPT/2) property.
+  bool is_batched(Time quantum) const;
+
+ private:
+  std::vector<Job> jobs_;
+  std::string name_;
+};
+
+}  // namespace otsched

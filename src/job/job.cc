@@ -1,0 +1,21 @@
+#include "job/job.h"
+
+#include "common/assert.h"
+
+namespace otsched {
+
+Job::Job(Dag dag, Time release, std::string name)
+    : dag_(std::make_shared<const Dag>(std::move(dag))),
+      release_(release),
+      name_(std::move(name)) {
+  OTSCHED_CHECK(release >= 0, "release times are nonnegative (Section 3)");
+}
+
+const DagMetrics& Job::metrics() const {
+  if (!metrics_) {
+    metrics_ = std::make_shared<const DagMetrics>(ComputeMetrics(*dag_));
+  }
+  return *metrics_;
+}
+
+}  // namespace otsched

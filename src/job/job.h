@@ -1,0 +1,37 @@
+// A Job is a DAG of unit-time subjobs plus a release time (Section 3).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dag/dag.h"
+#include "dag/metrics.h"
+
+namespace otsched {
+
+class Job {
+ public:
+  Job() = default;
+  Job(Dag dag, Time release, std::string name = "");
+
+  const Dag& dag() const { return *dag_; }
+  Time release() const { return release_; }
+  const std::string& name() const { return name_; }
+
+  /// Lazily-computed metrics (work, span, heights, depths, W(d)); cached
+  /// because many schedulers/analyses consult the same job repeatedly.
+  const DagMetrics& metrics() const;
+
+  std::int64_t work() const { return dag().node_count(); }
+  std::int64_t span() const { return metrics().span; }
+
+ private:
+  // shared_ptr so that Instances can be copied cheaply into sweep workers;
+  // both Dag and DagMetrics are immutable after construction.
+  std::shared_ptr<const Dag> dag_ = std::make_shared<const Dag>();
+  mutable std::shared_ptr<const DagMetrics> metrics_;
+  Time release_ = 0;
+  std::string name_;
+};
+
+}  // namespace otsched

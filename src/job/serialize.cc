@@ -1,0 +1,112 @@
+#include "job/serialize.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace otsched {
+
+std::string InstanceToText(const Instance& instance) {
+  std::ostringstream out;
+  out << "otsched-instance-v1\n";
+  if (!instance.name().empty()) out << "name " << instance.name() << '\n';
+  for (const Job& job : instance.jobs()) {
+    out << "job " << job.release() << ' ' << job.dag().node_count();
+    if (!job.name().empty()) out << ' ' << job.name();
+    out << '\n';
+    const Dag& dag = job.dag();
+    for (NodeId v = 0; v < dag.node_count(); ++v) {
+      for (NodeId c : dag.children(v)) out << v << ' ' << c << '\n';
+    }
+    out << "end\n";
+  }
+  return out.str();
+}
+
+Instance InstanceFromText(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+
+  auto next_line = [&](std::string& out_line) {
+    while (std::getline(in, out_line)) {
+      ++line_number;
+      const std::size_t hash = out_line.find('#');
+      if (hash != std::string::npos) out_line.resize(hash);
+      // Skip whitespace-only lines.
+      if (out_line.find_first_not_of(" \t\r") != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  OTSCHED_CHECK(next_line(line), "empty instance file");
+  {
+    std::istringstream fields(line);
+    std::string magic;
+    fields >> magic;
+    OTSCHED_CHECK(magic == "otsched-instance-v1",
+                  "line " << line_number << ": bad magic '" << magic << "'");
+  }
+
+  Instance instance;
+  while (next_line(line)) {
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+    if (keyword == "name") {
+      std::string name;
+      std::getline(fields, name);
+      const std::size_t start = name.find_first_not_of(' ');
+      instance.set_name(start == std::string::npos ? ""
+                                                   : name.substr(start));
+    } else if (keyword == "job") {
+      Time release = -1;
+      NodeId node_count = -1;
+      OTSCHED_CHECK(static_cast<bool>(fields >> release >> node_count),
+                    "line " << line_number << ": job needs release and size");
+      OTSCHED_CHECK(release >= 0 && node_count >= 1,
+                    "line " << line_number << ": bad job header");
+      std::string job_name;
+      fields >> job_name;
+
+      Dag::Builder builder(node_count);
+      while (true) {
+        OTSCHED_CHECK(next_line(line),
+                      "unterminated job started before line " << line_number);
+        if (line.rfind("end", 0) == 0) break;
+        std::istringstream edge(line);
+        NodeId from = kInvalidNode;
+        NodeId to = kInvalidNode;
+        OTSCHED_CHECK(static_cast<bool>(edge >> from >> to),
+                      "line " << line_number << ": expected an edge or 'end'");
+        builder.add_edge(from, to);
+      }
+      instance.add_job(Job(std::move(builder).build(), release, job_name));
+    } else {
+      OTSCHED_CHECK(false,
+                    "line " << line_number << ": unknown keyword '"
+                            << keyword << "'");
+    }
+  }
+  return instance;
+}
+
+void SaveInstance(const Instance& instance, const std::string& path) {
+  std::ofstream out(path);
+  OTSCHED_CHECK(out.good(), "cannot open " << path << " for writing");
+  out << InstanceToText(instance);
+  OTSCHED_CHECK(out.good(), "write failure on " << path);
+}
+
+Instance LoadInstance(const std::string& path) {
+  std::ifstream in(path);
+  OTSCHED_CHECK(in.good(), "cannot open " << path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return InstanceFromText(buffer.str());
+}
+
+}  // namespace otsched

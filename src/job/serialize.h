@@ -1,0 +1,33 @@
+// Text serialization of whole instances (jobs + releases), so workloads
+// can be saved, shipped, and replayed bit-identically — including the
+// materialized Section 4 adversarial instances, which are expensive to
+// regenerate at large m.
+//
+// Format (line oriented; '#' starts a comment):
+//   otsched-instance-v1
+//   name <instance name, may contain spaces>
+//   job <release> <node_count> [job name]
+//   <from> <to>          (one edge per line, node ids within the job)
+//   ...
+//   end
+//   job ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "job/instance.h"
+
+namespace otsched {
+
+std::string InstanceToText(const Instance& instance);
+
+/// Parses the format above; aborts with a line diagnostic on malformed
+/// input.
+Instance InstanceFromText(const std::string& text);
+
+/// Convenience file wrappers (abort on I/O errors).
+void SaveInstance(const Instance& instance, const std::string& path);
+Instance LoadInstance(const std::string& path);
+
+}  // namespace otsched

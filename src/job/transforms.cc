@@ -1,0 +1,68 @@
+#include "job/transforms.h"
+
+#include <map>
+
+#include "common/assert.h"
+
+namespace otsched {
+
+Instance RoundReleasesUp(const Instance& instance, Time quantum) {
+  OTSCHED_CHECK(quantum > 0);
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(instance.job_count()));
+  for (const Job& job : instance.jobs()) {
+    const Time rounded =
+        ((job.release() + quantum - 1) / quantum) * quantum;
+    jobs.emplace_back(Dag(job.dag()), rounded, job.name());
+  }
+  Instance result(std::move(jobs), instance.name());
+  return result;
+}
+
+Instance UnionPerRelease(const Instance& instance, UnionMapping* mapping) {
+  // Group job ids by release, keeping release order.
+  std::map<Time, std::vector<JobId>> groups;
+  for (JobId id = 0; id < instance.job_count(); ++id) {
+    groups[instance.job(id).release()].push_back(id);
+  }
+
+  Instance result;
+  result.set_name(instance.name());
+  if (mapping != nullptr) mapping->original_refs.clear();
+
+  for (const auto& [release, ids] : groups) {
+    std::vector<Dag> parts;
+    parts.reserve(ids.size());
+    for (JobId id : ids) parts.push_back(instance.job(id).dag());
+    std::vector<NodeId> offsets;
+    Dag merged = DisjointUnion(parts, &offsets);
+
+    if (mapping != nullptr) {
+      std::vector<SubjobRef> refs(
+          static_cast<std::size_t>(merged.node_count()));
+      for (std::size_t p = 0; p < ids.size(); ++p) {
+        const NodeId count = parts[p].node_count();
+        for (NodeId v = 0; v < count; ++v) {
+          refs[static_cast<std::size_t>(offsets[p] + v)] =
+              SubjobRef{ids[p], v};
+        }
+      }
+      mapping->original_refs.push_back(std::move(refs));
+    }
+    result.add_job(Job(std::move(merged), release));
+  }
+  return result;
+}
+
+Instance ShiftReleases(const Instance& instance, Time delta) {
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(instance.job_count()));
+  for (const Job& job : instance.jobs()) {
+    const Time shifted = job.release() + delta;
+    OTSCHED_CHECK(shifted >= 0, "shift makes release negative");
+    jobs.emplace_back(Dag(job.dag()), shifted, job.name());
+  }
+  return Instance(std::move(jobs), instance.name());
+}
+
+}  // namespace otsched

@@ -1,0 +1,40 @@
+// Instance transforms used by the Section 5.4 and Section 6 reductions.
+//
+//  * RoundReleasesUp — the batching reduction: a job released at r is
+//    treated as released at the next multiple of `quantum` (Section 5.4:
+//    "The job that arrives at time i*OPT in I' is the union over all jobs
+//    that arrived between (i-1)*OPT + 1 and i*OPT in I").  Job identities
+//    are preserved; only releases move, so flows measured against ORIGINAL
+//    releases differ by at most `quantum - 1`.
+//  * UnionPerRelease — merges all jobs sharing a release time into one job
+//    whose DAG is the disjoint union ("we will view all the jobs arriving
+//    at the same time as being one job", Section 5.3).  Returns the mapping
+//    from merged nodes back to (original job, original node).
+#pragma once
+
+#include <vector>
+
+#include "job/instance.h"
+
+namespace otsched {
+
+/// Rounds every release up to the next multiple of `quantum` (releases that
+/// already are multiples stay put).  quantum must be positive.
+Instance RoundReleasesUp(const Instance& instance, Time quantum);
+
+/// Mapping from a merged instance back to the original one.
+struct UnionMapping {
+  /// For merged job k, original_refs[k][v] is the (job, node) in the
+  /// source instance that merged node v corresponds to.
+  std::vector<std::vector<SubjobRef>> original_refs;
+};
+
+/// Merges jobs with equal release times into single jobs (disjoint unions,
+/// ordered by release).  The merged instance has one job per distinct
+/// release time.
+Instance UnionPerRelease(const Instance& instance, UnionMapping* mapping);
+
+/// Shifts all release times by `delta` (must keep them nonnegative).
+Instance ShiftReleases(const Instance& instance, Time delta);
+
+}  // namespace otsched

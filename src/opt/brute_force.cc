@@ -1,0 +1,216 @@
+#include "opt/brute_force.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.h"
+#include "opt/lower_bounds.h"
+
+namespace otsched {
+namespace {
+
+// Flattened instance: nodes across all jobs mapped into [0, total).
+struct Flat {
+  int total = 0;
+  int m = 0;
+  std::vector<int> job_of;            // node -> job index
+  std::vector<Time> release_of_job;   // job -> release
+  std::vector<std::vector<int>> parents;
+  std::vector<int> height;            // longest path to a leaf (nodes)
+  std::vector<std::int64_t> job_work;
+};
+
+Flat Flatten(const Instance& instance, int m) {
+  Flat flat;
+  flat.m = m;
+  for (JobId id = 0; id < instance.job_count(); ++id) {
+    const Job& job = instance.job(id);
+    const int base = flat.total;
+    flat.total += job.dag().node_count();
+    flat.release_of_job.push_back(job.release());
+    flat.job_work.push_back(job.work());
+    for (NodeId v = 0; v < job.dag().node_count(); ++v) {
+      flat.job_of.push_back(id);
+      flat.parents.emplace_back();
+      flat.height.push_back(
+          job.metrics().height[static_cast<std::size_t>(v)]);
+      for (NodeId p : job.dag().parents(v)) {
+        flat.parents.back().push_back(base + p);
+      }
+    }
+  }
+  return flat;
+}
+
+class Search {
+ public:
+  Search(const Flat& flat, const BruteForceLimits& limits)
+      : flat_(flat),
+        limits_(limits),
+        deadline_(flat.release_of_job.size(), 0) {}
+
+  bool feasible(Time flow_bound) {
+    dead_from_.clear();
+    states_ = 0;
+    for (std::size_t j = 0; j < flat_.release_of_job.size(); ++j) {
+      deadline_[j] = flat_.release_of_job[j] + flow_bound;
+    }
+    return dfs(1, 0);
+  }
+
+ private:
+  using Mask = std::uint64_t;
+
+  Mask full_mask() const {
+    return flat_.total == 64 ? ~Mask{0} : ((Mask{1} << flat_.total) - 1);
+  }
+
+  bool dfs(Time slot, Mask executed) {
+    if (executed == full_mask()) return true;
+    OTSCHED_CHECK(++states_ <= limits_.max_states,
+                  "brute force exceeded state budget; shrink the instance");
+
+    // Feasibility from (slot, mask) is monotone in slot: infeasible states
+    // stay infeasible when less time remains.  So one Time per mask
+    // memoizes all dead (slot, mask) pairs soundly.
+    const auto dead_it = dead_from_.find(executed);
+    if (dead_it != dead_from_.end() && slot >= dead_it->second) return false;
+
+    std::vector<std::int64_t> remaining(flat_.job_work.size(), 0);
+    for (int v = 0; v < flat_.total; ++v) {
+      if (!(executed >> v & 1)) {
+        ++remaining[static_cast<std::size_t>(
+            flat_.job_of[static_cast<std::size_t>(v)])];
+      }
+    }
+
+    std::vector<int> ready;
+    for (int v = 0; v < flat_.total; ++v) {
+      if (executed >> v & 1) continue;
+      const int job = flat_.job_of[static_cast<std::size_t>(v)];
+      if (flat_.release_of_job[static_cast<std::size_t>(job)] >= slot) {
+        continue;
+      }
+      bool ok = true;
+      for (int p : flat_.parents[static_cast<std::size_t>(v)]) {
+        if (!(executed >> p & 1)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) ready.push_back(v);
+    }
+
+    bool prunable = false;
+    for (std::size_t j = 0; j < remaining.size() && !prunable; ++j) {
+      if (remaining[j] == 0) continue;
+      const Time window = deadline_[j] - (slot - 1);
+      // Remaining work must fit the job's own deadline window.
+      if ((remaining[j] + flat_.m - 1) / flat_.m > window) prunable = true;
+      // Remaining longest path must fit too: executed sets are downward
+      // closed, so every unexecuted node of j sits under some ready node
+      // of j, and the remaining span is the max ready-node height in j.
+      Time span_needed = 0;
+      for (int v : ready) {
+        if (flat_.job_of[static_cast<std::size_t>(v)] ==
+            static_cast<int>(j)) {
+          span_needed = std::max<Time>(
+              span_needed, flat_.height[static_cast<std::size_t>(v)]);
+        }
+      }
+      if (span_needed > window) prunable = true;
+    }
+    if (prunable) {
+      mark_dead(executed, slot);
+      return false;
+    }
+
+    if (ready.empty()) {
+      // Nothing can run; fast-forward to the next release.
+      Time next = kInfiniteTime;
+      for (std::size_t j = 0; j < remaining.size(); ++j) {
+        if (remaining[j] > 0 && flat_.release_of_job[j] >= slot) {
+          next = std::min(next, flat_.release_of_job[j] + 1);
+        }
+      }
+      if (next == kInfiniteTime) return false;  // stuck with work left
+      return dfs(next, executed);
+    }
+
+    const int k = std::min<int>(flat_.m, static_cast<int>(ready.size()));
+    std::vector<int> choice(static_cast<std::size_t>(k));
+    // Maximal steps are WLOG for unit tasks, so branch only over WHICH k
+    // ready nodes run.
+    const bool found = enumerate(slot, executed, ready, choice, 0, 0);
+    if (!found) mark_dead(executed, slot);
+    return found;
+  }
+
+  void mark_dead(Mask executed, Time slot) {
+    auto [it, inserted] = dead_from_.try_emplace(executed, slot);
+    if (!inserted) it->second = std::min(it->second, slot);
+  }
+
+  bool enumerate(Time slot, Mask executed, const std::vector<int>& ready,
+                 std::vector<int>& choice, std::size_t depth,
+                 std::size_t start) {
+    if (depth == choice.size()) {
+      Mask next = executed;
+      for (int v : choice) next |= Mask{1} << v;
+      return dfs(slot + 1, next);
+    }
+    const std::size_t needed = choice.size() - depth;
+    for (std::size_t i = start; ready.size() - i >= needed; ++i) {
+      choice[depth] = ready[i];
+      if (enumerate(slot, executed, ready, choice, depth + 1, i + 1)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const Flat& flat_;
+  const BruteForceLimits& limits_;
+  std::vector<Time> deadline_;
+  std::unordered_map<Mask, Time> dead_from_;
+  std::int64_t states_ = 0;
+};
+
+}  // namespace
+
+bool BruteForceFeasible(const Instance& instance, int m, Time flow_bound,
+                        const BruteForceLimits& limits) {
+  OTSCHED_CHECK(m >= 1);
+  OTSCHED_CHECK(instance.total_work() <= limits.max_total_nodes,
+                "instance too large for brute force: "
+                    << instance.total_work() << " nodes");
+  OTSCHED_CHECK(limits.max_total_nodes <= 64,
+                "bitmask state limits brute force to 64 nodes");
+  if (instance.job_count() == 0) return true;
+  const Flat flat = Flatten(instance, m);
+  Search search(flat, limits);
+  return search.feasible(flow_bound);
+}
+
+Time BruteForceOpt(const Instance& instance, int m,
+                   const BruteForceLimits& limits) {
+  if (instance.job_count() == 0) return 0;
+  Time lo = MaxFlowLowerBound(instance, m);
+  // A serial schedule finishes all work within total_work slots of the
+  // last release, so OPT is at most:
+  Time hi = instance.max_release() - instance.min_release() +
+            instance.total_work();
+  hi = std::max(hi, lo);
+  while (lo < hi) {
+    const Time mid = lo + (hi - lo) / 2;
+    if (BruteForceFeasible(instance, m, mid, limits)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace otsched

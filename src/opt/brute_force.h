@@ -1,0 +1,41 @@
+// Exact optimal maximum flow by exhaustive search, for tiny instances.
+//
+// Used only in tests, to certify that (a) the lower bounds in
+// lower_bounds.h never exceed true OPT, (b) Corollary 5.4 matches true OPT
+// on single-batch out-forests, and (c) Algorithm A's flows stay within the
+// proven factor of true OPT on small inputs.
+//
+// Method: binary search on the flow bound F.  Feasibility of F is decided
+// by depth-first search over (slot, executed-set) states with memoized
+// dead states.  Two standard reductions keep the search small:
+//  * maximal steps are WLOG: executing more ready subjobs in a slot never
+//    hurts (unit tasks, capacity is the only resource), so each slot runs
+//    exactly min(m, |ready|) subjobs and branching is only over WHICH;
+//  * per-job pruning: a job whose remaining longest path (or remaining
+//    work / m) exceeds its remaining deadline window kills the branch.
+#pragma once
+
+#include <cstdint>
+
+#include "job/instance.h"
+
+namespace otsched {
+
+struct BruteForceLimits {
+  /// Hard cap on total subjobs across all jobs (the state is a bitmask).
+  int max_total_nodes = 30;
+  /// Abort the search (with a CHECK failure) past this many explored
+  /// states: exceeding it means the test instance is too big, not that the
+  /// answer is unknowable.
+  std::int64_t max_states = 20'000'000;
+};
+
+/// Exact OPT[I, m].  Aborts if the instance exceeds the limits.
+Time BruteForceOpt(const Instance& instance, int m,
+                   const BruteForceLimits& limits = {});
+
+/// Decision version: is there a schedule with maximum flow <= flow_bound?
+bool BruteForceFeasible(const Instance& instance, int m, Time flow_bound,
+                        const BruteForceLimits& limits = {});
+
+}  // namespace otsched

@@ -1,0 +1,95 @@
+#include "opt/lower_bounds.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/assert.h"
+
+namespace otsched {
+
+Time LowerBounds::best() const {
+  return std::max({span_bound, work_bound, depth_profile_bound,
+                   interval_bound, depth_interval_bound});
+}
+
+Time DepthProfileBound(const Job& job, int m) {
+  OTSCHED_CHECK(m >= 1);
+  const DagMetrics& metrics = job.metrics();
+  Time best = 0;
+  for (std::int64_t d = 0; d <= metrics.span; ++d) {
+    const std::int64_t w = metrics.w_deeper(d);
+    const Time bound = d + (w + m - 1) / m;
+    best = std::max(best, bound);
+  }
+  return best;
+}
+
+LowerBounds ComputeLowerBounds(const Instance& instance, int m) {
+  OTSCHED_CHECK(m >= 1);
+  LowerBounds bounds;
+  for (const Job& job : instance.jobs()) {
+    bounds.span_bound = std::max<Time>(bounds.span_bound, job.span());
+    bounds.work_bound =
+        std::max<Time>(bounds.work_bound, (job.work() + m - 1) / m);
+    bounds.depth_profile_bound =
+        std::max(bounds.depth_profile_bound, DepthProfileBound(job, m));
+  }
+
+  // Interval bound over distinct release times, via a prefix sum of work
+  // in release order.
+  std::map<Time, std::int64_t> work_at_release;
+  for (const Job& job : instance.jobs()) {
+    work_at_release[job.release()] += job.work();
+  }
+  std::vector<Time> releases;
+  std::vector<std::int64_t> prefix = {0};
+  releases.reserve(work_at_release.size());
+  for (const auto& [release, work] : work_at_release) {
+    releases.push_back(release);
+    prefix.push_back(prefix.back() + work);
+  }
+  for (std::size_t a = 0; a < releases.size(); ++a) {
+    for (std::size_t b = a; b < releases.size(); ++b) {
+      const std::int64_t window_work = prefix[b + 1] - prefix[a];
+      const Time bound =
+          (window_work + m - 1) / m - (releases[b] - releases[a]);
+      bounds.interval_bound = std::max(bounds.interval_bound, bound);
+    }
+  }
+
+  // Combined depth x interval bound.  For each window [a, b] sum the
+  // depth profiles of its jobs and scan d up to the window's max span.
+  // O(R^2 * maxspan) over distinct release times — the experiment
+  // instance families keep this tiny.
+  const std::int64_t max_span = instance.max_span();
+  std::vector<std::int64_t> window_profile;
+  for (std::size_t a = 0; a < releases.size(); ++a) {
+    window_profile.assign(static_cast<std::size_t>(max_span) + 1, 0);
+    for (std::size_t b = a; b < releases.size(); ++b) {
+      // Add jobs released exactly at releases[b] to the running profile.
+      for (const Job& job : instance.jobs()) {
+        if (job.release() != releases[b]) continue;
+        const DagMetrics& metrics = job.metrics();
+        for (std::int64_t d = 0; d <= metrics.span; ++d) {
+          window_profile[static_cast<std::size_t>(d)] +=
+              metrics.w_deeper(d);
+        }
+      }
+      const Time width = releases[b] - releases[a];
+      for (std::int64_t d = 0; d <= max_span; ++d) {
+        const std::int64_t w = window_profile[static_cast<std::size_t>(d)];
+        if (w == 0) break;  // profiles are non-increasing in d
+        const Time bound = d + (w + m - 1) / m - width;
+        bounds.depth_interval_bound =
+            std::max(bounds.depth_interval_bound, bound);
+      }
+    }
+  }
+  return bounds;
+}
+
+Time MaxFlowLowerBound(const Instance& instance, int m) {
+  return ComputeLowerBounds(instance, m).best();
+}
+
+}  // namespace otsched

@@ -1,0 +1,51 @@
+// Lower bounds on the optimal maximum flow OPT[I, m].
+//
+// Competitive ratios reported by the experiment harnesses divide by a
+// certified OPT when the generator provides one, and otherwise by the max
+// of these lower bounds — so measured ratios are never flattering.
+//
+//   span bound      F >= P_i for each job (Section 3),
+//   work bound      F >= ceil(W_i / m) for each job (Section 3),
+//   depth profile   F >= d + ceil(W_i(d) / m) for each job and every depth
+//                   d (Lemma 5.1),
+//   interval bound  for release times a <= b, all work released in [a, b]
+//                   must fit into m * (b - a + F) processor-slots, so
+//                   F >= ceil(W[a,b] / m) - (b - a).
+#pragma once
+
+#include <cstdint>
+
+#include "job/instance.h"
+
+namespace otsched {
+
+struct LowerBounds {
+  Time span_bound = 0;
+  Time work_bound = 0;
+  Time depth_profile_bound = 0;  // Lemma 5.1 per job
+  Time interval_bound = 0;
+  /// Combined depth x interval bound: for release times a <= b and any
+  /// depth d, subjobs of depth > d from jobs released in [a, b] cannot
+  /// start before their release + d and must finish by b + F, so
+  ///   F >= d + ceil( sum_{r_i in [a,b]} W_i(d) / m ) - (b - a).
+  /// Strictly generalizes both the interval bound (d = 0) and the
+  /// per-job Lemma 5.1 bound (a = b = r_i).
+  Time depth_interval_bound = 0;
+
+  Time best() const;
+};
+
+/// Computes all bounds.  The interval bound enumerates pairs of distinct
+/// release times, which is O(R^2) in the number of distinct releases with
+/// prefix sums — fine for every instance family used here.
+LowerBounds ComputeLowerBounds(const Instance& instance, int m);
+
+/// Shorthand for ComputeLowerBounds(...).best().
+Time MaxFlowLowerBound(const Instance& instance, int m);
+
+/// Lemma 5.1 bound for a single job: max_d (d + ceil(W(d)/m)) over
+/// d in [0, span].  For an out-forest released alone this equals OPT
+/// exactly (Corollary 5.4).
+Time DepthProfileBound(const Job& job, int m);
+
+}  // namespace otsched

@@ -1,0 +1,19 @@
+#include "opt/single_batch.h"
+
+#include "common/assert.h"
+#include "dag/validate.h"
+#include "opt/lower_bounds.h"
+
+namespace otsched {
+
+Time SingleBatchOpt(const Job& job, int m) {
+  OTSCHED_CHECK(IsOutForest(job.dag()),
+                "Corollary 5.4 requires an out-forest");
+  return DepthProfileBound(job, m);
+}
+
+Time SingleBatchOpt(const Dag& dag, int m) {
+  return SingleBatchOpt(Job(Dag(dag), 0), m);
+}
+
+}  // namespace otsched

@@ -1,0 +1,22 @@
+// Exact optimum for a single out-forest released at one time.
+//
+// Corollary 5.4: for an out-forest J on m processors,
+//     OPT = max_{d in [0, D]} ( d + ceil(W(d) / m) ),
+// where W(d) is the number of subjobs at depth strictly greater than d.
+// The LPF schedule attains this value (Lemma 5.3), so the formula is both
+// a lower bound and achievable.
+#pragma once
+
+#include "job/job.h"
+
+namespace otsched {
+
+/// Exact OPT for the out-forest `job` alone on m processors (Corollary
+/// 5.4).  Aborts if the DAG is not an out-forest: the formula is only a
+/// lower bound for general DAGs (use DepthProfileBound for those).
+Time SingleBatchOpt(const Job& job, int m);
+
+/// The same value computed from a bare DAG.
+Time SingleBatchOpt(const Dag& dag, int m);
+
+}  // namespace otsched

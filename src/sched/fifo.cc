@@ -1,0 +1,113 @@
+#include "sched/fifo.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace otsched {
+
+const char* ToString(FifoTieBreak tie_break) {
+  switch (tie_break) {
+    case FifoTieBreak::kFirstReady:
+      return "first-ready";
+    case FifoTieBreak::kLastReady:
+      return "last-ready";
+    case FifoTieBreak::kRandom:
+      return "random";
+    case FifoTieBreak::kAvoidMarked:
+      return "avoid-marked";
+    case FifoTieBreak::kLpfHeight:
+      return "lpf-height";
+    case FifoTieBreak::kMostChildren:
+      return "most-children";
+  }
+  return "?";
+}
+
+FifoScheduler::FifoScheduler(Options options)
+    : options_(std::move(options)), rng_(options_.seed) {
+  if (options_.tie_break == FifoTieBreak::kAvoidMarked) {
+    OTSCHED_CHECK(options_.deprioritize != nullptr,
+                  "kAvoidMarked needs a deprioritize predicate");
+  }
+}
+
+std::string FifoScheduler::name() const {
+  return std::string("fifo/") + ToString(options_.tie_break);
+}
+
+bool FifoScheduler::requires_clairvoyance() const {
+  return options_.tie_break == FifoTieBreak::kLpfHeight ||
+         options_.tie_break == FifoTieBreak::kMostChildren;
+}
+
+void FifoScheduler::reset(int m, JobId job_count) {
+  (void)m;
+  (void)job_count;
+  rng_ = Rng(options_.seed);
+}
+
+void FifoScheduler::choose(const SchedulerView& view, JobId job,
+                           std::span<const NodeId> ready, int count,
+                           std::vector<SubjobRef>& out) {
+  OTSCHED_DCHECK(count >= 0 &&
+                 static_cast<std::size_t>(count) <= ready.size());
+  scratch_.assign(ready.begin(), ready.end());
+  switch (options_.tie_break) {
+    case FifoTieBreak::kFirstReady:
+      break;
+    case FifoTieBreak::kLastReady:
+      std::reverse(scratch_.begin(), scratch_.end());
+      break;
+    case FifoTieBreak::kRandom:
+      rng_.shuffle(scratch_);
+      break;
+    case FifoTieBreak::kAvoidMarked:
+      // Unmarked first; within each class keep ready-list order.
+      std::stable_partition(scratch_.begin(), scratch_.end(),
+                            [&](NodeId v) {
+                              return !options_.deprioritize(job, v);
+                            });
+      break;
+    case FifoTieBreak::kLpfHeight: {
+      const auto& height = view.metrics(job).height;
+      std::stable_sort(scratch_.begin(), scratch_.end(),
+                       [&](NodeId a, NodeId b) {
+                         return height[static_cast<std::size_t>(a)] >
+                                height[static_cast<std::size_t>(b)];
+                       });
+      break;
+    }
+    case FifoTieBreak::kMostChildren: {
+      const Dag& dag = view.dag(job);
+      std::stable_sort(scratch_.begin(), scratch_.end(),
+                       [&](NodeId a, NodeId b) {
+                         return dag.out_degree(a) > dag.out_degree(b);
+                       });
+      break;
+    }
+  }
+  for (int i = 0; i < count; ++i) {
+    out.push_back(SubjobRef{job, scratch_[static_cast<std::size_t>(i)]});
+  }
+}
+
+void FifoScheduler::pick(const SchedulerView& view,
+                         std::vector<SubjobRef>& out) {
+  int available = view.m();
+  for (JobId job : view.alive()) {
+    if (available == 0) break;
+    const auto ready = view.ready(job);
+    if (ready.empty()) continue;
+    const int take = std::min<int>(available, static_cast<int>(ready.size()));
+    if (take == static_cast<int>(ready.size())) {
+      // Whole ready set fits: order within the slot does not matter.
+      for (NodeId v : ready) out.push_back(SubjobRef{job, v});
+    } else {
+      choose(view, job, ready, take, out);
+    }
+    available -= take;
+  }
+}
+
+}  // namespace otsched

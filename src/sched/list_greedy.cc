@@ -1,0 +1,27 @@
+#include "sched/list_greedy.h"
+
+namespace otsched {
+
+ListGreedyScheduler::ListGreedyScheduler(std::uint64_t seed)
+    : seed_(seed), rng_(seed) {}
+
+void ListGreedyScheduler::reset(int m, JobId job_count) {
+  (void)m;
+  (void)job_count;
+  rng_ = Rng(seed_);
+}
+
+void ListGreedyScheduler::pick(const SchedulerView& view,
+                               std::vector<SubjobRef>& out) {
+  pool_.clear();
+  for (JobId job : view.alive()) {
+    for (NodeId v : view.ready(job)) pool_.push_back(SubjobRef{job, v});
+  }
+  if (static_cast<int>(pool_.size()) > view.m()) {
+    rng_.shuffle(pool_);
+    pool_.resize(static_cast<std::size_t>(view.m()));
+  }
+  out.insert(out.end(), pool_.begin(), pool_.end());
+}
+
+}  // namespace otsched

@@ -1,0 +1,54 @@
+#include "sched/remaining_work.h"
+
+#include <algorithm>
+
+namespace otsched {
+
+RemainingWorkScheduler::RemainingWorkScheduler(RemainingWorkOrder order)
+    : order_(order) {}
+
+std::string RemainingWorkScheduler::name() const {
+  return order_ == RemainingWorkOrder::kSmallestFirst
+             ? "srpt-like"
+             : "largest-remaining-first";
+}
+
+void RemainingWorkScheduler::pick(const SchedulerView& view,
+                                  std::vector<SubjobRef>& out) {
+  const auto alive = view.alive();
+  order_scratch_.assign(alive.begin(), alive.end());
+  std::stable_sort(order_scratch_.begin(), order_scratch_.end(),
+                   [&](JobId a, JobId b) {
+                     const auto wa = view.remaining_work(a);
+                     const auto wb = view.remaining_work(b);
+                     return order_ == RemainingWorkOrder::kSmallestFirst
+                                ? wa < wb
+                                : wa > wb;
+                   });
+
+  int available = view.m();
+  for (JobId job : order_scratch_) {
+    if (available == 0) break;
+    const auto ready = view.ready(job);
+    if (ready.empty()) continue;
+    const int take = std::min<int>(available, static_cast<int>(ready.size()));
+    if (take < static_cast<int>(ready.size())) {
+      // Intra-job: LPF (height-first), the Section 5 shaping rule.
+      const auto& height = view.metrics(job).height;
+      ready_scratch_.assign(ready.begin(), ready.end());
+      std::stable_sort(ready_scratch_.begin(), ready_scratch_.end(),
+                       [&](NodeId a, NodeId b) {
+                         return height[static_cast<std::size_t>(a)] >
+                                height[static_cast<std::size_t>(b)];
+                       });
+      for (int k = 0; k < take; ++k) {
+        out.push_back(SubjobRef{job, ready_scratch_[static_cast<std::size_t>(k)]});
+      }
+    } else {
+      for (NodeId v : ready) out.push_back(SubjobRef{job, v});
+    }
+    available -= take;
+  }
+}
+
+}  // namespace otsched

@@ -1,0 +1,35 @@
+// Remaining-work job priorities: SRPT-style (smallest remaining work
+// first) and its antithesis (largest remaining first).
+//
+// SRPT is the classic average-flow workhorse; for MAXIMUM flow it is
+// known to starve large jobs.  Including both makes the experiment tables
+// show why age priority (FIFO) — not size priority — is the right
+// inter-job rule for the l_inf objective, which is the premise the paper
+// starts from.  Intra-job choice is LPF (height-first), so these are
+// clairvoyant policies.
+#pragma once
+
+#include "sim/engine.h"
+
+namespace otsched {
+
+enum class RemainingWorkOrder {
+  kSmallestFirst,  // SRPT-like
+  kLargestFirst,
+};
+
+class RemainingWorkScheduler : public Scheduler {
+ public:
+  explicit RemainingWorkScheduler(RemainingWorkOrder order);
+
+  std::string name() const override;
+  bool requires_clairvoyance() const override { return true; }
+  void pick(const SchedulerView& view, std::vector<SubjobRef>& out) override;
+
+ private:
+  RemainingWorkOrder order_;
+  std::vector<JobId> order_scratch_;
+  std::vector<NodeId> ready_scratch_;
+};
+
+}  // namespace otsched

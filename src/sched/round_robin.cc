@@ -1,0 +1,58 @@
+#include "sched/round_robin.h"
+
+#include <algorithm>
+
+namespace otsched {
+
+void RoundRobinScheduler::reset(int m, JobId job_count) {
+  (void)m;
+  (void)job_count;
+  rotation_ = 0;
+}
+
+void RoundRobinScheduler::pick(const SchedulerView& view,
+                               std::vector<SubjobRef>& out) {
+  const auto alive = view.alive();
+  if (alive.empty()) return;
+  const std::size_t n = alive.size();
+  const int m = view.m();
+
+  // Phase 1: equal shares, remainder assigned starting at the rotation
+  // cursor so no job is systematically favoured.
+  const int base = m / static_cast<int>(n);
+  const int extras = m % static_cast<int>(n);
+  int available = m;
+  for (std::size_t i = 0; i < n && available > 0; ++i) {
+    const JobId job = alive[(rotation_ + i) % n];
+    int quota = base + (static_cast<int>(i) < extras ? 1 : 0);
+    quota = std::min(quota, available);
+    const auto ready = view.ready(job);
+    const int take = std::min<int>(quota, static_cast<int>(ready.size()));
+    for (int k = 0; k < take; ++k) {
+      out.push_back(SubjobRef{job, ready[static_cast<std::size_t>(k)]});
+    }
+    available -= take;
+  }
+
+  // Phase 2: redistribute unused shares greedily (stay work-conserving).
+  for (std::size_t i = 0; i < n && available > 0; ++i) {
+    const JobId job = alive[(rotation_ + i) % n];
+    const auto ready = view.ready(job);
+    // Count how many of this job's ready subjobs were already taken in
+    // phase 1: they sit at the front of the ready list.
+    int already = 0;
+    for (const SubjobRef& ref : out) {
+      if (ref.job == job) ++already;
+    }
+    const int more = std::min<int>(available,
+                                   static_cast<int>(ready.size()) - already);
+    for (int k = 0; k < more; ++k) {
+      out.push_back(
+          SubjobRef{job, ready[static_cast<std::size_t>(already + k)]});
+    }
+    available -= std::max(0, more);
+  }
+  ++rotation_;
+}
+
+}  // namespace otsched

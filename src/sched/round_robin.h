@@ -1,0 +1,24 @@
+// Processor-sharing baseline ("EQUI"): each alive job gets an equal share
+// of the m processors each slot, with the remainder rotating round-robin
+// and unused shares redistributed greedily.  This is the classic fair
+// policy from the speed-up curves literature (Section 2) transplanted to
+// the DAG model; it is work-conserving but ignores age entirely.
+#pragma once
+
+#include "sim/engine.h"
+
+namespace otsched {
+
+class RoundRobinScheduler : public Scheduler {
+ public:
+  RoundRobinScheduler() = default;
+
+  std::string name() const override { return "round-robin-equi"; }
+  void reset(int m, JobId job_count) override;
+  void pick(const SchedulerView& view, std::vector<SubjobRef>& out) override;
+
+ private:
+  std::size_t rotation_ = 0;
+};
+
+}  // namespace otsched

@@ -1,0 +1,82 @@
+#include "sched/work_stealing.h"
+
+#include "common/assert.h"
+
+namespace otsched {
+
+WorkStealingScheduler::WorkStealingScheduler(Options options)
+    : options_(options), rng_(options.seed) {
+  OTSCHED_CHECK(options_.steal_attempts >= 1);
+}
+
+void WorkStealingScheduler::reset(int m, JobId job_count) {
+  rng_ = Rng(options_.seed);
+  deques_.assign(static_cast<std::size_t>(m), {});
+  pending_parents_.assign(static_cast<std::size_t>(job_count), {});
+  failed_steals_ = 0;
+}
+
+void WorkStealingScheduler::on_arrival(JobId id, const SchedulerView& view) {
+  const Dag& dag = view.dag(id);
+  auto& pending = pending_parents_[static_cast<std::size_t>(id)];
+  pending.resize(static_cast<std::size_t>(dag.node_count()));
+  // The runtime is handed the job's roots; everything deeper is
+  // discovered by executing parents.
+  auto& home =
+      deques_[static_cast<std::size_t>(rng_.next_below(deques_.size()))];
+  for (NodeId v = 0; v < dag.node_count(); ++v) {
+    pending[static_cast<std::size_t>(v)] = dag.in_degree(v);
+    if (dag.in_degree(v) == 0) home.push_back(SubjobRef{id, v});
+  }
+}
+
+void WorkStealingScheduler::pick(const SchedulerView& view,
+                                 std::vector<SubjobRef>& out) {
+  const std::size_t m = deques_.size();
+
+  // Phase 1: every worker selects at most one subjob.  Selections happen
+  // sequentially (worker 0 first), which resolves steal races the way a
+  // serialization of one superstep would.
+  std::vector<SubjobRef> executed_by(m, SubjobRef{});
+  std::vector<char> busy(m, 0);
+  for (std::size_t w = 0; w < m; ++w) {
+    SubjobRef chosen{};
+    if (!deques_[w].empty()) {
+      chosen = deques_[w].back();
+      deques_[w].pop_back();
+    } else {
+      for (int attempt = 0; attempt < options_.steal_attempts; ++attempt) {
+        const std::size_t victim = static_cast<std::size_t>(
+            rng_.next_below(static_cast<std::uint64_t>(m)));
+        if (victim != w && !deques_[victim].empty()) {
+          chosen = deques_[victim].front();
+          deques_[victim].pop_front();
+          break;
+        }
+      }
+      if (chosen.job == kInvalidJob) {
+        ++failed_steals_;
+        continue;
+      }
+    }
+    executed_by[w] = chosen;
+    busy[w] = 1;
+    out.push_back(chosen);
+  }
+
+  // Phase 2: executions complete at the end of the slot; enabled children
+  // are discovered and pushed onto the executing worker's deque.
+  for (std::size_t w = 0; w < m; ++w) {
+    if (!busy[w]) continue;
+    const SubjobRef ref = executed_by[w];
+    const Dag& dag = view.dag(ref.job);
+    auto& pending = pending_parents_[static_cast<std::size_t>(ref.job)];
+    for (NodeId c : dag.children(ref.node)) {
+      if (--pending[static_cast<std::size_t>(c)] == 0) {
+        deques_[w].push_back(SubjobRef{ref.job, c});
+      }
+    }
+  }
+}
+
+}  // namespace otsched

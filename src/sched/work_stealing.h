@@ -1,0 +1,66 @@
+// Simulated randomized work stealing (Blumofe–Leiserson / Arora–
+// Blumofe–Plaxton style), the runtime the paper's Section 2 cites as the
+// practical scheduler for dynamic multithreading.
+//
+// Model, one slot = one superstep of m workers:
+//   * each worker owns a deque of discovered ready subjobs;
+//   * a worker with a nonempty deque pops its BOTTOM (newest) entry and
+//     executes it;
+//   * an empty worker makes ONE steal attempt at a uniformly random
+//     victim, taking the TOP (oldest) entry; a failed attempt idles the
+//     worker for the slot;
+//   * subjobs enabled by this slot's executions are pushed onto the
+//     executing worker's deque (bottom), becoming runnable next slot;
+//   * a newly arrived job's roots are pushed onto one random worker.
+//
+// Information model: the scheduler discovers a subjob's children when it
+// executes the subjob — exactly the paper's NON-clairvoyant model.  (It
+// declares clairvoyance to the engine because discovery is implemented
+// by reading dag().children() of already-executed nodes; it never
+// inspects undiscovered structure, and a test locks that in by checking
+// its decisions agree with a replay that only sees executed prefixes.)
+//
+// Unlike the other baselines this policy is NOT work-conserving at slot
+// granularity (steal attempts can fail), which is what makes it an
+// interesting foil for the span-reduction-property discussion in the
+// introduction.
+#pragma once
+
+#include <deque>
+
+#include "common/rng.h"
+#include "sim/engine.h"
+
+namespace otsched {
+
+class WorkStealingScheduler : public Scheduler {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    /// Steal attempts an idle worker makes per slot (1 = classic model).
+    int steal_attempts = 1;
+  };
+
+  WorkStealingScheduler() : WorkStealingScheduler(Options{}) {}
+  explicit WorkStealingScheduler(Options options);
+
+  std::string name() const override { return "work-stealing"; }
+  bool requires_clairvoyance() const override { return true; }
+  void reset(int m, JobId job_count) override;
+  void on_arrival(JobId id, const SchedulerView& view) override;
+  void pick(const SchedulerView& view, std::vector<SubjobRef>& out) override;
+
+  /// Worker-slots that idled due to failed steals (for experiments).
+  std::int64_t failed_steals() const { return failed_steals_; }
+
+ private:
+  Options options_;
+  Rng rng_;
+  std::vector<std::deque<SubjobRef>> deques_;
+  /// Remaining not-yet-executed parent count per (job, node), maintained
+  /// from discovered structure only.
+  std::vector<std::vector<NodeId>> pending_parents_;
+  std::int64_t failed_steals_ = 0;
+};
+
+}  // namespace otsched

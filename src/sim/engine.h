@@ -1,0 +1,154 @@
+// The discrete-time online scheduling engine.
+//
+// The engine owns ground truth — which subjobs have executed, which are
+// ready, which jobs are alive — and drives an online Scheduler slot by
+// slot.  The scheduler sees the world only through a SchedulerView:
+//
+//  * non-clairvoyant schedulers (FIFO, Section 6) may look at ready subjob
+//    ids, job release times, and progress counters;
+//  * clairvoyant schedulers (LPF, Algorithm A, Section 5) may additionally
+//    inspect the full DAG of any ARRIVED job.  The view enforces this: a
+//    scheduler that did not declare clairvoyance aborts if it touches a
+//    DAG, so experimental claims about non-clairvoyance are checked by
+//    construction, not by convention.
+//
+// The engine re-validates every pick (readiness, capacity, no duplicates),
+// so a buggy policy cannot fabricate an infeasible schedule; the resulting
+// Schedule can additionally be re-checked by ScheduleValidator.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "job/instance.h"
+#include "sim/schedule.h"
+
+namespace otsched {
+
+/// Backend interface behind SchedulerView.  The standard Engine (below,
+/// fixed instances) and the adaptive adversary engine (src/advsim, lazily
+/// materialized instances) both implement it, so every Scheduler runs
+/// unchanged against either world.
+class EngineBackend {
+ public:
+  virtual ~EngineBackend() = default;
+  virtual Time slot() const = 0;
+  virtual int m() const = 0;
+  virtual JobId job_count() const = 0;
+  virtual std::span<const JobId> alive() const = 0;
+  virtual Time release(JobId id) const = 0;
+  virtual bool arrived(JobId id) const = 0;
+  virtual bool finished(JobId id) const = 0;
+  virtual std::span<const NodeId> ready(JobId id) const = 0;
+  virtual std::int64_t remaining_work(JobId id) const = 0;
+  virtual std::int64_t done_work(JobId id) const = 0;
+  virtual bool executed(JobId id, NodeId v) const = 0;
+  virtual const Dag& dag(JobId id) const = 0;
+  virtual const DagMetrics& metrics(JobId id) const = 0;
+  virtual bool clairvoyant_allowed() const = 0;
+};
+
+/// Read-only window onto the engine state exposed to schedulers.
+class SchedulerView {
+ public:
+  explicit SchedulerView(const EngineBackend& backend) : backend_(backend) {}
+
+  /// The slot currently being filled (1-based).
+  Time slot() const;
+
+  int m() const;
+
+  JobId job_count() const;
+
+  /// Jobs that have arrived (release < slot) and are unfinished, sorted by
+  /// (release, id): exactly the FIFO priority order.
+  std::span<const JobId> alive() const;
+
+  Time release(JobId id) const;
+  bool arrived(JobId id) const;
+  bool finished(JobId id) const;
+
+  /// Ready subjobs of `id`: released, all predecessors completed in a
+  /// strictly earlier slot, not yet executed.
+  std::span<const NodeId> ready(JobId id) const;
+
+  /// Number of subjobs of `id` not yet executed.
+  std::int64_t remaining_work(JobId id) const;
+  /// Number of subjobs of `id` already executed.
+  std::int64_t done_work(JobId id) const;
+
+  /// Whether a specific subjob has been executed (non-clairvoyant
+  /// schedulers may only meaningfully ask this about discovered nodes, but
+  /// the engine does not police per-node discovery).
+  bool executed(JobId id, NodeId v) const;
+
+  /// Full DAG access — clairvoyant schedulers only (aborts otherwise).
+  const Dag& dag(JobId id) const;
+  /// Cached metrics (heights/depths) — clairvoyant schedulers only.
+  const DagMetrics& metrics(JobId id) const;
+
+  bool clairvoyant_allowed() const;
+
+ private:
+  const EngineBackend& backend_;
+};
+
+/// Base class for all online scheduling policies.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Declares whether the policy needs to see job DAGs on arrival.
+  virtual bool requires_clairvoyance() const { return false; }
+
+  /// Called once before the run; `m` is fixed for the whole run.
+  virtual void reset(int m, JobId job_count) {
+    (void)m;
+    (void)job_count;
+  }
+
+  /// Called when a job arrives, before pick() for the arrival slot.
+  /// Arrival happens at slot release+1 (the first slot the job can run).
+  virtual void on_arrival(JobId id, const SchedulerView& view) {
+    (void)id;
+    (void)view;
+  }
+
+  /// Chooses at most view.m() ready subjobs to run in view.slot().
+  /// The engine validates every choice.
+  virtual void pick(const SchedulerView& view,
+                    std::vector<SubjobRef>& out) = 0;
+};
+
+struct SimOptions {
+  /// Hard cap on the simulated horizon; 0 means "auto" (a generous bound
+  /// derived from the instance; exceeding it aborts, catching schedulers
+  /// that stop making progress).
+  Time max_horizon = 0;
+
+  /// If >= 0, overrides the scheduler's clairvoyance declaration (used by
+  /// tests to prove a policy does NOT need DAG access).
+  int force_clairvoyance = -1;
+};
+
+struct SimStats {
+  Time horizon = 0;
+  std::int64_t executed_subjobs = 0;
+  std::int64_t idle_processor_slots = 0;  // over [first arrival+1, horizon]
+  std::int64_t busy_slots = 0;            // slots with at least one subjob
+};
+
+struct SimResult {
+  Schedule schedule;
+  FlowSummary flows;
+  SimStats stats;
+};
+
+/// Runs `scheduler` on `instance` with m processors to completion.
+SimResult Simulate(const Instance& instance, int m, Scheduler& scheduler,
+                   const SimOptions& options = {});
+
+}  // namespace otsched

@@ -1,0 +1,82 @@
+#include "sim/renderer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace otsched {
+
+char JobLabel(JobId id) {
+  static constexpr char kAlphabet[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+  constexpr int kCount = sizeof(kAlphabet) - 1;
+  return kAlphabet[static_cast<std::size_t>(id % kCount)];
+}
+
+std::string RenderSchedule(const Schedule& schedule, const Instance& instance,
+                           const RenderOptions& options) {
+  const Time from = std::max<Time>(1, options.from_slot);
+  const Time to = options.to_slot > 0
+                      ? std::min(options.to_slot, schedule.horizon())
+                      : schedule.horizon();
+  if (to < from) return "(empty schedule)\n";
+
+  const int m = schedule.m();
+  const auto width = static_cast<std::size_t>(to - from + 1);
+  std::vector<std::string> grid(static_cast<std::size_t>(m),
+                                std::string(width, '.'));
+  for (Time t = from; t <= to; ++t) {
+    const auto slot = schedule.at(t);
+    OTSCHED_CHECK(static_cast<int>(slot.size()) <= m,
+                  "over-full slot " << t << " cannot be rendered");
+    for (std::size_t row = 0; row < slot.size(); ++row) {
+      char label;
+      if (options.label_nodes) {
+        label = static_cast<char>('0' + (slot[row].node % 10));
+      } else {
+        label = JobLabel(slot[row].job);
+      }
+      grid[row][static_cast<std::size_t>(t - from)] = label;
+    }
+  }
+  (void)instance;  // reserved for richer labels; kept for API stability
+
+  std::ostringstream out;
+  if (options.ruler) {
+    out << "slot  ";
+    for (Time t = from; t <= to; ++t) {
+      out << ((t % 10 == 0) ? '|' : ((t % 5 == 0) ? '+' : ' '));
+    }
+    out << '\n';
+  }
+  // Print processor m-1 at the top so the picture matches Figure 1.
+  for (int p = m - 1; p >= 0; --p) {
+    out << "P" << p;
+    for (int pad = (p >= 10 ? 2 : 3); pad > 0; --pad) out << ' ';
+    out << ' ' << grid[static_cast<std::size_t>(p)] << '\n';
+  }
+  return out.str();
+}
+
+std::string RenderJobProfile(const Schedule& schedule, JobId job,
+                             Time from_slot, Time to_slot) {
+  const Time from = std::max<Time>(1, from_slot);
+  const Time to =
+      to_slot > 0 ? std::min(to_slot, schedule.horizon()) : schedule.horizon();
+  std::ostringstream out;
+  for (Time t = from; t <= to; ++t) {
+    int count = 0;
+    for (const SubjobRef& ref : schedule.at(t)) {
+      if (ref.job == job) ++count;
+    }
+    out << "t=";
+    out.width(5);
+    out << t << " ";
+    out << std::string(static_cast<std::size_t>(count), '#') << " (" << count
+        << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace otsched

@@ -1,0 +1,40 @@
+// ASCII rendering of schedules — the "Tetris board" view from Figure 1.
+//
+// Rows are processors, columns are time slots; each cell shows a one-
+// character label for the job whose subjob occupied that (processor, slot)
+// cell ('.' for idle).  Since the model does not bind subjobs to physical
+// processors, cells within a slot are stacked from row 0 upward.
+#pragma once
+
+#include <string>
+
+#include "job/instance.h"
+#include "sim/schedule.h"
+
+namespace otsched {
+
+struct RenderOptions {
+  Time from_slot = 1;
+  Time to_slot = 0;  // 0 = horizon
+  /// Print a slot-number ruler above the grid.
+  bool ruler = true;
+  /// When true, label cells by subjob node id modulo 10 of a single job
+  /// instead of by job letter (useful for single-job LPF shape plots).
+  bool label_nodes = false;
+};
+
+/// Renders the schedule grid.  Jobs are labelled 'A'..'Z', 'a'..'z',
+/// '0'..'9', cycling.
+std::string RenderSchedule(const Schedule& schedule, const Instance& instance,
+                           const RenderOptions& options = {});
+
+/// Renders the per-slot load profile of one job within a schedule as a
+/// horizontal bar chart: one line per slot, '#' per busy processor.  This
+/// regenerates the Figure 2 head/tail picture for an LPF schedule.
+std::string RenderJobProfile(const Schedule& schedule, JobId job,
+                             Time from_slot = 1, Time to_slot = 0);
+
+/// The job-label alphabet used by RenderSchedule.
+char JobLabel(JobId id);
+
+}  // namespace otsched

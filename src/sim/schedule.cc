@@ -1,0 +1,85 @@
+#include "sim/schedule.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace otsched {
+
+Schedule::Schedule(int m) : m_(m) {
+  OTSCHED_CHECK(m >= 1, "need at least one processor");
+}
+
+void Schedule::place(Time slot, SubjobRef ref) {
+  OTSCHED_CHECK(slot >= 1, "slots are 1-based, got " << slot);
+  if (static_cast<std::size_t>(slot) > slots_.size()) {
+    slots_.resize(static_cast<std::size_t>(slot));
+  }
+  slots_[static_cast<std::size_t>(slot - 1)].push_back(ref);
+  ++total_placed_;
+}
+
+std::span<const SubjobRef> Schedule::at(Time slot) const {
+  if (slot < 1 || static_cast<std::size_t>(slot) > slots_.size()) return {};
+  return slots_[static_cast<std::size_t>(slot - 1)];
+}
+
+std::int64_t Schedule::idle_processor_slots() const {
+  std::int64_t idle = 0;
+  for (const auto& slot : slots_) {
+    idle += m_ - static_cast<std::int64_t>(slot.size());
+  }
+  return idle;
+}
+
+std::vector<Time> Schedule::idle_slots(Time from, Time to, int capacity) const {
+  if (capacity < 0) capacity = m_;
+  std::vector<Time> result;
+  from = std::max<Time>(from, 1);
+  to = std::min<Time>(to, horizon());
+  for (Time t = from; t <= to; ++t) {
+    if (load(t) < capacity) result.push_back(t);
+  }
+  return result;
+}
+
+FlowSummary ComputeFlows(const Schedule& schedule, const Instance& instance) {
+  const std::size_t n = static_cast<std::size_t>(instance.job_count());
+  std::vector<std::int64_t> placed(n, 0);
+  std::vector<Time> last_slot(n, kNoTime);
+
+  for (Time t = 1; t <= schedule.horizon(); ++t) {
+    for (const SubjobRef& ref : schedule.at(t)) {
+      OTSCHED_CHECK(ref.job >= 0 && ref.job < instance.job_count(),
+                    "schedule references unknown job " << ref.job);
+      auto& count = placed[static_cast<std::size_t>(ref.job)];
+      ++count;
+      last_slot[static_cast<std::size_t>(ref.job)] = t;
+    }
+  }
+
+  FlowSummary summary;
+  summary.completion.resize(n, kNoTime);
+  summary.flow.resize(n, kInfiniteTime);
+  for (JobId id = 0; id < instance.job_count(); ++id) {
+    const std::size_t i = static_cast<std::size_t>(id);
+    const Job& job = instance.job(id);
+    if (placed[i] == job.work()) {
+      summary.completion[i] = last_slot[i];
+      summary.flow[i] = last_slot[i] - job.release();
+    } else {
+      summary.all_completed = false;
+    }
+    if (summary.max_flow_job == kInvalidJob ||
+        summary.flow[i] > summary.max_flow) {
+      summary.max_flow = summary.flow[i];
+      summary.max_flow_job = id;
+    }
+  }
+  if (instance.job_count() == 0) {
+    summary.max_flow = 0;
+  }
+  return summary;
+}
+
+}  // namespace otsched

@@ -1,0 +1,69 @@
+// Explicit schedule representation (Section 3).
+//
+// A schedule maps each 1-based time slot t to the multiset of subjobs run
+// during (t-1, t].  Which physical processor runs which subjob is
+// irrelevant in the paper's model, so a slot is just a vector of
+// SubjobRefs with |slot| <= m.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "job/instance.h"
+
+namespace otsched {
+
+class Schedule {
+ public:
+  /// m is the processor count the schedule is for (capacity per slot).
+  explicit Schedule(int m);
+
+  int m() const { return m_; }
+
+  /// Places `ref` into `slot` (slot >= 1).  Capacity and feasibility are
+  /// checked by ScheduleValidator, not here, so that tests can build
+  /// deliberately-broken schedules.
+  void place(Time slot, SubjobRef ref);
+
+  /// Last slot with any subjob (0 for the empty schedule).
+  Time horizon() const { return static_cast<Time>(slots_.size()); }
+
+  /// Subjobs run at `slot` (empty span for slots beyond the horizon).
+  std::span<const SubjobRef> at(Time slot) const;
+
+  /// Number of subjobs at `slot`.
+  int load(Time slot) const { return static_cast<int>(at(slot).size()); }
+
+  /// Total subjobs placed.
+  std::int64_t total_placed() const { return total_placed_; }
+
+  /// Count of (slot, processor) pairs left idle over [1, horizon].
+  std::int64_t idle_processor_slots() const;
+
+  /// Slots in [from, to] with load strictly less than `capacity`
+  /// (defaults to m).  Used to check the Lemma 5.2 / Figure 2 tail shape.
+  std::vector<Time> idle_slots(Time from, Time to, int capacity = -1) const;
+
+ private:
+  int m_;
+  std::int64_t total_placed_ = 0;
+  std::vector<std::vector<SubjobRef>> slots_;  // index t-1
+};
+
+/// Per-job completion times and flows of a schedule, measured against the
+/// instance's ORIGINAL release times.
+struct FlowSummary {
+  std::vector<Time> completion;  // kNoTime if never completed
+  std::vector<Time> flow;        // completion - release; kInfiniteTime if unfinished
+  Time max_flow = 0;             // the l_inf objective F^S_max
+  JobId max_flow_job = kInvalidJob;
+  bool all_completed = true;
+};
+
+/// Computes completion/flow per job.  A job completes when all of its
+/// subjobs have been placed; jobs with missing subjobs are reported as
+/// unfinished (max_flow then saturates to kInfiniteTime).
+FlowSummary ComputeFlows(const Schedule& schedule, const Instance& instance);
+
+}  // namespace otsched

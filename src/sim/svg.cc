@@ -1,0 +1,134 @@
+#include "sim/svg.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace otsched {
+namespace {
+
+// HSL -> RGB for s = 0.55, l = 0.6, hue in degrees.
+std::string HslToHex(double hue) {
+  const double s = 0.55;
+  const double l = 0.60;
+  const double c = (1.0 - std::fabs(2.0 * l - 1.0)) * s;
+  const double hp = hue / 60.0;
+  const double x = c * (1.0 - std::fabs(std::fmod(hp, 2.0) - 1.0));
+  double r = 0;
+  double g = 0;
+  double b = 0;
+  if (hp < 1) {
+    r = c; g = x;
+  } else if (hp < 2) {
+    r = x; g = c;
+  } else if (hp < 3) {
+    g = c; b = x;
+  } else if (hp < 4) {
+    g = x; b = c;
+  } else if (hp < 5) {
+    r = x; b = c;
+  } else {
+    r = c; b = x;
+  }
+  const double m = l - c / 2.0;
+  char buffer[8];
+  std::snprintf(buffer, sizeof(buffer), "#%02x%02x%02x",
+                static_cast<int>((r + m) * 255.0 + 0.5),
+                static_cast<int>((g + m) * 255.0 + 0.5),
+                static_cast<int>((b + m) * 255.0 + 0.5));
+  return buffer;
+}
+
+}  // namespace
+
+std::string JobColor(JobId id) {
+  // Golden-angle rotation scatters consecutive ids around the wheel.
+  const double hue = std::fmod(static_cast<double>(id) * 137.50776, 360.0);
+  return HslToHex(hue);
+}
+
+std::string RenderScheduleSvg(const Schedule& schedule,
+                              const Instance& instance,
+                              const SvgOptions& options) {
+  const Time from = std::max<Time>(1, options.from_slot);
+  const Time to = options.to_slot > 0
+                      ? std::min(options.to_slot, schedule.horizon())
+                      : schedule.horizon();
+  const int cell = options.cell_size;
+  OTSCHED_CHECK(cell >= 2);
+  const Time slots = std::max<Time>(0, to - from + 1);
+  const int m = schedule.m();
+  const int margin_left = 34;
+  const int margin_top = options.title.empty() ? 10 : 28;
+  const int width =
+      margin_left + static_cast<int>(slots) * cell + 10;
+  const int height = margin_top + m * cell + 26;
+
+  std::ostringstream out;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+      << "\" height=\"" << height << "\" viewBox=\"0 0 " << width << ' '
+      << height << "\">\n";
+  out << "  <rect width=\"100%\" height=\"100%\" fill=\"#fafafa\"/>\n";
+  if (!options.title.empty()) {
+    out << "  <text x=\"" << margin_left << "\" y=\"18\" font-family=\""
+        << "sans-serif\" font-size=\"13\">" << options.title << "</text>\n";
+  }
+
+  // Grid background (visible idle cells).
+  out << "  <rect x=\"" << margin_left << "\" y=\"" << margin_top
+      << "\" width=\"" << slots * cell << "\" height=\"" << m * cell
+      << "\" fill=\"#eeeeee\" stroke=\"#bbbbbb\"/>\n";
+
+  for (Time t = from; t <= to; ++t) {
+    const auto slot = schedule.at(t);
+    for (std::size_t row = 0; row < slot.size(); ++row) {
+      const int x =
+          margin_left + static_cast<int>(t - from) * cell;
+      // Row 0 (first pick) at the BOTTOM, like the paper's figures.
+      const int y = margin_top +
+                    (m - 1 - static_cast<int>(row)) * cell;
+      out << "  <rect x=\"" << x << "\" y=\"" << y << "\" width=\"" << cell
+          << "\" height=\"" << cell << "\" fill=\""
+          << JobColor(slot[row].job)
+          << "\" stroke=\"#ffffff\" stroke-width=\"1\"/>\n";
+      if (options.label_nodes) {
+        out << "  <text x=\"" << x + cell / 2 << "\" y=\""
+            << y + cell / 2 + 3 << "\" font-family=\"sans-serif\" "
+            << "font-size=\"" << cell / 2 << "\" text-anchor=\"middle\">"
+            << slot[row].node << "</text>\n";
+      }
+    }
+  }
+
+  // Axis labels: processor names and a slot ruler every 5 slots.
+  for (int p = 0; p < m; ++p) {
+    out << "  <text x=\"4\" y=\""
+        << margin_top + (m - 1 - p) * cell + cell / 2 + 3
+        << "\" font-family=\"sans-serif\" font-size=\"9\">P" << p
+        << "</text>\n";
+  }
+  for (Time t = from; t <= to; ++t) {
+    if (t % 5 != 0) continue;
+    out << "  <text x=\""
+        << margin_left + static_cast<int>(t - from) * cell + cell / 2
+        << "\" y=\"" << margin_top + m * cell + 14
+        << "\" font-family=\"sans-serif\" font-size=\"9\" "
+        << "text-anchor=\"middle\">" << t << "</text>\n";
+  }
+  out << "</svg>\n";
+  (void)instance;  // job names could label a legend later
+  return out.str();
+}
+
+void SaveScheduleSvg(const Schedule& schedule, const Instance& instance,
+                     const std::string& path, const SvgOptions& options) {
+  std::ofstream out(path);
+  OTSCHED_CHECK(out.good(), "cannot open " << path << " for writing");
+  out << RenderScheduleSvg(schedule, instance, options);
+  OTSCHED_CHECK(out.good(), "write failure on " << path);
+}
+
+}  // namespace otsched

@@ -1,0 +1,40 @@
+// SVG rendering of schedules — the publication-quality counterpart of the
+// ASCII renderer, for regenerating Figure 1 / Figure 2 style pictures.
+//
+// Layout: x = time slot, y = processor row (P0 at the bottom, like the
+// paper's figures); each subjob is a unit rectangle colored by its job
+// (golden-angle hue rotation, so adjacent job ids contrast).  Idle cells
+// stay background-colored, making packing holes visible.
+#pragma once
+
+#include <string>
+
+#include "job/instance.h"
+#include "sim/schedule.h"
+
+namespace otsched {
+
+struct SvgOptions {
+  Time from_slot = 1;
+  Time to_slot = 0;  // 0 = horizon
+  int cell_size = 12;
+  /// Label each cell with its node id (readable up to a few hundred
+  /// cells; off for large schedules).
+  bool label_nodes = false;
+  /// Optional title line rendered above the grid.
+  std::string title;
+};
+
+/// Renders the schedule to a standalone SVG document.
+std::string RenderScheduleSvg(const Schedule& schedule,
+                              const Instance& instance,
+                              const SvgOptions& options = {});
+
+/// Writes the SVG to a file (aborts on I/O failure).
+void SaveScheduleSvg(const Schedule& schedule, const Instance& instance,
+                     const std::string& path, const SvgOptions& options = {});
+
+/// The fill color used for a job (hex "#rrggbb"), exposed for tests.
+std::string JobColor(JobId id);
+
+}  // namespace otsched

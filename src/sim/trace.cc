@@ -1,0 +1,124 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace otsched {
+
+void EventTrace::add(TraceEvent event) {
+  events_.push_back(event);
+}
+
+std::vector<TraceEvent> EventTrace::of_kind(TraceEventKind kind) const {
+  std::vector<TraceEvent> result;
+  for (const TraceEvent& event : events_) {
+    if (event.kind == kind) result.push_back(event);
+  }
+  return result;
+}
+
+std::string EventTrace::to_text() const {
+  std::ostringstream out;
+  for (const TraceEvent& event : events_) {
+    out << event.slot << ' ';
+    switch (event.kind) {
+      case TraceEventKind::kArrival:
+        out << "arrive " << event.job;
+        break;
+      case TraceEventKind::kExecute:
+        out << "exec " << event.job << ' ' << event.node;
+        break;
+      case TraceEventKind::kComplete:
+        out << "done " << event.job;
+        break;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+EventTrace EventTrace::from_text(const std::string& text) {
+  EventTrace trace;
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    TraceEvent event;
+    std::string kind;
+    OTSCHED_CHECK(static_cast<bool>(fields >> event.slot >> kind),
+                  "trace line " << line_number << " malformed");
+    if (kind == "arrive") {
+      event.kind = TraceEventKind::kArrival;
+      OTSCHED_CHECK(static_cast<bool>(fields >> event.job),
+                    "trace line " << line_number);
+    } else if (kind == "exec") {
+      event.kind = TraceEventKind::kExecute;
+      OTSCHED_CHECK(static_cast<bool>(fields >> event.job >> event.node),
+                    "trace line " << line_number);
+    } else if (kind == "done") {
+      event.kind = TraceEventKind::kComplete;
+      OTSCHED_CHECK(static_cast<bool>(fields >> event.job),
+                    "trace line " << line_number);
+    } else {
+      OTSCHED_CHECK(false, "trace line " << line_number << ": bad kind '"
+                                         << kind << "'");
+    }
+    trace.add(event);
+  }
+  return trace;
+}
+
+EventTrace DeriveTrace(const Schedule& schedule, const Instance& instance) {
+  EventTrace trace;
+  // Arrivals ordered by (release, id); merged into the slot stream.
+  std::vector<JobId> arrivals = instance.release_order();
+  std::size_t next_arrival = 0;
+
+  std::vector<std::int64_t> remaining(
+      static_cast<std::size_t>(instance.job_count()));
+  for (JobId id = 0; id < instance.job_count(); ++id) {
+    remaining[static_cast<std::size_t>(id)] = instance.job(id).work();
+  }
+
+  for (Time t = 1; t <= schedule.horizon(); ++t) {
+    while (next_arrival < arrivals.size() &&
+           instance.job(arrivals[next_arrival]).release() < t) {
+      trace.add(TraceEvent{t, TraceEventKind::kArrival,
+                           arrivals[next_arrival], kInvalidNode});
+      ++next_arrival;
+    }
+    for (const SubjobRef& ref : schedule.at(t)) {
+      trace.add(TraceEvent{t, TraceEventKind::kExecute, ref.job, ref.node});
+    }
+    // Completions after the slot's executions, in job order.
+    std::vector<JobId> done_now;
+    for (const SubjobRef& ref : schedule.at(t)) {
+      auto& left = remaining[static_cast<std::size_t>(ref.job)];
+      --left;
+      if (left == 0) done_now.push_back(ref.job);
+    }
+    std::sort(done_now.begin(), done_now.end());
+    for (JobId id : done_now) {
+      trace.add(TraceEvent{t, TraceEventKind::kComplete, id, kInvalidNode});
+    }
+  }
+  return trace;
+}
+
+std::int64_t FirstDivergence(const EventTrace& a, const EventTrace& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(a.events()[i] == b.events()[i])) {
+      return static_cast<std::int64_t>(i);
+    }
+  }
+  if (a.size() != b.size()) return static_cast<std::int64_t>(n);
+  return -1;
+}
+
+}  // namespace otsched

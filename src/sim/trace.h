@@ -1,0 +1,64 @@
+// Event traces: a linear record of everything that happened in a run.
+//
+// Where a Schedule answers "what ran when", a trace also captures
+// arrivals and completions in order, which is what debugging a policy,
+// diffing two runs, or replay-checking a simulation needs.  Traces
+// serialize to a line format stable enough for golden tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "job/instance.h"
+#include "sim/schedule.h"
+
+namespace otsched {
+
+enum class TraceEventKind : std::uint8_t {
+  kArrival,   // job became schedulable (slot = release + 1)
+  kExecute,   // subjob ran in this slot
+  kComplete,  // job finished (its last subjob ran this slot)
+};
+
+struct TraceEvent {
+  Time slot = 0;
+  TraceEventKind kind = TraceEventKind::kExecute;
+  JobId job = kInvalidJob;
+  NodeId node = kInvalidNode;  // kExecute only
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+class EventTrace {
+ public:
+  void add(TraceEvent event);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// Events of one kind, in order.
+  std::vector<TraceEvent> of_kind(TraceEventKind kind) const;
+
+  /// One line per event: "<slot> arrive|exec|done <job> [<node>]".
+  std::string to_text() const;
+  static EventTrace from_text(const std::string& text);
+
+  friend bool operator==(const EventTrace&, const EventTrace&) = default;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Derives the canonical trace of a finished schedule against its
+/// instance: arrivals in (release, id) order at release+1, executions in
+/// slot order (within a slot, in schedule placement order), completions
+/// when a job's last subjob runs.  Two runs are behaviourally identical
+/// iff their derived traces are equal.
+EventTrace DeriveTrace(const Schedule& schedule, const Instance& instance);
+
+/// First index where the traces differ, or -1 if equal (for diagnostics).
+std::int64_t FirstDivergence(const EventTrace& a, const EventTrace& b);
+
+}  // namespace otsched

@@ -1,0 +1,35 @@
+// Feasibility checking against the four schedule axioms of Section 3:
+//
+//   (1) at most m subjobs run per slot,
+//   (2) every subjob of every job is scheduled exactly once,
+//   (3) precedence: for every edge (j, k), slot(j) < slot(k),
+//   (4) releases: a subjob of a job released at r runs at a slot > r.
+//
+// Every schedule produced anywhere in the library can be re-checked with
+// this validator; tests do so routinely, which means a policy bug cannot
+// silently corrupt an experiment.
+#pragma once
+
+#include <string>
+
+#include "job/instance.h"
+#include "sim/schedule.h"
+
+namespace otsched {
+
+struct ValidationReport {
+  bool feasible = true;
+  /// Empty when feasible; otherwise a description of the FIRST violation
+  /// found (axiom number, job, node, slot).
+  std::string violation;
+
+  explicit operator bool() const { return feasible; }
+};
+
+/// Checks all four axioms.  If `require_complete` is false, axiom (2) is
+/// relaxed to "at most once" (useful for validating prefixes of runs).
+ValidationReport ValidateSchedule(const Schedule& schedule,
+                                  const Instance& instance,
+                                  bool require_complete = true);
+
+}  // namespace otsched

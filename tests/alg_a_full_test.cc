@@ -1,0 +1,136 @@
+// Tests for core/alg_a_full.h: the general Algorithm A with release
+// rounding and guess-and-double (Theorem 5.7).
+#include <gtest/gtest.h>
+
+#include "core/alg_a_full.h"
+#include "dag/builders.h"
+#include "gen/arrivals.h"
+#include "gen/certified.h"
+#include "gen/random_trees.h"
+#include "opt/lower_bounds.h"
+#include "sim/validator.h"
+
+namespace otsched {
+namespace {
+
+TEST(AlgAGeneral, SingleJobFromColdStart) {
+  Instance instance;
+  Rng rng(1);
+  instance.add_job(Job(MakeTree(TreeFamily::kMixed, 64, rng), 0));
+  AlgAScheduler scheduler;
+  const SimResult result = Simulate(instance, 8, scheduler);
+  const auto report = ValidateSchedule(result.schedule, instance);
+  ASSERT_TRUE(report.feasible) << report.violation;
+  EXPECT_TRUE(result.flows.all_completed);
+}
+
+TEST(AlgAGeneral, GuessDoublesOnUnderestimates) {
+  // A big job with initial guess 1 forces several restarts.
+  Instance instance;
+  Rng rng(2);
+  instance.add_job(Job(MakeTree(TreeFamily::kBushy, 4000, rng), 0));
+  AlgAScheduler::Options options;
+  options.beta = 8;  // small beta so doubling happens quickly
+  AlgAScheduler scheduler(options);
+  const SimResult result = Simulate(instance, 8, scheduler);
+  ASSERT_TRUE(ValidateSchedule(result.schedule, instance).feasible);
+  EXPECT_GE(scheduler.restarts(), 1);
+  EXPECT_GT(scheduler.guess(), 1);
+}
+
+TEST(AlgAGeneral, ArbitraryReleasesAreHandled) {
+  Rng rng(3);
+  Instance instance = MakePoissonArrivals(
+      15, 0.05,
+      [](std::int64_t, Rng& r) {
+        return MakeTree(TreeFamily::kMixed, 40, r);
+      },
+      rng);
+  AlgAScheduler::Options options;
+  options.beta = 16;
+  AlgAScheduler scheduler(options);
+  const SimResult result = Simulate(instance, 8, scheduler);
+  const auto report = ValidateSchedule(result.schedule, instance);
+  ASSERT_TRUE(report.feasible) << report.violation;
+  EXPECT_TRUE(result.flows.all_completed);
+}
+
+class AlgAGeneralSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AlgAGeneralSweep, FeasibleWithBoundedRatioOnCertifiedLoads) {
+  const auto [m, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 131 + m);
+  const Time delta = 4;
+  CertifiedInstance cert = MakeSpacedSaturatedInstance(m, delta, 5, rng);
+
+  AlgAScheduler::Options options;
+  options.beta = 16;  // tight envelope keeps runtimes small in tests
+  AlgAScheduler scheduler(options);
+  const SimResult result = Simulate(cert.instance, m, scheduler);
+  ASSERT_TRUE(ValidateSchedule(result.schedule, cert.instance).feasible);
+  EXPECT_TRUE(result.flows.all_completed);
+  EXPECT_GE(result.flows.max_flow, cert.opt);
+  // Theorem 5.7 headline envelope (very loose; tightness is measured by
+  // the experiment harness, not asserted here).
+  EXPECT_LE(result.flows.max_flow, 1548 * cert.opt);
+  EXPECT_EQ(scheduler.mc_busy_violations(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AlgAGeneralSweep,
+                         ::testing::Combine(::testing::Values(4, 8, 16),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(AlgAGeneral, RestartPreservesFeasibilityMidJob) {
+  // Jobs large enough that restarts interrupt half-executed DAGs; the
+  // remaining sub-forest re-plan must stay feasible.
+  Instance instance;
+  Rng rng(9);
+  for (int i = 0; i < 4; ++i) {
+    instance.add_job(Job(MakeTree(TreeFamily::kSpiny, 300, rng), i * 7));
+  }
+  AlgAScheduler::Options options;
+  options.beta = 4;  // aggressive restarts
+  AlgAScheduler scheduler(options);
+  const SimResult result = Simulate(instance, 8, scheduler);
+  const auto report = ValidateSchedule(result.schedule, instance);
+  ASSERT_TRUE(report.feasible) << report.violation;
+  EXPECT_GE(scheduler.restarts(), 1);
+}
+
+TEST(AlgAGeneral, BurstArrivalsAreUnionedPerVisibility) {
+  Rng rng(10);
+  Instance instance = MakeBurstyArrivals(
+      3, 5, 9,
+      [](std::int64_t, Rng& r) {
+        return MakeTree(TreeFamily::kBranchy, 25, r);
+      },
+      rng);
+  AlgAScheduler::Options options;
+  options.beta = 16;
+  AlgAScheduler scheduler(options);
+  const SimResult result = Simulate(instance, 8, scheduler);
+  ASSERT_TRUE(ValidateSchedule(result.schedule, instance).feasible);
+}
+
+TEST(AlgAGeneral, FlowsAreMeasuredAgainstOriginalReleases) {
+  // A tiny job held until the next guess multiple still pays its delay.
+  Instance instance;
+  instance.add_job(Job(MakeChain(1), 0));
+  AlgAScheduler::Options options;
+  options.initial_guess = 4;
+  AlgAScheduler scheduler(options);
+  const SimResult result = Simulate(instance, 4, scheduler);
+  // Released at 0, visible at the multiple 0, runnable from slot 1.
+  EXPECT_EQ(result.flows.max_flow, 1);
+
+  Instance delayed;
+  delayed.add_job(Job(MakeChain(1), 1));
+  AlgAScheduler scheduler2(options);
+  const SimResult result2 = Simulate(delayed, 4, scheduler2);
+  // Released at 1, held until the multiple 4, runs at slot 5: flow 4.
+  EXPECT_EQ(result2.flows.max_flow, 4);
+}
+
+}  // namespace
+}  // namespace otsched

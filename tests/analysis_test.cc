@@ -1,0 +1,125 @@
+// Tests for src/analysis: flow stats, ratio measurement, sweep helpers.
+#include <gtest/gtest.h>
+
+#include "analysis/flow_stats.h"
+#include "analysis/instance_stats.h"
+#include "analysis/ratio.h"
+#include "analysis/sweep.h"
+#include "dag/builders.h"
+#include "gen/certified.h"
+#include "sched/fifo.h"
+
+namespace otsched {
+namespace {
+
+TEST(FlowStats, BasicPercentiles) {
+  FlowSummary flows;
+  flows.flow = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  flows.completion.assign(10, 1);
+  flows.all_completed = true;
+  flows.max_flow = 10;
+  const FlowStats stats = ComputeFlowStats(flows);
+  EXPECT_EQ(stats.jobs, 10);
+  EXPECT_EQ(stats.min, 1);
+  EXPECT_EQ(stats.max, 10);
+  EXPECT_DOUBLE_EQ(stats.mean, 5.5);
+  EXPECT_EQ(stats.p50, 6);  // nearest-rank on 0..9 indices
+  EXPECT_EQ(stats.p90, 9);
+  EXPECT_EQ(stats.total, 55);
+}
+
+TEST(FlowStats, SingleJob) {
+  FlowSummary flows;
+  flows.flow = {7};
+  flows.all_completed = true;
+  const FlowStats stats = ComputeFlowStats(flows);
+  EXPECT_EQ(stats.max, 7);
+  EXPECT_EQ(stats.p99, 7);
+  EXPECT_NE(ToString(stats).find("max=7"), std::string::npos);
+}
+
+TEST(FlowStats, EmptyInstance) {
+  FlowSummary flows;
+  flows.all_completed = true;
+  EXPECT_EQ(ComputeFlowStats(flows).jobs, 0);
+}
+
+TEST(Ratio, CertifiedDenominator) {
+  Rng rng(1);
+  CertifiedInstance cert = MakeSpacedSaturatedInstance(4, 3, 3, rng);
+  FifoScheduler fifo;
+  const RatioMeasurement r =
+      MeasureRatio(cert.instance, 4, fifo, cert.opt);
+  EXPECT_TRUE(r.denominator_exact);
+  EXPECT_EQ(r.opt_denominator, cert.opt);
+  EXPECT_GE(r.ratio, 1.0);
+  EXPECT_EQ(r.m, 4);
+  EXPECT_EQ(r.scheduler, "fifo/first-ready");
+}
+
+TEST(Ratio, LowerBoundDenominatorFallback) {
+  Instance instance;
+  instance.add_job(Job(MakeChain(5), 0));
+  FifoScheduler fifo;
+  const RatioMeasurement r = MeasureRatio(instance, 2, fifo);
+  EXPECT_FALSE(r.denominator_exact);
+  EXPECT_EQ(r.opt_denominator, 5);  // span bound
+  EXPECT_DOUBLE_EQ(r.ratio, 1.0);   // FIFO is optimal on one chain
+}
+
+TEST(Sweep, ResultsComeBackInIndexOrder) {
+  const auto results = RunSweep<std::size_t>(
+      100, [](std::size_t i) { return i * i; }, 4);
+  ASSERT_EQ(results.size(), 100u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], i * i);
+  }
+}
+
+TEST(Sweep, AggregateStatistics) {
+  const SeedAggregate agg = Aggregate({1.0, 2.0, 3.0, 6.0});
+  EXPECT_DOUBLE_EQ(agg.mean, 3.0);
+  EXPECT_DOUBLE_EQ(agg.min, 1.0);
+  EXPECT_DOUBLE_EQ(agg.max, 6.0);
+  EXPECT_EQ(agg.count, 4u);
+  EXPECT_EQ(Aggregate({}).count, 0u);
+}
+
+TEST(InstanceStats, DescribesLoadCorrectly) {
+  Instance instance;
+  instance.add_job(Job(MakeChain(4), 0));       // work 4, span 4
+  instance.add_job(Job(MakeParallelBlob(12), 6));  // work 12, span 1
+  const InstanceStats stats = ComputeInstanceStats(instance, 2);
+  EXPECT_EQ(stats.jobs, 2);
+  EXPECT_EQ(stats.total_work, 16);
+  EXPECT_EQ(stats.min_work, 4);
+  EXPECT_EQ(stats.max_work, 12);
+  EXPECT_EQ(stats.max_span, 4);
+  EXPECT_DOUBLE_EQ(stats.max_avg_parallelism, 12.0);
+  EXPECT_EQ(stats.release_gcd, 6);
+  // 16 work over a 7-slot arrival window on 2 processors.
+  EXPECT_DOUBLE_EQ(stats.load_factor, 16.0 / 14.0);
+  EXPECT_TRUE(stats.all_out_forests);
+  EXPECT_NE(ToString(stats).find("2 jobs"), std::string::npos);
+}
+
+TEST(InstanceStats, EmptyInstance) {
+  const InstanceStats stats = ComputeInstanceStats(Instance(), 4);
+  EXPECT_EQ(stats.jobs, 0);
+  EXPECT_EQ(stats.total_work, 0);
+}
+
+TEST(Sweep, DeterministicAcrossWorkerCounts) {
+  auto cell = [](std::size_t i) {
+    Rng rng(static_cast<std::uint64_t>(i));
+    CertifiedInstance cert = MakeSpacedSaturatedInstance(4, 3, 2, rng);
+    FifoScheduler fifo;
+    return MeasureRatio(cert.instance, 4, fifo, cert.opt).ratio;
+  };
+  const auto serial = RunSweep<double>(6, cell, 1);
+  const auto parallel = RunSweep<double>(6, cell, 4);
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace otsched

@@ -1,0 +1,72 @@
+// Tests for analysis/augmentation.h: machine augmentation bookkeeping and
+// the qualitative SPAA'16 phenomenon (augmented FIFO is far better on the
+// hard instances).
+#include <gtest/gtest.h>
+
+#include "analysis/augmentation.h"
+#include "dag/builders.h"
+#include "gen/certified.h"
+#include "gen/fifo_adversary.h"
+#include "sched/fifo.h"
+
+namespace otsched {
+namespace {
+
+TEST(Augmentation, ZeroEpsMatchesPlainMeasurement) {
+  Rng rng(1);
+  CertifiedInstance cert = MakeSpacedSaturatedInstance(4, 4, 3, rng);
+  FifoScheduler a;
+  FifoScheduler b;
+  const RatioMeasurement plain = MeasureRatio(cert.instance, 4, a, cert.opt);
+  const AugmentedMeasurement augmented =
+      MeasureAugmentedRatio(cert.instance, 4, 0.0, b, cert.opt);
+  EXPECT_EQ(augmented.algorithm_m, 4);
+  EXPECT_EQ(augmented.measurement.max_flow, plain.max_flow);
+  EXPECT_DOUBLE_EQ(augmented.measurement.ratio, plain.ratio);
+}
+
+TEST(Augmentation, ProcessorCountRoundsUp) {
+  Instance instance;
+  instance.add_job(Job(MakeChain(2), 0));
+  FifoScheduler fifo;
+  const AugmentedMeasurement r =
+      MeasureAugmentedRatio(instance, 5, 0.2, fifo);
+  EXPECT_EQ(r.algorithm_m, 6);
+  EXPECT_DOUBLE_EQ(r.eps, 0.2);
+}
+
+TEST(Augmentation, AugmentedFifoCollapsesTheAdversary) {
+  // The phenomenon that made the un-augmented question interesting: with
+  // a little extra capacity, FIFO handles the Section 4 family easily,
+  // because the adversary's tight packing needs a fully loaded machine.
+  const int m = 32;
+  LowerBoundSimOptions options;
+  options.m = m;
+  options.num_jobs = 200;
+  const AdversarialInstance adv = MakeAdversarialInstance(options);
+  const double plain_ratio =
+      static_cast<double>(adv.fifo_run.max_flow) /
+      static_cast<double>(adv.fifo_run.certified_opt_upper);
+
+  FifoScheduler fifo;
+  const AugmentedMeasurement augmented = MeasureAugmentedRatio(
+      adv.instance, m, 0.5, fifo, adv.fifo_run.certified_opt_upper);
+  EXPECT_LT(augmented.measurement.ratio, plain_ratio)
+      << "augmentation should help on the packed family";
+  EXPECT_LE(augmented.measurement.ratio, 3.0);
+}
+
+TEST(Augmentation, CertifiedDenominatorStaysOnBaseMachine) {
+  // Denominator must be OPT on m processors, NOT on the augmented count.
+  Rng rng(3);
+  CertifiedInstance cert = MakeSpacedSaturatedInstance(8, 4, 4, rng);
+  FifoScheduler fifo;
+  const AugmentedMeasurement r =
+      MeasureAugmentedRatio(cert.instance, 8, 1.0, fifo, cert.opt);
+  EXPECT_EQ(r.measurement.opt_denominator, cert.opt);
+  EXPECT_TRUE(r.measurement.denominator_exact);
+  EXPECT_EQ(r.algorithm_m, 16);
+}
+
+}  // namespace
+}  // namespace otsched

@@ -1,0 +1,185 @@
+// Tests for src/common: RNG, CSV, tables, thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace otsched {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t v = rng.next_in_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Rng, GeometricRespectsCap) {
+  Rng rng(19);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LE(rng.next_geometric(0.9, 5), 5);
+  }
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, SplitGivesIndependentStream) {
+  Rng a(31);
+  Rng b = a.split();
+  // The split stream must not replay the parent stream.
+  int equal = 0;
+  Rng a2(31);
+  (void)a2.next_u64();  // advance past the split draw
+  for (int i = 0; i < 32; ++i) {
+    if (a2.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SampleIndicesDistinct) {
+  Rng rng(37);
+  const auto sample = rng.sample_indices(20, 8);
+  EXPECT_EQ(sample.size(), 8u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 8u);
+  for (std::size_t i : sample) EXPECT_LT(i, 20u);
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/otsched_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b", "c"});
+    csv.row(1, 2.5, "x");
+    csv.row(3, 4.0, "y,z");
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b,c");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2.5,x");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,4,\"y,z\"");
+  std::remove(path.c_str());
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  TextTable table({"m", "ratio"});
+  table.row(16, 1.5);
+  table.row(1024, 12.25);
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("| m "), std::string::npos);
+  EXPECT_NE(text.find("1024"), std::string::npos);
+  EXPECT_NE(text.find("12.250"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for_each_index(257, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroTasksIsANoop) {
+  ThreadPool pool(2);
+  pool.parallel_for_each_index(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for_each_index(
+                   50,
+                   [](std::size_t i) {
+                     if (i == 13) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for_each_index(10, [&](std::size_t) { ++total; });
+  pool.parallel_for_each_index(20, [&](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 30);
+}
+
+TEST(Timer, MeasuresNonNegativeTime) {
+  WallTimer timer;
+  EXPECT_GE(timer.elapsed_seconds(), 0.0);
+  timer.reset();
+  EXPECT_GE(timer.elapsed_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace otsched

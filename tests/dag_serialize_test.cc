@@ -1,0 +1,61 @@
+// Tests for dag/serialize.h: text round-trip and DOT export.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dag/builders.h"
+#include "dag/serialize.h"
+#include "gen/random_trees.h"
+
+namespace otsched {
+namespace {
+
+bool SameStructure(const Dag& a, const Dag& b) {
+  if (a.node_count() != b.node_count() || a.edge_count() != b.edge_count()) {
+    return false;
+  }
+  for (NodeId v = 0; v < a.node_count(); ++v) {
+    std::vector<NodeId> ca(a.children(v).begin(), a.children(v).end());
+    std::vector<NodeId> cb(b.children(v).begin(), b.children(v).end());
+    std::sort(ca.begin(), ca.end());
+    std::sort(cb.begin(), cb.end());
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+TEST(Serialize, RoundTripChain) {
+  const Dag chain = MakeChain(4);
+  EXPECT_TRUE(SameStructure(chain, FromText(ToText(chain))));
+}
+
+TEST(Serialize, RoundTripRandomTree) {
+  Rng rng(123);
+  const Dag tree = MakeAttachmentTree(80, 0.3, rng);
+  EXPECT_TRUE(SameStructure(tree, FromText(ToText(tree))));
+}
+
+TEST(Serialize, RoundTripEmptyAndSingle) {
+  EXPECT_TRUE(SameStructure(Dag(), FromText("0\n")));
+  EXPECT_TRUE(SameStructure(MakeChain(1), FromText("1\n")));
+}
+
+TEST(Serialize, ParserSkipsCommentsAndBlanks) {
+  const Dag dag = FromText("# header comment\n\n3\n0 1 # inline\n\n1 2\n");
+  EXPECT_EQ(dag.node_count(), 3);
+  EXPECT_EQ(dag.edge_count(), 2);
+}
+
+TEST(Serialize, DotContainsAllEdges) {
+  const std::string dot = ToDot(MakeChain(3), "chain");
+  EXPECT_NE(dot.find("digraph chain"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -> n2"), std::string::npos);
+}
+
+TEST(Serialize, TextFormatHeaderIsNodeCount) {
+  const std::string text = ToText(MakeStar(2));
+  EXPECT_EQ(text.substr(0, 2), "3\n");
+}
+
+}  // namespace
+}  // namespace otsched

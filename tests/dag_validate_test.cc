@@ -1,0 +1,84 @@
+// Tests for dag/validate.h: acyclicity, out-tree / out-forest detection.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dag/builders.h"
+#include "dag/validate.h"
+#include "gen/random_trees.h"
+
+namespace otsched {
+namespace {
+
+TEST(Validate, EmptyDagIsAcyclicForestButNotTree) {
+  const Dag empty;
+  EXPECT_TRUE(IsAcyclic(empty));
+  EXPECT_TRUE(IsOutForest(empty));
+  EXPECT_FALSE(IsOutTree(empty));
+}
+
+TEST(Validate, ChainIsOutTree) {
+  EXPECT_TRUE(IsOutTree(MakeChain(4)));
+  EXPECT_TRUE(IsOutForest(MakeChain(4)));
+}
+
+TEST(Validate, BlobIsForestNotTree) {
+  EXPECT_TRUE(IsOutForest(MakeParallelBlob(3)));
+  EXPECT_FALSE(IsOutTree(MakeParallelBlob(3)));
+  EXPECT_TRUE(IsOutTree(MakeParallelBlob(1)));
+}
+
+TEST(Validate, ForkJoinIsAcyclicButNotForest) {
+  const Dag diamond = MakeForkJoin(2);
+  EXPECT_TRUE(IsAcyclic(diamond));
+  EXPECT_FALSE(IsOutForest(diamond));
+  EXPECT_FALSE(IsOutTree(diamond));
+}
+
+TEST(Validate, PureCycleIsDetected) {
+  // In-degrees are all 1, so the forest check must rely on acyclicity.
+  const std::vector<std::pair<NodeId, NodeId>> edges = {
+      {0, 1}, {1, 2}, {2, 0}};
+  const Dag cycle = MakeFromEdges(3, edges);
+  EXPECT_FALSE(IsAcyclic(cycle));
+  EXPECT_FALSE(IsOutForest(cycle));
+}
+
+TEST(Validate, CycleReachableFromDagPart) {
+  const std::vector<std::pair<NodeId, NodeId>> edges = {
+      {0, 1}, {1, 2}, {2, 1}};
+  EXPECT_FALSE(IsAcyclic(MakeFromEdges(3, edges)));
+}
+
+TEST(Validate, AnalyzeShapeReportsDegrees) {
+  const DagShape shape = AnalyzeShape(MakeStar(5));
+  EXPECT_TRUE(shape.acyclic);
+  EXPECT_TRUE(shape.out_forest);
+  EXPECT_EQ(shape.root_count, 1);
+  EXPECT_EQ(shape.max_out_degree, 5);
+  EXPECT_EQ(shape.max_in_degree, 1);
+}
+
+TEST(Validate, DescribeShapeMentionsKind) {
+  EXPECT_NE(DescribeShape(MakeChain(3)).find("out-tree"), std::string::npos);
+  EXPECT_NE(DescribeShape(MakeParallelBlob(2)).find("out-forest"),
+            std::string::npos);
+  EXPECT_NE(DescribeShape(MakeForkJoin(2)).find("general DAG"),
+            std::string::npos);
+  const std::vector<std::pair<NodeId, NodeId>> loop = {{0, 1}, {1, 0}};
+  EXPECT_NE(DescribeShape(MakeFromEdges(2, loop)).find("cyclic"),
+            std::string::npos);
+}
+
+TEST(Validate, AllGeneratorTreesAreOutTrees) {
+  Rng rng(99);
+  for (int seed = 0; seed < 10; ++seed) {
+    for (TreeFamily family : {TreeFamily::kBushy, TreeFamily::kMixed,
+                              TreeFamily::kSpiny, TreeFamily::kBranchy}) {
+      EXPECT_TRUE(IsOutTree(MakeTree(family, 50, rng)))
+          << ToString(family) << " seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace otsched

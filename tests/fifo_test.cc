@@ -1,0 +1,200 @@
+// Tests for sched/fifo.h: the FIFO constraints of Section 3, work
+// conservation, tie-break variants, and the classic chain guarantee.
+#include <gtest/gtest.h>
+
+#include "dag/builders.h"
+#include "gen/arrivals.h"
+#include "gen/random_trees.h"
+#include "opt/brute_force.h"
+#include "opt/lower_bounds.h"
+#include "sched/fifo.h"
+#include "sim/validator.h"
+
+namespace otsched {
+namespace {
+
+/// Wraps FIFO and asserts, at every slot, the two defining constraints
+/// from Section 3: (1) if fewer than m subjobs are ready, all run; (2) a
+/// scheduled subjob never bypasses an older job's unscheduled ready
+/// subjob.
+class FifoContractChecker : public Scheduler {
+ public:
+  explicit FifoContractChecker(FifoScheduler::Options options)
+      : inner_(std::move(options)) {}
+
+  std::string name() const override { return inner_.name(); }
+  bool requires_clairvoyance() const override {
+    return inner_.requires_clairvoyance();
+  }
+  void reset(int m, JobId n) override { inner_.reset(m, n); }
+  void on_arrival(JobId id, const SchedulerView& view) override {
+    inner_.on_arrival(id, view);
+  }
+
+  void pick(const SchedulerView& view, std::vector<SubjobRef>& out) override {
+    inner_.pick(view, out);
+
+    std::int64_t total_ready = 0;
+    for (JobId job : view.alive()) {
+      total_ready += static_cast<std::int64_t>(view.ready(job).size());
+    }
+    // Constraint (1): work conservation.
+    const auto picked = static_cast<std::int64_t>(out.size());
+    EXPECT_EQ(picked, std::min<std::int64_t>(view.m(), total_ready))
+        << "slot " << view.slot();
+
+    // Constraint (2): age priority.  Count picks per job; a job may be
+    // partially served only if every younger alive job got nothing and
+    // every older alive job was fully served.
+    std::vector<std::int64_t> picked_of(
+        static_cast<std::size_t>(view.job_count()), 0);
+    for (const SubjobRef& ref : out) {
+      ++picked_of[static_cast<std::size_t>(ref.job)];
+    }
+    bool seen_partial = false;
+    for (JobId job : view.alive()) {  // alive() is FIFO order
+      const auto ready =
+          static_cast<std::int64_t>(view.ready(job).size());
+      const auto got = picked_of[static_cast<std::size_t>(job)];
+      EXPECT_LE(got, ready);
+      if (seen_partial) {
+        EXPECT_EQ(got, 0) << "job " << job << " served after a partially "
+                          << "served older job at slot " << view.slot();
+      } else if (got < ready) {
+        seen_partial = true;
+      }
+    }
+  }
+
+ private:
+  FifoScheduler inner_;
+};
+
+Instance MixedTreeInstance(std::uint64_t seed, int jobs) {
+  Rng rng(seed);
+  return MakePoissonArrivals(
+      jobs, 0.2,
+      [](std::int64_t i, Rng& r) {
+        return MakeTree(static_cast<TreeFamily>(i % 4), 30, r);
+      },
+      rng);
+}
+
+class FifoVariantTest : public ::testing::TestWithParam<FifoTieBreak> {};
+
+TEST_P(FifoVariantTest, HonorsFifoContractAndFeasibility) {
+  FifoScheduler::Options options;
+  options.tie_break = GetParam();
+  if (options.tie_break == FifoTieBreak::kAvoidMarked) {
+    options.deprioritize = [](JobId, NodeId v) { return v % 3 == 0; };
+  }
+  FifoContractChecker checker(std::move(options));
+
+  const Instance instance = MixedTreeInstance(12345, 12);
+  const SimResult result = Simulate(instance, 4, checker);
+  const auto report = ValidateSchedule(result.schedule, instance);
+  EXPECT_TRUE(report.feasible) << report.violation;
+  EXPECT_TRUE(result.flows.all_completed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, FifoVariantTest,
+    ::testing::Values(FifoTieBreak::kFirstReady, FifoTieBreak::kLastReady,
+                      FifoTieBreak::kRandom, FifoTieBreak::kAvoidMarked,
+                      FifoTieBreak::kLpfHeight,
+                      FifoTieBreak::kMostChildren),
+    [](const auto& info) {
+      std::string name = ToString(info.param);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(Fifo, ClairvoyanceDeclarations) {
+  EXPECT_FALSE(FifoScheduler().requires_clairvoyance());
+  FifoScheduler::Options lpf;
+  lpf.tie_break = FifoTieBreak::kLpfHeight;
+  EXPECT_TRUE(FifoScheduler(std::move(lpf)).requires_clairvoyance());
+}
+
+TEST(Fifo, NonClairvoyantVariantsRunWithDagAccessDisabled) {
+  // Running with clairvoyance force-disabled proves the default FIFO
+  // never touches job DAGs (it would abort if it did).
+  const Instance instance = MixedTreeInstance(99, 8);
+  FifoScheduler fifo;
+  SimOptions options;
+  options.force_clairvoyance = 0;
+  const SimResult result = Simulate(instance, 3, fifo, options);
+  EXPECT_TRUE(result.flows.all_completed);
+}
+
+TEST(Fifo, SequentialJobsCompleteInArrivalOrder) {
+  // Chains on m processors: FIFO never reorders completions of
+  // equal-length chains.
+  Instance instance;
+  for (int i = 0; i < 6; ++i) {
+    instance.add_job(Job(MakeChain(4), i));
+  }
+  FifoScheduler fifo;
+  const SimResult result = Simulate(instance, 2, fifo);
+  for (JobId id = 0; id + 1 < instance.job_count(); ++id) {
+    EXPECT_LE(result.flows.completion[static_cast<std::size_t>(id)],
+              result.flows.completion[static_cast<std::size_t>(id) + 1]);
+  }
+}
+
+TEST(Fifo, ChainsStayWithinThreeMinusTwoOverM) {
+  // Bender et al.: FIFO is (3 - 2/m)-competitive on chains.  Check the
+  // measured ratio against brute-force OPT on a small stress instance.
+  Instance instance;
+  instance.add_job(Job(MakeChain(4), 0));
+  instance.add_job(Job(MakeChain(4), 0));
+  instance.add_job(Job(MakeChain(3), 1));
+  instance.add_job(Job(MakeChain(2), 2));
+  instance.add_job(Job(MakeChain(2), 2));
+
+  const int m = 2;
+  FifoScheduler fifo;
+  const SimResult result = Simulate(instance, m, fifo);
+  const Time opt = BruteForceOpt(instance, m);
+  EXPECT_LE(static_cast<double>(result.flows.max_flow),
+            (3.0 - 2.0 / m) * static_cast<double>(opt) + 1e-9);
+}
+
+TEST(Fifo, FullyParallelJobsAreOptimal) {
+  // For fully parallelizable jobs FIFO is optimal for max flow.
+  Rng rng(7);
+  Instance instance = MakePeriodicArrivals(
+      10, 3, [](std::int64_t, Rng& r) {
+        return MakeParallelBlob(
+            static_cast<NodeId>(r.next_in_range(1, 12)));
+      },
+      rng);
+  const int m = 4;
+  FifoScheduler fifo;
+  const SimResult result = Simulate(instance, m, fifo);
+  const Time lb = MaxFlowLowerBound(instance, m);
+  EXPECT_EQ(result.flows.max_flow, lb);
+}
+
+TEST(Fifo, RandomTieBreakIsSeedDeterministic) {
+  const Instance instance = MixedTreeInstance(4242, 10);
+  FifoScheduler::Options options;
+  options.tie_break = FifoTieBreak::kRandom;
+  options.seed = 77;
+  FifoScheduler a(options);
+  FifoScheduler b(options);
+  const SimResult ra = Simulate(instance, 3, a);
+  const SimResult rb = Simulate(instance, 3, b);
+  EXPECT_EQ(ra.flows.max_flow, rb.flows.max_flow);
+  EXPECT_EQ(ra.stats.horizon, rb.stats.horizon);
+}
+
+TEST(Fifo, NamesAreDistinct) {
+  FifoScheduler::Options options;
+  options.tie_break = FifoTieBreak::kRandom;
+  EXPECT_NE(FifoScheduler().name(),
+            FifoScheduler(std::move(options)).name());
+}
+
+}  // namespace
+}  // namespace otsched

@@ -1,0 +1,201 @@
+// Tests for src/gen: structural properties of every workload generator
+// and the OPT certificates of the certified families.
+#include <gtest/gtest.h>
+
+#include "dag/builders.h"
+#include "dag/metrics.h"
+#include "dag/validate.h"
+#include "gen/arrivals.h"
+#include "gen/certified.h"
+#include "gen/recursive.h"
+#include "gen/random_trees.h"
+#include "opt/brute_force.h"
+#include "opt/single_batch.h"
+
+namespace otsched {
+namespace {
+
+TEST(RandomTrees, AttachmentTreeShapes) {
+  Rng rng(1);
+  const Dag bushy = MakeAttachmentTree(300, 0.0, rng);
+  const Dag spiny = MakeAttachmentTree(300, 0.95, rng);
+  EXPECT_TRUE(IsOutTree(bushy));
+  EXPECT_TRUE(IsOutTree(spiny));
+  // Recency bias produces much deeper trees.
+  EXPECT_LT(Span(bushy) * 3, Span(spiny));
+}
+
+TEST(RandomTrees, ChainAtFullBias) {
+  Rng rng(2);
+  const Dag chain = MakeAttachmentTree(50, 1.0, rng);
+  EXPECT_EQ(Span(chain), 50);
+}
+
+TEST(RandomTrees, BranchingTreeReachesRequestedSize) {
+  Rng rng(3);
+  for (double p : {0.2, 0.5, 0.8}) {
+    const Dag tree = MakeBranchingTree(120, p, 3, rng);
+    EXPECT_EQ(tree.node_count(), 120);
+    EXPECT_TRUE(IsOutTree(tree));
+  }
+}
+
+TEST(RandomTrees, LayeredTreeProfile) {
+  Rng rng(4);
+  const std::vector<NodeId> levels = {2, 5, 3, 1};
+  const Dag tree = MakeLayeredRandomTree(levels, rng);
+  const DagMetrics m = ComputeMetrics(tree);
+  EXPECT_EQ(m.work, 11);
+  EXPECT_EQ(m.span, 4);
+  EXPECT_EQ(m.w_deeper(1), 9);
+  EXPECT_EQ(m.w_deeper(3), 1);
+  EXPECT_TRUE(IsOutForest(tree));
+}
+
+TEST(RandomTrees, ForestHasRequestedTreeCount) {
+  Rng rng(5);
+  const Dag forest = MakeRandomForest(40, 4, 0.5, rng);
+  EXPECT_EQ(forest.node_count(), 40);
+  EXPECT_TRUE(IsOutForest(forest));
+  EXPECT_EQ(forest.roots().size(), 4u);
+}
+
+TEST(Recursive, QuicksortTreeIsOutTree) {
+  Rng rng(6);
+  QuicksortOptions options;
+  options.n = 2000;
+  options.grain = 50;
+  options.cutoff = 50;
+  const Dag tree = MakeQuicksortTree(options, rng);
+  EXPECT_TRUE(IsOutTree(tree));
+  EXPECT_GT(tree.node_count(), 20);
+  // Partition chains mean nontrivial depth.
+  EXPECT_GT(Span(tree), 5);
+}
+
+TEST(Recursive, QuicksortCutoffYieldsSingleNode) {
+  Rng rng(7);
+  QuicksortOptions options;
+  options.n = 10;
+  options.cutoff = 16;
+  const Dag tree = MakeQuicksortTree(options, rng);
+  EXPECT_EQ(tree.node_count(), 1);
+}
+
+TEST(Recursive, ParallelForSeriesShape) {
+  const std::vector<NodeId> widths = {3, 1, 4};
+  const Dag dag = MakeParallelForSeries(widths);
+  // 3 spawn nodes + 8 iterations.
+  EXPECT_EQ(dag.node_count(), 11);
+  EXPECT_TRUE(IsOutTree(dag));
+  // Span: spawn chain (3) + trailing iteration = 4.
+  EXPECT_EQ(Span(dag), 4);
+}
+
+TEST(Recursive, FibTreeCounts) {
+  // Nodes in the fib call tree: T(k) = T(k-1) + T(k-2) + 1; T(0)=T(1)=1.
+  EXPECT_EQ(MakeFibTree(0).node_count(), 1);
+  EXPECT_EQ(MakeFibTree(1).node_count(), 1);
+  EXPECT_EQ(MakeFibTree(2).node_count(), 3);
+  EXPECT_EQ(MakeFibTree(5).node_count(), 15);
+  EXPECT_TRUE(IsOutTree(MakeFibTree(8)));
+}
+
+TEST(Recursive, MapReducePipelineIsGeneralDag) {
+  Rng rng(8);
+  const Dag dag = MakeMapReducePipeline(3, 5, rng);
+  EXPECT_TRUE(IsAcyclic(dag));
+  EXPECT_FALSE(IsOutForest(dag));
+}
+
+TEST(Arrivals, PeriodicReleases) {
+  Rng rng(9);
+  const Instance instance = MakePeriodicArrivals(
+      5, 7, [](std::int64_t, Rng&) { return MakeChain(2); }, rng);
+  for (JobId i = 0; i < 5; ++i) {
+    EXPECT_EQ(instance.job(i).release(), 7 * i);
+  }
+}
+
+TEST(Arrivals, PoissonReleasesAreMonotone) {
+  Rng rng(10);
+  const Instance instance = MakePoissonArrivals(
+      30, 0.3, [](std::int64_t, Rng&) { return MakeChain(1); }, rng);
+  for (JobId i = 0; i + 1 < instance.job_count(); ++i) {
+    EXPECT_LE(instance.job(i).release(), instance.job(i + 1).release());
+  }
+}
+
+TEST(Arrivals, BurstyGroups) {
+  Rng rng(11);
+  const Instance instance = MakeBurstyArrivals(
+      3, 4, 10, [](std::int64_t, Rng&) { return MakeChain(1); }, rng);
+  EXPECT_EQ(instance.job_count(), 12);
+  EXPECT_EQ(instance.job(0).release(), 0);
+  EXPECT_EQ(instance.job(4).release(), 10);
+  EXPECT_EQ(instance.job(11).release(), 20);
+}
+
+// ---- Certified constructions ----
+
+class SaturatedForestTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SaturatedForestTest, OptIsPinnedExactly) {
+  const auto [m, delta, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 911 + m * 31 + delta);
+  const Time depth_limit = std::max<Time>(1, delta - 1);
+  const Dag forest = MakeSaturatedForest(m, delta, depth_limit, rng);
+  EXPECT_TRUE(IsOutForest(forest));
+  EXPECT_EQ(forest.node_count(), m * delta);  // fully saturated
+  EXPECT_EQ(SingleBatchOpt(forest, m), delta);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SaturatedForestTest,
+                         ::testing::Combine(::testing::Values(2, 4, 8, 16),
+                                            ::testing::Values(2, 5, 9),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(Certified, SpacedSaturatedCertificateAgainstBruteForce) {
+  // Small enough for exhaustive verification: m=2, delta=2, 2 batches ->
+  // 8 nodes total.
+  Rng rng(12);
+  const CertifiedInstance cert = MakeSpacedSaturatedInstance(2, 2, 2, rng);
+  EXPECT_EQ(cert.instance.total_work(), 8);
+  EXPECT_EQ(BruteForceOpt(cert.instance, 2), cert.opt);
+}
+
+TEST(Certified, PipelinedCertificateAgainstBruteForce) {
+  Rng rng(13);
+  const CertifiedInstance cert = MakePipelinedSemiBatchedInstance(2, 2, 2, rng);
+  // Each batch: 1-wide, 4-deep chain-ish; 2 batches, 8 nodes.
+  EXPECT_EQ(cert.opt, 4);
+  EXPECT_EQ(BruteForceOpt(cert.instance, 2), cert.opt);
+}
+
+TEST(Certified, PipelinedReleasesAreSemiBatched) {
+  Rng rng(14);
+  const CertifiedInstance cert =
+      MakePipelinedSemiBatchedInstance(8, 3, 5, rng);
+  EXPECT_EQ(cert.opt, 6);
+  EXPECT_TRUE(cert.instance.is_batched(cert.opt / 2));
+  EXPECT_TRUE(cert.instance.all_out_forests());
+}
+
+TEST(Certified, BatchedFamilySpacingEqualsOpt) {
+  Rng rng(15);
+  const CertifiedInstance cert =
+      MakeBatchedFamilyInstance(4, 5, 4, TreeFamily::kMixed, rng);
+  EXPECT_TRUE(cert.instance.is_batched(cert.opt));
+  // Every batch alone fits in opt; at least one batch realizes it.
+  Time worst = 0;
+  for (const Job& job : cert.instance.jobs()) {
+    const Time batch_opt = SingleBatchOpt(job.dag(), 4);
+    EXPECT_LE(batch_opt, cert.opt);
+    worst = std::max(worst, batch_opt);
+  }
+  EXPECT_EQ(worst, cert.opt);
+}
+
+}  // namespace
+}  // namespace otsched

@@ -1,0 +1,177 @@
+// Cross-module integration tests: every scheduler on shared workloads,
+// with the orderings the paper predicts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/alg_a.h"
+#include "core/alg_a_full.h"
+#include "core/lpf.h"
+#include "dag/builders.h"
+#include "gen/arrivals.h"
+#include "gen/certified.h"
+#include "gen/fifo_adversary.h"
+#include "gen/recursive.h"
+#include "opt/lower_bounds.h"
+#include "sched/fifo.h"
+#include "sched/list_greedy.h"
+#include "sched/round_robin.h"
+#include "sim/validator.h"
+
+namespace otsched {
+namespace {
+
+Instance QuicksortServerLoad(std::uint64_t seed, int jobs) {
+  Rng rng(seed);
+  return MakePoissonArrivals(
+      jobs, 0.08,
+      [](std::int64_t, Rng& r) {
+        QuicksortOptions q;
+        q.n = 600;
+        q.grain = 40;
+        q.cutoff = 40;
+        return MakeQuicksortTree(q, r);
+      },
+      rng);
+}
+
+TEST(Integration, EverySchedulerCompletesEveryWorkload) {
+  std::vector<Instance> workloads;
+  workloads.push_back(QuicksortServerLoad(1, 8));
+  {
+    Rng rng(2);
+    workloads.push_back(
+        MakeSpacedSaturatedInstance(8, 4, 4, rng).instance);
+  }
+  {
+    Rng rng(3);
+    workloads.push_back(MakeBurstyArrivals(
+        2, 3, 8,
+        [](std::int64_t, Rng& r) {
+          return MakeRandomParallelForSeries(4, 10, r);
+        },
+        rng));
+  }
+
+  for (const Instance& instance : workloads) {
+    std::vector<std::unique_ptr<Scheduler>> schedulers;
+    schedulers.push_back(std::make_unique<FifoScheduler>());
+    {
+      FifoScheduler::Options o;
+      o.tie_break = FifoTieBreak::kRandom;
+      schedulers.push_back(std::make_unique<FifoScheduler>(std::move(o)));
+    }
+    schedulers.push_back(std::make_unique<ListGreedyScheduler>(7));
+    schedulers.push_back(std::make_unique<RoundRobinScheduler>());
+    schedulers.push_back(std::make_unique<GlobalLpfScheduler>());
+    {
+      AlgAScheduler::Options o;
+      o.beta = 16;
+      schedulers.push_back(std::make_unique<AlgAScheduler>(o));
+    }
+
+    for (const auto& scheduler : schedulers) {
+      const SimResult result = Simulate(instance, 8, *scheduler);
+      const auto report = ValidateSchedule(result.schedule, instance);
+      EXPECT_TRUE(report.feasible)
+          << scheduler->name() << " on " << instance.name() << ": "
+          << report.violation;
+      EXPECT_TRUE(result.flows.all_completed) << scheduler->name();
+    }
+  }
+}
+
+TEST(Integration, AlgAIsConstantCompetitiveOnTheAdversary) {
+  // The paper's separation is asymptotic: FIFO's ratio grows like
+  // lg m - lg lg m while Algorithm A's stays a CONSTANT in m.  At small m
+  // FIFO's curve is tiny, so the checkable claim here is A's m-
+  // independent bound (the trend comparison is the E9 experiment).
+  double previous_ratio = 0.0;
+  for (int m : {16, 32}) {
+    LowerBoundSimOptions options;
+    options.m = m;
+    options.num_jobs = 120;
+    const AdversarialInstance adv = MakeAdversarialInstance(options);
+
+    // Semi-batched Algorithm A: releases are multiples of (m+1), so
+    // known_opt = 2(m+1) makes the instance semi-batched for it.
+    AlgASemiBatchedScheduler::Options a_options;
+    a_options.known_opt = 2 * (m + 1);
+    AlgASemiBatchedScheduler alg_a(a_options);
+    const SimResult a_result = Simulate(adv.instance, m, alg_a);
+    ASSERT_TRUE(ValidateSchedule(a_result.schedule, adv.instance).feasible);
+
+    const double ratio =
+        static_cast<double>(a_result.flows.max_flow) /
+        static_cast<double>(adv.fifo_run.certified_opt_upper);
+    // Theorem 5.6 envelope (129 * known_opt = 258 * OPT-upper); measured
+    // values are far smaller, and crucially do not grow with m.
+    EXPECT_LE(ratio, 258.0) << "m=" << m;
+    if (previous_ratio > 0.0) {
+      EXPECT_LE(ratio, previous_ratio * 1.5)
+          << "Algorithm A ratio should not grow with m";
+    }
+    previous_ratio = ratio;
+    EXPECT_EQ(alg_a.mc_busy_violations(), 0);
+  }
+}
+
+TEST(Integration, WorkConservingSchedulersShareTotalWorkInvariant) {
+  const Instance instance = QuicksortServerLoad(5, 6);
+  FifoScheduler fifo;
+  ListGreedyScheduler greedy(3);
+  const SimResult a = Simulate(instance, 4, fifo);
+  const SimResult b = Simulate(instance, 4, greedy);
+  EXPECT_EQ(a.stats.executed_subjobs, b.stats.executed_subjobs);
+  EXPECT_EQ(a.stats.executed_subjobs, instance.total_work());
+}
+
+TEST(Integration, LightLoadMakesEveryoneNearOptimal) {
+  // Widely spaced small jobs: all policies should be close to the lower
+  // bound (no queueing).
+  Rng rng(6);
+  Instance instance = MakePeriodicArrivals(
+      6, 100,
+      [](std::int64_t, Rng& r) {
+        return MakeTree(TreeFamily::kMixed, 30, r);
+      },
+      rng);
+  for (int which = 0; which < 2; ++which) {
+    std::unique_ptr<Scheduler> scheduler;
+    if (which == 0) {
+      scheduler = std::make_unique<FifoScheduler>();
+    } else {
+      scheduler = std::make_unique<ListGreedyScheduler>(1);
+    }
+    const SimResult result = Simulate(instance, 8, *scheduler);
+    // Jobs never overlap, so each finishes like a solo greedy run:
+    // within 2x its solo optimum (Graham).
+    Time worst_solo = 0;
+    for (const Job& job : instance.jobs()) {
+      worst_solo =
+          std::max(worst_solo, DepthProfileBound(job, 8));
+    }
+    EXPECT_LE(result.flows.max_flow, 2 * worst_solo)
+        << scheduler->name();
+  }
+}
+
+TEST(Integration, BatchedFifoStaysNearLogEnvelope) {
+  // Section 6 sanity: on batched certified instances, FIFO's ratio is
+  // comfortably below log2(max(m, OPT)) + 3 for these sizes.
+  for (int m : {4, 8, 16}) {
+    Rng rng(static_cast<std::uint64_t>(m) * 17);
+    CertifiedInstance cert = MakeSpacedSaturatedInstance(m, 5, 6, rng);
+    FifoScheduler fifo;
+    const SimResult result = Simulate(cert.instance, m, fifo);
+    ASSERT_TRUE(ValidateSchedule(result.schedule, cert.instance).feasible);
+    const double ratio = static_cast<double>(result.flows.max_flow) /
+                         static_cast<double>(cert.opt);
+    const double envelope =
+        std::log2(std::max<double>(m, static_cast<double>(cert.opt))) + 3.0;
+    EXPECT_LE(ratio, envelope) << "m=" << m;
+  }
+}
+
+}  // namespace
+}  // namespace otsched

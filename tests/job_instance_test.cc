@@ -1,0 +1,115 @@
+// Tests for job/job.h, job/instance.h, job/transforms.h.
+#include <gtest/gtest.h>
+
+#include "dag/builders.h"
+#include "job/instance.h"
+#include "job/transforms.h"
+
+namespace otsched {
+namespace {
+
+TEST(Job, BasicAccessors) {
+  Job job(MakeChain(5), 7, "chain");
+  EXPECT_EQ(job.work(), 5);
+  EXPECT_EQ(job.span(), 5);
+  EXPECT_EQ(job.release(), 7);
+  EXPECT_EQ(job.name(), "chain");
+}
+
+TEST(Job, MetricsAreCachedAndConsistent) {
+  Job job(MakeStar(3), 0);
+  const DagMetrics& first = job.metrics();
+  const DagMetrics& second = job.metrics();
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(first.span, 2);
+}
+
+TEST(Instance, AccountingAndOrder) {
+  Instance instance;
+  instance.add_job(Job(MakeChain(2), 10));
+  instance.add_job(Job(MakeStar(2), 0));
+  instance.add_job(Job(MakeChain(3), 10));
+
+  EXPECT_EQ(instance.job_count(), 3);
+  EXPECT_EQ(instance.total_work(), 8);
+  EXPECT_EQ(instance.max_span(), 3);
+  EXPECT_EQ(instance.min_release(), 0);
+  EXPECT_EQ(instance.max_release(), 10);
+
+  const auto order = instance.release_order();
+  EXPECT_EQ(order, (std::vector<JobId>{1, 0, 2}));  // stable on ties
+}
+
+TEST(Instance, OutForestDetection) {
+  Instance forests;
+  forests.add_job(Job(MakeChain(2), 0));
+  forests.add_job(Job(MakeParallelBlob(3), 0));
+  EXPECT_TRUE(forests.all_out_forests());
+
+  Instance mixed;
+  mixed.add_job(Job(MakeForkJoin(2), 0));
+  EXPECT_FALSE(mixed.all_out_forests());
+}
+
+TEST(Instance, BatchedPredicate) {
+  Instance instance;
+  instance.add_job(Job(MakeChain(1), 0));
+  instance.add_job(Job(MakeChain(1), 6));
+  instance.add_job(Job(MakeChain(1), 12));
+  EXPECT_TRUE(instance.is_batched(6));
+  EXPECT_TRUE(instance.is_batched(3));
+  EXPECT_FALSE(instance.is_batched(5));
+}
+
+TEST(Transforms, RoundReleasesUp) {
+  Instance instance;
+  instance.add_job(Job(MakeChain(1), 0));
+  instance.add_job(Job(MakeChain(1), 1));
+  instance.add_job(Job(MakeChain(1), 5));
+  instance.add_job(Job(MakeChain(1), 6));
+  const Instance rounded = RoundReleasesUp(instance, 5);
+  EXPECT_EQ(rounded.job(0).release(), 0);
+  EXPECT_EQ(rounded.job(1).release(), 5);
+  EXPECT_EQ(rounded.job(2).release(), 5);
+  EXPECT_EQ(rounded.job(3).release(), 10);
+  EXPECT_TRUE(rounded.is_batched(5));
+}
+
+TEST(Transforms, UnionPerReleaseMergesAndMaps) {
+  Instance instance;
+  instance.add_job(Job(MakeChain(2), 0, "a"));
+  instance.add_job(Job(MakeStar(1), 0, "b"));
+  instance.add_job(Job(MakeChain(3), 4, "c"));
+
+  UnionMapping mapping;
+  const Instance merged = UnionPerRelease(instance, &mapping);
+  ASSERT_EQ(merged.job_count(), 2);
+  EXPECT_EQ(merged.job(0).release(), 0);
+  EXPECT_EQ(merged.job(0).work(), 4);  // chain(2) + star(1)
+  EXPECT_EQ(merged.job(1).work(), 3);
+
+  ASSERT_EQ(mapping.original_refs.size(), 2u);
+  // The first two merged nodes map back to job 0 (the chain).
+  EXPECT_EQ(mapping.original_refs[0][0], (SubjobRef{0, 0}));
+  EXPECT_EQ(mapping.original_refs[0][2], (SubjobRef{1, 0}));
+}
+
+TEST(Transforms, ShiftReleases) {
+  Instance instance;
+  instance.add_job(Job(MakeChain(1), 3));
+  const Instance shifted = ShiftReleases(instance, 4);
+  EXPECT_EQ(shifted.job(0).release(), 7);
+}
+
+TEST(Transforms, RoundTripPreservesWork) {
+  Instance instance;
+  for (Time r : {0, 1, 2, 7, 8, 9}) {
+    instance.add_job(Job(MakeChain(2), r));
+  }
+  const Instance rounded = RoundReleasesUp(instance, 4);
+  EXPECT_EQ(rounded.total_work(), instance.total_work());
+  EXPECT_EQ(rounded.job_count(), instance.job_count());
+}
+
+}  // namespace
+}  // namespace otsched

@@ -1,0 +1,189 @@
+// Tests for core/lpf.h: Lemma 5.3 / Corollary 5.4 optimality, the
+// alpha-competitiveness of LPF[m/alpha], and the Lemma 5.2 / Figure 2
+// head/tail shape.
+#include <gtest/gtest.h>
+
+#include "core/lpf.h"
+#include "dag/builders.h"
+#include "dag/validate.h"
+#include "gen/random_trees.h"
+#include "opt/brute_force.h"
+#include "opt/single_batch.h"
+#include "sim/validator.h"
+
+namespace otsched {
+namespace {
+
+TEST(Lpf, ChainTakesSpanSlots) {
+  const JobSchedule s = BuildLpfSchedule(MakeChain(6), 3);
+  EXPECT_EQ(s.length(), 6);
+  EXPECT_EQ(s.total(), 6);
+  EXPECT_TRUE(CheckJobSchedule(MakeChain(6), s).empty());
+}
+
+TEST(Lpf, BlobPacksDensely) {
+  const JobSchedule s = BuildLpfSchedule(MakeParallelBlob(10), 4);
+  EXPECT_EQ(s.length(), 3);  // 4 + 4 + 2
+  EXPECT_EQ(s.load(1), 4);
+  EXPECT_EQ(s.load(2), 4);
+  EXPECT_EQ(s.load(3), 2);
+}
+
+TEST(Lpf, EmptyDag) {
+  const JobSchedule s = BuildLpfSchedule(Dag(), 2);
+  EXPECT_EQ(s.length(), 0);
+  EXPECT_EQ(s.last_underfull_slot(), kNoTime);
+}
+
+TEST(Lpf, PrioritizesTallerSubtrees) {
+  // Root with two children: one leaf, one chain of 3.  On p=1, after the
+  // root LPF must follow the chain before the leaf.
+  Dag::Builder builder(5);
+  builder.add_edge(0, 1);        // leaf child
+  builder.add_edge(0, 2);        // chain child
+  builder.add_edge(2, 3);
+  builder.add_edge(3, 4);
+  const Dag tree = std::move(builder).build();
+  const JobSchedule s = BuildLpfSchedule(tree, 1);
+  EXPECT_EQ(s.slot_of[2], 2);
+  EXPECT_EQ(s.slot_of[3], 3);
+  EXPECT_EQ(s.slot_of[4], 4);
+  EXPECT_EQ(s.slot_of[1], 5);  // the shallow leaf goes last
+}
+
+TEST(Lpf, SchedulerChecksCatchBrokenSchedules) {
+  const Dag chain = MakeChain(3);
+  JobSchedule broken = BuildLpfSchedule(chain, 1);
+  std::swap(broken.slots[0], broken.slots[2]);  // reverse the chain order
+  broken.slot_of[0] = 3;
+  broken.slot_of[2] = 1;
+  EXPECT_FALSE(CheckJobSchedule(chain, broken).empty());
+}
+
+// ---- Lemma 5.3 / Corollary 5.4: LPF optimality sweep ----
+
+struct LpfCase {
+  TreeFamily family;
+  int size;
+  int m;
+  std::uint64_t seed;
+};
+
+class LpfOptimalityTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(LpfOptimalityTest, MatchesCorollary54OnFullMachine) {
+  const auto [family_index, m, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 1000003 + m);
+  const auto family = static_cast<TreeFamily>(family_index);
+  const Dag tree = MakeTree(family, 120, rng);
+  ASSERT_TRUE(IsOutTree(tree));
+
+  const Time opt = SingleBatchOpt(tree, m);
+  const JobSchedule s = BuildLpfSchedule(tree, m);
+  EXPECT_TRUE(CheckJobSchedule(tree, s).empty());
+  // Lemma 5.3: LPF on the full machine achieves exactly OPT.
+  EXPECT_EQ(s.length(), opt)
+      << ToString(family) << " m=" << m << " seed=" << seed;
+}
+
+TEST_P(LpfOptimalityTest, AlphaCompetitiveOnReducedMachine) {
+  const auto [family_index, m, seed] = GetParam();
+  if (m % 4 != 0) GTEST_SKIP() << "alpha=4 must divide m";
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919 + m);
+  const auto family = static_cast<TreeFamily>(family_index);
+  const Dag tree = MakeTree(family, 200, rng);
+
+  const Time opt = SingleBatchOpt(tree, m);
+  const JobSchedule s = BuildLpfSchedule(tree, m / 4);
+  EXPECT_TRUE(CheckJobSchedule(tree, s).empty());
+  EXPECT_LE(s.length(), 4 * opt);
+}
+
+TEST_P(LpfOptimalityTest, Lemma52ChainStructureHolds) {
+  const auto [family_index, m, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 31 + m);
+  const auto family = static_cast<TreeFamily>(family_index);
+  const Dag tree = MakeTree(family, 150, rng);
+
+  const int p = std::max(1, m / 4);
+  const JobSchedule s = BuildLpfSchedule(tree, p);
+  const Lemma52Report report = CheckLemma52(tree, s);
+  EXPECT_TRUE(report.holds) << report.detail;
+  if (report.last_underfull != kNoTime) {
+    // Lemma 5.2 forces the last underfull slot to be at most the max
+    // depth, hence at most OPT on the full machine.
+    EXPECT_LE(report.last_underfull, SingleBatchOpt(tree, m));
+  }
+}
+
+TEST_P(LpfOptimalityTest, HeadTailRectangle) {
+  const auto [family_index, m, seed] = GetParam();
+  if (m % 4 != 0) GTEST_SKIP();
+  Rng rng(static_cast<std::uint64_t>(seed) * 271 + m);
+  const auto family = static_cast<TreeFamily>(family_index);
+  const Dag tree = MakeTree(family, 240, rng);
+
+  const Time opt = SingleBatchOpt(tree, m);
+  const JobSchedule s = BuildLpfSchedule(tree, m / 4);
+  const HeadTailShape shape = AnalyzeHeadTail(s, opt);
+  // Figure 2: the tail is a fully packed rectangle (no underfull slot
+  // strictly inside it) of length at most (alpha - 1) * OPT.
+  EXPECT_TRUE(shape.underfull_tail_slots.empty());
+  EXPECT_LE(shape.tail_len, 3 * opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LpfOptimalityTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),  // TreeFamily
+                       ::testing::Values(2, 4, 8, 16),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(Lpf, MatchesBruteForceOnTinyForests) {
+  // Corollary 5.4 == true OPT, certified by exhaustive search.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    const Dag forest = MakeRandomForest(12, 3, 0.5, rng);
+    Instance instance;
+    instance.add_job(Job(Dag(forest), 0));
+    for (int m : {1, 2, 3}) {
+      EXPECT_EQ(SingleBatchOpt(forest, m), BruteForceOpt(instance, m))
+          << "seed " << seed << " m " << m;
+    }
+  }
+}
+
+TEST(Lpf, OutForestInputSupported) {
+  Rng rng(5);
+  const Dag forest = MakeRandomForest(60, 4, 0.3, rng);
+  const Time opt = SingleBatchOpt(forest, 4);
+  const JobSchedule s = BuildLpfSchedule(forest, 4);
+  EXPECT_EQ(s.length(), opt);
+}
+
+// ---- GlobalLpfScheduler ----
+
+TEST(GlobalLpf, FeasibleOnMixedInstance) {
+  Rng rng(17);
+  Instance instance;
+  for (int i = 0; i < 6; ++i) {
+    instance.add_job(Job(MakeTree(TreeFamily::kMixed, 40, rng), i * 3));
+  }
+  GlobalLpfScheduler scheduler;
+  const SimResult result = Simulate(instance, 4, scheduler);
+  const auto report = ValidateSchedule(result.schedule, instance);
+  EXPECT_TRUE(report.feasible) << report.violation;
+}
+
+TEST(GlobalLpf, SingleJobMatchesBuildLpfLength) {
+  Rng rng(23);
+  const Dag tree = MakeTree(TreeFamily::kBranchy, 90, rng);
+  Instance instance;
+  instance.add_job(Job(Dag(tree), 0));
+  GlobalLpfScheduler scheduler;
+  const SimResult result = Simulate(instance, 3, scheduler);
+  EXPECT_EQ(result.flows.max_flow, BuildLpfSchedule(tree, 3).length());
+}
+
+}  // namespace
+}  // namespace otsched

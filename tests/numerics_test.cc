@@ -1,0 +1,110 @@
+// Tests for gen/numerics.h: structural formulas of the HPC task DAGs.
+#include <gtest/gtest.h>
+
+#include "dag/metrics.h"
+#include "dag/validate.h"
+#include "gen/numerics.h"
+#include "sched/fifo.h"
+#include "sim/validator.h"
+
+namespace otsched {
+namespace {
+
+TEST(Cholesky, TaskCountsAndSpan) {
+  for (int n : {1, 2, 3, 4, 6}) {
+    const Dag dag = MakeTiledCholeskyDag(n);
+    const std::int64_t potrf = n;
+    const std::int64_t trsm = static_cast<std::int64_t>(n) * (n - 1) / 2;
+    const std::int64_t syrk = trsm;
+    const std::int64_t gemm =
+        static_cast<std::int64_t>(n) * (n - 1) * (n - 2) / 6;
+    EXPECT_EQ(dag.node_count(), potrf + trsm + syrk + gemm) << "n=" << n;
+    EXPECT_TRUE(IsAcyclic(dag));
+    const std::int64_t expected_span = n == 1 ? 1 : 3 * n - 2;
+    EXPECT_EQ(Span(dag), expected_span) << "n=" << n;
+  }
+}
+
+TEST(Cholesky, IsAGenuineDagNotATree) {
+  const Dag dag = MakeTiledCholeskyDag(4);
+  EXPECT_FALSE(IsOutForest(dag));  // GEMM joins two TRSMs
+  // Single source: POTRF(0).
+  EXPECT_EQ(dag.roots().size(), 1u);
+}
+
+TEST(Lu, TaskCountsAndAcyclicity) {
+  for (int n : {1, 2, 3, 5}) {
+    const Dag dag = MakeTiledLuDag(n);
+    const std::int64_t getrf = n;
+    const std::int64_t trsm = 2LL * n * (n - 1) / 2;
+    std::int64_t gemm = 0;
+    for (int k = 0; k < n; ++k) {
+      gemm += static_cast<std::int64_t>(n - 1 - k) * (n - 1 - k);
+    }
+    EXPECT_EQ(dag.node_count(), getrf + trsm + gemm) << "n=" << n;
+    EXPECT_TRUE(IsAcyclic(dag));
+  }
+  // Span of LU: GETRF -> TRSM -> GEMM per step, 3(n-1)+1.
+  EXPECT_EQ(Span(MakeTiledLuDag(4)), 10);
+}
+
+TEST(Stencil, GridStructure) {
+  const Dag dag = MakeStencil1dDag(5, 4);
+  EXPECT_EQ(dag.node_count(), 20);
+  EXPECT_EQ(Span(dag), 4);
+  EXPECT_TRUE(IsAcyclic(dag));
+  // Interior cell depends on three neighbours; borders on two.
+  EXPECT_EQ(dag.in_degree(5 + 2), 3);  // (t=1, i=2)
+  EXPECT_EQ(dag.in_degree(5 + 0), 2);  // (t=1, i=0)
+  // First row are the only sources.
+  EXPECT_EQ(dag.roots().size(), 5u);
+}
+
+TEST(Fft, ButterflyStructure) {
+  const int log2n = 4;  // n = 16
+  const Dag dag = MakeFftButterflyDag(log2n);
+  EXPECT_EQ(dag.node_count(), log2n * 8);  // log2n * n/2
+  EXPECT_EQ(Span(dag), log2n);
+  EXPECT_TRUE(IsAcyclic(dag));
+  // Every butterfly beyond stage 0 joins exactly two predecessors.
+  for (NodeId v = 8; v < dag.node_count(); ++v) {
+    EXPECT_EQ(dag.in_degree(v), 2) << "node " << v;
+  }
+  // Every butterfly before the last stage feeds exactly two successors.
+  for (NodeId v = 0; v < (log2n - 1) * 8; ++v) {
+    EXPECT_EQ(dag.out_degree(v), 2) << "node " << v;
+  }
+}
+
+TEST(Numerics, AllSchedulableEndToEnd) {
+  Instance instance;
+  instance.add_job(Job(MakeTiledCholeskyDag(5), 0, "cholesky"));
+  instance.add_job(Job(MakeTiledLuDag(4), 3, "lu"));
+  instance.add_job(Job(MakeStencil1dDag(8, 6), 6, "stencil"));
+  instance.add_job(Job(MakeFftButterflyDag(5), 9, "fft"));
+  FifoScheduler fifo;
+  const SimResult result = Simulate(instance, 6, fifo);
+  const auto report = ValidateSchedule(result.schedule, instance);
+  EXPECT_TRUE(report.feasible) << report.violation;
+  EXPECT_TRUE(result.flows.all_completed);
+}
+
+TEST(Numerics, CholeskyParallelismProfileIsHumped) {
+  // Mid-factorization there are many independent GEMMs; the width of an
+  // LPF-style greedy run must exceed the start/end widths.
+  const Dag dag = MakeTiledCholeskyDag(8);
+  const DagMetrics metrics = ComputeMetrics(dag);
+  // Count nodes per depth: the middle depths are the widest.
+  std::vector<int> width(static_cast<std::size_t>(metrics.span) + 1, 0);
+  for (NodeId v = 0; v < dag.node_count(); ++v) {
+    ++width[static_cast<std::size_t>(
+        metrics.depth[static_cast<std::size_t>(v)])];
+  }
+  int peak = 0;
+  for (int w : width) peak = std::max(peak, w);
+  EXPECT_GT(peak, width[1] * 3);
+  EXPECT_GT(peak, width.back() * 3);
+}
+
+}  // namespace
+}  // namespace otsched

@@ -1,0 +1,69 @@
+// Tests for sched/remaining_work.h: the SRPT-like and largest-first
+// baselines, including SRPT's characteristic starvation on max flow.
+#include <gtest/gtest.h>
+
+#include "dag/builders.h"
+#include "sched/fifo.h"
+#include "sched/remaining_work.h"
+#include "sim/validator.h"
+
+namespace otsched {
+namespace {
+
+TEST(RemainingWork, BothOrdersAreFeasible) {
+  Instance instance;
+  for (int i = 0; i < 5; ++i) {
+    instance.add_job(Job(MakeStar(3 + i), 2 * i));
+  }
+  for (RemainingWorkOrder order : {RemainingWorkOrder::kSmallestFirst,
+                                   RemainingWorkOrder::kLargestFirst}) {
+    RemainingWorkScheduler scheduler(order);
+    const SimResult result = Simulate(instance, 3, scheduler);
+    const auto report = ValidateSchedule(result.schedule, instance);
+    EXPECT_TRUE(report.feasible) << report.violation;
+    EXPECT_TRUE(result.flows.all_completed);
+  }
+}
+
+TEST(RemainingWork, SrptStarvesTheBigJob) {
+  // One big blob at t=0 plus a stream of small blobs: SRPT always
+  // preempts toward the small ones, so the big job's flow balloons;
+  // FIFO keeps it bounded.  This is why max-flow wants age priority.
+  Instance instance;
+  instance.add_job(Job(MakeParallelBlob(40), 0, "big"));
+  for (int i = 0; i < 30; ++i) {
+    instance.add_job(Job(MakeParallelBlob(4), i, "small"));
+  }
+  const int m = 4;
+
+  RemainingWorkScheduler srpt(RemainingWorkOrder::kSmallestFirst);
+  FifoScheduler fifo;
+  const SimResult srpt_run = Simulate(instance, m, srpt);
+  const SimResult fifo_run = Simulate(instance, m, fifo);
+
+  EXPECT_GT(srpt_run.flows.flow[0], 2 * fifo_run.flows.flow[0])
+      << "SRPT should starve the big job relative to FIFO";
+}
+
+TEST(RemainingWork, Names) {
+  EXPECT_EQ(
+      RemainingWorkScheduler(RemainingWorkOrder::kSmallestFirst).name(),
+      "srpt-like");
+  EXPECT_EQ(
+      RemainingWorkScheduler(RemainingWorkOrder::kLargestFirst).name(),
+      "largest-remaining-first");
+}
+
+TEST(RemainingWork, WorkConserving) {
+  Instance instance;
+  instance.add_job(Job(MakeParallelBlob(10), 0));
+  instance.add_job(Job(MakeChain(6), 0));
+  RemainingWorkScheduler scheduler(RemainingWorkOrder::kLargestFirst);
+  const SimResult result = Simulate(instance, 4, scheduler);
+  // 16 units of work, span 6, m=4: any work-conserving policy finishes
+  // within the Graham bound W/m + span = 10.
+  EXPECT_LE(result.flows.max_flow, 10);
+}
+
+}  // namespace
+}  // namespace otsched

@@ -1,0 +1,98 @@
+// Tests for sim/renderer.h.
+#include <gtest/gtest.h>
+
+#include "dag/builders.h"
+#include "sched/fifo.h"
+#include "sim/engine.h"
+#include "sim/renderer.h"
+
+namespace otsched {
+namespace {
+
+TEST(Renderer, JobLabelsCycle) {
+  EXPECT_EQ(JobLabel(0), 'A');
+  EXPECT_EQ(JobLabel(25), 'Z');
+  EXPECT_EQ(JobLabel(26), 'a');
+  EXPECT_EQ(JobLabel(62), 'A');  // wraps
+}
+
+TEST(Renderer, GridShowsJobsAndIdle) {
+  Instance instance;
+  instance.add_job(Job(MakeChain(2), 0));
+  instance.add_job(Job(MakeParallelBlob(2), 0));
+  Schedule schedule(2);
+  schedule.place(1, {0, 0});
+  schedule.place(1, {1, 0});
+  schedule.place(2, {0, 1});
+  schedule.place(2, {1, 1});
+
+  RenderOptions options;
+  options.ruler = false;
+  const std::string grid = RenderSchedule(schedule, instance, options);
+  // Two processor rows; both slots full.
+  EXPECT_NE(grid.find("P0"), std::string::npos);
+  EXPECT_NE(grid.find("P1"), std::string::npos);
+  EXPECT_NE(grid.find("AA"), std::string::npos);
+  EXPECT_NE(grid.find("BB"), std::string::npos);
+}
+
+TEST(Renderer, IdleCellsAreDots) {
+  Instance instance;
+  instance.add_job(Job(MakeChain(2), 0));
+  Schedule schedule(2);
+  schedule.place(1, {0, 0});
+  schedule.place(2, {0, 1});
+  RenderOptions options;
+  options.ruler = false;
+  const std::string grid = RenderSchedule(schedule, instance, options);
+  EXPECT_NE(grid.find(".."), std::string::npos);  // P1 idle both slots
+}
+
+TEST(Renderer, EmptyScheduleMessage) {
+  Instance instance;
+  const std::string grid = RenderSchedule(Schedule(1), instance);
+  EXPECT_NE(grid.find("empty"), std::string::npos);
+}
+
+TEST(Renderer, SlotRangeClipping) {
+  Instance instance;
+  instance.add_job(Job(MakeChain(5), 0));
+  Schedule schedule(1);
+  for (Time t = 1; t <= 5; ++t) {
+    schedule.place(t, {0, static_cast<NodeId>(t - 1)});
+  }
+  RenderOptions options;
+  options.from_slot = 2;
+  options.to_slot = 3;
+  options.ruler = false;
+  const std::string grid = RenderSchedule(schedule, instance, options);
+  // Exactly two columns rendered.
+  EXPECT_NE(grid.find("AA"), std::string::npos);
+  EXPECT_EQ(grid.find("AAA"), std::string::npos);
+}
+
+TEST(Renderer, JobProfileCountsPerSlot) {
+  Instance instance;
+  instance.add_job(Job(MakeStar(3), 0));
+  FifoScheduler fifo;
+  const SimResult result = Simulate(instance, 4, fifo);
+  const std::string profile = RenderJobProfile(result.schedule, 0);
+  EXPECT_NE(profile.find("(1)"), std::string::npos);  // root slot
+  EXPECT_NE(profile.find("(3)"), std::string::npos);  // leaves slot
+}
+
+TEST(Renderer, EndToEndWithEngine) {
+  Instance instance;
+  Rng rng(1);
+  instance.add_job(Job(MakeStar(4), 0));
+  instance.add_job(Job(MakeChain(3), 2));
+  FifoScheduler fifo;
+  const SimResult result = Simulate(instance, 3, fifo);
+  const std::string grid = RenderSchedule(result.schedule, instance);
+  EXPECT_NE(grid.find('A'), std::string::npos);
+  EXPECT_NE(grid.find('B'), std::string::npos);
+  EXPECT_NE(grid.find("slot"), std::string::npos);  // ruler line
+}
+
+}  // namespace
+}  // namespace otsched

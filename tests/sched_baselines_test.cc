@@ -1,0 +1,117 @@
+// Tests for sched/list_greedy.h and sched/round_robin.h.
+#include <gtest/gtest.h>
+
+#include "dag/builders.h"
+#include "gen/arrivals.h"
+#include "gen/random_trees.h"
+#include "sched/list_greedy.h"
+#include "sched/round_robin.h"
+#include "sim/validator.h"
+
+namespace otsched {
+namespace {
+
+Instance MixedInstance(std::uint64_t seed) {
+  Rng rng(seed);
+  return MakePoissonArrivals(
+      10, 0.15,
+      [](std::int64_t i, Rng& r) {
+        return MakeTree(static_cast<TreeFamily>(i % 4), 25, r);
+      },
+      rng);
+}
+
+template <typename SchedulerT>
+void CheckFeasibleAndWorkConserving(SchedulerT&& scheduler, int m) {
+  const Instance instance = MixedInstance(321);
+
+  // Wrap to check work conservation each slot.
+  class Wrapper : public Scheduler {
+   public:
+    Wrapper(Scheduler& inner) : inner_(inner) {}
+    std::string name() const override { return inner_.name(); }
+    bool requires_clairvoyance() const override {
+      return inner_.requires_clairvoyance();
+    }
+    void reset(int m, JobId n) override { inner_.reset(m, n); }
+    void on_arrival(JobId id, const SchedulerView& v) override {
+      inner_.on_arrival(id, v);
+    }
+    void pick(const SchedulerView& view,
+              std::vector<SubjobRef>& out) override {
+      inner_.pick(view, out);
+      std::int64_t ready = 0;
+      for (JobId job : view.alive()) {
+        ready += static_cast<std::int64_t>(view.ready(job).size());
+      }
+      EXPECT_EQ(static_cast<std::int64_t>(out.size()),
+                std::min<std::int64_t>(view.m(), ready))
+          << "not work-conserving at slot " << view.slot();
+    }
+
+   private:
+    Scheduler& inner_;
+  } wrapper(scheduler);
+
+  const SimResult result = Simulate(instance, m, wrapper);
+  const auto report = ValidateSchedule(result.schedule, instance);
+  EXPECT_TRUE(report.feasible) << report.violation;
+  EXPECT_TRUE(result.flows.all_completed);
+}
+
+TEST(ListGreedy, FeasibleAndWorkConserving) {
+  ListGreedyScheduler scheduler(5);
+  CheckFeasibleAndWorkConserving(scheduler, 3);
+}
+
+TEST(ListGreedy, SeedDeterminism) {
+  const Instance instance = MixedInstance(11);
+  ListGreedyScheduler a(9);
+  ListGreedyScheduler b(9);
+  EXPECT_EQ(Simulate(instance, 3, a).flows.max_flow,
+            Simulate(instance, 3, b).flows.max_flow);
+}
+
+TEST(RoundRobin, FeasibleAndWorkConserving) {
+  RoundRobinScheduler scheduler;
+  CheckFeasibleAndWorkConserving(scheduler, 3);
+}
+
+TEST(RoundRobin, SharesAcrossJobs) {
+  // Two blobs, 4 processors: each should get ~2 per slot at the start.
+  Instance instance;
+  instance.add_job(Job(MakeParallelBlob(8), 0));
+  instance.add_job(Job(MakeParallelBlob(8), 0));
+
+  class Probe : public RoundRobinScheduler {
+   public:
+    void pick(const SchedulerView& view,
+              std::vector<SubjobRef>& out) override {
+      RoundRobinScheduler::pick(view, out);
+      if (view.slot() == 1) {
+        int job0 = 0;
+        for (const auto& ref : out) job0 += ref.job == 0 ? 1 : 0;
+        EXPECT_EQ(job0, 2);
+        EXPECT_EQ(out.size(), 4u);
+      }
+    }
+  } probe;
+  const SimResult result = Simulate(instance, 4, probe);
+  EXPECT_TRUE(ValidateSchedule(result.schedule, instance).feasible);
+}
+
+TEST(RoundRobin, RedistributesUnusedShares) {
+  // Job 0 is a chain (can use 1 proc); job 1 a blob: the blob should soak
+  // up the chain's unused share, keeping the machine busy.
+  Instance instance;
+  instance.add_job(Job(MakeChain(4), 0));
+  instance.add_job(Job(MakeParallelBlob(12), 0));
+  RoundRobinScheduler scheduler;
+  const SimResult result = Simulate(instance, 4, scheduler);
+  EXPECT_TRUE(ValidateSchedule(result.schedule, instance).feasible);
+  // 16 work units on 4 processors with a span-4 chain: horizon 4.
+  EXPECT_EQ(result.stats.horizon, 4);
+}
+
+}  // namespace
+}  // namespace otsched

@@ -1,0 +1,93 @@
+// Tests for sim/schedule.h: slot storage, flows, idle accounting.
+#include <gtest/gtest.h>
+
+#include "dag/builders.h"
+#include "sim/schedule.h"
+
+namespace otsched {
+namespace {
+
+Instance TwoChainInstance() {
+  Instance instance;
+  instance.add_job(Job(MakeChain(2), 0));
+  instance.add_job(Job(MakeChain(1), 3));
+  return instance;
+}
+
+TEST(Schedule, PlaceAndQuery) {
+  Schedule schedule(2);
+  schedule.place(1, {0, 0});
+  schedule.place(3, {0, 1});
+  EXPECT_EQ(schedule.horizon(), 3);
+  EXPECT_EQ(schedule.load(1), 1);
+  EXPECT_EQ(schedule.load(2), 0);
+  EXPECT_EQ(schedule.load(3), 1);
+  EXPECT_EQ(schedule.load(99), 0);
+  EXPECT_EQ(schedule.total_placed(), 2);
+  EXPECT_EQ(schedule.at(1)[0], (SubjobRef{0, 0}));
+}
+
+TEST(Schedule, IdleProcessorSlots) {
+  Schedule schedule(3);
+  schedule.place(1, {0, 0});
+  schedule.place(1, {0, 1});
+  schedule.place(2, {0, 2});
+  // Slot 1: 1 idle; slot 2: 2 idle.
+  EXPECT_EQ(schedule.idle_processor_slots(), 3);
+}
+
+TEST(Schedule, IdleSlotsRange) {
+  Schedule schedule(2);
+  schedule.place(1, {0, 0});
+  schedule.place(1, {0, 1});
+  schedule.place(2, {0, 2});
+  schedule.place(3, {1, 0});
+  const auto idle = schedule.idle_slots(1, 3);
+  EXPECT_EQ(idle, (std::vector<Time>{2, 3}));
+  // Against a capacity of 1, only empty slots count.
+  EXPECT_TRUE(schedule.idle_slots(1, 3, 1).empty());
+}
+
+TEST(Flows, CompletionAndFlow) {
+  const Instance instance = TwoChainInstance();
+  Schedule schedule(2);
+  schedule.place(1, {0, 0});
+  schedule.place(2, {0, 1});
+  schedule.place(4, {1, 0});
+  const FlowSummary flows = ComputeFlows(schedule, instance);
+  EXPECT_TRUE(flows.all_completed);
+  EXPECT_EQ(flows.completion[0], 2);
+  EXPECT_EQ(flows.flow[0], 2);
+  EXPECT_EQ(flows.completion[1], 4);
+  EXPECT_EQ(flows.flow[1], 1);  // released at 3, done at 4
+  EXPECT_EQ(flows.max_flow, 2);
+  EXPECT_EQ(flows.max_flow_job, 0);
+}
+
+TEST(Flows, DetectsUnfinishedJobs) {
+  const Instance instance = TwoChainInstance();
+  Schedule schedule(2);
+  schedule.place(1, {0, 0});  // job 0 only half done, job 1 untouched
+  const FlowSummary flows = ComputeFlows(schedule, instance);
+  EXPECT_FALSE(flows.all_completed);
+  EXPECT_EQ(flows.completion[0], kNoTime);
+  EXPECT_EQ(flows.max_flow, kInfiniteTime);
+}
+
+TEST(Flows, EmptyInstance) {
+  const FlowSummary flows = ComputeFlows(Schedule(1), Instance());
+  EXPECT_TRUE(flows.all_completed);
+  EXPECT_EQ(flows.max_flow, 0);
+}
+
+TEST(Flows, FlowIsAgainstRelease) {
+  Instance instance;
+  instance.add_job(Job(MakeChain(1), 10));
+  Schedule schedule(1);
+  schedule.place(15, {0, 0});
+  const FlowSummary flows = ComputeFlows(schedule, instance);
+  EXPECT_EQ(flows.flow[0], 5);
+}
+
+}  // namespace
+}  // namespace otsched

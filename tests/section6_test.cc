@@ -1,0 +1,168 @@
+// Tests for analysis/section6.h: Lemma 6.4 and Proposition 6.2 hold on
+// real FIFO schedules, and the checker actually detects violations.
+#include <gtest/gtest.h>
+
+#include "analysis/section6.h"
+#include "dag/builders.h"
+#include "gen/certified.h"
+#include "gen/fifo_adversary.h"
+#include "sched/fifo.h"
+#include "sim/engine.h"
+
+namespace otsched {
+namespace {
+
+TEST(Section6, HoldsOnSingleChain) {
+  Instance instance;
+  instance.add_job(Job(MakeChain(5), 0));
+  FifoScheduler fifo;
+  const SimResult result = Simulate(instance, 2, fifo);
+  const Section6Report report =
+      CheckSection6Invariants(result.schedule, instance, 2, /*opt=*/5);
+  EXPECT_TRUE(report.all_hold()) << report.violation;
+  EXPECT_EQ(report.max_z, 5);  // every slot of a lone chain is idle in S_0
+}
+
+class Section6SweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(Section6SweepTest, HoldsOnCertifiedBatchedInstances) {
+  const auto [m, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 10007 + m);
+  const Time delta = 6;
+  CertifiedInstance cert = MakeSpacedSaturatedInstance(m, delta, 6, rng);
+  FifoScheduler fifo;
+  const SimResult result = Simulate(cert.instance, m, fifo);
+  const Section6Report report =
+      CheckSection6Invariants(result.schedule, cert.instance, m, cert.opt);
+  EXPECT_TRUE(report.all_hold()) << report.violation;
+  EXPECT_LE(report.max_z, cert.opt);
+  EXPECT_LE(report.lemma64_tightness, 1.0 + 1e-9);
+  EXPECT_GT(report.checks, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Section6SweepTest,
+                         ::testing::Combine(::testing::Values(2, 4, 8, 16),
+                                            ::testing::Values(1, 2, 3, 4)));
+
+TEST(Section6, HoldsOnTheAdversarialFamily) {
+  // The Section 4 family is batched with OPT <= m+1, so the Section 6
+  // invariants must hold for FIFO on it — they are what caps FIFO's
+  // damage at O(log) there.
+  LowerBoundSimOptions options;
+  options.m = 8;
+  options.num_jobs = 40;
+  const AdversarialInstance adv = MakeAdversarialInstance(options);
+  FifoScheduler::Options avoid;
+  avoid.tie_break = FifoTieBreak::kAvoidMarked;
+  avoid.deprioritize = [&adv](JobId job, NodeId node) {
+    return adv.is_key(job, node);
+  };
+  FifoScheduler fifo(std::move(avoid));
+  const SimResult result = Simulate(adv.instance, 8, fifo);
+  const Section6Report report = CheckSection6Invariants(
+      result.schedule, adv.instance, 8, adv.fifo_run.certified_opt_upper);
+  EXPECT_TRUE(report.all_hold()) << report.violation;
+  // On this family the z budget gets heavily used (that's the point).
+  EXPECT_GT(report.max_z, 1);
+}
+
+TEST(Section6, HoldsForGeneralDagJobs) {
+  // Section 6 makes no tree assumption.
+  Instance instance;
+  instance.add_job(Job(MakeForkJoin(6), 0));
+  instance.add_job(Job(MakeForkJoin(4), 0));
+  FifoScheduler fifo;
+  const SimResult result = Simulate(instance, 3, fifo);
+  const Time opt = 6;  // loose upper bound is fine for the check
+  const Section6Report report =
+      CheckSection6Invariants(result.schedule, instance, 3, opt);
+  EXPECT_TRUE(report.all_hold()) << report.violation;
+}
+
+class Lemma65SweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(Lemma65SweepTest, MainLemmaHoldsOnBatchedCertifiedRuns) {
+  const auto [m, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 35317 + m);
+  const Time delta = 5;
+  CertifiedInstance cert = MakeSpacedSaturatedInstance(m, delta, 8, rng);
+  FifoScheduler fifo;
+  const SimResult result = Simulate(cert.instance, m, fifo);
+  const Lemma65Report report =
+      CheckLemma65(result.schedule, cert.instance, m, cert.opt);
+  EXPECT_TRUE(report.all_hold()) << report.violation;
+  EXPECT_GT(report.inequalities_checked, 0);
+  // Lemma 6.5's headline implication: at most log(tau) + 1 jobs alive at
+  // any boundary.
+  EXPECT_LE(report.max_alive_at_boundary, report.log_tau + 1);
+  EXPECT_LE(report.part3_tightness, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Lemma65SweepTest,
+                         ::testing::Combine(::testing::Values(2, 4, 8, 16),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(Lemma65, HoldsOnTheAdversarialFamily) {
+  // The Section 4 family is batched with job i at i*(m+1); feed the
+  // certificate m+1 as OPT.
+  LowerBoundSimOptions options;
+  options.m = 8;
+  options.num_jobs = 60;
+  const AdversarialInstance adv = MakeAdversarialInstance(options);
+  FifoScheduler::Options avoid;
+  avoid.tie_break = FifoTieBreak::kAvoidMarked;
+  avoid.deprioritize = [&adv](JobId job, NodeId node) {
+    return adv.is_key(job, node);
+  };
+  FifoScheduler fifo(std::move(avoid));
+  const SimResult result = Simulate(adv.instance, 8, fifo);
+  const Lemma65Report report = CheckLemma65(
+      result.schedule, adv.instance, 8, adv.fifo_run.certified_opt_upper);
+  EXPECT_TRUE(report.all_hold()) << report.violation;
+  // The family drives the alive-job count up (that is the attack), but
+  // Lemma 6.5 still caps it at log(tau) + 1.
+  EXPECT_GT(report.max_alive_at_boundary, 1);
+  EXPECT_LE(report.max_alive_at_boundary, report.log_tau + 1);
+}
+
+TEST(Lemma65Death, RejectsNonConsecutiveBatches) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Instance instance;
+  instance.add_job(Job(MakeChain(2), 0));
+  instance.add_job(Job(MakeChain(2), 7));  // not 1 * opt for opt = 5
+  Schedule schedule(2);
+  schedule.place(1, {0, 0});
+  schedule.place(2, {0, 1});
+  schedule.place(8, {1, 0});
+  schedule.place(9, {1, 1});
+  EXPECT_DEATH(CheckLemma65(schedule, instance, 2, 5), "i\\*OPT");
+}
+
+TEST(Section6, DetectsFabricatedViolation) {
+  // A schedule that parks the whole job behind idle time violates
+  // Lemma 6.4 for a too-small claimed OPT: w stays high while z grows.
+  Instance instance;
+  instance.add_job(Job(MakeParallelBlob(8), 0));
+  Schedule schedule(2);
+  // Run one subjob per slot (the machine could do 2): S_0 is idle every
+  // slot, so z grows by 1 per slot while 8 units of work linger.
+  for (NodeId v = 0; v < 8; ++v) {
+    schedule.place(v + 1, SubjobRef{0, v});
+  }
+  const Section6Report report =
+      CheckSection6Invariants(schedule, instance, 2, /*opt=*/4);
+  EXPECT_FALSE(report.all_hold());
+  EXPECT_FALSE(report.violation.empty());
+}
+
+TEST(Section6, EmptyInstanceTrivial) {
+  const Section6Report report =
+      CheckSection6Invariants(Schedule(2), Instance(), 2, 1);
+  EXPECT_TRUE(report.all_hold());
+  EXPECT_EQ(report.checks, 0);
+}
+
+}  // namespace
+}  // namespace otsched

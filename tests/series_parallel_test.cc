@@ -1,0 +1,115 @@
+// Tests for gen/series_parallel.h: the generator emits genuine
+// two-terminal SP DAGs and the recognizer classifies correctly.
+#include <gtest/gtest.h>
+
+#include "dag/builders.h"
+#include "dag/metrics.h"
+#include "dag/validate.h"
+#include "gen/series_parallel.h"
+#include "sched/fifo.h"
+#include "sim/validator.h"
+
+namespace otsched {
+namespace {
+
+TEST(SeriesParallel, RecognizerAcceptsHandBuiltSpGraphs) {
+  // A bare edge.
+  EXPECT_TRUE(IsTwoTerminalSeriesParallel(MakeChain(2)));
+  // Chains are iterated series compositions.
+  EXPECT_TRUE(IsTwoTerminalSeriesParallel(MakeChain(7)));
+  // Fork-join diamonds are parallel compositions of 3-chains.
+  EXPECT_TRUE(IsTwoTerminalSeriesParallel(MakeForkJoin(4)));
+}
+
+TEST(SeriesParallel, RecognizerRejectsNonSp) {
+  // One node: no edge.
+  EXPECT_FALSE(IsTwoTerminalSeriesParallel(MakeChain(1)));
+  // Star: many sinks.
+  EXPECT_FALSE(IsTwoTerminalSeriesParallel(MakeStar(3)));
+  // The classic N-graph (interleaving dependency) is the forbidden minor.
+  const std::vector<std::pair<NodeId, NodeId>> n_graph = {
+      {0, 2}, {0, 3}, {1, 3}, {2, 4}, {3, 4}, {1, 4}};
+  // Build s -> {0,1}, {4} -> t to make it two-terminal but still non-SP.
+  Dag::Builder builder(7);
+  const NodeId s = 5;
+  const NodeId t = 6;
+  for (const auto& [a, b] : n_graph) builder.add_edge(a, b);
+  builder.add_edge(s, 0);
+  builder.add_edge(s, 1);
+  builder.add_edge(4, t);
+  EXPECT_FALSE(IsTwoTerminalSeriesParallel(std::move(builder).build()));
+}
+
+class SpGeneratorTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(SpGeneratorTest, GeneratesValidTwoTerminalSp) {
+  const auto [seed, parallel_p] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 52711);
+  SeriesParallelOptions options;
+  options.size = 50;
+  options.parallel_p = parallel_p;
+  const Dag dag = MakeSeriesParallelDag(options, rng);
+
+  EXPECT_TRUE(IsAcyclic(dag));
+  EXPECT_EQ(dag.node_count(), 50);
+  EXPECT_EQ(dag.roots().size(), 1u);
+  EXPECT_EQ(dag.leaves().size(), 1u);
+  EXPECT_TRUE(IsTwoTerminalSeriesParallel(dag))
+      << "seed " << seed << " p " << parallel_p;
+  // SP DAGs with parallelism are not out-forests (joins).
+  if (parallel_p > 0.0) {
+    // (with p = 0 the graph is a chain, which IS an out-forest)
+    EXPECT_GE(AnalyzeShape(dag).max_in_degree, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpGeneratorTest,
+    ::testing::Combine(::testing::Range(1, 9),
+                       ::testing::Values(0.0, 0.4, 0.8)));
+
+TEST(SeriesParallel, PureSeriesIsAChain) {
+  Rng rng(3);
+  SeriesParallelOptions options;
+  options.size = 20;
+  options.parallel_p = 0.0;
+  const Dag dag = MakeSeriesParallelDag(options, rng);
+  EXPECT_EQ(Span(dag), 20);
+  EXPECT_TRUE(IsOutForest(dag));
+}
+
+TEST(SeriesParallel, SchedulableByFifo) {
+  Rng rng(4);
+  SeriesParallelOptions options;
+  options.size = 120;
+  Instance instance;
+  for (int i = 0; i < 4; ++i) {
+    instance.add_job(Job(MakeSeriesParallelDag(options, rng), 5 * i));
+  }
+  FifoScheduler fifo;
+  const SimResult result = Simulate(instance, 4, fifo);
+  const auto report = ValidateSchedule(result.schedule, instance);
+  EXPECT_TRUE(report.feasible) << report.violation;
+}
+
+TEST(SeriesParallel, NoDuplicateEdges) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    SeriesParallelOptions options;
+    options.size = 64;
+    options.parallel_p = 0.7;
+    const Dag dag = MakeSeriesParallelDag(options, rng);
+    for (NodeId v = 0; v < dag.node_count(); ++v) {
+      std::vector<NodeId> children(dag.children(v).begin(),
+                                   dag.children(v).end());
+      std::sort(children.begin(), children.end());
+      EXPECT_TRUE(std::adjacent_find(children.begin(), children.end()) ==
+                  children.end())
+          << "duplicate edge out of node " << v << " seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace otsched

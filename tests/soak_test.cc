@@ -1,0 +1,146 @@
+// Soak test: a long mixed stream through every scheduler, with every
+// cross-cutting invariant checked on each run.  Sized to stay inside the
+// normal ctest budget while still exercising thousands of slots and all
+// job shapes at once.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/section6.h"
+#include "core/alg_a_full.h"
+#include "core/lpf.h"
+#include "gen/arrivals.h"
+#include "gen/numerics.h"
+#include "gen/random_trees.h"
+#include "gen/recursive.h"
+#include "gen/series_parallel.h"
+#include "opt/lower_bounds.h"
+#include "sched/fifo.h"
+#include "sched/list_greedy.h"
+#include "sched/remaining_work.h"
+#include "sched/round_robin.h"
+#include "sched/work_stealing.h"
+#include "sim/trace.h"
+#include "sim/validator.h"
+
+namespace otsched {
+namespace {
+
+Instance MixedSoakInstance(std::uint64_t seed, bool trees_only) {
+  Rng rng(seed);
+  return MakePoissonArrivals(
+      40, 0.04,
+      [trees_only](std::int64_t i, Rng& r) -> Dag {
+        switch (i % (trees_only ? 4 : 7)) {
+          case 0:
+            return MakeTree(TreeFamily::kBushy,
+                            static_cast<NodeId>(20 + r.next_below(120)), r);
+          case 1: {
+            QuicksortOptions q;
+            q.n = 400 + static_cast<std::int64_t>(r.next_below(800));
+            q.grain = 40;
+            q.cutoff = 40;
+            return MakeQuicksortTree(q, r);
+          }
+          case 2:
+            return MakeRandomParallelForSeries(
+                3 + static_cast<int>(r.next_below(4)), 20, r);
+          case 3:
+            return MakeTree(TreeFamily::kSpiny,
+                            static_cast<NodeId>(20 + r.next_below(60)), r);
+          case 4: {
+            SeriesParallelOptions sp;
+            sp.size = static_cast<NodeId>(30 + r.next_below(80));
+            return MakeSeriesParallelDag(sp, r);
+          }
+          case 5:
+            return MakeTiledCholeskyDag(3 +
+                                        static_cast<int>(r.next_below(4)));
+          default:
+            return MakeStencil1dDag(6 + static_cast<int>(r.next_below(10)),
+                                    4 + static_cast<int>(r.next_below(6)));
+        }
+      },
+      rng);
+}
+
+TEST(Soak, EverySchedulerSurvivesTheMixedStream) {
+  const Instance general = MixedSoakInstance(314159, /*trees_only=*/false);
+  const Instance trees = MixedSoakInstance(271828, /*trees_only=*/true);
+  const int m = 8;
+
+  struct Entry {
+    std::unique_ptr<Scheduler> scheduler;
+    bool trees_only;  // Algorithm A's strict mode needs out-forests
+  };
+  std::vector<Entry> entries;
+  entries.push_back({std::make_unique<FifoScheduler>(), false});
+  {
+    FifoScheduler::Options o;
+    o.tie_break = FifoTieBreak::kLastReady;
+    entries.push_back({std::make_unique<FifoScheduler>(std::move(o)), false});
+  }
+  {
+    FifoScheduler::Options o;
+    o.tie_break = FifoTieBreak::kRandom;
+    o.seed = 5;
+    entries.push_back({std::make_unique<FifoScheduler>(std::move(o)), false});
+  }
+  entries.push_back({std::make_unique<ListGreedyScheduler>(5), false});
+  entries.push_back({std::make_unique<RoundRobinScheduler>(), false});
+  entries.push_back({std::make_unique<WorkStealingScheduler>(), false});
+  entries.push_back({std::make_unique<GlobalLpfScheduler>(), false});
+  entries.push_back({std::make_unique<RemainingWorkScheduler>(
+                         RemainingWorkOrder::kSmallestFirst),
+                     false});
+  {
+    AlgAScheduler::Options o;
+    o.beta = 16;
+    entries.push_back({std::make_unique<AlgAScheduler>(o), true});
+    AlgAScheduler::Options g = o;
+    g.allow_general_dags = true;
+    entries.push_back({std::make_unique<AlgAScheduler>(g), false});
+  }
+
+  for (Entry& entry : entries) {
+    const Instance& instance = entry.trees_only ? trees : general;
+    const SimResult result = Simulate(instance, m, *entry.scheduler);
+    const auto report = ValidateSchedule(result.schedule, instance);
+    ASSERT_TRUE(report.feasible)
+        << entry.scheduler->name() << ": " << report.violation;
+    ASSERT_TRUE(result.flows.all_completed) << entry.scheduler->name();
+    EXPECT_EQ(result.stats.executed_subjobs, instance.total_work());
+    // Sanity: nobody is worse than fully serial.
+    EXPECT_LE(result.flows.max_flow,
+              instance.total_work() + instance.max_release());
+  }
+}
+
+TEST(Soak, FifoRunsAreReproducibleViaTraces) {
+  const Instance instance = MixedSoakInstance(999, false);
+  FifoScheduler a;
+  FifoScheduler b;
+  const EventTrace ta =
+      DeriveTrace(Simulate(instance, 8, a).schedule, instance);
+  const EventTrace tb =
+      DeriveTrace(Simulate(instance, 8, b).schedule, instance);
+  EXPECT_EQ(FirstDivergence(ta, tb), -1);
+}
+
+TEST(Soak, Section6InvariantsHoldOnTheLongStream) {
+  // Lemma 6.4 and Proposition 6.2 are FIFO-specific but need no batched
+  // assumption (batching only enters Theorem 6.1's induction).  They
+  // hold against the true OPT, hence against any upper bound on it; the
+  // flow FIFO itself achieves is always such an upper bound.
+  const Instance instance = MixedSoakInstance(777, false);
+  const int m = 8;
+  FifoScheduler fifo;
+  const SimResult result = Simulate(instance, m, fifo);
+  const Section6Report report = CheckSection6Invariants(
+      result.schedule, instance, m, result.flows.max_flow);
+  EXPECT_TRUE(report.all_hold()) << report.violation;
+  EXPECT_GT(report.checks, 1000);
+}
+
+}  // namespace
+}  // namespace otsched

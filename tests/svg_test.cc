@@ -1,0 +1,93 @@
+// Tests for sim/svg.h.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "dag/builders.h"
+#include "sched/fifo.h"
+#include "sim/engine.h"
+#include "sim/svg.h"
+
+namespace otsched {
+namespace {
+
+std::size_t CountOccurrences(const std::string& haystack,
+                             const std::string& needle) {
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+SimResult RunSmallFifo(Instance& instance) {
+  instance.add_job(Job(MakeStar(3), 0));
+  instance.add_job(Job(MakeChain(2), 1));
+  FifoScheduler fifo;
+  return Simulate(instance, 3, fifo);
+}
+
+TEST(Svg, DocumentStructure) {
+  Instance instance;
+  const SimResult result = RunSmallFifo(instance);
+  const std::string svg = RenderScheduleSvg(result.schedule, instance);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One rect per placed subjob, plus background and grid rects.
+  EXPECT_EQ(CountOccurrences(svg, "<rect"),
+            static_cast<std::size_t>(result.schedule.total_placed()) + 2);
+}
+
+TEST(Svg, DistinctJobsGetDistinctColors) {
+  EXPECT_NE(JobColor(0), JobColor(1));
+  EXPECT_NE(JobColor(1), JobColor(2));
+  // Color format is #rrggbb.
+  EXPECT_EQ(JobColor(0).size(), 7u);
+  EXPECT_EQ(JobColor(0)[0], '#');
+}
+
+TEST(Svg, TitleAndLabelsAppearWhenRequested) {
+  Instance instance;
+  const SimResult result = RunSmallFifo(instance);
+  SvgOptions options;
+  options.title = "figure one";
+  options.label_nodes = true;
+  const std::string svg =
+      RenderScheduleSvg(result.schedule, instance, options);
+  EXPECT_NE(svg.find("figure one"), std::string::npos);
+  // Node labels are text elements beyond the axis labels.
+  EXPECT_GT(CountOccurrences(svg, "<text"),
+            static_cast<std::size_t>(result.schedule.m()));
+}
+
+TEST(Svg, SlotWindowClips) {
+  Instance instance;
+  const SimResult result = RunSmallFifo(instance);
+  SvgOptions options;
+  options.from_slot = 1;
+  options.to_slot = 1;
+  const std::string svg =
+      RenderScheduleSvg(result.schedule, instance, options);
+  // Slot 1 runs exactly one subjob (the star root; the chain arrives at
+  // slot 2).
+  EXPECT_EQ(CountOccurrences(svg, "<rect"), 1u + 2u);
+}
+
+TEST(Svg, SaveWritesFile) {
+  Instance instance;
+  const SimResult result = RunSmallFifo(instance);
+  const std::string path = ::testing::TempDir() + "/otsched_svg_test.svg";
+  SaveScheduleSvg(result.schedule, instance, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_NE(first_line.find("<svg"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace otsched

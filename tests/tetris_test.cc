@@ -1,0 +1,89 @@
+// Tests for gen/tetris.h: full coverage, exact certification, and the
+// zero-idle witness property.
+#include <gtest/gtest.h>
+
+#include "gen/tetris.h"
+#include "opt/brute_force.h"
+#include "opt/lower_bounds.h"
+#include "sched/fifo.h"
+#include "sim/validator.h"
+
+namespace otsched {
+namespace {
+
+class TetrisTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TetrisTest, BoardFullyCoveredAndCertified) {
+  const auto [m, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 7333 + m);
+  TetrisOptions options;
+  options.m = m;
+  options.horizon = 40;
+  options.mean_duration = 6;
+  options.max_active = std::min(4, m);
+  const CertifiedInstance cert = MakeTetrisInstance(options, rng);
+
+  EXPECT_EQ(cert.instance.total_work(),
+            static_cast<std::int64_t>(m) * options.horizon);
+  EXPECT_TRUE(cert.instance.all_out_forests());
+  // The certificate: max span across jobs equals opt, and the interval
+  // lower bound cannot exceed it (the witness is feasible).
+  EXPECT_EQ(cert.instance.max_span(), cert.opt);
+  EXPECT_LE(MaxFlowLowerBound(cert.instance, m), cert.opt);
+  // Durations bounded as promised.
+  EXPECT_LE(cert.opt, 2 * options.mean_duration);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TetrisTest,
+                         ::testing::Combine(::testing::Values(2, 4, 8, 16),
+                                            ::testing::Values(1, 2, 3, 4)));
+
+TEST(Tetris, CertificateAgainstBruteForce) {
+  Rng rng(5);
+  TetrisOptions options;
+  options.m = 2;
+  options.horizon = 9;
+  options.mean_duration = 3;
+  options.max_active = 2;
+  const CertifiedInstance cert = MakeTetrisInstance(options, rng);
+  ASSERT_LE(cert.instance.total_work(), 30);
+  EXPECT_EQ(BruteForceOpt(cert.instance, 2), cert.opt);
+}
+
+TEST(Tetris, FifoOnThePackedBoard) {
+  // The introduction's stress: to be competitive here a scheduler must
+  // keep the machine essentially fully packed.  FIFO stays within a
+  // small factor; its schedule is validated.
+  Rng rng(6);
+  TetrisOptions options;
+  options.m = 16;
+  options.horizon = 120;
+  options.mean_duration = 10;
+  options.max_active = 4;
+  const CertifiedInstance cert = MakeTetrisInstance(options, rng);
+
+  FifoScheduler fifo;
+  const SimResult result = Simulate(cert.instance, 16, fifo);
+  ASSERT_TRUE(ValidateSchedule(result.schedule, cert.instance).feasible);
+  const double ratio = static_cast<double>(result.flows.max_flow) /
+                       static_cast<double>(cert.opt);
+  EXPECT_GE(ratio, 1.0);
+  EXPECT_LE(ratio, 6.0);
+}
+
+TEST(Tetris, SingleActivePieceDegeneratesToSlabs) {
+  Rng rng(7);
+  TetrisOptions options;
+  options.m = 4;
+  options.horizon = 12;
+  options.mean_duration = 4;
+  options.max_active = 1;
+  const CertifiedInstance cert = MakeTetrisInstance(options, rng);
+  // One piece at a time, each m wide, back to back.
+  for (const Job& job : cert.instance.jobs()) {
+    EXPECT_EQ(job.work(), 4 * job.span());
+  }
+}
+
+}  // namespace
+}  // namespace otsched

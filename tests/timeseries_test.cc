@@ -1,0 +1,108 @@
+// Tests for analysis/timeseries.h.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/timeseries.h"
+#include "dag/builders.h"
+#include "gen/fifo_adversary.h"
+#include "sched/fifo.h"
+#include "sim/engine.h"
+
+namespace otsched {
+namespace {
+
+TEST(TimeSeries, HandComputedSmallRun) {
+  // Chain(2) at 0 and Blob(3) at 1 on m=2 under FIFO.
+  //  slot 1: chain head runs (busy 1), queue {chain}, backlog 1+?:
+  //          blob not yet released -> backlog = 1 (chain's tail).
+  //  slot 2: chain tail + one blob unit (busy 2): chain done;
+  //          queue {blob}, backlog 2.
+  //  slot 3: two blob units (busy 2), queue {}, backlog 0.
+  Instance instance;
+  instance.add_job(Job(MakeChain(2), 0));
+  instance.add_job(Job(MakeParallelBlob(3), 1));
+  FifoScheduler fifo;
+  const SimResult result = Simulate(instance, 2, fifo);
+  const RunTimeSeries series =
+      ComputeTimeSeries(result.schedule, instance);
+
+  ASSERT_EQ(series.horizon(), 3);
+  EXPECT_EQ(series.busy, (std::vector<int>{1, 2, 2}));
+  EXPECT_EQ(series.queue_length, (std::vector<std::int64_t>{1, 1, 0}));
+  EXPECT_EQ(series.backlog, (std::vector<std::int64_t>{1, 2, 0}));
+  EXPECT_EQ(series.peak_queue(), 1);
+  EXPECT_EQ(series.peak_backlog(), 2);
+  EXPECT_NEAR(series.average_utilization(2), 5.0 / 6.0, 1e-12);
+  EXPECT_NE(series.to_csv().find("slot,busy,queue,backlog"),
+            std::string::npos);
+}
+
+TEST(TimeSeries, QueueBuildsOnTheAdversary) {
+  LowerBoundSimOptions options;
+  options.m = 16;
+  options.num_jobs = 120;
+  const AdversarialInstance adv = MakeAdversarialInstance(options);
+  FifoScheduler::Options avoid;
+  avoid.tie_break = FifoTieBreak::kAvoidMarked;
+  avoid.deprioritize = [&adv](JobId job, NodeId node) {
+    return adv.is_key(job, node);
+  };
+  FifoScheduler fifo(std::move(avoid));
+  const SimResult result = Simulate(adv.instance, 16, fifo);
+  const RunTimeSeries series =
+      ComputeTimeSeries(result.schedule, adv.instance);
+  // The Lemma 4.1 story: the queue saturates above 1 and matches what
+  // the co-simulation observed.
+  EXPECT_EQ(series.peak_queue(), adv.fifo_run.max_alive);
+  // Alternation leaves the machine under-utilized overall.
+  EXPECT_LT(series.average_utilization(16), 0.95);
+}
+
+TEST(TimeSeries, EmptySchedule) {
+  const RunTimeSeries series = ComputeTimeSeries(Schedule(2), Instance());
+  EXPECT_EQ(series.horizon(), 0);
+  EXPECT_EQ(series.peak_queue(), 0);
+  EXPECT_EQ(series.average_utilization(2), 0.0);
+}
+
+TEST(LogFit, RecoversExactLogCurve) {
+  // y = 2 * lg x + 3.
+  std::vector<double> xs = {2, 4, 8, 16, 32, 64};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(2.0 * std::log2(x) + 3.0);
+  const LogFit fit = FitLogarithm(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(LogFit, FlatDataHasZeroSlope) {
+  const LogFit fit = FitLogarithm({8, 16, 32, 64}, {4, 4, 4, 4});
+  EXPECT_NEAR(fit.slope, 0.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-9);
+}
+
+TEST(LogFit, FifoAdversaryCurveHasUnitSlope) {
+  // End-to-end: the Theorem 4.2 ratio curve should fit a * lg m + b with
+  // a ~ 1 (one extra OPT of flow per doubling of m).
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int m : {8, 16, 32, 64, 128}) {
+    LowerBoundSimOptions options;
+    options.m = m;
+    options.num_jobs = 12 * m;
+    options.record_layer_sizes = false;
+    options.record_sublayer_trace = false;
+    const LowerBoundSimResult result = RunLowerBoundSim(options);
+    xs.push_back(static_cast<double>(m));
+    ys.push_back(static_cast<double>(result.max_flow) /
+                 static_cast<double>(result.certified_opt_upper));
+  }
+  const LogFit fit = FitLogarithm(xs, ys);
+  EXPECT_NEAR(fit.slope, 1.0, 0.15);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+}  // namespace
+}  // namespace otsched

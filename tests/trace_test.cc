@@ -1,0 +1,107 @@
+// Tests for sim/trace.h.
+#include <gtest/gtest.h>
+
+#include "dag/builders.h"
+#include "sched/fifo.h"
+#include "sched/list_greedy.h"
+#include "sim/engine.h"
+#include "sim/trace.h"
+
+namespace otsched {
+namespace {
+
+Instance SmallInstance() {
+  Instance instance;
+  instance.add_job(Job(MakeChain(2), 0));
+  instance.add_job(Job(MakeStar(2), 1));
+  return instance;
+}
+
+TEST(Trace, DeriveOrdersEventsCanonically) {
+  const Instance instance = SmallInstance();
+  FifoScheduler fifo;
+  const SimResult result = Simulate(instance, 2, fifo);
+  const EventTrace trace = DeriveTrace(result.schedule, instance);
+
+  ASSERT_FALSE(trace.empty());
+  // First event: job 0 arrives at slot 1.
+  EXPECT_EQ(trace.events()[0].kind, TraceEventKind::kArrival);
+  EXPECT_EQ(trace.events()[0].job, 0);
+  EXPECT_EQ(trace.events()[0].slot, 1);
+  // Arrivals: 2, executions: 5, completions: 2.
+  EXPECT_EQ(trace.of_kind(TraceEventKind::kArrival).size(), 2u);
+  EXPECT_EQ(trace.of_kind(TraceEventKind::kExecute).size(), 5u);
+  EXPECT_EQ(trace.of_kind(TraceEventKind::kComplete).size(), 2u);
+  // Slots are nondecreasing.
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace.events()[i - 1].slot, trace.events()[i].slot);
+  }
+}
+
+TEST(Trace, TextRoundTrip) {
+  const Instance instance = SmallInstance();
+  FifoScheduler fifo;
+  const SimResult result = Simulate(instance, 2, fifo);
+  const EventTrace trace = DeriveTrace(result.schedule, instance);
+  const EventTrace parsed = EventTrace::from_text(trace.to_text());
+  EXPECT_EQ(trace, parsed);
+  EXPECT_EQ(FirstDivergence(trace, parsed), -1);
+}
+
+TEST(Trace, IdenticalRunsDeriveIdenticalTraces) {
+  const Instance instance = SmallInstance();
+  FifoScheduler a;
+  FifoScheduler b;
+  const EventTrace ta =
+      DeriveTrace(Simulate(instance, 2, a).schedule, instance);
+  const EventTrace tb =
+      DeriveTrace(Simulate(instance, 2, b).schedule, instance);
+  EXPECT_EQ(ta, tb);
+}
+
+TEST(Trace, DivergenceIsLocalized) {
+  const Instance instance = SmallInstance();
+  FifoScheduler fifo;
+  ListGreedyScheduler greedy(123);
+  const EventTrace ta =
+      DeriveTrace(Simulate(instance, 1, fifo).schedule, instance);
+  const EventTrace tb =
+      DeriveTrace(Simulate(instance, 1, greedy).schedule, instance);
+  const std::int64_t d = FirstDivergence(ta, tb);
+  if (d >= 0) {
+    // Everything before the divergence matches by definition.
+    for (std::int64_t i = 0; i < d; ++i) {
+      EXPECT_EQ(ta.events()[static_cast<std::size_t>(i)],
+                tb.events()[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+TEST(Trace, GoldenSmallFifoRun) {
+  // Chain(2) at 0 and Star(2) at 1 under FIFO on m=2 — the canonical
+  // trace, pinned.  Chain: nodes at slots 1, 2.  Star root at slot 2,
+  // leaves at 3.
+  const Instance instance = SmallInstance();
+  FifoScheduler fifo;
+  const SimResult result = Simulate(instance, 2, fifo);
+  const EventTrace trace = DeriveTrace(result.schedule, instance);
+  EXPECT_EQ(trace.to_text(),
+            "1 arrive 0\n"
+            "1 exec 0 0\n"
+            "2 arrive 1\n"
+            "2 exec 0 1\n"
+            "2 exec 1 0\n"
+            "2 done 0\n"
+            "3 exec 1 1\n"
+            "3 exec 1 2\n"
+            "3 done 1\n");
+}
+
+TEST(TraceDeath, MalformedTextRejected) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(EventTrace::from_text("1 frobnicate 0\n"), "bad kind");
+  EXPECT_DEATH(EventTrace::from_text("nonsense\n"), "malformed");
+}
+
+}  // namespace
+}  // namespace otsched

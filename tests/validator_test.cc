@@ -1,0 +1,122 @@
+// Tests for sim/validator.h: each Section 3 axiom is enforced.
+#include <gtest/gtest.h>
+
+#include "dag/builders.h"
+#include "sim/validator.h"
+
+namespace otsched {
+namespace {
+
+Instance OneChain(Time release = 0) {
+  Instance instance;
+  instance.add_job(Job(MakeChain(2), release));
+  return instance;
+}
+
+TEST(Validator, AcceptsValidSchedule) {
+  const Instance instance = OneChain();
+  Schedule schedule(1);
+  schedule.place(1, {0, 0});
+  schedule.place(2, {0, 1});
+  EXPECT_TRUE(ValidateSchedule(schedule, instance));
+}
+
+TEST(Validator, Axiom1Capacity) {
+  Instance instance;
+  instance.add_job(Job(MakeParallelBlob(3), 0));
+  Schedule schedule(2);
+  schedule.place(1, {0, 0});
+  schedule.place(1, {0, 1});
+  schedule.place(1, {0, 2});
+  const auto report = ValidateSchedule(schedule, instance);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_NE(report.violation.find("axiom (1)"), std::string::npos);
+}
+
+TEST(Validator, Axiom2MissingSubjob) {
+  const Instance instance = OneChain();
+  Schedule schedule(1);
+  schedule.place(1, {0, 0});
+  const auto report = ValidateSchedule(schedule, instance);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_NE(report.violation.find("never scheduled"), std::string::npos);
+}
+
+TEST(Validator, Axiom2DuplicateSubjob) {
+  const Instance instance = OneChain();
+  Schedule schedule(1);
+  schedule.place(1, {0, 0});
+  schedule.place(2, {0, 0});
+  schedule.place(3, {0, 1});
+  const auto report = ValidateSchedule(schedule, instance);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_NE(report.violation.find("axiom (2)"), std::string::npos);
+}
+
+TEST(Validator, Axiom3PrecedenceSameSlot) {
+  const Instance instance = OneChain();
+  Schedule schedule(2);
+  schedule.place(1, {0, 0});
+  schedule.place(1, {0, 1});  // child in the SAME slot as its parent
+  const auto report = ValidateSchedule(schedule, instance);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_NE(report.violation.find("axiom (3)"), std::string::npos);
+}
+
+TEST(Validator, Axiom3PrecedenceReversed) {
+  const Instance instance = OneChain();
+  Schedule schedule(1);
+  schedule.place(1, {0, 1});
+  schedule.place(2, {0, 0});
+  EXPECT_FALSE(ValidateSchedule(schedule, instance).feasible);
+}
+
+TEST(Validator, Axiom4Release) {
+  const Instance instance = OneChain(/*release=*/5);
+  Schedule schedule(1);
+  schedule.place(5, {0, 0});  // slot 5 is NOT after release 5
+  schedule.place(6, {0, 1});
+  const auto report = ValidateSchedule(schedule, instance);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_NE(report.violation.find("axiom (4)"), std::string::npos);
+
+  Schedule ok(1);
+  ok.place(6, {0, 0});
+  ok.place(7, {0, 1});
+  EXPECT_TRUE(ValidateSchedule(ok, instance));
+}
+
+TEST(Validator, UnknownJobAndNode) {
+  const Instance instance = OneChain();
+  Schedule bad_job(1);
+  bad_job.place(1, {7, 0});
+  EXPECT_FALSE(ValidateSchedule(bad_job, instance).feasible);
+
+  Schedule bad_node(1);
+  bad_node.place(1, {0, 9});
+  EXPECT_FALSE(ValidateSchedule(bad_node, instance).feasible);
+}
+
+TEST(Validator, PrefixModeAllowsIncomplete) {
+  const Instance instance = OneChain();
+  Schedule schedule(1);
+  schedule.place(1, {0, 0});
+  EXPECT_TRUE(ValidateSchedule(schedule, instance, /*require_complete=*/false));
+}
+
+TEST(Validator, PrefixModeStillCatchesOrphanChild) {
+  const Instance instance = OneChain();
+  Schedule schedule(1);
+  schedule.place(1, {0, 1});  // child ran; parent never did
+  const auto report =
+      ValidateSchedule(schedule, instance, /*require_complete=*/false);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_NE(report.violation.find("axiom (3)"), std::string::npos);
+}
+
+TEST(Validator, EmptyScheduleOfEmptyInstance) {
+  EXPECT_TRUE(ValidateSchedule(Schedule(1), Instance()));
+}
+
+}  // namespace
+}  // namespace otsched

@@ -1,0 +1,25 @@
+# Drives the CLI through a full generate -> describe -> bounds -> run
+# pipeline and fails on any nonzero exit.
+function(run_step)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE code
+                  WORKING_DIRECTORY ${WORKDIR})
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "step failed (${code}): ${ARGV}")
+  endif()
+endfunction()
+
+set(INST ${WORKDIR}/cli_smoke.inst)
+run_step(${CLI} gen saturated 8 4 3 11 ${INST})
+run_step(${CLI} describe ${INST} 8)
+run_step(${CLI} bounds ${INST} 8)
+run_step(${CLI} run ${INST} 8 fifo --render 10)
+run_step(${CLI} run ${INST} 8 alg-a --svg ${WORKDIR}/cli_smoke.svg
+         --trace ${WORKDIR}/cli_smoke.trace
+         --timeseries ${WORKDIR}/cli_smoke.csv)
+run_step(${CLI} adversary 4 6 ${WORKDIR}/cli_adv.inst)
+run_step(${CLI} run ${WORKDIR}/cli_adv.inst 4 work-stealing)
+foreach(artifact cli_smoke.svg cli_smoke.trace cli_smoke.csv)
+  if(NOT EXISTS ${WORKDIR}/${artifact})
+    message(FATAL_ERROR "missing artifact ${artifact}")
+  endif()
+endforeach()

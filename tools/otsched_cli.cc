@@ -1,0 +1,312 @@
+// otsched — command-line driver for the library.
+//
+//   otsched gen <family> <args...> <out.inst>     generate an instance
+//   otsched adversary <m> <jobs> <out.inst>       materialize the §4 family
+//   otsched bounds <in.inst> <m>                  print OPT lower bounds
+//   otsched run <in.inst> <m> <policy> [--render N] [--seed S]
+//                                                 run a policy, report flows
+//   otsched policies                              list available policies
+//
+// Families for `gen`:
+//   quicksort <jobs> <n> <rate-denom> <seed>
+//   trees <jobs> <size> <period> <seed>           (mixed random out-trees)
+//   saturated <m> <delta> <batches> <seed>        (certified OPT = delta)
+//   pipelined <m> <delta> <batches> <seed>        (certified OPT = 2*delta)
+//
+// Exit status is nonzero on usage errors; all numeric output goes to
+// stdout so it can be piped.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "analysis/instance_stats.h"
+#include "analysis/ratio.h"
+#include "common/table.h"
+#include "core/alg_a.h"
+#include "core/alg_a_full.h"
+#include "core/lpf.h"
+#include "gen/arrivals.h"
+#include "gen/certified.h"
+#include "gen/fifo_adversary.h"
+#include "gen/random_trees.h"
+#include "gen/recursive.h"
+#include "job/serialize.h"
+#include "sched/fifo.h"
+#include "sched/list_greedy.h"
+#include "sched/remaining_work.h"
+#include "sched/round_robin.h"
+#include "sched/work_stealing.h"
+#include "analysis/timeseries.h"
+#include "sim/renderer.h"
+#include "sim/svg.h"
+#include "sim/trace.h"
+
+using namespace otsched;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  otsched gen quicksort <jobs> <n> <rate-denom> <seed> <out>\n"
+               "  otsched gen trees <jobs> <size> <period> <seed> <out>\n"
+               "  otsched gen saturated <m> <delta> <batches> <seed> <out>\n"
+               "  otsched gen pipelined <m> <delta> <batches> <seed> <out>\n"
+               "  otsched adversary <m> <jobs> <out>\n"
+               "  otsched bounds <in> <m>\n"
+               "  otsched describe <in> [m]\n"
+               "  otsched run <in> <m> <policy> [--render N] [--seed S] "
+               "[--opt V]\n"
+               "              [--svg F] [--trace F] [--timeseries F]\n"
+               "  otsched policies\n");
+  return 2;
+}
+
+std::unique_ptr<Scheduler> MakePolicy(const std::string& name,
+                                      std::uint64_t seed, Time known_opt) {
+  if (name == "fifo") return std::make_unique<FifoScheduler>();
+  if (name == "fifo-random") {
+    FifoScheduler::Options o;
+    o.tie_break = FifoTieBreak::kRandom;
+    o.seed = seed;
+    return std::make_unique<FifoScheduler>(std::move(o));
+  }
+  if (name == "fifo-lpf") {
+    FifoScheduler::Options o;
+    o.tie_break = FifoTieBreak::kLpfHeight;
+    return std::make_unique<FifoScheduler>(std::move(o));
+  }
+  if (name == "list-greedy") {
+    return std::make_unique<ListGreedyScheduler>(seed);
+  }
+  if (name == "equi") return std::make_unique<RoundRobinScheduler>();
+  if (name == "work-stealing") {
+    WorkStealingScheduler::Options o;
+    o.seed = seed;
+    return std::make_unique<WorkStealingScheduler>(o);
+  }
+  if (name == "global-lpf") return std::make_unique<GlobalLpfScheduler>();
+  if (name == "srpt") {
+    return std::make_unique<RemainingWorkScheduler>(
+        RemainingWorkOrder::kSmallestFirst);
+  }
+  if (name == "alg-a") {
+    AlgAScheduler::Options o;
+    o.beta = 16;
+    return std::make_unique<AlgAScheduler>(o);
+  }
+  if (name == "alg-a-semibatched") {
+    AlgASemiBatchedScheduler::Options o;
+    o.known_opt = known_opt > 0 ? known_opt : 2;
+    return std::make_unique<AlgASemiBatchedScheduler>(o);
+  }
+  return nullptr;
+}
+
+void ListPolicies() {
+  std::printf(
+      "fifo              non-clairvoyant FIFO, first-ready tie-break\n"
+      "fifo-random       non-clairvoyant FIFO, seeded random tie-break\n"
+      "fifo-lpf          clairvoyant FIFO, LPF-height tie-break\n"
+      "list-greedy       work-conserving, no inter-job priority\n"
+      "equi              round-robin processor sharing\n"
+      "work-stealing     simulated randomized work stealing\n"
+      "global-lpf        global height priority (clairvoyant)\n"
+      "srpt              smallest-remaining-work first (clairvoyant)\n"
+      "alg-a             the paper's Algorithm A (general, Thm 5.7)\n"
+      "alg-a-semibatched Algorithm A with known OPT (Thm 5.6; pass --opt)\n");
+}
+
+int CmdGen(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string family = argv[0];
+
+  auto save = [&](Instance instance, const char* path) {
+    SaveInstance(instance, path);
+    std::printf("wrote %s: %d jobs, %lld subjobs, releases %lld..%lld\n",
+                path, instance.job_count(),
+                static_cast<long long>(instance.total_work()),
+                static_cast<long long>(instance.min_release()),
+                static_cast<long long>(instance.max_release()));
+    return 0;
+  };
+
+  if (family == "quicksort" && argc == 6) {
+    const std::int64_t jobs = std::atoll(argv[1]);
+    const std::int64_t n = std::atoll(argv[2]);
+    const double rate = 1.0 / std::strtod(argv[3], nullptr);
+    Rng rng(std::strtoull(argv[4], nullptr, 10));
+    Instance instance = MakePoissonArrivals(
+        jobs, rate,
+        [n](std::int64_t, Rng& r) {
+          QuicksortOptions q;
+          q.n = n;
+          q.grain = std::max<std::int64_t>(1, n / 32);
+          q.cutoff = q.grain;
+          return MakeQuicksortTree(q, r);
+        },
+        rng);
+    return save(std::move(instance), argv[5]);
+  }
+  if (family == "trees" && argc == 6) {
+    const std::int64_t jobs = std::atoll(argv[1]);
+    const NodeId size = static_cast<NodeId>(std::atoi(argv[2]));
+    const Time period = std::atoll(argv[3]);
+    Rng rng(std::strtoull(argv[4], nullptr, 10));
+    Instance instance = MakePeriodicArrivals(
+        jobs, period,
+        [size](std::int64_t i, Rng& r) {
+          return MakeTree(static_cast<TreeFamily>(i % 4), size, r);
+        },
+        rng);
+    return save(std::move(instance), argv[5]);
+  }
+  if ((family == "saturated" || family == "pipelined") && argc == 6) {
+    const int m = std::atoi(argv[1]);
+    const Time delta = std::atoll(argv[2]);
+    const int batches = std::atoi(argv[3]);
+    Rng rng(std::strtoull(argv[4], nullptr, 10));
+    CertifiedInstance cert =
+        family == "saturated"
+            ? MakeSpacedSaturatedInstance(m, delta, batches, rng)
+            : MakePipelinedSemiBatchedInstance(m, delta, batches, rng);
+    std::printf("certified OPT on m=%d: %lld\n", m,
+                static_cast<long long>(cert.opt));
+    return save(std::move(cert.instance), argv[5]);
+  }
+  return Usage();
+}
+
+int CmdAdversary(int argc, char** argv) {
+  if (argc != 3) return Usage();
+  LowerBoundSimOptions options;
+  options.m = std::atoi(argv[0]);
+  options.num_jobs = std::atoll(argv[1]);
+  const AdversarialInstance adv = MakeAdversarialInstance(options);
+  SaveInstance(adv.instance, argv[2]);
+  std::printf(
+      "wrote %s: m=%d, %lld jobs, certified OPT <= %lld\n"
+      "co-simulated arbitrary-FIFO max flow: %lld (ratio %.2f)\n",
+      argv[2], options.m, static_cast<long long>(options.num_jobs),
+      static_cast<long long>(adv.fifo_run.certified_opt_upper),
+      static_cast<long long>(adv.fifo_run.max_flow),
+      static_cast<double>(adv.fifo_run.max_flow) /
+          static_cast<double>(adv.fifo_run.certified_opt_upper));
+  return 0;
+}
+
+int CmdDescribe(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  const Instance instance = LoadInstance(argv[0]);
+  const int m = argc >= 2 ? std::atoi(argv[1]) : 1;
+  std::printf("%s\n", ToString(ComputeInstanceStats(instance, m)).c_str());
+  return 0;
+}
+
+int CmdBounds(int argc, char** argv) {
+  if (argc != 2) return Usage();
+  const Instance instance = LoadInstance(argv[0]);
+  const int m = std::atoi(argv[1]);
+  const LowerBounds bounds = ComputeLowerBounds(instance, m);
+  TextTable table({"bound", "value"});
+  table.row("span (max job span)", bounds.span_bound);
+  table.row("work (max ceil(W_i/m))", bounds.work_bound);
+  table.row("depth profile (Lemma 5.1)", bounds.depth_profile_bound);
+  table.row("interval (released work)", bounds.interval_bound);
+  table.row("best", bounds.best());
+  table.print("lower bounds on OPT max-flow, m = " + std::to_string(m) +
+              ":");
+  return 0;
+}
+
+int CmdRun(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const Instance instance = LoadInstance(argv[0]);
+  const int m = std::atoi(argv[1]);
+  const std::string policy_name = argv[2];
+  Time render = 0;
+  std::uint64_t seed = 1;
+  Time known_opt = 0;
+  std::string svg_path;
+  std::string trace_path;
+  std::string timeseries_path;
+  for (int i = 3; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--render") == 0) render = std::atoll(argv[i + 1]);
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+    if (std::strcmp(argv[i], "--opt") == 0) known_opt = std::atoll(argv[i + 1]);
+    if (std::strcmp(argv[i], "--svg") == 0) svg_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--timeseries") == 0) {
+      timeseries_path = argv[i + 1];
+    }
+  }
+
+  std::unique_ptr<Scheduler> policy = MakePolicy(policy_name, seed, known_opt);
+  if (!policy) {
+    std::fprintf(stderr, "unknown policy '%s' (try `otsched policies`)\n",
+                 policy_name.c_str());
+    return 2;
+  }
+  const RatioMeasurement r = MeasureRatio(instance, m, *policy, known_opt);
+  std::printf("policy          : %s\n", r.scheduler.c_str());
+  std::printf("max flow        : %lld\n", static_cast<long long>(r.max_flow));
+  std::printf("vs %s: %.3f (denominator %lld)\n",
+              r.denominator_exact ? "certified OPT " : "lower bound   ",
+              r.ratio, static_cast<long long>(r.opt_denominator));
+  std::printf("mean / p99 flow : %.1f / %lld\n", r.flow_stats.mean,
+              static_cast<long long>(r.flow_stats.p99));
+  std::printf("horizon         : %lld slots, idle processor-slots %lld\n",
+              static_cast<long long>(r.sim_stats.horizon),
+              static_cast<long long>(r.sim_stats.idle_processor_slots));
+  if (render > 0 || !svg_path.empty() || !trace_path.empty() ||
+      !timeseries_path.empty()) {
+    // Re-run to obtain the schedule (MeasureRatio does not retain it).
+    std::unique_ptr<Scheduler> again = MakePolicy(policy_name, seed, known_opt);
+    const SimResult sim = Simulate(instance, m, *again);
+    if (render > 0) {
+      RenderOptions options;
+      options.to_slot = render;
+      std::printf("\nfirst %lld slots:\n%s", static_cast<long long>(render),
+                  RenderSchedule(sim.schedule, instance, options).c_str());
+    }
+    if (!svg_path.empty()) {
+      SvgOptions options;
+      options.title = policy_name + " on " + argv[0];
+      SaveScheduleSvg(sim.schedule, instance, svg_path, options);
+      std::printf("\nSVG written to %s\n", svg_path.c_str());
+    }
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      out << DeriveTrace(sim.schedule, instance).to_text();
+      std::printf("event trace written to %s\n", trace_path.c_str());
+    }
+    if (!timeseries_path.empty()) {
+      std::ofstream out(timeseries_path);
+      out << ComputeTimeSeries(sim.schedule, instance).to_csv();
+      std::printf("time series written to %s\n", timeseries_path.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "gen") return CmdGen(argc - 2, argv + 2);
+  if (command == "adversary") return CmdAdversary(argc - 2, argv + 2);
+  if (command == "bounds") return CmdBounds(argc - 2, argv + 2);
+  if (command == "describe") return CmdDescribe(argc - 2, argv + 2);
+  if (command == "run") return CmdRun(argc - 2, argv + 2);
+  if (command == "policies") {
+    ListPolicies();
+    return 0;
+  }
+  return Usage();
+}
