@@ -64,7 +64,7 @@ int main() {
     return row;
   });
 
-  CsvWriter csv("e10_ablation_alpha.csv",
+  CsvWriter csv("results/e10_ablation_alpha.csv",
                 {"alpha", "pipelined_ratio", "spaced_ratio"});
   TextTable table({"alpha", "m/alpha", "pipelined ratio", "spaced ratio"});
   for (const Row& row : rows) {

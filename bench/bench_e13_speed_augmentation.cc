@@ -54,7 +54,7 @@ int main() {
     return row;
   });
 
-  CsvWriter csv("e13_speed_augmentation.csv",
+  CsvWriter csv("results/e13_speed_augmentation.csv",
                 {"m", "eps0", "eps0.1", "eps0.25", "eps0.5", "eps1"});
   TextTable table({"m", "eps=0", "eps=0.1", "eps=0.25", "eps=0.5",
                    "eps=1.0"});

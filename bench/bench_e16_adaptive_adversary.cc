@@ -78,7 +78,7 @@ int main() {
     return row;
   });
 
-  CsvWriter csv("e16_adaptive_adversary.csv",
+  CsvWriter csv("results/e16_adaptive_adversary.csv",
                 {"m", "fifo", "fifo_dfs", "fifo_random", "list_greedy",
                  "equi"});
   TextTable table({"m", "FIFO", "FIFO/dfs", "FIFO/random", "list-greedy",

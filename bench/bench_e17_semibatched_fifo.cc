@@ -93,7 +93,7 @@ int main() {
     return row;
   });
 
-  CsvWriter csv("e17_semibatched_fifo.csv",
+  CsvWriter csv("results/e17_semibatched_fifo.csv",
                 {"m", "batched", "semi_batched", "staggered", "tetris"});
   TextTable table({"m", "batched (Thm 6.1)", "semi-batched (Remark)",
                    "staggered*", "tetris full-pack", "log2(m)"});

@@ -74,7 +74,7 @@ int main() {
     return row;
   });
 
-  CsvWriter csv("e18_load_curve.csv",
+  CsvWriter csv("results/e18_load_curve.csv",
                 {"load", "fifo", "list_greedy", "alg_a"});
   TextTable table({"offered load", "FIFO", "list-greedy", "Algorithm A"});
   for (const Row& row : rows) {

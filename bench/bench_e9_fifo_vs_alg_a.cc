@@ -67,7 +67,7 @@ int main() {
     return row;
   });
 
-  CsvWriter csv("e9_fifo_vs_alg_a.csv",
+  CsvWriter csv("results/e9_fifo_vs_alg_a.csv",
                 {"m", "fifo_ratio", "alg_a_ratio", "clairvoyant_fifo"});
   TextTable table({"m", "arbitrary FIFO", "Algorithm A", "clairvoyant FIFO",
                    "lgm-lglgm"});

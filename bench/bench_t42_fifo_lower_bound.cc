@@ -60,7 +60,7 @@ int main() {
     return row;
   });
 
-  CsvWriter csv("t42_fifo_lower_bound.csv",
+  CsvWriter csv("results/t42_fifo_lower_bound.csv",
                 {"m", "ratio", "lg_m_minus_lglg_m", "max_alive", "max_flow"});
   TextTable table({"m", "FIFO ratio", "lgm-lglgm", "ratio/curve",
                    "peak queue", "sim time (s)"});

@@ -73,7 +73,7 @@ int main() {
     return row;
   });
 
-  CsvWriter csv("t56_alg_a_semibatched.csv",
+  CsvWriter csv("results/t56_alg_a_semibatched.csv",
                 {"m", "pipelined_ratio", "spaced_ratio"});
   TextTable table({"m", "pipelined ratio", "spaced ratio", "<= 129",
                    "MC violations", "Sec5.3 structure"});

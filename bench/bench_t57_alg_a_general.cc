@@ -76,7 +76,7 @@ int main() {
     return row;
   });
 
-  CsvWriter csv("t57_alg_a_general.csv",
+  CsvWriter csv("results/t57_alg_a_general.csv",
                 {"m", "certified_ratio", "poisson_ratio"});
   TextTable table({"m", "certified ratio", "restarts", "poisson ratio*",
                    "restarts", "final guess"});

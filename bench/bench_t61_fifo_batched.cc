@@ -110,7 +110,7 @@ int main() {
     return row;
   });
 
-  CsvWriter csv("t61_fifo_batched.csv",
+  CsvWriter csv("results/t61_fifo_batched.csv",
                 {"m", "adversary_ratio", "forest_ratio", "general_ratio",
                  "log2_envelope"});
   TextTable table({"m", "adversary", "sat-forest", "general-DAG",

@@ -1,0 +1,295 @@
+#include "check/oracles.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.h"
+#include "core/most_children.h"
+#include "dag/metrics.h"
+#include "dag/validate.h"
+#include "opt/brute_force.h"
+#include "opt/lower_bounds.h"
+#include "opt/single_batch.h"
+#include "sim/validator.h"
+
+namespace otsched {
+namespace {
+
+OracleResult Pass(OracleId id) { return {id, true, ""}; }
+
+OracleResult Fail(OracleId id, const std::string& detail) {
+  return {id, false, detail};
+}
+
+/// Upper cap so the brute-force cross-check stays in the microsecond
+/// range inside the fuzz harness's inner loop.
+constexpr NodeId kBruteForceNodeCap = 16;
+
+}  // namespace
+
+const char* ToString(OracleId id) {
+  switch (id) {
+    case OracleId::kFeasibility:
+      return "feasibility(S3-axioms)";
+    case OracleId::kLpfValue:
+      return "lpf-value(Cor5.4)";
+    case OracleId::kHeadTail:
+      return "head-tail(L5.2)";
+    case OracleId::kMcBusy:
+      return "mc-busy(L5.5)";
+    case OracleId::kRatioCeiling:
+      return "ratio-ceiling(T5.6)";
+  }
+  return "unknown-oracle";
+}
+
+OracleResult CheckFeasibilityOracle(const Schedule& schedule,
+                                    const Instance& instance) {
+  const ValidationReport report = ValidateSchedule(schedule, instance);
+  if (!report.feasible) {
+    return Fail(OracleId::kFeasibility, report.violation);
+  }
+  return Pass(OracleId::kFeasibility);
+}
+
+OracleResult CheckLpfValueOracle(const Dag& dag, int m,
+                                 const JobSchedule& lpf,
+                                 bool cross_check_brute_force) {
+  if (!IsOutForest(dag)) {
+    return Fail(OracleId::kLpfValue,
+                "Corollary 5.4 oracle requires an out-forest input");
+  }
+  const std::string schedule_error = CheckJobSchedule(dag, lpf);
+  if (!schedule_error.empty()) {
+    return Fail(OracleId::kLpfValue,
+                "LPF schedule is not feasible: " + schedule_error);
+  }
+  if (lpf.total() != dag.node_count()) {
+    std::ostringstream detail;
+    detail << "LPF schedule places " << lpf.total() << " of "
+           << dag.node_count() << " subjobs";
+    return Fail(OracleId::kLpfValue, detail.str());
+  }
+  const Time closed_form = SingleBatchOpt(dag, m);
+  if (lpf.length() != closed_form) {
+    std::ostringstream detail;
+    detail << "LPF[" << m << "] length " << lpf.length()
+           << " != Corollary 5.4 value " << closed_form;
+    return Fail(OracleId::kLpfValue, detail.str());
+  }
+  if (cross_check_brute_force && dag.node_count() > 0 &&
+      dag.node_count() <= kBruteForceNodeCap) {
+    Instance single;
+    single.add_job(Job(Dag(dag), 0));
+    const Time brute = BruteForceOpt(single, m);
+    if (brute != closed_form) {
+      std::ostringstream detail;
+      detail << "Corollary 5.4 value " << closed_form
+             << " != brute-force OPT " << brute << " on " << m
+             << " processors";
+      return Fail(OracleId::kLpfValue, detail.str());
+    }
+  }
+  return Pass(OracleId::kLpfValue);
+}
+
+OracleResult CheckHeadTailOracle(const Dag& dag, int m, int alpha,
+                                 const JobSchedule& reduced) {
+  OTSCHED_CHECK(alpha >= 2, "alpha must be at least 2, got " << alpha);
+  if (!IsOutForest(dag)) {
+    return Fail(OracleId::kHeadTail,
+                "Lemma 5.2 oracle requires an out-forest input");
+  }
+  const int p = (m + alpha - 1) / alpha;
+  if (reduced.p != p) {
+    std::ostringstream detail;
+    detail << "schedule built for p = " << reduced.p
+           << ", expected ceil(m/alpha) = " << p;
+    return Fail(OracleId::kHeadTail, detail.str());
+  }
+  const std::string schedule_error = CheckJobSchedule(dag, reduced);
+  if (!schedule_error.empty()) {
+    return Fail(OracleId::kHeadTail,
+                "reduced LPF schedule is not feasible: " + schedule_error);
+  }
+  const Lemma52Report chain = CheckLemma52(dag, reduced);
+  if (!chain.holds) {
+    return Fail(OracleId::kHeadTail,
+                "Lemma 5.2 ancestor chain violated: " + chain.detail);
+  }
+  const Time opt = SingleBatchOpt(dag, m);
+  if (chain.last_underfull != kNoTime && chain.last_underfull > opt) {
+    std::ostringstream detail;
+    detail << "last underfull slot " << chain.last_underfull
+           << " exceeds OPT[" << m << "] = " << opt;
+    return Fail(OracleId::kHeadTail, detail.str());
+  }
+  const HeadTailShape shape = AnalyzeHeadTail(reduced, opt);
+  if (!shape.underfull_tail_slots.empty()) {
+    std::ostringstream detail;
+    detail << "tail is not a packed rectangle: slot "
+           << shape.underfull_tail_slots.front() << " of "
+           << reduced.length() << " runs fewer than p = " << p
+           << " subjobs (head = " << opt << " slots)";
+    return Fail(OracleId::kHeadTail, detail.str());
+  }
+  if (shape.tail_len > static_cast<Time>(alpha - 1) * opt) {
+    std::ostringstream detail;
+    detail << "tail length " << shape.tail_len << " exceeds (alpha-1)*OPT = "
+           << static_cast<Time>(alpha - 1) * opt;
+    return Fail(OracleId::kHeadTail, detail.str());
+  }
+  return Pass(OracleId::kHeadTail);
+}
+
+McReplayLog RunMostChildrenLog(const Dag& dag, const JobSchedule& schedule,
+                               std::span<const int> budgets,
+                               Time prefix_len) {
+  OTSCHED_CHECK(!budgets.empty(), "budget stream must be non-empty");
+  bool positive = false;
+  for (int b : budgets) positive = positive || b > 0;
+  OTSCHED_CHECK(positive, "budget stream needs at least one positive entry");
+
+  McReplayLog log;
+  log.prefix_len = prefix_len;
+  MostChildrenReplayer replayer(dag, schedule);
+  if (prefix_len > 0) replayer.mark_prefix_executed(prefix_len);
+  std::size_t i = 0;
+  while (!replayer.done()) {
+    McReplayLog::Step step;
+    step.budget = budgets[i % budgets.size()];
+    ++i;
+    replayer.step(step.budget, &step.scheduled);
+    log.steps.push_back(std::move(step));
+    OTSCHED_CHECK(log.steps.size() <=
+                      static_cast<std::size_t>(dag.node_count()) +
+                          budgets.size() + 1,
+                  "Most-Children replay failed to terminate");
+  }
+  return log;
+}
+
+OracleResult CheckMcBusyOracle(const Dag& dag, const JobSchedule& schedule,
+                               const McReplayLog& log) {
+  const NodeId n = dag.node_count();
+  // done_step[v]: MC step at which v completed; 0 = pre-executed prefix,
+  // -1 = not yet executed.
+  std::vector<Time> done_step(static_cast<std::size_t>(n), -1);
+  std::int64_t prefix_nodes = 0;
+  const Time prefix = std::min<Time>(log.prefix_len, schedule.length());
+  for (Time s = 1; s <= prefix; ++s) {
+    for (NodeId v : schedule.at(s)) {
+      done_step[static_cast<std::size_t>(v)] = 0;
+      ++prefix_nodes;
+    }
+  }
+  std::int64_t remaining = n - prefix_nodes;
+
+  for (std::size_t i = 0; i < log.steps.size(); ++i) {
+    const McReplayLog::Step& step = log.steps[i];
+    const Time now = static_cast<Time>(i) + 1;
+    if (static_cast<int>(step.scheduled.size()) > step.budget) {
+      std::ostringstream detail;
+      detail << "step " << now << " schedules " << step.scheduled.size()
+             << " subjobs with budget " << step.budget;
+      return Fail(OracleId::kMcBusy, detail.str());
+    }
+    for (NodeId v : step.scheduled) {
+      if (v < 0 || v >= n) {
+        std::ostringstream detail;
+        detail << "step " << now << " schedules unknown node " << v;
+        return Fail(OracleId::kMcBusy, detail.str());
+      }
+      if (done_step[static_cast<std::size_t>(v)] >= 0) {
+        std::ostringstream detail;
+        detail << "step " << now << " re-executes node " << v
+               << " (already done at step "
+               << done_step[static_cast<std::size_t>(v)] << ")";
+        return Fail(OracleId::kMcBusy, detail.str());
+      }
+      for (NodeId parent : dag.parents(v)) {
+        const Time parent_done = done_step[static_cast<std::size_t>(parent)];
+        if (parent_done < 0 || parent_done >= now) {
+          std::ostringstream detail;
+          detail << "step " << now << " runs node " << v
+                 << " before its parent " << parent << " completed";
+          return Fail(OracleId::kMcBusy, detail.str());
+        }
+      }
+    }
+    for (NodeId v : step.scheduled) {
+      done_step[static_cast<std::size_t>(v)] = now;
+    }
+    remaining -= static_cast<std::int64_t>(step.scheduled.size());
+    // Lemma 5.5: a step either uses its whole budget or finishes the job.
+    if (static_cast<int>(step.scheduled.size()) < step.budget &&
+        remaining > 0) {
+      std::ostringstream detail;
+      detail << "step " << now << " wastes "
+             << step.budget - static_cast<int>(step.scheduled.size())
+             << " processors with " << remaining << " subjobs remaining";
+      return Fail(OracleId::kMcBusy, detail.str());
+    }
+  }
+  if (remaining != 0) {
+    std::ostringstream detail;
+    detail << "replay ends with " << remaining << " subjobs never executed";
+    return Fail(OracleId::kMcBusy, detail.str());
+  }
+  return Pass(OracleId::kMcBusy);
+}
+
+OracleResult CheckRatioCeilingOracle(const Instance& instance, int m,
+                                     Time max_flow, double ceiling,
+                                     Time certified_opt) {
+  OTSCHED_CHECK(ceiling > 0, "ratio ceiling must be positive");
+  if (instance.empty()) return Pass(OracleId::kRatioCeiling);
+  const bool exact = certified_opt > 0;
+  const Time denominator =
+      exact ? certified_opt
+            : std::max<Time>(Time{1}, MaxFlowLowerBound(instance, m));
+  if (max_flow == kInfiniteTime ||
+      static_cast<double>(max_flow) >
+          ceiling * static_cast<double>(denominator)) {
+    std::ostringstream detail;
+    detail << "max flow " << max_flow << " exceeds ceiling " << ceiling
+           << " * " << (exact ? "certified OPT " : "lower bound ")
+           << denominator << " on " << m << " processors";
+    return Fail(OracleId::kRatioCeiling, detail.str());
+  }
+  return Pass(OracleId::kRatioCeiling);
+}
+
+std::vector<OracleResult> CheckSingleJobOracles(
+    const Dag& dag, int m, int alpha, bool cross_check_brute_force) {
+  std::vector<OracleResult> results;
+  if (dag.empty()) return results;
+
+  // Corollary 5.4: LPF on the full machine achieves the closed form.
+  const JobSchedule full = BuildLpfSchedule(dag, m);
+  results.push_back(
+      CheckLpfValueOracle(dag, m, full, cross_check_brute_force));
+
+  // Lemma 5.2 / Figure 2 on the reduced machine.
+  const int p = (m + alpha - 1) / alpha;
+  const JobSchedule reduced = BuildLpfSchedule(dag, p);
+  results.push_back(CheckHeadTailOracle(dag, m, alpha, reduced));
+
+  // Lemma 5.5: MC replays the packed tail of LPF[p] (head pre-executed,
+  // exactly Algorithm A's usage) under a fluctuating budget <= p.
+  const Time opt = SingleBatchOpt(dag, m);
+  const Time prefix = std::min<Time>(opt, reduced.length());
+  if (reduced.length() > prefix) {
+    std::vector<int> budgets;
+    for (int k = 0; k < 7; ++k) {
+      budgets.push_back(1 + (k * 2 + static_cast<int>(dag.node_count())) %
+                                std::max(1, p));
+    }
+    const McReplayLog log =
+        RunMostChildrenLog(dag, reduced, budgets, prefix);
+    results.push_back(CheckMcBusyOracle(dag, reduced, log));
+  }
+  return results;
+}
+
+}  // namespace otsched

@@ -1,0 +1,141 @@
+// Machine-checkable per-run oracles for the paper's structural theorems.
+//
+// Every oracle is a pure function from DATA (an instance, a schedule, a
+// replay log, flow numbers) to a verdict, so that the same code path both
+// (a) certifies real runs inside the differential fuzz harness and
+// (b) can be tested by mutation injection: corrupt a known-good artifact
+// and assert that exactly the intended oracle fires.
+//
+// Theorem <-> oracle map (mirrored in docs/ALGORITHMS.md):
+//
+//   Section 3 axioms (1)-(4)   CheckFeasibilityOracle   (via sim/validator)
+//   Lemma 5.3 / Corollary 5.4  CheckLpfValueOracle      LPF[m] length ==
+//                              max_d (d + ceil(W(d)/m)), == brute force OPT
+//                              on small instances
+//   Lemma 5.2 / Figure 2       CheckHeadTailOracle      LPF[ceil(m/alpha)]
+//                              = arbitrary head (<= OPT slots) + fully
+//                              packed rectangular tail
+//   Lemma 5.5                  CheckMcBusyOracle        a Most-Children
+//                              replay never wastes a processor before the
+//                              job finishes
+//   Theorem 5.6 / 5.7          CheckRatioCeilingOracle  Algorithm A's max
+//                              flow stays below the proven constant times
+//                              a certified OPT (or a lower-bound
+//                              certificate from opt/lower_bounds)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/lpf.h"
+#include "job/instance.h"
+#include "sim/schedule.h"
+
+namespace otsched {
+
+enum class OracleId {
+  kFeasibility,   // Section 3 axioms (1)-(4) + completion
+  kLpfValue,      // Lemma 5.3 / Corollary 5.4
+  kHeadTail,      // Lemma 5.2 / Figure 2
+  kMcBusy,        // Lemma 5.5
+  kRatioCeiling,  // Theorem 5.6 / 5.7
+};
+
+const char* ToString(OracleId id);
+
+struct OracleResult {
+  OracleId id = OracleId::kFeasibility;
+  bool ok = true;
+  /// Empty when ok; otherwise a description of the first violation.
+  std::string detail;
+
+  explicit operator bool() const { return ok; }
+};
+
+// ---- Section 3: feasibility ----
+
+/// Wraps sim/validator's four-axiom check and additionally requires every
+/// job to complete (an online policy that stalls forever would otherwise
+/// pass vacuously).
+OracleResult CheckFeasibilityOracle(const Schedule& schedule,
+                                    const Instance& instance);
+
+// ---- Lemma 5.3 / Corollary 5.4: LPF value ----
+
+/// Verifies that `lpf` (built for the full machine, p == m) is internally
+/// consistent and that its length equals the Corollary 5.4 closed form
+/// max_d (d + ceil(W(d)/m)).  When `cross_check_brute_force` is set and
+/// the DAG is small enough for opt/brute_force, additionally certifies the
+/// closed form against exhaustive search.
+OracleResult CheckLpfValueOracle(const Dag& dag, int m,
+                                 const JobSchedule& lpf,
+                                 bool cross_check_brute_force = false);
+
+// ---- Lemma 5.2 / Figure 2: head/tail rectangle ----
+
+/// Verifies the LPF[p] shape for p = ceil(m/alpha): the Lemma 5.2 ancestor
+/// chain at the last underfull slot, last underfull slot <= OPT[m], and
+/// the Figure 2 decomposition into a head of at most OPT[m] slots followed
+/// by a fully packed tail of at most (alpha - 1) * OPT[m] slots.
+OracleResult CheckHeadTailOracle(const Dag& dag, int m, int alpha,
+                                 const JobSchedule& reduced);
+
+// ---- Lemma 5.5: Most-Children never wastes a processor ----
+
+/// A recorded Most-Children replay: the per-step budgets and the node ids
+/// actually scheduled.  Produced by RunMostChildrenLog (below) for real
+/// runs and hand-corrupted by the mutation tests.
+struct McReplayLog {
+  /// S-slots [1, prefix_len] of the source schedule were marked executed
+  /// before step 1 (Algorithm A's "head already done" convention).
+  Time prefix_len = 0;
+  struct Step {
+    int budget = 0;
+    std::vector<NodeId> scheduled;
+  };
+  std::vector<Step> steps;
+};
+
+/// Replays `schedule` through MostChildrenReplayer under the given
+/// per-step budgets (cycled if the job outlives the vector) and records
+/// the log.  `prefix_len` S-slots are marked pre-executed.
+McReplayLog RunMostChildrenLog(const Dag& dag, const JobSchedule& schedule,
+                               std::span<const int> budgets,
+                               Time prefix_len = 0);
+
+/// Verifies Lemma 5.5 on a replay log: every step schedules ready,
+/// not-yet-executed nodes within budget; every node outside the prefix is
+/// scheduled exactly once; and no step wastes budget while work remains
+/// after it (the no-wasted-processor property).
+OracleResult CheckMcBusyOracle(const Dag& dag, const JobSchedule& schedule,
+                               const McReplayLog& log);
+
+// ---- Theorem 5.6 / 5.7: competitive-ratio ceiling ----
+
+/// Verifies max_flow <= ceiling * OPT.  `certified_opt` > 0 is trusted
+/// (generator-certified); otherwise the denominator is the best lower
+/// bound from opt/lower_bounds, which only makes the check stricter in
+/// the failing direction (a flow above ceiling * lower_bound is above
+/// ceiling * OPT only if the bound is tight — so the oracle reports the
+/// denominator kind in its detail and uses the lower bound as the
+/// conservative denominator: violations are real, passes are not proofs).
+OracleResult CheckRatioCeilingOracle(const Instance& instance, int m,
+                                     Time max_flow, double ceiling,
+                                     Time certified_opt = 0);
+
+/// The proven ceilings for alpha = 4: Theorem 5.6 (semi-batched, beta =
+/// 258) and Theorem 5.7 (general, the extra rounding/guessing factor 6).
+inline constexpr double kTheorem56Ceiling = 129.0;
+inline constexpr double kTheorem57Ceiling = 1548.0;
+
+// ---- aggregation ----
+
+/// Runs the single-job structural oracles (LPF value, head/tail, MC busy)
+/// on one out-forest and returns every verdict; a convenience used by the
+/// fuzz harness and the bench smoke tests.
+std::vector<OracleResult> CheckSingleJobOracles(const Dag& dag, int m,
+                                                int alpha,
+                                                bool cross_check_brute_force);
+
+}  // namespace otsched

@@ -1,0 +1,137 @@
+#include "check/policies.h"
+
+#include "check/oracles.h"
+#include "core/alg_a.h"
+#include "core/alg_a_full.h"
+#include "core/lpf.h"
+#include "sched/fifo.h"
+#include "sched/list_greedy.h"
+#include "sched/remaining_work.h"
+#include "sched/round_robin.h"
+#include "sched/work_stealing.h"
+
+namespace otsched {
+namespace {
+
+PolicySpec Fifo(const std::string& name, FifoTieBreak tie_break) {
+  PolicySpec spec;
+  spec.name = name;
+  spec.make = [tie_break](std::uint64_t seed) -> std::unique_ptr<Scheduler> {
+    FifoScheduler::Options options;
+    options.tie_break = tie_break;
+    options.seed = seed;
+    return std::make_unique<FifoScheduler>(std::move(options));
+  };
+  return spec;
+}
+
+std::vector<PolicySpec> BuildRegistry() {
+  std::vector<PolicySpec> registry;
+
+  // src/sched — the baseline zoo.
+  registry.push_back(Fifo("fifo/first-ready", FifoTieBreak::kFirstReady));
+  registry.push_back(Fifo("fifo/last-ready", FifoTieBreak::kLastReady));
+  registry.push_back(Fifo("fifo/random", FifoTieBreak::kRandom));
+  registry.push_back(Fifo("fifo/lpf-height", FifoTieBreak::kLpfHeight));
+  registry.push_back(Fifo("fifo/most-children", FifoTieBreak::kMostChildren));
+
+  {
+    PolicySpec spec;
+    spec.name = "list-greedy";
+    spec.make = [](std::uint64_t seed) -> std::unique_ptr<Scheduler> {
+      return std::make_unique<ListGreedyScheduler>(seed);
+    };
+    registry.push_back(std::move(spec));
+  }
+  {
+    PolicySpec spec;
+    spec.name = "round-robin-equi";
+    spec.make = [](std::uint64_t) -> std::unique_ptr<Scheduler> {
+      return std::make_unique<RoundRobinScheduler>();
+    };
+    registry.push_back(std::move(spec));
+  }
+  {
+    PolicySpec spec;
+    spec.name = "work-stealing";
+    spec.make = [](std::uint64_t seed) -> std::unique_ptr<Scheduler> {
+      WorkStealingScheduler::Options options;
+      options.seed = seed;
+      return std::make_unique<WorkStealingScheduler>(std::move(options));
+    };
+    registry.push_back(std::move(spec));
+  }
+  {
+    PolicySpec spec;
+    spec.name = "remaining-work/smallest";
+    spec.make = [](std::uint64_t) -> std::unique_ptr<Scheduler> {
+      return std::make_unique<RemainingWorkScheduler>(
+          RemainingWorkOrder::kSmallestFirst);
+    };
+    registry.push_back(std::move(spec));
+  }
+  {
+    PolicySpec spec;
+    spec.name = "remaining-work/largest";
+    spec.make = [](std::uint64_t) -> std::unique_ptr<Scheduler> {
+      return std::make_unique<RemainingWorkScheduler>(
+          RemainingWorkOrder::kLargestFirst);
+    };
+    registry.push_back(std::move(spec));
+  }
+
+  // src/core — the Section 5 machinery.
+  {
+    PolicySpec spec;
+    spec.name = "global-lpf";
+    spec.make = [](std::uint64_t) -> std::unique_ptr<Scheduler> {
+      return std::make_unique<GlobalLpfScheduler>();
+    };
+    registry.push_back(std::move(spec));
+  }
+  {
+    PolicySpec spec;
+    spec.name = "alg-a/general";
+    spec.needs_out_forests = true;
+    spec.needs_alpha_divides_m = true;
+    spec.ratio_ceiling = kTheorem57Ceiling;
+    spec.make = [](std::uint64_t) -> std::unique_ptr<Scheduler> {
+      return std::make_unique<AlgAScheduler>();
+    };
+    registry.push_back(std::move(spec));
+  }
+  {
+    PolicySpec spec;
+    spec.name = "alg-a/semi-batched";
+    spec.needs_out_forests = true;
+    spec.needs_alpha_divides_m = true;
+    spec.needs_semi_batched = true;
+    spec.ratio_ceiling = kTheorem56Ceiling;
+    spec.make_semi_batched =
+        [](Time known_opt) -> std::unique_ptr<Scheduler> {
+      AlgASemiBatchedScheduler::Options options;
+      options.known_opt = known_opt;
+      return std::make_unique<AlgASemiBatchedScheduler>(std::move(options));
+    };
+    registry.push_back(std::move(spec));
+  }
+
+  return registry;
+}
+
+}  // namespace
+
+const std::vector<PolicySpec>& AllPolicies() {
+  static const std::vector<PolicySpec> registry = BuildRegistry();
+  return registry;
+}
+
+bool PolicyApplies(const PolicySpec& spec, bool all_out_forests,
+                   bool semi_batched_certified, int m) {
+  if (spec.needs_out_forests && !all_out_forests) return false;
+  if (spec.needs_alpha_divides_m && m % 4 != 0) return false;
+  if (spec.needs_semi_batched && !semi_batched_certified) return false;
+  return true;
+}
+
+}  // namespace otsched

@@ -1,14 +1,30 @@
 #include "common/csv.h"
 
 #include <cstdio>
+#include <filesystem>
 
 #include "common/assert.h"
 
 namespace otsched {
+namespace {
+
+// Benches write into results/ relative to the working directory; create
+// the directory on demand so they run from a fresh checkout.
+const std::string& EnsureParentDir(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+  }
+  return path;
+}
+
+}  // namespace
 
 CsvWriter::CsvWriter(const std::string& path,
                      const std::vector<std::string>& header)
-    : path_(path), out_(path), columns_(header.size()) {
+    : path_(path), out_(EnsureParentDir(path)), columns_(header.size()) {
   OTSCHED_CHECK(out_.good(), "cannot open CSV output file " << path);
   OTSCHED_CHECK(!header.empty(), "CSV header must be non-empty");
   write_row(header);

@@ -1,5 +1,5 @@
 // Tests for advsim/adaptive.h: the generalized adaptive adversary.
-#include <gtest/gtest.h>
+#include "gtest_compat.h"
 
 #include "advsim/adaptive.h"
 #include "dag/validate.h"

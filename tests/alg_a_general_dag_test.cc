@@ -1,6 +1,6 @@
 // Tests for the allow_general_dags extension of Algorithm A: no
 // guarantees beyond feasibility, but feasibility must be ironclad.
-#include <gtest/gtest.h>
+#include "gtest_compat.h"
 
 #include "core/alg_a.h"
 #include "core/alg_a_full.h"

@@ -1,6 +1,6 @@
 // Tests for core/alg_a.h: the semi-batched super-clairvoyant Algorithm A
 // (Theorem 5.6).
-#include <gtest/gtest.h>
+#include "gtest_compat.h"
 
 #include "core/alg_a.h"
 #include "dag/builders.h"

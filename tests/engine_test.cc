@@ -1,6 +1,6 @@
 // Tests for sim/engine.h: readiness, arrivals, capacity, clairvoyance
 // enforcement, and end-to-end feasibility of engine-produced schedules.
-#include <gtest/gtest.h>
+#include "gtest_compat.h"
 
 #include "common/rng.h"
 #include "dag/builders.h"

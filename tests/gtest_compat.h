@@ -1,0 +1,14 @@
+// Version-portable GoogleTest helpers shared by the test binaries.
+//
+// GTEST_FLAG_SET was introduced after the 1.11 release line; toolchains
+// that ship an older libgtest (the CI image bundles 1.11) still expose the
+// flags through the GTEST_FLAG accessor.  Defining the macro only when it
+// is missing keeps every call site identical across gtest versions.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#ifndef GTEST_FLAG_SET
+#define GTEST_FLAG_SET(name, value) \
+  (void)(::testing::GTEST_FLAG(name) = (value))
+#endif

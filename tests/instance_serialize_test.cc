@@ -1,5 +1,5 @@
 // Tests for job/serialize.h: instance round-trips.
-#include <gtest/gtest.h>
+#include "gtest_compat.h"
 
 #include <cstdio>
 

@@ -1,6 +1,6 @@
 // Tests for src/opt: lower bounds (Lemma 5.1 and friends), Corollary 5.4,
 // and the brute-force exact solver they are checked against.
-#include <gtest/gtest.h>
+#include "gtest_compat.h"
 
 #include "dag/builders.h"
 #include "gen/random_trees.h"

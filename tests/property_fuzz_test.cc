@@ -2,11 +2,14 @@
 //  * the validator detects random corruptions of known-good schedules,
 //  * instance transforms preserve the invariants they claim,
 //  * the adversary co-simulation matches a hand-derived golden trace,
-//  * LPF's value is invariant to tie-breaking (node relabelling).
+//  * LPF's value is invariant to tie-breaking (node relabelling),
+//  * the src/check oracles agree with the validator and hold on every
+//    generated tree family (the differential harness's ground truth).
 #include <gtest/gtest.h>
 
 #include <algorithm>
 
+#include "check/oracles.h"
 #include "core/lpf.h"
 #include "dag/builders.h"
 #include "dag/metrics.h"
@@ -250,6 +253,49 @@ TEST(LpfInvariance, ValueIsStableUnderRelabelling) {
     const Dag shuffled = std::move(builder).build();
     EXPECT_EQ(BuildLpfSchedule(shuffled, 4).length(), baseline)
         << "trial " << trial;
+  }
+}
+
+TEST(OracleProperty, FeasibilityOracleAgreesWithValidator) {
+  // The feasibility oracle wraps ValidateSchedule; on random schedules —
+  // good and corrupted alike — the two verdicts must coincide whenever
+  // every job completes (the oracle additionally rejects stalls).
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Instance instance = RandomInstance(seed, 5);
+    const int m = 2;
+    FifoScheduler fifo;
+    const SimResult run = Simulate(instance, m, fifo);
+    ASSERT_TRUE(run.flows.all_completed);
+    EXPECT_TRUE(CheckFeasibilityOracle(run.schedule, instance));
+
+    // Corrupt: duplicate the first placed subjob into a fresh slot.
+    Schedule bad = CopySchedule(run.schedule, m);
+    bad.place(run.schedule.horizon() + 1, run.schedule.at(1).front());
+    EXPECT_EQ(static_cast<bool>(CheckFeasibilityOracle(bad, instance)),
+              ValidateSchedule(bad, instance).feasible);
+    EXPECT_FALSE(CheckFeasibilityOracle(bad, instance));
+  }
+}
+
+TEST(OracleProperty, SingleJobOraclesHoldOnEveryFamily) {
+  // Corollary 5.4, Lemma 5.2 and Lemma 5.5 as properties: they must hold
+  // for every tree family x machine size the generator can emit — this is
+  // the ground truth the mutation tests in check_oracle_test.cc perturb.
+  for (std::uint64_t seed = 30; seed < 36; ++seed) {
+    Rng rng(seed);
+    for (int family = 0; family < 4; ++family) {
+      const Dag tree =
+          MakeTree(static_cast<TreeFamily>(family),
+                   static_cast<NodeId>(4 + rng.next_below(28)), rng);
+      for (int m : {1, 2, 3, 4, 8}) {
+        for (const OracleResult& r :
+             CheckSingleJobOracles(tree, m, 4, tree.node_count() <= 16)) {
+          EXPECT_TRUE(r.ok)
+              << "family " << family << " m " << m << " seed " << seed
+              << ": " << ToString(r.id) << ": " << r.detail;
+        }
+      }
+    }
   }
 }
 

@@ -1,6 +1,6 @@
 // Tests for analysis/section6.h: Lemma 6.4 and Proposition 6.2 hold on
 // real FIFO schedules, and the checker actually detects violations.
-#include <gtest/gtest.h>
+#include "gtest_compat.h"
 
 #include "analysis/section6.h"
 #include "dag/builders.h"

@@ -1,5 +1,5 @@
 // Tests for sim/trace.h.
-#include <gtest/gtest.h>
+#include "gtest_compat.h"
 
 #include "dag/builders.h"
 #include "sched/fifo.h"

@@ -1,0 +1,159 @@
+// Differential fuzz driver: grinds every registered scheduling policy
+// against the paper-invariant oracles on seeded random instances.
+//
+//   otsched_fuzz --seeds 256                 # the full battery
+//   otsched_fuzz --seeds 64 --max-jobs 12    # the CI smoke configuration
+//   otsched_fuzz --replay results/fuzz-repros/repro_....inst
+//
+// Exit status 0 means zero invariant violations; 1 means at least one
+// violation (each reported with a shrunk, serialized repro).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/diffrun.h"
+
+namespace {
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --seeds N           fuzz seeds to run (default 64)\n"
+      "  --seed-base N       offset added to every seed (default 1)\n"
+      "  --max-jobs N        max jobs per generated instance (default 10)\n"
+      "  --max-nodes N       max subjobs per generated job (default 36)\n"
+      "  --machines A,B,..   machine sizes (default 1,2,3,4,8)\n"
+      "  --alpha N           reduction factor for the Section 5 oracles "
+      "(default 4)\n"
+      "  --workers N         thread-pool width (default: hardware)\n"
+      "  --repro-dir PATH    where to write shrunk repros (default\n"
+      "                      results/fuzz-repros; empty string disables)\n"
+      "  --shrink-evals N    shrink budget per failure (default 160)\n"
+      "  --no-brute-force    skip the exhaustive-search cross-checks\n"
+      "  --replay FILE       re-run one serialized repro and exit\n",
+      argv0);
+  std::exit(2);
+}
+
+long long ParseInt(const char* argv0, const char* flag, const char* value) {
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0') {
+    std::fprintf(stderr, "%s: bad integer for %s: '%s'\n", argv0, flag,
+                 value);
+    std::exit(2);
+  }
+  return parsed;
+}
+
+std::vector<int> ParseMachineList(const char* argv0, const char* value) {
+  std::vector<int> machines;
+  std::stringstream in(value);
+  std::string cell;
+  while (std::getline(in, cell, ',')) {
+    if (cell.empty()) continue;
+    machines.push_back(
+        static_cast<int>(ParseInt(argv0, "--machines", cell.c_str())));
+  }
+  if (machines.empty()) {
+    std::fprintf(stderr, "%s: --machines needs at least one size\n", argv0);
+    std::exit(2);
+  }
+  return machines;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  otsched::FuzzOptions options;
+  options.repro_dir = "results/fuzz-repros";
+  std::string replay_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) Usage(argv[0]);
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--seeds") == 0) {
+      options.seeds = static_cast<int>(ParseInt(argv[0], arg, value()));
+    } else if (std::strcmp(arg, "--seed-base") == 0) {
+      options.seed_base =
+          static_cast<std::uint64_t>(ParseInt(argv[0], arg, value()));
+    } else if (std::strcmp(arg, "--max-jobs") == 0) {
+      options.max_jobs = static_cast<int>(ParseInt(argv[0], arg, value()));
+    } else if (std::strcmp(arg, "--max-nodes") == 0) {
+      options.max_job_nodes =
+          static_cast<otsched::NodeId>(ParseInt(argv[0], arg, value()));
+    } else if (std::strcmp(arg, "--machines") == 0) {
+      options.machine_sizes = ParseMachineList(argv[0], value());
+    } else if (std::strcmp(arg, "--alpha") == 0) {
+      options.alpha = static_cast<int>(ParseInt(argv[0], arg, value()));
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      options.workers =
+          static_cast<std::size_t>(ParseInt(argv[0], arg, value()));
+    } else if (std::strcmp(arg, "--repro-dir") == 0) {
+      options.repro_dir = value();
+    } else if (std::strcmp(arg, "--shrink-evals") == 0) {
+      options.max_shrink_evals =
+          static_cast<int>(ParseInt(argv[0], arg, value()));
+    } else if (std::strcmp(arg, "--no-brute-force") == 0) {
+      options.cross_check_brute_force = false;
+    } else if (std::strcmp(arg, "--replay") == 0) {
+      replay_path = value();
+    } else {
+      Usage(argv[0]);
+    }
+  }
+
+  // Map out-of-range values to a usage error here; the harness enforces
+  // the same contracts with OTSCHED_CHECK (abort), which is the wrong
+  // failure mode for a typo on the command line.
+  if (options.seeds < 1 || options.max_jobs < 1 ||
+      options.max_job_nodes < 1 || options.alpha < 2 ||
+      options.max_shrink_evals < 0) {
+    std::fprintf(stderr,
+                 "%s: --seeds/--max-jobs/--max-nodes need >= 1, --alpha "
+                 ">= 2, --shrink-evals >= 0\n",
+                 argv[0]);
+    return 2;
+  }
+  for (int m : options.machine_sizes) {
+    if (m < 1) {
+      std::fprintf(stderr, "%s: machine sizes must be positive, got %d\n",
+                   argv[0], m);
+      return 2;
+    }
+  }
+
+  if (!replay_path.empty()) {
+    std::ifstream in(replay_path);
+    if (!in.good()) {
+      std::fprintf(stderr, "cannot open repro file %s\n",
+                   replay_path.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const otsched::FuzzReport report =
+        otsched::ReplayRepro(text.str(), options);
+    if (report.ok()) {
+      std::printf("replay of %s: violation no longer reproduces (%lld "
+                  "oracle checks)\n",
+                  replay_path.c_str(),
+                  static_cast<long long>(report.oracle_checks));
+      return 0;
+    }
+    std::fputs(report.summary().c_str(), stdout);
+    return 1;
+  }
+
+  const otsched::FuzzReport report = otsched::RunDifferentialFuzz(options);
+  std::fputs(report.summary().c_str(), stdout);
+  return report.ok() ? 0 : 1;
+}
