@@ -8,6 +8,7 @@
 #include "advsim/adaptive.h"
 #include "analysis/section6.h"
 #include "core/lpf.h"
+#include "dag/builders.h"
 #include "sim/trace.h"
 #include "core/most_children.h"
 #include "dag/metrics.h"
@@ -68,6 +69,49 @@ void BM_EngineFifo(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * cert.instance.total_work());
 }
 BENCHMARK(BM_EngineFifo)->Arg(16)->Arg(128);
+
+/// Large sparse workload for the incremental-vs-reference engine rows:
+/// many alive chain jobs (large alive set, exactly one ready subjob per
+/// alive job) over a long horizon.  Per-slot the reference engine pays
+/// O(alive) for its alive-list sweep; the incremental engine pays O(m).
+Instance MakeSparseChainInstance(int jobs, NodeId chain_len) {
+  Instance instance;
+  instance.set_name("sparse-chains");
+  for (int j = 0; j < jobs; ++j) {
+    instance.add_job(Job(MakeChain(chain_len), 0));
+  }
+  return instance;
+}
+
+/// items processed = engine slots simulated, so the before/after pair
+/// reads directly as slots-per-second (the docs/REPRODUCING.md table).
+void BM_EngineSparseIncremental(benchmark::State& state) {
+  const Instance instance =
+      MakeSparseChainInstance(static_cast<int>(state.range(0)), 32);
+  std::int64_t horizon = 0;
+  for (auto _ : state) {
+    FifoScheduler fifo;
+    const SimResult result = Simulate(instance, 8, fifo);
+    horizon = result.stats.horizon;
+    benchmark::DoNotOptimize(result.flows.max_flow);
+  }
+  state.SetItemsProcessed(state.iterations() * horizon);
+}
+BENCHMARK(BM_EngineSparseIncremental)->Arg(512)->Arg(2048);
+
+void BM_EngineSparseReference(benchmark::State& state) {
+  const Instance instance =
+      MakeSparseChainInstance(static_cast<int>(state.range(0)), 32);
+  std::int64_t horizon = 0;
+  for (auto _ : state) {
+    FifoScheduler fifo;
+    const SimResult result = ReferenceSimulate(instance, 8, fifo);
+    horizon = result.stats.horizon;
+    benchmark::DoNotOptimize(result.flows.max_flow);
+  }
+  state.SetItemsProcessed(state.iterations() * horizon);
+}
+BENCHMARK(BM_EngineSparseReference)->Arg(512)->Arg(2048);
 
 void BM_LbSimSlots(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));

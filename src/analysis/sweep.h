@@ -9,19 +9,17 @@
 #include <functional>
 #include <vector>
 
-#include "common/thread_pool.h"
+#include "sim/batch_runner.h"
 
 namespace otsched {
 
 /// Runs `cell(i)` for i in [0, n) across a pool and returns the results
-/// in index order.  R must be default-constructible and movable.
+/// in index order.  Thin wrapper over BatchRunner::Map (the shared
+/// deterministic fan-out); R only needs to be movable.
 template <typename R>
 std::vector<R> RunSweep(std::size_t n, const std::function<R(std::size_t)>& cell,
                         std::size_t workers = 0) {
-  std::vector<R> results(n);
-  ParallelForEachIndex(
-      n, [&](std::size_t i) { results[i] = cell(i); }, workers);
-  return results;
+  return BatchRunner(workers).Map<R>(n, cell);
 }
 
 /// Aggregates per-seed doubles into mean / min / max.

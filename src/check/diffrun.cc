@@ -6,16 +6,16 @@
 #include <sstream>
 #include <vector>
 
-#include "check/policies.h"
 #include "common/assert.h"
 #include "common/rng.h"
-#include "common/thread_pool.h"
 #include "gen/arrivals.h"
 #include "gen/certified.h"
 #include "gen/random_trees.h"
 #include "job/serialize.h"
 #include "opt/brute_force.h"
 #include "opt/lower_bounds.h"
+#include "sched/registry.h"
+#include "sim/batch_runner.h"
 #include "sim/engine.h"
 
 namespace otsched {
@@ -474,14 +474,11 @@ FuzzReport RunDifferentialFuzz(const FuzzOptions& options) {
                            << options.repro_dir << ": " << ec.message());
   }
 
-  std::vector<SeedOutcome> outcomes(
-      static_cast<std::size_t>(options.seeds));
-  ParallelForEachIndex(
-      static_cast<std::size_t>(options.seeds),
-      [&](std::size_t i) {
-        outcomes[i] = RunSeed(options, static_cast<std::uint64_t>(i));
-      },
-      options.workers);
+  const BatchRunner runner(options.workers);
+  std::vector<SeedOutcome> outcomes = runner.Map<SeedOutcome>(
+      static_cast<std::size_t>(options.seeds), [&](std::size_t i) {
+        return RunSeed(options, static_cast<std::uint64_t>(i));
+      });
 
   FuzzReport report;
   for (SeedOutcome& outcome : outcomes) {

@@ -30,6 +30,7 @@
 
 #include "core/lpf.h"
 #include "job/instance.h"
+#include "sched/registry.h"  // kTheorem56Ceiling / kTheorem57Ceiling
 #include "sim/schedule.h"
 
 namespace otsched {
@@ -124,10 +125,9 @@ OracleResult CheckRatioCeilingOracle(const Instance& instance, int m,
                                      Time max_flow, double ceiling,
                                      Time certified_opt = 0);
 
-/// The proven ceilings for alpha = 4: Theorem 5.6 (semi-batched, beta =
-/// 258) and Theorem 5.7 (general, the extra rounding/guessing factor 6).
-inline constexpr double kTheorem56Ceiling = 129.0;
-inline constexpr double kTheorem57Ceiling = 1548.0;
+// The proven Theorem 5.6 / 5.7 ceilings for alpha = 4 live next to the
+// policy specs they annotate: kTheorem56Ceiling / kTheorem57Ceiling in
+// sched/registry.h (included above).
 
 // ---- aggregation ----
 

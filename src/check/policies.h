@@ -1,54 +1,7 @@
-// Registry of every online scheduling policy in src/sched and src/core,
-// with the preconditions and theorem ceilings the differential fuzz
-// harness needs to drive them safely.
-//
-// A policy bug caught here is caught for EVERY policy: a new scheduler
-// only has to register itself to inherit the full oracle battery.
+// DEPRECATED forwarding shim — the policy registry moved to
+// sched/registry.h so the CLI, benches, and fuzz harness share one
+// construction API.  Include "sched/registry.h" directly; this header
+// will be removed after one release.
 #pragma once
 
-#include <functional>
-#include <memory>
-#include <string>
-#include <vector>
-
-#include "common/types.h"
-#include "sim/engine.h"
-
-namespace otsched {
-
-struct PolicySpec {
-  /// Stable registry name (matches Scheduler::name() where possible).
-  std::string name;
-
-  /// Builds a fresh scheduler; `seed` feeds randomized tie-breaking so the
-  /// fuzz harness explores different executions per fuzz seed.
-  std::function<std::unique_ptr<Scheduler>(std::uint64_t seed)> make;
-
-  /// Requires every job DAG to be an out-forest (Section 5 algorithms).
-  bool needs_out_forests = false;
-
-  /// Requires alpha (= 4) to divide m (the AlgAPlanner precondition).
-  bool needs_alpha_divides_m = false;
-
-  /// Only runs on certified semi-batched instances (releases multiples of
-  /// known OPT / 2); the harness passes the certified OPT via
-  /// `make_semi_batched` instead of `make`.
-  bool needs_semi_batched = false;
-
-  /// For semi-batched policies: factory taking the certified OPT.
-  std::function<std::unique_ptr<Scheduler>(Time known_opt)>
-      make_semi_batched;
-
-  /// Theorem ceiling on max_flow / OPT enforced by the ratio oracle
-  /// (0 = no proven bound; only feasibility is checked).
-  double ratio_ceiling = 0.0;
-};
-
-/// Every policy in src/sched plus the Section 5 algorithms in src/core.
-const std::vector<PolicySpec>& AllPolicies();
-
-/// True when `spec` can run on (instance properties, m).
-bool PolicyApplies(const PolicySpec& spec, bool all_out_forests,
-                   bool semi_batched_certified, int m);
-
-}  // namespace otsched
+#include "sched/registry.h"

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/assert.h"
+#include "sim/ready_state.h"
 
 namespace otsched {
 
@@ -41,14 +42,12 @@ JobSchedule BuildLpfSchedule(const Dag& dag, const DagMetrics& metrics,
   // slot complete before enabling, so same-slot feasibility is automatic.
   std::vector<std::vector<NodeId>> bucket(
       static_cast<std::size_t>(metrics.span) + 1);
-  std::vector<NodeId> pending(static_cast<std::size_t>(n));
-  for (NodeId v = 0; v < n; ++v) {
-    pending[static_cast<std::size_t>(v)] = dag.in_degree(v);
-    if (pending[static_cast<std::size_t>(v)] == 0) {
-      bucket[static_cast<std::size_t>(
-                 metrics.height[static_cast<std::size_t>(v)])]
-          .push_back(v);
-    }
+  PendingCounters pending;
+  pending.init(dag);
+  for (NodeId v : pending.roots()) {
+    bucket[static_cast<std::size_t>(
+               metrics.height[static_cast<std::size_t>(v)])]
+        .push_back(v);
   }
 
   std::int64_t executed = 0;
@@ -76,14 +75,12 @@ JobSchedule BuildLpfSchedule(const Dag& dag, const DagMetrics& metrics,
     for (NodeId v : chosen) {
       schedule.slot_of[static_cast<std::size_t>(v)] = slot;
       ++executed;
-      for (NodeId c : dag.children(v)) {
-        if (--pending[static_cast<std::size_t>(c)] == 0) {
-          const auto hc = static_cast<std::size_t>(
-              metrics.height[static_cast<std::size_t>(c)]);
-          bucket[hc].push_back(c);
-          top = std::max<std::int64_t>(top, static_cast<std::int64_t>(hc));
-        }
-      }
+      pending.complete(dag, v, [&](NodeId c) {
+        const auto hc = static_cast<std::size_t>(
+            metrics.height[static_cast<std::size_t>(c)]);
+        bucket[hc].push_back(c);
+        top = std::max<std::int64_t>(top, static_cast<std::int64_t>(hc));
+      });
     }
   }
   return schedule;

@@ -11,7 +11,7 @@ MostChildrenReplayer::MostChildrenReplayer(const Dag& dag,
     : dag_(dag), remaining_(dag.node_count()) {
   const NodeId n = dag.node_count();
   executed_.assign(static_cast<std::size_t>(n), 0);
-  done_at_.assign(static_cast<std::size_t>(n), kNoTime);
+  pending_.init(dag);
   next_level_children_.assign(static_cast<std::size_t>(n), 0);
 
   // Static priority: children of v scheduled exactly one S-slot after v.
@@ -45,7 +45,7 @@ void MostChildrenReplayer::mark_prefix_executed(Time prefix_len) {
     for (NodeId v : level_nodes_[static_cast<std::size_t>(s - 1)]) {
       if (!executed_[static_cast<std::size_t>(v)]) {
         executed_[static_cast<std::size_t>(v)] = 1;
-        done_at_[static_cast<std::size_t>(v)] = 0;
+        flush_queue_.push_back(v);  // completed "before step 1"
         --remaining_;
       }
     }
@@ -53,20 +53,16 @@ void MostChildrenReplayer::mark_prefix_executed(Time prefix_len) {
   min_level_ = static_cast<std::size_t>(prefix_len);
 }
 
-bool MostChildrenReplayer::ready_at(NodeId v, Time t) const {
-  for (NodeId p : dag_.parents(v)) {
-    if (!executed_[static_cast<std::size_t>(p)] ||
-        done_at_[static_cast<std::size_t>(p)] >= t) {
-      return false;
-    }
-  }
-  return true;
-}
-
 int MostChildrenReplayer::step(int budget, std::vector<NodeId>* out) {
   OTSCHED_CHECK(budget >= 0);
   stepped_ = true;
-  const Time t = ++now_;
+  ++now_;
+  // Everything in the queue completed in a strictly earlier step (or the
+  // prefix); its children may become ready from this step on.
+  for (NodeId v : flush_queue_) {
+    pending_.complete(dag_, v, [](NodeId) {});
+  }
+  flush_queue_.clear();
   int scheduled = 0;
 
   while (scheduled < budget && remaining_ > 0) {
@@ -89,7 +85,7 @@ int MostChildrenReplayer::step(int budget, std::vector<NodeId>* out) {
          lvl < level_nodes_.size() && chosen == kInvalidNode; ++lvl) {
       for (NodeId v : level_nodes_[static_cast<std::size_t>(lvl)]) {
         if (executed_[static_cast<std::size_t>(v)]) continue;
-        if (ready_at(v, t)) {
+        if (pending_.cleared(v)) {
           chosen = v;
           break;
         }
@@ -98,7 +94,7 @@ int MostChildrenReplayer::step(int budget, std::vector<NodeId>* out) {
     if (chosen == kInvalidNode) break;  // no ready subjob anywhere
 
     executed_[static_cast<std::size_t>(chosen)] = 1;
-    done_at_[static_cast<std::size_t>(chosen)] = t;
+    flush_queue_.push_back(chosen);
     --remaining_;
     ++scheduled;
     if (out != nullptr) out->push_back(chosen);

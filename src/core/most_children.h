@@ -22,6 +22,7 @@
 
 #include "core/lpf.h"
 #include "dag/dag.h"
+#include "sim/ready_state.h"
 
 namespace otsched {
 
@@ -52,8 +53,6 @@ class MostChildrenReplayer {
   std::int64_t busy_violations() const { return busy_violations_; }
 
  private:
-  bool ready_at(NodeId v, Time t) const;
-
   const Dag& dag_;
   Time now_ = 0;
   std::int64_t remaining_ = 0;
@@ -63,7 +62,13 @@ class MostChildrenReplayer {
   std::vector<std::vector<NodeId>> level_nodes_;
   std::size_t min_level_ = 0;  // 0-based index of earliest unfinished level
   std::vector<char> executed_;
-  std::vector<Time> done_at_;  // MC step the node completed (0 = prefix)
+  // Readiness via incremental pending-predecessor counters (sim/ready_state):
+  // a node is ready at step t iff its counter is 0.  Counters of a node's
+  // children are decremented only when the FOLLOWING step starts
+  // (flush_queue_), so same-step executions never enable children — the
+  // deferred equivalent of the old `done_at_ < t` parent scan.
+  PendingCounters pending_;
+  std::vector<NodeId> flush_queue_;  // executed, children not yet decremented
   std::vector<std::int32_t> next_level_children_;
   std::int64_t busy_violations_ = 0;
   bool stepped_ = false;

@@ -1,6 +1,5 @@
-#include "check/policies.h"
+#include "sched/registry.h"
 
-#include "check/oracles.h"
 #include "core/alg_a.h"
 #include "core/alg_a_full.h"
 #include "core/lpf.h"
@@ -13,9 +12,12 @@
 namespace otsched {
 namespace {
 
-PolicySpec Fifo(const std::string& name, FifoTieBreak tie_break) {
+PolicySpec Fifo(const std::string& name, FifoTieBreak tie_break,
+                std::vector<std::string> aliases, std::string description) {
   PolicySpec spec;
   spec.name = name;
+  spec.aliases = std::move(aliases);
+  spec.description = std::move(description);
   spec.make = [tie_break](std::uint64_t seed) -> std::unique_ptr<Scheduler> {
     FifoScheduler::Options options;
     options.tie_break = tie_break;
@@ -29,15 +31,25 @@ std::vector<PolicySpec> BuildRegistry() {
   std::vector<PolicySpec> registry;
 
   // src/sched — the baseline zoo.
-  registry.push_back(Fifo("fifo/first-ready", FifoTieBreak::kFirstReady));
-  registry.push_back(Fifo("fifo/last-ready", FifoTieBreak::kLastReady));
-  registry.push_back(Fifo("fifo/random", FifoTieBreak::kRandom));
-  registry.push_back(Fifo("fifo/lpf-height", FifoTieBreak::kLpfHeight));
-  registry.push_back(Fifo("fifo/most-children", FifoTieBreak::kMostChildren));
+  registry.push_back(Fifo("fifo/first-ready", FifoTieBreak::kFirstReady,
+                          {"fifo"},
+                          "non-clairvoyant FIFO, first-ready tie-break"));
+  registry.push_back(Fifo("fifo/last-ready", FifoTieBreak::kLastReady, {},
+                          "non-clairvoyant FIFO, last-ready tie-break"));
+  registry.push_back(Fifo("fifo/random", FifoTieBreak::kRandom,
+                          {"fifo-random"},
+                          "non-clairvoyant FIFO, seeded random tie-break"));
+  registry.push_back(Fifo("fifo/lpf-height", FifoTieBreak::kLpfHeight,
+                          {"fifo-lpf"},
+                          "clairvoyant FIFO, LPF-height tie-break"));
+  registry.push_back(
+      Fifo("fifo/most-children", FifoTieBreak::kMostChildren, {},
+           "clairvoyant FIFO, most-children tie-break"));
 
   {
     PolicySpec spec;
     spec.name = "list-greedy";
+    spec.description = "work-conserving, no inter-job priority";
     spec.make = [](std::uint64_t seed) -> std::unique_ptr<Scheduler> {
       return std::make_unique<ListGreedyScheduler>(seed);
     };
@@ -46,6 +58,8 @@ std::vector<PolicySpec> BuildRegistry() {
   {
     PolicySpec spec;
     spec.name = "round-robin-equi";
+    spec.aliases = {"equi"};
+    spec.description = "round-robin processor sharing";
     spec.make = [](std::uint64_t) -> std::unique_ptr<Scheduler> {
       return std::make_unique<RoundRobinScheduler>();
     };
@@ -54,6 +68,7 @@ std::vector<PolicySpec> BuildRegistry() {
   {
     PolicySpec spec;
     spec.name = "work-stealing";
+    spec.description = "simulated randomized work stealing";
     spec.make = [](std::uint64_t seed) -> std::unique_ptr<Scheduler> {
       WorkStealingScheduler::Options options;
       options.seed = seed;
@@ -64,6 +79,8 @@ std::vector<PolicySpec> BuildRegistry() {
   {
     PolicySpec spec;
     spec.name = "remaining-work/smallest";
+    spec.aliases = {"srpt"};
+    spec.description = "smallest-remaining-work first (clairvoyant)";
     spec.make = [](std::uint64_t) -> std::unique_ptr<Scheduler> {
       return std::make_unique<RemainingWorkScheduler>(
           RemainingWorkOrder::kSmallestFirst);
@@ -73,6 +90,7 @@ std::vector<PolicySpec> BuildRegistry() {
   {
     PolicySpec spec;
     spec.name = "remaining-work/largest";
+    spec.description = "largest-remaining-work first (clairvoyant)";
     spec.make = [](std::uint64_t) -> std::unique_ptr<Scheduler> {
       return std::make_unique<RemainingWorkScheduler>(
           RemainingWorkOrder::kLargestFirst);
@@ -84,6 +102,7 @@ std::vector<PolicySpec> BuildRegistry() {
   {
     PolicySpec spec;
     spec.name = "global-lpf";
+    spec.description = "global height priority (clairvoyant)";
     spec.make = [](std::uint64_t) -> std::unique_ptr<Scheduler> {
       return std::make_unique<GlobalLpfScheduler>();
     };
@@ -92,6 +111,8 @@ std::vector<PolicySpec> BuildRegistry() {
   {
     PolicySpec spec;
     spec.name = "alg-a/general";
+    spec.aliases = {"alg-a"};
+    spec.description = "the paper's Algorithm A (general, Thm 5.7)";
     spec.needs_out_forests = true;
     spec.needs_alpha_divides_m = true;
     spec.ratio_ceiling = kTheorem57Ceiling;
@@ -103,6 +124,9 @@ std::vector<PolicySpec> BuildRegistry() {
   {
     PolicySpec spec;
     spec.name = "alg-a/semi-batched";
+    spec.aliases = {"alg-a-semibatched"};
+    spec.description =
+        "Algorithm A with known OPT (Thm 5.6; pass --opt)";
     spec.needs_out_forests = true;
     spec.needs_alpha_divides_m = true;
     spec.needs_semi_batched = true;
@@ -124,6 +148,33 @@ std::vector<PolicySpec> BuildRegistry() {
 const std::vector<PolicySpec>& AllPolicies() {
   static const std::vector<PolicySpec> registry = BuildRegistry();
   return registry;
+}
+
+const PolicySpec* FindPolicy(std::string_view name) {
+  for (const PolicySpec& spec : AllPolicies()) {
+    if (spec.name == name) return &spec;
+    for (const std::string& alias : spec.aliases) {
+      if (alias == name) return &spec;
+    }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Scheduler> MakePolicy(std::string_view name,
+                                      std::uint64_t seed, Time known_opt) {
+  const PolicySpec* spec = FindPolicy(name);
+  if (spec == nullptr) return nullptr;
+  if (spec->needs_semi_batched) {
+    return spec->make_semi_batched(known_opt > 0 ? known_opt : 2);
+  }
+  return spec->make(seed);
+}
+
+std::vector<std::string> ListPolicyNames() {
+  std::vector<std::string> names;
+  names.reserve(AllPolicies().size());
+  for (const PolicySpec& spec : AllPolicies()) names.push_back(spec.name);
+  return names;
 }
 
 bool PolicyApplies(const PolicySpec& spec, bool all_out_forests,

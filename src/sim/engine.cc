@@ -3,10 +3,20 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "sim/ready_state.h"
 
 namespace otsched {
 
 /// Engine internals.  Lives in the .cc: users interact through Simulate().
+///
+/// The hot path is fully incremental (see sim/ready_state.h): per-node
+/// pending-predecessor counters are maintained as deltas when a subjob
+/// executes, roots are precomputed once at construction, and the alive
+/// list is only compacted in slots where a job actually finished.  After
+/// construction no full-DAG rescan ever happens; per-slot cost is
+/// O(picks + arrivals), not O(sum of DAG sizes).  ReferenceSimulate
+/// (engine_reference.cc) preserves the seed implementation; the
+/// engine-equivalence gate proves both produce bit-identical schedules.
 class Engine final : public EngineBackend {
  public:
   Engine(const Instance& instance, int m, Scheduler& scheduler,
@@ -35,25 +45,25 @@ class Engine final : public EngineBackend {
   JobId job_count() const override { return instance_.job_count(); }
   std::span<const JobId> alive() const override { return alive_; }
   Time release(JobId id) const override {
-    return instance_.job(id).release();
+    return release_[static_cast<std::size_t>(id)];
   }
   bool arrived(JobId id) const override { return release(id) < slot_; }
   bool finished(JobId id) const override {
-    return done_[static_cast<std::size_t>(id)] ==
-           instance_.job(id).work();
+    return jobs_[static_cast<std::size_t>(id)].done() ==
+           work_[static_cast<std::size_t>(id)];
   }
   std::span<const NodeId> ready(JobId id) const override {
-    return ready_[static_cast<std::size_t>(id)];
+    return jobs_[static_cast<std::size_t>(id)].ready();
   }
   std::int64_t remaining_work(JobId id) const override {
-    return instance_.job(id).work() - done_[static_cast<std::size_t>(id)];
+    return work_[static_cast<std::size_t>(id)] -
+           jobs_[static_cast<std::size_t>(id)].done();
   }
   std::int64_t done_work(JobId id) const override {
-    return done_[static_cast<std::size_t>(id)];
+    return jobs_[static_cast<std::size_t>(id)].done();
   }
   bool executed(JobId id, NodeId v) const override {
-    return executed_[static_cast<std::size_t>(id)]
-                    [static_cast<std::size_t>(v)];
+    return jobs_[static_cast<std::size_t>(id)].is_executed(v);
   }
   const Dag& dag(JobId id) const override {
     OTSCHED_CHECK(clairvoyant_,
@@ -62,7 +72,7 @@ class Engine final : public EngineBackend {
                       << id);
     OTSCHED_CHECK(arrived(id), "DAG of job " << id
                                              << " requested before arrival");
-    return instance_.job(id).dag();
+    return *dags_[static_cast<std::size_t>(id)];
   }
   const DagMetrics& metrics(JobId id) const override {
     OTSCHED_CHECK(clairvoyant_,
@@ -78,7 +88,6 @@ class Engine final : public EngineBackend {
  private:
   void deliver_arrivals(const SchedulerView& view);
   void execute(SubjobRef ref);
-  void refresh_alive();
 
   const Instance& instance_;
   int m_;
@@ -87,88 +96,55 @@ class Engine final : public EngineBackend {
   Time max_horizon_ = 0;
 
   Time slot_ = 0;
-  std::vector<std::vector<NodeId>> ready_;        // per job, unordered
-  std::vector<std::vector<NodeId>> ready_pos_;    // node -> index in ready_, or -1
-  std::vector<std::vector<char>> executed_;       // per job per node
-  std::vector<std::vector<NodeId>> pending_in_;   // remaining indegree
-  std::vector<std::int64_t> done_;                // executed count per job
-  std::vector<JobId> alive_;                      // arrived, unfinished, FIFO order
-  std::vector<JobId> arrival_order_;              // all jobs by (release, id)
+  std::vector<JobReadyState> jobs_;   // incremental per-job ready state
+  std::vector<const Dag*> dags_;      // flat caches: no Job indirection
+  std::vector<std::int64_t> work_;    //   in the per-slot loop
+  std::vector<Time> release_;
+  std::vector<JobId> alive_;          // arrived, unfinished, FIFO order
+  std::vector<JobId> arrival_order_;  // all jobs by (release, id)
   std::size_t next_arrival_ = 0;
   std::int64_t executed_total_ = 0;
+  int finished_this_slot_ = 0;        // gates alive-list compaction
 };
 
 void Engine::execute(SubjobRef ref) {
   const std::size_t j = static_cast<std::size_t>(ref.job);
-  const std::size_t v = static_cast<std::size_t>(ref.node);
-  executed_[j][v] = 1;
-  ++done_[j];
-  ++executed_total_;
-  // Remove from the ready list via swap-erase.
-  auto& ready = ready_[j];
-  auto& pos = ready_pos_[j];
-  const NodeId p = pos[v];
-  OTSCHED_DCHECK(p >= 0);
-  const NodeId moved = ready.back();
-  ready[static_cast<std::size_t>(p)] = moved;
-  pos[static_cast<std::size_t>(moved)] = p;
-  ready.pop_back();
-  pos[v] = kInvalidNode;
   // Children may become ready — but only from the NEXT slot, which is fine
   // because picks for the current slot were already validated against the
   // pre-execution ready sets.
-  const Dag& dag = instance_.job(ref.job).dag();
-  for (NodeId c : dag.children(ref.node)) {
-    if (--pending_in_[j][static_cast<std::size_t>(c)] == 0) {
-      pos[static_cast<std::size_t>(c)] = static_cast<NodeId>(ready.size());
-      ready.push_back(c);
-    }
-  }
+  jobs_[j].execute(*dags_[j], ref.node);
+  ++executed_total_;
+  if (jobs_[j].done() == work_[j]) ++finished_this_slot_;
 }
 
 void Engine::deliver_arrivals(const SchedulerView& view) {
   while (next_arrival_ < arrival_order_.size()) {
     const JobId id = arrival_order_[next_arrival_];
-    if (instance_.job(id).release() >= slot_) break;
+    if (release_[static_cast<std::size_t>(id)] >= slot_) break;
     ++next_arrival_;
     alive_.push_back(id);
-    // Roots become ready on arrival.
-    const Dag& dag = instance_.job(id).dag();
-    const std::size_t j = static_cast<std::size_t>(id);
-    for (NodeId v = 0; v < dag.node_count(); ++v) {
-      if (pending_in_[j][static_cast<std::size_t>(v)] == 0) {
-        ready_pos_[j][static_cast<std::size_t>(v)] =
-            static_cast<NodeId>(ready_[j].size());
-        ready_[j].push_back(v);
-      }
-    }
+    // Precomputed roots become ready on arrival (increasing node id, the
+    // same order the seed engine's arrival rescan produced).
+    jobs_[static_cast<std::size_t>(id)].activate();
     scheduler_.on_arrival(id, view);
   }
 }
 
-void Engine::refresh_alive() {
-  std::erase_if(alive_, [this](JobId id) { return finished(id); });
-}
-
 SimResult Engine::run() {
   const JobId n = instance_.job_count();
-  ready_.resize(static_cast<std::size_t>(n));
-  ready_pos_.resize(static_cast<std::size_t>(n));
-  executed_.resize(static_cast<std::size_t>(n));
-  pending_in_.resize(static_cast<std::size_t>(n));
-  done_.assign(static_cast<std::size_t>(n), 0);
+  jobs_.resize(static_cast<std::size_t>(n));
+  dags_.resize(static_cast<std::size_t>(n));
+  work_.resize(static_cast<std::size_t>(n));
+  release_.resize(static_cast<std::size_t>(n));
   for (JobId id = 0; id < n; ++id) {
-    const Dag& dag = instance_.job(id).dag();
-    OTSCHED_CHECK(dag.node_count() >= 1,
+    const Job& job = instance_.job(id);
+    OTSCHED_CHECK(job.dag().node_count() >= 1,
                   "job " << id << " has no subjobs");
     const std::size_t j = static_cast<std::size_t>(id);
-    executed_[j].assign(static_cast<std::size_t>(dag.node_count()), 0);
-    ready_pos_[j].assign(static_cast<std::size_t>(dag.node_count()),
-                         kInvalidNode);
-    pending_in_[j].resize(static_cast<std::size_t>(dag.node_count()));
-    for (NodeId v = 0; v < dag.node_count(); ++v) {
-      pending_in_[j][static_cast<std::size_t>(v)] = dag.in_degree(v);
-    }
+    jobs_[j].init(job.dag());
+    dags_[j] = &job.dag();
+    work_[j] = job.work();
+    release_[j] = job.release();
   }
   arrival_order_ = instance_.release_order();
 
@@ -184,7 +160,7 @@ SimResult Engine::run() {
     // Fast-forward across empty stretches when nothing is alive.
     if (alive_.empty() && next_arrival_ < arrival_order_.size()) {
       const Time next_release =
-          instance_.job(arrival_order_[next_arrival_]).release();
+          release_[static_cast<std::size_t>(arrival_order_[next_arrival_])];
       slot_ = std::max(slot_, next_release + 1);
     }
     OTSCHED_CHECK(slot_ <= max_horizon_,
@@ -206,35 +182,38 @@ SimResult Engine::run() {
       OTSCHED_CHECK(ref.job >= 0 && ref.job < n,
                     "pick references unknown job " << ref.job);
       const std::size_t j = static_cast<std::size_t>(ref.job);
-      const Dag& dag = instance_.job(ref.job).dag();
-      OTSCHED_CHECK(ref.node >= 0 && ref.node < dag.node_count(),
+      OTSCHED_CHECK(ref.node >= 0 && ref.node < dags_[j]->node_count(),
                     "pick references unknown node " << ref.node << " of job "
                                                     << ref.job);
       OTSCHED_CHECK(arrived(ref.job), "job " << ref.job
                                              << " picked before arrival at slot "
                                              << slot_);
-      OTSCHED_CHECK(!executed_[j][static_cast<std::size_t>(ref.node)],
+      OTSCHED_CHECK(!jobs_[j].is_executed(ref.node),
                     "job " << ref.job << " node " << ref.node
                            << " picked twice (slot " << slot_ << ")");
-      OTSCHED_CHECK(
-          pending_in_[j][static_cast<std::size_t>(ref.node)] == 0 &&
-              ready_pos_[j][static_cast<std::size_t>(ref.node)] != kInvalidNode,
-          "job " << ref.job << " node " << ref.node
-                 << " is not ready at slot " << slot_);
+      OTSCHED_CHECK(jobs_[j].is_ready(ref.node),
+                    "job " << ref.job << " node " << ref.node
+                           << " is not ready at slot " << slot_);
     }
-    // Same-slot duplicate picks are caught by the executed_ flag flipping
+    // Same-slot duplicate picks are caught by the executed flag flipping
     // during execution below.
     for (const SubjobRef& ref : picks) {
-      OTSCHED_CHECK(!executed_[static_cast<std::size_t>(ref.job)]
-                              [static_cast<std::size_t>(ref.node)],
-                    "duplicate pick of job " << ref.job << " node "
-                                             << ref.node << " in slot "
-                                             << slot_);
+      OTSCHED_CHECK(
+          !jobs_[static_cast<std::size_t>(ref.job)].is_executed(ref.node),
+          "duplicate pick of job " << ref.job << " node " << ref.node
+                                   << " in slot " << slot_);
       execute(ref);
       result.schedule.place(slot_, ref);
     }
     if (!picks.empty()) ++result.stats.busy_slots;
-    refresh_alive();
+    if (finished_this_slot_ > 0) {
+      // The seed engine swept the alive list every slot; sweeping only
+      // when a job finished is observationally identical (a sweep with no
+      // finished job removes nothing) and drops the per-slot cost from
+      // O(alive) to O(1) outside finishing slots.
+      std::erase_if(alive_, [this](JobId id) { return finished(id); });
+      finished_this_slot_ = 0;
+    }
     ++slot_;
   }
 

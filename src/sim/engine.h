@@ -151,4 +151,11 @@ struct SimResult {
 SimResult Simulate(const Instance& instance, int m, Scheduler& scheduler,
                    const SimOptions& options = {});
 
+/// The pre-incremental seed engine, preserved verbatim as the golden
+/// baseline (sim/engine_reference.cc).  Only for the engine-equivalence
+/// gate and before/after benchmarks; production callers use Simulate().
+SimResult ReferenceSimulate(const Instance& instance, int m,
+                            Scheduler& scheduler,
+                            const SimOptions& options = {});
+
 }  // namespace otsched

@@ -1,0 +1,262 @@
+// The seed engine, kept verbatim as the golden baseline.
+//
+// ReferenceSimulate is the pre-incremental implementation: it rescans a
+// job's whole DAG to publish roots on arrival and compacts the alive set
+// with a full pass every slot.  It exists ONLY as the comparison oracle
+// for the engine-equivalence gate (tests/engine_equivalence_test.cc) and
+// the before/after rows of bench_micro_perf; production callers go
+// through Simulate().  Delete this file once the gate has soaked and the
+// equivalence corpus is considered exhaustive.
+#include <algorithm>
+
+#include "common/assert.h"
+#include "sim/engine.h"
+
+namespace otsched {
+
+namespace {
+
+class ReferenceEngine final : public EngineBackend {
+ public:
+  ReferenceEngine(const Instance& instance, int m, Scheduler& scheduler,
+                  const SimOptions& options)
+      : instance_(instance), m_(m), scheduler_(scheduler) {
+    OTSCHED_CHECK(m >= 1);
+    clairvoyant_ = options.force_clairvoyance >= 0
+                       ? options.force_clairvoyance != 0
+                       : scheduler.requires_clairvoyance();
+    max_horizon_ = options.max_horizon;
+    if (max_horizon_ == 0) {
+      max_horizon_ = instance.max_release() + 4 * instance.total_work() +
+                     instance.max_span() + 1024;
+    }
+  }
+
+  SimResult run();
+
+  // --- EngineBackend implementation ---
+  Time slot() const override { return slot_; }
+  int m() const override { return m_; }
+  JobId job_count() const override { return instance_.job_count(); }
+  std::span<const JobId> alive() const override { return alive_; }
+  Time release(JobId id) const override {
+    return instance_.job(id).release();
+  }
+  bool arrived(JobId id) const override { return release(id) < slot_; }
+  bool finished(JobId id) const override {
+    return done_[static_cast<std::size_t>(id)] ==
+           instance_.job(id).work();
+  }
+  std::span<const NodeId> ready(JobId id) const override {
+    return ready_[static_cast<std::size_t>(id)];
+  }
+  std::int64_t remaining_work(JobId id) const override {
+    return instance_.job(id).work() - done_[static_cast<std::size_t>(id)];
+  }
+  std::int64_t done_work(JobId id) const override {
+    return done_[static_cast<std::size_t>(id)];
+  }
+  bool executed(JobId id, NodeId v) const override {
+    return executed_[static_cast<std::size_t>(id)]
+                    [static_cast<std::size_t>(v)];
+  }
+  const Dag& dag(JobId id) const override {
+    OTSCHED_CHECK(clairvoyant_,
+                  "non-clairvoyant scheduler '"
+                      << scheduler_.name() << "' asked for the DAG of job "
+                      << id);
+    OTSCHED_CHECK(arrived(id), "DAG of job " << id
+                                             << " requested before arrival");
+    return instance_.job(id).dag();
+  }
+  const DagMetrics& metrics(JobId id) const override {
+    OTSCHED_CHECK(clairvoyant_,
+                  "non-clairvoyant scheduler '"
+                      << scheduler_.name()
+                      << "' asked for metrics of job " << id);
+    OTSCHED_CHECK(arrived(id),
+                  "metrics of job " << id << " requested before arrival");
+    return instance_.job(id).metrics();
+  }
+  bool clairvoyant_allowed() const override { return clairvoyant_; }
+
+ private:
+  void deliver_arrivals(const SchedulerView& view);
+  void execute(SubjobRef ref);
+  void refresh_alive();
+
+  const Instance& instance_;
+  int m_;
+  Scheduler& scheduler_;
+  bool clairvoyant_ = false;
+  Time max_horizon_ = 0;
+
+  Time slot_ = 0;
+  std::vector<std::vector<NodeId>> ready_;        // per job, unordered
+  std::vector<std::vector<NodeId>> ready_pos_;    // node -> index in ready_, or -1
+  std::vector<std::vector<char>> executed_;       // per job per node
+  std::vector<std::vector<NodeId>> pending_in_;   // remaining indegree
+  std::vector<std::int64_t> done_;                // executed count per job
+  std::vector<JobId> alive_;                      // arrived, unfinished, FIFO order
+  std::vector<JobId> arrival_order_;              // all jobs by (release, id)
+  std::size_t next_arrival_ = 0;
+  std::int64_t executed_total_ = 0;
+};
+
+void ReferenceEngine::execute(SubjobRef ref) {
+  const std::size_t j = static_cast<std::size_t>(ref.job);
+  const std::size_t v = static_cast<std::size_t>(ref.node);
+  executed_[j][v] = 1;
+  ++done_[j];
+  ++executed_total_;
+  // Remove from the ready list via swap-erase.
+  auto& ready = ready_[j];
+  auto& pos = ready_pos_[j];
+  const NodeId p = pos[v];
+  OTSCHED_DCHECK(p >= 0);
+  const NodeId moved = ready.back();
+  ready[static_cast<std::size_t>(p)] = moved;
+  pos[static_cast<std::size_t>(moved)] = p;
+  ready.pop_back();
+  pos[v] = kInvalidNode;
+  // Children may become ready — but only from the NEXT slot, which is fine
+  // because picks for the current slot were already validated against the
+  // pre-execution ready sets.
+  const Dag& dag = instance_.job(ref.job).dag();
+  for (NodeId c : dag.children(ref.node)) {
+    if (--pending_in_[j][static_cast<std::size_t>(c)] == 0) {
+      pos[static_cast<std::size_t>(c)] = static_cast<NodeId>(ready.size());
+      ready.push_back(c);
+    }
+  }
+}
+
+void ReferenceEngine::deliver_arrivals(const SchedulerView& view) {
+  while (next_arrival_ < arrival_order_.size()) {
+    const JobId id = arrival_order_[next_arrival_];
+    if (instance_.job(id).release() >= slot_) break;
+    ++next_arrival_;
+    alive_.push_back(id);
+    // Roots become ready on arrival: the full-DAG rescan the incremental
+    // engine replaces with precomputed root lists.
+    const Dag& dag = instance_.job(id).dag();
+    const std::size_t j = static_cast<std::size_t>(id);
+    for (NodeId v = 0; v < dag.node_count(); ++v) {
+      if (pending_in_[j][static_cast<std::size_t>(v)] == 0) {
+        ready_pos_[j][static_cast<std::size_t>(v)] =
+            static_cast<NodeId>(ready_[j].size());
+        ready_[j].push_back(v);
+      }
+    }
+    scheduler_.on_arrival(id, view);
+  }
+}
+
+void ReferenceEngine::refresh_alive() {
+  std::erase_if(alive_, [this](JobId id) { return finished(id); });
+}
+
+SimResult ReferenceEngine::run() {
+  const JobId n = instance_.job_count();
+  ready_.resize(static_cast<std::size_t>(n));
+  ready_pos_.resize(static_cast<std::size_t>(n));
+  executed_.resize(static_cast<std::size_t>(n));
+  pending_in_.resize(static_cast<std::size_t>(n));
+  done_.assign(static_cast<std::size_t>(n), 0);
+  for (JobId id = 0; id < n; ++id) {
+    const Dag& dag = instance_.job(id).dag();
+    OTSCHED_CHECK(dag.node_count() >= 1,
+                  "job " << id << " has no subjobs");
+    const std::size_t j = static_cast<std::size_t>(id);
+    executed_[j].assign(static_cast<std::size_t>(dag.node_count()), 0);
+    ready_pos_[j].assign(static_cast<std::size_t>(dag.node_count()),
+                         kInvalidNode);
+    pending_in_[j].resize(static_cast<std::size_t>(dag.node_count()));
+    for (NodeId v = 0; v < dag.node_count(); ++v) {
+      pending_in_[j][static_cast<std::size_t>(v)] = dag.in_degree(v);
+    }
+  }
+  arrival_order_ = instance_.release_order();
+
+  scheduler_.reset(m_, n);
+  SchedulerView view(*this);
+  SimResult result{Schedule(m_), {}, {}};
+
+  std::vector<SubjobRef> picks;
+  const std::int64_t total_work = instance_.total_work();
+
+  slot_ = 1;
+  while (executed_total_ < total_work) {
+    // Fast-forward across empty stretches when nothing is alive.
+    if (alive_.empty() && next_arrival_ < arrival_order_.size()) {
+      const Time next_release =
+          instance_.job(arrival_order_[next_arrival_]).release();
+      slot_ = std::max(slot_, next_release + 1);
+    }
+    OTSCHED_CHECK(slot_ <= max_horizon_,
+                  "scheduler '" << scheduler_.name()
+                                << "' exceeded the horizon bound "
+                                << max_horizon_);
+
+    deliver_arrivals(view);
+
+    picks.clear();
+    scheduler_.pick(view, picks);
+
+    OTSCHED_CHECK(static_cast<int>(picks.size()) <= m_,
+                  "scheduler '" << scheduler_.name() << "' picked "
+                                << picks.size() << " subjobs on " << m_
+                                << " processors at slot " << slot_);
+    // Validate readiness and uniqueness, then execute.
+    for (const SubjobRef& ref : picks) {
+      OTSCHED_CHECK(ref.job >= 0 && ref.job < n,
+                    "pick references unknown job " << ref.job);
+      const std::size_t j = static_cast<std::size_t>(ref.job);
+      const Dag& dag = instance_.job(ref.job).dag();
+      OTSCHED_CHECK(ref.node >= 0 && ref.node < dag.node_count(),
+                    "pick references unknown node " << ref.node << " of job "
+                                                    << ref.job);
+      OTSCHED_CHECK(arrived(ref.job), "job " << ref.job
+                                             << " picked before arrival at slot "
+                                             << slot_);
+      OTSCHED_CHECK(!executed_[j][static_cast<std::size_t>(ref.node)],
+                    "job " << ref.job << " node " << ref.node
+                           << " picked twice (slot " << slot_ << ")");
+      OTSCHED_CHECK(
+          pending_in_[j][static_cast<std::size_t>(ref.node)] == 0 &&
+              ready_pos_[j][static_cast<std::size_t>(ref.node)] != kInvalidNode,
+          "job " << ref.job << " node " << ref.node
+                 << " is not ready at slot " << slot_);
+    }
+    // Same-slot duplicate picks are caught by the executed_ flag flipping
+    // during execution below.
+    for (const SubjobRef& ref : picks) {
+      OTSCHED_CHECK(!executed_[static_cast<std::size_t>(ref.job)]
+                              [static_cast<std::size_t>(ref.node)],
+                    "duplicate pick of job " << ref.job << " node "
+                                             << ref.node << " in slot "
+                                             << slot_);
+      execute(ref);
+      result.schedule.place(slot_, ref);
+    }
+    if (!picks.empty()) ++result.stats.busy_slots;
+    refresh_alive();
+    ++slot_;
+  }
+
+  result.stats.horizon = result.schedule.horizon();
+  result.stats.executed_subjobs = executed_total_;
+  result.stats.idle_processor_slots = result.schedule.idle_processor_slots();
+  result.flows = ComputeFlows(result.schedule, instance_);
+  return result;
+}
+
+}  // namespace
+
+SimResult ReferenceSimulate(const Instance& instance, int m,
+                            Scheduler& scheduler, const SimOptions& options) {
+  ReferenceEngine engine(instance, m, scheduler, options);
+  return engine.run();
+}
+
+}  // namespace otsched

@@ -1,0 +1,50 @@
+#include "sim/ready_state.h"
+
+#include "common/assert.h"
+
+namespace otsched {
+
+void PendingCounters::init(const Dag& dag) {
+  const NodeId n = dag.node_count();
+  counts_.assign(static_cast<std::size_t>(n), 0);
+  roots_.clear();
+  for (NodeId v = 0; v < n; ++v) {
+    counts_[static_cast<std::size_t>(v)] = dag.in_degree(v);
+    if (counts_[static_cast<std::size_t>(v)] == 0) roots_.push_back(v);
+  }
+}
+
+void JobReadyState::init(const Dag& dag) {
+  pending_.init(dag);
+  const NodeId n = dag.node_count();
+  ready_.clear();
+  pos_.assign(static_cast<std::size_t>(n), kInvalidNode);
+  executed_.assign(static_cast<std::size_t>(n), 0);
+  done_ = 0;
+}
+
+void JobReadyState::activate() {
+  for (NodeId v : pending_.roots()) {
+    pos_[static_cast<std::size_t>(v)] = static_cast<NodeId>(ready_.size());
+    ready_.push_back(v);
+  }
+}
+
+void JobReadyState::execute(const Dag& dag, NodeId v) {
+  executed_[static_cast<std::size_t>(v)] = 1;
+  ++done_;
+  // Swap-erase from the ready list (see the determinism contract).
+  const NodeId p = pos_[static_cast<std::size_t>(v)];
+  OTSCHED_DCHECK(p >= 0);
+  const NodeId moved = ready_.back();
+  ready_[static_cast<std::size_t>(p)] = moved;
+  pos_[static_cast<std::size_t>(moved)] = p;
+  ready_.pop_back();
+  pos_[static_cast<std::size_t>(v)] = kInvalidNode;
+  pending_.complete(dag, v, [this](NodeId c) {
+    pos_[static_cast<std::size_t>(c)] = static_cast<NodeId>(ready_.size());
+    ready_.push_back(c);
+  });
+}
+
+}  // namespace otsched

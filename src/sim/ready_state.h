@@ -1,0 +1,96 @@
+// Incremental ready-set bookkeeping shared by every simulation loop.
+//
+// The paper's model advances in unit slots; the only state a simulator
+// must maintain per job is "which subjobs are ready".  Rebuilding that
+// set by rescanning the DAG makes a run O(|V| * horizon); maintaining it
+// as deltas makes the whole run O(|V| + |E|) bookkeeping total — each
+// edge is relaxed exactly once, when its source executes.  This header
+// packages that delta maintenance so the online engine (sim/engine.cc),
+// the LPF builder and the MC replayer (src/core), and the adversarial
+// backends all share one audited implementation.
+//
+// Determinism contract (relied on by the golden equivalence tests and by
+// every seeded experiment): the ready sequence is a pure function of the
+// DAG and the execution order —
+//   * on activation, roots enter the ready list in increasing node id;
+//   * execute(v) removes v by swap-erase (the LAST ready node takes v's
+//     position), then appends newly-enabled children in dag.children(v)
+//     order;
+// i.e. exactly the order the seed engine produced, bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dag/dag.h"
+
+namespace otsched {
+
+/// Pending-predecessor counters over one DAG: counts[v] = predecessors of
+/// v that have not yet completed.  `complete(v)` relaxes v's out-edges
+/// and hands every child whose count reaches zero to a sink, in
+/// dag.children(v) order.
+class PendingCounters {
+ public:
+  /// Resets to the in-degrees of `dag`; roots() lists the zero-indegree
+  /// nodes in increasing id order.
+  void init(const Dag& dag);
+
+  std::span<const NodeId> roots() const { return roots_; }
+
+  bool cleared(NodeId v) const {
+    return counts_[static_cast<std::size_t>(v)] == 0;
+  }
+
+  /// Decrements every child of `v`; calls sink(child) for each child
+  /// whose pending count reaches zero, in dag.children(v) order.
+  template <typename Sink>
+  void complete(const Dag& dag, NodeId v, Sink&& sink) {
+    for (NodeId c : dag.children(v)) {
+      if (--counts_[static_cast<std::size_t>(c)] == 0) sink(c);
+    }
+  }
+
+ private:
+  std::vector<std::int32_t> counts_;
+  std::vector<NodeId> roots_;
+};
+
+/// Full per-job ready-set state for the online engine: pending counters
+/// plus an O(1)-push/pop ready queue with positional index and executed
+/// flags.  All queries the EngineBackend contract needs are O(1).
+class JobReadyState {
+ public:
+  /// Builds counters/flags for `dag`.  The ready list stays empty until
+  /// activate() — jobs contribute no ready subjobs before arrival.
+  void init(const Dag& dag);
+
+  /// Publishes the roots into the ready list (arrival).  Call once.
+  void activate();
+
+  /// Marks `v` executed: swap-erases it from the ready list and enqueues
+  /// children whose last pending predecessor was `v`.
+  void execute(const Dag& dag, NodeId v);
+
+  std::span<const NodeId> ready() const { return ready_; }
+
+  bool is_ready(NodeId v) const {
+    return pos_[static_cast<std::size_t>(v)] != kInvalidNode;
+  }
+  bool is_executed(NodeId v) const {
+    return executed_[static_cast<std::size_t>(v)] != 0;
+  }
+
+  /// Number of executed subjobs.
+  std::int64_t done() const { return done_; }
+
+ private:
+  PendingCounters pending_;
+  std::vector<NodeId> ready_;    // ready nodes, deterministic order
+  std::vector<NodeId> pos_;      // node -> index in ready_, or kInvalidNode
+  std::vector<char> executed_;
+  std::int64_t done_ = 0;
+};
+
+}  // namespace otsched

@@ -1,0 +1,78 @@
+// Tests for sim/batch_runner.h: deterministic index-ordered results under
+// any worker count, support for non-default-constructible results, and
+// the simulation fan-out convenience.
+#include "gtest_compat.h"
+
+#include <numeric>
+
+#include "dag/builders.h"
+#include "sched/registry.h"
+#include "sim/batch_runner.h"
+
+namespace otsched {
+namespace {
+
+TEST(BatchRunner, MapReturnsIndexOrderForAnyWorkerCount) {
+  for (std::size_t workers : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                              std::size_t{7}}) {
+    const BatchRunner runner(workers);
+    const std::vector<int> out =
+        runner.Map<int>(100, [](std::size_t i) { return static_cast<int>(i * i); });
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], static_cast<int>(i * i));
+    }
+  }
+}
+
+TEST(BatchRunner, MapSupportsNonDefaultConstructibleResults) {
+  // Schedule has no default constructor — the exact shape SimResult cells
+  // produce.
+  const BatchRunner runner(3);
+  const std::vector<Schedule> out = runner.Map<Schedule>(5, [](std::size_t i) {
+    Schedule schedule(static_cast<int>(i) + 1);
+    schedule.place(1, SubjobRef{0, 0});
+    return schedule;
+  });
+  ASSERT_EQ(out.size(), 5u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].m(), static_cast<int>(i) + 1);
+    EXPECT_EQ(out[i].total_placed(), 1);
+  }
+}
+
+TEST(BatchRunner, MapEmptyIsEmpty) {
+  const BatchRunner runner;
+  EXPECT_TRUE(runner.Map<int>(0, [](std::size_t) { return 0; }).empty());
+}
+
+TEST(BatchRunner, RunSimulationsMatchesSerialRuns) {
+  Instance chains;
+  chains.add_job(Job(MakeChain(6), 0));
+  chains.add_job(Job(MakeChain(4), 2));
+  Instance star;
+  star.add_job(Job(MakeStar(5), 0));
+
+  const std::vector<std::pair<const Instance*, int>> cells = {
+      {&chains, 1}, {&chains, 2}, {&star, 2}, {&star, 4}};
+  auto make = [](std::size_t) { return MakePolicy("fifo/first-ready"); };
+
+  for (std::size_t workers : {std::size_t{0}, std::size_t{1}, std::size_t{4}}) {
+    const BatchRunner runner(workers);
+    const std::vector<SimResult> parallel_results =
+        runner.RunSimulations(std::span(cells), make);
+    ASSERT_EQ(parallel_results.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      auto scheduler = make(i);
+      const SimResult serial =
+          Simulate(*cells[i].first, cells[i].second, *scheduler);
+      EXPECT_EQ(parallel_results[i].flows.max_flow, serial.flows.max_flow)
+          << "cell " << i << " workers " << workers;
+      EXPECT_EQ(parallel_results[i].stats.horizon, serial.stats.horizon)
+          << "cell " << i << " workers " << workers;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace otsched

@@ -324,5 +324,58 @@ TEST(Engine, StatsMatchSchedule) {
             result.schedule.idle_processor_slots());
 }
 
+TEST(Engine, FastForwardJobReleasedExactlyAtTarget) {
+  // After job 0 finishes the engine fast-forwards to release 7's first
+  // runnable slot, 8.  Jobs 1 and 2 are both released exactly at the
+  // fast-forward target: neither arrival may be skipped, and they must
+  // enter the alive list in id order.
+  Instance instance;
+  instance.add_job(Job(MakeChain(1), 0));
+  instance.add_job(Job(MakeChain(1), 7));
+  instance.add_job(Job(MakeChain(1), 7));
+  TakeAllScheduler scheduler;
+  const SimResult result = Simulate(instance, 1, scheduler);
+  EXPECT_EQ(result.flows.completion[0], 1);
+  EXPECT_EQ(result.flows.completion[1], 8);
+  EXPECT_EQ(result.flows.completion[2], 9);
+  EXPECT_TRUE(result.flows.all_completed);
+  EXPECT_EQ(result.stats.busy_slots, 3);  // gap slots were skipped, not run
+  EXPECT_EQ(result.stats.horizon, 9);
+}
+
+TEST(Engine, FastForwardChainsAcrossRepeatedGaps) {
+  // Each job finishes before the next release: every gap takes the
+  // fast-forward path, and each landing slot is exactly release + 1.
+  Instance instance;
+  instance.add_job(Job(MakeChain(1), 0));
+  instance.add_job(Job(MakeChain(1), 100));
+  instance.add_job(Job(MakeChain(1), 200));
+  TakeAllScheduler scheduler;
+  const SimResult result = Simulate(instance, 2, scheduler);
+  EXPECT_EQ(result.flows.completion[0], 1);
+  EXPECT_EQ(result.flows.completion[1], 101);
+  EXPECT_EQ(result.flows.completion[2], 201);
+  EXPECT_EQ(result.flows.max_flow, 1);
+  EXPECT_EQ(result.stats.busy_slots, 3);
+}
+
+TEST(Engine, AllIdleTailAdvancesSlotBySlot) {
+  // The last job is alive while the scheduler idles: an all-idle tail at
+  // the instance boundary.  Fast-forward must NOT fire (a job is alive),
+  // the slot counter must advance one-by-one through the tail, and the
+  // idle slots must show up in the flow.
+  Instance instance;
+  instance.add_job(Job(MakeChain(1), 0));
+  instance.add_job(Job(MakeChain(1), 2));
+  LazyScheduler scheduler(10);  // idles slots 1..10
+  const SimResult result = Simulate(instance, 1, scheduler);
+  EXPECT_EQ(result.flows.completion[0], 11);
+  EXPECT_EQ(result.flows.completion[1], 12);
+  EXPECT_EQ(result.flows.flow[1], 10);  // completed 12, released 2
+  EXPECT_EQ(result.stats.busy_slots, 2);
+  EXPECT_EQ(result.stats.horizon, 12);
+  EXPECT_TRUE(ValidateSchedule(result.schedule, instance));
+}
+
 }  // namespace
 }  // namespace otsched

@@ -23,3 +23,26 @@ foreach(artifact cli_smoke.svg cli_smoke.trace cli_smoke.csv)
     message(FATAL_ERROR "missing artifact ${artifact}")
   endif()
 endforeach()
+
+# Registry surface: --list-policies must print every canonical name, and
+# `run --policy <name>` must accept canonical names and legacy aliases.
+execute_process(COMMAND ${CLI} --list-policies RESULT_VARIABLE code
+                OUTPUT_VARIABLE listing WORKING_DIRECTORY ${WORKDIR})
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "--list-policies failed (${code})")
+endif()
+foreach(name fifo/first-ready fifo/random list-greedy round-robin-equi
+        work-stealing remaining-work/smallest global-lpf alg-a/general
+        alg-a/semi-batched)
+  if(NOT listing MATCHES "${name}")
+    message(FATAL_ERROR "--list-policies is missing '${name}'")
+  endif()
+endforeach()
+run_step(${CLI} run ${INST} 8 --policy fifo/first-ready --render 4)
+run_step(${CLI} run ${INST} 8 --policy srpt)
+execute_process(COMMAND ${CLI} run ${INST} 8 --policy no-such-policy
+                RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET
+                WORKING_DIRECTORY ${WORKDIR})
+if(code EQUAL 0)
+  message(FATAL_ERROR "unknown --policy name must fail, got exit 0")
+endif()

@@ -3,9 +3,12 @@
 //   otsched gen <family> <args...> <out.inst>     generate an instance
 //   otsched adversary <m> <jobs> <out.inst>       materialize the §4 family
 //   otsched bounds <in.inst> <m>                  print OPT lower bounds
-//   otsched run <in.inst> <m> <policy> [--render N] [--seed S]
+//   otsched run <in.inst> <m> [--policy] <policy> [--render N] [--seed S]
 //                                                 run a policy, report flows
-//   otsched policies                              list available policies
+//   otsched policies | --list-policies            list the policy registry
+//
+// Policies are constructed through the shared registry (sched/registry.h);
+// both canonical names (fifo/first-ready) and legacy aliases (fifo) work.
 //
 // Families for `gen`:
 //   quicksort <jobs> <n> <rate-denom> <seed>
@@ -24,22 +27,15 @@
 
 #include "analysis/instance_stats.h"
 #include "analysis/ratio.h"
+#include "analysis/timeseries.h"
 #include "common/table.h"
-#include "core/alg_a.h"
-#include "core/alg_a_full.h"
-#include "core/lpf.h"
 #include "gen/arrivals.h"
 #include "gen/certified.h"
 #include "gen/fifo_adversary.h"
 #include "gen/random_trees.h"
 #include "gen/recursive.h"
 #include "job/serialize.h"
-#include "sched/fifo.h"
-#include "sched/list_greedy.h"
-#include "sched/remaining_work.h"
-#include "sched/round_robin.h"
-#include "sched/work_stealing.h"
-#include "analysis/timeseries.h"
+#include "sched/registry.h"
 #include "sim/renderer.h"
 #include "sim/svg.h"
 #include "sim/trace.h"
@@ -58,66 +54,22 @@ int Usage() {
                "  otsched adversary <m> <jobs> <out>\n"
                "  otsched bounds <in> <m>\n"
                "  otsched describe <in> [m]\n"
-               "  otsched run <in> <m> <policy> [--render N] [--seed S] "
-               "[--opt V]\n"
+               "  otsched run <in> <m> [--policy] <policy> [--render N] "
+               "[--seed S] [--opt V]\n"
                "              [--svg F] [--trace F] [--timeseries F]\n"
-               "  otsched policies\n");
+               "  otsched policies            (also: otsched --list-policies)\n");
   return 2;
 }
 
-std::unique_ptr<Scheduler> MakePolicy(const std::string& name,
-                                      std::uint64_t seed, Time known_opt) {
-  if (name == "fifo") return std::make_unique<FifoScheduler>();
-  if (name == "fifo-random") {
-    FifoScheduler::Options o;
-    o.tie_break = FifoTieBreak::kRandom;
-    o.seed = seed;
-    return std::make_unique<FifoScheduler>(std::move(o));
-  }
-  if (name == "fifo-lpf") {
-    FifoScheduler::Options o;
-    o.tie_break = FifoTieBreak::kLpfHeight;
-    return std::make_unique<FifoScheduler>(std::move(o));
-  }
-  if (name == "list-greedy") {
-    return std::make_unique<ListGreedyScheduler>(seed);
-  }
-  if (name == "equi") return std::make_unique<RoundRobinScheduler>();
-  if (name == "work-stealing") {
-    WorkStealingScheduler::Options o;
-    o.seed = seed;
-    return std::make_unique<WorkStealingScheduler>(o);
-  }
-  if (name == "global-lpf") return std::make_unique<GlobalLpfScheduler>();
-  if (name == "srpt") {
-    return std::make_unique<RemainingWorkScheduler>(
-        RemainingWorkOrder::kSmallestFirst);
-  }
-  if (name == "alg-a") {
-    AlgAScheduler::Options o;
-    o.beta = 16;
-    return std::make_unique<AlgAScheduler>(o);
-  }
-  if (name == "alg-a-semibatched") {
-    AlgASemiBatchedScheduler::Options o;
-    o.known_opt = known_opt > 0 ? known_opt : 2;
-    return std::make_unique<AlgASemiBatchedScheduler>(o);
-  }
-  return nullptr;
-}
-
+/// Prints the registry: canonical name, legacy aliases, one-line summary.
 void ListPolicies() {
-  std::printf(
-      "fifo              non-clairvoyant FIFO, first-ready tie-break\n"
-      "fifo-random       non-clairvoyant FIFO, seeded random tie-break\n"
-      "fifo-lpf          clairvoyant FIFO, LPF-height tie-break\n"
-      "list-greedy       work-conserving, no inter-job priority\n"
-      "equi              round-robin processor sharing\n"
-      "work-stealing     simulated randomized work stealing\n"
-      "global-lpf        global height priority (clairvoyant)\n"
-      "srpt              smallest-remaining-work first (clairvoyant)\n"
-      "alg-a             the paper's Algorithm A (general, Thm 5.7)\n"
-      "alg-a-semibatched Algorithm A with known OPT (Thm 5.6; pass --opt)\n");
+  for (const PolicySpec& spec : AllPolicies()) {
+    std::string label = spec.name;
+    for (const std::string& alias : spec.aliases) {
+      label += " (" + alias + ")";
+    }
+    std::printf("%-36s %s\n", label.c_str(), spec.description.c_str());
+  }
 }
 
 int CmdGen(int argc, char** argv) {
@@ -226,14 +178,24 @@ int CmdRun(int argc, char** argv) {
   if (argc < 3) return Usage();
   const Instance instance = LoadInstance(argv[0]);
   const int m = std::atoi(argv[1]);
-  const std::string policy_name = argv[2];
+  // The policy is positional, or spelled explicitly as `--policy <name>`.
+  int first_flag = 3;
+  std::string policy_name;
+  if (std::strcmp(argv[2], "--policy") == 0) {
+    if (argc < 4) return Usage();
+    policy_name = argv[3];
+    first_flag = 4;
+  } else {
+    policy_name = argv[2];
+  }
   Time render = 0;
   std::uint64_t seed = 1;
   Time known_opt = 0;
   std::string svg_path;
   std::string trace_path;
   std::string timeseries_path;
-  for (int i = 3; i + 1 < argc; i += 2) {
+  for (int i = first_flag; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--policy") == 0) policy_name = argv[i + 1];
     if (std::strcmp(argv[i], "--render") == 0) render = std::atoll(argv[i + 1]);
     if (std::strcmp(argv[i], "--seed") == 0) {
       seed = std::strtoull(argv[i + 1], nullptr, 10);
@@ -304,7 +266,7 @@ int main(int argc, char** argv) {
   if (command == "bounds") return CmdBounds(argc - 2, argv + 2);
   if (command == "describe") return CmdDescribe(argc - 2, argv + 2);
   if (command == "run") return CmdRun(argc - 2, argv + 2);
-  if (command == "policies") {
+  if (command == "policies" || command == "--list-policies") {
     ListPolicies();
     return 0;
   }
