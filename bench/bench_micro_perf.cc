@@ -17,6 +17,7 @@
 #include "lbsim/lbsim.h"
 #include "sched/fifo.h"
 #include "sim/engine.h"
+#include "sim/observers.h"
 
 namespace otsched {
 namespace {
@@ -98,6 +99,30 @@ void BM_EngineSparseIncremental(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * horizon);
 }
 BENCHMARK(BM_EngineSparseIncremental)->Arg(512)->Arg(2048);
+
+/// Same workload with a full MetricsObserver attached (per-slot series
+/// on, pick timing off): the delta against BM_EngineSparseIncremental is
+/// the observability overhead budget (<5% is the acceptance bar; with no
+/// observer the hook sites are null-pointer checks).
+void BM_EngineSparseObserved(benchmark::State& state) {
+  const Instance instance =
+      MakeSparseChainInstance(static_cast<int>(state.range(0)), 32);
+  std::int64_t horizon = 0;
+  for (auto _ : state) {
+    FifoScheduler fifo;
+    MetricsRegistry registry;
+    MetricsObserver::Options options;
+    options.record_pick_times = false;
+    MetricsObserver metrics(registry, options);
+    RunContext context;
+    context.observer = &metrics;
+    const SimResult result = Simulate(instance, 8, fifo, context);
+    horizon = result.stats.horizon;
+    benchmark::DoNotOptimize(result.flows.max_flow);
+  }
+  state.SetItemsProcessed(state.iterations() * horizon);
+}
+BENCHMARK(BM_EngineSparseObserved)->Arg(512)->Arg(2048);
 
 void BM_EngineSparseReference(benchmark::State& state) {
   const Instance instance =

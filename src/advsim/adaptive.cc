@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "common/timer.h"
 #include "sim/validator.h"
 
 namespace otsched {
@@ -10,8 +11,10 @@ namespace {
 
 class AdaptiveEngine final : public EngineBackend {
  public:
-  AdaptiveEngine(Scheduler& scheduler, const AdaptiveAdversaryOptions& options)
+  AdaptiveEngine(Scheduler& scheduler, const AdaptiveAdversaryOptions& options,
+                 const RunContext& context)
       : scheduler_(scheduler),
+        observer_(context.observer),
         m_(options.m),
         layers_(options.layers_per_job > 0 ? options.layers_per_job
                                            : options.m),
@@ -21,8 +24,11 @@ class AdaptiveEngine final : public EngineBackend {
     OTSCHED_CHECK(m_ >= 2);
     OTSCHED_CHECK(num_jobs_ >= 1);
     OTSCHED_CHECK(layers_ >= 1);
-    max_horizon_ = options.max_horizon > 0
-                       ? options.max_horizon
+    const Time horizon_override = context.options.max_horizon > 0
+                                      ? context.options.max_horizon
+                                      : options.max_horizon;
+    max_horizon_ = horizon_override > 0
+                       ? horizon_override
                        : (num_jobs_ * gap_ +
                           8 * num_jobs_ * layers_ * width_ + 1024);
   }
@@ -84,6 +90,7 @@ class AdaptiveEngine final : public EngineBackend {
   void open_next_layer(JobId id);
 
   Scheduler& scheduler_;
+  RunObserver* observer_ = nullptr;  // borrowed; null = uninstrumented run
   int m_;
   int layers_;
   int width_;   // m + 1 subjobs per layer
@@ -124,6 +131,9 @@ AdaptiveAdversaryResult AdaptiveEngine::run() {
 
   std::vector<SubjobRef> picks;
   std::vector<std::pair<JobId, NodeId>> last_in_layer;  // per slot scratch
+  std::vector<JobId> completed_now_;                    // observer-only
+
+  if (observer_ != nullptr) observer_->on_run_begin(*this);
 
   slot_ = 1;
   while (finished_jobs_ < num_jobs_) {
@@ -133,20 +143,34 @@ AdaptiveAdversaryResult AdaptiveEngine::run() {
     OTSCHED_CHECK(slot_ <= max_horizon_,
                   "scheduler '" << scheduler_.name()
                                 << "' exceeded the adversary horizon");
+    if (observer_ != nullptr) observer_->on_slot_begin(slot_, *this);
     while (next_arrival_ < num_jobs_ && next_arrival_ * gap_ < slot_) {
       const JobId id = static_cast<JobId>(next_arrival_++);
       alive_.push_back(id);
       open_next_layer(id);
       scheduler_.on_arrival(id, view);
+      if (observer_ != nullptr) observer_->on_arrival(slot_, id);
     }
     result.max_alive =
         std::max(result.max_alive, static_cast<std::int64_t>(alive_.size()));
 
     picks.clear();
-    scheduler_.pick(view, picks);
+    double pick_seconds = 0.0;
+    if (observer_ != nullptr) {
+      WallTimer pick_timer;
+      scheduler_.pick(view, picks);
+      pick_seconds = pick_timer.elapsed_seconds();
+    } else {
+      scheduler_.pick(view, picks);
+    }
     OTSCHED_CHECK(static_cast<int>(picks.size()) <= m_,
                   "scheduler picked " << picks.size() << " on " << m_
                                       << " processors");
+    if (observer_ != nullptr) {
+      // Before execution mutates the ready sets the scheduler saw; an
+      // invalid pick aborts below, so observers never outlive one.
+      observer_->on_pick(slot_, *this, picks, pick_seconds);
+    }
 
     // Validate, execute, and track layer completions.
     last_in_layer.clear();
@@ -167,6 +191,7 @@ AdaptiveAdversaryResult AdaptiveEngine::run() {
       job.executed[static_cast<std::size_t>(ref.node)] = 1;
       ++job.done_nodes;
       result.schedule.place(slot_, ref);
+      if (observer_ != nullptr) observer_->on_execute(slot_, ref);
       if (job.ready.empty()) {
         last_in_layer.emplace_back(ref.job, ref.node);
       }
@@ -182,9 +207,18 @@ AdaptiveAdversaryResult AdaptiveEngine::run() {
       if (job.done_layers == layers_) {
         job.completion = slot_;
         ++finished_jobs_;
+        if (observer_ != nullptr) completed_now_.push_back(job_id);
       } else {
         open_next_layer(job_id);
       }
+    }
+    if (observer_ != nullptr && !completed_now_.empty()) {
+      // Ascending job id, matching DeriveTrace's completion order.
+      std::sort(completed_now_.begin(), completed_now_.end());
+      for (const JobId id : completed_now_) {
+        observer_->on_complete(slot_, id);
+      }
+      completed_now_.clear();
     }
     std::erase_if(alive_, [this](JobId id) { return finished(id); });
     ++slot_;
@@ -215,19 +249,38 @@ AdaptiveAdversaryResult AdaptiveEngine::run() {
                 "adaptive adversary inconsistency: " << report.violation);
   result.flows = ComputeFlows(result.schedule, result.instance);
   result.max_flow = result.flows.max_flow;
+  if (observer_ != nullptr) {
+    // Assemble the same on_finish payload Simulate would have produced
+    // for this schedule.
+    SimResult summary{result.schedule, result.flows, {}};
+    summary.stats.horizon = result.schedule.horizon();
+    summary.stats.executed_subjobs = result.schedule.total_placed();
+    summary.stats.idle_processor_slots =
+        result.schedule.idle_processor_slots();
+    for (Time t = 1; t <= result.schedule.horizon(); ++t) {
+      if (result.schedule.load(t) > 0) ++summary.stats.busy_slots;
+    }
+    observer_->on_finish(summary);
+  }
   return result;
 }
 
 }  // namespace
 
 AdaptiveAdversaryResult RunAdaptiveAdversary(
-    Scheduler& scheduler, const AdaptiveAdversaryOptions& options) {
+    Scheduler& scheduler, const AdaptiveAdversaryOptions& options,
+    const RunContext& context) {
   OTSCHED_CHECK(!scheduler.requires_clairvoyance(),
                 "the adaptive adversary only plays non-clairvoyant "
                 "schedulers; '"
                     << scheduler.name() << "' declares clairvoyance");
-  AdaptiveEngine engine(scheduler, options);
+  AdaptiveEngine engine(scheduler, options, context);
   return engine.run();
+}
+
+AdaptiveAdversaryResult RunAdaptiveAdversary(
+    Scheduler& scheduler, const AdaptiveAdversaryOptions& options) {
+  return RunAdaptiveAdversary(scheduler, options, RunContext{});
 }
 
 }  // namespace otsched

@@ -55,7 +55,15 @@ struct AdaptiveAdversaryResult {
   std::int64_t max_alive = 0;
 };
 
-/// Runs `scheduler` against the adaptive environment to completion.
+/// Runs `scheduler` against the adaptive environment to completion,
+/// firing `context.observer`'s hooks exactly like Simulate does (the
+/// on_finish SimResult is assembled from the produced schedule).  A
+/// positive `context.options.max_horizon` overrides `options.max_horizon`.
+AdaptiveAdversaryResult RunAdaptiveAdversary(
+    Scheduler& scheduler, const AdaptiveAdversaryOptions& options,
+    const RunContext& context);
+
+/// Compatibility overload for observer-less call sites.
 AdaptiveAdversaryResult RunAdaptiveAdversary(
     Scheduler& scheduler, const AdaptiveAdversaryOptions& options);
 

@@ -7,11 +7,18 @@ namespace otsched {
 RatioMeasurement MeasureRatio(const Instance& instance, int m,
                               Scheduler& scheduler, Time certified_opt,
                               const SimOptions& options) {
+  return MeasureRatio(instance, m, scheduler, certified_opt,
+                      RunContext{options, nullptr});
+}
+
+RatioMeasurement MeasureRatio(const Instance& instance, int m,
+                              Scheduler& scheduler, Time certified_opt,
+                              const RunContext& context) {
   RatioMeasurement result;
   result.scheduler = scheduler.name();
   result.m = m;
 
-  SimResult sim = Simulate(instance, m, scheduler, options);
+  SimResult sim = Simulate(instance, m, scheduler, context);
   const ValidationReport report = ValidateSchedule(sim.schedule, instance);
   OTSCHED_CHECK(report.feasible, "scheduler '" << scheduler.name()
                                                << "' produced an infeasible "

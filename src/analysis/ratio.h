@@ -32,7 +32,12 @@ struct RatioMeasurement {
 /// Runs `scheduler` on `instance` with m processors, validates the
 /// resulting schedule end to end, and divides the achieved maximum flow
 /// by `certified_opt` (> 0) or, if certified_opt == 0, by the computed
-/// lower bound.
+/// lower bound.  The RunContext form fires `context.observer`'s hooks
+/// during the measured run.
+RatioMeasurement MeasureRatio(const Instance& instance, int m,
+                              Scheduler& scheduler, Time certified_opt,
+                              const RunContext& context);
+
 RatioMeasurement MeasureRatio(const Instance& instance, int m,
                               Scheduler& scheduler, Time certified_opt = 0,
                               const SimOptions& options = {});

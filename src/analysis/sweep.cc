@@ -18,4 +18,13 @@ SeedAggregate Aggregate(const std::vector<double>& values) {
   return agg;
 }
 
+MetricsRegistry MergedMetrics(
+    std::span<const BatchRunner::InstrumentedRun> runs) {
+  MetricsRegistry merged;
+  for (const BatchRunner::InstrumentedRun& run : runs) {
+    merged.merge_from(run.metrics);
+  }
+  return merged;
+}
+
 }  // namespace otsched

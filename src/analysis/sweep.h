@@ -7,6 +7,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "sim/batch_runner.h"
@@ -31,5 +32,11 @@ struct SeedAggregate {
 };
 
 SeedAggregate Aggregate(const std::vector<double>& values);
+
+/// Folds the per-cell registries of an instrumented batch into one
+/// aggregate, in index order — the same order for every worker count, so
+/// sweep metrics are deterministic exactly like sweep tables.
+MetricsRegistry MergedMetrics(
+    std::span<const BatchRunner::InstrumentedRun> runs);
 
 }  // namespace otsched

@@ -17,6 +17,7 @@
 #include "sched/registry.h"
 #include "sim/batch_runner.h"
 #include "sim/engine.h"
+#include "sim/observers.h"
 
 namespace otsched {
 namespace {
@@ -74,10 +75,18 @@ std::vector<OracleResult> RunPolicyCase(const PolicyCaseConfig& cfg,
   std::unique_ptr<Scheduler> scheduler =
       cfg.spec->needs_semi_batched ? cfg.spec->make_semi_batched(cfg.known_opt)
                                    : cfg.spec->make(cfg.seed);
-  const SimResult run = Simulate(instance, cfg.m, *scheduler);
+  // Every fuzz case doubles as an observability check: stream the trace
+  // through the observer hooks and hold it against DeriveTrace below.
+  EventTrace streamed;
+  StreamingTraceObserver tracer(streamed);
+  RunContext context;
+  context.observer = &tracer;
+  const SimResult run = Simulate(instance, cfg.m, *scheduler, context);
   if (simulations != nullptr) ++*simulations;
 
   results.push_back(CheckFeasibilityOracle(run.schedule, instance));
+  results.push_back(
+      CheckTraceEquivalenceOracle(streamed, run.schedule, instance));
 
   Time exact = cfg.certified_opt;
   if (exact == 0 && cfg.brute_cross_check) {

@@ -39,8 +39,23 @@ const char* ToString(OracleId id) {
       return "mc-busy(L5.5)";
     case OracleId::kRatioCeiling:
       return "ratio-ceiling(T5.6)";
+    case OracleId::kTraceEquivalence:
+      return "trace-equivalence(observer)";
   }
   return "unknown-oracle";
+}
+
+OracleResult CheckTraceEquivalenceOracle(const EventTrace& streamed,
+                                         const Schedule& schedule,
+                                         const Instance& instance) {
+  const EventTrace derived = DeriveTrace(schedule, instance);
+  const std::int64_t divergence = FirstDivergence(streamed, derived);
+  if (divergence < 0) return Pass(OracleId::kTraceEquivalence);
+  std::ostringstream detail;
+  detail << "streamed trace diverges from DeriveTrace at event " << divergence
+         << " (streamed " << streamed.size() << " events, derived "
+         << derived.size() << ")";
+  return Fail(OracleId::kTraceEquivalence, detail.str());
 }
 
 OracleResult CheckFeasibilityOracle(const Schedule& schedule,

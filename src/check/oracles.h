@@ -32,6 +32,7 @@
 #include "job/instance.h"
 #include "sched/registry.h"  // kTheorem56Ceiling / kTheorem57Ceiling
 #include "sim/schedule.h"
+#include "sim/trace.h"
 
 namespace otsched {
 
@@ -39,8 +40,9 @@ enum class OracleId {
   kFeasibility,   // Section 3 axioms (1)-(4) + completion
   kLpfValue,      // Lemma 5.3 / Corollary 5.4
   kHeadTail,      // Lemma 5.2 / Figure 2
-  kMcBusy,        // Lemma 5.5
-  kRatioCeiling,  // Theorem 5.6 / 5.7
+  kMcBusy,            // Lemma 5.5
+  kRatioCeiling,      // Theorem 5.6 / 5.7
+  kTraceEquivalence,  // streaming observer trace == DeriveTrace
 };
 
 const char* ToString(OracleId id);
@@ -124,6 +126,17 @@ OracleResult CheckMcBusyOracle(const Dag& dag, const JobSchedule& schedule,
 OracleResult CheckRatioCeilingOracle(const Instance& instance, int m,
                                      Time max_flow, double ceiling,
                                      Time certified_opt = 0);
+
+// ---- observability: streaming trace equivalence ----
+
+/// Verifies that a trace streamed online by StreamingTraceObserver equals
+/// the canonical DeriveTrace of the finished schedule.  The two are
+/// produced by independent code paths (hook stream vs post-hoc
+/// reconstruction), so agreement certifies both the observer wiring and
+/// the hook ordering contract of sim/observer.h.
+OracleResult CheckTraceEquivalenceOracle(const EventTrace& streamed,
+                                         const Schedule& schedule,
+                                         const Instance& instance);
 
 // The proven Theorem 5.6 / 5.7 ceilings for alpha = 4 live next to the
 // policy specs they annotate: kTheorem56Ceiling / kTheorem57Ceiling in

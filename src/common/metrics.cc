@@ -1,0 +1,295 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace otsched {
+
+void Gauge::set(double value) {
+  last_ = value;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  sum_ += value;
+  ++count_;
+}
+
+void Gauge::merge_from(const Gauge& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  last_ = other.last_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)) {
+  OTSCHED_CHECK(!upper_bounds_.empty(), "histogram needs at least one bucket");
+  OTSCHED_CHECK(std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()) &&
+                    std::adjacent_find(upper_bounds_.begin(),
+                                       upper_bounds_.end()) ==
+                        upper_bounds_.end(),
+                "histogram bounds must be strictly increasing");
+  counts_.assign(upper_bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double value) {
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - upper_bounds_.begin())];
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  OTSCHED_CHECK(upper_bounds_ == other.upper_bounds_,
+                "merging histograms with different bucket bounds");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Series::record(std::int64_t slot, std::int64_t value) {
+  OTSCHED_CHECK(slots_.empty() || slot > slots_.back(),
+                "series slots must be recorded in increasing order (got "
+                    << slot << " after " << slots_.back() << ")");
+  slots_.push_back(slot);
+  values_.push_back(value);
+}
+
+void Series::merge_from(const Series& other) {
+  std::vector<std::int64_t> slots;
+  std::vector<std::int64_t> values;
+  slots.reserve(slots_.size() + other.slots_.size());
+  values.reserve(slots.capacity());
+  std::size_t a = 0;
+  std::size_t b = 0;
+  while (a < slots_.size() || b < other.slots_.size()) {
+    if (b == other.slots_.size() ||
+        (a < slots_.size() && slots_[a] < other.slots_[b])) {
+      slots.push_back(slots_[a]);
+      values.push_back(values_[a]);
+      ++a;
+    } else if (a == slots_.size() || other.slots_[b] < slots_[a]) {
+      slots.push_back(other.slots_[b]);
+      values.push_back(other.values_[b]);
+      ++b;
+    } else {
+      slots.push_back(slots_[a]);
+      values.push_back(values_[a] + other.values_[b]);
+      ++a;
+      ++b;
+    }
+  }
+  slots_ = std::move(slots);
+  values_ = std::move(values);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  OTSCHED_CHECK(!gauges_.contains(name) && !histograms_.contains(name) &&
+                    !series_.contains(name),
+                "metric '" << name << "' already registered as another kind");
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  OTSCHED_CHECK(!counters_.contains(name) && !histograms_.contains(name) &&
+                    !series_.contains(name),
+                "metric '" << name << "' already registered as another kind");
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  OTSCHED_CHECK(!counters_.contains(name) && !gauges_.contains(name) &&
+                    !series_.contains(name),
+                "metric '" << name << "' already registered as another kind");
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(std::move(upper_bounds))).first;
+  } else {
+    OTSCHED_CHECK(upper_bounds.empty() ||
+                      it->second.upper_bounds() == upper_bounds,
+                  "histogram '" << name << "' re-requested with different "
+                                   "bucket bounds");
+  }
+  return it->second;
+}
+
+Series& MetricsRegistry::series(const std::string& name) {
+  OTSCHED_CHECK(!counters_.contains(name) && !gauges_.contains(name) &&
+                    !histograms_.contains(name),
+                "metric '" << name << "' already registered as another kind");
+  return series_[name];
+}
+
+void MetricsRegistry::set_manifest(const std::string& key,
+                                   const std::string& value) {
+  manifest_[key] = JsonString(value);
+}
+
+void MetricsRegistry::set_manifest(const std::string& key,
+                                   std::int64_t value) {
+  manifest_[key] = std::to_string(value);
+}
+
+std::string JsonNumber(double value) {
+  OTSCHED_CHECK(std::isfinite(value), "non-finite value in JSON output");
+  char buffer[64];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  OTSCHED_CHECK(ec == std::errc());
+  return std::string(buffer, ptr);
+}
+
+std::string JsonString(const std::string& value) {
+  std::string out = "\"";
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+template <typename Map, typename EmitValue>
+void EmitObject(std::ostringstream& out, const char* key, const Map& map,
+                const EmitValue& emit_value, bool trailing_comma) {
+  out << JsonString(key) << ": {";
+  bool first = true;
+  for (const auto& [name, value] : map) {
+    if (!first) out << ", ";
+    first = false;
+    out << JsonString(name) << ": ";
+    emit_value(value);
+  }
+  out << '}';
+  if (trailing_comma) out << ",\n  ";
+}
+
+template <typename T>
+void EmitArray(std::ostringstream& out, const std::vector<T>& values) {
+  out << '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out << ", ";
+    if constexpr (std::is_same_v<T, double>) {
+      out << JsonNumber(values[i]);
+    } else {
+      out << values[i];
+    }
+  }
+  out << ']';
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream out;
+  out << "{\n  \"schema_version\": 1,\n  ";
+  EmitObject(out, "manifest", manifest_,
+             [&](const std::string& literal) { out << literal; }, true);
+  EmitObject(out, "counters", counters_,
+             [&](const Counter& c) { out << c.value(); }, true);
+  EmitObject(out, "gauges", gauges_,
+             [&](const Gauge& g) {
+               out << "{\"last\": " << JsonNumber(g.last())
+                   << ", \"min\": " << JsonNumber(g.min())
+                   << ", \"max\": " << JsonNumber(g.max())
+                   << ", \"mean\": " << JsonNumber(g.mean())
+                   << ", \"count\": " << g.count() << '}';
+             },
+             true);
+  EmitObject(out, "histograms", histograms_,
+             [&](const Histogram& h) {
+               out << "{\"le\": ";
+               EmitArray(out, h.upper_bounds());
+               out << ", \"counts\": ";
+               EmitArray(out, h.bucket_counts());
+               out << ", \"count\": " << h.count()
+                   << ", \"sum\": " << JsonNumber(h.sum()) << '}';
+             },
+             true);
+  EmitObject(out, "series", series_,
+             [&](const Series& s) {
+               out << "{\"slots\": ";
+               EmitArray(out, s.slots());
+               out << ", \"values\": ";
+               EmitArray(out, s.values());
+               out << '}';
+             },
+             false);
+  out << "\n}\n";
+  return out.str();
+}
+
+std::string MetricsRegistry::series_csv() const {
+  std::ostringstream out;
+  out << "name,slot,value\n";
+  for (const auto& [name, series] : series_) {
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      out << name << ',' << series.slots()[i] << ',' << series.values()[i]
+          << '\n';
+    }
+  }
+  return out.str();
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counter(name).inc(c.value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauge(name).merge_from(g);
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name, h.upper_bounds()).merge_from(h);
+  }
+  for (const auto& [name, s] : other.series_) {
+    series(name).merge_from(s);
+  }
+  for (const auto& [key, literal] : other.manifest_) {
+    manifest_[key] = literal;
+  }
+}
+
+}  // namespace otsched

@@ -1,0 +1,150 @@
+// A small metrics registry: counters, gauges, fixed-bucket histograms,
+// and sparse per-slot series, with deterministic JSON/CSV serialization.
+//
+// The registry is the wire format of the observability layer: engine
+// observers write into one registry per run, BatchRunner merges per-cell
+// registries in index order (so aggregates are identical for any worker
+// count), and sinks serialize the result.  Iteration order everywhere is
+// name order (std::map), so two registries with the same contents always
+// produce the same bytes — the property the golden metrics-JSON test and
+// the batch determinism contract rely on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace otsched {
+
+/// Monotonic integer count.
+class Counter {
+ public:
+  void inc(std::int64_t delta = 1) { value_ += delta; }
+  void set(std::int64_t value) { value_ = value; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Point-in-time observation with running last/min/max/mean.
+class Gauge {
+ public:
+  void set(double value);
+  double last() const { return last_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+
+  /// Pools another gauge's observations (last = other's last).
+  void merge_from(const Gauge& other);
+
+ private:
+  double last_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+  std::int64_t count_ = 0;
+};
+
+/// Fixed-bucket histogram: counts per upper bound (`le`), plus an
+/// implicit overflow bucket, total count, and sum of observations.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value);
+
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  /// One count per upper bound, plus the final overflow bucket.
+  const std::vector<std::int64_t>& bucket_counts() const { return counts_; }
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+
+  /// Adds another histogram bucket-wise; the bounds must be identical.
+  void merge_from(const Histogram& other);
+
+ private:
+  std::vector<double> upper_bounds_;  // strictly increasing
+  std::vector<std::int64_t> counts_;  // upper_bounds_.size() + 1
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Sparse per-slot series: (slot, value) pairs in increasing slot order.
+/// Sparse because engines fast-forward over empty stretches — a dense
+/// vector would fabricate samples for slots the run never visited.
+class Series {
+ public:
+  /// `slot` must be strictly greater than the last recorded slot.
+  void record(std::int64_t slot, std::int64_t value);
+
+  const std::vector<std::int64_t>& slots() const { return slots_; }
+  const std::vector<std::int64_t>& values() const { return values_; }
+  std::size_t size() const { return slots_.size(); }
+
+  /// Merges by slot, summing values recorded at the same slot (the
+  /// natural aggregate for aligned sweep cells).
+  void merge_from(const Series& other);
+
+ private:
+  std::vector<std::int64_t> slots_;
+  std::vector<std::int64_t> values_;
+};
+
+/// Named metrics plus a flat manifest of run provenance.  Lookup creates
+/// on first use; a name denotes one kind of metric for the registry's
+/// lifetime (re-requesting it as another kind aborts).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// The bounds are fixed on first request; later requests for the same
+  /// name must pass identical bounds (or none via histogram(name)).
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+  Series& series(const std::string& name);
+
+  /// Manifest entries (instance hash, policy, m, seed, ...).  Strings and
+  /// integers keep their JSON type.
+  void set_manifest(const std::string& key, const std::string& value);
+  void set_manifest(const std::string& key, std::int64_t value);
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+  const std::map<std::string, Series>& all_series() const { return series_; }
+
+  /// Deterministic JSON document (see tools/metrics_schema.json).
+  std::string to_json() const;
+
+  /// All series as CSV rows "name,slot,value" (header included).
+  std::string series_csv() const;
+
+  /// Merges `other` into this registry: counters add, gauges pool,
+  /// histograms add bucket-wise, series sum by slot.  Manifest entries of
+  /// `other` overwrite same-keyed entries here.  Associative, so folding
+  /// per-cell registries in index order is deterministic.
+  void merge_from(const MetricsRegistry& other);
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, Series> series_;
+  // Manifest values pre-rendered as JSON literals (quoted or numeric).
+  std::map<std::string, std::string> manifest_;
+};
+
+/// Formats a double as a JSON number (shortest round-trip form).
+std::string JsonNumber(double value);
+
+/// Escapes and quotes a string for JSON.
+std::string JsonString(const std::string& value);
+
+}  // namespace otsched

@@ -18,6 +18,7 @@
 #include "common/assert.h"
 #include "common/thread_pool.h"
 #include "sim/engine.h"
+#include "sim/observers.h"
 
 namespace otsched {
 
@@ -61,6 +62,38 @@ class BatchRunner {
       const auto& [instance, m] = cells[i];
       auto scheduler = make_scheduler(i);
       return Simulate(*instance, m, *scheduler, options);
+    });
+  }
+
+  /// One instrumented cell: the simulation result plus the metrics its
+  /// MetricsObserver collected.  Merge the registries (index order) for
+  /// batch aggregates.
+  struct InstrumentedRun {
+    SimResult result;
+    MetricsRegistry metrics;
+  };
+
+  /// RunSimulations with a MetricsObserver attached to every cell.  Each
+  /// cell gets a private registry, so instrumentation adds no cross-worker
+  /// coordination; pass record_pick_times = false in `observer_options`
+  /// when the aggregate must be deterministic.
+  template <typename MakeScheduler>
+  std::vector<InstrumentedRun> RunInstrumentedSimulations(
+      std::span<const std::pair<const Instance*, int>> cells,
+      MakeScheduler&& make_scheduler, const SimOptions& options = {},
+      MetricsObserver::Options observer_options = MetricsObserver::Options())
+      const {
+    return Map<InstrumentedRun>(cells.size(), [&](std::size_t i) {
+      const auto& [instance, m] = cells[i];
+      auto scheduler = make_scheduler(i);
+      InstrumentedRun run{
+          SimResult{Schedule(m), FlowSummary{}, SimStats{}}, MetricsRegistry()};
+      MetricsObserver observer(run.metrics, observer_options);
+      RunContext context;
+      context.options = options;
+      context.observer = &observer;
+      run.result = Simulate(*instance, m, *scheduler, context);
+      return run;
     });
   }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "common/timer.h"
 #include "sim/ready_state.h"
 
 namespace otsched {
@@ -20,12 +21,17 @@ namespace otsched {
 class Engine final : public EngineBackend {
  public:
   Engine(const Instance& instance, int m, Scheduler& scheduler,
-         const SimOptions& options)
-      : instance_(instance), m_(m), scheduler_(scheduler) {
+         const RunContext& context)
+      : instance_(instance),
+        m_(m),
+        scheduler_(scheduler),
+        observer_(context.observer) {
     OTSCHED_CHECK(m >= 1);
-    clairvoyant_ = options.force_clairvoyance >= 0
-                       ? options.force_clairvoyance != 0
-                       : scheduler.requires_clairvoyance();
+    const SimOptions& options = context.options;
+    clairvoyant_ =
+        options.clairvoyance == ClairvoyanceOverride::kPolicyDefault
+            ? scheduler.requires_clairvoyance()
+            : options.clairvoyance == ClairvoyanceOverride::kAllow;
     max_horizon_ = options.max_horizon;
     if (max_horizon_ == 0) {
       // Any policy that executes at least one ready subjob whenever one
@@ -92,6 +98,7 @@ class Engine final : public EngineBackend {
   const Instance& instance_;
   int m_;
   Scheduler& scheduler_;
+  RunObserver* observer_ = nullptr;  // borrowed; null = uninstrumented run
   bool clairvoyant_ = false;
   Time max_horizon_ = 0;
 
@@ -105,6 +112,7 @@ class Engine final : public EngineBackend {
   std::size_t next_arrival_ = 0;
   std::int64_t executed_total_ = 0;
   int finished_this_slot_ = 0;        // gates alive-list compaction
+  std::vector<JobId> completed_now_;  // observer-only: jobs finished this slot
 };
 
 void Engine::execute(SubjobRef ref) {
@@ -114,7 +122,10 @@ void Engine::execute(SubjobRef ref) {
   // pre-execution ready sets.
   jobs_[j].execute(*dags_[j], ref.node);
   ++executed_total_;
-  if (jobs_[j].done() == work_[j]) ++finished_this_slot_;
+  if (jobs_[j].done() == work_[j]) {
+    ++finished_this_slot_;
+    if (observer_ != nullptr) completed_now_.push_back(ref.job);
+  }
 }
 
 void Engine::deliver_arrivals(const SchedulerView& view) {
@@ -127,6 +138,7 @@ void Engine::deliver_arrivals(const SchedulerView& view) {
     // same order the seed engine's arrival rescan produced).
     jobs_[static_cast<std::size_t>(id)].activate();
     scheduler_.on_arrival(id, view);
+    if (observer_ != nullptr) observer_->on_arrival(slot_, id);
   }
 }
 
@@ -155,6 +167,8 @@ SimResult Engine::run() {
   std::vector<SubjobRef> picks;
   const std::int64_t total_work = instance_.total_work();
 
+  if (observer_ != nullptr) observer_->on_run_begin(*this);
+
   slot_ = 1;
   while (executed_total_ < total_work) {
     // Fast-forward across empty stretches when nothing is alive.
@@ -168,10 +182,19 @@ SimResult Engine::run() {
                                 << "' exceeded the horizon bound "
                                 << max_horizon_);
 
+    if (observer_ != nullptr) observer_->on_slot_begin(slot_, *this);
+
     deliver_arrivals(view);
 
     picks.clear();
-    scheduler_.pick(view, picks);
+    double pick_seconds = 0.0;
+    if (observer_ != nullptr) {
+      WallTimer pick_timer;
+      scheduler_.pick(view, picks);
+      pick_seconds = pick_timer.elapsed_seconds();
+    } else {
+      scheduler_.pick(view, picks);
+    }
 
     OTSCHED_CHECK(static_cast<int>(picks.size()) <= m_,
                   "scheduler '" << scheduler_.name() << "' picked "
@@ -195,6 +218,11 @@ SimResult Engine::run() {
                     "job " << ref.job << " node " << ref.node
                            << " is not ready at slot " << slot_);
     }
+    if (observer_ != nullptr) {
+      // After validation, before execution: the picks are final and the
+      // backend still shows the state the scheduler saw.
+      observer_->on_pick(slot_, *this, picks, pick_seconds);
+    }
     // Same-slot duplicate picks are caught by the executed flag flipping
     // during execution below.
     for (const SubjobRef& ref : picks) {
@@ -204,6 +232,15 @@ SimResult Engine::run() {
                                    << " in slot " << slot_);
       execute(ref);
       result.schedule.place(slot_, ref);
+      if (observer_ != nullptr) observer_->on_execute(slot_, ref);
+    }
+    if (observer_ != nullptr && !completed_now_.empty()) {
+      // Ascending job id, matching DeriveTrace's completion order.
+      std::sort(completed_now_.begin(), completed_now_.end());
+      for (const JobId id : completed_now_) {
+        observer_->on_complete(slot_, id);
+      }
+      completed_now_.clear();
     }
     if (!picks.empty()) ++result.stats.busy_slots;
     if (finished_this_slot_ > 0) {
@@ -221,6 +258,7 @@ SimResult Engine::run() {
   result.stats.executed_subjobs = executed_total_;
   result.stats.idle_processor_slots = result.schedule.idle_processor_slots();
   result.flows = ComputeFlows(result.schedule, instance_);
+  if (observer_ != nullptr) observer_->on_finish(result);
   return result;
 }
 
@@ -258,9 +296,14 @@ bool SchedulerView::clairvoyant_allowed() const {
 }
 
 SimResult Simulate(const Instance& instance, int m, Scheduler& scheduler,
-                   const SimOptions& options) {
-  Engine engine(instance, m, scheduler, options);
+                   const RunContext& context) {
+  Engine engine(instance, m, scheduler, context);
   return engine.run();
+}
+
+SimResult Simulate(const Instance& instance, int m, Scheduler& scheduler,
+                   const SimOptions& options) {
+  return Simulate(instance, m, scheduler, RunContext{options, nullptr});
 }
 
 }  // namespace otsched

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "job/instance.h"
+#include "sim/observer.h"
 #include "sim/schedule.h"
 
 namespace otsched {
@@ -123,16 +124,8 @@ class Scheduler {
                     std::vector<SubjobRef>& out) = 0;
 };
 
-struct SimOptions {
-  /// Hard cap on the simulated horizon; 0 means "auto" (a generous bound
-  /// derived from the instance; exceeding it aborts, catching schedulers
-  /// that stop making progress).
-  Time max_horizon = 0;
-
-  /// If >= 0, overrides the scheduler's clairvoyance declaration (used by
-  /// tests to prove a policy does NOT need DAG access).
-  int force_clairvoyance = -1;
-};
+// SimOptions / ClairvoyanceOverride / RunObserver / RunContext live in
+// sim/observer.h (included above): the run API is one header.
 
 struct SimStats {
   Time horizon = 0;
@@ -147,13 +140,22 @@ struct SimResult {
   SimStats stats;
 };
 
-/// Runs `scheduler` on `instance` with m processors to completion.
+/// Runs `scheduler` on `instance` with m processors to completion,
+/// firing `context.observer`'s hooks (if any) as the run progresses.
+SimResult Simulate(const Instance& instance, int m, Scheduler& scheduler,
+                   const RunContext& context);
+
+/// Compatibility overload for observer-less call sites.
 SimResult Simulate(const Instance& instance, int m, Scheduler& scheduler,
                    const SimOptions& options = {});
 
-/// The pre-incremental seed engine, preserved verbatim as the golden
-/// baseline (sim/engine_reference.cc).  Only for the engine-equivalence
-/// gate and before/after benchmarks; production callers use Simulate().
+/// The pre-incremental seed engine, preserved as the golden baseline
+/// (sim/engine_reference.cc) and instrumented with the same observer
+/// hooks.  Only for the engine-equivalence gate and before/after
+/// benchmarks; production callers use Simulate().
+SimResult ReferenceSimulate(const Instance& instance, int m,
+                            Scheduler& scheduler, const RunContext& context);
+
 SimResult ReferenceSimulate(const Instance& instance, int m,
                             Scheduler& scheduler,
                             const SimOptions& options = {});

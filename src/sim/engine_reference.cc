@@ -1,15 +1,18 @@
-// The seed engine, kept verbatim as the golden baseline.
+// The seed engine, kept as the golden baseline.
 //
 // ReferenceSimulate is the pre-incremental implementation: it rescans a
 // job's whole DAG to publish roots on arrival and compacts the alive set
 // with a full pass every slot.  It exists ONLY as the comparison oracle
 // for the engine-equivalence gate (tests/engine_equivalence_test.cc) and
 // the before/after rows of bench_micro_perf; production callers go
-// through Simulate().  Delete this file once the gate has soaked and the
-// equivalence corpus is considered exhaustive.
+// through Simulate().  It fires the same RunObserver hooks as the
+// incremental engine (sim/observer.h) so the gate can also prove the two
+// hook streams identical.  Delete this file once the gate has soaked and
+// the equivalence corpus is considered exhaustive.
 #include <algorithm>
 
 #include "common/assert.h"
+#include "common/timer.h"
 #include "sim/engine.h"
 
 namespace otsched {
@@ -19,12 +22,17 @@ namespace {
 class ReferenceEngine final : public EngineBackend {
  public:
   ReferenceEngine(const Instance& instance, int m, Scheduler& scheduler,
-                  const SimOptions& options)
-      : instance_(instance), m_(m), scheduler_(scheduler) {
+                  const RunContext& context)
+      : instance_(instance),
+        m_(m),
+        scheduler_(scheduler),
+        observer_(context.observer) {
     OTSCHED_CHECK(m >= 1);
-    clairvoyant_ = options.force_clairvoyance >= 0
-                       ? options.force_clairvoyance != 0
-                       : scheduler.requires_clairvoyance();
+    const SimOptions& options = context.options;
+    clairvoyant_ =
+        options.clairvoyance == ClairvoyanceOverride::kPolicyDefault
+            ? scheduler.requires_clairvoyance()
+            : options.clairvoyance == ClairvoyanceOverride::kAllow;
     max_horizon_ = options.max_horizon;
     if (max_horizon_ == 0) {
       max_horizon_ = instance.max_release() + 4 * instance.total_work() +
@@ -88,6 +96,7 @@ class ReferenceEngine final : public EngineBackend {
   const Instance& instance_;
   int m_;
   Scheduler& scheduler_;
+  RunObserver* observer_ = nullptr;  // borrowed; null = uninstrumented run
   bool clairvoyant_ = false;
   Time max_horizon_ = 0;
 
@@ -101,6 +110,7 @@ class ReferenceEngine final : public EngineBackend {
   std::vector<JobId> arrival_order_;              // all jobs by (release, id)
   std::size_t next_arrival_ = 0;
   std::int64_t executed_total_ = 0;
+  std::vector<JobId> completed_now_;  // observer-only: jobs finished this slot
 };
 
 void ReferenceEngine::execute(SubjobRef ref) {
@@ -109,6 +119,9 @@ void ReferenceEngine::execute(SubjobRef ref) {
   executed_[j][v] = 1;
   ++done_[j];
   ++executed_total_;
+  if (observer_ != nullptr && finished(ref.job)) {
+    completed_now_.push_back(ref.job);
+  }
   // Remove from the ready list via swap-erase.
   auto& ready = ready_[j];
   auto& pos = ready_pos_[j];
@@ -149,6 +162,7 @@ void ReferenceEngine::deliver_arrivals(const SchedulerView& view) {
       }
     }
     scheduler_.on_arrival(id, view);
+    if (observer_ != nullptr) observer_->on_arrival(slot_, id);
   }
 }
 
@@ -185,6 +199,8 @@ SimResult ReferenceEngine::run() {
   std::vector<SubjobRef> picks;
   const std::int64_t total_work = instance_.total_work();
 
+  if (observer_ != nullptr) observer_->on_run_begin(*this);
+
   slot_ = 1;
   while (executed_total_ < total_work) {
     // Fast-forward across empty stretches when nothing is alive.
@@ -198,10 +214,19 @@ SimResult ReferenceEngine::run() {
                                 << "' exceeded the horizon bound "
                                 << max_horizon_);
 
+    if (observer_ != nullptr) observer_->on_slot_begin(slot_, *this);
+
     deliver_arrivals(view);
 
     picks.clear();
-    scheduler_.pick(view, picks);
+    double pick_seconds = 0.0;
+    if (observer_ != nullptr) {
+      WallTimer pick_timer;
+      scheduler_.pick(view, picks);
+      pick_seconds = pick_timer.elapsed_seconds();
+    } else {
+      scheduler_.pick(view, picks);
+    }
 
     OTSCHED_CHECK(static_cast<int>(picks.size()) <= m_,
                   "scheduler '" << scheduler_.name() << "' picked "
@@ -228,6 +253,9 @@ SimResult ReferenceEngine::run() {
           "job " << ref.job << " node " << ref.node
                  << " is not ready at slot " << slot_);
     }
+    if (observer_ != nullptr) {
+      observer_->on_pick(slot_, *this, picks, pick_seconds);
+    }
     // Same-slot duplicate picks are caught by the executed_ flag flipping
     // during execution below.
     for (const SubjobRef& ref : picks) {
@@ -238,6 +266,15 @@ SimResult ReferenceEngine::run() {
                                              << slot_);
       execute(ref);
       result.schedule.place(slot_, ref);
+      if (observer_ != nullptr) observer_->on_execute(slot_, ref);
+    }
+    if (observer_ != nullptr && !completed_now_.empty()) {
+      // Ascending job id, matching DeriveTrace's completion order.
+      std::sort(completed_now_.begin(), completed_now_.end());
+      for (const JobId id : completed_now_) {
+        observer_->on_complete(slot_, id);
+      }
+      completed_now_.clear();
     }
     if (!picks.empty()) ++result.stats.busy_slots;
     refresh_alive();
@@ -248,15 +285,22 @@ SimResult ReferenceEngine::run() {
   result.stats.executed_subjobs = executed_total_;
   result.stats.idle_processor_slots = result.schedule.idle_processor_slots();
   result.flows = ComputeFlows(result.schedule, instance_);
+  if (observer_ != nullptr) observer_->on_finish(result);
   return result;
 }
 
 }  // namespace
 
 SimResult ReferenceSimulate(const Instance& instance, int m,
-                            Scheduler& scheduler, const SimOptions& options) {
-  ReferenceEngine engine(instance, m, scheduler, options);
+                            Scheduler& scheduler, const RunContext& context) {
+  ReferenceEngine engine(instance, m, scheduler, context);
   return engine.run();
+}
+
+SimResult ReferenceSimulate(const Instance& instance, int m,
+                            Scheduler& scheduler, const SimOptions& options) {
+  return ReferenceSimulate(instance, m, scheduler,
+                           RunContext{options, nullptr});
 }
 
 }  // namespace otsched

@@ -1,0 +1,156 @@
+// The run API: options, observers, and the RunContext that carries both.
+//
+// A RunObserver is the streaming counterpart of the post-hoc SimResult:
+// the engine calls its hooks while a run executes, in a fixed order per
+// visited slot,
+//
+//   on_run_begin                          (once, before the first slot)
+//   on_slot_begin -> on_arrival* -> on_pick -> on_execute* -> on_complete*
+//   on_finish                             (once, after flows are computed)
+//
+// with the per-slot ordering guarantees the event trace relies on:
+// arrivals fire before the slot's pick, executes fire in placement order,
+// completes fire after every execute of the slot in ascending job id —
+// exactly the order DeriveTrace reconstructs post-hoc, so a streaming
+// trace sink and the derived trace are interchangeable (and cross-checked
+// as an oracle by the differential fuzz harness).
+//
+// Observers are engine-side instrumentation, not policies: hooks receive
+// the full EngineBackend and are not subject to the clairvoyance gate.
+// A null observer costs one predictable branch per hook site; with no
+// observer attached the engine is bit-identical to the uninstrumented
+// one (enforced by tests/engine_equivalence_test.cc).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace otsched {
+
+class EngineBackend;
+struct SimResult;
+
+/// Overrides a scheduler's clairvoyance declaration for one run.  Tests
+/// use kDeny to prove a policy never touches job DAGs (it would abort if
+/// it did) and kAllow to grant DAG access to ad-hoc probes.
+enum class ClairvoyanceOverride {
+  kPolicyDefault,  // honour Scheduler::requires_clairvoyance()
+  kDeny,           // run with DAG access disabled regardless
+  kAllow,          // run with DAG access enabled regardless
+};
+
+struct SimOptions {
+  /// Hard cap on the simulated horizon; 0 means "auto" (a generous bound
+  /// derived from the instance; exceeding it aborts, catching schedulers
+  /// that stop making progress).
+  Time max_horizon = 0;
+
+  /// Clairvoyance override for this run (kPolicyDefault = ask the policy).
+  ClairvoyanceOverride clairvoyance = ClairvoyanceOverride::kPolicyDefault;
+};
+
+/// Streaming hooks fired by every engine (Simulate, ReferenceSimulate,
+/// and the advsim adaptive engine).  All hooks default to no-ops so sinks
+/// override only what they consume.
+class RunObserver {
+ public:
+  virtual ~RunObserver() = default;
+
+  /// Once, after schedulers are reset and before the first slot.
+  virtual void on_run_begin(const EngineBackend& engine) { (void)engine; }
+
+  /// Start of a visited slot, before its arrivals are delivered.  Slots
+  /// fast-forwarded over (nothing alive, no pending arrival due) are not
+  /// visited and fire no hooks.
+  virtual void on_slot_begin(Time slot, const EngineBackend& engine) {
+    (void)slot;
+    (void)engine;
+  }
+
+  /// A job became schedulable (slot == release + 1), after the engine
+  /// published its roots and notified the scheduler.
+  virtual void on_arrival(Time slot, JobId job) {
+    (void)slot;
+    (void)job;
+  }
+
+  /// The scheduler's (already validated) picks for the slot, before they
+  /// execute.  `engine` reflects the state the scheduler saw;
+  /// `pick_seconds` is the wall-clock cost of the pick() call.
+  virtual void on_pick(Time slot, const EngineBackend& engine,
+                       std::span<const SubjobRef> picks,
+                       double pick_seconds) {
+    (void)slot;
+    (void)engine;
+    (void)picks;
+    (void)pick_seconds;
+  }
+
+  /// One subjob executed, in placement order within the slot.
+  virtual void on_execute(Time slot, SubjobRef ref) {
+    (void)slot;
+    (void)ref;
+  }
+
+  /// A job ran its last subjob this slot.  Fired after every on_execute
+  /// of the slot, in ascending job id.
+  virtual void on_complete(Time slot, JobId job) {
+    (void)slot;
+    (void)job;
+  }
+
+  /// Once, with the finished result (flows and stats computed).
+  virtual void on_finish(const SimResult& result) { (void)result; }
+};
+
+/// Fans every hook out to a list of borrowed observers, in order.  The
+/// one multiplexer, so engines only ever carry a single observer pointer.
+class ObserverList final : public RunObserver {
+ public:
+  ObserverList() = default;
+  void add(RunObserver* observer) {
+    if (observer != nullptr) observers_.push_back(observer);
+  }
+  bool empty() const { return observers_.empty(); }
+
+  void on_run_begin(const EngineBackend& engine) override {
+    for (RunObserver* o : observers_) o->on_run_begin(engine);
+  }
+  void on_slot_begin(Time slot, const EngineBackend& engine) override {
+    for (RunObserver* o : observers_) o->on_slot_begin(slot, engine);
+  }
+  void on_arrival(Time slot, JobId job) override {
+    for (RunObserver* o : observers_) o->on_arrival(slot, job);
+  }
+  void on_pick(Time slot, const EngineBackend& engine,
+               std::span<const SubjobRef> picks, double pick_seconds) override {
+    for (RunObserver* o : observers_) {
+      o->on_pick(slot, engine, picks, pick_seconds);
+    }
+  }
+  void on_execute(Time slot, SubjobRef ref) override {
+    for (RunObserver* o : observers_) o->on_execute(slot, ref);
+  }
+  void on_complete(Time slot, JobId job) override {
+    for (RunObserver* o : observers_) o->on_complete(slot, job);
+  }
+  void on_finish(const SimResult& result) override {
+    for (RunObserver* o : observers_) o->on_finish(result);
+  }
+
+ private:
+  std::vector<RunObserver*> observers_;
+};
+
+/// Everything a run needs besides (instance, m, scheduler): the options
+/// and an optional borrowed observer.  The primary argument of Simulate /
+/// ReferenceSimulate / RunAdaptiveAdversary; bare-SimOptions overloads
+/// remain as compatibility shims.
+struct RunContext {
+  SimOptions options;
+  RunObserver* observer = nullptr;
+};
+
+}  // namespace otsched

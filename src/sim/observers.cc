@@ -1,0 +1,214 @@
+#include "sim/observers.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.h"
+#include "job/serialize.h"
+
+namespace otsched {
+namespace {
+
+/// Flow times are slot counts; powers of two to 2^20 cover every
+/// experiment horizon in the repository.
+std::vector<double> FlowBuckets() {
+  std::vector<double> bounds;
+  for (int p = 0; p <= 20; ++p) {
+    bounds.push_back(static_cast<double>(std::int64_t{1} << p));
+  }
+  return bounds;
+}
+
+/// Decades from 100ns to 1s: pick() of every implemented policy lands in
+/// the first few buckets; the tail catches pathological policies.
+std::vector<double> PickSecondsBuckets() {
+  std::vector<double> bounds;
+  for (int p = -7; p <= 0; ++p) {
+    bounds.push_back(std::pow(10.0, p));
+  }
+  return bounds;
+}
+
+const char* ToString(ClairvoyanceOverride mode) {
+  switch (mode) {
+    case ClairvoyanceOverride::kPolicyDefault:
+      return "policy-default";
+    case ClairvoyanceOverride::kDeny:
+      return "deny";
+    case ClairvoyanceOverride::kAllow:
+      return "allow";
+  }
+  return "policy-default";
+}
+
+}  // namespace
+
+std::uint64_t FingerprintInstance(const Instance& instance) {
+  const std::string text = InstanceToText(instance);
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+RunManifest MakeRunManifest(const Instance& instance, int m,
+                            const std::string& policy, std::uint64_t seed,
+                            const SimOptions& options) {
+  RunManifest manifest;
+  manifest.instance_name = instance.name();
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(FingerprintInstance(instance)));
+  manifest.instance_hash = hex;
+  manifest.jobs = instance.job_count();
+  manifest.total_work = instance.total_work();
+  manifest.policy = policy;
+  manifest.m = m;
+  manifest.seed = seed;
+  manifest.max_horizon = options.max_horizon;
+  manifest.clairvoyance = ToString(options.clairvoyance);
+  return manifest;
+}
+
+std::string RunManifest::to_json() const {
+  std::string out = "{\n";
+  out += "  \"instance\": " + JsonString(instance_name) + ",\n";
+  out += "  \"instance_hash\": " + JsonString(instance_hash) + ",\n";
+  out += "  \"jobs\": " + std::to_string(jobs) + ",\n";
+  out += "  \"total_work\": " + std::to_string(total_work) + ",\n";
+  out += "  \"policy\": " + JsonString(policy) + ",\n";
+  out += "  \"m\": " + std::to_string(m) + ",\n";
+  out += "  \"seed\": " + std::to_string(seed) + ",\n";
+  out += "  \"max_horizon\": " + std::to_string(max_horizon) + ",\n";
+  out += "  \"clairvoyance\": " + JsonString(clairvoyance) + "\n";
+  out += "}\n";
+  return out;
+}
+
+void WriteManifest(MetricsRegistry& registry, const RunManifest& manifest) {
+  registry.set_manifest("instance", manifest.instance_name);
+  registry.set_manifest("instance_hash", manifest.instance_hash);
+  registry.set_manifest("jobs", manifest.jobs);
+  registry.set_manifest("total_work", manifest.total_work);
+  registry.set_manifest("policy", manifest.policy);
+  registry.set_manifest("m", static_cast<std::int64_t>(manifest.m));
+  registry.set_manifest("seed", static_cast<std::int64_t>(manifest.seed));
+  registry.set_manifest("max_horizon", manifest.max_horizon);
+  registry.set_manifest("clairvoyance", manifest.clairvoyance);
+}
+
+MetricsObserver::MetricsObserver(MetricsRegistry& registry, Options options)
+    : registry_(registry), options_(options) {}
+
+void MetricsObserver::on_run_begin(const EngineBackend& engine) {
+  m_ = engine.m();
+  // Touch every metric up front so the emitted JSON has a stable shape
+  // (an empty run still serializes all keys).
+  registry_.counter("observer.arrivals");
+  registry_.counter("observer.completions");
+  registry_.counter("observer.executes");
+  registry_.counter("observer.picks");
+  registry_.counter("observer.slots_visited");
+  registry_.counter("engine.busy_slots");
+  registry_.counter("engine.executed_subjobs");
+  registry_.counter("engine.idle_processor_slots");
+  registry_.counter("flow.total_slots");
+  registry_.gauge("engine.horizon");
+  registry_.gauge("flow.max");
+  registry_.gauge("alive.width");
+  registry_.gauge("ready.width");
+  registry_.gauge("utilization.mean");
+  registry_.histogram("flow.slots", FlowBuckets());
+  if (options_.record_pick_times) {
+    registry_.histogram("pick.seconds", PickSecondsBuckets());
+  }
+  if (options_.record_series) {
+    registry_.series("slot.busy");
+    registry_.series("slot.idle");
+    registry_.series("slot.ready_width");
+    registry_.series("slot.alive");
+  }
+}
+
+void MetricsObserver::on_slot_begin(Time slot, const EngineBackend& engine) {
+  (void)slot;
+  (void)engine;
+  registry_.counter("observer.slots_visited").inc();
+}
+
+void MetricsObserver::on_arrival(Time slot, JobId job) {
+  (void)slot;
+  (void)job;
+  registry_.counter("observer.arrivals").inc();
+}
+
+void MetricsObserver::on_pick(Time slot, const EngineBackend& engine,
+                              std::span<const SubjobRef> picks,
+                              double pick_seconds) {
+  registry_.counter("observer.picks").inc();
+  // Sampled post-arrival, pre-execution: exactly what the scheduler saw.
+  const std::int64_t alive =
+      static_cast<std::int64_t>(engine.alive().size());
+  std::int64_t ready_width = 0;
+  for (const JobId id : engine.alive()) {
+    ready_width += static_cast<std::int64_t>(engine.ready(id).size());
+  }
+  registry_.gauge("alive.width").set(static_cast<double>(alive));
+  registry_.gauge("ready.width").set(static_cast<double>(ready_width));
+  if (options_.record_series) {
+    const std::int64_t busy = static_cast<std::int64_t>(picks.size());
+    registry_.series("slot.busy").record(slot, busy);
+    registry_.series("slot.idle").record(slot, m_ - busy);
+    registry_.series("slot.ready_width").record(slot, ready_width);
+    registry_.series("slot.alive").record(slot, alive);
+  }
+  if (options_.record_pick_times) {
+    registry_.histogram("pick.seconds", {}).observe(pick_seconds);
+  }
+}
+
+void MetricsObserver::on_execute(Time slot, SubjobRef ref) {
+  (void)slot;
+  (void)ref;
+  registry_.counter("observer.executes").inc();
+}
+
+void MetricsObserver::on_complete(Time slot, JobId job) {
+  (void)slot;
+  (void)job;
+  registry_.counter("observer.completions").inc();
+}
+
+void MetricsObserver::on_finish(const SimResult& result) {
+  // Authoritative end-of-run figures, copied verbatim from the result the
+  // caller receives: metrics consumers and SimStats/FlowSummary readers
+  // must never disagree.
+  registry_.counter("engine.busy_slots").set(result.stats.busy_slots);
+  registry_.counter("engine.executed_subjobs")
+      .set(result.stats.executed_subjobs);
+  registry_.counter("engine.idle_processor_slots")
+      .set(result.stats.idle_processor_slots);
+  registry_.gauge("engine.horizon")
+      .set(static_cast<double>(result.stats.horizon));
+  registry_.gauge("flow.max")
+      .set(static_cast<double>(result.flows.max_flow));
+  Histogram& flow_hist = registry_.histogram("flow.slots", {});
+  std::int64_t total_flow = 0;
+  for (std::size_t i = 0; i < result.flows.flow.size(); ++i) {
+    const Time flow = result.flows.flow[i];
+    if (flow == kInfiniteTime) continue;  // unfinished job (capped runs)
+    flow_hist.observe(static_cast<double>(flow));
+    total_flow += flow;
+  }
+  registry_.counter("flow.total_slots").set(total_flow);
+  const double capacity =
+      static_cast<double>(m_) * static_cast<double>(result.stats.horizon);
+  registry_.gauge("utilization.mean")
+      .set(capacity > 0.0
+               ? static_cast<double>(result.stats.executed_subjobs) / capacity
+               : 0.0);
+}
+
+}  // namespace otsched

@@ -1,0 +1,106 @@
+// Standard RunObserver sinks: the metrics feed, the streaming trace, and
+// the run manifest.
+//
+// MetricsObserver turns the hook stream into a MetricsRegistry — per-slot
+// utilization/idle/ready-width/alive series, hook counters, flow-time
+// histograms, per-pick wall time — the quantities the paper reasons about
+// (idle slots in the Lemma 5.2 head/tail shape, backlog growth in the
+// Theorem 4.2 adversary; see docs/OBSERVABILITY.md for the full map).
+// StreamingTraceObserver emits, online, the exact EventTrace that
+// DeriveTrace reconstructs post-hoc; the fuzz harness cross-checks the
+// two as an oracle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/metrics.h"
+#include "job/instance.h"
+#include "sim/engine.h"
+#include "sim/trace.h"
+
+namespace otsched {
+
+/// Provenance of one run: enough to reproduce it bit-for-bit.
+struct RunManifest {
+  std::string instance_name;
+  std::string instance_hash;  // FNV-1a 64 over the serialized instance
+  std::int64_t jobs = 0;
+  std::int64_t total_work = 0;
+  std::string policy;
+  int m = 0;
+  std::uint64_t seed = 0;
+  Time max_horizon = 0;              // 0 = auto
+  std::string clairvoyance;          // "policy-default" | "deny" | "allow"
+
+  /// Standalone manifest document (the CI artifact format).
+  std::string to_json() const;
+};
+
+/// FNV-1a 64 fingerprint of the instance's canonical text serialization.
+std::uint64_t FingerprintInstance(const Instance& instance);
+
+/// Assembles the manifest for a (instance, m, policy, seed, options) run.
+RunManifest MakeRunManifest(const Instance& instance, int m,
+                            const std::string& policy, std::uint64_t seed,
+                            const SimOptions& options);
+
+/// Copies the manifest into a registry's manifest section, so metrics
+/// JSON is self-describing.
+void WriteManifest(MetricsRegistry& registry, const RunManifest& manifest);
+
+/// Feeds a borrowed MetricsRegistry from the hook stream.  Metric names
+/// and semantics are documented in docs/OBSERVABILITY.md; everything
+/// except the pick wall-time histogram is deterministic for a fixed
+/// (instance, policy, seed, m).
+class MetricsObserver final : public RunObserver {
+ public:
+  struct Options {
+    /// Record the pick() wall-time histogram (the one nondeterministic
+    /// metric; disable for golden tests and determinism checks).
+    bool record_pick_times = true;
+    /// Record the per-slot series (busy/idle/ready-width/alive).
+    bool record_series = true;
+  };
+
+  explicit MetricsObserver(MetricsRegistry& registry)
+      : MetricsObserver(registry, Options()) {}
+  MetricsObserver(MetricsRegistry& registry, Options options);
+
+  void on_run_begin(const EngineBackend& engine) override;
+  void on_slot_begin(Time slot, const EngineBackend& engine) override;
+  void on_arrival(Time slot, JobId job) override;
+  void on_pick(Time slot, const EngineBackend& engine,
+               std::span<const SubjobRef> picks, double pick_seconds) override;
+  void on_execute(Time slot, SubjobRef ref) override;
+  void on_complete(Time slot, JobId job) override;
+  void on_finish(const SimResult& result) override;
+
+ private:
+  MetricsRegistry& registry_;
+  Options options_;
+  int m_ = 1;
+};
+
+/// Appends arrive/exec/done events to a borrowed EventTrace as the run
+/// executes.  The result is byte-identical to
+/// DeriveTrace(result.schedule, instance) for every engine.
+class StreamingTraceObserver final : public RunObserver {
+ public:
+  explicit StreamingTraceObserver(EventTrace& out) : out_(out) {}
+
+  void on_arrival(Time slot, JobId job) override {
+    out_.add(TraceEvent{slot, TraceEventKind::kArrival, job, kInvalidNode});
+  }
+  void on_execute(Time slot, SubjobRef ref) override {
+    out_.add(TraceEvent{slot, TraceEventKind::kExecute, ref.job, ref.node});
+  }
+  void on_complete(Time slot, JobId job) override {
+    out_.add(TraceEvent{slot, TraceEventKind::kComplete, job, kInvalidNode});
+  }
+
+ private:
+  EventTrace& out_;
+};
+
+}  // namespace otsched

@@ -1,6 +1,7 @@
 #include "sim/trace.h"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 
 #include "common/assert.h"
@@ -39,38 +40,92 @@ std::string EventTrace::to_text() const {
   return out.str();
 }
 
-EventTrace EventTrace::from_text(const std::string& text) {
+namespace {
+
+/// Strict token-to-integer parse: all digits, no sign, fits the target.
+template <typename Int>
+bool ParseNonNegative(const std::string& token, Int* out) {
+  if (token.empty()) return false;
+  Int value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return false;
+    const Int digit = static_cast<Int>(c - '0');
+    if (value > (std::numeric_limits<Int>::max() - digit) / 10) return false;
+    value = static_cast<Int>(value * 10 + digit);
+  }
+  *out = value;
+  return true;
+}
+
+bool IsBlank(const std::string& line) {
+  return line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+}  // namespace
+
+std::optional<EventTrace> EventTrace::try_from_text(const std::string& text,
+                                                    std::string* error) {
   EventTrace trace;
   std::istringstream in(text);
   std::string line;
   int line_number = 0;
+  auto fail = [&](const std::string& what) -> std::optional<EventTrace> {
+    if (error != nullptr) {
+      *error = "trace line " + std::to_string(line_number) + ": " + what;
+    }
+    return std::nullopt;
+  };
   while (std::getline(in, line)) {
     ++line_number;
-    if (line.empty()) continue;
+    if (IsBlank(line)) continue;
     std::istringstream fields(line);
+    std::vector<std::string> tokens;
+    std::string token;
+    while (fields >> token) tokens.push_back(token);
+
     TraceEvent event;
-    std::string kind;
-    OTSCHED_CHECK(static_cast<bool>(fields >> event.slot >> kind),
-                  "trace line " << line_number << " malformed");
+    if (tokens.size() < 2) return fail("malformed (needs <slot> <kind> ...)");
+    if (!ParseNonNegative(tokens[0], &event.slot) || event.slot < 1) {
+      return fail("malformed slot '" + tokens[0] + "' (want integer >= 1)");
+    }
+    const std::string& kind = tokens[1];
+    std::size_t expected = 0;
     if (kind == "arrive") {
       event.kind = TraceEventKind::kArrival;
-      OTSCHED_CHECK(static_cast<bool>(fields >> event.job),
-                    "trace line " << line_number);
+      expected = 3;
     } else if (kind == "exec") {
       event.kind = TraceEventKind::kExecute;
-      OTSCHED_CHECK(static_cast<bool>(fields >> event.job >> event.node),
-                    "trace line " << line_number);
+      expected = 4;
     } else if (kind == "done") {
       event.kind = TraceEventKind::kComplete;
-      OTSCHED_CHECK(static_cast<bool>(fields >> event.job),
-                    "trace line " << line_number);
+      expected = 3;
     } else {
-      OTSCHED_CHECK(false, "trace line " << line_number << ": bad kind '"
-                                         << kind << "'");
+      return fail("bad kind '" + kind + "' (want arrive|exec|done)");
+    }
+    if (tokens.size() < expected) {
+      return fail("malformed " + kind + " event (missing " +
+                  (expected == 4 && tokens.size() == 3 ? "node" : "job") +
+                  ")");
+    }
+    if (tokens.size() > expected) {
+      return fail("trailing token '" + tokens[expected] + "'");
+    }
+    if (!ParseNonNegative(tokens[2], &event.job)) {
+      return fail("malformed job id '" + tokens[2] + "'");
+    }
+    if (expected == 4 && !ParseNonNegative(tokens[3], &event.node)) {
+      return fail("malformed node id '" + tokens[3] + "'");
     }
     trace.add(event);
   }
   return trace;
+}
+
+EventTrace EventTrace::from_text(const std::string& text) {
+  std::string error;
+  std::optional<EventTrace> trace = try_from_text(text, &error);
+  OTSCHED_CHECK(trace.has_value(), error);
+  return *std::move(trace);
 }
 
 EventTrace DeriveTrace(const Schedule& schedule, const Instance& instance) {

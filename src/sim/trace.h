@@ -6,6 +6,7 @@
 // serialize to a line format stable enough for golden tests.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,15 @@ class EventTrace {
 
   /// One line per event: "<slot> arrive|exec|done <job> [<node>]".
   std::string to_text() const;
+
+  /// Strict parser for the to_text format.  Blank / whitespace-only lines
+  /// are skipped; anything else malformed (non-numeric or non-positive
+  /// slot, unknown kind token, missing node on exec, negative ids,
+  /// trailing tokens) yields nullopt with a diagnostic naming the line.
+  static std::optional<EventTrace> try_from_text(const std::string& text,
+                                                 std::string* error = nullptr);
+
+  /// try_from_text that aborts (OTSCHED_CHECK) on malformed input.
   static EventTrace from_text(const std::string& text);
 
   friend bool operator==(const EventTrace&, const EventTrace&) = default;

@@ -22,9 +22,63 @@
 #include "job/serialize.h"
 #include "sched/registry.h"
 #include "sim/engine.h"
+#include "sim/observers.h"
+#include "sim/trace.h"
 
 namespace otsched {
 namespace {
+
+/// Flattens every hook invocation into one comparable line, so two hook
+/// streams can be diffed like traces (pick wall times excluded — the one
+/// nondeterministic hook argument).
+class HookRecorder final : public RunObserver {
+ public:
+  void on_run_begin(const EngineBackend& engine) override {
+    std::ostringstream line;
+    line << "begin m=" << engine.m() << " jobs=" << engine.job_count();
+    lines_.push_back(line.str());
+  }
+  void on_slot_begin(Time slot, const EngineBackend& engine) override {
+    std::ostringstream line;
+    line << "slot " << slot << " alive=" << engine.alive().size();
+    lines_.push_back(line.str());
+  }
+  void on_arrival(Time slot, JobId job) override {
+    std::ostringstream line;
+    line << "arrive " << slot << ' ' << job;
+    lines_.push_back(line.str());
+  }
+  void on_pick(Time slot, const EngineBackend&,
+               std::span<const SubjobRef> picks, double) override {
+    std::ostringstream line;
+    line << "pick " << slot;
+    for (const SubjobRef& ref : picks) {
+      line << ' ' << ref.job << ':' << ref.node;
+    }
+    lines_.push_back(line.str());
+  }
+  void on_execute(Time slot, SubjobRef ref) override {
+    std::ostringstream line;
+    line << "exec " << slot << ' ' << ref.job << ':' << ref.node;
+    lines_.push_back(line.str());
+  }
+  void on_complete(Time slot, JobId job) override {
+    std::ostringstream line;
+    line << "done " << slot << ' ' << job;
+    lines_.push_back(line.str());
+  }
+  void on_finish(const SimResult& result) override {
+    std::ostringstream line;
+    line << "finish horizon=" << result.stats.horizon
+         << " max_flow=" << result.flows.max_flow;
+    lines_.push_back(line.str());
+  }
+
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ private:
+  std::vector<std::string> lines_;
+};
 
 void ExpectIdenticalSchedules(const Schedule& incremental,
                               const Schedule& reference,
@@ -92,6 +146,39 @@ void CheckAllPolicies(const Instance& instance, int m,
     const SimResult reference =
         ReferenceSimulate(instance, m, *reference_scheduler);
     ExpectIdenticalRuns(incremental, reference, label.str());
+
+    // Observer leg: attaching sinks must not perturb the run (the same
+    // bit-identical schedule), the streamed trace must equal DeriveTrace,
+    // and both engines must fire byte-identical hook streams.
+    auto observed_scheduler =
+        spec.needs_semi_batched ? spec.make_semi_batched(known_opt)
+                                : spec.make(seed);
+    HookRecorder recorder;
+    EventTrace streamed;
+    StreamingTraceObserver tracer(streamed);
+    ObserverList observers;
+    observers.add(&recorder);
+    observers.add(&tracer);
+    RunContext context;
+    context.observer = &observers;
+    const SimResult observed =
+        Simulate(instance, m, *observed_scheduler, context);
+    ExpectIdenticalRuns(observed, incremental, label.str() + " [observed]");
+    EXPECT_EQ(FirstDivergence(streamed,
+                              DeriveTrace(observed.schedule, instance)),
+              -1)
+        << label.str() << " [streamed trace]";
+
+    auto reference_observed_scheduler =
+        spec.needs_semi_batched ? spec.make_semi_batched(known_opt)
+                                : spec.make(seed);
+    HookRecorder reference_recorder;
+    RunContext reference_context;
+    reference_context.observer = &reference_recorder;
+    ReferenceSimulate(instance, m, *reference_observed_scheduler,
+                      reference_context);
+    EXPECT_EQ(recorder.lines(), reference_recorder.lines())
+        << label.str() << " [hook stream]";
   }
 }
 

@@ -276,7 +276,7 @@ TEST(Engine, ForceClairvoyanceOverride) {
     }
   } reader;
   SimOptions options;
-  options.force_clairvoyance = 1;
+  options.clairvoyance = ClairvoyanceOverride::kAllow;
   const SimResult result = Simulate(instance, 1, reader, options);
   EXPECT_TRUE(result.flows.all_completed);
 }

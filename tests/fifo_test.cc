@@ -122,7 +122,7 @@ TEST(Fifo, NonClairvoyantVariantsRunWithDagAccessDisabled) {
   const Instance instance = MixedTreeInstance(99, 8);
   FifoScheduler fifo;
   SimOptions options;
-  options.force_clairvoyance = 0;
+  options.clairvoyance = ClairvoyanceOverride::kDeny;
   const SimResult result = Simulate(instance, 3, fifo, options);
   EXPECT_TRUE(result.flows.all_completed);
 }

@@ -1,0 +1,487 @@
+// Tests for the observability layer: the RunObserver hook contract
+// (sim/observer.h), the standard sinks (sim/observers.h), the metrics
+// registry (common/metrics.h), and the instrumented batch runner.
+#include "gtest_compat.h"
+
+#include <sstream>
+
+#include "advsim/adaptive.h"
+#include "analysis/ratio.h"
+#include "analysis/sweep.h"
+#include "common/metrics.h"
+#include "dag/builders.h"
+#include "gen/arrivals.h"
+#include "gen/random_trees.h"
+#include "sched/fifo.h"
+#include "sched/registry.h"
+#include "sim/batch_runner.h"
+#include "sim/engine.h"
+#include "sim/observers.h"
+#include "sim/trace.h"
+
+namespace otsched {
+namespace {
+
+Instance MixedInstance(std::uint64_t seed, int jobs) {
+  Rng rng(seed);
+  return MakePoissonArrivals(
+      jobs, 0.25,
+      [](std::int64_t i, Rng& r) {
+        return MakeTree(static_cast<TreeFamily>(i % 4),
+                        static_cast<NodeId>(6 + r.next_below(18)), r);
+      },
+      rng);
+}
+
+/// Records every hook as a typed event for ordering assertions.
+class OrderingObserver final : public RunObserver {
+ public:
+  enum Kind { kBegin, kSlot, kArrive, kPick, kExec, kDone, kFinish };
+  struct Event {
+    Kind kind;
+    Time slot;
+    JobId job;
+  };
+
+  void on_run_begin(const EngineBackend&) override {
+    events_.push_back({kBegin, 0, kInvalidJob});
+  }
+  void on_slot_begin(Time slot, const EngineBackend&) override {
+    events_.push_back({kSlot, slot, kInvalidJob});
+  }
+  void on_arrival(Time slot, JobId job) override {
+    events_.push_back({kArrive, slot, job});
+  }
+  void on_pick(Time slot, const EngineBackend&, std::span<const SubjobRef>,
+               double pick_seconds) override {
+    EXPECT_GE(pick_seconds, 0.0);
+    events_.push_back({kPick, slot, kInvalidJob});
+  }
+  void on_execute(Time slot, SubjobRef ref) override {
+    events_.push_back({kExec, slot, ref.job});
+  }
+  void on_complete(Time slot, JobId job) override {
+    events_.push_back({kDone, slot, job});
+  }
+  void on_finish(const SimResult&) override {
+    events_.push_back({kFinish, 0, kInvalidJob});
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+
+ private:
+  std::vector<Event> events_;
+};
+
+TEST(ObserverHooks, FireInTheDocumentedOrder) {
+  const Instance instance = MixedInstance(2024, 8);
+  FifoScheduler fifo;
+  OrderingObserver observer;
+  RunContext context;
+  context.observer = &observer;
+  const SimResult result = Simulate(instance, 3, fifo, context);
+
+  const auto& events = observer.events();
+  ASSERT_FALSE(events.empty());
+  // Exactly one begin (first) and one finish (last).
+  EXPECT_EQ(events.front().kind, OrderingObserver::kBegin);
+  EXPECT_EQ(events.back().kind, OrderingObserver::kFinish);
+  for (std::size_t i = 1; i + 1 < events.size(); ++i) {
+    EXPECT_NE(events[i].kind, OrderingObserver::kBegin);
+    EXPECT_NE(events[i].kind, OrderingObserver::kFinish);
+  }
+
+  // Per slot: slot_begin, then arrivals, then exactly one pick, then
+  // executes, then completes — never interleaved out of phase.
+  Time slot = 0;
+  int phase = 0;  // 0=slot_begin 1=arrivals 2=pick 3=executes 4=completes
+  int picks_this_slot = 0;
+  for (std::size_t i = 1; i + 1 < events.size(); ++i) {
+    const auto& e = events[i];
+    switch (e.kind) {
+      case OrderingObserver::kSlot:
+        EXPECT_GT(e.slot, slot) << "slots must advance strictly";
+        slot = e.slot;
+        phase = 0;
+        picks_this_slot = 0;
+        break;
+      case OrderingObserver::kArrive:
+        EXPECT_EQ(e.slot, slot);
+        EXPECT_LE(phase, 1) << "arrival after pick at slot " << slot;
+        phase = 1;
+        break;
+      case OrderingObserver::kPick:
+        EXPECT_EQ(e.slot, slot);
+        EXPECT_LE(phase, 1) << "second pick in slot " << slot;
+        EXPECT_EQ(++picks_this_slot, 1);
+        phase = 2;
+        break;
+      case OrderingObserver::kExec:
+        EXPECT_EQ(e.slot, slot);
+        EXPECT_GE(phase, 2) << "execute before pick at slot " << slot;
+        EXPECT_LE(phase, 3) << "execute after complete at slot " << slot;
+        phase = 3;
+        break;
+      case OrderingObserver::kDone:
+        EXPECT_EQ(e.slot, slot);
+        EXPECT_GE(phase, 3) << "complete before any execute at slot "
+                            << slot;
+        phase = 4;
+        break;
+      default:
+        FAIL() << "unexpected event kind mid-run";
+    }
+  }
+
+  // Arrival slots honour the release+1 convention; every job arrives and
+  // completes exactly once.
+  std::vector<int> arrived(static_cast<std::size_t>(instance.job_count()), 0);
+  std::vector<int> completed(static_cast<std::size_t>(instance.job_count()),
+                             0);
+  for (const auto& e : observer.events()) {
+    if (e.kind == OrderingObserver::kArrive) {
+      ++arrived[static_cast<std::size_t>(e.job)];
+      EXPECT_EQ(e.slot, instance.job(e.job).release() + 1);
+    }
+    if (e.kind == OrderingObserver::kDone) {
+      ++completed[static_cast<std::size_t>(e.job)];
+      EXPECT_EQ(e.slot, result.flows.completion[static_cast<std::size_t>(
+                            e.job)]);
+    }
+  }
+  for (JobId id = 0; id < instance.job_count(); ++id) {
+    EXPECT_EQ(arrived[static_cast<std::size_t>(id)], 1) << "job " << id;
+    EXPECT_EQ(completed[static_cast<std::size_t>(id)], 1) << "job " << id;
+  }
+}
+
+TEST(ObserverHooks, StreamingTraceMatchesDeriveTraceForAllPolicies) {
+  const Instance instance = MixedInstance(77, 6);
+  for (const PolicySpec& spec : AllPolicies()) {
+    for (int m : {2, 4}) {
+      if (!PolicyApplies(spec, instance.all_out_forests(),
+                         /*semi_batched_certified=*/false, m)) {
+        continue;
+      }
+      auto scheduler = spec.make(5);
+      EventTrace streamed;
+      StreamingTraceObserver tracer(streamed);
+      RunContext context;
+      context.observer = &tracer;
+      const SimResult result = Simulate(instance, m, *scheduler, context);
+      EXPECT_EQ(FirstDivergence(streamed,
+                                DeriveTrace(result.schedule, instance)),
+                -1)
+          << spec.name << " m=" << m;
+    }
+  }
+}
+
+TEST(ObserverHooks, AdaptiveEngineStreamsTheSameTrace) {
+  AdaptiveAdversaryOptions options;
+  options.m = 3;
+  options.num_jobs = 5;
+  FifoScheduler fifo;
+  EventTrace streamed;
+  StreamingTraceObserver tracer(streamed);
+  OrderingObserver recorder;
+  ObserverList observers;
+  observers.add(&tracer);
+  observers.add(&recorder);
+  RunContext context;
+  context.observer = &observers;
+  const AdaptiveAdversaryResult result =
+      RunAdaptiveAdversary(fifo, options, context);
+  // The adversary materializes the instance it played; the streamed trace
+  // must agree with the canonical derivation over that instance.
+  EXPECT_EQ(
+      FirstDivergence(streamed, DeriveTrace(result.schedule, result.instance)),
+      -1);
+  ASSERT_FALSE(recorder.events().empty());
+  EXPECT_EQ(recorder.events().front().kind, OrderingObserver::kBegin);
+  EXPECT_EQ(recorder.events().back().kind, OrderingObserver::kFinish);
+}
+
+TEST(ObserverList, FansOutInOrderAndSkipsNull) {
+  std::vector<int> order;
+  class Tag final : public RunObserver {
+   public:
+    Tag(std::vector<int>& order, int id) : order_(order), id_(id) {}
+    void on_arrival(Time, JobId) override { order_.push_back(id_); }
+
+   private:
+    std::vector<int>& order_;
+    int id_;
+  };
+  Tag first(order, 1);
+  Tag second(order, 2);
+  ObserverList list;
+  EXPECT_TRUE(list.empty());
+  list.add(nullptr);
+  EXPECT_TRUE(list.empty());
+  list.add(&first);
+  list.add(&second);
+  EXPECT_FALSE(list.empty());
+  list.on_arrival(1, 0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// ---- metrics registry ----
+
+TEST(MetricsRegistry, CountersGaugesHistogramsSeries) {
+  MetricsRegistry registry;
+  registry.counter("c").inc();
+  registry.counter("c").inc(4);
+  EXPECT_EQ(registry.counter("c").value(), 5);
+
+  Gauge& g = registry.gauge("g");
+  g.set(2.0);
+  g.set(8.0);
+  g.set(5.0);
+  EXPECT_EQ(g.last(), 5.0);
+  EXPECT_EQ(g.min(), 2.0);
+  EXPECT_EQ(g.max(), 8.0);
+  EXPECT_EQ(g.mean(), 5.0);
+  EXPECT_EQ(g.count(), 3);
+
+  Histogram& h = registry.histogram("h", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(100.0);  // overflow bucket
+  EXPECT_EQ(h.bucket_counts(), (std::vector<std::int64_t>{1, 1, 1}));
+  EXPECT_EQ(h.count(), 3);
+
+  Series& s = registry.series("s");
+  s.record(1, 10);
+  s.record(4, 20);
+  EXPECT_EQ(s.slots(), (std::vector<std::int64_t>{1, 4}));
+  EXPECT_EQ(s.values(), (std::vector<std::int64_t>{10, 20}));
+}
+
+TEST(MetricsRegistry, MergeSumsCountersPoolsGaugesAndAlignsSeries) {
+  MetricsRegistry a;
+  a.counter("n").set(3);
+  a.gauge("g").set(1.0);
+  a.histogram("h", {2.0}).observe(1.0);
+  a.series("s").record(1, 5);
+  a.series("s").record(2, 5);
+
+  MetricsRegistry b;
+  b.counter("n").set(4);
+  b.gauge("g").set(9.0);
+  b.histogram("h", {2.0}).observe(3.0);
+  b.series("s").record(2, 7);
+  b.series("s").record(3, 7);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.counter("n").value(), 7);
+  EXPECT_EQ(a.gauge("g").min(), 1.0);
+  EXPECT_EQ(a.gauge("g").max(), 9.0);
+  EXPECT_EQ(a.gauge("g").count(), 2);
+  EXPECT_EQ(a.histogram("h", {}).count(), 2);
+  EXPECT_EQ(a.series("s").slots(), (std::vector<std::int64_t>{1, 2, 3}));
+  EXPECT_EQ(a.series("s").values(), (std::vector<std::int64_t>{5, 12, 7}));
+}
+
+TEST(MetricsRegistryDeath, CrossKindNameCollisionAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  MetricsRegistry registry;
+  registry.counter("x");
+  EXPECT_DEATH(registry.gauge("x"), "another kind");
+  MetricsRegistry bounds;
+  bounds.histogram("h", {1.0, 2.0});
+  EXPECT_DEATH(bounds.histogram("h", {1.0, 3.0}), "different");
+}
+
+TEST(MetricsRegistry, JsonIsDeterministicAndSchemaShaped) {
+  auto build = [] {
+    MetricsRegistry registry;
+    registry.set_manifest("policy", std::string("fifo"));
+    registry.set_manifest("m", std::int64_t{4});
+    registry.counter("runs").inc(2);
+    registry.gauge("width").set(3.5);
+    registry.histogram("flow", {1.0, 2.0}).observe(1.5);
+    registry.series("busy").record(1, 4);
+    return registry.to_json();
+  };
+  const std::string json = build();
+  EXPECT_EQ(json, build());
+  for (const char* needle :
+       {"\"schema_version\": 1", "\"manifest\"", "\"counters\"", "\"gauges\"",
+        "\"histograms\"", "\"series\"", "\"runs\": 2", "\"policy\": \"fifo\"",
+        "\"le\": [1, 2]", "\"slots\": [1]"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+}
+
+// ---- MetricsObserver golden run ----
+
+TEST(MetricsObserver, TinyRunMatchesHandComputedRegistry) {
+  // Two single-node jobs released at 0 and 1 on one processor: every
+  // metric is computable by hand, so the full JSON document is a golden
+  // artifact built from first principles rather than a checked-in blob.
+  Instance instance;
+  instance.add_job(Job(MakeChain(1), 0));
+  instance.add_job(Job(MakeChain(1), 1));
+  FifoScheduler fifo;
+
+  MetricsRegistry got;
+  MetricsObserver::Options options;
+  options.record_pick_times = false;  // the one nondeterministic metric
+  MetricsObserver observer(got, options);
+  RunContext context;
+  context.observer = &observer;
+  const SimResult result = Simulate(instance, 1, fifo, context);
+  ASSERT_EQ(result.stats.horizon, 2);
+  ASSERT_EQ(result.flows.max_flow, 1);
+
+  MetricsRegistry want;
+  want.counter("observer.arrivals").set(2);
+  want.counter("observer.completions").set(2);
+  want.counter("observer.executes").set(2);
+  want.counter("observer.picks").set(2);
+  want.counter("observer.slots_visited").set(2);
+  want.counter("engine.busy_slots").set(2);
+  want.counter("engine.executed_subjobs").set(2);
+  want.counter("engine.idle_processor_slots").set(0);
+  want.counter("flow.total_slots").set(2);
+  want.gauge("engine.horizon").set(2.0);
+  want.gauge("flow.max").set(1.0);
+  want.gauge("alive.width").set(1.0);
+  want.gauge("alive.width").set(1.0);
+  want.gauge("ready.width").set(1.0);
+  want.gauge("ready.width").set(1.0);
+  want.gauge("utilization.mean").set(1.0);
+  std::vector<double> flow_bounds;
+  for (int p = 0; p <= 20; ++p) {
+    flow_bounds.push_back(static_cast<double>(std::int64_t{1} << p));
+  }
+  Histogram& flow_hist = want.histogram("flow.slots", flow_bounds);
+  flow_hist.observe(1.0);
+  flow_hist.observe(1.0);
+  want.series("slot.busy").record(1, 1);
+  want.series("slot.busy").record(2, 1);
+  want.series("slot.idle").record(1, 0);
+  want.series("slot.idle").record(2, 0);
+  want.series("slot.ready_width").record(1, 1);
+  want.series("slot.ready_width").record(2, 1);
+  want.series("slot.alive").record(1, 1);
+  want.series("slot.alive").record(2, 1);
+
+  EXPECT_EQ(got.to_json(), want.to_json());
+}
+
+TEST(MetricsObserver, FiguresMatchSimStatsAndFlowSummary) {
+  const Instance instance = MixedInstance(11, 7);
+  FifoScheduler fifo;
+  MetricsRegistry registry;
+  MetricsObserver observer(registry);
+  RunContext context;
+  context.observer = &observer;
+  const SimResult result = Simulate(instance, 3, fifo, context);
+
+  EXPECT_EQ(registry.counter("engine.idle_processor_slots").value(),
+            result.stats.idle_processor_slots);
+  EXPECT_EQ(registry.counter("engine.busy_slots").value(),
+            result.stats.busy_slots);
+  EXPECT_EQ(registry.counter("engine.executed_subjobs").value(),
+            result.stats.executed_subjobs);
+  EXPECT_EQ(registry.gauge("engine.horizon").last(),
+            static_cast<double>(result.stats.horizon));
+  EXPECT_EQ(registry.gauge("flow.max").last(),
+            static_cast<double>(result.flows.max_flow));
+  // Streamed counters cross-check the authoritative figures.
+  EXPECT_EQ(registry.counter("observer.executes").value(),
+            result.stats.executed_subjobs);
+  EXPECT_EQ(registry.counter("observer.slots_visited").value(),
+            result.stats.busy_slots);
+  Time total_flow = 0;
+  for (Time f : result.flows.flow) total_flow += f;
+  EXPECT_EQ(registry.counter("flow.total_slots").value(), total_flow);
+  EXPECT_EQ(registry.histogram("flow.slots", {}).count(),
+            instance.job_count());
+  // Pick timing is on by default and saw one observation per visited slot.
+  EXPECT_EQ(registry.histogram("pick.seconds", {}).count(),
+            registry.counter("observer.picks").value());
+}
+
+// ---- manifest ----
+
+TEST(RunManifest, FingerprintIsStableAndSensitive) {
+  const Instance a = MixedInstance(5, 4);
+  const Instance b = MixedInstance(6, 4);
+  EXPECT_EQ(FingerprintInstance(a), FingerprintInstance(a));
+  EXPECT_NE(FingerprintInstance(a), FingerprintInstance(b));
+}
+
+TEST(RunManifest, CarriesRunProvenance) {
+  const Instance instance = MixedInstance(5, 4);
+  SimOptions options;
+  options.max_horizon = 500;
+  options.clairvoyance = ClairvoyanceOverride::kDeny;
+  const RunManifest manifest =
+      MakeRunManifest(instance, 4, "fifo/first-ready", 99, options);
+  EXPECT_EQ(manifest.jobs, instance.job_count());
+  EXPECT_EQ(manifest.total_work, instance.total_work());
+  EXPECT_EQ(manifest.m, 4);
+  EXPECT_EQ(manifest.seed, 99u);
+  EXPECT_EQ(manifest.max_horizon, 500);
+  EXPECT_EQ(manifest.clairvoyance, "deny");
+  EXPECT_EQ(manifest.instance_hash.size(), 16u);
+
+  const std::string json = manifest.to_json();
+  for (const char* needle :
+       {"\"policy\": \"fifo/first-ready\"", "\"m\": 4", "\"seed\": 99",
+        "\"clairvoyance\": \"deny\"", manifest.instance_hash.c_str()}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+
+  MetricsRegistry registry;
+  WriteManifest(registry, manifest);
+  const std::string metrics_json = registry.to_json();
+  EXPECT_NE(metrics_json.find("\"instance_hash\""), std::string::npos);
+  EXPECT_NE(metrics_json.find(manifest.instance_hash), std::string::npos);
+}
+
+// ---- instrumented batches ----
+
+TEST(BatchRunner, InstrumentedAggregateIsWorkerCountInvariant) {
+  const Instance instance = MixedInstance(321, 6);
+  std::vector<std::pair<const Instance*, int>> cells;
+  for (int m : {2, 3}) {
+    for (int s = 0; s < 3; ++s) cells.emplace_back(&instance, m);
+  }
+  MetricsObserver::Options options;
+  options.record_pick_times = false;
+  auto run_with_workers = [&](std::size_t workers) {
+    const BatchRunner runner(workers);
+    const auto runs = runner.RunInstrumentedSimulations(
+        cells,
+        [&](std::size_t i) {
+          return MakePolicy("fifo/random", static_cast<std::uint64_t>(i % 3),
+                            0);
+        },
+        SimOptions{}, options);
+    return MergedMetrics(runs).to_json();
+  };
+  const std::string inline_run = run_with_workers(0);
+  EXPECT_EQ(inline_run, run_with_workers(1));
+  EXPECT_EQ(inline_run, run_with_workers(3));
+}
+
+TEST(MeasureRatio, RunContextOverloadFiresObservers) {
+  const Instance instance = MixedInstance(9, 5);
+  FifoScheduler fifo;
+  MetricsRegistry registry;
+  MetricsObserver observer(registry);
+  RunContext context;
+  context.observer = &observer;
+  const RatioMeasurement r = MeasureRatio(instance, 2, fifo, 0, context);
+  EXPECT_EQ(registry.counter("engine.idle_processor_slots").value(),
+            r.sim_stats.idle_processor_slots);
+  EXPECT_EQ(registry.gauge("flow.max").last(),
+            static_cast<double>(r.max_flow));
+}
+
+}  // namespace
+}  // namespace otsched

@@ -103,5 +103,55 @@ TEST(TraceDeath, MalformedTextRejected) {
   EXPECT_DEATH(EventTrace::from_text("nonsense\n"), "malformed");
 }
 
+TEST(Trace, TryFromTextAcceptsTheRoundTripFormat) {
+  const std::string text =
+      "1 arrive 0\n"
+      "\n"
+      "  \t \n"  // whitespace-only lines are skipped
+      "1 exec 0 0\n"
+      "2 done 0\n";
+  std::string error;
+  const auto trace = EventTrace::try_from_text(text, &error);
+  ASSERT_TRUE(trace.has_value()) << error;
+  EXPECT_EQ(trace->size(), 3u);
+  EXPECT_EQ(trace->events()[1].kind, TraceEventKind::kExecute);
+  EXPECT_EQ(trace->events()[1].node, 0);
+}
+
+TEST(Trace, TryFromTextRejectsEveryMalformedShape) {
+  struct Case {
+    const char* text;
+    const char* expect;  // substring of the diagnostic
+  };
+  const Case cases[] = {
+      {"x arrive 0\n", "malformed slot"},          // non-numeric slot
+      {"-3 arrive 0\n", "malformed slot"},         // negative slot
+      {"0 arrive 0\n", "malformed slot"},          // slots are 1-based
+      {"1 frobnicate 0\n", "bad kind"},            // unknown kind token
+      {"1 exec 0\n", "missing node"},              // exec needs a node
+      {"1 arrive\n", "malformed"},                 // missing job
+      {"1 arrive 0 7\n", "trailing token"},        // extra field
+      {"1 exec 0 1 2\n", "trailing token"},        // extra field on exec
+      {"1 arrive -2\n", "malformed job id"},       // negative job
+      {"1 exec 0 banana\n", "malformed node id"},  // non-numeric node
+      {"1 arrive 99999999999999999999\n", "malformed job id"},  // overflow
+      {"nonsense\n", "malformed"},                 // not even slot + kind
+  };
+  for (const Case& c : cases) {
+    std::string error;
+    const auto trace = EventTrace::try_from_text(c.text, &error);
+    EXPECT_FALSE(trace.has_value()) << c.text;
+    EXPECT_NE(error.find(c.expect), std::string::npos)
+        << "input " << c.text << " produced diagnostic: " << error;
+    EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  }
+  // The diagnostic names the failing line, not just line 1.
+  std::string error;
+  EXPECT_FALSE(
+      EventTrace::try_from_text("1 arrive 0\n1 exec 0 0\nbroken\n", &error)
+          .has_value());
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+}
+
 }  // namespace
 }  // namespace otsched

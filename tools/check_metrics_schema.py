@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Validates otsched metrics / manifest JSON against tools/metrics_schema.json.
+
+Hand-rolled validator (no third-party jsonschema dependency): it reads the
+required-key lists and manifest constraints from the schema file, then
+enforces the structural invariants the schema prose documents:
+
+  * histograms: len(counts) == len(le) + 1, sum(counts) == count,
+    le strictly increasing
+  * series: len(slots) == len(values), slots strictly increasing
+  * gauges: min <= mean <= max when count > 0
+
+A file containing a "counters" key is validated as a full metrics
+document; anything else is validated as a standalone run manifest.
+
+Usage: check_metrics_schema.py <file.json> [more.json ...]
+Exits nonzero on the first invalid file.
+"""
+
+import json
+import os
+import re
+import sys
+
+SCHEMA_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "metrics_schema.json")
+
+
+class Invalid(Exception):
+    pass
+
+
+def require(cond, message):
+    if not cond:
+        raise Invalid(message)
+
+
+def check_manifest(manifest, schema):
+    spec = schema["properties"]["manifest"]
+    require(isinstance(manifest, dict), "manifest is not an object")
+    for key in spec["required"]:
+        require(key in manifest, f"manifest is missing '{key}'")
+    require(re.fullmatch(spec["properties"]["instance_hash"]["pattern"],
+                         manifest["instance_hash"]),
+            f"bad instance_hash {manifest['instance_hash']!r}")
+    require(manifest["clairvoyance"] in
+            spec["properties"]["clairvoyance"]["enum"],
+            f"bad clairvoyance {manifest['clairvoyance']!r}")
+    for key in ("jobs", "total_work", "m", "seed", "max_horizon"):
+        require(isinstance(manifest[key], int) and not
+                isinstance(manifest[key], bool),
+                f"manifest '{key}' is not an integer")
+    require(manifest["m"] >= 1, "manifest m must be >= 1")
+
+
+def check_metrics(doc, schema):
+    for key in schema["required"]:
+        require(key in doc, f"document is missing '{key}'")
+    require(doc["schema_version"] == 1,
+            f"unsupported schema_version {doc['schema_version']}")
+    check_manifest(doc["manifest"], schema)
+
+    for name, value in doc["counters"].items():
+        require(isinstance(value, int) and not isinstance(value, bool),
+                f"counter '{name}' is not an integer")
+
+    for name, gauge in doc["gauges"].items():
+        for field in ("last", "min", "max", "mean", "count"):
+            require(field in gauge, f"gauge '{name}' is missing '{field}'")
+        if gauge["count"] > 0:
+            require(gauge["min"] <= gauge["mean"] <= gauge["max"],
+                    f"gauge '{name}': mean outside [min, max]")
+
+    for name, hist in doc["histograms"].items():
+        for field in ("le", "counts", "count", "sum"):
+            require(field in hist, f"histogram '{name}' is missing '{field}'")
+        le, counts = hist["le"], hist["counts"]
+        require(len(counts) == len(le) + 1,
+                f"histogram '{name}': {len(counts)} counts for "
+                f"{len(le)} bounds (want bounds + 1)")
+        require(all(a < b for a, b in zip(le, le[1:])),
+                f"histogram '{name}': bounds not strictly increasing")
+        require(sum(counts) == hist["count"],
+                f"histogram '{name}': sum(counts) {sum(counts)} != "
+                f"count {hist['count']}")
+
+    for name, series in doc["series"].items():
+        slots, values = series["slots"], series["values"]
+        require(len(slots) == len(values),
+                f"series '{name}': {len(slots)} slots vs "
+                f"{len(values)} values")
+        require(all(a < b for a, b in zip(slots, slots[1:])),
+                f"series '{name}': slots not strictly increasing")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(SCHEMA_PATH, encoding="utf-8") as f:
+        schema = json.load(f)
+    for path in argv[1:]:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+        try:
+            if "counters" in doc:
+                check_metrics(doc, schema)
+            else:
+                check_manifest(doc, schema)
+        except Invalid as err:
+            print(f"{path}: INVALID: {err}", file=sys.stderr)
+            return 1
+        print(f"{path}: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -46,3 +46,73 @@ execute_process(COMMAND ${CLI} run ${INST} 8 --policy no-such-policy
 if(code EQUAL 0)
   message(FATAL_ERROR "unknown --policy name must fail, got exit 0")
 endif()
+
+# Subcommand surface: list-policies is the canonical spelling; the legacy
+# spellings keep working but point at it on stderr.
+execute_process(COMMAND ${CLI} list-policies RESULT_VARIABLE code
+                OUTPUT_VARIABLE canonical WORKING_DIRECTORY ${WORKDIR})
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "list-policies failed (${code})")
+endif()
+foreach(legacy policies --list-policies)
+  execute_process(COMMAND ${CLI} ${legacy} RESULT_VARIABLE code
+                  OUTPUT_VARIABLE legacy_out ERROR_VARIABLE legacy_err
+                  WORKING_DIRECTORY ${WORKDIR})
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "legacy '${legacy}' failed (${code})")
+  endif()
+  if(NOT legacy_out STREQUAL canonical)
+    message(FATAL_ERROR "legacy '${legacy}' output differs from list-policies")
+  endif()
+  if(NOT legacy_err MATCHES "deprecated")
+    message(FATAL_ERROR "legacy '${legacy}' must print a deprecation note")
+  endif()
+endforeach()
+
+# Unknown subcommands fail loudly with a nonzero exit.
+execute_process(COMMAND ${CLI} frobnicate RESULT_VARIABLE code
+                OUTPUT_QUIET ERROR_VARIABLE unknown_err
+                WORKING_DIRECTORY ${WORKDIR})
+if(code EQUAL 0)
+  message(FATAL_ERROR "unknown subcommand must fail, got exit 0")
+endif()
+if(NOT unknown_err MATCHES "unknown command 'frobnicate'")
+  message(FATAL_ERROR "unknown subcommand must name itself on stderr")
+endif()
+
+# Observability artifacts: run --metrics/--manifest/--metrics-csv, the
+# trace subcommand (byte-identical to run --trace), and sweep aggregates.
+run_step(${CLI} run ${INST} 8 fifo --metrics ${WORKDIR}/cli_metrics.json
+         --metrics-csv ${WORKDIR}/cli_metrics.csv
+         --manifest ${WORKDIR}/cli_manifest.json
+         --trace ${WORKDIR}/cli_run.trace)
+run_step(${CLI} trace ${INST} 8 fifo --out ${WORKDIR}/cli_sub.trace)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORKDIR}/cli_run.trace ${WORKDIR}/cli_sub.trace
+                RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "`trace` output differs from `run --trace`")
+endif()
+run_step(${CLI} sweep ${INST} fifo --m 2,8 --seeds 2 --workers 1
+         --metrics ${WORKDIR}/cli_sweep.json --csv ${WORKDIR}/cli_sweep.csv)
+foreach(artifact cli_metrics.json cli_metrics.csv cli_manifest.json
+        cli_sweep.json cli_sweep.csv)
+  if(NOT EXISTS ${WORKDIR}/${artifact})
+    message(FATAL_ERROR "missing artifact ${artifact}")
+  endif()
+endforeach()
+file(READ ${WORKDIR}/cli_metrics.json metrics_json)
+foreach(key schema_version manifest counters gauges histograms series
+        engine.idle_processor_slots flow.slots instance_hash)
+  if(NOT metrics_json MATCHES "${key}")
+    message(FATAL_ERROR "metrics JSON is missing '${key}'")
+  endif()
+endforeach()
+
+# Optional deep validation against the checked-in schema (skipped when no
+# python3 is on PATH; CI always has one).
+find_program(PYTHON3 python3)
+if(PYTHON3 AND DEFINED SCHEMA_CHECK)
+  run_step(${PYTHON3} ${SCHEMA_CHECK} ${WORKDIR}/cli_metrics.json
+           ${WORKDIR}/cli_sweep.json ${WORKDIR}/cli_manifest.json)
+endif()

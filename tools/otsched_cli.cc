@@ -1,11 +1,20 @@
-// otsched — command-line driver for the library.
+// otsched — command-line driver for the library, organised as subcommands:
 //
 //   otsched gen <family> <args...> <out.inst>     generate an instance
 //   otsched adversary <m> <jobs> <out.inst>       materialize the §4 family
 //   otsched bounds <in.inst> <m>                  print OPT lower bounds
-//   otsched run <in.inst> <m> [--policy] <policy> [--render N] [--seed S]
-//                                                 run a policy, report flows
-//   otsched policies | --list-policies            list the policy registry
+//   otsched describe <in.inst> [m]                print instance statistics
+//   otsched run <in.inst> <m> [--policy] <policy> run a policy, report flows
+//       [--render N] [--seed S] [--opt V] [--svg F] [--trace F]
+//       [--timeseries F] [--metrics F] [--metrics-csv F] [--manifest F]
+//   otsched sweep <in.inst> <policy> [--m LIST] [--seeds N] [--workers N]
+//       [--opt V] [--metrics F] [--csv F]         grid of seeded runs
+//   otsched trace <in.inst> <m> <policy> [--seed S] [--opt V] [--out F]
+//                                                 stream the event trace
+//   otsched list-policies                         list the policy registry
+//
+// `otsched policies` and `otsched --list-policies` remain as deprecated
+// aliases of list-policies and print a pointer to the new spelling.
 //
 // Policies are constructed through the shared registry (sched/registry.h);
 // both canonical names (fifo/first-ready) and legacy aliases (fifo) work.
@@ -17,16 +26,20 @@
 //   pipelined <m> <delta> <batches> <seed>        (certified OPT = 2*delta)
 //
 // Exit status is nonzero on usage errors; all numeric output goes to
-// stdout so it can be piped.
+// stdout so it can be piped.  --metrics emits the observability JSON
+// documented in docs/OBSERVABILITY.md (schema: tools/metrics_schema.json).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/instance_stats.h"
 #include "analysis/ratio.h"
+#include "analysis/sweep.h"
 #include "analysis/timeseries.h"
 #include "common/table.h"
 #include "gen/arrivals.h"
@@ -36,6 +49,8 @@
 #include "gen/recursive.h"
 #include "job/serialize.h"
 #include "sched/registry.h"
+#include "sim/batch_runner.h"
+#include "sim/observers.h"
 #include "sim/renderer.h"
 #include "sim/svg.h"
 #include "sim/trace.h"
@@ -45,20 +60,35 @@ using namespace otsched;
 namespace {
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  otsched gen quicksort <jobs> <n> <rate-denom> <seed> <out>\n"
-               "  otsched gen trees <jobs> <size> <period> <seed> <out>\n"
-               "  otsched gen saturated <m> <delta> <batches> <seed> <out>\n"
-               "  otsched gen pipelined <m> <delta> <batches> <seed> <out>\n"
-               "  otsched adversary <m> <jobs> <out>\n"
-               "  otsched bounds <in> <m>\n"
-               "  otsched describe <in> [m]\n"
-               "  otsched run <in> <m> [--policy] <policy> [--render N] "
-               "[--seed S] [--opt V]\n"
-               "              [--svg F] [--trace F] [--timeseries F]\n"
-               "  otsched policies            (also: otsched --list-policies)\n");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  otsched gen quicksort <jobs> <n> <rate-denom> <seed> <out>\n"
+      "  otsched gen trees <jobs> <size> <period> <seed> <out>\n"
+      "  otsched gen saturated <m> <delta> <batches> <seed> <out>\n"
+      "  otsched gen pipelined <m> <delta> <batches> <seed> <out>\n"
+      "  otsched adversary <m> <jobs> <out>\n"
+      "  otsched bounds <in> <m>\n"
+      "  otsched describe <in> [m]\n"
+      "  otsched run <in> <m> [--policy] <policy> [--render N] [--seed S]\n"
+      "              [--opt V] [--svg F] [--trace F] [--timeseries F]\n"
+      "              [--metrics F] [--metrics-csv F] [--manifest F]\n"
+      "  otsched sweep <in> <policy> [--m LIST] [--seeds N] [--workers N]\n"
+      "              [--opt V] [--metrics F] [--csv F]\n"
+      "  otsched trace <in> <m> <policy> [--seed S] [--opt V] [--out F]\n"
+      "  otsched list-policies\n");
   return 2;
+}
+
+bool WriteFileOrComplain(const std::string& path, const std::string& content,
+                         const char* what) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::fprintf(stderr, "cannot open %s for %s\n", path.c_str(), what);
+    return false;
+  }
+  out << content;
+  return true;
 }
 
 /// Prints the registry: canonical name, legacy aliases, one-line summary.
@@ -194,6 +224,9 @@ int CmdRun(int argc, char** argv) {
   std::string svg_path;
   std::string trace_path;
   std::string timeseries_path;
+  std::string metrics_path;
+  std::string metrics_csv_path;
+  std::string manifest_path;
   for (int i = first_flag; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--policy") == 0) policy_name = argv[i + 1];
     if (std::strcmp(argv[i], "--render") == 0) render = std::atoll(argv[i + 1]);
@@ -206,15 +239,38 @@ int CmdRun(int argc, char** argv) {
     if (std::strcmp(argv[i], "--timeseries") == 0) {
       timeseries_path = argv[i + 1];
     }
+    if (std::strcmp(argv[i], "--metrics") == 0) metrics_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--metrics-csv") == 0) {
+      metrics_csv_path = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--manifest") == 0) manifest_path = argv[i + 1];
   }
 
   std::unique_ptr<Scheduler> policy = MakePolicy(policy_name, seed, known_opt);
   if (!policy) {
-    std::fprintf(stderr, "unknown policy '%s' (try `otsched policies`)\n",
+    std::fprintf(stderr,
+                 "unknown policy '%s' (try `otsched list-policies`)\n",
                  policy_name.c_str());
     return 2;
   }
-  const RatioMeasurement r = MeasureRatio(instance, m, *policy, known_opt);
+
+  // Observers ride along on the measured run itself: the trace streams
+  // online and the metrics figures are the run's own SimStats/FlowSummary.
+  MetricsRegistry registry;
+  MetricsObserver metrics_observer(registry);
+  EventTrace streamed;
+  StreamingTraceObserver trace_observer(streamed);
+  ObserverList observers;
+  const bool want_metrics = !metrics_path.empty() ||
+                            !metrics_csv_path.empty();
+  if (want_metrics) observers.add(&metrics_observer);
+  if (!trace_path.empty()) observers.add(&trace_observer);
+
+  RunContext context;
+  context.observer = observers.empty() ? nullptr : &observers;
+  const RatioMeasurement r =
+      MeasureRatio(instance, m, *policy, known_opt, context);
+
   std::printf("policy          : %s\n", r.scheduler.c_str());
   std::printf("max flow        : %lld\n", static_cast<long long>(r.max_flow));
   std::printf("vs %s: %.3f (denominator %lld)\n",
@@ -225,8 +281,38 @@ int CmdRun(int argc, char** argv) {
   std::printf("horizon         : %lld slots, idle processor-slots %lld\n",
               static_cast<long long>(r.sim_stats.horizon),
               static_cast<long long>(r.sim_stats.idle_processor_slots));
-  if (render > 0 || !svg_path.empty() || !trace_path.empty() ||
-      !timeseries_path.empty()) {
+
+  const RunManifest manifest =
+      MakeRunManifest(instance, m, r.scheduler, seed, context.options);
+  if (want_metrics) WriteManifest(registry, manifest);
+  if (!metrics_path.empty() &&
+      !WriteFileOrComplain(metrics_path, registry.to_json(), "metrics")) {
+    return 1;
+  }
+  if (!metrics_path.empty()) {
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
+  if (!metrics_csv_path.empty()) {
+    if (!WriteFileOrComplain(metrics_csv_path, registry.series_csv(),
+                             "metrics CSV")) {
+      return 1;
+    }
+    std::printf("metric series written to %s\n", metrics_csv_path.c_str());
+  }
+  if (!manifest_path.empty()) {
+    if (!WriteFileOrComplain(manifest_path, manifest.to_json(), "manifest")) {
+      return 1;
+    }
+    std::printf("manifest written to %s\n", manifest_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    if (!WriteFileOrComplain(trace_path, streamed.to_text(), "trace")) {
+      return 1;
+    }
+    std::printf("event trace written to %s\n", trace_path.c_str());
+  }
+
+  if (render > 0 || !svg_path.empty() || !timeseries_path.empty()) {
     // Re-run to obtain the schedule (MeasureRatio does not retain it).
     std::unique_ptr<Scheduler> again = MakePolicy(policy_name, seed, known_opt);
     const SimResult sim = Simulate(instance, m, *again);
@@ -242,16 +328,147 @@ int CmdRun(int argc, char** argv) {
       SaveScheduleSvg(sim.schedule, instance, svg_path, options);
       std::printf("\nSVG written to %s\n", svg_path.c_str());
     }
-    if (!trace_path.empty()) {
-      std::ofstream out(trace_path);
-      out << DeriveTrace(sim.schedule, instance).to_text();
-      std::printf("event trace written to %s\n", trace_path.c_str());
-    }
     if (!timeseries_path.empty()) {
       std::ofstream out(timeseries_path);
       out << ComputeTimeSeries(sim.schedule, instance).to_csv();
       std::printf("time series written to %s\n", timeseries_path.c_str());
     }
+  }
+  return 0;
+}
+
+int CmdSweep(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const Instance instance = LoadInstance(argv[0]);
+  const std::string policy_name = argv[1];
+
+  std::vector<int> machines = {2, 4};
+  int seeds = 3;
+  std::size_t workers = 0;
+  Time known_opt = 0;
+  std::string metrics_path;
+  std::string csv_path;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--m") == 0) {
+      machines.clear();
+      std::string list = argv[i + 1];
+      for (char& c : list) {
+        if (c == ',') c = ' ';
+      }
+      std::istringstream in(list);
+      int m = 0;
+      while (in >> m) machines.push_back(m);
+    }
+    if (std::strcmp(argv[i], "--seeds") == 0) seeds = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--workers") == 0) {
+      workers = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+    }
+    if (std::strcmp(argv[i], "--opt") == 0) known_opt = std::atoll(argv[i + 1]);
+    if (std::strcmp(argv[i], "--metrics") == 0) metrics_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--csv") == 0) csv_path = argv[i + 1];
+  }
+  if (machines.empty() || seeds < 1) return Usage();
+  if (!MakePolicy(policy_name, 1, known_opt)) {
+    std::fprintf(stderr,
+                 "unknown policy '%s' (try `otsched list-policies`)\n",
+                 policy_name.c_str());
+    return 2;
+  }
+
+  // Grid: machines x seeds, in row-major order; cell i uses seed
+  // (i % seeds) + 1 on machines[i / seeds].
+  std::vector<std::pair<const Instance*, int>> cells;
+  for (int m : machines) {
+    for (int s = 0; s < seeds; ++s) cells.emplace_back(&instance, m);
+  }
+  const BatchRunner runner(workers);
+  // Pick wall times stay off so the aggregate is identical for any
+  // --workers value (the determinism contract of every sweep table).
+  MetricsObserver::Options observer_options;
+  observer_options.record_pick_times = false;
+  const std::vector<BatchRunner::InstrumentedRun> runs =
+      runner.RunInstrumentedSimulations(
+          cells,
+          [&](std::size_t i) {
+            return MakePolicy(policy_name,
+                              static_cast<std::uint64_t>(i % seeds) + 1,
+                              known_opt);
+          },
+          SimOptions{}, observer_options);
+
+  TextTable table({"m", "max-flow mean", "min", "max"});
+  for (std::size_t mi = 0; mi < machines.size(); ++mi) {
+    std::vector<double> flows;
+    for (int s = 0; s < seeds; ++s) {
+      flows.push_back(static_cast<double>(
+          runs[mi * static_cast<std::size_t>(seeds) +
+               static_cast<std::size_t>(s)]
+              .result.flows.max_flow));
+    }
+    const SeedAggregate agg = Aggregate(flows);
+    table.row("m=" + std::to_string(machines[mi]), agg.mean, agg.min,
+              agg.max);
+  }
+  table.print(policy_name + " on " + argv[0] + ", " +
+              std::to_string(seeds) + " seeds:");
+
+  if (!metrics_path.empty() || !csv_path.empty()) {
+    MetricsRegistry merged = MergedMetrics(runs);
+    RunManifest manifest = MakeRunManifest(instance, machines.front(),
+                                           policy_name, 1, SimOptions{});
+    manifest.m = machines.front();
+    WriteManifest(merged, manifest);
+    merged.set_manifest("cells", static_cast<std::int64_t>(cells.size()));
+    merged.set_manifest("seeds", static_cast<std::int64_t>(seeds));
+    if (!metrics_path.empty()) {
+      if (!WriteFileOrComplain(metrics_path, merged.to_json(), "metrics")) {
+        return 1;
+      }
+      std::printf("merged metrics written to %s\n", metrics_path.c_str());
+    }
+    if (!csv_path.empty()) {
+      if (!WriteFileOrComplain(csv_path, merged.series_csv(),
+                               "metric series CSV")) {
+        return 1;
+      }
+      std::printf("merged metric series written to %s\n", csv_path.c_str());
+    }
+  }
+  return 0;
+}
+
+int CmdTrace(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const Instance instance = LoadInstance(argv[0]);
+  const int m = std::atoi(argv[1]);
+  const std::string policy_name = argv[2];
+  std::uint64_t seed = 1;
+  Time known_opt = 0;
+  std::string out_path;
+  for (int i = 3; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+    if (std::strcmp(argv[i], "--opt") == 0) known_opt = std::atoll(argv[i + 1]);
+    if (std::strcmp(argv[i], "--out") == 0) out_path = argv[i + 1];
+  }
+  std::unique_ptr<Scheduler> policy = MakePolicy(policy_name, seed, known_opt);
+  if (!policy) {
+    std::fprintf(stderr,
+                 "unknown policy '%s' (try `otsched list-policies`)\n",
+                 policy_name.c_str());
+    return 2;
+  }
+  EventTrace streamed;
+  StreamingTraceObserver trace_observer(streamed);
+  RunContext context;
+  context.observer = &trace_observer;
+  Simulate(instance, m, *policy, context);
+  if (out_path.empty()) {
+    std::fputs(streamed.to_text().c_str(), stdout);
+  } else {
+    if (!WriteFileOrComplain(out_path, streamed.to_text(), "trace")) return 1;
+    std::printf("event trace written to %s\n", out_path.c_str());
   }
   return 0;
 }
@@ -266,9 +483,20 @@ int main(int argc, char** argv) {
   if (command == "bounds") return CmdBounds(argc - 2, argv + 2);
   if (command == "describe") return CmdDescribe(argc - 2, argv + 2);
   if (command == "run") return CmdRun(argc - 2, argv + 2);
-  if (command == "policies" || command == "--list-policies") {
+  if (command == "sweep") return CmdSweep(argc - 2, argv + 2);
+  if (command == "trace") return CmdTrace(argc - 2, argv + 2);
+  if (command == "list-policies") {
     ListPolicies();
     return 0;
   }
+  if (command == "policies" || command == "--list-policies") {
+    std::fprintf(stderr,
+                 "note: `otsched %s` is deprecated; use `otsched "
+                 "list-policies`\n",
+                 command.c_str());
+    ListPolicies();
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return Usage();
 }
