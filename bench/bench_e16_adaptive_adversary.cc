@@ -43,8 +43,10 @@ int main() {
     options.num_jobs = std::min<std::int64_t>(12LL * m, 1000);
 
     auto ratio_of = [&](Scheduler& scheduler) {
+      // Only the ratio is read, so skip materializing the schedule.
       const AdaptiveAdversaryResult result =
-          RunAdaptiveAdversary(scheduler, options);
+          RunAdaptiveAdversary(scheduler, options,
+                               RunContext{FlowOnlyOptions(), nullptr});
       return static_cast<double>(result.max_flow) /
              static_cast<double>(result.certified_opt_upper);
     };

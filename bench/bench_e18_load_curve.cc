@@ -56,19 +56,23 @@ int main() {
           rng);
       {
         FifoScheduler fifo;
-        row.fifo = std::max(row.fifo, MeasureRatio(instance, m, fifo).ratio);
+        row.fifo = std::max(
+            row.fifo,
+            MeasureRatio(instance, m, fifo, 0, FlowOnlyOptions()).ratio);
       }
       {
         ListGreedyScheduler greedy(static_cast<std::uint64_t>(seed));
-        row.greedy =
-            std::max(row.greedy, MeasureRatio(instance, m, greedy).ratio);
+        row.greedy = std::max(
+            row.greedy,
+            MeasureRatio(instance, m, greedy, 0, FlowOnlyOptions()).ratio);
       }
       {
         AlgAScheduler::Options options;
         options.beta = 16;
         AlgAScheduler alg_a(options);
-        row.alg_a =
-            std::max(row.alg_a, MeasureRatio(instance, m, alg_a).ratio);
+        row.alg_a = std::max(
+            row.alg_a,
+            MeasureRatio(instance, m, alg_a, 0, FlowOnlyOptions()).ratio);
       }
     }
     return row;

@@ -46,9 +46,11 @@ int main() {
       Rng rng(static_cast<std::uint64_t>(seed) * 4799 + m);
       CertifiedInstance cert = MakeSpacedSaturatedInstance(m, 8, 8, rng);
       FifoScheduler fifo;
+      // Full-record run: the Section 6 invariant checker walks the
+      // materialized schedule.
       const SimResult run = Simulate(cert.instance, m, fifo);
       const Section6Report report = CheckSection6Invariants(
-          run.schedule, cert.instance, m, cert.opt);
+          run.full_schedule(), cert.instance, m, cert.opt);
       row.forest_ok = row.forest_ok && report.all_hold();
       row.forest_tightness =
           std::max(row.forest_tightness, report.lemma64_tightness);
@@ -68,9 +70,11 @@ int main() {
         return adv.is_key(job, node);
       };
       FifoScheduler fifo(std::move(avoid));
+      // Full-record run: the Section 6 / Lemma 6.5 checkers walk the
+      // materialized schedule.
       const SimResult run = Simulate(adv.instance, m, fifo);
       const Section6Report report =
-          CheckSection6Invariants(run.schedule, adv.instance, m,
+          CheckSection6Invariants(run.full_schedule(), adv.instance, m,
                                   adv.fifo_run.certified_opt_upper);
       row.adversary_ok = report.all_hold();
       row.adversary_tightness = report.lemma64_tightness;
@@ -81,7 +85,7 @@ int main() {
       // The main lemma (Lemma 6.5): the inductive inequalities at every
       // arrival boundary, plus the log(tau)+1 cap on alive jobs.
       const Lemma65Report main_lemma = CheckLemma65(
-          run.schedule, adv.instance, m, adv.fifo_run.certified_opt_upper);
+          run.full_schedule(), adv.instance, m, adv.fifo_run.certified_opt_upper);
       row.lemma65_ok = main_lemma.all_hold();
       row.max_alive = main_lemma.max_alive_at_boundary;
       row.log_tau = main_lemma.log_tau;

@@ -5,6 +5,10 @@
 // LPF construction, MC replay, and metric computation cost.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "advsim/adaptive.h"
 #include "analysis/section6.h"
 #include "core/lpf.h"
@@ -19,8 +23,93 @@
 #include "sim/engine.h"
 #include "sim/observers.h"
 
+namespace {
+
+// Binary-wide heap instrumentation for the record-mode rows: every
+// allocation routes through a header-tagged malloc so live/peak bytes are
+// exact.  Counter reads happen only from untimed probe sections, so the
+// relaxed atomics add one uncontended RMW per alloc to the timed loops —
+// identical overhead for every row, so before/after deltas stay honest.
+std::atomic<std::int64_t> g_alloc_count{0};
+std::atomic<std::int64_t> g_live_bytes{0};
+std::atomic<std::int64_t> g_peak_bytes{0};
+
+constexpr std::size_t kHeader = alignof(std::max_align_t);
+
+void* TrackedAlloc(std::size_t size) {
+  void* raw = std::malloc(size + kHeader);
+  if (raw == nullptr) return nullptr;
+  *static_cast<std::size_t*>(raw) = size;
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t live =
+      g_live_bytes.fetch_add(static_cast<std::int64_t>(size),
+                             std::memory_order_relaxed) +
+      static_cast<std::int64_t>(size);
+  std::int64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !g_peak_bytes.compare_exchange_weak(peak, live,
+                                             std::memory_order_relaxed)) {
+  }
+  return static_cast<char*>(raw) + kHeader;
+}
+
+// GCC flags the header-offset free as a new/delete mismatch when it
+// inlines this into container destructors; the pairing is correct by
+// construction (every tracked pointer came from TrackedAlloc).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#pragma GCC diagnostic ignored "-Warray-bounds"
+void TrackedFree(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  void* raw = static_cast<char*>(ptr) - kHeader;
+  g_live_bytes.fetch_sub(
+      static_cast<std::int64_t>(*static_cast<std::size_t*>(raw)),
+      std::memory_order_relaxed);
+  std::free(raw);
+}
+#pragma GCC diagnostic pop
+
+}  // namespace
+
+// Only the plain forms are replaced; the array, nothrow, and sized
+// variants forward here by default.  Over-aligned allocations keep their
+// default (untracked) operators, whose deallocation pairs match.
+void* operator new(std::size_t size) {
+  void* ptr = TrackedAlloc(size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void operator delete(void* ptr) noexcept { TrackedFree(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { TrackedFree(ptr); }
+
 namespace otsched {
 namespace {
+
+/// Scoped heap meter: allocation count and peak-live delta since
+/// construction.  Use around one untimed run; the counters land in
+/// benchmark::State::counters.
+class AllocProbe {
+ public:
+  AllocProbe()
+      : base_count_(g_alloc_count.load(std::memory_order_relaxed)),
+        base_live_(g_live_bytes.load(std::memory_order_relaxed)) {
+    g_peak_bytes.store(base_live_, std::memory_order_relaxed);
+  }
+
+  double allocations() const {
+    return static_cast<double>(
+        g_alloc_count.load(std::memory_order_relaxed) - base_count_);
+  }
+  double peak_bytes() const {
+    return static_cast<double>(
+        g_peak_bytes.load(std::memory_order_relaxed) - base_live_);
+  }
+
+ private:
+  std::int64_t base_count_;
+  std::int64_t base_live_;
+};
 
 void BM_DagMetrics(benchmark::State& state) {
   Rng rng(1);
@@ -89,6 +178,15 @@ Instance MakeSparseChainInstance(int jobs, NodeId chain_len) {
 void BM_EngineSparseIncremental(benchmark::State& state) {
   const Instance instance =
       MakeSparseChainInstance(static_cast<int>(state.range(0)), 32);
+  {
+    // Untimed probe run: heap cost of one full-record simulation.
+    FifoScheduler fifo;
+    const AllocProbe probe;
+    const SimResult result = Simulate(instance, 8, fifo);
+    benchmark::DoNotOptimize(result.flows.max_flow);
+    state.counters["allocs"] = probe.allocations();
+    state.counters["peak_bytes"] = probe.peak_bytes();
+  }
   std::int64_t horizon = 0;
   for (auto _ : state) {
     FifoScheduler fifo;
@@ -99,6 +197,53 @@ void BM_EngineSparseIncremental(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * horizon);
 }
 BENCHMARK(BM_EngineSparseIncremental)->Arg(512)->Arg(2048);
+
+/// The record-mode payoff row: the same workload with
+/// RecordMode::kFlowOnly, so no Schedule is materialized — flows and
+/// stats are tracked online.  Compare allocs/peak_bytes against
+/// BM_EngineSparseIncremental for the docs/REPRODUCING.md table.
+void BM_EngineSparseFlowOnly(benchmark::State& state) {
+  const Instance instance =
+      MakeSparseChainInstance(static_cast<int>(state.range(0)), 32);
+  {
+    FifoScheduler fifo;
+    const AllocProbe probe;
+    const SimResult result = Simulate(instance, 8, fifo, FlowOnlyOptions());
+    benchmark::DoNotOptimize(result.flows.max_flow);
+    state.counters["allocs"] = probe.allocations();
+    state.counters["peak_bytes"] = probe.peak_bytes();
+  }
+  std::int64_t horizon = 0;
+  for (auto _ : state) {
+    FifoScheduler fifo;
+    const SimResult result = Simulate(instance, 8, fifo, FlowOnlyOptions());
+    horizon = result.stats.horizon;
+    benchmark::DoNotOptimize(result.flows.max_flow);
+  }
+  state.SetItemsProcessed(state.iterations() * horizon);
+}
+BENCHMARK(BM_EngineSparseFlowOnly)->Arg(512)->Arg(2048);
+
+/// Flow-only with the metrics observer attached: the sweep-pipeline
+/// configuration (BatchRunner cells default to exactly this).
+void BM_EngineSparseFlowOnlyObserved(benchmark::State& state) {
+  const Instance instance =
+      MakeSparseChainInstance(static_cast<int>(state.range(0)), 32);
+  std::int64_t horizon = 0;
+  for (auto _ : state) {
+    FifoScheduler fifo;
+    MetricsRegistry registry;
+    MetricsObserver::Options options;
+    options.record_pick_times = false;
+    MetricsObserver metrics(registry, options);
+    RunContext context{FlowOnlyOptions(), &metrics};
+    const SimResult result = Simulate(instance, 8, fifo, context);
+    horizon = result.stats.horizon;
+    benchmark::DoNotOptimize(result.flows.max_flow);
+  }
+  state.SetItemsProcessed(state.iterations() * horizon);
+}
+BENCHMARK(BM_EngineSparseFlowOnlyObserved)->Arg(512)->Arg(2048);
 
 /// Same workload with a full MetricsObserver attached (per-slot series
 /// on, pick timing off): the delta against BM_EngineSparseIncremental is
@@ -171,11 +316,13 @@ void BM_Section6Checker(benchmark::State& state) {
   CertifiedInstance cert = MakeSpacedSaturatedInstance(
       static_cast<int>(state.range(0)), 8, 8, rng);
   FifoScheduler fifo;
+  // Full-record run: the Section 6 invariant checker walks the
+  // materialized slot-by-slot schedule.
   const SimResult run =
       Simulate(cert.instance, static_cast<int>(state.range(0)), fifo);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        CheckSection6Invariants(run.schedule, cert.instance,
+        CheckSection6Invariants(run.full_schedule(), cert.instance,
                                 static_cast<int>(state.range(0)), cert.opt)
             .checks);
   }
@@ -187,10 +334,12 @@ void BM_TraceDerive(benchmark::State& state) {
   Rng rng(10);
   CertifiedInstance cert = MakeSpacedSaturatedInstance(16, 8, 12, rng);
   FifoScheduler fifo;
+  // Full-record run: DeriveTrace reconstructs events from the
+  // materialized schedule.
   const SimResult run = Simulate(cert.instance, 16, fifo);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        DeriveTrace(run.schedule, cert.instance).size());
+        DeriveTrace(run.full_schedule(), cert.instance).size());
   }
   state.SetItemsProcessed(state.iterations() * cert.instance.total_work());
 }

@@ -74,10 +74,11 @@ int main(int argc, char** argv) {
     return adv.is_key(job, node);
   };
   FifoScheduler fifo(std::move(avoid));
+  // Full-record run: the ASCII renderer walks the materialized schedule.
   const SimResult replay = Simulate(adv.instance, m, fifo);
   RenderOptions render;
   render.to_slot = 40;
-  std::printf("%s", RenderSchedule(replay.schedule, adv.instance,
+  std::printf("%s", RenderSchedule(replay.full_schedule(), adv.instance,
                                    render).c_str());
   std::printf("\nNote the alternation: a full slot (the parallel sublayer)\n"
               "followed by a nearly idle slot (the key subjob) — the shape\n"

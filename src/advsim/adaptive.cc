@@ -24,6 +24,7 @@ class AdaptiveEngine final : public EngineBackend {
     OTSCHED_CHECK(m_ >= 2);
     OTSCHED_CHECK(num_jobs_ >= 1);
     OTSCHED_CHECK(layers_ >= 1);
+    record_full_ = context.options.record == RecordMode::kFull;
     const Time horizon_override = context.options.max_horizon > 0
                                       ? context.options.max_horizon
                                       : options.max_horizon;
@@ -91,6 +92,7 @@ class AdaptiveEngine final : public EngineBackend {
 
   Scheduler& scheduler_;
   RunObserver* observer_ = nullptr;  // borrowed; null = uninstrumented run
+  bool record_full_ = true;          // materialize the Schedule?
   int m_;
   int layers_;
   int width_;   // m + 1 subjobs per layer
@@ -99,6 +101,9 @@ class AdaptiveEngine final : public EngineBackend {
   Time max_horizon_ = 0;
 
   Time slot_ = 0;
+  Time last_busy_slot_ = 0;          // online horizon (== schedule horizon)
+  std::int64_t executed_total_ = 0;
+  std::int64_t busy_slots_ = 0;
   std::vector<JobState> jobs_;
   std::vector<JobId> alive_;
   std::int64_t next_arrival_ = 0;
@@ -126,7 +131,7 @@ AdaptiveAdversaryResult AdaptiveEngine::run() {
   scheduler_.reset(m_, static_cast<JobId>(num_jobs_));
   SchedulerView view(*this);
   AdaptiveAdversaryResult result;
-  result.schedule = Schedule(m_);
+  if (record_full_) result.schedule.emplace(m_);
   result.certified_opt_upper = gap_;
 
   std::vector<SubjobRef> picks;
@@ -190,7 +195,8 @@ AdaptiveAdversaryResult AdaptiveEngine::run() {
       job.ready.erase(it);
       job.executed[static_cast<std::size_t>(ref.node)] = 1;
       ++job.done_nodes;
-      result.schedule.place(slot_, ref);
+      ++executed_total_;
+      if (record_full_) result.schedule->place(slot_, ref);
       if (observer_ != nullptr) observer_->on_execute(slot_, ref);
       if (job.ready.empty()) {
         last_in_layer.emplace_back(ref.job, ref.node);
@@ -220,6 +226,10 @@ AdaptiveAdversaryResult AdaptiveEngine::run() {
       }
       completed_now_.clear();
     }
+    if (!picks.empty()) {
+      ++busy_slots_;
+      last_busy_slot_ = slot_;
+    }
     std::erase_if(alive_, [this](JobId id) { return finished(id); });
     ++slot_;
   }
@@ -241,31 +251,58 @@ AdaptiveAdversaryResult AdaptiveEngine::run() {
   }
   result.instance.set_name("adaptive-adversary-m" + std::to_string(m_));
 
-  // The produced schedule must be a feasible schedule of the materialized
-  // instance — this is the consistency proof of the adversary.
-  const ValidationReport report =
-      ValidateSchedule(result.schedule, result.instance);
-  OTSCHED_CHECK(report.feasible,
-                "adaptive adversary inconsistency: " << report.violation);
-  result.flows = ComputeFlows(result.schedule, result.instance);
+  if (record_full_) {
+    // The produced schedule must be a feasible schedule of the
+    // materialized instance — this is the consistency proof of the
+    // adversary.  Flow-only runs skip it along with the schedule; every
+    // pick was still validated against the adversary's ready sets above.
+    const ValidationReport report =
+        ValidateSchedule(*result.schedule, result.instance);
+    OTSCHED_CHECK(report.feasible,
+                  "adaptive adversary inconsistency: " << report.violation);
+  }
+  // Flows are tracked online (JobState::completion is the slot the final
+  // layer finished, i.e. the job's last executed subjob), identically in
+  // both record modes; full-mode ComputeFlows over the schedule yields
+  // the same summary, as the adversary tests pin.
+  {
+    const std::size_t n = static_cast<std::size_t>(num_jobs_);
+    result.flows.completion.resize(n, kNoTime);
+    result.flows.flow.resize(n, kInfiniteTime);
+    for (JobId id = 0; id < job_count(); ++id) {
+      const std::size_t i = static_cast<std::size_t>(id);
+      result.flows.completion[i] = jobs_[i].completion;
+      result.flows.flow[i] = jobs_[i].completion - release(id);
+      if (result.flows.max_flow_job == kInvalidJob ||
+          result.flows.flow[i] > result.flows.max_flow) {
+        result.flows.max_flow = result.flows.flow[i];
+        result.flows.max_flow_job = id;
+      }
+    }
+  }
   result.max_flow = result.flows.max_flow;
   if (observer_ != nullptr) {
     // Assemble the same on_finish payload Simulate would have produced
-    // for this schedule.
+    // for this run (schedule present only in full mode).
     SimResult summary{result.schedule, result.flows, {}};
-    summary.stats.horizon = result.schedule.horizon();
-    summary.stats.executed_subjobs = result.schedule.total_placed();
+    summary.stats.horizon = last_busy_slot_;
+    summary.stats.executed_subjobs = executed_total_;
     summary.stats.idle_processor_slots =
-        result.schedule.idle_processor_slots();
-    for (Time t = 1; t <= result.schedule.horizon(); ++t) {
-      if (result.schedule.load(t) > 0) ++summary.stats.busy_slots;
-    }
+        static_cast<std::int64_t>(m_) * last_busy_slot_ - executed_total_;
+    summary.stats.busy_slots = busy_slots_;
     observer_->on_finish(summary);
   }
   return result;
 }
 
 }  // namespace
+
+const Schedule& AdaptiveAdversaryResult::full_schedule() const {
+  OTSCHED_CHECK(schedule.has_value(),
+                "full_schedule() on a flow-only adversary run (rerun with "
+                "RecordMode::kFull)");
+  return *schedule;
+}
 
 AdaptiveAdversaryResult RunAdaptiveAdversary(
     Scheduler& scheduler, const AdaptiveAdversaryOptions& options,

@@ -43,9 +43,12 @@ struct AdaptiveAdversaryOptions {
 
 struct AdaptiveAdversaryResult {
   /// The schedule the scheduler produced during the adaptive run.
-  Schedule schedule{1};  // re-sized to the run's m by the runner
-  /// The materialized instance (keys wired as chosen); `schedule` is a
-  /// feasible schedule of it, which the runner validates.
+  /// Present iff the run was recorded with RecordMode::kFull (flow-only
+  /// runs track flows incrementally and skip both the schedule and its
+  /// ValidateSchedule consistency proof).
+  std::optional<Schedule> schedule;
+  /// The materialized instance (keys wired as chosen); `schedule`, when
+  /// recorded, is a feasible schedule of it, which the runner validates.
   Instance instance;
   /// keys[job][layer] = the node id the adversary crowned.
   std::vector<std::vector<NodeId>> keys;
@@ -53,6 +56,9 @@ struct AdaptiveAdversaryResult {
   Time max_flow = 0;
   Time certified_opt_upper = 0;  // = gap
   std::int64_t max_alive = 0;
+
+  /// The materialized schedule; aborts on a flow-only run.
+  const Schedule& full_schedule() const;
 };
 
 /// Runs `scheduler` against the adaptive environment to completion,

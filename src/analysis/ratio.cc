@@ -19,11 +19,17 @@ RatioMeasurement MeasureRatio(const Instance& instance, int m,
   result.m = m;
 
   SimResult sim = Simulate(instance, m, scheduler, context);
-  const ValidationReport report = ValidateSchedule(sim.schedule, instance);
-  OTSCHED_CHECK(report.feasible, "scheduler '" << scheduler.name()
-                                               << "' produced an infeasible "
-                                                  "schedule: "
-                                               << report.violation);
+  if (sim.has_schedule()) {
+    // Full-mode runs get the end-to-end re-validation; flow-only runs
+    // have no schedule to re-check, but the engine already validated
+    // every pick (readiness, capacity, duplicates) online.
+    const ValidationReport report =
+        ValidateSchedule(sim.full_schedule(), instance);
+    OTSCHED_CHECK(report.feasible, "scheduler '" << scheduler.name()
+                                                 << "' produced an infeasible "
+                                                    "schedule: "
+                                                 << report.violation);
+  }
   OTSCHED_CHECK(sim.flows.all_completed);
 
   result.max_flow = sim.flows.max_flow;

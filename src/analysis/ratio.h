@@ -29,11 +29,15 @@ struct RatioMeasurement {
   SimStats sim_stats;
 };
 
-/// Runs `scheduler` on `instance` with m processors, validates the
-/// resulting schedule end to end, and divides the achieved maximum flow
-/// by `certified_opt` (> 0) or, if certified_opt == 0, by the computed
-/// lower bound.  The RunContext form fires `context.observer`'s hooks
-/// during the measured run.
+/// Runs `scheduler` on `instance` with m processors and divides the
+/// achieved maximum flow by `certified_opt` (> 0) or, if certified_opt
+/// == 0, by the computed lower bound.  The RunContext form fires
+/// `context.observer`'s hooks during the measured run.
+///
+/// The measurement only consumes aggregates, so flow-only runs
+/// (RecordMode::kFlowOnly, e.g. via FlowOnlyOptions()) are the preferred
+/// mode for sweeps; full-mode runs additionally re-validate the produced
+/// schedule end to end with ScheduleValidator.
 RatioMeasurement MeasureRatio(const Instance& instance, int m,
                               Scheduler& scheduler, Time certified_opt,
                               const RunContext& context);

@@ -65,6 +65,58 @@ struct PolicyCaseConfig {
   bool brute_cross_check = false;
 };
 
+/// Whether a case also gets a flow-only rerun compared against the full
+/// run.  Derived deterministically from the case identity (never from
+/// global state), so `--replay` of a repro file reproduces the exact same
+/// trial, toggle included, with no new headers.
+bool FuzzRecordModeToggle(const PolicyCaseConfig& cfg) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a over (seed, m, policy)
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(cfg.seed);
+  mix(static_cast<std::uint64_t>(cfg.m));
+  for (const char c : cfg.spec->name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return (h & 1) == 0;
+}
+
+/// Compares a flow-only rerun against the recorded full run: FlowSummary
+/// and SimStats must be bit-identical (the engines compute both online,
+/// so any divergence convicts the record-mode plumbing).
+OracleResult CheckRecordModeOracle(const SimResult& full,
+                                   const SimResult& flow_only) {
+  std::ostringstream detail;
+  if (flow_only.has_schedule()) {
+    return {OracleId::kRecordModeEquivalence, false,
+            "flow-only run materialized a schedule"};
+  }
+  if (full.flows.completion != flow_only.flows.completion ||
+      full.flows.flow != flow_only.flows.flow ||
+      full.flows.max_flow != flow_only.flows.max_flow ||
+      full.flows.max_flow_job != flow_only.flows.max_flow_job ||
+      full.flows.all_completed != flow_only.flows.all_completed) {
+    detail << "flow-only FlowSummary diverges from the full run (max_flow "
+           << flow_only.flows.max_flow << " vs " << full.flows.max_flow
+           << ")";
+    return {OracleId::kRecordModeEquivalence, false, detail.str()};
+  }
+  if (full.stats.horizon != flow_only.stats.horizon ||
+      full.stats.executed_subjobs != flow_only.stats.executed_subjobs ||
+      full.stats.idle_processor_slots != flow_only.stats.idle_processor_slots ||
+      full.stats.busy_slots != flow_only.stats.busy_slots) {
+    detail << "flow-only SimStats diverge from the full run (horizon "
+           << flow_only.stats.horizon << " vs " << full.stats.horizon << ")";
+    return {OracleId::kRecordModeEquivalence, false, detail.str()};
+  }
+  return {OracleId::kRecordModeEquivalence, true, ""};
+}
+
 /// Runs one (policy, m, instance) case and returns every oracle verdict.
 std::vector<OracleResult> RunPolicyCase(const PolicyCaseConfig& cfg,
                                         const Instance& instance,
@@ -77,6 +129,7 @@ std::vector<OracleResult> RunPolicyCase(const PolicyCaseConfig& cfg,
                                    : cfg.spec->make(cfg.seed);
   // Every fuzz case doubles as an observability check: stream the trace
   // through the observer hooks and hold it against DeriveTrace below.
+  // The schedule-dependent oracles need a full-mode run.
   EventTrace streamed;
   StreamingTraceObserver tracer(streamed);
   RunContext context;
@@ -84,9 +137,24 @@ std::vector<OracleResult> RunPolicyCase(const PolicyCaseConfig& cfg,
   const SimResult run = Simulate(instance, cfg.m, *scheduler, context);
   if (simulations != nullptr) ++*simulations;
 
-  results.push_back(CheckFeasibilityOracle(run.schedule, instance));
+  // Full-record run: the feasibility and trace-equivalence oracles walk
+  // the materialized schedule.
+  results.push_back(CheckFeasibilityOracle(run.full_schedule(), instance));
   results.push_back(
-      CheckTraceEquivalenceOracle(streamed, run.schedule, instance));
+      CheckTraceEquivalenceOracle(streamed, run.full_schedule(), instance));
+
+  if (FuzzRecordModeToggle(cfg)) {
+    // Flow-only leg: a fresh identically-seeded scheduler rerun with
+    // RecordMode::kFlowOnly must reproduce the full run's aggregates.
+    std::unique_ptr<Scheduler> flow_scheduler =
+        cfg.spec->needs_semi_batched
+            ? cfg.spec->make_semi_batched(cfg.known_opt)
+            : cfg.spec->make(cfg.seed);
+    const SimResult flow_only =
+        Simulate(instance, cfg.m, *flow_scheduler, FlowOnlyOptions());
+    if (simulations != nullptr) ++*simulations;
+    results.push_back(CheckRecordModeOracle(run, flow_only));
+  }
 
   Time exact = cfg.certified_opt;
   if (exact == 0 && cfg.brute_cross_check) {

@@ -41,6 +41,8 @@ const char* ToString(OracleId id) {
       return "ratio-ceiling(T5.6)";
     case OracleId::kTraceEquivalence:
       return "trace-equivalence(observer)";
+    case OracleId::kRecordModeEquivalence:
+      return "record-mode-equivalence(flow-only)";
   }
   return "unknown-oracle";
 }

@@ -43,6 +43,7 @@ enum class OracleId {
   kMcBusy,            // Lemma 5.5
   kRatioCeiling,      // Theorem 5.6 / 5.7
   kTraceEquivalence,  // streaming observer trace == DeriveTrace
+  kRecordModeEquivalence,  // flow-only run == full run (flows and stats)
 };
 
 const char* ToString(OracleId id);

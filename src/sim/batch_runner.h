@@ -36,7 +36,7 @@ class BatchRunner {
   std::size_t workers() const { return workers_; }
 
   /// Maps `cell` over [0, count); result[i] == cell(i).  R need not be
-  /// default-constructible (SimResult/Schedule are not).
+  /// default-constructible (Schedule is not).
   template <typename R, typename Cell>
   std::vector<R> Map(std::size_t count, Cell&& cell) const {
     std::vector<std::optional<R>> slots(count);
@@ -54,10 +54,14 @@ class BatchRunner {
 
   /// A simulation task: one policy run on one shared immutable instance.
   /// `make_scheduler` runs inside the cell (fresh policy per cell).
+  /// Batch cells default to flow-only recording — sweeps aggregate flows
+  /// and stats, never individual schedules; pass options with
+  /// RecordMode::kFull to materialize schedules anyway.
   template <typename MakeScheduler>
   std::vector<SimResult> RunSimulations(
       std::span<const std::pair<const Instance*, int>> cells,
-      MakeScheduler&& make_scheduler, const SimOptions& options = {}) const {
+      MakeScheduler&& make_scheduler,
+      const SimOptions& options = FlowOnlyOptions()) const {
     return Map<SimResult>(cells.size(), [&](std::size_t i) {
       const auto& [instance, m] = cells[i];
       auto scheduler = make_scheduler(i);
@@ -80,14 +84,14 @@ class BatchRunner {
   template <typename MakeScheduler>
   std::vector<InstrumentedRun> RunInstrumentedSimulations(
       std::span<const std::pair<const Instance*, int>> cells,
-      MakeScheduler&& make_scheduler, const SimOptions& options = {},
+      MakeScheduler&& make_scheduler,
+      const SimOptions& options = FlowOnlyOptions(),
       MetricsObserver::Options observer_options = MetricsObserver::Options())
       const {
     return Map<InstrumentedRun>(cells.size(), [&](std::size_t i) {
       const auto& [instance, m] = cells[i];
       auto scheduler = make_scheduler(i);
-      InstrumentedRun run{
-          SimResult{Schedule(m), FlowSummary{}, SimStats{}}, MetricsRegistry()};
+      InstrumentedRun run;
       MetricsObserver observer(run.metrics, observer_options);
       RunContext context;
       context.options = options;

@@ -32,6 +32,7 @@ class Engine final : public EngineBackend {
         options.clairvoyance == ClairvoyanceOverride::kPolicyDefault
             ? scheduler.requires_clairvoyance()
             : options.clairvoyance == ClairvoyanceOverride::kAllow;
+    record_full_ = options.record == RecordMode::kFull;
     max_horizon_ = options.max_horizon;
     if (max_horizon_ == 0) {
       // Any policy that executes at least one ready subjob whenever one
@@ -100,9 +101,12 @@ class Engine final : public EngineBackend {
   Scheduler& scheduler_;
   RunObserver* observer_ = nullptr;  // borrowed; null = uninstrumented run
   bool clairvoyant_ = false;
+  bool record_full_ = true;          // materialize the Schedule?
   Time max_horizon_ = 0;
 
   Time slot_ = 0;
+  Time last_busy_slot_ = 0;          // online horizon (== schedule horizon)
+  FlowAccumulator flows_;            // online flow accounting, both modes
   std::vector<JobReadyState> jobs_;   // incremental per-job ready state
   std::vector<const Dag*> dags_;      // flat caches: no Job indirection
   std::vector<std::int64_t> work_;    //   in the per-slot loop
@@ -162,7 +166,9 @@ SimResult Engine::run() {
 
   scheduler_.reset(m_, n);
   SchedulerView view(*this);
-  SimResult result{Schedule(m_), {}, {}};
+  flows_.init(instance_);
+  SimResult result;
+  if (record_full_) result.schedule.emplace(m_);
 
   std::vector<SubjobRef> picks;
   const std::int64_t total_work = instance_.total_work();
@@ -231,7 +237,8 @@ SimResult Engine::run() {
           "duplicate pick of job " << ref.job << " node " << ref.node
                                    << " in slot " << slot_);
       execute(ref);
-      result.schedule.place(slot_, ref);
+      flows_.record(slot_, ref.job);
+      if (record_full_) result.schedule->place(slot_, ref);
       if (observer_ != nullptr) observer_->on_execute(slot_, ref);
     }
     if (observer_ != nullptr && !completed_now_.empty()) {
@@ -242,7 +249,10 @@ SimResult Engine::run() {
       }
       completed_now_.clear();
     }
-    if (!picks.empty()) ++result.stats.busy_slots;
+    if (!picks.empty()) {
+      ++result.stats.busy_slots;
+      last_busy_slot_ = slot_;
+    }
     if (finished_this_slot_ > 0) {
       // The seed engine swept the alive list every slot; sweeping only
       // when a job finished is observationally identical (a sweep with no
@@ -254,10 +264,14 @@ SimResult Engine::run() {
     ++slot_;
   }
 
-  result.stats.horizon = result.schedule.horizon();
+  // Stats and flows are computed online in BOTH record modes (identical
+  // by construction; ComputeFlows over the materialized schedule yields
+  // the same numbers, as the engine-equivalence gate proves).
+  result.stats.horizon = last_busy_slot_;
   result.stats.executed_subjobs = executed_total_;
-  result.stats.idle_processor_slots = result.schedule.idle_processor_slots();
-  result.flows = ComputeFlows(result.schedule, instance_);
+  result.stats.idle_processor_slots =
+      static_cast<std::int64_t>(m_) * last_busy_slot_ - executed_total_;
+  result.flows = flows_.finish();
   if (observer_ != nullptr) observer_->on_finish(result);
   return result;
 }
@@ -295,15 +309,17 @@ bool SchedulerView::clairvoyant_allowed() const {
   return backend_.clairvoyant_allowed();
 }
 
+const Schedule& SimResult::full_schedule() const {
+  OTSCHED_CHECK(schedule.has_value(),
+                "full_schedule() on a flow-only run (RecordMode::kFlowOnly "
+                "records no Schedule; rerun with RecordMode::kFull)");
+  return *schedule;
+}
+
 SimResult Simulate(const Instance& instance, int m, Scheduler& scheduler,
                    const RunContext& context) {
   Engine engine(instance, m, scheduler, context);
   return engine.run();
-}
-
-SimResult Simulate(const Instance& instance, int m, Scheduler& scheduler,
-                   const SimOptions& options) {
-  return Simulate(instance, m, scheduler, RunContext{options, nullptr});
 }
 
 }  // namespace otsched

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -135,19 +136,24 @@ struct SimStats {
 };
 
 struct SimResult {
-  Schedule schedule;
+  /// Present iff the run was recorded with RecordMode::kFull; flow-only
+  /// runs leave it empty and carry only the aggregates below.
+  std::optional<Schedule> schedule;
   FlowSummary flows;
   SimStats stats;
+
+  bool has_schedule() const { return schedule.has_value(); }
+
+  /// The materialized schedule; aborts on a flow-only result.  Call sites
+  /// using this structurally need the explicit schedule (Section 5/6
+  /// checkers, validators, traces, renderers).
+  const Schedule& full_schedule() const;
 };
 
 /// Runs `scheduler` on `instance` with m processors to completion,
 /// firing `context.observer`'s hooks (if any) as the run progresses.
 SimResult Simulate(const Instance& instance, int m, Scheduler& scheduler,
                    const RunContext& context);
-
-/// Compatibility overload for observer-less call sites.
-SimResult Simulate(const Instance& instance, int m, Scheduler& scheduler,
-                   const SimOptions& options = {});
 
 /// The pre-incremental seed engine, preserved as the golden baseline
 /// (sim/engine_reference.cc) and instrumented with the same observer
@@ -156,8 +162,19 @@ SimResult Simulate(const Instance& instance, int m, Scheduler& scheduler,
 SimResult ReferenceSimulate(const Instance& instance, int m,
                             Scheduler& scheduler, const RunContext& context);
 
-SimResult ReferenceSimulate(const Instance& instance, int m,
-                            Scheduler& scheduler,
-                            const SimOptions& options = {});
+/// Compatibility forwarders for observer-less call sites: one inline
+/// definition each, shared by every caller.
+inline SimResult Simulate(const Instance& instance, int m,
+                          Scheduler& scheduler,
+                          const SimOptions& options = {}) {
+  return Simulate(instance, m, scheduler, RunContext{options, nullptr});
+}
+
+inline SimResult ReferenceSimulate(const Instance& instance, int m,
+                                   Scheduler& scheduler,
+                                   const SimOptions& options = {}) {
+  return ReferenceSimulate(instance, m, scheduler,
+                           RunContext{options, nullptr});
+}
 
 }  // namespace otsched

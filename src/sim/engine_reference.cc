@@ -33,6 +33,7 @@ class ReferenceEngine final : public EngineBackend {
         options.clairvoyance == ClairvoyanceOverride::kPolicyDefault
             ? scheduler.requires_clairvoyance()
             : options.clairvoyance == ClairvoyanceOverride::kAllow;
+    record_full_ = options.record == RecordMode::kFull;
     max_horizon_ = options.max_horizon;
     if (max_horizon_ == 0) {
       max_horizon_ = instance.max_release() + 4 * instance.total_work() +
@@ -98,9 +99,12 @@ class ReferenceEngine final : public EngineBackend {
   Scheduler& scheduler_;
   RunObserver* observer_ = nullptr;  // borrowed; null = uninstrumented run
   bool clairvoyant_ = false;
+  bool record_full_ = true;          // materialize the Schedule?
   Time max_horizon_ = 0;
 
   Time slot_ = 0;
+  Time last_busy_slot_ = 0;          // online horizon (== schedule horizon)
+  FlowAccumulator flows_;            // online flow accounting, both modes
   std::vector<std::vector<NodeId>> ready_;        // per job, unordered
   std::vector<std::vector<NodeId>> ready_pos_;    // node -> index in ready_, or -1
   std::vector<std::vector<char>> executed_;       // per job per node
@@ -194,7 +198,9 @@ SimResult ReferenceEngine::run() {
 
   scheduler_.reset(m_, n);
   SchedulerView view(*this);
-  SimResult result{Schedule(m_), {}, {}};
+  flows_.init(instance_);
+  SimResult result;
+  if (record_full_) result.schedule.emplace(m_);
 
   std::vector<SubjobRef> picks;
   const std::int64_t total_work = instance_.total_work();
@@ -265,7 +271,8 @@ SimResult ReferenceEngine::run() {
                                              << ref.node << " in slot "
                                              << slot_);
       execute(ref);
-      result.schedule.place(slot_, ref);
+      flows_.record(slot_, ref.job);
+      if (record_full_) result.schedule->place(slot_, ref);
       if (observer_ != nullptr) observer_->on_execute(slot_, ref);
     }
     if (observer_ != nullptr && !completed_now_.empty()) {
@@ -276,15 +283,21 @@ SimResult ReferenceEngine::run() {
       }
       completed_now_.clear();
     }
-    if (!picks.empty()) ++result.stats.busy_slots;
+    if (!picks.empty()) {
+      ++result.stats.busy_slots;
+      last_busy_slot_ = slot_;
+    }
     refresh_alive();
     ++slot_;
   }
 
-  result.stats.horizon = result.schedule.horizon();
+  // Stats and flows are computed online in BOTH record modes, mirroring
+  // the incremental engine (sim/engine.cc).
+  result.stats.horizon = last_busy_slot_;
   result.stats.executed_subjobs = executed_total_;
-  result.stats.idle_processor_slots = result.schedule.idle_processor_slots();
-  result.flows = ComputeFlows(result.schedule, instance_);
+  result.stats.idle_processor_slots =
+      static_cast<std::int64_t>(m_) * last_busy_slot_ - executed_total_;
+  result.flows = flows_.finish();
   if (observer_ != nullptr) observer_->on_finish(result);
   return result;
 }
@@ -295,12 +308,6 @@ SimResult ReferenceSimulate(const Instance& instance, int m,
                             Scheduler& scheduler, const RunContext& context) {
   ReferenceEngine engine(instance, m, scheduler, context);
   return engine.run();
-}
-
-SimResult ReferenceSimulate(const Instance& instance, int m,
-                            Scheduler& scheduler, const SimOptions& options) {
-  return ReferenceSimulate(instance, m, scheduler,
-                           RunContext{options, nullptr});
 }
 
 }  // namespace otsched

@@ -41,6 +41,20 @@ enum class ClairvoyanceOverride {
   kAllow,          // run with DAG access enabled regardless
 };
 
+/// What a run materializes.  Flows and stats are computed online in BOTH
+/// modes (identically — see the engine-equivalence gate); the modes only
+/// differ in whether the explicit Schedule is recorded.
+enum class RecordMode {
+  /// Record the full Schedule (O(total work) memory).  Needed by the
+  /// Section 5/6 structure checkers, ScheduleValidator, DeriveTrace, and
+  /// the renderers.
+  kFull,
+  /// Skip the Schedule; SimResult::schedule is empty and memory stays
+  /// O(jobs + m).  The right mode for ratio/sweep/adversary runs, whose
+  /// consumers only read FlowSummary / SimStats.
+  kFlowOnly,
+};
+
 struct SimOptions {
   /// Hard cap on the simulated horizon; 0 means "auto" (a generous bound
   /// derived from the instance; exceeding it aborts, catching schedulers
@@ -49,6 +63,10 @@ struct SimOptions {
 
   /// Clairvoyance override for this run (kPolicyDefault = ask the policy).
   ClairvoyanceOverride clairvoyance = ClairvoyanceOverride::kPolicyDefault;
+
+  /// Whether to materialize the explicit schedule (kFull) or track flows
+  /// incrementally only (kFlowOnly).
+  RecordMode record = RecordMode::kFull;
 };
 
 /// Streaming hooks fired by every engine (Simulate, ReferenceSimulate,
@@ -143,6 +161,14 @@ class ObserverList final : public RunObserver {
  private:
   std::vector<RunObserver*> observers_;
 };
+
+/// Convenience for flow-only call sites (ratio/sweep/adversary runs that
+/// only consume FlowSummary / SimStats).
+inline SimOptions FlowOnlyOptions() {
+  SimOptions options;
+  options.record = RecordMode::kFlowOnly;
+  return options;
+}
 
 /// Everything a run needs besides (instance, m, scheduler): the options
 /// and an optional borrowed observer.  The primary argument of Simulate /

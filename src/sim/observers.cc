@@ -41,6 +41,16 @@ const char* ToString(ClairvoyanceOverride mode) {
   return "policy-default";
 }
 
+const char* ToString(RecordMode mode) {
+  switch (mode) {
+    case RecordMode::kFull:
+      return "full";
+    case RecordMode::kFlowOnly:
+      return "flow-only";
+  }
+  return "full";
+}
+
 }  // namespace
 
 std::uint64_t FingerprintInstance(const Instance& instance) {
@@ -69,6 +79,7 @@ RunManifest MakeRunManifest(const Instance& instance, int m,
   manifest.seed = seed;
   manifest.max_horizon = options.max_horizon;
   manifest.clairvoyance = ToString(options.clairvoyance);
+  manifest.record = ToString(options.record);
   return manifest;
 }
 
@@ -82,7 +93,8 @@ std::string RunManifest::to_json() const {
   out += "  \"m\": " + std::to_string(m) + ",\n";
   out += "  \"seed\": " + std::to_string(seed) + ",\n";
   out += "  \"max_horizon\": " + std::to_string(max_horizon) + ",\n";
-  out += "  \"clairvoyance\": " + JsonString(clairvoyance) + "\n";
+  out += "  \"clairvoyance\": " + JsonString(clairvoyance) + ",\n";
+  out += "  \"record\": " + JsonString(record) + "\n";
   out += "}\n";
   return out;
 }
@@ -97,6 +109,7 @@ void WriteManifest(MetricsRegistry& registry, const RunManifest& manifest) {
   registry.set_manifest("seed", static_cast<std::int64_t>(manifest.seed));
   registry.set_manifest("max_horizon", manifest.max_horizon);
   registry.set_manifest("clairvoyance", manifest.clairvoyance);
+  registry.set_manifest("record", manifest.record);
 }
 
 MetricsObserver::MetricsObserver(MetricsRegistry& registry, Options options)

@@ -32,6 +32,7 @@ struct RunManifest {
   std::uint64_t seed = 0;
   Time max_horizon = 0;              // 0 = auto
   std::string clairvoyance;          // "policy-default" | "deny" | "allow"
+  std::string record;                // "full" | "flow-only"
 
   /// Standalone manifest document (the CI artifact format).
   std::string to_json() const;
@@ -84,7 +85,9 @@ class MetricsObserver final : public RunObserver {
 
 /// Appends arrive/exec/done events to a borrowed EventTrace as the run
 /// executes.  The result is byte-identical to
-/// DeriveTrace(result.schedule, instance) for every engine.
+/// DeriveTrace(result.full_schedule(), instance) for every engine, and
+/// it keeps working under RecordMode::kFlowOnly (the hooks still fire
+/// even when no schedule is materialized).
 class StreamingTraceObserver final : public RunObserver {
  public:
   explicit StreamingTraceObserver(EventTrace& out) : out_(out) {}

@@ -8,65 +8,118 @@ namespace otsched {
 
 Schedule::Schedule(int m) : m_(m) {
   OTSCHED_CHECK(m >= 1, "need at least one processor");
+  offsets_.push_back(0);
 }
 
 void Schedule::place(Time slot, SubjobRef ref) {
   OTSCHED_CHECK(slot >= 1, "slots are 1-based, got " << slot);
-  if (static_cast<std::size_t>(slot) > slots_.size()) {
-    slots_.resize(static_cast<std::size_t>(slot));
+  // Arena horizon = highest slot the CSR table covers.
+  const Time arena_horizon = static_cast<Time>(offsets_.size()) - 1;
+  if (staged_.empty() && slot >= arena_horizon) {
+    // Sequential hot path: engines place into nondecreasing slots, so
+    // this is a plain append to the arena tail.
+    if (slot > arena_horizon) {
+      offsets_.resize(static_cast<std::size_t>(slot) + 1,
+                      static_cast<std::int64_t>(entries_.size()));
+    }
+    entries_.push_back(ref);
+    offsets_.back() = static_cast<std::int64_t>(entries_.size());
+  } else {
+    staged_.emplace_back(slot, ref);
   }
-  slots_[static_cast<std::size_t>(slot - 1)].push_back(ref);
   ++total_placed_;
+  horizon_ = std::max(horizon_, slot);
+}
+
+void Schedule::flatten() const {
+  if (staged_.empty()) return;
+  const std::size_t n_slots = static_cast<std::size_t>(horizon_);
+  std::vector<std::int64_t> new_offsets(n_slots + 1, 0);
+  // Per-slot counts (stored shifted by one for the prefix sum below).
+  const Time arena_horizon = static_cast<Time>(offsets_.size()) - 1;
+  for (Time t = 1; t <= arena_horizon; ++t) {
+    new_offsets[static_cast<std::size_t>(t)] =
+        offsets_[static_cast<std::size_t>(t)] -
+        offsets_[static_cast<std::size_t>(t) - 1];
+  }
+  for (const auto& [slot, ref] : staged_) {
+    ++new_offsets[static_cast<std::size_t>(slot)];
+  }
+  for (std::size_t t = 1; t <= n_slots; ++t) {
+    new_offsets[t] += new_offsets[t - 1];
+  }
+  std::vector<SubjobRef> new_entries(
+      static_cast<std::size_t>(total_placed_));
+  // Write cursors start at each slot's begin offset.  Arena entries are
+  // copied first (they were placed before staging began), then staged
+  // entries in insertion order — preserving per-slot call order.
+  std::vector<std::int64_t> cursor(new_offsets.begin(),
+                                   new_offsets.end() - 1);
+  for (Time t = 1; t <= arena_horizon; ++t) {
+    for (std::int64_t i = offsets_[static_cast<std::size_t>(t) - 1];
+         i < offsets_[static_cast<std::size_t>(t)]; ++i) {
+      new_entries[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(t) - 1]++)] =
+          entries_[static_cast<std::size_t>(i)];
+    }
+  }
+  for (const auto& [slot, ref] : staged_) {
+    new_entries[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(slot) - 1]++)] = ref;
+  }
+  offsets_ = std::move(new_offsets);
+  entries_ = std::move(new_entries);
+  staged_.clear();
 }
 
 std::span<const SubjobRef> Schedule::at(Time slot) const {
-  if (slot < 1 || static_cast<std::size_t>(slot) > slots_.size()) return {};
-  return slots_[static_cast<std::size_t>(slot - 1)];
+  if (slot < 1 || slot > horizon_) return {};
+  flatten();
+  const std::int64_t begin = offsets_[static_cast<std::size_t>(slot) - 1];
+  const std::int64_t end = offsets_[static_cast<std::size_t>(slot)];
+  return {entries_.data() + begin, static_cast<std::size_t>(end - begin)};
 }
 
-std::int64_t Schedule::idle_processor_slots() const {
-  std::int64_t idle = 0;
-  for (const auto& slot : slots_) {
-    idle += m_ - static_cast<std::int64_t>(slot.size());
-  }
-  return idle;
-}
-
-std::vector<Time> Schedule::idle_slots(Time from, Time to, int capacity) const {
-  if (capacity < 0) capacity = m_;
+std::vector<Time> Schedule::idle_slots(Time from, Time to,
+                                       std::optional<int> capacity) const {
+  const int cap = capacity.value_or(m_);
   std::vector<Time> result;
   from = std::max<Time>(from, 1);
   to = std::min<Time>(to, horizon());
   for (Time t = from; t <= to; ++t) {
-    if (load(t) < capacity) result.push_back(t);
+    if (load(t) < cap) result.push_back(t);
   }
   return result;
 }
 
-FlowSummary ComputeFlows(const Schedule& schedule, const Instance& instance) {
+void FlowAccumulator::init(const Instance& instance) {
+  instance_ = &instance;
   const std::size_t n = static_cast<std::size_t>(instance.job_count());
-  std::vector<std::int64_t> placed(n, 0);
-  std::vector<Time> last_slot(n, kNoTime);
+  placed_.assign(n, 0);
+  last_slot_.assign(n, kNoTime);
+}
 
-  for (Time t = 1; t <= schedule.horizon(); ++t) {
-    for (const SubjobRef& ref : schedule.at(t)) {
-      OTSCHED_CHECK(ref.job >= 0 && ref.job < instance.job_count(),
-                    "schedule references unknown job " << ref.job);
-      auto& count = placed[static_cast<std::size_t>(ref.job)];
-      ++count;
-      last_slot[static_cast<std::size_t>(ref.job)] = t;
-    }
-  }
+void FlowAccumulator::record(Time slot, JobId job) {
+  OTSCHED_CHECK(job >= 0 && job < instance_->job_count(),
+                "schedule references unknown job " << job);
+  const std::size_t i = static_cast<std::size_t>(job);
+  ++placed_[i];
+  last_slot_[i] = std::max(last_slot_[i], slot);
+}
 
+FlowSummary FlowAccumulator::finish() const {
+  OTSCHED_CHECK(instance_ != nullptr, "FlowAccumulator not initialized");
+  const Instance& instance = *instance_;
+  const std::size_t n = static_cast<std::size_t>(instance.job_count());
   FlowSummary summary;
   summary.completion.resize(n, kNoTime);
   summary.flow.resize(n, kInfiniteTime);
   for (JobId id = 0; id < instance.job_count(); ++id) {
     const std::size_t i = static_cast<std::size_t>(id);
     const Job& job = instance.job(id);
-    if (placed[i] == job.work()) {
-      summary.completion[i] = last_slot[i];
-      summary.flow[i] = last_slot[i] - job.release();
+    if (placed_[i] == job.work()) {
+      summary.completion[i] = last_slot_[i];
+      summary.flow[i] = last_slot_[i] - job.release();
     } else {
       summary.all_completed = false;
     }
@@ -80,6 +133,16 @@ FlowSummary ComputeFlows(const Schedule& schedule, const Instance& instance) {
     summary.max_flow = 0;
   }
   return summary;
+}
+
+FlowSummary ComputeFlows(const Schedule& schedule, const Instance& instance) {
+  FlowAccumulator accumulator(instance);
+  for (Time t = 1; t <= schedule.horizon(); ++t) {
+    for (const SubjobRef& ref : schedule.at(t)) {
+      accumulator.record(t, ref.job);
+    }
+  }
+  return accumulator.finish();
 }
 
 }  // namespace otsched

@@ -2,11 +2,20 @@
 //
 // A schedule maps each 1-based time slot t to the multiset of subjobs run
 // during (t-1, t].  Which physical processor runs which subjob is
-// irrelevant in the paper's model, so a slot is just a vector of
+// irrelevant in the paper's model, so a slot is just a bounded bag of
 // SubjobRefs with |slot| <= m.
+//
+// Storage is a flat CSR arena: one contiguous SubjobRef array plus a
+// per-slot offset table, instead of one heap vector per slot.  Engines
+// fill slots in nondecreasing order, so the hot path is a plain append;
+// out-of-order place() calls (tests, LPF head/tail construction) land in
+// a small staging buffer that is merged back into the arena lazily, on
+// the first read.  Per-slot call order is preserved either way.
 #pragma once
 
+#include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -27,7 +36,7 @@ class Schedule {
   void place(Time slot, SubjobRef ref);
 
   /// Last slot with any subjob (0 for the empty schedule).
-  Time horizon() const { return static_cast<Time>(slots_.size()); }
+  Time horizon() const { return horizon_; }
 
   /// Subjobs run at `slot` (empty span for slots beyond the horizon).
   std::span<const SubjobRef> at(Time slot) const;
@@ -39,16 +48,34 @@ class Schedule {
   std::int64_t total_placed() const { return total_placed_; }
 
   /// Count of (slot, processor) pairs left idle over [1, horizon].
-  std::int64_t idle_processor_slots() const;
+  std::int64_t idle_processor_slots() const {
+    return static_cast<std::int64_t>(m_) * horizon_ - total_placed_;
+  }
 
   /// Slots in [from, to] with load strictly less than `capacity`
-  /// (defaults to m).  Used to check the Lemma 5.2 / Figure 2 tail shape.
-  std::vector<Time> idle_slots(Time from, Time to, int capacity = -1) const;
+  /// (nullopt = m).  Used to check the Lemma 5.2 / Figure 2 tail shape.
+  std::vector<Time> idle_slots(Time from, Time to,
+                               std::optional<int> capacity = std::nullopt)
+      const;
 
  private:
+  /// Merges `staged_` into the CSR arena (no-op when already flat).
+  /// Lazily invoked by readers; logically const, hence the mutables.
+  void flatten() const;
+
   int m_;
   std::int64_t total_placed_ = 0;
-  std::vector<std::vector<SubjobRef>> slots_;  // index t-1
+  Time horizon_ = 0;  // max slot ever placed into
+
+  // CSR arena covering slots [1, offsets_.size() - 1]: slot t holds
+  // entries_[offsets_[t - 1], offsets_[t]).  Invariant: offsets_[0] == 0
+  // and offsets_ is nondecreasing.
+  mutable std::vector<std::int64_t> offsets_;
+  mutable std::vector<SubjobRef> entries_;
+  // Out-of-order placements awaiting a merge.  Once non-empty, every
+  // subsequent place() stages (so per-slot call order stays: arena
+  // entries first, then staged entries in insertion order).
+  mutable std::vector<std::pair<Time, SubjobRef>> staged_;
 };
 
 /// Per-job completion times and flows of a schedule, measured against the
@@ -59,6 +86,34 @@ struct FlowSummary {
   Time max_flow = 0;             // the l_inf objective F^S_max
   JobId max_flow_job = kInvalidJob;
   bool all_completed = true;
+};
+
+/// Online flow accounting: feed it every executed subjob as it happens
+/// and finish() yields the same FlowSummary that ComputeFlows derives
+/// from a materialized schedule (ComputeFlows is implemented on top of
+/// it, so the two paths agree by construction).  This is what lets
+/// flow-only runs skip the schedule entirely.
+class FlowAccumulator {
+ public:
+  FlowAccumulator() = default;
+  explicit FlowAccumulator(const Instance& instance) { init(instance); }
+
+  /// (Re)binds to an instance; resets all counters.
+  void init(const Instance& instance);
+
+  /// One subjob of `job` ran during `slot`.  Slots need not be fed in
+  /// order; completion is the LAST slot a job's subjob ran in.
+  void record(Time slot, JobId job);
+
+  /// Summarizes what has been recorded so far.  Jobs whose recorded count
+  /// is short of their work are unfinished: completion = kNoTime, flow =
+  /// kInfiniteTime (saturating max_flow).
+  FlowSummary finish() const;
+
+ private:
+  const Instance* instance_ = nullptr;
+  std::vector<std::int64_t> placed_;
+  std::vector<Time> last_slot_;
 };
 
 /// Computes completion/flow per job.  A job completes when all of its

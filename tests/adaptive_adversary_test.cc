@@ -24,7 +24,7 @@ TEST(AdaptiveAdversary, ProducesConsistentInstanceForFifo) {
   // The runner itself validates consistency; double-check here plus
   // structure: every job is an out-forest of m layers, keys wired.
   EXPECT_TRUE(
-      ValidateSchedule(result.schedule, result.instance).feasible);
+      ValidateSchedule(result.full_schedule(), result.instance).feasible);
   EXPECT_TRUE(result.instance.all_out_forests());
   EXPECT_EQ(result.instance.job_count(), 40);
   for (const auto& keys : result.keys) {
@@ -142,8 +142,8 @@ TEST(AdaptiveAdversary, KeysAreTheLastFinishedSubjobs) {
     std::vector<Time> done(
         static_cast<std::size_t>(result.instance.job(j).dag().node_count()),
         kNoTime);
-    for (Time t = 1; t <= result.schedule.horizon(); ++t) {
-      for (const SubjobRef& ref : result.schedule.at(t)) {
+    for (Time t = 1; t <= result.full_schedule().horizon(); ++t) {
+      for (const SubjobRef& ref : result.full_schedule().at(t)) {
         if (ref.job == j) done[static_cast<std::size_t>(ref.node)] = t;
       }
     }

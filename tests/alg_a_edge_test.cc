@@ -21,7 +21,7 @@ TEST(AlgAEdge, MissingBatchesLeaveEmptyWindows) {
   options.known_opt = 8;  // W = 4
   AlgASemiBatchedScheduler scheduler(options);
   const SimResult result = Simulate(instance, 8, scheduler);
-  ASSERT_TRUE(ValidateSchedule(result.schedule, instance).feasible);
+  ASSERT_TRUE(ValidateSchedule(result.full_schedule(), instance).feasible);
   EXPECT_TRUE(result.flows.all_completed);
 }
 
@@ -49,7 +49,7 @@ TEST(AlgAEdge, WindowOfOneSlot) {
   options.known_opt = 2;
   AlgASemiBatchedScheduler scheduler(options);
   const SimResult result = Simulate(instance, 8, scheduler);
-  ASSERT_TRUE(ValidateSchedule(result.schedule, instance).feasible);
+  ASSERT_TRUE(ValidateSchedule(result.full_schedule(), instance).feasible);
   EXPECT_TRUE(result.flows.all_completed);
 }
 
@@ -67,7 +67,7 @@ TEST(AlgAEdge, AlphaTwoSplitsTheMachineInHalf) {
   options.known_opt = 8;
   AlgASemiBatchedScheduler scheduler(options);
   const SimResult result = Simulate(instance, 8, scheduler);
-  ASSERT_TRUE(ValidateSchedule(result.schedule, instance).feasible);
+  ASSERT_TRUE(ValidateSchedule(result.full_schedule(), instance).feasible);
 }
 
 TEST(AlgAEdge, FullVersionWithLargeInitialGuessSkipsDoubling) {
@@ -81,7 +81,7 @@ TEST(AlgAEdge, FullVersionWithLargeInitialGuessSkipsDoubling) {
   const SimResult result = Simulate(instance, 8, scheduler);
   EXPECT_EQ(scheduler.restarts(), 0);
   EXPECT_EQ(scheduler.guess(), 64);
-  ASSERT_TRUE(ValidateSchedule(result.schedule, instance).feasible);
+  ASSERT_TRUE(ValidateSchedule(result.full_schedule(), instance).feasible);
 }
 
 TEST(AlgAEdge, LateLoneArrivalAfterQuietPeriod) {
@@ -93,7 +93,7 @@ TEST(AlgAEdge, LateLoneArrivalAfterQuietPeriod) {
   options.beta = 8;
   AlgAScheduler scheduler(options);
   const SimResult result = Simulate(instance, 4, scheduler);
-  ASSERT_TRUE(ValidateSchedule(result.schedule, instance).feasible);
+  ASSERT_TRUE(ValidateSchedule(result.full_schedule(), instance).feasible);
   // The late job must not be penalized by the early one's history: its
   // flow is bounded by the (settled) guess envelope.
   EXPECT_LE(result.flows.flow[1],

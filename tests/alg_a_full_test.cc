@@ -19,7 +19,7 @@ TEST(AlgAGeneral, SingleJobFromColdStart) {
   instance.add_job(Job(MakeTree(TreeFamily::kMixed, 64, rng), 0));
   AlgAScheduler scheduler;
   const SimResult result = Simulate(instance, 8, scheduler);
-  const auto report = ValidateSchedule(result.schedule, instance);
+  const auto report = ValidateSchedule(result.full_schedule(), instance);
   ASSERT_TRUE(report.feasible) << report.violation;
   EXPECT_TRUE(result.flows.all_completed);
 }
@@ -33,7 +33,7 @@ TEST(AlgAGeneral, GuessDoublesOnUnderestimates) {
   options.beta = 8;  // small beta so doubling happens quickly
   AlgAScheduler scheduler(options);
   const SimResult result = Simulate(instance, 8, scheduler);
-  ASSERT_TRUE(ValidateSchedule(result.schedule, instance).feasible);
+  ASSERT_TRUE(ValidateSchedule(result.full_schedule(), instance).feasible);
   EXPECT_GE(scheduler.restarts(), 1);
   EXPECT_GT(scheduler.guess(), 1);
 }
@@ -50,7 +50,7 @@ TEST(AlgAGeneral, ArbitraryReleasesAreHandled) {
   options.beta = 16;
   AlgAScheduler scheduler(options);
   const SimResult result = Simulate(instance, 8, scheduler);
-  const auto report = ValidateSchedule(result.schedule, instance);
+  const auto report = ValidateSchedule(result.full_schedule(), instance);
   ASSERT_TRUE(report.feasible) << report.violation;
   EXPECT_TRUE(result.flows.all_completed);
 }
@@ -68,7 +68,7 @@ TEST_P(AlgAGeneralSweep, FeasibleWithBoundedRatioOnCertifiedLoads) {
   options.beta = 16;  // tight envelope keeps runtimes small in tests
   AlgAScheduler scheduler(options);
   const SimResult result = Simulate(cert.instance, m, scheduler);
-  ASSERT_TRUE(ValidateSchedule(result.schedule, cert.instance).feasible);
+  ASSERT_TRUE(ValidateSchedule(result.full_schedule(), cert.instance).feasible);
   EXPECT_TRUE(result.flows.all_completed);
   EXPECT_GE(result.flows.max_flow, cert.opt);
   // Theorem 5.7 headline envelope (very loose; tightness is measured by
@@ -93,7 +93,7 @@ TEST(AlgAGeneral, RestartPreservesFeasibilityMidJob) {
   options.beta = 4;  // aggressive restarts
   AlgAScheduler scheduler(options);
   const SimResult result = Simulate(instance, 8, scheduler);
-  const auto report = ValidateSchedule(result.schedule, instance);
+  const auto report = ValidateSchedule(result.full_schedule(), instance);
   ASSERT_TRUE(report.feasible) << report.violation;
   EXPECT_GE(scheduler.restarts(), 1);
 }
@@ -110,7 +110,7 @@ TEST(AlgAGeneral, BurstArrivalsAreUnionedPerVisibility) {
   options.beta = 16;
   AlgAScheduler scheduler(options);
   const SimResult result = Simulate(instance, 8, scheduler);
-  ASSERT_TRUE(ValidateSchedule(result.schedule, instance).feasible);
+  ASSERT_TRUE(ValidateSchedule(result.full_schedule(), instance).feasible);
 }
 
 TEST(AlgAGeneral, FlowsAreMeasuredAgainstOriginalReleases) {

@@ -23,7 +23,7 @@ TEST(AlgAGeneralDag, ForkJoinStreamIsFeasible) {
   options.allow_general_dags = true;
   AlgAScheduler scheduler(options);
   const SimResult result = Simulate(instance, 8, scheduler);
-  const auto report = ValidateSchedule(result.schedule, instance);
+  const auto report = ValidateSchedule(result.full_schedule(), instance);
   EXPECT_TRUE(report.feasible) << report.violation;
   EXPECT_TRUE(result.flows.all_completed);
 }
@@ -37,7 +37,7 @@ TEST(AlgAGeneralDag, SemiBatchedModeAcceptsDiamonds) {
   options.allow_general_dags = true;
   AlgASemiBatchedScheduler scheduler(options);
   const SimResult result = Simulate(instance, 8, scheduler);
-  EXPECT_TRUE(ValidateSchedule(result.schedule, instance).feasible);
+  EXPECT_TRUE(ValidateSchedule(result.full_schedule(), instance).feasible);
 }
 
 TEST(AlgAGeneralDag, StillRejectsWithoutTheFlag) {
@@ -64,7 +64,7 @@ TEST(AlgAGeneralDag, RestartMidDiamondKeepsFeasibility) {
   options.allow_general_dags = true;
   AlgAScheduler scheduler(options);
   const SimResult result = Simulate(instance, 8, scheduler);
-  const auto report = ValidateSchedule(result.schedule, instance);
+  const auto report = ValidateSchedule(result.full_schedule(), instance);
   EXPECT_TRUE(report.feasible) << report.violation;
   EXPECT_GE(scheduler.restarts(), 1);
 }
@@ -80,7 +80,7 @@ TEST(AlgAGeneralDag, MixedForestAndDagBatches) {
   options.allow_general_dags = true;
   AlgAScheduler scheduler(options);
   const SimResult result = Simulate(instance, 4, scheduler);
-  EXPECT_TRUE(ValidateSchedule(result.schedule, instance).feasible);
+  EXPECT_TRUE(ValidateSchedule(result.full_schedule(), instance).feasible);
   EXPECT_TRUE(result.flows.all_completed);
 }
 

@@ -18,7 +18,7 @@ TEST(AlgASemiBatched, SingleBatchRunsLikeLpf) {
   options.known_opt = cert.opt % 2 == 0 ? cert.opt : cert.opt + 1;
   AlgASemiBatchedScheduler scheduler(options);
   const SimResult result = Simulate(cert.instance, m, scheduler);
-  const auto report = ValidateSchedule(result.schedule, cert.instance);
+  const auto report = ValidateSchedule(result.full_schedule(), cert.instance);
   EXPECT_TRUE(report.feasible) << report.violation;
   // One batch, head = LPF[m/4] for 2 windows, then MC with nearly the
   // whole machine: must finish within the Theorem 5.6 envelope easily.
@@ -43,7 +43,7 @@ TEST_P(AlgASemiBatchedSweep, FeasibleAndWithinTheorem56Bound) {
   AlgASemiBatchedScheduler scheduler(options);
   const SimResult result = Simulate(cert.instance, m, scheduler);
 
-  const auto report = ValidateSchedule(result.schedule, cert.instance);
+  const auto report = ValidateSchedule(result.full_schedule(), cert.instance);
   ASSERT_TRUE(report.feasible) << report.violation;
   EXPECT_TRUE(result.flows.all_completed);
   // Theorem 5.6 guarantee: flow <= beta * OPT / 2 with beta = 258.
@@ -74,7 +74,7 @@ TEST(AlgASemiBatched, SaturatedBatchesStayConstantCompetitive) {
     options.known_opt = 2 * delta;
     AlgASemiBatchedScheduler scheduler(options);
     const SimResult result = Simulate(cert.instance, m, scheduler);
-    ASSERT_TRUE(ValidateSchedule(result.schedule, cert.instance).feasible);
+    ASSERT_TRUE(ValidateSchedule(result.full_schedule(), cert.instance).feasible);
     const double ratio = static_cast<double>(result.flows.max_flow) /
                          static_cast<double>(cert.opt);
     EXPECT_LE(ratio, 20.0) << "m=" << m;
@@ -126,10 +126,10 @@ TEST(AlgASemiBatched, PerJobWidthNeverExceedsMOverAlpha) {
   AlgASemiBatchedScheduler scheduler(options);
   const SimResult result = Simulate(cert.instance, m, scheduler);
 
-  for (Time t = 1; t <= result.schedule.horizon(); ++t) {
+  for (Time t = 1; t <= result.full_schedule().horizon(); ++t) {
     std::vector<int> per_job(static_cast<std::size_t>(
         cert.instance.job_count()));
-    for (const SubjobRef& ref : result.schedule.at(t)) {
+    for (const SubjobRef& ref : result.full_schedule().at(t)) {
       ++per_job[static_cast<std::size_t>(ref.job)];
     }
     for (int count : per_job) {
@@ -155,7 +155,7 @@ TEST(AlgASemiBatched, MultipleJobsPerBatchAreUnioned) {
   options.known_opt = opt;
   AlgASemiBatchedScheduler scheduler(options);
   const SimResult result = Simulate(instance, m, scheduler);
-  ASSERT_TRUE(ValidateSchedule(result.schedule, instance).feasible);
+  ASSERT_TRUE(ValidateSchedule(result.full_schedule(), instance).feasible);
   EXPECT_LE(result.flows.max_flow, 129 * opt);
 }
 

@@ -50,7 +50,7 @@ Artifacts MakeArtifacts(std::uint64_t seed, int m, NodeId nodes = 26) {
   a.m = m;
   FifoScheduler fifo;
   const SimResult run = Simulate(a.instance, m, fifo);
-  a.schedule = run.schedule;
+  a.schedule = run.full_schedule();
   a.max_flow = run.flows.max_flow;
   a.opt = SingleBatchOpt(a.dag, m);
   a.lpf = BuildLpfSchedule(a.dag, m);

@@ -15,6 +15,7 @@
 #include <sstream>
 
 #include "common/rng.h"
+#include "dag/builders.h"
 #include "gen/arrivals.h"
 #include "gen/certified.h"
 #include "gen/fifo_adversary.h"
@@ -100,7 +101,7 @@ void ExpectIdenticalSchedules(const Schedule& incremental,
 void ExpectIdenticalRuns(const SimResult& incremental,
                          const SimResult& reference,
                          const std::string& label) {
-  ExpectIdenticalSchedules(incremental.schedule, reference.schedule, label);
+  ExpectIdenticalSchedules(incremental.full_schedule(), reference.full_schedule(), label);
   EXPECT_EQ(incremental.flows.completion, reference.flows.completion)
       << label;
   EXPECT_EQ(incremental.flows.flow, reference.flows.flow) << label;
@@ -165,7 +166,7 @@ void CheckAllPolicies(const Instance& instance, int m,
         Simulate(instance, m, *observed_scheduler, context);
     ExpectIdenticalRuns(observed, incremental, label.str() + " [observed]");
     EXPECT_EQ(FirstDivergence(streamed,
-                              DeriveTrace(observed.schedule, instance)),
+                              DeriveTrace(observed.full_schedule(), instance)),
               -1)
         << label.str() << " [streamed trace]";
 
@@ -180,6 +181,134 @@ void CheckAllPolicies(const Instance& instance, int m,
     EXPECT_EQ(recorder.lines(), reference_recorder.lines())
         << label.str() << " [hook stream]";
   }
+}
+
+void ExpectIdenticalSummaries(const SimResult& got, const SimResult& want,
+                              const std::string& label) {
+  EXPECT_EQ(got.flows.completion, want.flows.completion) << label;
+  EXPECT_EQ(got.flows.flow, want.flows.flow) << label;
+  EXPECT_EQ(got.flows.max_flow, want.flows.max_flow) << label;
+  EXPECT_EQ(got.flows.max_flow_job, want.flows.max_flow_job) << label;
+  EXPECT_EQ(got.flows.all_completed, want.flows.all_completed) << label;
+  EXPECT_EQ(got.stats.horizon, want.stats.horizon) << label;
+  EXPECT_EQ(got.stats.executed_subjobs, want.stats.executed_subjobs) << label;
+  EXPECT_EQ(got.stats.idle_processor_slots, want.stats.idle_processor_slots)
+      << label;
+  EXPECT_EQ(got.stats.busy_slots, want.stats.busy_slots) << label;
+}
+
+/// The flow-only gate: for every applicable registry policy, a
+/// RecordMode::kFlowOnly run — on either engine, with or without
+/// observers — must produce a FlowSummary and SimStats bit-identical to
+/// the full-mode run's, which in turn must match the schedule-derived
+/// ComputeFlows (the pre-refactor definition of the numbers).
+void CheckFlowOnlyAllPolicies(const Instance& instance, int m,
+                              bool semi_batched_certified, Time known_opt,
+                              const std::string& corpus_label) {
+  for (const PolicySpec& spec : AllPolicies()) {
+    if (!PolicyApplies(spec, instance.all_out_forests(),
+                       semi_batched_certified, m)) {
+      continue;
+    }
+    const std::uint64_t seed = 12345;
+    const auto make = [&] {
+      return spec.needs_semi_batched ? spec.make_semi_batched(known_opt)
+                                     : spec.make(seed);
+    };
+    std::ostringstream label_stream;
+    label_stream << corpus_label << " / " << spec.name << " / m=" << m;
+    const std::string label = label_stream.str();
+
+    // Full-mode baseline; its online flows must equal the derived ones.
+    auto full_scheduler = make();
+    const SimResult full = Simulate(instance, m, *full_scheduler);
+    ASSERT_TRUE(full.has_schedule()) << label;
+    const FlowSummary derived = ComputeFlows(full.full_schedule(), instance);
+    EXPECT_EQ(full.flows.completion, derived.completion) << label;
+    EXPECT_EQ(full.flows.flow, derived.flow) << label;
+    EXPECT_EQ(full.flows.max_flow, derived.max_flow) << label;
+    EXPECT_EQ(full.flows.max_flow_job, derived.max_flow_job) << label;
+    EXPECT_EQ(full.flows.all_completed, derived.all_completed) << label;
+
+    // Flow-only on the incremental engine.
+    auto flow_scheduler = make();
+    const SimResult flow_only =
+        Simulate(instance, m, *flow_scheduler, FlowOnlyOptions());
+    EXPECT_FALSE(flow_only.has_schedule()) << label;
+    ExpectIdenticalSummaries(flow_only, full, label + " [flow-only]");
+
+    // Flow-only on the reference engine.
+    auto reference_scheduler = make();
+    const SimResult reference = ReferenceSimulate(
+        instance, m, *reference_scheduler, FlowOnlyOptions());
+    EXPECT_FALSE(reference.has_schedule()) << label;
+    ExpectIdenticalSummaries(reference, full, label + " [flow-only ref]");
+
+    // Flow-only with observers attached: the hooks still stream the full
+    // event trace even though no schedule is materialized, and the run
+    // itself is unperturbed.
+    auto observed_scheduler = make();
+    HookRecorder recorder;
+    EventTrace streamed;
+    StreamingTraceObserver tracer(streamed);
+    ObserverList observers;
+    observers.add(&recorder);
+    observers.add(&tracer);
+    RunContext context{FlowOnlyOptions(), &observers};
+    const SimResult observed =
+        Simulate(instance, m, *observed_scheduler, context);
+    EXPECT_FALSE(observed.has_schedule()) << label;
+    ExpectIdenticalSummaries(observed, full, label + " [flow-only observed]");
+    EXPECT_EQ(FirstDivergence(streamed,
+                              DeriveTrace(full.full_schedule(), instance)),
+              -1)
+        << label << " [flow-only streamed trace]";
+  }
+}
+
+/// Large sparse workload (many alive chain jobs, one ready subjob each):
+/// the shape where flow-only recording pays off, mirroring the
+/// BM_EngineSparse* microbenchmarks.
+Instance MakeSparseChains(int jobs, NodeId chain_len) {
+  Instance instance;
+  instance.set_name("sparse-chains-" + std::to_string(jobs));
+  for (int j = 0; j < jobs; ++j) {
+    instance.add_job(Job(MakeChain(chain_len), 0));
+  }
+  return instance;
+}
+
+TEST(EngineEquivalence, FlowOnlySparse512) {
+  const Instance instance = MakeSparseChains(512, 32);
+  CheckFlowOnlyAllPolicies(instance, 8, /*semi_batched_certified=*/false,
+                           /*known_opt=*/0, "sparse-512");
+}
+
+TEST(EngineEquivalence, FlowOnlySparse2048) {
+  const Instance instance = MakeSparseChains(2048, 16);
+  CheckFlowOnlyAllPolicies(instance, 8, /*semi_batched_certified=*/false,
+                           /*known_opt=*/0, "sparse-2048");
+}
+
+TEST(EngineEquivalence, FlowOnlyCorpusShapes) {
+  // The small corpus shapes too, so semi-batched and adversarial paths
+  // get flow-only coverage (sparse chains never certify semi-batched).
+  Rng rng(7);
+  Instance poisson = MakePoissonArrivals(
+      6, 0.2,
+      [](std::int64_t i, Rng& r) {
+        return MakeTree(static_cast<TreeFamily>(i % 4),
+                        static_cast<NodeId>(5 + r.next_below(20)), r);
+      },
+      rng);
+  for (int m : {1, 3}) {
+    CheckFlowOnlyAllPolicies(poisson, m, /*semi_batched_certified=*/false,
+                             /*known_opt=*/0, "flowonly-poisson");
+  }
+  Rng cert_rng(42);
+  CertifiedInstance cert = MakePipelinedSemiBatchedInstance(4, 2, 3, cert_rng);
+  CheckFlowOnlyAllPolicies(cert.instance, 4, /*semi_batched_certified=*/true,
+                           cert.opt, "flowonly-pipelined");
 }
 
 TEST(EngineEquivalence, GeneralPoissonTreeMixes) {

@@ -46,7 +46,7 @@ TEST(Engine, ChainOnOneProcessor) {
   TakeAllScheduler scheduler;
   const SimResult result = Simulate(instance, 1, scheduler);
   EXPECT_EQ(result.flows.max_flow, 4);
-  EXPECT_TRUE(ValidateSchedule(result.schedule, instance));
+  EXPECT_TRUE(ValidateSchedule(result.full_schedule(), instance));
   EXPECT_EQ(result.stats.executed_subjobs, 4);
   EXPECT_EQ(result.stats.horizon, 4);
 }
@@ -94,8 +94,8 @@ TEST(Engine, ReadinessBlocksChildUntilNextSlot) {
   TakeAllScheduler scheduler;
   const SimResult result = Simulate(instance, 4, scheduler);
   EXPECT_EQ(result.flows.max_flow, 2);
-  EXPECT_EQ(result.schedule.load(1), 1);
-  EXPECT_EQ(result.schedule.load(2), 2);
+  EXPECT_EQ(result.full_schedule().load(1), 1);
+  EXPECT_EQ(result.full_schedule().load(2), 2);
 }
 
 TEST(Engine, SchedulerIdlingIsAllowed) {
@@ -104,7 +104,7 @@ TEST(Engine, SchedulerIdlingIsAllowed) {
   LazyScheduler scheduler(3);
   const SimResult result = Simulate(instance, 1, scheduler);
   EXPECT_EQ(result.flows.max_flow, 5);  // 3 idle slots + 2 work slots
-  EXPECT_TRUE(ValidateSchedule(result.schedule, instance));
+  EXPECT_TRUE(ValidateSchedule(result.full_schedule(), instance));
 }
 
 TEST(Engine, AliveListIsFifoOrdered) {
@@ -260,6 +260,36 @@ TEST(EngineDeath, StalledSchedulerHitsHorizonBound) {
   EXPECT_DEATH(Simulate(instance, 1, stall, options), "horizon");
 }
 
+TEST(Engine, FlowOnlySkipsScheduleButKeepsNumbers) {
+  Instance instance;
+  instance.add_job(Job(MakeStar(3), 0));
+  instance.add_job(Job(MakeChain(4), 2));
+  TakeAllScheduler full_scheduler;
+  const SimResult full = Simulate(instance, 2, full_scheduler);
+  TakeAllScheduler flow_scheduler;
+  const SimResult flow = Simulate(instance, 2, flow_scheduler,
+                                  FlowOnlyOptions());
+  EXPECT_FALSE(flow.has_schedule());
+  EXPECT_EQ(flow.flows.completion, full.flows.completion);
+  EXPECT_EQ(flow.flows.flow, full.flows.flow);
+  EXPECT_EQ(flow.flows.max_flow, full.flows.max_flow);
+  EXPECT_EQ(flow.stats.horizon, full.stats.horizon);
+  EXPECT_EQ(flow.stats.executed_subjobs, full.stats.executed_subjobs);
+  EXPECT_EQ(flow.stats.idle_processor_slots,
+            full.stats.idle_processor_slots);
+  EXPECT_EQ(flow.stats.busy_slots, full.stats.busy_slots);
+}
+
+TEST(EngineDeath, FullScheduleAccessorOnFlowOnlyRun) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Instance instance;
+  instance.add_job(Job(MakeChain(1), 0));
+  TakeAllScheduler scheduler;
+  const SimResult result = Simulate(instance, 1, scheduler,
+                                    FlowOnlyOptions());
+  EXPECT_DEATH((void)result.full_schedule(), "flow-only");
+}
+
 TEST(Engine, ForceClairvoyanceOverride) {
   // A scheduler that declares clairvoyance can be run with it force-
   // disabled to prove it never actually touches DAGs — here we force it
@@ -308,7 +338,7 @@ TEST(Engine, ChaosSchedulerStaysFeasible) {
   instance.add_job(Job(MakeCompleteTree(2, 4), 4));
   Chaos chaos;
   const SimResult result = Simulate(instance, 3, chaos);
-  const auto report = ValidateSchedule(result.schedule, instance);
+  const auto report = ValidateSchedule(result.full_schedule(), instance);
   EXPECT_TRUE(report.feasible) << report.violation;
   EXPECT_TRUE(result.flows.all_completed);
 }
@@ -319,9 +349,9 @@ TEST(Engine, StatsMatchSchedule) {
   TakeAllScheduler scheduler;
   const SimResult result = Simulate(instance, 2, scheduler);
   EXPECT_EQ(result.stats.executed_subjobs, 4);
-  EXPECT_EQ(result.stats.horizon, result.schedule.horizon());
+  EXPECT_EQ(result.stats.horizon, result.full_schedule().horizon());
   EXPECT_EQ(result.stats.idle_processor_slots,
-            result.schedule.idle_processor_slots());
+            result.full_schedule().idle_processor_slots());
 }
 
 TEST(Engine, FastForwardJobReleasedExactlyAtTarget) {
@@ -374,7 +404,7 @@ TEST(Engine, AllIdleTailAdvancesSlotBySlot) {
   EXPECT_EQ(result.flows.flow[1], 10);  // completed 12, released 2
   EXPECT_EQ(result.stats.busy_slots, 2);
   EXPECT_EQ(result.stats.horizon, 12);
-  EXPECT_TRUE(ValidateSchedule(result.schedule, instance));
+  EXPECT_TRUE(ValidateSchedule(result.full_schedule(), instance));
 }
 
 }  // namespace

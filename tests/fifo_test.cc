@@ -92,7 +92,7 @@ TEST_P(FifoVariantTest, HonorsFifoContractAndFeasibility) {
 
   const Instance instance = MixedTreeInstance(12345, 12);
   const SimResult result = Simulate(instance, 4, checker);
-  const auto report = ValidateSchedule(result.schedule, instance);
+  const auto report = ValidateSchedule(result.full_schedule(), instance);
   EXPECT_TRUE(report.feasible) << report.violation;
   EXPECT_TRUE(result.flows.all_completed);
 }

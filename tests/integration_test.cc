@@ -72,7 +72,7 @@ TEST(Integration, EverySchedulerCompletesEveryWorkload) {
 
     for (const auto& scheduler : schedulers) {
       const SimResult result = Simulate(instance, 8, *scheduler);
-      const auto report = ValidateSchedule(result.schedule, instance);
+      const auto report = ValidateSchedule(result.full_schedule(), instance);
       EXPECT_TRUE(report.feasible)
           << scheduler->name() << " on " << instance.name() << ": "
           << report.violation;
@@ -99,7 +99,7 @@ TEST(Integration, AlgAIsConstantCompetitiveOnTheAdversary) {
     a_options.known_opt = 2 * (m + 1);
     AlgASemiBatchedScheduler alg_a(a_options);
     const SimResult a_result = Simulate(adv.instance, m, alg_a);
-    ASSERT_TRUE(ValidateSchedule(a_result.schedule, adv.instance).feasible);
+    ASSERT_TRUE(ValidateSchedule(a_result.full_schedule(), adv.instance).feasible);
 
     const double ratio =
         static_cast<double>(a_result.flows.max_flow) /
@@ -164,7 +164,7 @@ TEST(Integration, BatchedFifoStaysNearLogEnvelope) {
     CertifiedInstance cert = MakeSpacedSaturatedInstance(m, 5, 6, rng);
     FifoScheduler fifo;
     const SimResult result = Simulate(cert.instance, m, fifo);
-    ASSERT_TRUE(ValidateSchedule(result.schedule, cert.instance).feasible);
+    ASSERT_TRUE(ValidateSchedule(result.full_schedule(), cert.instance).feasible);
     const double ratio = static_cast<double>(result.flows.max_flow) /
                          static_cast<double>(cert.opt);
     const double envelope =

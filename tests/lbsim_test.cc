@@ -148,7 +148,7 @@ TEST(Adversary, CrossValidationAgainstGenericEngine) {
     };
     FifoScheduler fifo(std::move(fifo_options));
     const SimResult result = Simulate(adv.instance, m, fifo);
-    ASSERT_TRUE(ValidateSchedule(result.schedule, adv.instance).feasible);
+    ASSERT_TRUE(ValidateSchedule(result.full_schedule(), adv.instance).feasible);
 
     for (JobId i = 0; i < adv.instance.job_count(); ++i) {
       EXPECT_EQ(result.flows.flow[static_cast<std::size_t>(i)],
@@ -186,7 +186,7 @@ TEST(Adversary, ClairvoyantFifoNeutralizesTheInstance) {
   lpf_options.tie_break = FifoTieBreak::kLpfHeight;
   FifoScheduler lpf_fifo(std::move(lpf_options));
   const SimResult clairvoyant = Simulate(adv.instance, 16, lpf_fifo);
-  ASSERT_TRUE(ValidateSchedule(clairvoyant.schedule, adv.instance).feasible);
+  ASSERT_TRUE(ValidateSchedule(clairvoyant.full_schedule(), adv.instance).feasible);
 
   // Arbitrary FIFO's flow on the same instance (from the co-simulation).
   EXPECT_LT(clairvoyant.flows.max_flow * 2, adv.fifo_run.max_flow);

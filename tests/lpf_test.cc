@@ -175,7 +175,7 @@ TEST(GlobalLpf, FeasibleOnMixedInstance) {
   }
   GlobalLpfScheduler scheduler;
   const SimResult result = Simulate(instance, 4, scheduler);
-  const auto report = ValidateSchedule(result.schedule, instance);
+  const auto report = ValidateSchedule(result.full_schedule(), instance);
   EXPECT_TRUE(report.feasible) << report.violation;
 }
 

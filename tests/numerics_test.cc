@@ -84,7 +84,7 @@ TEST(Numerics, AllSchedulableEndToEnd) {
   instance.add_job(Job(MakeFftButterflyDag(5), 9, "fft"));
   FifoScheduler fifo;
   const SimResult result = Simulate(instance, 6, fifo);
-  const auto report = ValidateSchedule(result.schedule, instance);
+  const auto report = ValidateSchedule(result.full_schedule(), instance);
   EXPECT_TRUE(report.feasible) << report.violation;
   EXPECT_TRUE(result.flows.all_completed);
 }

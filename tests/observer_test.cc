@@ -170,7 +170,7 @@ TEST(ObserverHooks, StreamingTraceMatchesDeriveTraceForAllPolicies) {
       context.observer = &tracer;
       const SimResult result = Simulate(instance, m, *scheduler, context);
       EXPECT_EQ(FirstDivergence(streamed,
-                                DeriveTrace(result.schedule, instance)),
+                                DeriveTrace(result.full_schedule(), instance)),
                 -1)
           << spec.name << " m=" << m;
     }
@@ -195,7 +195,7 @@ TEST(ObserverHooks, AdaptiveEngineStreamsTheSameTrace) {
   // The adversary materializes the instance it played; the streamed trace
   // must agree with the canonical derivation over that instance.
   EXPECT_EQ(
-      FirstDivergence(streamed, DeriveTrace(result.schedule, result.instance)),
+      FirstDivergence(streamed, DeriveTrace(result.full_schedule(), result.instance)),
       -1);
   ASSERT_FALSE(recorder.events().empty());
   EXPECT_EQ(recorder.events().front().kind, OrderingObserver::kBegin);

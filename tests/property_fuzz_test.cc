@@ -55,22 +55,22 @@ TEST_P(ValidatorFuzzTest, DetectsRandomCorruptions) {
   const int m = 3;
   FifoScheduler fifo;
   const SimResult good = Simulate(instance, m, fifo);
-  ASSERT_TRUE(ValidateSchedule(good.schedule, instance).feasible);
+  ASSERT_TRUE(ValidateSchedule(good.full_schedule(), instance).feasible);
 
   for (int trial = 0; trial < 24; ++trial) {
     const int mutation = trial % 4;
     // Pick a random occupied slot and a random entry within it.
-    const Time t = rng.next_in_range(1, good.schedule.horizon());
-    const auto slot = good.schedule.at(t);
+    const Time t = rng.next_in_range(1, good.full_schedule().horizon());
+    const auto slot = good.full_schedule().at(t);
     if (slot.empty()) continue;
     const SubjobRef victim =
         slot[static_cast<std::size_t>(rng.next_below(slot.size()))];
 
-    Schedule bad = CopySchedule(good.schedule, m);
+    Schedule bad = CopySchedule(good.full_schedule(), m);
     bool expect_violation = true;
     switch (mutation) {
       case 0:  // duplicate a subjob in a later slot
-        bad.place(good.schedule.horizon() + 1, victim);
+        bad.place(good.full_schedule().horizon() + 1, victim);
         break;
       case 1: {  // swap: move a subjob one slot before its actual slot
         if (t == 1) {
@@ -83,8 +83,8 @@ TEST_P(ValidatorFuzzTest, DetectsRandomCorruptions) {
         // may still pass if the node was independent — so rebuild by
         // moving it before its parent explicitly when it has one.
         Schedule rebuilt(m);
-        for (Time u = 1; u <= good.schedule.horizon(); ++u) {
-          for (const SubjobRef& ref : good.schedule.at(u)) {
+        for (Time u = 1; u <= good.full_schedule().horizon(); ++u) {
+          for (const SubjobRef& ref : good.full_schedule().at(u)) {
             if (ref == victim) continue;
             rebuilt.place(u, ref);
           }
@@ -99,8 +99,8 @@ TEST_P(ValidatorFuzzTest, DetectsRandomCorruptions) {
           // Place in the same slot as its (first) parent.
           const NodeId parent = dag.parents(victim.node)[0];
           Time parent_slot = kNoTime;
-          for (Time u = 1; u <= good.schedule.horizon(); ++u) {
-            for (const SubjobRef& ref : good.schedule.at(u)) {
+          for (Time u = 1; u <= good.full_schedule().horizon(); ++u) {
+            for (const SubjobRef& ref : good.full_schedule().at(u)) {
               if (ref.job == victim.job && ref.node == parent) {
                 parent_slot = u;
               }
@@ -114,8 +114,8 @@ TEST_P(ValidatorFuzzTest, DetectsRandomCorruptions) {
       }
       case 2: {  // drop a subjob entirely
         Schedule rebuilt(m);
-        for (Time u = 1; u <= good.schedule.horizon(); ++u) {
-          for (const SubjobRef& ref : good.schedule.at(u)) {
+        for (Time u = 1; u <= good.full_schedule().horizon(); ++u) {
+          for (const SubjobRef& ref : good.full_schedule().at(u)) {
             if (ref == victim) continue;
             rebuilt.place(u, ref);
           }
@@ -266,11 +266,11 @@ TEST(OracleProperty, FeasibilityOracleAgreesWithValidator) {
     FifoScheduler fifo;
     const SimResult run = Simulate(instance, m, fifo);
     ASSERT_TRUE(run.flows.all_completed);
-    EXPECT_TRUE(CheckFeasibilityOracle(run.schedule, instance));
+    EXPECT_TRUE(CheckFeasibilityOracle(run.full_schedule(), instance));
 
     // Corrupt: duplicate the first placed subjob into a fresh slot.
-    Schedule bad = CopySchedule(run.schedule, m);
-    bad.place(run.schedule.horizon() + 1, run.schedule.at(1).front());
+    Schedule bad = CopySchedule(run.full_schedule(), m);
+    bad.place(run.full_schedule().horizon() + 1, run.full_schedule().at(1).front());
     EXPECT_EQ(static_cast<bool>(CheckFeasibilityOracle(bad, instance)),
               ValidateSchedule(bad, instance).feasible);
     EXPECT_FALSE(CheckFeasibilityOracle(bad, instance));
@@ -308,7 +308,7 @@ TEST(EngineFuzz, FifoAlwaysFeasibleAcrossSeeds) {
       options.seed = seed;
       FifoScheduler fifo(std::move(options));
       const SimResult result = Simulate(instance, m, fifo);
-      const auto report = ValidateSchedule(result.schedule, instance);
+      const auto report = ValidateSchedule(result.full_schedule(), instance);
       ASSERT_TRUE(report.feasible)
           << "seed " << seed << " m " << m << ": " << report.violation;
       ASSERT_TRUE(result.flows.all_completed);

@@ -19,7 +19,7 @@ TEST(RemainingWork, BothOrdersAreFeasible) {
                                    RemainingWorkOrder::kLargestFirst}) {
     RemainingWorkScheduler scheduler(order);
     const SimResult result = Simulate(instance, 3, scheduler);
-    const auto report = ValidateSchedule(result.schedule, instance);
+    const auto report = ValidateSchedule(result.full_schedule(), instance);
     EXPECT_TRUE(report.feasible) << report.violation;
     EXPECT_TRUE(result.flows.all_completed);
   }

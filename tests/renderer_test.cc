@@ -76,7 +76,7 @@ TEST(Renderer, JobProfileCountsPerSlot) {
   instance.add_job(Job(MakeStar(3), 0));
   FifoScheduler fifo;
   const SimResult result = Simulate(instance, 4, fifo);
-  const std::string profile = RenderJobProfile(result.schedule, 0);
+  const std::string profile = RenderJobProfile(result.full_schedule(), 0);
   EXPECT_NE(profile.find("(1)"), std::string::npos);  // root slot
   EXPECT_NE(profile.find("(3)"), std::string::npos);  // leaves slot
 }
@@ -88,7 +88,7 @@ TEST(Renderer, EndToEndWithEngine) {
   instance.add_job(Job(MakeChain(3), 2));
   FifoScheduler fifo;
   const SimResult result = Simulate(instance, 3, fifo);
-  const std::string grid = RenderSchedule(result.schedule, instance);
+  const std::string grid = RenderSchedule(result.full_schedule(), instance);
   EXPECT_NE(grid.find('A'), std::string::npos);
   EXPECT_NE(grid.find('B'), std::string::npos);
   EXPECT_NE(grid.find("slot"), std::string::npos);  // ruler line

@@ -54,7 +54,7 @@ void CheckFeasibleAndWorkConserving(SchedulerT&& scheduler, int m) {
   } wrapper(scheduler);
 
   const SimResult result = Simulate(instance, m, wrapper);
-  const auto report = ValidateSchedule(result.schedule, instance);
+  const auto report = ValidateSchedule(result.full_schedule(), instance);
   EXPECT_TRUE(report.feasible) << report.violation;
   EXPECT_TRUE(result.flows.all_completed);
 }
@@ -97,7 +97,7 @@ TEST(RoundRobin, SharesAcrossJobs) {
     }
   } probe;
   const SimResult result = Simulate(instance, 4, probe);
-  EXPECT_TRUE(ValidateSchedule(result.schedule, instance).feasible);
+  EXPECT_TRUE(ValidateSchedule(result.full_schedule(), instance).feasible);
 }
 
 TEST(RoundRobin, RedistributesUnusedShares) {
@@ -108,7 +108,7 @@ TEST(RoundRobin, RedistributesUnusedShares) {
   instance.add_job(Job(MakeParallelBlob(12), 0));
   RoundRobinScheduler scheduler;
   const SimResult result = Simulate(instance, 4, scheduler);
-  EXPECT_TRUE(ValidateSchedule(result.schedule, instance).feasible);
+  EXPECT_TRUE(ValidateSchedule(result.full_schedule(), instance).feasible);
   // 16 work units on 4 processors with a span-4 chain: horizon 4.
   EXPECT_EQ(result.stats.horizon, 4);
 }

@@ -48,6 +48,92 @@ TEST(Schedule, IdleSlotsRange) {
   EXPECT_TRUE(schedule.idle_slots(1, 3, 1).empty());
 }
 
+TEST(Schedule, OutOfOrderPlacementKeepsPerSlotOrder) {
+  // Engines append sequentially; tests and LPF head/tail construction
+  // place out of order, exercising the CSR staging buffer.  Per-slot
+  // order must stay: pre-staging arena entries first, then staged
+  // entries in insertion order.
+  Schedule schedule(4);
+  schedule.place(1, {0, 0});
+  schedule.place(2, {0, 1});
+  schedule.place(3, {0, 2});
+  schedule.place(1, {1, 0});  // out of order: staging begins
+  schedule.place(2, {1, 1});
+  schedule.place(1, {2, 0});
+  EXPECT_EQ(schedule.horizon(), 3);
+  EXPECT_EQ(schedule.total_placed(), 6);
+  const auto slot1 = schedule.at(1);
+  ASSERT_EQ(slot1.size(), 3u);
+  EXPECT_EQ(slot1[0], (SubjobRef{0, 0}));
+  EXPECT_EQ(slot1[1], (SubjobRef{1, 0}));
+  EXPECT_EQ(slot1[2], (SubjobRef{2, 0}));
+  const auto slot2 = schedule.at(2);
+  ASSERT_EQ(slot2.size(), 2u);
+  EXPECT_EQ(slot2[0], (SubjobRef{0, 1}));
+  EXPECT_EQ(slot2[1], (SubjobRef{1, 1}));
+  ASSERT_EQ(schedule.at(3).size(), 1u);
+}
+
+TEST(Schedule, PlacementAfterFlattenReentersSequentialPath) {
+  Schedule schedule(2);
+  schedule.place(3, {0, 0});
+  schedule.place(1, {0, 1});    // stages
+  EXPECT_EQ(schedule.load(1), 1);  // read flattens
+  schedule.place(3, {0, 2});    // back on the sequential tail path
+  schedule.place(5, {1, 0});
+  EXPECT_EQ(schedule.horizon(), 5);
+  const auto slot3 = schedule.at(3);
+  ASSERT_EQ(slot3.size(), 2u);
+  EXPECT_EQ(slot3[0], (SubjobRef{0, 0}));
+  EXPECT_EQ(slot3[1], (SubjobRef{0, 2}));
+  EXPECT_TRUE(schedule.at(4).empty());
+  ASSERT_EQ(schedule.at(5).size(), 1u);
+  EXPECT_EQ(schedule.total_placed(), 4);
+  EXPECT_EQ(schedule.idle_processor_slots(), 2 * 5 - 4);
+}
+
+TEST(Schedule, InterleavedStagingRounds) {
+  // Several stage/flatten cycles; the arena must accumulate correctly.
+  Schedule schedule(8);
+  for (int round = 0; round < 4; ++round) {
+    schedule.place(2, {round, 0});
+    schedule.place(1, {round, 1});  // always out of order
+    ASSERT_EQ(schedule.at(1).size(), static_cast<std::size_t>(round + 1));
+    ASSERT_EQ(schedule.at(2).size(), static_cast<std::size_t>(round + 1));
+  }
+  for (int round = 0; round < 4; ++round) {
+    EXPECT_EQ(schedule.at(1)[static_cast<std::size_t>(round)],
+              (SubjobRef{round, 1}));
+    EXPECT_EQ(schedule.at(2)[static_cast<std::size_t>(round)],
+              (SubjobRef{round, 0}));
+  }
+}
+
+TEST(Schedule, IdleSlotsEmptyRange) {
+  Schedule schedule(2);
+  schedule.place(1, {0, 0});
+  // from > to is an empty range, not an error.
+  EXPECT_TRUE(schedule.idle_slots(3, 1).empty());
+}
+
+TEST(Schedule, IdleSlotsBeyondHorizonAreClamped) {
+  Schedule schedule(2);
+  schedule.place(1, {0, 0});
+  schedule.place(2, {0, 1});
+  schedule.place(2, {0, 2});
+  // The range is clamped to [1, horizon]: slots past the horizon are
+  // not reported (callers reason about the schedule's extent only).
+  EXPECT_EQ(schedule.idle_slots(1, 100), (std::vector<Time>{1}));
+  EXPECT_TRUE(schedule.idle_slots(3, 100).empty());
+}
+
+TEST(Schedule, IdleSlotsZeroCapacity) {
+  Schedule schedule(2);
+  schedule.place(1, {0, 0});
+  // No load is ever strictly below zero capacity.
+  EXPECT_TRUE(schedule.idle_slots(1, 1, 0).empty());
+}
+
 TEST(Flows, CompletionAndFlow) {
   const Instance instance = TwoChainInstance();
   Schedule schedule(2);
@@ -87,6 +173,64 @@ TEST(Flows, FlowIsAgainstRelease) {
   schedule.place(15, {0, 0});
   const FlowSummary flows = ComputeFlows(schedule, instance);
   EXPECT_EQ(flows.flow[0], 5);
+}
+
+TEST(Flows, UnfinishedJobSemantics) {
+  // Unfinished jobs use two distinct sentinels: completion is kNoTime
+  // ("never finished") while flow saturates to kInfiniteTime (so max_flow
+  // poisons upward rather than silently under-reporting).
+  const Instance instance = TwoChainInstance();
+  Schedule schedule(2);
+  schedule.place(1, {0, 0});
+  schedule.place(4, {1, 0});  // job 1 completes, job 0 is half done
+  const FlowSummary flows = ComputeFlows(schedule, instance);
+  EXPECT_FALSE(flows.all_completed);
+  EXPECT_EQ(flows.completion[0], kNoTime);
+  EXPECT_EQ(flows.flow[0], kInfiniteTime);
+  EXPECT_EQ(flows.completion[1], 4);
+  EXPECT_EQ(flows.flow[1], 1);
+  EXPECT_EQ(flows.max_flow, kInfiniteTime);
+  EXPECT_EQ(flows.max_flow_job, 0);
+}
+
+TEST(Flows, AccumulatorMatchesScheduleDerivedWhenUnfinished) {
+  // A legally-unfinished run (e.g. a horizon-capped simulation): the
+  // incremental accumulator and the schedule walk must agree exactly,
+  // including the unfinished sentinels.
+  const Instance instance = TwoChainInstance();
+  Schedule schedule(2);
+  FlowAccumulator accumulator(instance);
+  const auto feed = [&](Time slot, SubjobRef ref) {
+    schedule.place(slot, ref);
+    accumulator.record(slot, ref.job);
+  };
+  feed(1, {0, 0});
+  feed(2, {0, 1});  // job 0 completes; job 1 never runs
+  const FlowSummary incremental = accumulator.finish();
+  const FlowSummary derived = ComputeFlows(schedule, instance);
+  EXPECT_EQ(incremental.completion, derived.completion);
+  EXPECT_EQ(incremental.flow, derived.flow);
+  EXPECT_EQ(incremental.max_flow, derived.max_flow);
+  EXPECT_EQ(incremental.max_flow_job, derived.max_flow_job);
+  EXPECT_EQ(incremental.all_completed, derived.all_completed);
+  EXPECT_FALSE(incremental.all_completed);
+  EXPECT_EQ(incremental.completion[1], kNoTime);
+  EXPECT_EQ(incremental.flow[1], kInfiniteTime);
+}
+
+TEST(Flows, AccumulatorAcceptsOutOfOrderSlots) {
+  // record() takes the max slot per job, so feeding slots out of order
+  // matches the ascending schedule walk.
+  const Instance instance = TwoChainInstance();
+  FlowAccumulator accumulator(instance);
+  accumulator.record(2, 0);
+  accumulator.record(1, 0);
+  accumulator.record(4, 1);
+  const FlowSummary flows = accumulator.finish();
+  EXPECT_TRUE(flows.all_completed);
+  EXPECT_EQ(flows.completion[0], 2);
+  EXPECT_EQ(flows.completion[1], 4);
+  EXPECT_EQ(flows.max_flow, 2);
 }
 
 }  // namespace

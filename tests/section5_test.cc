@@ -28,7 +28,7 @@ TEST_P(Section5SweepTest, HoldsOnAlgARuns) {
   const SimResult result = Simulate(cert.instance, m, scheduler);
 
   const Section5Report report = CheckSection5Structure(
-      result.schedule, cert.instance, m, options.alpha, cert.opt / 2);
+      result.full_schedule(), cert.instance, m, options.alpha, cert.opt / 2);
   EXPECT_TRUE(report.all_hold()) << report.violation;
   EXPECT_LE(report.max_batch_width, m / options.alpha);
   EXPECT_GT(report.checks, 0);
@@ -86,7 +86,7 @@ TEST(Section5, WidthCapSurvivesGeneralDagMode) {
   AlgASemiBatchedScheduler scheduler(options);
   const SimResult result = Simulate(instance, 8, scheduler);
   const Section5Report report =
-      CheckSection5Structure(result.schedule, instance, 8, 4, 4);
+      CheckSection5Structure(result.full_schedule(), instance, 8, 4, 4);
   EXPECT_TRUE(report.width_cap_holds) << report.violation;
   EXPECT_LE(report.max_batch_width, 2);
 }

@@ -18,7 +18,7 @@ TEST(Section6, HoldsOnSingleChain) {
   FifoScheduler fifo;
   const SimResult result = Simulate(instance, 2, fifo);
   const Section6Report report =
-      CheckSection6Invariants(result.schedule, instance, 2, /*opt=*/5);
+      CheckSection6Invariants(result.full_schedule(), instance, 2, /*opt=*/5);
   EXPECT_TRUE(report.all_hold()) << report.violation;
   EXPECT_EQ(report.max_z, 5);  // every slot of a lone chain is idle in S_0
 }
@@ -34,7 +34,7 @@ TEST_P(Section6SweepTest, HoldsOnCertifiedBatchedInstances) {
   FifoScheduler fifo;
   const SimResult result = Simulate(cert.instance, m, fifo);
   const Section6Report report =
-      CheckSection6Invariants(result.schedule, cert.instance, m, cert.opt);
+      CheckSection6Invariants(result.full_schedule(), cert.instance, m, cert.opt);
   EXPECT_TRUE(report.all_hold()) << report.violation;
   EXPECT_LE(report.max_z, cert.opt);
   EXPECT_LE(report.lemma64_tightness, 1.0 + 1e-9);
@@ -61,7 +61,7 @@ TEST(Section6, HoldsOnTheAdversarialFamily) {
   FifoScheduler fifo(std::move(avoid));
   const SimResult result = Simulate(adv.instance, 8, fifo);
   const Section6Report report = CheckSection6Invariants(
-      result.schedule, adv.instance, 8, adv.fifo_run.certified_opt_upper);
+      result.full_schedule(), adv.instance, 8, adv.fifo_run.certified_opt_upper);
   EXPECT_TRUE(report.all_hold()) << report.violation;
   // On this family the z budget gets heavily used (that's the point).
   EXPECT_GT(report.max_z, 1);
@@ -76,7 +76,7 @@ TEST(Section6, HoldsForGeneralDagJobs) {
   const SimResult result = Simulate(instance, 3, fifo);
   const Time opt = 6;  // loose upper bound is fine for the check
   const Section6Report report =
-      CheckSection6Invariants(result.schedule, instance, 3, opt);
+      CheckSection6Invariants(result.full_schedule(), instance, 3, opt);
   EXPECT_TRUE(report.all_hold()) << report.violation;
 }
 
@@ -91,7 +91,7 @@ TEST_P(Lemma65SweepTest, MainLemmaHoldsOnBatchedCertifiedRuns) {
   FifoScheduler fifo;
   const SimResult result = Simulate(cert.instance, m, fifo);
   const Lemma65Report report =
-      CheckLemma65(result.schedule, cert.instance, m, cert.opt);
+      CheckLemma65(result.full_schedule(), cert.instance, m, cert.opt);
   EXPECT_TRUE(report.all_hold()) << report.violation;
   EXPECT_GT(report.inequalities_checked, 0);
   // Lemma 6.5's headline implication: at most log(tau) + 1 jobs alive at
@@ -119,7 +119,7 @@ TEST(Lemma65, HoldsOnTheAdversarialFamily) {
   FifoScheduler fifo(std::move(avoid));
   const SimResult result = Simulate(adv.instance, 8, fifo);
   const Lemma65Report report = CheckLemma65(
-      result.schedule, adv.instance, 8, adv.fifo_run.certified_opt_upper);
+      result.full_schedule(), adv.instance, 8, adv.fifo_run.certified_opt_upper);
   EXPECT_TRUE(report.all_hold()) << report.violation;
   // The family drives the alive-job count up (that is the attack), but
   // Lemma 6.5 still caps it at log(tau) + 1.

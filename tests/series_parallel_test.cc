@@ -89,7 +89,7 @@ TEST(SeriesParallel, SchedulableByFifo) {
   }
   FifoScheduler fifo;
   const SimResult result = Simulate(instance, 4, fifo);
-  const auto report = ValidateSchedule(result.schedule, instance);
+  const auto report = ValidateSchedule(result.full_schedule(), instance);
   EXPECT_TRUE(report.feasible) << report.violation;
 }
 

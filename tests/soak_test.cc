@@ -105,7 +105,7 @@ TEST(Soak, EverySchedulerSurvivesTheMixedStream) {
   for (Entry& entry : entries) {
     const Instance& instance = entry.trees_only ? trees : general;
     const SimResult result = Simulate(instance, m, *entry.scheduler);
-    const auto report = ValidateSchedule(result.schedule, instance);
+    const auto report = ValidateSchedule(result.full_schedule(), instance);
     ASSERT_TRUE(report.feasible)
         << entry.scheduler->name() << ": " << report.violation;
     ASSERT_TRUE(result.flows.all_completed) << entry.scheduler->name();
@@ -121,9 +121,9 @@ TEST(Soak, FifoRunsAreReproducibleViaTraces) {
   FifoScheduler a;
   FifoScheduler b;
   const EventTrace ta =
-      DeriveTrace(Simulate(instance, 8, a).schedule, instance);
+      DeriveTrace(Simulate(instance, 8, a).full_schedule(), instance);
   const EventTrace tb =
-      DeriveTrace(Simulate(instance, 8, b).schedule, instance);
+      DeriveTrace(Simulate(instance, 8, b).full_schedule(), instance);
   EXPECT_EQ(FirstDivergence(ta, tb), -1);
 }
 
@@ -137,7 +137,7 @@ TEST(Soak, Section6InvariantsHoldOnTheLongStream) {
   FifoScheduler fifo;
   const SimResult result = Simulate(instance, m, fifo);
   const Section6Report report = CheckSection6Invariants(
-      result.schedule, instance, m, result.flows.max_flow);
+      result.full_schedule(), instance, m, result.flows.max_flow);
   EXPECT_TRUE(report.all_hold()) << report.violation;
   EXPECT_GT(report.checks, 1000);
 }

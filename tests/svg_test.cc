@@ -33,12 +33,12 @@ SimResult RunSmallFifo(Instance& instance) {
 TEST(Svg, DocumentStructure) {
   Instance instance;
   const SimResult result = RunSmallFifo(instance);
-  const std::string svg = RenderScheduleSvg(result.schedule, instance);
+  const std::string svg = RenderScheduleSvg(result.full_schedule(), instance);
   EXPECT_EQ(svg.rfind("<svg", 0), 0u);
   EXPECT_NE(svg.find("</svg>"), std::string::npos);
   // One rect per placed subjob, plus background and grid rects.
   EXPECT_EQ(CountOccurrences(svg, "<rect"),
-            static_cast<std::size_t>(result.schedule.total_placed()) + 2);
+            static_cast<std::size_t>(result.full_schedule().total_placed()) + 2);
 }
 
 TEST(Svg, DistinctJobsGetDistinctColors) {
@@ -56,11 +56,11 @@ TEST(Svg, TitleAndLabelsAppearWhenRequested) {
   options.title = "figure one";
   options.label_nodes = true;
   const std::string svg =
-      RenderScheduleSvg(result.schedule, instance, options);
+      RenderScheduleSvg(result.full_schedule(), instance, options);
   EXPECT_NE(svg.find("figure one"), std::string::npos);
   // Node labels are text elements beyond the axis labels.
   EXPECT_GT(CountOccurrences(svg, "<text"),
-            static_cast<std::size_t>(result.schedule.m()));
+            static_cast<std::size_t>(result.full_schedule().m()));
 }
 
 TEST(Svg, SlotWindowClips) {
@@ -70,7 +70,7 @@ TEST(Svg, SlotWindowClips) {
   options.from_slot = 1;
   options.to_slot = 1;
   const std::string svg =
-      RenderScheduleSvg(result.schedule, instance, options);
+      RenderScheduleSvg(result.full_schedule(), instance, options);
   // Slot 1 runs exactly one subjob (the star root; the chain arrives at
   // slot 2).
   EXPECT_EQ(CountOccurrences(svg, "<rect"), 1u + 2u);
@@ -80,7 +80,7 @@ TEST(Svg, SaveWritesFile) {
   Instance instance;
   const SimResult result = RunSmallFifo(instance);
   const std::string path = ::testing::TempDir() + "/otsched_svg_test.svg";
-  SaveScheduleSvg(result.schedule, instance, path);
+  SaveScheduleSvg(result.full_schedule(), instance, path);
   std::ifstream in(path);
   ASSERT_TRUE(in.good());
   std::string first_line;

@@ -64,7 +64,7 @@ TEST(Tetris, FifoOnThePackedBoard) {
 
   FifoScheduler fifo;
   const SimResult result = Simulate(cert.instance, 16, fifo);
-  ASSERT_TRUE(ValidateSchedule(result.schedule, cert.instance).feasible);
+  ASSERT_TRUE(ValidateSchedule(result.full_schedule(), cert.instance).feasible);
   const double ratio = static_cast<double>(result.flows.max_flow) /
                        static_cast<double>(cert.opt);
   EXPECT_GE(ratio, 1.0);

@@ -25,7 +25,7 @@ TEST(TimeSeries, HandComputedSmallRun) {
   FifoScheduler fifo;
   const SimResult result = Simulate(instance, 2, fifo);
   const RunTimeSeries series =
-      ComputeTimeSeries(result.schedule, instance);
+      ComputeTimeSeries(result.full_schedule(), instance);
 
   ASSERT_EQ(series.horizon(), 3);
   EXPECT_EQ(series.busy, (std::vector<int>{1, 2, 2}));
@@ -51,7 +51,7 @@ TEST(TimeSeries, QueueBuildsOnTheAdversary) {
   FifoScheduler fifo(std::move(avoid));
   const SimResult result = Simulate(adv.instance, 16, fifo);
   const RunTimeSeries series =
-      ComputeTimeSeries(result.schedule, adv.instance);
+      ComputeTimeSeries(result.full_schedule(), adv.instance);
   // The Lemma 4.1 story: the queue saturates above 1 and matches what
   // the co-simulation observed.
   EXPECT_EQ(series.peak_queue(), adv.fifo_run.max_alive);

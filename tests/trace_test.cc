@@ -21,7 +21,7 @@ TEST(Trace, DeriveOrdersEventsCanonically) {
   const Instance instance = SmallInstance();
   FifoScheduler fifo;
   const SimResult result = Simulate(instance, 2, fifo);
-  const EventTrace trace = DeriveTrace(result.schedule, instance);
+  const EventTrace trace = DeriveTrace(result.full_schedule(), instance);
 
   ASSERT_FALSE(trace.empty());
   // First event: job 0 arrives at slot 1.
@@ -42,7 +42,7 @@ TEST(Trace, TextRoundTrip) {
   const Instance instance = SmallInstance();
   FifoScheduler fifo;
   const SimResult result = Simulate(instance, 2, fifo);
-  const EventTrace trace = DeriveTrace(result.schedule, instance);
+  const EventTrace trace = DeriveTrace(result.full_schedule(), instance);
   const EventTrace parsed = EventTrace::from_text(trace.to_text());
   EXPECT_EQ(trace, parsed);
   EXPECT_EQ(FirstDivergence(trace, parsed), -1);
@@ -53,9 +53,9 @@ TEST(Trace, IdenticalRunsDeriveIdenticalTraces) {
   FifoScheduler a;
   FifoScheduler b;
   const EventTrace ta =
-      DeriveTrace(Simulate(instance, 2, a).schedule, instance);
+      DeriveTrace(Simulate(instance, 2, a).full_schedule(), instance);
   const EventTrace tb =
-      DeriveTrace(Simulate(instance, 2, b).schedule, instance);
+      DeriveTrace(Simulate(instance, 2, b).full_schedule(), instance);
   EXPECT_EQ(ta, tb);
 }
 
@@ -64,9 +64,9 @@ TEST(Trace, DivergenceIsLocalized) {
   FifoScheduler fifo;
   ListGreedyScheduler greedy(123);
   const EventTrace ta =
-      DeriveTrace(Simulate(instance, 1, fifo).schedule, instance);
+      DeriveTrace(Simulate(instance, 1, fifo).full_schedule(), instance);
   const EventTrace tb =
-      DeriveTrace(Simulate(instance, 1, greedy).schedule, instance);
+      DeriveTrace(Simulate(instance, 1, greedy).full_schedule(), instance);
   const std::int64_t d = FirstDivergence(ta, tb);
   if (d >= 0) {
     // Everything before the divergence matches by definition.
@@ -84,7 +84,7 @@ TEST(Trace, GoldenSmallFifoRun) {
   const Instance instance = SmallInstance();
   FifoScheduler fifo;
   const SimResult result = Simulate(instance, 2, fifo);
-  const EventTrace trace = DeriveTrace(result.schedule, instance);
+  const EventTrace trace = DeriveTrace(result.full_schedule(), instance);
   EXPECT_EQ(trace.to_text(),
             "1 arrive 0\n"
             "1 exec 0 0\n"

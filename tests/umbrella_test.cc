@@ -15,12 +15,12 @@ TEST(Umbrella, OneSymbolPerSubsystem) {
   instance.add_job(Job(Dag(tree), 0));
   FifoScheduler fifo;                                    // sched
   const SimResult result = Simulate(instance, 2, fifo);  // sim
-  EXPECT_TRUE(ValidateSchedule(result.schedule, instance).feasible);
+  EXPECT_TRUE(ValidateSchedule(result.full_schedule(), instance).feasible);
   EXPECT_GE(MaxFlowLowerBound(instance, 2), 1);          // opt
   EXPECT_EQ(BuildLpfSchedule(tree, 2).total(), 20);      // core
   EXPECT_GE(ComputeFlowStats(result.flows).max, 1);      // analysis
   const EventTrace trace =                               // trace
-      DeriveTrace(result.schedule, instance);
+      DeriveTrace(result.full_schedule(), instance);
   EXPECT_FALSE(trace.empty());
   LowerBoundSimOptions lb;                               // lbsim
   lb.m = 4;

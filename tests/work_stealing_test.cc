@@ -26,7 +26,7 @@ TEST(WorkStealing, FeasibleOnMixedLoad) {
   const Instance instance = MixedInstance(1, 10);
   WorkStealingScheduler scheduler;
   const SimResult result = Simulate(instance, 4, scheduler);
-  const auto report = ValidateSchedule(result.schedule, instance);
+  const auto report = ValidateSchedule(result.full_schedule(), instance);
   EXPECT_TRUE(report.feasible) << report.violation;
   EXPECT_TRUE(result.flows.all_completed);
 }
@@ -127,8 +127,8 @@ TEST(WorkStealing, ArrivalsLandOnOneDeque) {
   instance.add_job(Job(MakeCompleteTree(2, 5), 0));
   WorkStealingScheduler scheduler;
   const SimResult result = Simulate(instance, 4, scheduler);
-  EXPECT_EQ(result.schedule.load(1), 1);
-  EXPECT_LE(result.schedule.load(2), 2);
+  EXPECT_EQ(result.full_schedule().load(1), 1);
+  EXPECT_LE(result.full_schedule().load(2), 2);
 }
 
 }  // namespace

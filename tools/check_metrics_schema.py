@@ -46,6 +46,8 @@ def check_manifest(manifest, schema):
     require(manifest["clairvoyance"] in
             spec["properties"]["clairvoyance"]["enum"],
             f"bad clairvoyance {manifest['clairvoyance']!r}")
+    require(manifest["record"] in spec["properties"]["record"]["enum"],
+            f"bad record mode {manifest['record']!r}")
     for key in ("jobs", "total_work", "m", "seed", "max_horizon"):
         require(isinstance(manifest[key], int) and not
                 isinstance(manifest[key], bool),

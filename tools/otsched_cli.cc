@@ -7,10 +7,11 @@
 //   otsched run <in.inst> <m> [--policy] <policy> run a policy, report flows
 //       [--render N] [--seed S] [--opt V] [--svg F] [--trace F]
 //       [--timeseries F] [--metrics F] [--metrics-csv F] [--manifest F]
+//       [--record full|flow]
 //   otsched sweep <in.inst> <policy> [--m LIST] [--seeds N] [--workers N]
-//       [--opt V] [--metrics F] [--csv F]         grid of seeded runs
+//       [--opt V] [--metrics F] [--csv F] [--record full|flow]
 //   otsched trace <in.inst> <m> <policy> [--seed S] [--opt V] [--out F]
-//                                                 stream the event trace
+//       [--record full|flow]                      stream the event trace
 //   otsched list-policies                         list the policy registry
 //
 // `otsched policies` and `otsched --list-policies` remain as deprecated
@@ -73,11 +74,31 @@ int Usage() {
       "  otsched run <in> <m> [--policy] <policy> [--render N] [--seed S]\n"
       "              [--opt V] [--svg F] [--trace F] [--timeseries F]\n"
       "              [--metrics F] [--metrics-csv F] [--manifest F]\n"
+      "              [--record full|flow]  (default: full)\n"
       "  otsched sweep <in> <policy> [--m LIST] [--seeds N] [--workers N]\n"
       "              [--opt V] [--metrics F] [--csv F]\n"
+      "              [--record full|flow]  (default: flow)\n"
       "  otsched trace <in> <m> <policy> [--seed S] [--opt V] [--out F]\n"
+      "              [--record full|flow]  (default: full)\n"
       "  otsched list-policies\n");
   return 2;
+}
+
+/// Parses a `--record` value (`full` or `flow`); both the two-token
+/// `--record flow` and the one-token `--record=flow` spellings reach
+/// here.  Complains and returns false on anything else.
+bool ParseRecordMode(const char* value, RecordMode* mode) {
+  if (std::strcmp(value, "full") == 0) {
+    *mode = RecordMode::kFull;
+    return true;
+  }
+  if (std::strcmp(value, "flow") == 0 ||
+      std::strcmp(value, "flow-only") == 0) {
+    *mode = RecordMode::kFlowOnly;
+    return true;
+  }
+  std::fprintf(stderr, "unknown record mode '%s' (want full|flow)\n", value);
+  return false;
 }
 
 bool WriteFileOrComplain(const std::string& path, const std::string& content,
@@ -227,7 +248,16 @@ int CmdRun(int argc, char** argv) {
   std::string metrics_path;
   std::string metrics_csv_path;
   std::string manifest_path;
-  for (int i = first_flag; i + 1 < argc; i += 2) {
+  RecordMode record = RecordMode::kFull;
+  for (int i = first_flag; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--record=", 9) == 0) {
+      if (!ParseRecordMode(argv[i] + 9, &record)) return 2;
+      continue;
+    }
+    if (i + 1 >= argc) break;
+    if (std::strcmp(argv[i], "--record") == 0) {
+      if (!ParseRecordMode(argv[i + 1], &record)) return 2;
+    }
     if (std::strcmp(argv[i], "--policy") == 0) policy_name = argv[i + 1];
     if (std::strcmp(argv[i], "--render") == 0) render = std::atoll(argv[i + 1]);
     if (std::strcmp(argv[i], "--seed") == 0) {
@@ -244,6 +274,7 @@ int CmdRun(int argc, char** argv) {
       metrics_csv_path = argv[i + 1];
     }
     if (std::strcmp(argv[i], "--manifest") == 0) manifest_path = argv[i + 1];
+    ++i;
   }
 
   std::unique_ptr<Scheduler> policy = MakePolicy(policy_name, seed, known_opt);
@@ -267,6 +298,7 @@ int CmdRun(int argc, char** argv) {
   if (!trace_path.empty()) observers.add(&trace_observer);
 
   RunContext context;
+  context.options.record = record;
   context.observer = observers.empty() ? nullptr : &observers;
   const RatioMeasurement r =
       MeasureRatio(instance, m, *policy, known_opt, context);
@@ -314,23 +346,27 @@ int CmdRun(int argc, char** argv) {
 
   if (render > 0 || !svg_path.empty() || !timeseries_path.empty()) {
     // Re-run to obtain the schedule (MeasureRatio does not retain it).
+    // Always full-record here regardless of --record: the ASCII renderer,
+    // the SVG renderer, and the time-series derivation all walk the
+    // materialized slot-by-slot schedule.
     std::unique_ptr<Scheduler> again = MakePolicy(policy_name, seed, known_opt);
     const SimResult sim = Simulate(instance, m, *again);
     if (render > 0) {
       RenderOptions options;
       options.to_slot = render;
       std::printf("\nfirst %lld slots:\n%s", static_cast<long long>(render),
-                  RenderSchedule(sim.schedule, instance, options).c_str());
+                  RenderSchedule(sim.full_schedule(), instance,
+                                 options).c_str());
     }
     if (!svg_path.empty()) {
       SvgOptions options;
       options.title = policy_name + " on " + argv[0];
-      SaveScheduleSvg(sim.schedule, instance, svg_path, options);
+      SaveScheduleSvg(sim.full_schedule(), instance, svg_path, options);
       std::printf("\nSVG written to %s\n", svg_path.c_str());
     }
     if (!timeseries_path.empty()) {
       std::ofstream out(timeseries_path);
-      out << ComputeTimeSeries(sim.schedule, instance).to_csv();
+      out << ComputeTimeSeries(sim.full_schedule(), instance).to_csv();
       std::printf("time series written to %s\n", timeseries_path.c_str());
     }
   }
@@ -348,7 +384,18 @@ int CmdSweep(int argc, char** argv) {
   Time known_opt = 0;
   std::string metrics_path;
   std::string csv_path;
-  for (int i = 2; i + 1 < argc; i += 2) {
+  // Sweeps only read flows and stats, so cells default to flow-only
+  // recording; `--record full` restores schedule materialization.
+  RecordMode record = RecordMode::kFlowOnly;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--record=", 9) == 0) {
+      if (!ParseRecordMode(argv[i] + 9, &record)) return 2;
+      continue;
+    }
+    if (i + 1 >= argc) break;
+    if (std::strcmp(argv[i], "--record") == 0) {
+      if (!ParseRecordMode(argv[i + 1], &record)) return 2;
+    }
     if (std::strcmp(argv[i], "--m") == 0) {
       machines.clear();
       std::string list = argv[i + 1];
@@ -366,6 +413,7 @@ int CmdSweep(int argc, char** argv) {
     if (std::strcmp(argv[i], "--opt") == 0) known_opt = std::atoll(argv[i + 1]);
     if (std::strcmp(argv[i], "--metrics") == 0) metrics_path = argv[i + 1];
     if (std::strcmp(argv[i], "--csv") == 0) csv_path = argv[i + 1];
+    ++i;
   }
   if (machines.empty() || seeds < 1) return Usage();
   if (!MakePolicy(policy_name, 1, known_opt)) {
@@ -386,6 +434,8 @@ int CmdSweep(int argc, char** argv) {
   // --workers value (the determinism contract of every sweep table).
   MetricsObserver::Options observer_options;
   observer_options.record_pick_times = false;
+  SimOptions sweep_options;
+  sweep_options.record = record;
   const std::vector<BatchRunner::InstrumentedRun> runs =
       runner.RunInstrumentedSimulations(
           cells,
@@ -394,7 +444,7 @@ int CmdSweep(int argc, char** argv) {
                               static_cast<std::uint64_t>(i % seeds) + 1,
                               known_opt);
           },
-          SimOptions{}, observer_options);
+          sweep_options, observer_options);
 
   TextTable table({"m", "max-flow mean", "min", "max"});
   for (std::size_t mi = 0; mi < machines.size(); ++mi) {
@@ -415,7 +465,7 @@ int CmdSweep(int argc, char** argv) {
   if (!metrics_path.empty() || !csv_path.empty()) {
     MetricsRegistry merged = MergedMetrics(runs);
     RunManifest manifest = MakeRunManifest(instance, machines.front(),
-                                           policy_name, 1, SimOptions{});
+                                           policy_name, 1, sweep_options);
     manifest.m = machines.front();
     WriteManifest(merged, manifest);
     merged.set_manifest("cells", static_cast<std::int64_t>(cells.size()));
@@ -445,12 +495,22 @@ int CmdTrace(int argc, char** argv) {
   std::uint64_t seed = 1;
   Time known_opt = 0;
   std::string out_path;
-  for (int i = 3; i + 1 < argc; i += 2) {
+  RecordMode record = RecordMode::kFull;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--record=", 9) == 0) {
+      if (!ParseRecordMode(argv[i] + 9, &record)) return 2;
+      continue;
+    }
+    if (i + 1 >= argc) break;
+    if (std::strcmp(argv[i], "--record") == 0) {
+      if (!ParseRecordMode(argv[i + 1], &record)) return 2;
+    }
     if (std::strcmp(argv[i], "--seed") == 0) {
       seed = std::strtoull(argv[i + 1], nullptr, 10);
     }
     if (std::strcmp(argv[i], "--opt") == 0) known_opt = std::atoll(argv[i + 1]);
     if (std::strcmp(argv[i], "--out") == 0) out_path = argv[i + 1];
+    ++i;
   }
   std::unique_ptr<Scheduler> policy = MakePolicy(policy_name, seed, known_opt);
   if (!policy) {
@@ -462,6 +522,9 @@ int CmdTrace(int argc, char** argv) {
   EventTrace streamed;
   StreamingTraceObserver trace_observer(streamed);
   RunContext context;
+  // The trace streams from the hooks, so flow-only works here too; full
+  // stays the default for symmetry with `run`.
+  context.options.record = record;
   context.observer = &trace_observer;
   Simulate(instance, m, *policy, context);
   if (out_path.empty()) {
