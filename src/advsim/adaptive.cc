@@ -15,6 +15,7 @@ class AdaptiveEngine final : public EngineBackend {
                  const RunContext& context)
       : scheduler_(scheduler),
         observer_(context.observer),
+        sequencer_(context.options.faults, options.m),
         m_(options.m),
         layers_(options.layers_per_job > 0 ? options.layers_per_job
                                            : options.m),
@@ -25,13 +26,24 @@ class AdaptiveEngine final : public EngineBackend {
     OTSCHED_CHECK(num_jobs_ >= 1);
     OTSCHED_CHECK(layers_ >= 1);
     record_full_ = context.options.record == RecordMode::kFull;
+    capacity_ = m_;
+    if (sequencer_.active()) {
+      OTSCHED_CHECK(scheduler.supports_fluctuating_capacity(),
+                    "scheduler '" << scheduler.name()
+                                  << "' does not support a fluctuating "
+                                     "per-slot capacity (fault model "
+                                  << ToString(context.options.faults.model)
+                                  << ")");
+    }
     const Time horizon_override = context.options.max_horizon > 0
                                       ? context.options.max_horizon
                                       : options.max_horizon;
     max_horizon_ = horizon_override > 0
                        ? horizon_override
                        : (num_jobs_ * gap_ +
-                          8 * num_jobs_ * layers_ * width_ + 1024);
+                          (sequencer_.active() ? 64 : 8) * num_jobs_ *
+                              layers_ * width_ +
+                          (sequencer_.active() ? 65536 : 1024));
   }
 
   AdaptiveAdversaryResult run();
@@ -39,6 +51,7 @@ class AdaptiveEngine final : public EngineBackend {
   // --- EngineBackend ---
   Time slot() const override { return slot_; }
   int m() const override { return m_; }
+  int capacity() const override { return capacity_; }
   JobId job_count() const override {
     return static_cast<JobId>(num_jobs_);
   }
@@ -92,6 +105,8 @@ class AdaptiveEngine final : public EngineBackend {
 
   Scheduler& scheduler_;
   RunObserver* observer_ = nullptr;  // borrowed; null = uninstrumented run
+  BudgetSequencer sequencer_;        // per-slot capacity source
+  int capacity_ = 1;                 // current slot's budget, m_t <= m
   bool record_full_ = true;          // materialize the Schedule?
   int m_;
   int layers_;
@@ -159,6 +174,20 @@ AdaptiveAdversaryResult AdaptiveEngine::run() {
     result.max_alive =
         std::max(result.max_alive, static_cast<std::int64_t>(alive_.size()));
 
+    if (sequencer_.active()) {
+      // Same resolution point as the fixed-instance engines: after the
+      // slot's arrivals, before the pick.  The adversarial-dip model
+      // feeds on the same alive counter the Section 4 argument tracks.
+      const int cap = sequencer_.capacity(
+          slot_, static_cast<std::int64_t>(alive_.size()));
+      if (cap != capacity_) {
+        capacity_ = cap;
+        if (observer_ != nullptr) {
+          observer_->on_capacity_change(slot_, capacity_);
+        }
+      }
+    }
+
     picks.clear();
     double pick_seconds = 0.0;
     if (observer_ != nullptr) {
@@ -168,9 +197,10 @@ AdaptiveAdversaryResult AdaptiveEngine::run() {
     } else {
       scheduler_.pick(view, picks);
     }
-    OTSCHED_CHECK(static_cast<int>(picks.size()) <= m_,
-                  "scheduler picked " << picks.size() << " on " << m_
-                                      << " processors");
+    OTSCHED_CHECK(static_cast<int>(picks.size()) <= capacity_,
+                  "scheduler picked " << picks.size() << " with capacity "
+                                      << capacity_ << " (m = " << m_
+                                      << ")");
     if (observer_ != nullptr) {
       // Before execution mutates the ready sets the scheduler saw; an
       // invalid pick aborts below, so observers never outlive one.

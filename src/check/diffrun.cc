@@ -65,12 +65,12 @@ struct PolicyCaseConfig {
   bool brute_cross_check = false;
 };
 
-/// Whether a case also gets a flow-only rerun compared against the full
-/// run.  Derived deterministically from the case identity (never from
-/// global state), so `--replay` of a repro file reproduces the exact same
-/// trial, toggle included, with no new headers.
-bool FuzzRecordModeToggle(const PolicyCaseConfig& cfg) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a over (seed, m, policy)
+/// FNV-1a over (seed, m, policy): the case identity hash behind every
+/// derived trial dimension (record-mode toggle, fault leg).  Pure function
+/// of the case — never global state — so `--replay` of a repro file
+/// reproduces the exact same trials with no new headers.
+std::uint64_t CaseIdentityHash(const PolicyCaseConfig& cfg) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
   auto mix = [&h](std::uint64_t v) {
     for (int i = 0; i < 8; ++i) {
       h ^= (v >> (8 * i)) & 0xff;
@@ -83,7 +83,84 @@ bool FuzzRecordModeToggle(const PolicyCaseConfig& cfg) {
     h ^= static_cast<unsigned char>(c);
     h *= 0x100000001b3ULL;
   }
-  return (h & 1) == 0;
+  return h;
+}
+
+/// Whether a case also gets a flow-only rerun compared against the full
+/// run.
+bool FuzzRecordModeToggle(const PolicyCaseConfig& cfg) {
+  return (CaseIdentityHash(cfg) & 1) == 0;
+}
+
+/// The case's fault-dimension spec: roughly half of all cases rerun under
+/// an active fault model, alternating kRandomBlip / kBurstOutage with
+/// hash-derived seed, rate and burst length.  Inactive (kNone) otherwise.
+FaultSpec FuzzFaultSpec(const PolicyCaseConfig& cfg) {
+  const std::uint64_t h = CaseIdentityHash(cfg);
+  FaultSpec spec;
+  if (((h >> 1) & 1) != 0) return spec;  // kNone: no fault leg
+  spec.model = (((h >> 2) & 1) == 0) ? FaultModel::kRandomBlip
+                                     : FaultModel::kBurstOutage;
+  spec.seed = h;
+  spec.rate = 0.15 + 0.05 * static_cast<double>((h >> 3) % 8);  // [.15,.5]
+  spec.burst_len = 1 + static_cast<Time>((h >> 6) % 8);
+  return spec;
+}
+
+/// Slot-by-slot, entry-by-entry schedule equality (same subjobs in the
+/// same order within every slot).
+bool SchedulesEqual(const Schedule& a, const Schedule& b) {
+  if (a.horizon() != b.horizon() || a.total_placed() != b.total_placed()) {
+    return false;
+  }
+  for (Time t = 1; t <= a.horizon(); ++t) {
+    const auto lhs = a.at(t);
+    const auto rhs = b.at(t);
+    if (lhs.size() != rhs.size()) return false;
+    for (std::size_t i = 0; i < lhs.size(); ++i) {
+      if (!(lhs[i] == rhs[i])) return false;
+    }
+  }
+  return true;
+}
+
+/// Compares the faulted incremental run against the faulted reference
+/// run: schedules, FlowSummary and SimStats (including the fault
+/// counters) must be bit-identical — the engine-equivalence gate extended
+/// to fluctuating budgets.
+OracleResult CheckFaultedEquivalenceOracle(const SimResult& fast,
+                                           const SimResult& reference) {
+  std::ostringstream detail;
+  if (fast.flows.completion != reference.flows.completion ||
+      fast.flows.flow != reference.flows.flow ||
+      fast.flows.max_flow != reference.flows.max_flow ||
+      fast.flows.max_flow_job != reference.flows.max_flow_job ||
+      fast.flows.all_completed != reference.flows.all_completed) {
+    detail << "faulted FlowSummary diverges between engines (max_flow "
+           << fast.flows.max_flow << " vs " << reference.flows.max_flow
+           << ")";
+    return {OracleId::kFaultedEngineEquivalence, false, detail.str()};
+  }
+  if (fast.stats.horizon != reference.stats.horizon ||
+      fast.stats.executed_subjobs != reference.stats.executed_subjobs ||
+      fast.stats.idle_processor_slots !=
+          reference.stats.idle_processor_slots ||
+      fast.stats.busy_slots != reference.stats.busy_slots ||
+      fast.stats.faulted_slots != reference.stats.faulted_slots ||
+      fast.stats.capacity_shortfall != reference.stats.capacity_shortfall) {
+    detail << "faulted SimStats diverge between engines (faulted_slots "
+           << fast.stats.faulted_slots << " vs "
+           << reference.stats.faulted_slots << ", horizon "
+           << fast.stats.horizon << " vs " << reference.stats.horizon << ")";
+    return {OracleId::kFaultedEngineEquivalence, false, detail.str()};
+  }
+  if (fast.has_schedule() != reference.has_schedule() ||
+      (fast.has_schedule() &&
+       !SchedulesEqual(fast.full_schedule(), reference.full_schedule()))) {
+    return {OracleId::kFaultedEngineEquivalence, false,
+            "faulted schedules diverge between engines"};
+  }
+  return {OracleId::kFaultedEngineEquivalence, true, ""};
 }
 
 /// Compares a flow-only rerun against the recorded full run: FlowSummary
@@ -154,6 +231,35 @@ std::vector<OracleResult> RunPolicyCase(const PolicyCaseConfig& cfg,
         Simulate(instance, cfg.m, *flow_scheduler, FlowOnlyOptions());
     if (simulations != nullptr) ++*simulations;
     results.push_back(CheckRecordModeOracle(run, flow_only));
+  }
+
+  const FaultSpec faults = FuzzFaultSpec(cfg);
+  if (faults.active() && scheduler->supports_fluctuating_capacity()) {
+    // Fault dimension: rerun the case under a fluctuating budget on BOTH
+    // engines.  The faulted schedule must stay feasible (axioms (1)-(4)
+    // hold on a degraded machine too) and the engines must agree
+    // bit-for-bit — the counter-based fault models make the streams a
+    // pure function of (seed, slot), so any divergence convicts the
+    // capacity plumbing, not the model.
+    SimOptions faulted_options;
+    faulted_options.faults = faults;
+    std::unique_ptr<Scheduler> faulted_scheduler =
+        cfg.spec->needs_semi_batched
+            ? cfg.spec->make_semi_batched(cfg.known_opt)
+            : cfg.spec->make(cfg.seed);
+    const SimResult faulted =
+        Simulate(instance, cfg.m, *faulted_scheduler, faulted_options);
+    std::unique_ptr<Scheduler> faulted_reference_scheduler =
+        cfg.spec->needs_semi_batched
+            ? cfg.spec->make_semi_batched(cfg.known_opt)
+            : cfg.spec->make(cfg.seed);
+    const SimResult faulted_reference = ReferenceSimulate(
+        instance, cfg.m, *faulted_reference_scheduler, faulted_options);
+    if (simulations != nullptr) *simulations += 2;
+    results.push_back(
+        CheckFeasibilityOracle(faulted.full_schedule(), instance));
+    results.push_back(
+        CheckFaultedEquivalenceOracle(faulted, faulted_reference));
   }
 
   Time exact = cfg.certified_opt;

@@ -43,6 +43,10 @@ const char* ToString(OracleId id) {
       return "trace-equivalence(observer)";
     case OracleId::kRecordModeEquivalence:
       return "record-mode-equivalence(flow-only)";
+    case OracleId::kMCNoWasteUnderFaults:
+      return "mc-no-waste-under-faults(L5.5)";
+    case OracleId::kFaultedEngineEquivalence:
+      return "faulted-engine-equivalence(budget)";
   }
   return "unknown-oracle";
 }
@@ -186,8 +190,15 @@ McReplayLog RunMostChildrenLog(const Dag& dag, const JobSchedule& schedule,
   return log;
 }
 
-OracleResult CheckMcBusyOracle(const Dag& dag, const JobSchedule& schedule,
-                               const McReplayLog& log) {
+namespace {
+
+/// The shared Lemma 5.5 verifier: the lemma's statement never assumes the
+/// budget stream's shape, so the fixed-cycle (kMcBusy) and faulted
+/// (kMCNoWasteUnderFaults) oracles run the identical checks and differ
+/// only in the id stamped on the verdict.
+OracleResult CheckMcLogOracle(OracleId id, const Dag& dag,
+                              const JobSchedule& schedule,
+                              const McReplayLog& log) {
   const NodeId n = dag.node_count();
   // done_step[v]: MC step at which v completed; 0 = pre-executed prefix,
   // -1 = not yet executed.
@@ -209,20 +220,20 @@ OracleResult CheckMcBusyOracle(const Dag& dag, const JobSchedule& schedule,
       std::ostringstream detail;
       detail << "step " << now << " schedules " << step.scheduled.size()
              << " subjobs with budget " << step.budget;
-      return Fail(OracleId::kMcBusy, detail.str());
+      return Fail(id, detail.str());
     }
     for (NodeId v : step.scheduled) {
       if (v < 0 || v >= n) {
         std::ostringstream detail;
         detail << "step " << now << " schedules unknown node " << v;
-        return Fail(OracleId::kMcBusy, detail.str());
+        return Fail(id, detail.str());
       }
       if (done_step[static_cast<std::size_t>(v)] >= 0) {
         std::ostringstream detail;
         detail << "step " << now << " re-executes node " << v
                << " (already done at step "
                << done_step[static_cast<std::size_t>(v)] << ")";
-        return Fail(OracleId::kMcBusy, detail.str());
+        return Fail(id, detail.str());
       }
       for (NodeId parent : dag.parents(v)) {
         const Time parent_done = done_step[static_cast<std::size_t>(parent)];
@@ -230,7 +241,7 @@ OracleResult CheckMcBusyOracle(const Dag& dag, const JobSchedule& schedule,
           std::ostringstream detail;
           detail << "step " << now << " runs node " << v
                  << " before its parent " << parent << " completed";
-          return Fail(OracleId::kMcBusy, detail.str());
+          return Fail(id, detail.str());
         }
       }
     }
@@ -245,15 +256,63 @@ OracleResult CheckMcBusyOracle(const Dag& dag, const JobSchedule& schedule,
       detail << "step " << now << " wastes "
              << step.budget - static_cast<int>(step.scheduled.size())
              << " processors with " << remaining << " subjobs remaining";
-      return Fail(OracleId::kMcBusy, detail.str());
+      return Fail(id, detail.str());
     }
   }
   if (remaining != 0) {
     std::ostringstream detail;
     detail << "replay ends with " << remaining << " subjobs never executed";
-    return Fail(OracleId::kMcBusy, detail.str());
+    return Fail(id, detail.str());
   }
-  return Pass(OracleId::kMcBusy);
+  return Pass(id);
+}
+
+}  // namespace
+
+OracleResult CheckMcBusyOracle(const Dag& dag, const JobSchedule& schedule,
+                               const McReplayLog& log) {
+  return CheckMcLogOracle(OracleId::kMcBusy, dag, schedule, log);
+}
+
+OracleResult CheckMcNoWasteUnderFaultsOracle(const Dag& dag,
+                                             const JobSchedule& schedule,
+                                             const McReplayLog& log) {
+  return CheckMcLogOracle(OracleId::kMCNoWasteUnderFaults, dag, schedule,
+                          log);
+}
+
+McReplayLog RunMostChildrenFaultLog(const Dag& dag,
+                                    const JobSchedule& schedule,
+                                    const FaultSpec& faults, int p,
+                                    Time prefix_len) {
+  OTSCHED_CHECK(faults.active(),
+                "RunMostChildrenFaultLog needs an active fault model");
+  OTSCHED_CHECK(p >= 1, "machine size p must be >= 1, got " << p);
+
+  McReplayLog log;
+  log.prefix_len = prefix_len;
+  MostChildrenReplayer replayer(dag, schedule);
+  if (prefix_len > 0) replayer.mark_prefix_executed(prefix_len);
+  BudgetSequencer sequencer(faults, p);
+  Time slot = 0;
+  // Zero-budget outage steps make no progress, so the fixed-cycle bound
+  // (node_count + cycle + 1) does not apply; the rate cap (<= 0.9) keeps
+  // the expected stall fraction bounded and 64x head-room covers it.
+  const std::size_t max_steps =
+      64 * static_cast<std::size_t>(dag.node_count()) + 4096;
+  while (!replayer.done()) {
+    McReplayLog::Step step;
+    ++slot;
+    // Remaining work stands in for the engine's alive stream: it only
+    // drops, so kAdversarialDip dips at most once per replay.
+    step.budget = sequencer.capacity(slot, replayer.remaining());
+    replayer.step(step.budget, &step.scheduled);
+    log.steps.push_back(std::move(step));
+    OTSCHED_CHECK(log.steps.size() <= max_steps,
+                  "faulted Most-Children replay failed to terminate (spec "
+                      << ToString(faults) << " starves the machine)");
+  }
+  return log;
 }
 
 OracleResult CheckRatioCeilingOracle(const Instance& instance, int m,
@@ -305,6 +364,25 @@ std::vector<OracleResult> CheckSingleJobOracles(
     const McReplayLog log =
         RunMostChildrenLog(dag, reduced, budgets, prefix);
     results.push_back(CheckMcBusyOracle(dag, reduced, log));
+
+    // Lemma 5.5 under faults: the same tail replay on a stochastic budget
+    // stream with mid-run zero-capacity outages.  The spec is a pure
+    // function of (node_count, m) — FNV-1a over the two — so a replayed
+    // fuzz repro regenerates the identical stream with no extra state.
+    std::uint64_t h = 14695981039346656037ULL;
+    h = (h ^ static_cast<std::uint64_t>(dag.node_count())) *
+        1099511628211ULL;
+    h = (h ^ static_cast<std::uint64_t>(m)) * 1099511628211ULL;
+    FaultSpec faulted;
+    faulted.model = (dag.node_count() % 2 == 0) ? FaultModel::kRandomBlip
+                                                : FaultModel::kBurstOutage;
+    faulted.seed = h;
+    faulted.rate = 0.2 + 0.1 * static_cast<double>(h % 5);  // [0.2, 0.6]
+    faulted.burst_len = 1 + static_cast<Time>(h % 7);
+    const McReplayLog fault_log =
+        RunMostChildrenFaultLog(dag, reduced, faulted, p, prefix);
+    results.push_back(
+        CheckMcNoWasteUnderFaultsOracle(dag, reduced, fault_log));
   }
   return results;
 }

@@ -18,6 +18,10 @@
 //   Lemma 5.5                  CheckMcBusyOracle        a Most-Children
 //                              replay never wastes a processor before the
 //                              job finishes
+//   Lemma 5.5 (faulted)        CheckMcNoWasteUnderFaultsOracle   the same
+//                              no-waste property on an ARBITRARY budget
+//                              trace from sim/faults (the lemma never
+//                              assumes the budget stream's shape)
 //   Theorem 5.6 / 5.7          CheckRatioCeilingOracle  Algorithm A's max
 //                              flow stays below the proven constant times
 //                              a certified OPT (or a lower-bound
@@ -31,6 +35,7 @@
 #include "core/lpf.h"
 #include "job/instance.h"
 #include "sched/registry.h"  // kTheorem56Ceiling / kTheorem57Ceiling
+#include "sim/faults.h"
 #include "sim/schedule.h"
 #include "sim/trace.h"
 
@@ -44,6 +49,8 @@ enum class OracleId {
   kRatioCeiling,      // Theorem 5.6 / 5.7
   kTraceEquivalence,  // streaming observer trace == DeriveTrace
   kRecordModeEquivalence,  // flow-only run == full run (flows and stats)
+  kMCNoWasteUnderFaults,   // Lemma 5.5 on an arbitrary faulted budget trace
+  kFaultedEngineEquivalence,  // faulted run: both engines bit-identical
 };
 
 const char* ToString(OracleId id);
@@ -115,6 +122,28 @@ McReplayLog RunMostChildrenLog(const Dag& dag, const JobSchedule& schedule,
 OracleResult CheckMcBusyOracle(const Dag& dag, const JobSchedule& schedule,
                                const McReplayLog& log);
 
+// ---- Lemma 5.5 under faults: no waste on arbitrary budget traces ----
+
+/// Replays `schedule` through MostChildrenReplayer with per-step budgets
+/// drawn from a sim/faults BudgetSequencer on a p-processor machine —
+/// budgets may be ZERO mid-run (an outage stalls the replay, which is
+/// exactly the case Lemma 5.5 must survive).  `faults` must be active and
+/// must eventually grant capacity (a spec that starves forever trips the
+/// termination check).  The remaining-work count feeds the sequencer's
+/// alive stream, so kAdversarialDip dips exactly once per replay.
+McReplayLog RunMostChildrenFaultLog(const Dag& dag,
+                                    const JobSchedule& schedule,
+                                    const FaultSpec& faults, int p,
+                                    Time prefix_len = 0);
+
+/// The Lemma 5.5 verdict on a faulted replay log: identical checks to
+/// CheckMcBusyOracle (the lemma never assumes the budget stream's shape),
+/// reported under OracleId::kMCNoWasteUnderFaults so fuzz repros name the
+/// faulted leg explicitly.
+OracleResult CheckMcNoWasteUnderFaultsOracle(const Dag& dag,
+                                             const JobSchedule& schedule,
+                                             const McReplayLog& log);
+
 // ---- Theorem 5.6 / 5.7: competitive-ratio ceiling ----
 
 /// Verifies max_flow <= ceiling * OPT.  `certified_opt` > 0 is trusted
@@ -145,9 +174,12 @@ OracleResult CheckTraceEquivalenceOracle(const EventTrace& streamed,
 
 // ---- aggregation ----
 
-/// Runs the single-job structural oracles (LPF value, head/tail, MC busy)
-/// on one out-forest and returns every verdict; a convenience used by the
-/// fuzz harness and the bench smoke tests.
+/// Runs the single-job structural oracles (LPF value, head/tail, MC busy,
+/// MC no-waste under a deterministically derived fault model) on one
+/// out-forest and returns every verdict; a convenience used by the fuzz
+/// harness and the bench smoke tests.  The fault leg derives its FaultSpec
+/// purely from (node_count, m), so a replayed repro re-runs the identical
+/// budget stream with no extra repro state.
 std::vector<OracleResult> CheckSingleJobOracles(const Dag& dag, int m,
                                                 int alpha,
                                                 bool cross_check_brute_force);

@@ -35,7 +35,14 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    // Every queued task is a shard lambda that catches its own payload's
+    // exceptions; one escaping here is a pool bug, so fail loudly instead
+    // of letting std::terminate eat the message.
+    try {
+      task();
+    } catch (...) {
+      OTSCHED_CHECK(false, "thread pool task threw past its shard handler");
+    }
   }
 }
 
@@ -44,7 +51,7 @@ void ThreadPool::parallel_for_each_index(
   if (n == 0) return;
 
   auto next = std::make_shared<std::atomic<std::size_t>>(0);
-  auto remaining = std::make_shared<std::atomic<std::size_t>>(n);
+  auto failed = std::make_shared<std::atomic<bool>>(false);
   auto first_error = std::make_shared<std::exception_ptr>();
   auto error_once = std::make_shared<std::once_flag>();
 
@@ -52,10 +59,15 @@ void ThreadPool::parallel_for_each_index(
   std::condition_variable done_cv;
   bool done = false;
 
-  // One queue entry per worker; each entry drains indices until exhausted.
+  // One queue entry per worker; each entry drains indices until exhausted
+  // or a failure is flagged.  The caller waits for every shard to EXIT —
+  // not merely for the index counter to drain — so no shard can still be
+  // inside fn when the exception is rethrown below.
   const std::size_t shards = std::min(n, workers_.size());
+  auto shards_left = std::make_shared<std::atomic<std::size_t>>(shards);
   auto shard = [=, &done_mutex, &done_cv, &done] {
     for (;;) {
+      if (failed->load(std::memory_order_acquire)) break;
       const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;
       try {
@@ -63,12 +75,13 @@ void ThreadPool::parallel_for_each_index(
       } catch (...) {
         std::call_once(*error_once,
                        [&] { *first_error = std::current_exception(); });
+        failed->store(true, std::memory_order_release);
       }
-      if (remaining->fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard lock(done_mutex);
-        done = true;
-        done_cv.notify_all();
-      }
+    }
+    if (shards_left->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard lock(done_mutex);
+      done = true;
+      done_cv.notify_all();
     }
   };
 

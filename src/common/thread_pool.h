@@ -32,8 +32,11 @@ class ThreadPool {
 
   /// Runs fn(0), fn(1), ..., fn(n-1) across the pool, blocking until all
   /// complete.  The indices are claimed atomically, so long tasks load-
-  /// balance naturally.  If any task throws, the first exception is
-  /// rethrown here after all workers stop claiming new indices.
+  /// balance naturally.  If any task throws, workers stop claiming new
+  /// indices (already-claimed calls finish), and the FIRST exception is
+  /// rethrown on the caller thread once every worker has quiesced —
+  /// indices after the failure may therefore never run.  The pool stays
+  /// usable after a failed loop.
   void parallel_for_each_index(std::size_t n,
                                const std::function<void(std::size_t)>& fn);
 

@@ -122,6 +122,10 @@ class AlgASemiBatchedScheduler : public Scheduler {
 
   std::string name() const override { return "alg-a/semi-batched"; }
   bool requires_clairvoyance() const override { return true; }
+  // Window plans precompute per-slot assignments for a fixed m; a
+  // capacity dip would silently break the Theorem 5.6/5.7 invariants,
+  // so the engine must refuse the combination outright.
+  bool supports_fluctuating_capacity() const override { return false; }
   void reset(int m, JobId job_count) override;
   void on_arrival(JobId id, const SchedulerView& view) override;
   void pick(const SchedulerView& view, std::vector<SubjobRef>& out) override;

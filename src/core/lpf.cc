@@ -203,7 +203,7 @@ void GlobalLpfScheduler::pick(const SchedulerView& view,
     ++age_rank;
   }
   const std::size_t take =
-      std::min(pool_.size(), static_cast<std::size_t>(view.m()));
+      std::min(pool_.size(), static_cast<std::size_t>(view.capacity()));
   std::partial_sort(pool_.begin(), pool_.begin() + static_cast<std::ptrdiff_t>(take),
                     pool_.end(), [](const Entry& a, const Entry& b) {
                       if (a.height != b.height) return a.height > b.height;

@@ -24,10 +24,18 @@ std::string InstanceToText(const Instance& instance) {
   return out.str();
 }
 
-Instance InstanceFromText(const std::string& text) {
+std::optional<Instance> TryInstanceFromText(const std::string& text,
+                                            std::string* error) {
   std::istringstream in(text);
   std::string line;
   int line_number = 0;
+
+  auto fail = [&](const std::string& what) -> std::optional<Instance> {
+    if (error != nullptr) {
+      *error = "instance line " + std::to_string(line_number) + ": " + what;
+    }
+    return std::nullopt;
+  };
 
   auto next_line = [&](std::string& out_line) {
     while (std::getline(in, out_line)) {
@@ -42,13 +50,15 @@ Instance InstanceFromText(const std::string& text) {
     return false;
   };
 
-  OTSCHED_CHECK(next_line(line), "empty instance file");
+  if (!next_line(line)) return fail("empty instance file");
   {
     std::istringstream fields(line);
     std::string magic;
     fields >> magic;
-    OTSCHED_CHECK(magic == "otsched-instance-v1",
-                  "line " << line_number << ": bad magic '" << magic << "'");
+    if (magic != "otsched-instance-v1") {
+      return fail("bad magic '" + magic +
+                  "' (want otsched-instance-v1)");
+    }
   }
 
   Instance instance;
@@ -65,33 +75,50 @@ Instance InstanceFromText(const std::string& text) {
     } else if (keyword == "job") {
       Time release = -1;
       NodeId node_count = -1;
-      OTSCHED_CHECK(static_cast<bool>(fields >> release >> node_count),
-                    "line " << line_number << ": job needs release and size");
-      OTSCHED_CHECK(release >= 0 && node_count >= 1,
-                    "line " << line_number << ": bad job header");
+      if (!(fields >> release >> node_count)) {
+        return fail("job needs release and size");
+      }
+      if (release < 0 || node_count < 1) {
+        return fail("bad job header (release " + std::to_string(release) +
+                    ", size " + std::to_string(node_count) + ")");
+      }
       std::string job_name;
       fields >> job_name;
 
+      const int job_line = line_number;
       Dag::Builder builder(node_count);
       while (true) {
-        OTSCHED_CHECK(next_line(line),
-                      "unterminated job started before line " << line_number);
+        if (!next_line(line)) {
+          return fail("unterminated job started at line " +
+                      std::to_string(job_line));
+        }
         if (line.rfind("end", 0) == 0) break;
         std::istringstream edge(line);
         NodeId from = kInvalidNode;
         NodeId to = kInvalidNode;
-        OTSCHED_CHECK(static_cast<bool>(edge >> from >> to),
-                      "line " << line_number << ": expected an edge or 'end'");
+        if (!(edge >> from >> to)) {
+          return fail("expected an edge or 'end'");
+        }
+        if (from < 0 || from >= node_count || to < 0 || to >= node_count) {
+          return fail("edge " + std::to_string(from) + " -> " +
+                      std::to_string(to) + " is outside the job's " +
+                      std::to_string(node_count) + " nodes");
+        }
         builder.add_edge(from, to);
       }
       instance.add_job(Job(std::move(builder).build(), release, job_name));
     } else {
-      OTSCHED_CHECK(false,
-                    "line " << line_number << ": unknown keyword '"
-                            << keyword << "'");
+      return fail("unknown keyword '" + keyword + "'");
     }
   }
   return instance;
+}
+
+Instance InstanceFromText(const std::string& text) {
+  std::string error;
+  std::optional<Instance> instance = TryInstanceFromText(text, &error);
+  OTSCHED_CHECK(instance.has_value(), error);
+  return *std::move(instance);
 }
 
 void SaveInstance(const Instance& instance, const std::string& path) {
@@ -101,12 +128,28 @@ void SaveInstance(const Instance& instance, const std::string& path) {
   OTSCHED_CHECK(out.good(), "write failure on " << path);
 }
 
-Instance LoadInstance(const std::string& path) {
+std::optional<Instance> TryLoadInstance(const std::string& path,
+                                        std::string* error) {
   std::ifstream in(path);
-  OTSCHED_CHECK(in.good(), "cannot open " << path);
+  if (!in.good()) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return InstanceFromText(buffer.str());
+  std::optional<Instance> instance =
+      TryInstanceFromText(buffer.str(), error);
+  if (!instance.has_value() && error != nullptr) {
+    *error = path + ": " + *error;
+  }
+  return instance;
+}
+
+Instance LoadInstance(const std::string& path) {
+  std::string error;
+  std::optional<Instance> instance = TryLoadInstance(path, &error);
+  OTSCHED_CHECK(instance.has_value(), error);
+  return *std::move(instance);
 }
 
 }  // namespace otsched

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "job/instance.h"
@@ -22,11 +23,23 @@ namespace otsched {
 
 std::string InstanceToText(const Instance& instance);
 
-/// Parses the format above; aborts with a line diagnostic on malformed
-/// input.
+/// Parses the format above.  On malformed input returns nullopt and
+/// writes a per-line diagnostic ("instance line N: ...") to `error` —
+/// the recoverable entry point CLI tools use so a typo in a hand-edited
+/// file prints a diagnostic instead of aborting the process.
+std::optional<Instance> TryInstanceFromText(const std::string& text,
+                                            std::string* error);
+
+/// TryInstanceFromText that aborts with the diagnostic on malformed
+/// input — for callers whose input is trusted (tests, generators).
 Instance InstanceFromText(const std::string& text);
 
-/// Convenience file wrappers (abort on I/O errors).
+/// File wrapper around TryInstanceFromText; unreadable files report
+/// through `error` the same way.
+std::optional<Instance> TryLoadInstance(const std::string& path,
+                                        std::string* error);
+
+/// Convenience file wrappers (abort on I/O and parse errors).
 void SaveInstance(const Instance& instance, const std::string& path);
 Instance LoadInstance(const std::string& path);
 

@@ -94,7 +94,7 @@ void FifoScheduler::choose(const SchedulerView& view, JobId job,
 
 void FifoScheduler::pick(const SchedulerView& view,
                          std::vector<SubjobRef>& out) {
-  int available = view.m();
+  int available = view.capacity();
   for (JobId job : view.alive()) {
     if (available == 0) break;
     const auto ready = view.ready(job);

@@ -17,9 +17,9 @@ void ListGreedyScheduler::pick(const SchedulerView& view,
   for (JobId job : view.alive()) {
     for (NodeId v : view.ready(job)) pool_.push_back(SubjobRef{job, v});
   }
-  if (static_cast<int>(pool_.size()) > view.m()) {
+  if (static_cast<int>(pool_.size()) > view.capacity()) {
     rng_.shuffle(pool_);
-    pool_.resize(static_cast<std::size_t>(view.m()));
+    pool_.resize(static_cast<std::size_t>(view.capacity()));
   }
   out.insert(out.end(), pool_.begin(), pool_.end());
 }

@@ -26,7 +26,7 @@ void RemainingWorkScheduler::pick(const SchedulerView& view,
                                 : wa > wb;
                    });
 
-  int available = view.m();
+  int available = view.capacity();
   for (JobId job : order_scratch_) {
     if (available == 0) break;
     const auto ready = view.ready(job);

@@ -15,7 +15,7 @@ void RoundRobinScheduler::pick(const SchedulerView& view,
   const auto alive = view.alive();
   if (alive.empty()) return;
   const std::size_t n = alive.size();
-  const int m = view.m();
+  const int m = view.capacity();
 
   // Phase 1: equal shares, remainder assigned starting at the rotation
   // cursor so no job is systematically favoured.

@@ -33,13 +33,17 @@ void WorkStealingScheduler::on_arrival(JobId id, const SchedulerView& view) {
 void WorkStealingScheduler::pick(const SchedulerView& view,
                                  std::vector<SubjobRef>& out) {
   const std::size_t m = deques_.size();
+  // Under fault injection only the first capacity workers run this slot
+  // (their deques survive the outage untouched).
+  const std::size_t active = std::min(
+      m, static_cast<std::size_t>(std::max(0, view.capacity())));
 
-  // Phase 1: every worker selects at most one subjob.  Selections happen
-  // sequentially (worker 0 first), which resolves steal races the way a
-  // serialization of one superstep would.
+  // Phase 1: every live worker selects at most one subjob.  Selections
+  // happen sequentially (worker 0 first), which resolves steal races the
+  // way a serialization of one superstep would.
   std::vector<SubjobRef> executed_by(m, SubjobRef{});
   std::vector<char> busy(m, 0);
-  for (std::size_t w = 0; w < m; ++w) {
+  for (std::size_t w = 0; w < active; ++w) {
     SubjobRef chosen{};
     if (!deques_[w].empty()) {
       chosen = deques_[w].back();

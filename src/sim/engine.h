@@ -37,6 +37,9 @@ class EngineBackend {
   virtual ~EngineBackend() = default;
   virtual Time slot() const = 0;
   virtual int m() const = 0;
+  /// Effective processor budget of the current slot, m_t <= m (fault
+  /// injection; sim/faults.h).  Equals m() on fault-free runs.
+  virtual int capacity() const { return m(); }
   virtual JobId job_count() const = 0;
   virtual std::span<const JobId> alive() const = 0;
   virtual Time release(JobId id) const = 0;
@@ -60,6 +63,11 @@ class SchedulerView {
   Time slot() const;
 
   int m() const;
+
+  /// Processors actually available in the current slot (m_t <= m; equals
+  /// m() unless fault injection is active).  Policies must bound their
+  /// picks by this, not by m() — the engine validates against it.
+  int capacity() const;
 
   JobId job_count() const;
 
@@ -106,6 +114,14 @@ class Scheduler {
   /// Declares whether the policy needs to see job DAGs on arrival.
   virtual bool requires_clairvoyance() const { return false; }
 
+  /// Declares whether the policy tolerates a per-slot capacity that
+  /// fluctuates below m (fault injection; sim/faults.h).  Work-conserving
+  /// policies that re-read view.capacity() every slot return true (the
+  /// default); window-planning policies that precompute per-slot
+  /// assignments for a fixed m (Algorithm A) return false, and the engine
+  /// refuses to run them under an active fault model.
+  virtual bool supports_fluctuating_capacity() const { return true; }
+
   /// Called once before the run; `m` is fixed for the whole run.
   virtual void reset(int m, JobId job_count) {
     (void)m;
@@ -119,8 +135,9 @@ class Scheduler {
     (void)view;
   }
 
-  /// Chooses at most view.m() ready subjobs to run in view.slot().
-  /// The engine validates every choice.
+  /// Chooses at most view.capacity() ready subjobs to run in view.slot()
+  /// (== view.m() on fault-free runs).  The engine validates every
+  /// choice.
   virtual void pick(const SchedulerView& view,
                     std::vector<SubjobRef>& out) = 0;
 };
@@ -133,6 +150,9 @@ struct SimStats {
   std::int64_t executed_subjobs = 0;
   std::int64_t idle_processor_slots = 0;  // over [first arrival+1, horizon]
   std::int64_t busy_slots = 0;            // slots with at least one subjob
+  // Fault injection (zero on fault-free runs):
+  std::int64_t faulted_slots = 0;      // visited slots with capacity < m
+  std::int64_t capacity_shortfall = 0;  // sum of (m - capacity) over them
 };
 
 struct SimResult {

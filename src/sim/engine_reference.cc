@@ -26,7 +26,8 @@ class ReferenceEngine final : public EngineBackend {
       : instance_(instance),
         m_(m),
         scheduler_(scheduler),
-        observer_(context.observer) {
+        observer_(context.observer),
+        sequencer_(context.options.faults, m) {
     OTSCHED_CHECK(m >= 1);
     const SimOptions& options = context.options;
     clairvoyant_ =
@@ -34,10 +35,23 @@ class ReferenceEngine final : public EngineBackend {
             ? scheduler.requires_clairvoyance()
             : options.clairvoyance == ClairvoyanceOverride::kAllow;
     record_full_ = options.record == RecordMode::kFull;
+    capacity_ = m_;
+    if (sequencer_.active()) {
+      OTSCHED_CHECK(scheduler.supports_fluctuating_capacity(),
+                    "scheduler '" << scheduler.name()
+                                  << "' does not support a fluctuating "
+                                     "per-slot capacity (fault model "
+                                  << ToString(options.faults.model) << ")");
+    }
     max_horizon_ = options.max_horizon;
     if (max_horizon_ == 0) {
       max_horizon_ = instance.max_release() + 4 * instance.total_work() +
                      instance.max_span() + 1024;
+      if (sequencer_.active()) {
+        // Mirror the incremental engine's fault allowance exactly.
+        max_horizon_ = instance.max_release() + 64 * instance.total_work() +
+                       instance.max_span() + 65536;
+      }
     }
   }
 
@@ -46,6 +60,7 @@ class ReferenceEngine final : public EngineBackend {
   // --- EngineBackend implementation ---
   Time slot() const override { return slot_; }
   int m() const override { return m_; }
+  int capacity() const override { return capacity_; }
   JobId job_count() const override { return instance_.job_count(); }
   std::span<const JobId> alive() const override { return alive_; }
   Time release(JobId id) const override {
@@ -101,6 +116,8 @@ class ReferenceEngine final : public EngineBackend {
   bool clairvoyant_ = false;
   bool record_full_ = true;          // materialize the Schedule?
   Time max_horizon_ = 0;
+  BudgetSequencer sequencer_;        // per-slot capacity source
+  int capacity_ = 1;                 // current slot's budget, m_t <= m
 
   Time slot_ = 0;
   Time last_busy_slot_ = 0;          // online horizon (== schedule horizon)
@@ -224,6 +241,23 @@ SimResult ReferenceEngine::run() {
 
     deliver_arrivals(view);
 
+    if (sequencer_.active()) {
+      // Capacity resolves after the slot's arrivals and before the pick,
+      // exactly as in the incremental engine.
+      const int cap = sequencer_.capacity(
+          slot_, static_cast<std::int64_t>(alive_.size()));
+      if (cap != capacity_) {
+        capacity_ = cap;
+        if (observer_ != nullptr) {
+          observer_->on_capacity_change(slot_, capacity_);
+        }
+      }
+      if (capacity_ < m_) {
+        ++result.stats.faulted_slots;
+        result.stats.capacity_shortfall += m_ - capacity_;
+      }
+    }
+
     picks.clear();
     double pick_seconds = 0.0;
     if (observer_ != nullptr) {
@@ -234,10 +268,11 @@ SimResult ReferenceEngine::run() {
       scheduler_.pick(view, picks);
     }
 
-    OTSCHED_CHECK(static_cast<int>(picks.size()) <= m_,
+    OTSCHED_CHECK(static_cast<int>(picks.size()) <= capacity_,
                   "scheduler '" << scheduler_.name() << "' picked "
-                                << picks.size() << " subjobs on " << m_
-                                << " processors at slot " << slot_);
+                                << picks.size() << " subjobs with capacity "
+                                << capacity_ << " (m = " << m_
+                                << ") at slot " << slot_);
     // Validate readiness and uniqueness, then execute.
     for (const SubjobRef& ref : picks) {
       OTSCHED_CHECK(ref.job >= 0 && ref.job < n,

@@ -5,7 +5,8 @@
 // visited slot,
 //
 //   on_run_begin                          (once, before the first slot)
-//   on_slot_begin -> on_arrival* -> on_pick -> on_execute* -> on_complete*
+//   on_slot_begin -> on_arrival* -> on_capacity_change?
+//                 -> on_pick -> on_execute* -> on_complete*
 //   on_finish                             (once, after flows are computed)
 //
 // with the per-slot ordering guarantees the event trace relies on:
@@ -26,6 +27,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "sim/faults.h"
 
 namespace otsched {
 
@@ -67,6 +69,11 @@ struct SimOptions {
   /// Whether to materialize the explicit schedule (kFull) or track flows
   /// incrementally only (kFlowOnly).
   RecordMode record = RecordMode::kFull;
+
+  /// Processor fault injection: the per-slot capacity model m_t <= m
+  /// (sim/faults.h).  The default kNone runs at full capacity and is
+  /// bit-identical to a pre-fault engine.
+  FaultSpec faults;
 };
 
 /// Streaming hooks fired by every engine (Simulate, ReferenceSimulate,
@@ -92,6 +99,15 @@ class RunObserver {
   virtual void on_arrival(Time slot, JobId job) {
     (void)slot;
     (void)job;
+  }
+
+  /// The slot's effective capacity changed relative to the previously
+  /// visited slot (fault injection; sim/faults.h).  Fired after the
+  /// slot's arrivals and before its pick, and only when the value
+  /// actually changes — fault-free runs never fire it.
+  virtual void on_capacity_change(Time slot, int capacity) {
+    (void)slot;
+    (void)capacity;
   }
 
   /// The scheduler's (already validated) picks for the slot, before they
@@ -141,6 +157,9 @@ class ObserverList final : public RunObserver {
   }
   void on_arrival(Time slot, JobId job) override {
     for (RunObserver* o : observers_) o->on_arrival(slot, job);
+  }
+  void on_capacity_change(Time slot, int capacity) override {
+    for (RunObserver* o : observers_) o->on_capacity_change(slot, capacity);
   }
   void on_pick(Time slot, const EngineBackend& engine,
                std::span<const SubjobRef> picks, double pick_seconds) override {

@@ -80,6 +80,7 @@ RunManifest MakeRunManifest(const Instance& instance, int m,
   manifest.max_horizon = options.max_horizon;
   manifest.clairvoyance = ToString(options.clairvoyance);
   manifest.record = ToString(options.record);
+  manifest.faults = ToString(options.faults);
   return manifest;
 }
 
@@ -94,7 +95,8 @@ std::string RunManifest::to_json() const {
   out += "  \"seed\": " + std::to_string(seed) + ",\n";
   out += "  \"max_horizon\": " + std::to_string(max_horizon) + ",\n";
   out += "  \"clairvoyance\": " + JsonString(clairvoyance) + ",\n";
-  out += "  \"record\": " + JsonString(record) + "\n";
+  out += "  \"record\": " + JsonString(record) + ",\n";
+  out += "  \"faults\": " + JsonString(faults) + "\n";
   out += "}\n";
   return out;
 }
@@ -110,6 +112,7 @@ void WriteManifest(MetricsRegistry& registry, const RunManifest& manifest) {
   registry.set_manifest("max_horizon", manifest.max_horizon);
   registry.set_manifest("clairvoyance", manifest.clairvoyance);
   registry.set_manifest("record", manifest.record);
+  registry.set_manifest("faults", manifest.faults);
 }
 
 MetricsObserver::MetricsObserver(MetricsRegistry& registry, Options options)
@@ -128,6 +131,9 @@ void MetricsObserver::on_run_begin(const EngineBackend& engine) {
   registry_.counter("engine.executed_subjobs");
   registry_.counter("engine.idle_processor_slots");
   registry_.counter("flow.total_slots");
+  registry_.counter("faults.capacity_changes");
+  registry_.counter("faults.faulted_slots");
+  registry_.counter("faults.capacity_shortfall");
   registry_.gauge("engine.horizon");
   registry_.gauge("flow.max");
   registry_.gauge("alive.width");
@@ -142,6 +148,7 @@ void MetricsObserver::on_run_begin(const EngineBackend& engine) {
     registry_.series("slot.idle");
     registry_.series("slot.ready_width");
     registry_.series("slot.alive");
+    registry_.series("slot.capacity");
   }
 }
 
@@ -155,6 +162,15 @@ void MetricsObserver::on_arrival(Time slot, JobId job) {
   (void)slot;
   (void)job;
   registry_.counter("observer.arrivals").inc();
+}
+
+void MetricsObserver::on_capacity_change(Time slot, int capacity) {
+  registry_.counter("faults.capacity_changes").inc();
+  if (options_.record_series) {
+    // Sparse by construction: the hook only fires when the value changes,
+    // so the series is the capacity step function's breakpoints.
+    registry_.series("slot.capacity").record(slot, capacity);
+  }
 }
 
 void MetricsObserver::on_pick(Time slot, const EngineBackend& engine,
@@ -203,6 +219,9 @@ void MetricsObserver::on_finish(const SimResult& result) {
       .set(result.stats.executed_subjobs);
   registry_.counter("engine.idle_processor_slots")
       .set(result.stats.idle_processor_slots);
+  registry_.counter("faults.faulted_slots").set(result.stats.faulted_slots);
+  registry_.counter("faults.capacity_shortfall")
+      .set(result.stats.capacity_shortfall);
   registry_.gauge("engine.horizon")
       .set(static_cast<double>(result.stats.horizon));
   registry_.gauge("flow.max")

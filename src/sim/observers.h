@@ -33,6 +33,7 @@ struct RunManifest {
   Time max_horizon = 0;              // 0 = auto
   std::string clairvoyance;          // "policy-default" | "deny" | "allow"
   std::string record;                // "full" | "flow-only"
+  std::string faults;                // fault spec shorthand ("none", ...)
 
   /// Standalone manifest document (the CI artifact format).
   std::string to_json() const;
@@ -71,6 +72,7 @@ class MetricsObserver final : public RunObserver {
   void on_run_begin(const EngineBackend& engine) override;
   void on_slot_begin(Time slot, const EngineBackend& engine) override;
   void on_arrival(Time slot, JobId job) override;
+  void on_capacity_change(Time slot, int capacity) override;
   void on_pick(Time slot, const EngineBackend& engine,
                std::span<const SubjobRef> picks, double pick_seconds) override;
   void on_execute(Time slot, SubjobRef ref) override;

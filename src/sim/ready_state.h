@@ -27,6 +27,17 @@
 
 namespace otsched {
 
+/// Clamps a fault model's requested per-slot capacity into the only legal
+/// range, [0, m]: budgets can starve a slot entirely but never exceed the
+/// machine (the Lemma 5.5 setting, m_t <= m).  Shared by both engines and
+/// the BudgetTrace/BudgetSequencer machinery in sim/faults.h so every
+/// consumer clamps identically.
+inline int ClampSlotCapacity(int requested, int m) {
+  if (requested < 0) return 0;
+  if (requested > m) return m;
+  return requested;
+}
+
 /// Pending-predecessor counters over one DAG: counts[v] = predecessors of
 /// v that have not yet completed.  `complete(v)` relaxes v's out-edges
 /// and hands every child whose count reaches zero to a sink, in

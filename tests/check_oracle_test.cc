@@ -395,8 +395,16 @@ TEST(DifferentialFuzz, ReplayRoundTripsThroughSerializedRepro) {
   FuzzOptions options;
   const FuzzReport report = ReplayRepro(repro, options);
   EXPECT_TRUE(report.ok()) << report.summary();
-  EXPECT_EQ(report.simulations, 1);
+  // The extra legs (record-mode rerun, faulted engine-equivalence pair)
+  // are pure functions of the case identity, so replay re-runs exactly
+  // what the original fuzz case ran: here the primary simulation plus
+  // the two faulted-equivalence runs.
+  EXPECT_EQ(report.simulations, 3);
   EXPECT_GT(report.oracle_checks, 0);
+  // Replay is deterministic: a second pass reproduces the same counts.
+  const FuzzReport again = ReplayRepro(repro, options);
+  EXPECT_EQ(again.simulations, report.simulations);
+  EXPECT_EQ(again.oracle_checks, report.oracle_checks);
 }
 
 TEST(PolicyRegistry, CoversEverySchedAndCoreFamily) {

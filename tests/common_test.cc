@@ -166,6 +166,53 @@ TEST(ThreadPool, PropagatesFirstException) {
                std::runtime_error);
 }
 
+TEST(ThreadPool, StopsClaimingAfterFailure) {
+  // One worker makes claiming strictly sequential: after i == 0 throws,
+  // the failed flag is set before any further index is claimed, so
+  // exactly one call runs.
+  ThreadPool pool(1);
+  std::atomic<int> calls{0};
+  EXPECT_THROW(pool.parallel_for_each_index(1000,
+                                            [&](std::size_t) {
+                                              ++calls;
+                                              throw std::runtime_error("x");
+                                            }),
+               std::runtime_error);
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesNonStdException) {
+  // The capture path is catch (...): payloads that do not derive from
+  // std::exception must survive the trip to the caller thread intact.
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for_each_index(8, [](std::size_t) { throw 42; });
+    FAIL() << "expected the int payload to be rethrown";
+  } catch (int value) {
+    EXPECT_EQ(value, 42);
+  }
+}
+
+TEST(ThreadPool, EveryTaskThrowingStillPropagatesExactlyOne) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for_each_index(
+                   64,
+                   [](std::size_t i) {
+                     throw std::runtime_error("boom " + std::to_string(i));
+                   }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for_each_index(
+                   10, [](std::size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  std::atomic<int> total{0};
+  pool.parallel_for_each_index(25, [&](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 25);
+}
+
 TEST(ThreadPool, ReusableAcrossCalls) {
   ThreadPool pool(2);
   std::atomic<int> total{0};

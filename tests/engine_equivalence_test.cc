@@ -12,6 +12,8 @@
 // may engine_reference.cc be deleted.
 #include "gtest_compat.h"
 
+#include <algorithm>
+#include <span>
 #include <sstream>
 
 #include "common/rng.h"
@@ -47,6 +49,11 @@ class HookRecorder final : public RunObserver {
   void on_arrival(Time slot, JobId job) override {
     std::ostringstream line;
     line << "arrive " << slot << ' ' << job;
+    lines_.push_back(line.str());
+  }
+  void on_capacity_change(Time slot, int capacity) override {
+    std::ostringstream line;
+    line << "cap " << slot << ' ' << capacity;
     lines_.push_back(line.str());
   }
   void on_pick(Time slot, const EngineBackend&,
@@ -118,6 +125,11 @@ void ExpectIdenticalRuns(const SimResult& incremental,
             reference.stats.idle_processor_slots)
       << label;
   EXPECT_EQ(incremental.stats.busy_slots, reference.stats.busy_slots)
+      << label;
+  EXPECT_EQ(incremental.stats.faulted_slots, reference.stats.faulted_slots)
+      << label;
+  EXPECT_EQ(incremental.stats.capacity_shortfall,
+            reference.stats.capacity_shortfall)
       << label;
 }
 
@@ -195,6 +207,9 @@ void ExpectIdenticalSummaries(const SimResult& got, const SimResult& want,
   EXPECT_EQ(got.stats.idle_processor_slots, want.stats.idle_processor_slots)
       << label;
   EXPECT_EQ(got.stats.busy_slots, want.stats.busy_slots) << label;
+  EXPECT_EQ(got.stats.faulted_slots, want.stats.faulted_slots) << label;
+  EXPECT_EQ(got.stats.capacity_shortfall, want.stats.capacity_shortfall)
+      << label;
 }
 
 /// The flow-only gate: for every applicable registry policy, a
@@ -264,6 +279,127 @@ void CheckFlowOnlyAllPolicies(const Instance& instance, int m,
               -1)
         << label << " [flow-only streamed trace]";
   }
+}
+
+/// The faulted gate: under a fluctuating per-slot budget, for every
+/// applicable capacity-aware policy and every fault model in `specs`,
+/// both engines — with and without observers — must produce bit-identical
+/// schedules, flows, stats (including the fault counters) and hook
+/// streams (which now carry the `cap` capacity-change lines).
+void CheckFaultedAllPolicies(const Instance& instance, int m,
+                             std::span<const FaultSpec> specs,
+                             const std::string& corpus_label) {
+  for (const PolicySpec& spec : AllPolicies()) {
+    if (!PolicyApplies(spec, instance.all_out_forests(),
+                       /*semi_batched_certified=*/false, m)) {
+      continue;
+    }
+    if (spec.needs_semi_batched) continue;
+    // Skip window planners: they replan against fixed m and opt out of
+    // fluctuating capacity (the engines CHECK this).
+    if (!spec.make(1)->supports_fluctuating_capacity()) continue;
+    for (const FaultSpec& faults : specs) {
+      std::ostringstream label;
+      label << corpus_label << " / " << spec.name << " / m=" << m << " / "
+            << ToString(faults);
+      const std::uint64_t seed = 12345;
+      SimOptions options;
+      options.faults = faults;
+
+      auto incremental_scheduler = spec.make(seed);
+      const SimResult incremental =
+          Simulate(instance, m, *incremental_scheduler, options);
+      auto reference_scheduler = spec.make(seed);
+      const SimResult reference =
+          ReferenceSimulate(instance, m, *reference_scheduler, options);
+      ExpectIdenticalRuns(incremental, reference, label.str());
+      // An active model at these rates must actually bite somewhere —
+      // otherwise this gate silently degenerates to the fault-free one.
+      EXPECT_GT(incremental.stats.faulted_slots, 0) << label.str();
+
+      // Observer legs on both engines: identical runs and byte-identical
+      // hook streams, capacity-change lines included.
+      auto observed_scheduler = spec.make(seed);
+      HookRecorder recorder;
+      RunContext context{options, &recorder};
+      const SimResult observed =
+          Simulate(instance, m, *observed_scheduler, context);
+      ExpectIdenticalRuns(observed, incremental,
+                          label.str() + " [observed]");
+      auto reference_observed_scheduler = spec.make(seed);
+      HookRecorder reference_recorder;
+      RunContext reference_context{options, &reference_recorder};
+      ReferenceSimulate(instance, m, *reference_observed_scheduler,
+                        reference_context);
+      EXPECT_EQ(recorder.lines(), reference_recorder.lines())
+          << label.str() << " [hook stream]";
+      const bool has_cap_line =
+          std::any_of(recorder.lines().begin(), recorder.lines().end(),
+                      [](const std::string& line) {
+                        return line.rfind("cap ", 0) == 0;
+                      });
+      EXPECT_TRUE(has_cap_line) << label.str() << " [no cap hook fired]";
+    }
+  }
+}
+
+TEST(EngineEquivalence, FaultedPoissonTreeMixes) {
+  Rng rng(13);
+  Instance instance = MakePoissonArrivals(
+      6, 0.2,
+      [](std::int64_t i, Rng& r) {
+        return MakeTree(static_cast<TreeFamily>(i % 4),
+                        static_cast<NodeId>(5 + r.next_below(20)), r);
+      },
+      rng);
+
+  FaultSpec blip;
+  blip.model = FaultModel::kRandomBlip;
+  blip.seed = 5;
+  blip.rate = 0.4;
+  FaultSpec burst;
+  burst.model = FaultModel::kBurstOutage;
+  burst.seed = 9;
+  burst.rate = 0.5;
+  burst.burst_len = 3;
+  FaultSpec dip;
+  dip.model = FaultModel::kAdversarialDip;
+  BudgetTrace trace;
+  for (Time slot = 2; slot <= 120; slot += 5) {
+    trace.set(slot, static_cast<int>(slot % 3));
+  }
+  FaultSpec traced;
+  traced.model = FaultModel::kTrace;
+  traced.trace = &trace;
+
+  const std::vector<FaultSpec> specs = {blip, burst, dip, traced};
+  for (int m : {2, 4}) {
+    CheckFaultedAllPolicies(instance, m, specs, "faulted-poisson");
+  }
+}
+
+TEST(EngineEquivalence, FaultedAdversaryAndCertified) {
+  FaultSpec blip;
+  blip.model = FaultModel::kRandomBlip;
+  blip.seed = 21;
+  blip.rate = 0.35;
+  FaultSpec burst;
+  burst.model = FaultModel::kBurstOutage;
+  burst.seed = 4;
+  burst.rate = 0.6;
+  burst.burst_len = 2;
+  burst.floor = 1;
+  const std::vector<FaultSpec> specs = {blip, burst};
+
+  LowerBoundSimOptions options;
+  options.m = 4;
+  options.num_jobs = 8;
+  const AdversarialInstance adv = MakeAdversarialInstance(options);
+  CheckFaultedAllPolicies(adv.instance, 4, specs, "faulted-adversary");
+
+  Rng rng(42);
+  CertifiedInstance cert = MakeSpacedSaturatedInstance(4, 3, 3, rng);
+  CheckFaultedAllPolicies(cert.instance, 4, specs, "faulted-saturated");
 }
 
 /// Large sparse workload (many alive chain jobs, one ready subjob each):

@@ -3,11 +3,14 @@
 // head-prefix marking used by Algorithm A.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/rng.h"
 #include "core/most_children.h"
 #include "dag/builders.h"
 #include "gen/random_trees.h"
 #include "opt/single_batch.h"
+#include "sim/faults.h"
 
 namespace otsched {
 namespace {
@@ -56,6 +59,119 @@ TEST(MostChildren, ZeroBudgetStepsIdleHarmlessly) {
   EXPECT_EQ(mc.step(0), 0);
   EXPECT_EQ(mc.remaining(), 3);
   EXPECT_EQ(mc.busy_violations(), 0);  // zero budget is not a violation
+}
+
+// ---- edge budgets from sim/faults: the fluctuating-capacity contract ----
+
+TEST(MostChildren, MidReplayOutageStallsWithoutViolations) {
+  // A BudgetTrace pins a zero-capacity outage in the middle of the
+  // replay: progress stalls for exactly the outage slots, resumes
+  // untouched afterwards, and the stall never counts as a busy violation
+  // (Lemma 5.5 only speaks about GRANTED processors).
+  Rng rng(3);
+  const Dag tree = MakeTree(TreeFamily::kMixed, 24, rng);
+  const int p = 3;
+  const JobSchedule lpf = BuildLpfSchedule(tree, p);
+  BudgetTrace trace;
+  trace.set(3, 0);
+  trace.set(4, 0);
+  trace.set(5, 0);
+  FaultSpec spec;
+  spec.model = FaultModel::kTrace;
+  spec.trace = &trace;
+  BudgetSequencer sequencer(spec, p);
+
+  MostChildrenReplayer mc(tree, lpf);
+  Time t = 0;
+  Time stalled_steps = 0;
+  while (!mc.done()) {
+    ++t;
+    ASSERT_LT(t, 1000) << "MC failed to make progress";
+    const int budget = sequencer.capacity(t, mc.remaining());
+    const std::int64_t before = mc.remaining();
+    const std::int64_t violations_before = mc.busy_violations();
+    const int scheduled = mc.step(budget);
+    if (budget == 0) {
+      EXPECT_EQ(scheduled, 0);
+      EXPECT_EQ(mc.remaining(), before) << "outage slot made progress";
+      // A granted budget of zero can never be wasted (Lemma 5.5 only
+      // speaks about granted processors).
+      EXPECT_EQ(mc.busy_violations(), violations_before);
+      ++stalled_steps;
+    }
+  }
+  EXPECT_EQ(stalled_steps, 3);  // exactly the pinned outage slots
+  EXPECT_EQ(mc.remaining(), 0);
+}
+
+TEST(MostChildren, CapacitySpikeBackToFullBudgetIsUsed) {
+  // After a capacity-1 crawl, the budget spikes back to p: MC must
+  // immediately consume the whole restored budget (or finish the job) —
+  // the no-waste property does not relax after a degraded stretch.
+  const int p = 4;
+  const Dag star = MakeStar(13);  // root then 12 independent leaves
+  const JobSchedule lpf = BuildLpfSchedule(star, p);
+  BudgetTrace trace;
+  trace.set(1, 1);
+  trace.set(2, 1);
+  FaultSpec spec;
+  spec.model = FaultModel::kTrace;
+  spec.trace = &trace;
+  BudgetSequencer sequencer(spec, p);
+
+  MostChildrenReplayer mc(star, lpf);
+  Time t = 0;
+  while (!mc.done()) {
+    ++t;
+    ASSERT_LT(t, 1000);
+    const int budget = sequencer.capacity(t, mc.remaining());
+    const std::int64_t before = mc.remaining();
+    const int scheduled = mc.step(budget);
+    if (t <= 2) {
+      EXPECT_EQ(budget, 1);
+      EXPECT_EQ(scheduled, 1);
+    } else {
+      // Spike back to p: full budget or job finished, never a waste.
+      EXPECT_EQ(budget, p);
+      EXPECT_EQ(scheduled,
+                static_cast<int>(std::min<std::int64_t>(before, p)));
+    }
+  }
+  EXPECT_EQ(mc.busy_violations(), 0);
+}
+
+TEST(MostChildren, TraceShorterThanReplayMeansTheMachineRecovers) {
+  // The documented BudgetTrace semantics: slots beyond the last pinned
+  // entry run at full capacity.  A trace covering only the first slots
+  // must not starve the rest of the replay.
+  Rng rng(7);
+  const Dag tree = MakeTree(TreeFamily::kBranchy, 30, rng);
+  const int p = 2;
+  const JobSchedule lpf = BuildLpfSchedule(tree, p);
+  BudgetTrace trace;
+  trace.set(1, 1);
+  trace.set(2, 0);
+  FaultSpec spec;
+  spec.model = FaultModel::kTrace;
+  spec.trace = &trace;
+  BudgetSequencer sequencer(spec, p);
+  ASSERT_LT(trace.length(), static_cast<Time>(tree.node_count()) / p);
+
+  MostChildrenReplayer mc(tree, lpf);
+  Time t = 0;
+  while (!mc.done()) {
+    ++t;
+    ASSERT_LT(t, 1000);
+    const int budget = sequencer.capacity(t, mc.remaining());
+    if (t > trace.length()) {
+      EXPECT_EQ(budget, p) << "machine failed to recover past the trace";
+    }
+    mc.step(budget);
+  }
+  EXPECT_EQ(mc.remaining(), 0);
+  // Recovery is fast: the degraded prefix (one slot at capacity 1, one
+  // outage) can cost at most two extra slots over the all-healthy replay.
+  EXPECT_LE(mc.now(), lpf.length() + 2);
 }
 
 TEST(MostChildren, PrefixMarkingSkipsHead) {

@@ -345,6 +345,10 @@ TEST(MetricsObserver, TinyRunMatchesHandComputedRegistry) {
   want.counter("engine.executed_subjobs").set(2);
   want.counter("engine.idle_processor_slots").set(0);
   want.counter("flow.total_slots").set(2);
+  // Fault-free run: the fault counters exist but stay at zero.
+  want.counter("faults.capacity_changes").set(0);
+  want.counter("faults.faulted_slots").set(0);
+  want.counter("faults.capacity_shortfall").set(0);
   want.gauge("engine.horizon").set(2.0);
   want.gauge("flow.max").set(1.0);
   want.gauge("alive.width").set(1.0);
@@ -367,6 +371,7 @@ TEST(MetricsObserver, TinyRunMatchesHandComputedRegistry) {
   want.series("slot.ready_width").record(2, 1);
   want.series("slot.alive").record(1, 1);
   want.series("slot.alive").record(2, 1);
+  want.series("slot.capacity");  // declared but empty: capacity never changed
 
   EXPECT_EQ(got.to_json(), want.to_json());
 }

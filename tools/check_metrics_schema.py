@@ -48,6 +48,9 @@ def check_manifest(manifest, schema):
             f"bad clairvoyance {manifest['clairvoyance']!r}")
     require(manifest["record"] in spec["properties"]["record"]["enum"],
             f"bad record mode {manifest['record']!r}")
+    require(re.fullmatch(spec["properties"]["faults"]["pattern"],
+                         manifest["faults"]),
+            f"bad faults spec {manifest['faults']!r}")
     for key in ("jobs", "total_work", "m", "seed", "max_horizon"):
         require(isinstance(manifest[key], int) and not
                 isinstance(manifest[key], bool),

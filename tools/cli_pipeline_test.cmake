@@ -116,3 +116,124 @@ if(PYTHON3 AND DEFINED SCHEMA_CHECK)
   run_step(${PYTHON3} ${SCHEMA_CHECK} ${WORKDIR}/cli_metrics.json
            ${WORKDIR}/cli_sweep.json ${WORKDIR}/cli_manifest.json)
 endif()
+
+# ---- malformed input: per-line diagnostics + exit 2, never an abort ----
+
+# Expects the command to exit 2 and print `pattern` on stderr.
+function(expect_diagnostic pattern)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE code OUTPUT_QUIET
+                  ERROR_VARIABLE err WORKING_DIRECTORY ${WORKDIR})
+  if(NOT code EQUAL 2)
+    message(FATAL_ERROR "expected exit 2 for: ${ARGN} (got ${code})")
+  endif()
+  if(NOT err MATCHES "${pattern}")
+    message(FATAL_ERROR
+            "expected '${pattern}' on stderr for: ${ARGN}\ngot: ${err}")
+  endif()
+endfunction()
+
+file(WRITE ${WORKDIR}/cli_bad.inst
+     "otsched-instance-v1\njob 0 3\n0 1\n0 7\nend\n")
+expect_diagnostic("instance line 4.*outside the job's 3 nodes"
+                  ${CLI} describe ${WORKDIR}/cli_bad.inst)
+expect_diagnostic("instance line" ${CLI} bounds ${WORKDIR}/cli_bad.inst 4)
+expect_diagnostic("instance line" ${CLI} run ${WORKDIR}/cli_bad.inst 4 fifo)
+expect_diagnostic("instance line" ${CLI} sweep ${WORKDIR}/cli_bad.inst fifo)
+expect_diagnostic("instance line" ${CLI} trace ${WORKDIR}/cli_bad.inst 4 fifo)
+file(WRITE ${WORKDIR}/cli_bad_magic.inst "not-an-instance\n")
+expect_diagnostic("bad magic" ${CLI} describe ${WORKDIR}/cli_bad_magic.inst)
+expect_diagnostic("cannot open" ${CLI} describe ${WORKDIR}/no_such.inst)
+
+file(WRITE ${WORKDIR}/cli_bad_budget.csv "slot,capacity\n3,2\n2,1\n")
+expect_diagnostic("budget csv line 3.*strictly after"
+                  ${CLI} run ${INST} 8 fifo
+                  --faults-trace ${WORKDIR}/cli_bad_budget.csv)
+expect_diagnostic("unknown fault model"
+                  ${CLI} run ${INST} 8 fifo --faults meteor-strike)
+expect_diagnostic("want a number in .0, 0.9."
+                  ${CLI} run ${INST} 8 fifo --faults random-blip:1:0.95)
+
+# ---- fault injection surface ----
+
+run_step(${CLI} run ${INST} 8 fifo --faults random-blip:7:0.3
+         --metrics ${WORKDIR}/cli_faulted_metrics.json)
+file(READ ${WORKDIR}/cli_faulted_metrics.json faulted_json)
+foreach(key faults random-blip:7:0.3 faults.faulted_slots
+        faults.capacity_shortfall)
+  if(NOT faulted_json MATCHES "${key}")
+    message(FATAL_ERROR "faulted metrics JSON is missing '${key}'")
+  endif()
+endforeach()
+
+# Freeze a model into a CSV, inspect it, and replay it as a trace: the
+# frozen trace must drive a run exactly like any other budget CSV.
+run_step(${CLI} faults emit burst-outage:3:0.5 8 64
+         ${WORKDIR}/cli_budget.csv)
+run_step(${CLI} faults inspect ${WORKDIR}/cli_budget.csv 8)
+run_step(${CLI} run ${INST} 8 fifo --faults-trace ${WORKDIR}/cli_budget.csv)
+
+# Window planners opt out of fluctuating capacity: a clean diagnostic,
+# not an engine CHECK-abort.
+expect_diagnostic("does not support fluctuating capacity"
+                  ${CLI} run ${INST} 8 alg-a --faults random-blip:1:0.3)
+
+# ---- crash-tolerant sweep checkpointing ----
+
+# The gate: a fresh sweep, a checkpointed sweep, and a crash-interrupted
+# sweep resumed from a truncated manifest must print byte-identical
+# tables.
+execute_process(COMMAND ${CLI} sweep ${INST} fifo --m 2,4 --seeds 2
+                RESULT_VARIABLE code OUTPUT_VARIABLE sweep_fresh
+                WORKING_DIRECTORY ${WORKDIR})
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "fresh sweep failed (${code})")
+endif()
+execute_process(COMMAND ${CLI} sweep ${INST} fifo --m 2,4 --seeds 2
+                --checkpoint ${WORKDIR}/cli_sweep.ckpt
+                RESULT_VARIABLE code OUTPUT_VARIABLE sweep_ckpt
+                WORKING_DIRECTORY ${WORKDIR})
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "checkpointed sweep failed (${code})")
+endif()
+if(NOT sweep_ckpt STREQUAL sweep_fresh)
+  message(FATAL_ERROR "checkpointed sweep output differs from fresh sweep")
+endif()
+if(NOT EXISTS ${WORKDIR}/cli_sweep.ckpt)
+  message(FATAL_ERROR "sweep --checkpoint wrote no manifest")
+endif()
+
+# Simulate a mid-run SIGKILL: keep the header and the first two completed
+# cells, drop the rest, then --resume.  The resumed run reuses the two
+# surviving cells, recomputes the other two, and must print the same
+# table byte for byte.
+file(STRINGS ${WORKDIR}/cli_sweep.ckpt ckpt_lines)
+list(SUBLIST ckpt_lines 0 9 ckpt_head)
+string(JOIN "\n" ckpt_truncated ${ckpt_head})
+file(WRITE ${WORKDIR}/cli_sweep_cut.ckpt "${ckpt_truncated}\n")
+execute_process(COMMAND ${CLI} sweep ${INST} fifo --m 2,4 --seeds 2
+                --checkpoint ${WORKDIR}/cli_sweep_cut.ckpt --resume
+                RESULT_VARIABLE code OUTPUT_VARIABLE sweep_resumed
+                WORKING_DIRECTORY ${WORKDIR})
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "resumed sweep failed (${code})")
+endif()
+if(NOT sweep_resumed STREQUAL sweep_fresh)
+  message(FATAL_ERROR "resumed sweep output differs from fresh sweep")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORKDIR}/cli_sweep.ckpt ${WORKDIR}/cli_sweep_cut.ckpt
+                RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "resumed checkpoint manifest differs from the "
+                      "uninterrupted one")
+endif()
+
+# A checkpoint from a DIFFERENT grid must be rejected, not spliced in.
+expect_diagnostic("different sweep"
+                  ${CLI} sweep ${INST} fifo --m 2,8 --seeds 2
+                  --checkpoint ${WORKDIR}/cli_sweep.ckpt --resume)
+# Flag hygiene: checkpoint cells are flow-only and un-instrumented.
+expect_diagnostic("incompatible"
+                  ${CLI} sweep ${INST} fifo --checkpoint ${WORKDIR}/x.ckpt
+                  --metrics ${WORKDIR}/x.json)
+expect_diagnostic("requires --checkpoint" ${CLI} sweep ${INST} fifo --resume)

@@ -7,11 +7,14 @@
 //   otsched run <in.inst> <m> [--policy] <policy> run a policy, report flows
 //       [--render N] [--seed S] [--opt V] [--svg F] [--trace F]
 //       [--timeseries F] [--metrics F] [--metrics-csv F] [--manifest F]
-//       [--record full|flow]
+//       [--record full|flow] [--faults SPEC] [--faults-trace F]
 //   otsched sweep <in.inst> <policy> [--m LIST] [--seeds N] [--workers N]
 //       [--opt V] [--metrics F] [--csv F] [--record full|flow]
+//       [--faults SPEC] [--faults-trace F] [--checkpoint F] [--resume]
 //   otsched trace <in.inst> <m> <policy> [--seed S] [--opt V] [--out F]
 //       [--record full|flow]                      stream the event trace
+//   otsched faults emit <spec> <m> <horizon> [out.csv]   freeze a model
+//   otsched faults inspect <trace.csv> <m>        summarize a budget trace
 //   otsched list-policies                         list the policy registry
 //
 // `otsched policies` and `otsched --list-policies` remain as deprecated
@@ -26,9 +29,14 @@
 //   saturated <m> <delta> <batches> <seed>        (certified OPT = delta)
 //   pipelined <m> <delta> <batches> <seed>        (certified OPT = 2*delta)
 //
-// Exit status is nonzero on usage errors; all numeric output goes to
-// stdout so it can be piped.  --metrics emits the observability JSON
-// documented in docs/OBSERVABILITY.md (schema: tools/metrics_schema.json).
+// Exit status is nonzero on usage errors; malformed input files (instance
+// text, budget CSV, fault specs) print a per-line diagnostic to stderr and
+// exit 2 instead of aborting.  All numeric output goes to stdout so it can
+// be piped.  --metrics emits the observability JSON documented in
+// docs/OBSERVABILITY.md (schema: tools/metrics_schema.json).  Fault specs
+// (`--faults`) use the `model[:seed[:rate]]` shorthand from
+// docs/ROBUSTNESS.md; `sweep --checkpoint` + `--resume` give crash-tolerant
+// sweeps with bit-identical output.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -51,6 +59,7 @@
 #include "job/serialize.h"
 #include "sched/registry.h"
 #include "sim/batch_runner.h"
+#include "sim/faults.h"
 #include "sim/observers.h"
 #include "sim/renderer.h"
 #include "sim/svg.h"
@@ -75,11 +84,16 @@ int Usage() {
       "              [--opt V] [--svg F] [--trace F] [--timeseries F]\n"
       "              [--metrics F] [--metrics-csv F] [--manifest F]\n"
       "              [--record full|flow]  (default: full)\n"
+      "              [--faults MODEL[:SEED[:RATE]]] [--faults-trace F]\n"
       "  otsched sweep <in> <policy> [--m LIST] [--seeds N] [--workers N]\n"
       "              [--opt V] [--metrics F] [--csv F]\n"
       "              [--record full|flow]  (default: flow)\n"
+      "              [--faults MODEL[:SEED[:RATE]]] [--faults-trace F]\n"
+      "              [--checkpoint F] [--resume]\n"
       "  otsched trace <in> <m> <policy> [--seed S] [--opt V] [--out F]\n"
       "              [--record full|flow]  (default: full)\n"
+      "  otsched faults emit <model[:seed[:rate]]> <m> <horizon> [out.csv]\n"
+      "  otsched faults inspect <trace.csv> <m>\n"
       "  otsched list-policies\n");
   return 2;
 }
@@ -99,6 +113,77 @@ bool ParseRecordMode(const char* value, RecordMode* mode) {
   }
   std::fprintf(stderr, "unknown record mode '%s' (want full|flow)\n", value);
   return false;
+}
+
+/// Recoverable instance loading: malformed or unreadable files print the
+/// parser's per-line diagnostic to stderr and return nullopt (callers
+/// exit 2), instead of the old CHECK-abort on a typo in a hand-edited
+/// file.
+std::optional<Instance> LoadInstanceOrComplain(const char* path) {
+  std::string error;
+  std::optional<Instance> instance = TryLoadInstance(path, &error);
+  if (!instance.has_value()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+  }
+  return instance;
+}
+
+/// Shared fault-flag state for `run` and `sweep`.  The BudgetTrace is
+/// owned here so a kTrace spec's borrowed pointer outlives the run.
+struct FaultArgs {
+  FaultSpec spec;
+  std::optional<BudgetTrace> trace_storage;
+};
+
+/// Parses `--faults MODEL[:SEED[:RATE]]`.  Diagnoses and returns false on
+/// malformed specs (exit 2 at the call sites).
+bool ParseFaultsFlagOrComplain(const char* value, FaultArgs* faults) {
+  std::string error;
+  std::optional<FaultSpec> spec = ParseFaultSpec(value, &error);
+  if (!spec.has_value()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return false;
+  }
+  faults->spec = *spec;
+  return true;
+}
+
+/// Parses `--faults-trace F`: loads a budget CSV and makes it the active
+/// fault model (overrides any `--faults` model choice).
+bool LoadFaultsTraceOrComplain(const char* path, FaultArgs* faults) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  std::optional<BudgetTrace> trace =
+      BudgetTrace::try_from_csv(buffer.str(), &error);
+  if (!trace.has_value()) {
+    std::fprintf(stderr, "%s: %s\n", path, error.c_str());
+    return false;
+  }
+  faults->trace_storage = *std::move(trace);
+  faults->spec.model = FaultModel::kTrace;
+  faults->spec.trace = &*faults->trace_storage;
+  return true;
+}
+
+/// Faulted runs need a policy that consumes SchedulerView::capacity();
+/// the window planners (alg-a family) replan against fixed m and opt out.
+/// Diagnose here instead of tripping the engine's CHECK.
+bool CheckFaultSupportOrComplain(const Scheduler& policy,
+                                 const FaultArgs& faults) {
+  if (faults.spec.active() && !policy.supports_fluctuating_capacity()) {
+    std::fprintf(stderr,
+                 "policy '%s' does not support fluctuating capacity "
+                 "(--faults); pick a list policy\n",
+                 policy.name().c_str());
+    return false;
+  }
+  return true;
 }
 
 bool WriteFileOrComplain(const std::string& path, const std::string& content,
@@ -203,15 +288,18 @@ int CmdAdversary(int argc, char** argv) {
 
 int CmdDescribe(int argc, char** argv) {
   if (argc < 1) return Usage();
-  const Instance instance = LoadInstance(argv[0]);
+  const std::optional<Instance> instance = LoadInstanceOrComplain(argv[0]);
+  if (!instance.has_value()) return 2;
   const int m = argc >= 2 ? std::atoi(argv[1]) : 1;
-  std::printf("%s\n", ToString(ComputeInstanceStats(instance, m)).c_str());
+  std::printf("%s\n", ToString(ComputeInstanceStats(*instance, m)).c_str());
   return 0;
 }
 
 int CmdBounds(int argc, char** argv) {
   if (argc != 2) return Usage();
-  const Instance instance = LoadInstance(argv[0]);
+  const std::optional<Instance> loaded = LoadInstanceOrComplain(argv[0]);
+  if (!loaded.has_value()) return 2;
+  const Instance& instance = *loaded;
   const int m = std::atoi(argv[1]);
   const LowerBounds bounds = ComputeLowerBounds(instance, m);
   TextTable table({"bound", "value"});
@@ -227,7 +315,9 @@ int CmdBounds(int argc, char** argv) {
 
 int CmdRun(int argc, char** argv) {
   if (argc < 3) return Usage();
-  const Instance instance = LoadInstance(argv[0]);
+  const std::optional<Instance> loaded = LoadInstanceOrComplain(argv[0]);
+  if (!loaded.has_value()) return 2;
+  const Instance& instance = *loaded;
   const int m = std::atoi(argv[1]);
   // The policy is positional, or spelled explicitly as `--policy <name>`.
   int first_flag = 3;
@@ -249,6 +339,7 @@ int CmdRun(int argc, char** argv) {
   std::string metrics_csv_path;
   std::string manifest_path;
   RecordMode record = RecordMode::kFull;
+  FaultArgs faults;
   for (int i = first_flag; i < argc; ++i) {
     if (std::strncmp(argv[i], "--record=", 9) == 0) {
       if (!ParseRecordMode(argv[i] + 9, &record)) return 2;
@@ -257,6 +348,12 @@ int CmdRun(int argc, char** argv) {
     if (i + 1 >= argc) break;
     if (std::strcmp(argv[i], "--record") == 0) {
       if (!ParseRecordMode(argv[i + 1], &record)) return 2;
+    }
+    if (std::strcmp(argv[i], "--faults") == 0) {
+      if (!ParseFaultsFlagOrComplain(argv[i + 1], &faults)) return 2;
+    }
+    if (std::strcmp(argv[i], "--faults-trace") == 0) {
+      if (!LoadFaultsTraceOrComplain(argv[i + 1], &faults)) return 2;
     }
     if (std::strcmp(argv[i], "--policy") == 0) policy_name = argv[i + 1];
     if (std::strcmp(argv[i], "--render") == 0) render = std::atoll(argv[i + 1]);
@@ -284,6 +381,7 @@ int CmdRun(int argc, char** argv) {
                  policy_name.c_str());
     return 2;
   }
+  if (!CheckFaultSupportOrComplain(*policy, faults)) return 2;
 
   // Observers ride along on the measured run itself: the trace streams
   // online and the metrics figures are the run's own SimStats/FlowSummary.
@@ -299,6 +397,7 @@ int CmdRun(int argc, char** argv) {
 
   RunContext context;
   context.options.record = record;
+  context.options.faults = faults.spec;
   context.observer = observers.empty() ? nullptr : &observers;
   const RatioMeasurement r =
       MeasureRatio(instance, m, *policy, known_opt, context);
@@ -350,7 +449,9 @@ int CmdRun(int argc, char** argv) {
     // the SVG renderer, and the time-series derivation all walk the
     // materialized slot-by-slot schedule.
     std::unique_ptr<Scheduler> again = MakePolicy(policy_name, seed, known_opt);
-    const SimResult sim = Simulate(instance, m, *again);
+    SimOptions render_options;
+    render_options.faults = faults.spec;
+    const SimResult sim = Simulate(instance, m, *again, render_options);
     if (render > 0) {
       RenderOptions options;
       options.to_slot = render;
@@ -375,7 +476,9 @@ int CmdRun(int argc, char** argv) {
 
 int CmdSweep(int argc, char** argv) {
   if (argc < 2) return Usage();
-  const Instance instance = LoadInstance(argv[0]);
+  const std::optional<Instance> loaded = LoadInstanceOrComplain(argv[0]);
+  if (!loaded.has_value()) return 2;
+  const Instance& instance = *loaded;
   const std::string policy_name = argv[1];
 
   std::vector<int> machines = {2, 4};
@@ -384,6 +487,9 @@ int CmdSweep(int argc, char** argv) {
   Time known_opt = 0;
   std::string metrics_path;
   std::string csv_path;
+  std::string checkpoint_path;
+  bool resume = false;
+  FaultArgs faults;
   // Sweeps only read flows and stats, so cells default to flow-only
   // recording; `--record full` restores schedule materialization.
   RecordMode record = RecordMode::kFlowOnly;
@@ -392,9 +498,22 @@ int CmdSweep(int argc, char** argv) {
       if (!ParseRecordMode(argv[i] + 9, &record)) return 2;
       continue;
     }
+    if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+      continue;
+    }
     if (i + 1 >= argc) break;
     if (std::strcmp(argv[i], "--record") == 0) {
       if (!ParseRecordMode(argv[i + 1], &record)) return 2;
+    }
+    if (std::strcmp(argv[i], "--faults") == 0) {
+      if (!ParseFaultsFlagOrComplain(argv[i + 1], &faults)) return 2;
+    }
+    if (std::strcmp(argv[i], "--faults-trace") == 0) {
+      if (!LoadFaultsTraceOrComplain(argv[i + 1], &faults)) return 2;
+    }
+    if (std::strcmp(argv[i], "--checkpoint") == 0) {
+      checkpoint_path = argv[i + 1];
     }
     if (std::strcmp(argv[i], "--m") == 0) {
       machines.clear();
@@ -416,11 +535,32 @@ int CmdSweep(int argc, char** argv) {
     ++i;
   }
   if (machines.empty() || seeds < 1) return Usage();
-  if (!MakePolicy(policy_name, 1, known_opt)) {
-    std::fprintf(stderr,
-                 "unknown policy '%s' (try `otsched list-policies`)\n",
-                 policy_name.c_str());
+  if (resume && checkpoint_path.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint FILE\n");
     return 2;
+  }
+  if (!checkpoint_path.empty() &&
+      (!metrics_path.empty() || !csv_path.empty() ||
+       record == RecordMode::kFull)) {
+    // Checkpointed cells are flow-only and un-instrumented: their persisted
+    // flow records ARE the output, so a resumed run stays bit-identical to
+    // an uninterrupted one.  Full recording / merged metrics would need the
+    // skipped cells re-run, defeating the point.
+    std::fprintf(stderr,
+                 "--checkpoint is incompatible with --metrics, --csv and "
+                 "--record full\n");
+    return 2;
+  }
+  {
+    const std::unique_ptr<Scheduler> probe =
+        MakePolicy(policy_name, 1, known_opt);
+    if (!probe) {
+      std::fprintf(stderr,
+                   "unknown policy '%s' (try `otsched list-policies`)\n",
+                   policy_name.c_str());
+      return 2;
+    }
+    if (!CheckFaultSupportOrComplain(*probe, faults)) return 2;
   }
 
   // Grid: machines x seeds, in row-major order; cell i uses seed
@@ -430,12 +570,88 @@ int CmdSweep(int argc, char** argv) {
     for (int s = 0; s < seeds; ++s) cells.emplace_back(&instance, m);
   }
   const BatchRunner runner(workers);
+
+  if (!checkpoint_path.empty()) {
+    SweepCheckpoint::Identity identity;
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(
+                      FingerprintInstance(instance)));
+    identity.instance_hash = hex;
+    identity.policy = policy_name;
+    {
+      std::string joined;
+      for (std::size_t mi = 0; mi < machines.size(); ++mi) {
+        if (mi > 0) joined += ',';
+        joined += std::to_string(machines[mi]);
+      }
+      identity.machines = joined;
+    }
+    identity.seeds = seeds;
+    identity.record = "flow-only";
+    identity.faults = ToString(faults.spec);
+    SweepCheckpoint checkpoint(checkpoint_path, identity);
+    if (resume) {
+      std::string error;
+      if (!checkpoint.resume(&error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 2;
+      }
+    }
+    const std::vector<SweepCellRecord> records =
+        runner.Map<SweepCellRecord>(cells.size(), [&](std::size_t i) {
+          if (std::optional<SweepCellRecord> done = checkpoint.completed(i)) {
+            return *done;  // Survived the previous run: skip the sim.
+          }
+          const auto& [inst, m] = cells[i];
+          std::unique_ptr<Scheduler> policy = MakePolicy(
+              policy_name,
+              static_cast<std::uint64_t>(i % static_cast<std::size_t>(seeds)) +
+                  1,
+              known_opt);
+          SimOptions options = FlowOnlyOptions();
+          options.faults = faults.spec;
+          const SimResult result = Simulate(*inst, m, *policy, options);
+          SweepCellRecord cell;
+          cell.index = i;
+          cell.m = m;
+          cell.seed = (i % static_cast<std::size_t>(seeds)) + 1;
+          cell.max_flow = result.flows.max_flow;
+          cell.horizon = result.stats.horizon;
+          cell.busy_slots = result.stats.busy_slots;
+          cell.executed_subjobs = result.stats.executed_subjobs;
+          cell.idle_processor_slots = result.stats.idle_processor_slots;
+          checkpoint.record(cell);
+          return cell;
+        });
+
+    // The table is derived purely from the records, so a fresh run, a
+    // checkpointed run, and a killed-and-resumed run print byte-identical
+    // tables (the CI crash-tolerance gate diffs exactly this).
+    TextTable table({"m", "max-flow mean", "min", "max"});
+    for (std::size_t mi = 0; mi < machines.size(); ++mi) {
+      std::vector<double> flows;
+      for (int s = 0; s < seeds; ++s) {
+        flows.push_back(static_cast<double>(
+            records[mi * static_cast<std::size_t>(seeds) +
+                    static_cast<std::size_t>(s)]
+                .max_flow));
+      }
+      const SeedAggregate agg = Aggregate(flows);
+      table.row("m=" + std::to_string(machines[mi]), agg.mean, agg.min,
+                agg.max);
+    }
+    table.print(policy_name + " on " + argv[0] + ", " +
+                std::to_string(seeds) + " seeds:");
+    return 0;
+  }
   // Pick wall times stay off so the aggregate is identical for any
   // --workers value (the determinism contract of every sweep table).
   MetricsObserver::Options observer_options;
   observer_options.record_pick_times = false;
   SimOptions sweep_options;
   sweep_options.record = record;
+  sweep_options.faults = faults.spec;
   const std::vector<BatchRunner::InstrumentedRun> runs =
       runner.RunInstrumentedSimulations(
           cells,
@@ -489,7 +705,9 @@ int CmdSweep(int argc, char** argv) {
 
 int CmdTrace(int argc, char** argv) {
   if (argc < 3) return Usage();
-  const Instance instance = LoadInstance(argv[0]);
+  const std::optional<Instance> loaded = LoadInstanceOrComplain(argv[0]);
+  if (!loaded.has_value()) return 2;
+  const Instance& instance = *loaded;
   const int m = std::atoi(argv[1]);
   const std::string policy_name = argv[2];
   std::uint64_t seed = 1;
@@ -536,6 +754,80 @@ int CmdTrace(int argc, char** argv) {
   return 0;
 }
 
+int CmdFaults(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  const std::string verb = argv[0];
+
+  if (verb == "emit" && (argc == 4 || argc == 5)) {
+    // Freeze a stochastic model's first `horizon` slots into an explicit,
+    // reviewable CSV budget trace.
+    FaultArgs faults;
+    if (!ParseFaultsFlagOrComplain(argv[1], &faults)) return 2;
+    if (!faults.spec.active()) {
+      std::fprintf(stderr, "faults emit: model 'none' has no trace\n");
+      return 2;
+    }
+    if (faults.spec.model == FaultModel::kAdversarialDip) {
+      std::fprintf(stderr,
+                   "faults emit: adversarial-dip depends on the run and has "
+                   "no standalone trace\n");
+      return 2;
+    }
+    const int m = std::atoi(argv[2]);
+    const Time horizon = std::atoll(argv[3]);
+    if (m < 1 || horizon < 1) {
+      std::fprintf(stderr, "faults emit: need m >= 1 and horizon >= 1\n");
+      return 2;
+    }
+    const BudgetTrace trace = MaterializeBudgetTrace(faults.spec, m, horizon);
+    if (argc == 5) {
+      if (!WriteFileOrComplain(argv[4], trace.to_csv(), "budget trace")) {
+        return 1;
+      }
+      std::printf("wrote %s: %zu faulted slots over horizon %lld (m=%d)\n",
+                  argv[4], trace.entry_count(),
+                  static_cast<long long>(horizon), m);
+    } else {
+      std::fputs(trace.to_csv().c_str(), stdout);
+    }
+    return 0;
+  }
+
+  if (verb == "inspect" && argc == 3) {
+    FaultArgs faults;
+    if (!LoadFaultsTraceOrComplain(argv[1], &faults)) return 2;
+    const BudgetTrace& trace = *faults.trace_storage;
+    const int m = std::atoi(argv[2]);
+    if (m < 1) {
+      std::fprintf(stderr, "faults inspect: need m >= 1\n");
+      return 2;
+    }
+    int min_capacity = m;
+    std::int64_t shortfall = 0;
+    std::int64_t faulted = 0;
+    for (std::size_t i = 0; i < trace.entry_count(); ++i) {
+      const Time slot = trace.entry(i).first;
+      const int capacity = trace.capacity_at(slot, m);
+      if (capacity < m) {
+        ++faulted;
+        shortfall += m - capacity;
+      }
+      if (capacity < min_capacity) min_capacity = capacity;
+    }
+    std::printf("entries        : %zu\n", trace.entry_count());
+    std::printf("last pinned    : slot %lld\n",
+                static_cast<long long>(trace.length()));
+    std::printf("faulted slots  : %lld (of the pinned ones, at m=%d)\n",
+                static_cast<long long>(faulted), m);
+    std::printf("min capacity   : %d\n", min_capacity);
+    std::printf("shortfall      : %lld processor-slots\n",
+                static_cast<long long>(shortfall));
+    return 0;
+  }
+
+  return Usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -548,6 +840,7 @@ int main(int argc, char** argv) {
   if (command == "run") return CmdRun(argc - 2, argv + 2);
   if (command == "sweep") return CmdSweep(argc - 2, argv + 2);
   if (command == "trace") return CmdTrace(argc - 2, argv + 2);
+  if (command == "faults") return CmdFaults(argc - 2, argv + 2);
   if (command == "list-policies") {
     ListPolicies();
     return 0;
