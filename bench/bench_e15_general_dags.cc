@@ -72,14 +72,16 @@ int main() {
     int m;
     double fifo;
     double alg_a;
+    double alg_a_cert;
     double fifo_sp;
     double alg_a_sp;
+    double alg_a_sp_cert;
     std::int64_t mc_violations;
   };
   const std::vector<int> ms = {8, 16, 32, 64};
   const auto rows = RunSweep<Row>(ms.size(), [&](std::size_t i) {
     const int m = ms[i];
-    Row row{m, 0.0, 0.0, 0.0, 0.0, 0};
+    Row row{m, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0};
     for (int seed = 0; seed < 3; ++seed) {
       Rng rng(static_cast<std::uint64_t>(seed) * 119 + m);
       Instance mapreduce = MakePeriodicArrivals(
@@ -112,10 +114,19 @@ int main() {
         options.allow_general_dags = true;
         AlgAScheduler alg_a1(options);
         AlgAScheduler alg_a2(options);
-        row.alg_a =
-            std::max(row.alg_a, MeasureRatio(mapreduce, m, alg_a1).ratio);
-        row.alg_a_sp =
-            std::max(row.alg_a_sp, MeasureRatio(sp, m, alg_a2).ratio);
+        // Heuristic denominators can be loose on DAGs; the attached
+        // max-flow certificate (opt/flow_network) is verified in-process
+        // and sound on arbitrary DAGs, so the *_cert ratios are true
+        // upper bounds on Algorithm A's competitive ratio here.
+        RatioMeasurement a1 = MeasureRatio(mapreduce, m, alg_a1);
+        AttachCertificate(a1, mapreduce);
+        RatioMeasurement a2 = MeasureRatio(sp, m, alg_a2);
+        AttachCertificate(a2, sp);
+        row.alg_a = std::max(row.alg_a, a1.ratio);
+        row.alg_a_cert = std::max(row.alg_a_cert, a1.ratio_vs_certificate);
+        row.alg_a_sp = std::max(row.alg_a_sp, a2.ratio);
+        row.alg_a_sp_cert =
+            std::max(row.alg_a_sp_cert, a2.ratio_vs_certificate);
         row.mc_violations +=
             alg_a1.mc_busy_violations() + alg_a2.mc_busy_violations();
       }
@@ -123,15 +134,17 @@ int main() {
     return row;
   });
 
-  TextTable table({"m", "FIFO mapred*", "AlgA mapred*", "FIFO sp*",
-                   "AlgA sp*", "MC violations"});
+  TextTable table({"m", "FIFO mapred*", "AlgA mapred*", "AlgA mapred^",
+                   "FIFO sp*", "AlgA sp*", "AlgA sp^", "MC violations"});
   for (const Row& row : rows) {
-    table.row(row.m, row.fifo, row.alg_a, row.fifo_sp, row.alg_a_sp,
-              row.mc_violations);
+    table.row(row.m, row.fifo, row.alg_a, row.alg_a_cert, row.fifo_sp,
+              row.alg_a_sp, row.alg_a_sp_cert, row.mc_violations);
   }
   table.print();
   std::printf(
       "\n* conservative lower-bound denominators.\n"
+      "^ certified max-flow denominators (opt/flow_network, verified\n"
+      "  in-process): sound on general DAGs and never looser than *.\n"
       "paper artifact: the conclusion's open question.  The machinery runs\n"
       "unchanged on general DAGs (every schedule validated), but the\n"
       "guarantees visibly degrade: LPF is no longer always optimal (part\n"

@@ -68,12 +68,13 @@ int main() {
     double adversary_ratio;
     double forest_ratio;
     double general_ratio;
+    double general_cert_ratio;
     double envelope;
   };
 
   const auto rows = RunSweep<Row>(ms.size(), [&](std::size_t i) {
     const int m = ms[i];
-    Row row{m, 0.0, 0.0, 0.0, 0.0};
+    Row row{m, 0.0, 0.0, 0.0, 0.0, 0.0};
 
     {  // Adversarial batched family (lbsim; OPT certified <= m+1).
       LowerBoundSimOptions options;
@@ -95,12 +96,17 @@ int main() {
             MeasureRatio(cert.instance, m, fifo, cert.opt);
         row.forest_ratio = std::max(row.forest_ratio, r.ratio);
       }
-      {  // Saturated general-DAG batches (conservative LB denominator).
+      {  // Saturated general-DAG batches: heuristic LB denominator vs
+         // the certified max-flow bound (sound on arbitrary DAGs —
+         // ratio_vs_certificate is a true upper bound on FIFO's ratio).
         Time opt_lb = 0;
         Instance instance = MakeBatchedGeneralDag(m, delta, 8, rng, &opt_lb);
         FifoScheduler fifo;
-        const RatioMeasurement r = MeasureRatio(instance, m, fifo);
+        RatioMeasurement r = MeasureRatio(instance, m, fifo);
+        AttachCertificate(r, instance);
         row.general_ratio = std::max(row.general_ratio, r.ratio);
+        row.general_cert_ratio =
+            std::max(row.general_cert_ratio, r.ratio_vs_certificate);
       }
     }
     // OPT of the adversarial family is m+1 >= m, so the envelope is
@@ -112,15 +118,16 @@ int main() {
 
   CsvWriter csv("results/t61_fifo_batched.csv",
                 {"m", "adversary_ratio", "forest_ratio", "general_ratio",
-                 "log2_envelope"});
+                 "ratio_vs_certificate", "log2_envelope"});
   TextTable table({"m", "adversary", "sat-forest", "general-DAG",
-                   "log2(max(m,OPT))", "adv/log"});
+                   "vs certificate", "log2(max(m,OPT))", "adv/log"});
   for (const Row& row : rows) {
     table.row(row.m, row.adversary_ratio, row.forest_ratio,
-              row.general_ratio, row.envelope,
+              row.general_ratio, row.general_cert_ratio, row.envelope,
               row.adversary_ratio / row.envelope);
     csv.row(static_cast<long long>(row.m), row.adversary_ratio,
-            row.forest_ratio, row.general_ratio, row.envelope);
+            row.forest_ratio, row.general_ratio, row.general_cert_ratio,
+            row.envelope);
   }
   table.print();
   std::printf(
@@ -128,6 +135,9 @@ int main() {
       "O(log max(m, OPT)): the adversarial column grows logarithmically\n"
       "(last column roughly constant < 1), benign batched loads sit near\n"
       "1, and the bound needs no tree assumption (general-DAG column).\n"
+      "The 'vs certificate' column divides by the verified max-flow bound\n"
+      "(opt/flow_network) instead of the heuristic lower bounds; it can\n"
+      "only be tighter (smaller or equal), and it is sound on DAGs.\n"
       "(raw data: t61_fifo_batched.csv)\n");
   return 0;
 }

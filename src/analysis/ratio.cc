@@ -1,6 +1,7 @@
 #include "analysis/ratio.h"
 
 #include "common/assert.h"
+#include "opt/flow_network.h"
 
 namespace otsched {
 
@@ -52,6 +53,31 @@ RatioMeasurement MeasureRatio(const Instance& instance, int m,
   result.flow_stats = ComputeFlowStats(sim.flows);
   result.sim_stats = sim.stats;
   return result;
+}
+
+void AttachCertificate(RatioMeasurement& measurement,
+                       const Instance& instance, const BudgetTrace* budget) {
+  const Certificate certificate =
+      MaxFlowCertificate(instance, measurement.m, budget);
+  std::string why;
+  measurement.certificate_verified =
+      certificate.verify(instance, budget, &why);
+  OTSCHED_CHECK(measurement.certificate_verified,
+                "certified bound failed its own verification: " << why);
+  measurement.certified_bound = certificate.value;
+  measurement.certificate_method = certificate.method;
+  if (certificate.value > 0) {
+    OTSCHED_CHECK(measurement.max_flow >= certificate.value,
+                  "measured max flow " << measurement.max_flow
+                                       << " beats the certified lower bound "
+                                       << certificate.value << " on "
+                                       << measurement.m
+                                       << " processors — flow accounting or "
+                                          "certificate is broken");
+    measurement.ratio_vs_certificate =
+        static_cast<double>(measurement.max_flow) /
+        static_cast<double>(certificate.value);
+  }
 }
 
 }  // namespace otsched

@@ -11,6 +11,7 @@
 #include "analysis/flow_stats.h"
 #include "opt/lower_bounds.h"
 #include "sim/engine.h"
+#include "sim/faults.h"
 #include "sim/validator.h"
 
 namespace otsched {
@@ -27,6 +28,23 @@ struct RatioMeasurement {
   double ratio = 0.0;
   FlowStats flow_stats;
   SimStats sim_stats;
+
+  // ---- certified lower bound (filled by AttachCertificate) ----
+
+  /// Machine-checked OPT lower bound from opt/flow_network (0 until
+  /// AttachCertificate runs).  Unlike opt_denominator's heuristic
+  /// fallback, this value is backed by a verified certificate, so
+  /// ratio_vs_certificate is a sound upper bound on the true competitive
+  /// ratio for this run on any instance — not just out-forests.
+  Time certified_bound = 0;
+  /// Certificate construction ("max-flow"; "trivial" on empty instances).
+  std::string certificate_method;
+  /// Whether the certificate passed Certificate::verify() in-process
+  /// (AttachCertificate aborts otherwise, so a reported measurement
+  /// always carries true here or 0 in certified_bound).
+  bool certificate_verified = false;
+  /// max_flow / certified_bound (0.0 until AttachCertificate runs).
+  double ratio_vs_certificate = 0.0;
 };
 
 /// Runs `scheduler` on `instance` with m processors and divides the
@@ -45,5 +63,18 @@ RatioMeasurement MeasureRatio(const Instance& instance, int m,
 RatioMeasurement MeasureRatio(const Instance& instance, int m,
                               Scheduler& scheduler, Time certified_opt = 0,
                               const SimOptions& options = {});
+
+/// Computes the certified max-flow lower bound for the measured
+/// (instance, m) cell — under the same fluctuating budget the run used,
+/// if any — verifies it in-process, and fills the certificate fields of
+/// `measurement`.  Aborts if verification fails or if the measured flow
+/// beats the certified bound: either convicts the certificate or the
+/// flow accounting, and a measurement must not be reported over a broken
+/// denominator.  Pass the run's BudgetTrace (nullptr = healthy machine);
+/// mixing a healthy run with a faulted certificate (or vice versa) makes
+/// the comparison meaningless.
+void AttachCertificate(RatioMeasurement& measurement,
+                       const Instance& instance,
+                       const BudgetTrace* budget = nullptr);
 
 }  // namespace otsched

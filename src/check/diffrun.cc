@@ -27,6 +27,7 @@ constexpr NodeId kBruteForceNodeCap = 16;
 /// Pseudo-policy names for policy-independent checks.
 constexpr const char* kStructuralPolicy = "<lpf-structural>";
 constexpr const char* kLowerBoundsPolicy = "<lower-bounds>";
+constexpr const char* kOptCertificatePolicy = "<opt-certificate>";
 
 /// Exact OPT by exhaustive search when the instance is small enough;
 /// 0 when it is not (callers fall back to the lower-bound certificate).
@@ -463,6 +464,77 @@ void RecordFailure(const FuzzOptions& options, SeedOutcome& outcome,
   outcome.failures.push_back(std::move(failure));
 }
 
+/// The certificate oracle's fault leg: a deterministic BudgetTrace
+/// derived purely from (seed, m).  Roughly half the cells get an empty
+/// trace (healthy-machine sandwich only); the rest pin a short prefix of
+/// slots to hash-derived capacities in [0, m], including hard m_t = 0
+/// stalls.  Pure function of the cell — a replayed repro regenerates the
+/// identical trace from its `# seed:` / `# m:` headers, so the
+/// certificate leg needs no new repro state.
+BudgetTrace CertificateBudgetTrace(std::uint64_t seed, int m) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(seed);
+  mix(static_cast<std::uint64_t>(m));
+  mix(0x6365727469ULL);  // domain-separate from CaseIdentityHash
+  BudgetTrace trace;
+  if ((h & 1) != 0) return trace;
+  const int pins = 1 + static_cast<int>((h >> 1) % 6);
+  Time slot = 1 + static_cast<Time>((h >> 4) % 3);
+  for (int i = 0; i < pins; ++i) {
+    const int capacity =
+        static_cast<int>((h >> (8 + 4 * i)) % static_cast<std::uint64_t>(m + 1));
+    trace.set(slot, capacity);
+    slot += 1 + static_cast<Time>((h >> (12 + 4 * i)) % 3);
+  }
+  return trace;
+}
+
+/// The certified lower-bound leg: runs CheckOptLowerBoundOracle on one
+/// (instance, m) cell — healthy or, on hash-selected cells, under the
+/// deterministic CertificateBudgetTrace — and records any violation under
+/// the "<opt-certificate>" pseudo-policy.  `certified_opt` > 0
+/// additionally pits the certificates against a generator-certified exact
+/// OPT (the differential direction: certificate vs construction).
+void RunCertificateCheck(const FuzzOptions& options, SeedOutcome& outcome,
+                         std::uint64_t seed, int m, const Instance& instance,
+                         const std::string& kind, Time certified_opt) {
+  if (outcome.failures.size() >= kMaxFailuresPerSeed) return;
+  const BudgetTrace trace = CertificateBudgetTrace(seed, m);
+  OptBoundCheckOptions check;
+  check.budget = trace.empty() ? nullptr : &trace;
+  check.cross_check_brute_force = options.cross_check_brute_force;
+  // The generator certifies OPT on a HEALTHY machine; under a degraded
+  // budget the true optimum (and so the certified bound) may exceed it,
+  // so the exact-OPT cross-check only applies to healthy cells.
+  check.certified_opt = trace.empty() ? certified_opt : 0;
+  ++outcome.oracle_checks;
+  const OracleResult result = CheckOptLowerBoundOracle(instance, m, check);
+  if (result.ok) return;
+  const int m_local = m;
+  const bool brute = options.cross_check_brute_force;
+  const std::uint64_t seed_local = seed;
+  RecordFailure(
+      options, outcome, kOptCertificatePolicy, m, seed, result.id,
+      result.detail, instance, kind, /*known_opt=*/0,
+      // Shrink against the same cell, but drop the exact-OPT certificate:
+      // it only covers the original instance.
+      [m_local, brute, seed_local](const Instance& candidate) {
+        if (candidate.empty()) return false;
+        const BudgetTrace rerun_trace =
+            CertificateBudgetTrace(seed_local, m_local);
+        OptBoundCheckOptions rerun;
+        rerun.budget = rerun_trace.empty() ? nullptr : &rerun_trace;
+        rerun.cross_check_brute_force = brute;
+        return !CheckOptLowerBoundOracle(candidate, m_local, rerun).ok;
+      });
+}
+
 /// Runs every applicable policy on one instance and records violations.
 void RunPolicyGrid(const FuzzOptions& options, SeedOutcome& outcome,
                    std::uint64_t seed, int m, const Instance& instance,
@@ -559,6 +631,13 @@ SeedOutcome RunSeed(const FuzzOptions& options, std::uint64_t seed) {
       }
     }
 
+    // Certified-bound sandwich on the same cell (healthy + derived
+    // budget-trace legs).
+    if (options.opt_certificates) {
+      RunCertificateCheck(options, outcome, seed, m, general, "gen",
+                          /*certified_opt=*/0);
+    }
+
     RunPolicyGrid(options, outcome, seed, m, general, "gen",
                   /*certified_opt=*/0, /*known_opt=*/0,
                   /*semi_batched_certified=*/false);
@@ -577,6 +656,12 @@ SeedOutcome RunSeed(const FuzzOptions& options, std::uint64_t seed) {
       std::ostringstream name;
       name << "fuzz-certified-seed" << seed << "-m" << m;
       certified.instance.set_name(name.str());
+    }
+    // The differential direction: the certificates must stay below the
+    // generator-certified exact OPT.
+    if (options.opt_certificates) {
+      RunCertificateCheck(options, outcome, seed, m, certified.instance,
+                          "cert", /*certified_opt=*/certified.opt);
     }
     RunPolicyGrid(options, outcome, seed, m, certified.instance, "cert",
                   /*certified_opt=*/certified.opt,
@@ -737,6 +822,18 @@ FuzzReport ReplayRepro(const std::string& repro_text,
                                options.cross_check_brute_force)) {
       record(result);
     }
+    return report;
+  }
+  if (policy == kOptCertificatePolicy) {
+    // Re-derive the cell's budget trace from the headers (pure function
+    // of seed and m) and re-run the certificate sandwich.  The exact-OPT
+    // cross-check is dropped: the generator's certificate covered the
+    // original, unshrunk instance only.
+    const BudgetTrace trace = CertificateBudgetTrace(seed, m);
+    OptBoundCheckOptions check;
+    check.budget = trace.empty() ? nullptr : &trace;
+    check.cross_check_brute_force = options.cross_check_brute_force;
+    record(CheckOptLowerBoundOracle(instance, m, check));
     return report;
   }
   if (policy == kLowerBoundsPolicy) {

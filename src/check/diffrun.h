@@ -11,7 +11,12 @@
 //     the flow accounting is broken — the differential part),
 //   * the Theorem 5.6 / 5.7 ratio ceilings for Algorithm A,
 // plus the single-job structural oracles (Corollary 5.4, Lemma 5.2,
-// Lemma 5.5) on the generated trees themselves.
+// Lemma 5.5) on the generated trees themselves, and per (instance, m)
+// cell the certified lower-bound sandwich (CheckOptLowerBoundOracle:
+// heuristic bounds <= dual-fit certificate <= max-flow certificate <=
+// brute-force OPT, every certificate self-verifying) — on hash-selected
+// cells additionally under a deterministic fluctuating BudgetTrace, and
+// on certified instances against the generator's exact OPT.
 //
 // The seed grid is drained in parallel over common/thread_pool.  On
 // failure the harness greedily shrinks the instance — dropping whole jobs,
@@ -41,6 +46,9 @@ struct FuzzOptions {
   /// Cross-check Corollary 5.4 and the lower bounds against exhaustive
   /// search on instances small enough for opt/brute_force.
   bool cross_check_brute_force = true;
+  /// Run the certified lower-bound oracle (max-flow + dual-fitting
+  /// certificates, CheckOptLowerBoundOracle) on every (instance, m) cell.
+  bool opt_certificates = true;
   /// Thread-pool width; 0 = hardware concurrency.
   std::size_t workers = 0;
   /// Directory for shrunk repro files; empty = keep repros in memory only.
@@ -51,7 +59,7 @@ struct FuzzOptions {
 
 struct FuzzFailure {
   /// Registry policy name, or a pseudo-policy for policy-independent
-  /// checks ("<lpf-structural>", "<lower-bounds>").
+  /// checks ("<lpf-structural>", "<lower-bounds>", "<opt-certificate>").
   std::string policy;
   int m = 0;
   std::uint64_t seed = 0;

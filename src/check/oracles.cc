@@ -8,6 +8,8 @@
 #include "dag/metrics.h"
 #include "dag/validate.h"
 #include "opt/brute_force.h"
+#include "opt/dual_fitting.h"
+#include "opt/flow_network.h"
 #include "opt/lower_bounds.h"
 #include "opt/single_batch.h"
 #include "sim/validator.h"
@@ -47,6 +49,8 @@ const char* ToString(OracleId id) {
       return "mc-no-waste-under-faults(L5.5)";
     case OracleId::kFaultedEngineEquivalence:
       return "faulted-engine-equivalence(budget)";
+    case OracleId::kOptLowerBound:
+      return "opt-lower-bound(certified)";
   }
   return "unknown-oracle";
 }
@@ -334,6 +338,72 @@ OracleResult CheckRatioCeilingOracle(const Instance& instance, int m,
     return Fail(OracleId::kRatioCeiling, detail.str());
   }
   return Pass(OracleId::kRatioCeiling);
+}
+
+OracleResult CheckOptLowerBoundOracle(const Instance& instance, int m,
+                                      const OptBoundCheckOptions& options) {
+  const auto fail = [](const std::string& detail) {
+    return Fail(OracleId::kOptLowerBound, detail);
+  };
+  if (instance.empty()) return Pass(OracleId::kOptLowerBound);
+
+  const Time heuristic = MaxFlowLowerBound(instance, m);
+
+  std::string why;
+  const Certificate dual = DualFitCertificate(instance, m, options.budget);
+  if (!dual.verify(instance, options.budget, &why)) {
+    return fail("dual-fit certificate failed verify(): " + why);
+  }
+  const Certificate flow = MaxFlowCertificate(instance, m, options.budget);
+  if (!flow.verify(instance, options.budget, &why)) {
+    return fail("max-flow certificate failed verify(): " + why);
+  }
+
+  std::ostringstream detail;
+  // The heuristic bounds assume a healthy machine but remain valid
+  // under faults (removing capacity never decreases OPT), so the
+  // sandwich holds with or without a budget.
+  if (heuristic > dual.value) {
+    detail << "heuristic lower bound " << heuristic
+           << " exceeds dual-fit certificate " << dual.value << " on " << m
+           << " processors";
+    return fail(detail.str());
+  }
+  if (dual.value > flow.value) {
+    detail << "dual-fit certificate " << dual.value
+           << " exceeds max-flow certificate " << flow.value << " on " << m
+           << " processors";
+    return fail(detail.str());
+  }
+
+  if (options.budget != nullptr) {
+    const Time healthy = MaxFlowCertificate(instance, m).value;
+    if (flow.value < healthy) {
+      detail << "faulted max-flow certificate " << flow.value
+             << " below the healthy-machine certificate " << healthy
+             << " (losing capacity cannot lower OPT)";
+      return fail(detail.str());
+    }
+  }
+
+  if (options.certified_opt > 0 && flow.value > options.certified_opt) {
+    detail << "max-flow certificate " << flow.value
+           << " exceeds the generator-certified OPT "
+           << options.certified_opt << " on " << m << " processors";
+    return fail(detail.str());
+  }
+
+  if (options.cross_check_brute_force && options.budget == nullptr &&
+      instance.total_work() <= options.brute_force_node_cap) {
+    const Time opt = BruteForceOpt(instance, m);
+    if (flow.value > opt) {
+      detail << "max-flow certificate " << flow.value
+             << " exceeds brute-force OPT " << opt << " on " << m
+             << " processors";
+      return fail(detail.str());
+    }
+  }
+  return Pass(OracleId::kOptLowerBound);
 }
 
 std::vector<OracleResult> CheckSingleJobOracles(

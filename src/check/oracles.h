@@ -26,6 +26,11 @@
 //                              flow stays below the proven constant times
 //                              a certified OPT (or a lower-bound
 //                              certificate from opt/lower_bounds)
+//   Cho–Easwaran flow bound /  CheckOptLowerBoundOracle  the certified
+//   ALT dual fitting           lower-bound sandwich: heuristic bounds <=
+//                              dual-fit certificate <= max-flow
+//                              certificate <= brute-force OPT, and every
+//                              certificate passes its own verify()
 #pragma once
 
 #include <cstdint>
@@ -51,6 +56,8 @@ enum class OracleId {
   kRecordModeEquivalence,  // flow-only run == full run (flows and stats)
   kMCNoWasteUnderFaults,   // Lemma 5.5 on an arbitrary faulted budget trace
   kFaultedEngineEquivalence,  // faulted run: both engines bit-identical
+  kOptLowerBound,  // certified bounds: heuristic <= dual-fit <= max-flow
+                   // certificate <= brute-force OPT, certificates verify
 };
 
 const char* ToString(OracleId id);
@@ -156,6 +163,38 @@ OracleResult CheckMcNoWasteUnderFaultsOracle(const Dag& dag,
 OracleResult CheckRatioCeilingOracle(const Instance& instance, int m,
                                      Time max_flow, double ceiling,
                                      Time certified_opt = 0);
+
+// ---- certified lower bounds: flow network + dual fitting ----
+
+/// Options for CheckOptLowerBoundOracle.  `budget` degrades per-slot
+/// capacities (nullptr = healthy machine); brute-force cross-checks are
+/// skipped on faulted machines (opt/brute_force models full capacity)
+/// and on instances above `brute_force_node_cap` total subjobs.
+struct OptBoundCheckOptions {
+  const BudgetTrace* budget = nullptr;
+  bool cross_check_brute_force = true;
+  std::int64_t brute_force_node_cap = 16;
+  /// A trusted exact OPT (0 = none): the certified bounds must not
+  /// exceed it.  Must refer to OPT under the SAME budget as `budget` —
+  /// generator certificates cover the healthy machine only, so callers
+  /// with a degraded budget must pass 0 here (a faulted bound above the
+  /// healthy OPT is expected, not a violation).
+  Time certified_opt = 0;
+};
+
+/// The certified lower-bound sandwich on one (instance, m) pair:
+///
+///   opt/lower_bounds best  <=  DualFitCertificate.value
+///                          <=  MaxFlowCertificate.value
+///                          <=  brute-force OPT (healthy, small instances)
+///
+/// with both certificates passing Certificate::verify() against nothing
+/// but the instance, m, and the budget; on a faulted machine the
+/// max-flow bound must additionally be >= its healthy-machine value
+/// (capacity never increases under faults).  Pure and deterministic, so
+/// fuzz repros replay it with no extra state.
+OracleResult CheckOptLowerBoundOracle(const Instance& instance, int m,
+                                      const OptBoundCheckOptions& options = {});
 
 // ---- observability: streaming trace equivalence ----
 

@@ -7,13 +7,38 @@
 
 namespace otsched {
 
+const char* ToString(BoundComponent component) {
+  switch (component) {
+    case BoundComponent::kDepthInterval:
+      return "depth-interval";
+    case BoundComponent::kDepthProfile:
+      return "depth-profile";
+    case BoundComponent::kInterval:
+      return "interval";
+    case BoundComponent::kWork:
+      return "work";
+    case BoundComponent::kSpan:
+      return "span";
+  }
+  return "?";
+}
+
 Time LowerBounds::best() const {
   return std::max({span_bound, work_bound, depth_profile_bound,
                    interval_bound, depth_interval_bound});
 }
 
+BoundComponent LowerBounds::best_component() const {
+  const Time winner = best();
+  if (span_bound == winner) return BoundComponent::kSpan;
+  if (work_bound == winner) return BoundComponent::kWork;
+  if (interval_bound == winner) return BoundComponent::kInterval;
+  if (depth_profile_bound == winner) return BoundComponent::kDepthProfile;
+  return BoundComponent::kDepthInterval;
+}
+
 Time DepthProfileBound(const Job& job, int m) {
-  OTSCHED_CHECK(m >= 1);
+  OTSCHED_CHECK(m >= 1, "lower bounds need a machine: m >= 1, got " << m);
   const DagMetrics& metrics = job.metrics();
   Time best = 0;
   for (std::int64_t d = 0; d <= metrics.span; ++d) {
@@ -25,7 +50,7 @@ Time DepthProfileBound(const Job& job, int m) {
 }
 
 LowerBounds ComputeLowerBounds(const Instance& instance, int m) {
-  OTSCHED_CHECK(m >= 1);
+  OTSCHED_CHECK(m >= 1, "lower bounds need a machine: m >= 1, got " << m);
   LowerBounds bounds;
   for (const Job& job : instance.jobs()) {
     bounds.span_bound = std::max<Time>(bounds.span_bound, job.span());

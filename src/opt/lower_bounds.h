@@ -19,6 +19,21 @@
 
 namespace otsched {
 
+/// Names the component that realizes LowerBounds::best(); listed in the
+/// documented tie-break priority order, SIMPLEST explanation first.
+/// (The general components can never lose a tie the other way: the
+/// depth x interval bound provably dominates every other component, so
+/// a most-general-first rule would attribute everything to it.)
+enum class BoundComponent {
+  kSpan,
+  kWork,
+  kInterval,
+  kDepthProfile,
+  kDepthInterval,
+};
+
+const char* ToString(BoundComponent component);
+
 struct LowerBounds {
   Time span_bound = 0;
   Time work_bound = 0;
@@ -33,6 +48,13 @@ struct LowerBounds {
   Time depth_interval_bound = 0;
 
   Time best() const;
+
+  /// The component achieving best().  Ties break toward the simplest
+  /// explanation, in the fixed order span > work > interval >
+  /// depth_profile > depth_interval (BoundComponent declaration order)
+  /// — pinned by golden tests so reports never silently change
+  /// attribution.
+  BoundComponent best_component() const;
 };
 
 /// Computes all bounds.  The interval bound enumerates pairs of distinct

@@ -1,0 +1,121 @@
+#include "opt/maxflow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/assert.h"
+
+namespace otsched {
+
+MaxFlowGraph::MaxFlowGraph(int node_count) {
+  OTSCHED_CHECK(node_count >= 0, "node_count must be >= 0, got "
+                                     << node_count);
+  head_.assign(static_cast<std::size_t>(node_count), -1);
+}
+
+int MaxFlowGraph::add_edge(int from, int to, std::int64_t capacity) {
+  OTSCHED_CHECK(from >= 0 && from < node_count(), "bad edge source "
+                                                      << from);
+  OTSCHED_CHECK(to >= 0 && to < node_count(), "bad edge target " << to);
+  OTSCHED_CHECK(capacity >= 0, "negative capacity " << capacity);
+  const int index = static_cast<int>(edges_.size());
+  edges_.push_back({to, head_[static_cast<std::size_t>(from)], capacity,
+                    capacity});
+  head_[static_cast<std::size_t>(from)] = index;
+  edges_.push_back({from, head_[static_cast<std::size_t>(to)], 0, 0});
+  head_[static_cast<std::size_t>(to)] = index + 1;
+  return index;
+}
+
+bool MaxFlowGraph::BuildLevels(int source, int sink) {
+  level_.assign(head_.size(), -1);
+  std::queue<int> frontier;
+  level_[static_cast<std::size_t>(source)] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const int node = frontier.front();
+    frontier.pop();
+    for (int e = head_[static_cast<std::size_t>(node)]; e != -1;
+         e = edges_[static_cast<std::size_t>(e)].next) {
+      const Edge& edge = edges_[static_cast<std::size_t>(e)];
+      if (edge.cap <= 0) continue;
+      if (level_[static_cast<std::size_t>(edge.to)] != -1) continue;
+      level_[static_cast<std::size_t>(edge.to)] =
+          level_[static_cast<std::size_t>(node)] + 1;
+      frontier.push(edge.to);
+    }
+  }
+  return level_[static_cast<std::size_t>(sink)] != -1;
+}
+
+std::int64_t MaxFlowGraph::Augment(int node, int sink, std::int64_t limit) {
+  if (node == sink) return limit;
+  for (int& e = iter_[static_cast<std::size_t>(node)]; e != -1;
+       e = edges_[static_cast<std::size_t>(e)].next) {
+    Edge& edge = edges_[static_cast<std::size_t>(e)];
+    if (edge.cap <= 0) continue;
+    if (level_[static_cast<std::size_t>(edge.to)] !=
+        level_[static_cast<std::size_t>(node)] + 1) {
+      continue;
+    }
+    const std::int64_t pushed =
+        Augment(edge.to, sink, std::min(limit, edge.cap));
+    if (pushed > 0) {
+      edge.cap -= pushed;
+      edges_[static_cast<std::size_t>(e ^ 1)].cap += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+std::int64_t MaxFlowGraph::max_flow(int source, int sink) {
+  OTSCHED_CHECK(source >= 0 && source < node_count(), "bad source "
+                                                          << source);
+  OTSCHED_CHECK(sink >= 0 && sink < node_count(), "bad sink " << sink);
+  OTSCHED_CHECK(source != sink, "source == sink");
+  std::int64_t total = 0;
+  while (BuildLevels(source, sink)) {
+    iter_ = head_;
+    while (true) {
+      const std::int64_t pushed =
+          Augment(source, sink, std::numeric_limits<std::int64_t>::max());
+      if (pushed == 0) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+std::int64_t MaxFlowGraph::flow_on(int edge_index) const {
+  OTSCHED_CHECK(edge_index >= 0 &&
+                    edge_index < static_cast<int>(edges_.size()),
+                "bad edge index " << edge_index);
+  const Edge& edge = edges_[static_cast<std::size_t>(edge_index)];
+  return edge.init - edge.cap;
+}
+
+std::vector<char> MaxFlowGraph::min_cut_source_side(int source) const {
+  OTSCHED_CHECK(source >= 0 && source < node_count(), "bad source "
+                                                          << source);
+  std::vector<char> reachable(head_.size(), 0);
+  std::queue<int> frontier;
+  reachable[static_cast<std::size_t>(source)] = 1;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const int node = frontier.front();
+    frontier.pop();
+    for (int e = head_[static_cast<std::size_t>(node)]; e != -1;
+         e = edges_[static_cast<std::size_t>(e)].next) {
+      const Edge& edge = edges_[static_cast<std::size_t>(e)];
+      if (edge.cap <= 0) continue;
+      if (reachable[static_cast<std::size_t>(edge.to)]) continue;
+      reachable[static_cast<std::size_t>(edge.to)] = 1;
+      frontier.push(edge.to);
+    }
+  }
+  return reachable;
+}
+
+}  // namespace otsched

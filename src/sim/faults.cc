@@ -1,5 +1,6 @@
 #include "sim/faults.h"
 
+#include <algorithm>
 #include <limits>
 #include <sstream>
 #include <string>
@@ -173,6 +174,22 @@ int BudgetTrace::capacity_at(Time slot, int m) const {
     return ClampSlotCapacity(entries_[lo].second, m);
   }
   return m;
+}
+
+std::int64_t BudgetTrace::capacity_sum(Time first, Time last, int m) const {
+  if (first > last) return 0;
+  // Start from a fully healthy range and subtract what each pinned slot
+  // in [first, last] takes away; entries are ascending so the pins in
+  // range form one contiguous run.
+  std::int64_t sum =
+      static_cast<std::int64_t>(m) * (last - first + 1);
+  auto begin = std::lower_bound(
+      entries_.begin(), entries_.end(), first,
+      [](const std::pair<Time, int>& e, Time t) { return e.first < t; });
+  for (auto it = begin; it != entries_.end() && it->first <= last; ++it) {
+    sum += ClampSlotCapacity(it->second, m) - m;
+  }
+  return sum;
 }
 
 // ---- FaultSpec ----

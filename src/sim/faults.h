@@ -72,6 +72,12 @@ class BudgetTrace {
   /// clamped into [0, m], or m when the slot is not pinned.
   int capacity_at(Time slot, int m) const;
 
+  /// Total capacity of the slot range [first, last] on an m-processor
+  /// machine (0 for an empty range): the exact processor-slot supply the
+  /// certified lower bounds in opt/ charge against.  O(log + pins in
+  /// range).
+  std::int64_t capacity_sum(Time first, Time last, int m) const;
+
   /// Last pinned slot (0 when empty): beyond this the machine is healthy.
   Time length() const { return entries_.empty() ? 0 : entries_.back().first; }
 
@@ -82,6 +88,19 @@ class BudgetTrace {
  private:
   std::vector<std::pair<Time, int>> entries_;  // (slot, capacity), ascending
 };
+
+/// Capacity of [first, last] under an optional trace: m per slot when
+/// `trace` is null, BudgetTrace::capacity_sum otherwise.  The null form
+/// is what lets opt/'s certified bounds treat healthy and faulted
+/// machines uniformly.
+inline std::int64_t SlotCapacitySum(const BudgetTrace* trace, Time first,
+                                    Time last, int m) {
+  if (first > last) return 0;
+  if (trace == nullptr) {
+    return static_cast<std::int64_t>(m) * (last - first + 1);
+  }
+  return trace->capacity_sum(first, last, m);
+}
 
 /// One fault model instantiation, carried by SimOptions.  Cheap to copy;
 /// the kTrace trace is borrowed and must outlive the run.

@@ -96,8 +96,16 @@ std::string RunManifest::to_json() const {
   out += "  \"max_horizon\": " + std::to_string(max_horizon) + ",\n";
   out += "  \"clairvoyance\": " + JsonString(clairvoyance) + ",\n";
   out += "  \"record\": " + JsonString(record) + ",\n";
-  out += "  \"faults\": " + JsonString(faults) + "\n";
-  out += "}\n";
+  out += "  \"faults\": " + JsonString(faults);
+  if (certified_bound > 0) {
+    out += ",\n  \"certified_bound\": " + std::to_string(certified_bound);
+    out += ",\n  \"certificate_method\": " + JsonString(certificate_method);
+    if (!ratio_vs_certificate.empty()) {
+      out += ",\n  \"ratio_vs_certificate\": " +
+             JsonString(ratio_vs_certificate);
+    }
+  }
+  out += "\n}\n";
   return out;
 }
 
@@ -113,6 +121,14 @@ void WriteManifest(MetricsRegistry& registry, const RunManifest& manifest) {
   registry.set_manifest("clairvoyance", manifest.clairvoyance);
   registry.set_manifest("record", manifest.record);
   registry.set_manifest("faults", manifest.faults);
+  if (manifest.certified_bound > 0) {
+    registry.set_manifest("certified_bound", manifest.certified_bound);
+    registry.set_manifest("certificate_method", manifest.certificate_method);
+    if (!manifest.ratio_vs_certificate.empty()) {
+      registry.set_manifest("ratio_vs_certificate",
+                            manifest.ratio_vs_certificate);
+    }
+  }
 }
 
 MetricsObserver::MetricsObserver(MetricsRegistry& registry, Options options)

@@ -35,6 +35,14 @@ struct RunManifest {
   std::string record;                // "full" | "flow-only"
   std::string faults;                // fault spec shorthand ("none", ...)
 
+  // ---- optional certified lower-bound extras (`--certify`) ----
+  // certified_bound == 0 means "no certificate attached" and none of the
+  // three keys are emitted, keeping pre-certificate manifests
+  // byte-identical.
+  Time certified_bound = 0;          // verified OPT lower bound
+  std::string certificate_method;    // "max-flow" | "dual-fit" | "trivial"
+  std::string ratio_vs_certificate;  // "%.4f"-formatted; "" = no run ratio
+
   /// Standalone manifest document (the CI artifact format).
   std::string to_json() const;
 };

@@ -407,6 +407,47 @@ TEST(DifferentialFuzz, ReplayRoundTripsThroughSerializedRepro) {
   EXPECT_EQ(again.oracle_checks, report.oracle_checks);
 }
 
+TEST(DifferentialFuzz, ReplaysOptCertificateRepro) {
+  // The certificate leg runs under the "<opt-certificate>" pseudo-policy:
+  // a pure function of (instance, m, seed) — the budget trace re-derives
+  // from the headers — so replay needs no simulation and no extra state.
+  Rng rng(13);
+  Instance instance = MakePoissonArrivals(
+      2, 0.3,
+      [](std::int64_t, Rng& r) {
+        return MakeTree(TreeFamily::kSpiny, 6, r);
+      },
+      rng);
+  instance.set_name("opt-certificate-replay");
+  const std::string repro = "# policy: <opt-certificate>\n# m: 2\n"
+                            "# seed: 5\n" +
+                            InstanceToText(instance);
+  FuzzOptions options;
+  const FuzzReport report = ReplayRepro(repro, options);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.simulations, 0);
+  EXPECT_EQ(report.oracle_checks, 1);
+  const FuzzReport again = ReplayRepro(repro, options);
+  EXPECT_EQ(again.oracle_checks, report.oracle_checks);
+}
+
+TEST(DifferentialFuzz, OptCertificateLegTogglesOracleChecks) {
+  FuzzOptions options;
+  options.seeds = 2;
+  options.max_jobs = 4;
+  options.max_job_nodes = 12;
+  options.machine_sizes = {1, 2};
+  options.workers = 1;
+  const FuzzReport with_certificates = RunDifferentialFuzz(options);
+  options.opt_certificates = false;
+  const FuzzReport without_certificates = RunDifferentialFuzz(options);
+  EXPECT_TRUE(with_certificates.ok()) << with_certificates.summary();
+  EXPECT_TRUE(without_certificates.ok()) << without_certificates.summary();
+  // One certificate check per (seed, m) cell on the general instance.
+  EXPECT_EQ(with_certificates.oracle_checks - 4,
+            without_certificates.oracle_checks);
+}
+
 TEST(PolicyRegistry, CoversEverySchedAndCoreFamily) {
   // The differential harness is only as strong as its policy pool: pin
   // the registry to the full src/sched + src/core surface.

@@ -12,7 +12,9 @@
 #include "check/oracles.h"
 #include "common/rng.h"
 #include "core/lpf.h"
+#include "dag/builders.h"
 #include "gen/random_trees.h"
+#include "opt/flow_network.h"
 #include "opt/single_batch.h"
 #include "sim/faults.h"
 
@@ -286,6 +288,122 @@ TEST(McNoWasteUnderFaults, HoldsOnOverOneThousandFuzzedBudgetTraces) {
     ++replays;
   }
   EXPECT_GE(replays, 1000u);
+}
+
+// ---- certified lower bounds over budget traces (kOptLowerBound) ----
+
+TEST(BudgetTrace, CapacitySumMatchesPerSlotQueries) {
+  BudgetTrace trace;
+  trace.set(2, 0);
+  trace.set(3, 1);
+  trace.set(7, 9);  // clamps to m
+  for (int m : {1, 2, 4}) {
+    for (Time first = 1; first <= 9; ++first) {
+      for (Time last = first - 1; last <= 10; ++last) {
+        std::int64_t expected = 0;
+        for (Time t = first; t <= last; ++t) {
+          expected += trace.capacity_at(t, m);
+        }
+        EXPECT_EQ(trace.capacity_sum(first, last, m), expected)
+            << "m=" << m << " [" << first << ", " << last << "]";
+      }
+    }
+  }
+  EXPECT_EQ(SlotCapacitySum(nullptr, 3, 7, 2), 10);
+  // Slots 3..7 on m=2: pin 3 -> 1, pin 7 clamps to 2, rest healthy.
+  EXPECT_EQ(SlotCapacitySum(&trace, 3, 7, 2), 9);
+}
+
+TEST(OptLowerBoundUnderFaults, FlowBoundChargesPerSlotCapacityExactly) {
+  // A 6-unit blob on m = 2 with slots 1..3 fully stalled (m_t = 0): the
+  // first usable slot is 4, so OPT >= 3 + ceil(6/2) = 6 — and the flow
+  // bound must find exactly that, not the healthy ceil(6/2) = 3.
+  Instance instance;
+  instance.add_job(Job(MakeParallelBlob(6), 0));
+  BudgetTrace stall;
+  stall.set(1, 0);
+  stall.set(2, 0);
+  stall.set(3, 0);
+  const Certificate healthy = MaxFlowCertificate(instance, 2);
+  EXPECT_EQ(healthy.value, 3);
+  const Certificate faulted = MaxFlowCertificate(instance, 2, &stall);
+  EXPECT_EQ(faulted.value, 6);
+  EXPECT_TRUE(faulted.verify(instance, &stall));
+  // The witness must be rejected if replayed against the healthy
+  // machine, where those slots supply 2 processors each.
+  EXPECT_FALSE(faulted.verify(instance));
+}
+
+TEST(OptLowerBoundUnderFaults, MidRunStallsLengthenTheBound) {
+  // Chain of 3 on m = 1 with slot 2 stalled: the chain needs three
+  // usable slots with a hole at 2 -> OPT >= 4.
+  Instance instance;
+  instance.add_job(Job(MakeChain(3), 0));
+  BudgetTrace stall;
+  stall.set(2, 0);
+  EXPECT_EQ(MaxFlowCertificate(instance, 1).value, 3);
+  EXPECT_EQ(MaxFlowCertificate(instance, 1, &stall).value, 4);
+}
+
+TEST(OptLowerBoundUnderFaults, PartialCapacityCountsFractionally) {
+  // 8 units on m = 4, slots 1 and 2 pinned to capacity 1: supply is
+  // 1 + 1 + 4 + ... -> need slots through 4 - bound 4 vs healthy 2.
+  Instance instance;
+  instance.add_job(Job(MakeParallelBlob(8), 0));
+  BudgetTrace degraded;
+  degraded.set(1, 1);
+  degraded.set(2, 1);
+  EXPECT_EQ(MaxFlowCertificate(instance, 4).value, 2);
+  EXPECT_EQ(MaxFlowCertificate(instance, 4, &degraded).value, 4);
+}
+
+TEST(OptLowerBoundUnderFaults, OracleSweepsFuzzedTraceStreams) {
+  // kOptLowerBound over fuzzed BudgetTrace streams, including hard
+  // m_t = 0 stalls and traces longer than the healthy bound.  The
+  // oracle itself asserts verify(), the sandwich, and faulted >=
+  // healthy monotonicity.
+  std::size_t checks = 0;
+  for (std::uint64_t seed = 1; seed <= 120; ++seed) {
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 41);
+    Instance instance;
+    const int jobs = 1 + static_cast<int>(rng.next_below(2));
+    for (int j = 0; j < jobs; ++j) {
+      instance.add_job(Job(MakeAttachmentTree(
+                               static_cast<NodeId>(1 + rng.next_below(8)),
+                               0.5, rng),
+                           rng.next_in_range(0, 3)));
+    }
+    const int m = 1 + static_cast<int>(rng.next_below(3));
+    BudgetTrace trace;
+    const Time len = rng.next_in_range(1, 14);
+    for (Time slot = 1; slot <= len; ++slot) {
+      const auto roll = rng.next_below(4);
+      if (roll == 0) continue;                      // healthy slot
+      if (roll == 1) trace.set(slot, 0);            // hard stall
+      else trace.set(slot, static_cast<int>(rng.next_below(
+                               static_cast<std::uint64_t>(m) + 1)));
+    }
+    OptBoundCheckOptions options;
+    options.budget = &trace;
+    const OracleResult verdict =
+        CheckOptLowerBoundOracle(instance, m, options);
+    ASSERT_TRUE(verdict.ok) << "seed " << seed << ": " << verdict.detail;
+    EXPECT_EQ(verdict.id, OracleId::kOptLowerBound);
+    ++checks;
+  }
+  EXPECT_GE(checks, 120u);
+}
+
+TEST(OptLowerBoundUnderFaults, TotalStallNeverTerminatingTraceStillBounds) {
+  // A trace that stalls every pinned slot but ends (the machine
+  // recovers after it): bound = trace length + healthy bound.
+  Instance instance;
+  instance.add_job(Job(MakeParallelBlob(4), 0));
+  BudgetTrace stall;
+  for (Time slot = 1; slot <= 10; ++slot) stall.set(slot, 0);
+  const Certificate cert = MaxFlowCertificate(instance, 2, &stall);
+  EXPECT_EQ(cert.value, 12);
+  EXPECT_TRUE(cert.verify(instance, &stall));
 }
 
 }  // namespace

@@ -1,0 +1,84 @@
+// Out-forest exactness regression: on a single out-forest the certified
+// max-flow lower bound (opt/flow_network) must equal the Corollary 5.4
+// closed form (opt/single_batch) BIT-IDENTICALLY.
+//
+// Why equality is forced: the flow bound dominates the Lemma 5.1 depth
+// profile (every depth-d prefix is a window family), and on a lone
+// out-forest the depth profile IS the optimum (Corollary 5.4, realized
+// by LPF) — so certified ∈ [profile, OPT] collapses to a point.  Any
+// drift here means the relaxation or the window derivation broke.
+//
+// Deliberately engine-independent: nothing in this target runs sim/ —
+// the comparison is closed form vs. certified bound, so a scheduler
+// regression can never mask (or fake) a certification regression.
+#include "gtest_compat.h"
+
+#include "dag/builders.h"
+#include "gen/random_trees.h"
+#include "gen/recursive.h"
+#include "job/serialize.h"
+#include "opt/flow_network.h"
+#include "opt/single_batch.h"
+
+namespace otsched {
+namespace {
+
+void ExpectExact(Dag forest, Time release, int m) {
+  const Time closed_form = SingleBatchOpt(forest, m);
+  Instance instance;
+  instance.add_job(Job(std::move(forest), release));
+  const Certificate cert = MaxFlowCertificate(instance, m);
+  ASSERT_EQ(cert.value, closed_form)
+      << "certified bound drifted from Corollary 5.4 on m=" << m
+      << " release=" << release << "\n"
+      << InstanceToText(instance);
+  EXPECT_TRUE(cert.verify(instance));
+}
+
+TEST(OutForestExactness, HandShapes) {
+  for (int m : {1, 2, 3, 8}) {
+    ExpectExact(MakeChain(7), 0, m);
+    ExpectExact(MakeStar(6), 0, m);
+    ExpectExact(MakeParallelBlob(10), 0, m);
+    ExpectExact(MakeCompleteTree(2, 4), 0, m);
+    ExpectExact(MakeSpineWithBursts(5, 2), 0, m);
+  }
+}
+
+TEST(OutForestExactness, FuzzedForestsAllFamilies) {
+  for (std::uint64_t seed = 1; seed <= 150; ++seed) {
+    Rng rng(seed * 0x2545f4914f6cdd1dULL + 7);
+    for (const TreeFamily family :
+         {TreeFamily::kBushy, TreeFamily::kMixed, TreeFamily::kSpiny,
+          TreeFamily::kBranchy}) {
+      const auto size =
+          static_cast<NodeId>(1 + rng.next_below(24));
+      Dag tree = MakeTree(family, size, rng);
+      const int m = 1 + static_cast<int>(rng.next_below(4));
+      const Time release = static_cast<Time>(rng.next_below(5));
+      ExpectExact(std::move(tree), release, m);
+    }
+  }
+}
+
+TEST(OutForestExactness, FuzzedMultiTreeForests) {
+  for (std::uint64_t seed = 1; seed <= 150; ++seed) {
+    Rng rng(seed * 9576890767ULL + 19);
+    const auto size = static_cast<NodeId>(3 + rng.next_below(21));
+    const int trees = 1 + static_cast<int>(rng.next_below(3));
+    Dag forest = MakeRandomForest(size, trees, 0.5, rng);
+    const int m = 1 + static_cast<int>(rng.next_below(8));
+    ExpectExact(std::move(forest), static_cast<Time>(seed % 3), m);
+  }
+}
+
+TEST(OutForestExactness, RecursionTrees) {
+  for (int m : {1, 2, 3}) {
+    ExpectExact(MakeFibTree(6), 0, m);
+    Rng rng(5 + static_cast<std::uint64_t>(m));
+    ExpectExact(MakeRandomParallelForSeries(3, 4, rng), 1, m);
+  }
+}
+
+}  // namespace
+}  // namespace otsched

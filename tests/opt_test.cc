@@ -110,6 +110,143 @@ TEST(LowerBounds, DepthIntervalGeneralizesTheOthers) {
   }
 }
 
+// ---- best() attribution: golden winners and pinned tie-breaks ----
+
+TEST(LowerBoundsBest, GoldenWinnerPerComponent) {
+  // One instance per component where that component is the simplest
+  // explanation of best().  (The general components always TIE the
+  // winner — the depth x interval bound dominates all others — so
+  // attribution goes to the first component in priority order that
+  // reaches the max, never "whichever general bound also got there".)
+  EXPECT_EQ(ComputeLowerBounds(SingleJob(MakeChain(7)), 3).best_component(),
+            BoundComponent::kSpan);
+  EXPECT_EQ(
+      ComputeLowerBounds(SingleJob(MakeParallelBlob(10)), 4).best_component(),
+      BoundComponent::kWork);
+  {
+    // Work 6 at t=0 and work 6 at t=2 on m=2 (IntervalBoundAcrossReleases):
+    // interval = 4 > span 1, work 3.
+    Instance instance;
+    instance.add_job(Job(MakeParallelBlob(6), 0));
+    instance.add_job(Job(MakeParallelBlob(6), 2));
+    EXPECT_EQ(ComputeLowerBounds(instance, 2).best_component(),
+              BoundComponent::kInterval);
+  }
+  {
+    // DepthProfileBeatsBothOnMixedShape's instance: Lemma 5.1 gives 6 >
+    // span 4, work 5, interval 5 — the depth profile is the simplest
+    // winner (depth x interval merely ties it).
+    Dag::Builder builder(9);
+    builder.add_edge(0, 1);
+    builder.add_edge(1, 2);
+    for (NodeId leaf = 3; leaf < 9; ++leaf) builder.add_edge(2, leaf);
+    const LowerBounds bounds =
+        ComputeLowerBounds(SingleJob(std::move(builder).build()), 2);
+    EXPECT_EQ(bounds.depth_profile_bound, bounds.depth_interval_bound);
+    EXPECT_EQ(bounds.best_component(), BoundComponent::kDepthProfile);
+  }
+  {
+    // DepthIntervalBeatsEveryOtherBound's instance: only the combined
+    // bound reaches 7, so attribution falls through to it.
+    auto make_job = [] {
+      Dag::Builder builder(10);
+      builder.add_edge(0, 1);
+      builder.add_edge(1, 2);
+      builder.add_edge(2, 3);
+      for (NodeId leaf = 4; leaf < 10; ++leaf) builder.add_edge(3, leaf);
+      return std::move(builder).build();
+    };
+    Instance instance;
+    instance.add_job(Job(make_job(), 0));
+    instance.add_job(Job(make_job(), 0));
+    EXPECT_EQ(ComputeLowerBounds(instance, 4).best_component(),
+              BoundComponent::kDepthInterval);
+  }
+}
+
+TEST(LowerBoundsBest, TieOnAllEqualGoesToSpan) {
+  // Single unit job: every component equals 1; the documented priority
+  // order (span > work > interval > depth_profile > depth_interval)
+  // attributes the five-way tie to the span.
+  const LowerBounds bounds = ComputeLowerBounds(SingleJob(MakeChain(1)), 1);
+  EXPECT_EQ(bounds.span_bound, 1);
+  EXPECT_EQ(bounds.work_bound, 1);
+  EXPECT_EQ(bounds.depth_profile_bound, 1);
+  EXPECT_EQ(bounds.interval_bound, 1);
+  EXPECT_EQ(bounds.depth_interval_bound, 1);
+  EXPECT_EQ(bounds.best_component(), BoundComponent::kSpan);
+}
+
+TEST(LowerBoundsBest, WorkBeatsIntervalOnTies) {
+  // Blob on m=2: work == interval == depth profile == depth interval
+  // == 5 > span 1; the tie goes to work, the simplest of the four.
+  const LowerBounds bounds =
+      ComputeLowerBounds(SingleJob(MakeParallelBlob(10)), 2);
+  EXPECT_EQ(bounds.span_bound, 1);
+  EXPECT_EQ(bounds.work_bound, 5);
+  EXPECT_EQ(bounds.interval_bound, 5);
+  EXPECT_EQ(bounds.best_component(), BoundComponent::kWork);
+}
+
+TEST(LowerBoundsBest, ComponentNamesAreStable) {
+  EXPECT_STREQ(ToString(BoundComponent::kDepthInterval), "depth-interval");
+  EXPECT_STREQ(ToString(BoundComponent::kDepthProfile), "depth-profile");
+  EXPECT_STREQ(ToString(BoundComponent::kInterval), "interval");
+  EXPECT_STREQ(ToString(BoundComponent::kWork), "work");
+  EXPECT_STREQ(ToString(BoundComponent::kSpan), "span");
+}
+
+TEST(LowerBoundsBest, AttributionAlwaysMatchesBestValue) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed * 7919);
+    Instance instance;
+    instance.add_job(Job(MakeAttachmentTree(12, 0.5, rng), 0));
+    instance.add_job(
+        Job(MakeAttachmentTree(8, 0.3, rng), rng.next_in_range(0, 3)));
+    for (int m : {1, 2, 4}) {
+      const LowerBounds bounds = ComputeLowerBounds(instance, m);
+      const Time best = bounds.best();
+      // The winner reaches best() and no higher-priority (simpler)
+      // component does.
+      switch (bounds.best_component()) {
+        case BoundComponent::kSpan:
+          EXPECT_EQ(bounds.span_bound, best);
+          break;
+        case BoundComponent::kWork:
+          EXPECT_EQ(bounds.work_bound, best);
+          EXPECT_LT(bounds.span_bound, best);
+          break;
+        case BoundComponent::kInterval:
+          EXPECT_EQ(bounds.interval_bound, best);
+          EXPECT_LT(bounds.span_bound, best);
+          EXPECT_LT(bounds.work_bound, best);
+          break;
+        case BoundComponent::kDepthProfile:
+          EXPECT_EQ(bounds.depth_profile_bound, best);
+          EXPECT_LT(bounds.span_bound, best);
+          EXPECT_LT(bounds.work_bound, best);
+          EXPECT_LT(bounds.interval_bound, best);
+          break;
+        case BoundComponent::kDepthInterval:
+          EXPECT_EQ(bounds.depth_interval_bound, best);
+          EXPECT_LT(bounds.depth_profile_bound, best);
+          break;
+      }
+    }
+  }
+}
+
+TEST(LowerBoundsDeath, DiagnosesNonPositiveMachineCount) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  const Instance instance = SingleJob(MakeChain(3));
+  EXPECT_DEATH(ComputeLowerBounds(instance, 0),
+               "lower bounds need a machine: m >= 1, got 0");
+  EXPECT_DEATH(ComputeLowerBounds(instance, -2),
+               "lower bounds need a machine: m >= 1, got -2");
+  EXPECT_DEATH(DepthProfileBound(instance.job(0), 0),
+               "lower bounds need a machine: m >= 1, got 0");
+}
+
 TEST(Corollary54, HandComputedExamples) {
   // Star(4) on m=2: max(d + ceil(W(d)/m)) = max(ceil(5/2), 1+2, 2+0) = 3.
   EXPECT_EQ(SingleBatchOpt(MakeStar(4), 2), 3);

@@ -56,6 +56,27 @@ def check_manifest(manifest, schema):
                 isinstance(manifest[key], bool),
                 f"manifest '{key}' is not an integer")
     require(manifest["m"] >= 1, "manifest m must be >= 1")
+    # Optional certified-bound extras (--certify): validated when present.
+    if "certified_bound" in manifest:
+        bound = manifest["certified_bound"]
+        require(isinstance(bound, int) and not isinstance(bound, bool)
+                and bound >= 1,
+                f"bad certified_bound {bound!r} (want integer >= 1)")
+        require("certificate_method" in manifest,
+                "certified_bound without certificate_method")
+    if "certificate_method" in manifest:
+        require(manifest["certificate_method"] in
+                spec["properties"]["certificate_method"]["enum"],
+                f"bad certificate_method "
+                f"{manifest['certificate_method']!r}")
+    if "ratio_vs_certificate" in manifest:
+        require("certified_bound" in manifest,
+                "ratio_vs_certificate without certified_bound")
+        require(re.fullmatch(
+                    spec["properties"]["ratio_vs_certificate"]["pattern"],
+                    manifest["ratio_vs_certificate"]),
+                f"bad ratio_vs_certificate "
+                f"{manifest['ratio_vs_certificate']!r}")
 
 
 def check_metrics(doc, schema):

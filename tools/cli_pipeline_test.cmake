@@ -228,6 +228,65 @@ if(NOT code EQUAL 0)
                       "uninterrupted one")
 endif()
 
+# ---- certified lower bounds (--certify) ----
+
+# `bounds --certify` on the checked-in GENERAL DAG example (not an
+# out-forest): both certificates must verify and the manifest must carry
+# the certified bound.
+execute_process(COMMAND ${CLI} bounds ${EXAMPLES_DIR}/general_dag.inst 2
+                --certify --manifest ${WORKDIR}/cli_cert_manifest.json
+                RESULT_VARIABLE code OUTPUT_VARIABLE cert_out
+                WORKING_DIRECTORY ${WORKDIR})
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "bounds --certify failed (${code})")
+endif()
+foreach(pattern "dual-fit certificate" "max-flow certificate"
+        "verified" "best component")
+  if(NOT cert_out MATCHES "${pattern}")
+    message(FATAL_ERROR "bounds --certify output is missing '${pattern}'")
+  endif()
+endforeach()
+if(cert_out MATCHES "VERIFY FAILED")
+  message(FATAL_ERROR "bounds --certify reported a failed verification")
+endif()
+file(READ ${WORKDIR}/cli_cert_manifest.json cert_manifest)
+foreach(key certified_bound certificate_method max-flow)
+  if(NOT cert_manifest MATCHES "${key}")
+    message(FATAL_ERROR "certificate manifest is missing '${key}'")
+  endif()
+endforeach()
+
+# `run --certify`: the manifest and metrics gain the certified_bound /
+# ratio_vs_certificate fields and still validate against the schema.
+run_step(${CLI} run ${EXAMPLES_DIR}/general_dag.inst 2 list-greedy --certify
+         --manifest ${WORKDIR}/cli_cert_run_manifest.json
+         --metrics ${WORKDIR}/cli_cert_run_metrics.json)
+file(READ ${WORKDIR}/cli_cert_run_manifest.json cert_run_manifest)
+foreach(key certified_bound certificate_method ratio_vs_certificate)
+  if(NOT cert_run_manifest MATCHES "${key}")
+    message(FATAL_ERROR "run --certify manifest is missing '${key}'")
+  endif()
+endforeach()
+if(PYTHON3 AND DEFINED SCHEMA_CHECK)
+  run_step(${PYTHON3} ${SCHEMA_CHECK} ${WORKDIR}/cli_cert_manifest.json
+           ${WORKDIR}/cli_cert_run_manifest.json
+           ${WORKDIR}/cli_cert_run_metrics.json)
+endif()
+
+# Certified bounds under an explicit budget trace (frozen above).
+run_step(${CLI} bounds ${INST} 8 --certify
+         --faults-trace ${WORKDIR}/cli_budget.csv)
+run_step(${CLI} run ${INST} 8 fifo --certify
+         --faults-trace ${WORKDIR}/cli_budget.csv)
+
+# Stochastic faults have no explicit budget stream to certify against:
+# a diagnostic, not an abort.
+expect_diagnostic("needs explicit per-slot budgets"
+                  ${CLI} run ${INST} 8 fifo --certify
+                  --faults random-blip:1:0.3)
+# Non-positive machine counts get a diagnostic too.
+expect_diagnostic("m >= 1" ${CLI} bounds ${INST} 0)
+
 # A checkpoint from a DIFFERENT grid must be rejected, not spliced in.
 expect_diagnostic("different sweep"
                   ${CLI} sweep ${INST} fifo --m 2,8 --seeds 2

@@ -3,11 +3,12 @@
 //   otsched gen <family> <args...> <out.inst>     generate an instance
 //   otsched adversary <m> <jobs> <out.inst>       materialize the §4 family
 //   otsched bounds <in.inst> <m>                  print OPT lower bounds
+//       [--certify] [--faults-trace F] [--manifest F]
 //   otsched describe <in.inst> [m]                print instance statistics
 //   otsched run <in.inst> <m> [--policy] <policy> run a policy, report flows
 //       [--render N] [--seed S] [--opt V] [--svg F] [--trace F]
 //       [--timeseries F] [--metrics F] [--metrics-csv F] [--manifest F]
-//       [--record full|flow] [--faults SPEC] [--faults-trace F]
+//       [--record full|flow] [--faults SPEC] [--faults-trace F] [--certify]
 //   otsched sweep <in.inst> <policy> [--m LIST] [--seeds N] [--workers N]
 //       [--opt V] [--metrics F] [--csv F] [--record full|flow]
 //       [--faults SPEC] [--faults-trace F] [--checkpoint F] [--resume]
@@ -57,6 +58,8 @@
 #include "gen/random_trees.h"
 #include "gen/recursive.h"
 #include "job/serialize.h"
+#include "opt/dual_fitting.h"
+#include "opt/flow_network.h"
 #include "sched/registry.h"
 #include "sim/batch_runner.h"
 #include "sim/faults.h"
@@ -78,13 +81,15 @@ int Usage() {
       "  otsched gen saturated <m> <delta> <batches> <seed> <out>\n"
       "  otsched gen pipelined <m> <delta> <batches> <seed> <out>\n"
       "  otsched adversary <m> <jobs> <out>\n"
-      "  otsched bounds <in> <m>\n"
+      "  otsched bounds <in> <m> [--certify] [--faults-trace F]\n"
+      "              [--manifest F]\n"
       "  otsched describe <in> [m]\n"
       "  otsched run <in> <m> [--policy] <policy> [--render N] [--seed S]\n"
       "              [--opt V] [--svg F] [--trace F] [--timeseries F]\n"
       "              [--metrics F] [--metrics-csv F] [--manifest F]\n"
       "              [--record full|flow]  (default: full)\n"
       "              [--faults MODEL[:SEED[:RATE]]] [--faults-trace F]\n"
+      "              [--certify]\n"
       "  otsched sweep <in> <policy> [--m LIST] [--seeds N] [--workers N]\n"
       "              [--opt V] [--metrics F] [--csv F]\n"
       "              [--record full|flow]  (default: flow)\n"
@@ -296,20 +301,83 @@ int CmdDescribe(int argc, char** argv) {
 }
 
 int CmdBounds(int argc, char** argv) {
-  if (argc != 2) return Usage();
+  if (argc < 2) return Usage();
   const std::optional<Instance> loaded = LoadInstanceOrComplain(argv[0]);
   if (!loaded.has_value()) return 2;
   const Instance& instance = *loaded;
   const int m = std::atoi(argv[1]);
+  if (m < 1) {
+    std::fprintf(stderr, "bounds need a machine: m >= 1, got %d\n", m);
+    return 2;
+  }
+  bool certify = false;
+  std::string manifest_path;
+  FaultArgs faults;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--certify") == 0) {
+      certify = true;
+      continue;
+    }
+    if (i + 1 >= argc) return Usage();
+    if (std::strcmp(argv[i], "--faults-trace") == 0) {
+      if (!LoadFaultsTraceOrComplain(argv[i + 1], &faults)) return 2;
+    } else if (std::strcmp(argv[i], "--manifest") == 0) {
+      manifest_path = argv[i + 1];
+    } else {
+      return Usage();
+    }
+    ++i;
+  }
+  // The heuristic components model a healthy machine; under an explicit
+  // budget trace only the certified bounds are meaningful.
+  const BudgetTrace* budget =
+      faults.trace_storage.has_value() ? &*faults.trace_storage : nullptr;
   const LowerBounds bounds = ComputeLowerBounds(instance, m);
   TextTable table({"bound", "value"});
   table.row("span (max job span)", bounds.span_bound);
   table.row("work (max ceil(W_i/m))", bounds.work_bound);
   table.row("depth profile (Lemma 5.1)", bounds.depth_profile_bound);
   table.row("interval (released work)", bounds.interval_bound);
+  table.row("depth x interval (combined)", bounds.depth_interval_bound);
   table.row("best", bounds.best());
   table.print("lower bounds on OPT max-flow, m = " + std::to_string(m) +
-              ":");
+              (budget != nullptr ? " (healthy-machine heuristics):"
+                                 : ":"));
+  std::printf("best component  : %s\n", ToString(bounds.best_component()));
+
+  if (!certify && manifest_path.empty() && budget == nullptr) return 0;
+
+  // Certified bounds: each certificate re-verifies in-process before
+  // anything is printed or written (a broken certificate aborts inside
+  // the constructors; the explicit verify here surfaces the verdict).
+  const Certificate dual = DualFitCertificate(instance, m, budget);
+  const Certificate flow = MaxFlowCertificate(instance, m, budget);
+  std::string why;
+  const bool dual_ok = dual.verify(instance, budget, &why);
+  const bool flow_ok = flow.verify(instance, budget, &why);
+  std::printf("certified bounds%s:\n",
+              budget != nullptr ? " (under budget trace)" : "");
+  std::printf("  dual-fit certificate : %lld (%s)\n",
+              static_cast<long long>(dual.value),
+              dual_ok ? "verified" : "VERIFY FAILED");
+  std::printf("  max-flow certificate : %lld (%s)\n",
+              static_cast<long long>(flow.value),
+              flow_ok ? "verified" : "VERIFY FAILED");
+  if (!dual_ok || !flow_ok) return 1;
+
+  if (!manifest_path.empty()) {
+    SimOptions options;
+    options.faults = faults.spec;
+    RunManifest manifest =
+        MakeRunManifest(instance, m, "<bounds>", /*seed=*/0, options);
+    manifest.certified_bound = flow.value;
+    manifest.certificate_method = flow.method;
+    if (!WriteFileOrComplain(manifest_path, manifest.to_json(),
+                             "manifest")) {
+      return 1;
+    }
+    std::printf("manifest written to %s\n", manifest_path.c_str());
+  }
   return 0;
 }
 
@@ -340,9 +408,14 @@ int CmdRun(int argc, char** argv) {
   std::string manifest_path;
   RecordMode record = RecordMode::kFull;
   FaultArgs faults;
+  bool certify = false;
   for (int i = first_flag; i < argc; ++i) {
     if (std::strncmp(argv[i], "--record=", 9) == 0) {
       if (!ParseRecordMode(argv[i] + 9, &record)) return 2;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--certify") == 0) {
+      certify = true;
       continue;
     }
     if (i + 1 >= argc) break;
@@ -382,6 +455,16 @@ int CmdRun(int argc, char** argv) {
     return 2;
   }
   if (!CheckFaultSupportOrComplain(*policy, faults)) return 2;
+  if (certify && faults.spec.active() &&
+      faults.spec.model != FaultModel::kTrace) {
+    // The certified bound charges explicit per-slot capacities; freeze the
+    // stochastic model first so the certificate covers the same budgets.
+    std::fprintf(stderr,
+                 "--certify needs explicit per-slot budgets under faults; "
+                 "freeze the model with `otsched faults emit` and pass "
+                 "--faults-trace\n");
+    return 2;
+  }
 
   // Observers ride along on the measured run itself: the trace streams
   // online and the metrics figures are the run's own SimStats/FlowSummary.
@@ -399,22 +482,45 @@ int CmdRun(int argc, char** argv) {
   context.options.record = record;
   context.options.faults = faults.spec;
   context.observer = observers.empty() ? nullptr : &observers;
-  const RatioMeasurement r =
-      MeasureRatio(instance, m, *policy, known_opt, context);
+  RatioMeasurement r = MeasureRatio(instance, m, *policy, known_opt, context);
+  if (certify) {
+    // Verified denominator for the same budget stream the run consumed
+    // (nullptr = healthy machine).  Aborts if the certificate fails its
+    // own verification or the measured flow beats the certified bound.
+    AttachCertificate(r, instance,
+                      faults.trace_storage.has_value()
+                          ? &*faults.trace_storage
+                          : nullptr);
+  }
 
   std::printf("policy          : %s\n", r.scheduler.c_str());
   std::printf("max flow        : %lld\n", static_cast<long long>(r.max_flow));
   std::printf("vs %s: %.3f (denominator %lld)\n",
               r.denominator_exact ? "certified OPT " : "lower bound   ",
               r.ratio, static_cast<long long>(r.opt_denominator));
+  if (r.certified_bound > 0) {
+    std::printf("vs certificate  : %.3f (certified bound %lld, %s, %s)\n",
+                r.ratio_vs_certificate,
+                static_cast<long long>(r.certified_bound),
+                r.certificate_method.c_str(),
+                r.certificate_verified ? "verified" : "VERIFY FAILED");
+  }
   std::printf("mean / p99 flow : %.1f / %lld\n", r.flow_stats.mean,
               static_cast<long long>(r.flow_stats.p99));
   std::printf("horizon         : %lld slots, idle processor-slots %lld\n",
               static_cast<long long>(r.sim_stats.horizon),
               static_cast<long long>(r.sim_stats.idle_processor_slots));
 
-  const RunManifest manifest =
+  RunManifest manifest =
       MakeRunManifest(instance, m, r.scheduler, seed, context.options);
+  if (r.certified_bound > 0) {
+    manifest.certified_bound = r.certified_bound;
+    manifest.certificate_method = r.certificate_method;
+    char formatted[32];
+    std::snprintf(formatted, sizeof(formatted), "%.4f",
+                  r.ratio_vs_certificate);
+    manifest.ratio_vs_certificate = formatted;
+  }
   if (want_metrics) WriteManifest(registry, manifest);
   if (!metrics_path.empty() &&
       !WriteFileOrComplain(metrics_path, registry.to_json(), "metrics")) {

@@ -35,6 +35,7 @@ namespace {
       "                      results/fuzz-repros; empty string disables)\n"
       "  --shrink-evals N    shrink budget per failure (default 160)\n"
       "  --no-brute-force    skip the exhaustive-search cross-checks\n"
+      "  --no-opt-certificates  skip the certified lower-bound oracle\n"
       "  --replay FILE       re-run one serialized repro and exit\n",
       argv0);
   std::exit(2);
@@ -104,6 +105,8 @@ int main(int argc, char** argv) {
           static_cast<int>(ParseInt(argv[0], arg, value()));
     } else if (std::strcmp(arg, "--no-brute-force") == 0) {
       options.cross_check_brute_force = false;
+    } else if (std::strcmp(arg, "--no-opt-certificates") == 0) {
+      options.opt_certificates = false;
     } else if (std::strcmp(arg, "--replay") == 0) {
       replay_path = value();
     } else {
