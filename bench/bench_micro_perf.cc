@@ -269,6 +269,41 @@ void BM_EngineSparseObserved(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineSparseObserved)->Arg(512)->Arg(2048);
 
+/// A minimal native batch consumer: counts events straight off the
+/// SlotEvent records, never replaying the fine-grained hooks.  The delta
+/// against BM_EngineSparseFlowOnly is the floor cost of batched
+/// observation itself (ring append + two virtual calls per slot), with
+/// no sink work on top.
+class BatchCountingObserver final : public otsched::RunObserver {
+ public:
+  void on_slot_batch(const EngineBackend&,
+                     std::span<const SlotEvent> events) override {
+    events_ += static_cast<std::int64_t>(events.size());
+  }
+  bool wants_pick_timing() const override { return false; }
+  std::int64_t events() const { return events_; }
+
+ private:
+  std::int64_t events_ = 0;
+};
+
+void BM_EngineSparseBatchedObserved(benchmark::State& state) {
+  const Instance instance =
+      MakeSparseChainInstance(static_cast<int>(state.range(0)), 32);
+  std::int64_t horizon = 0;
+  for (auto _ : state) {
+    FifoScheduler fifo;
+    BatchCountingObserver batches;
+    RunContext context{FlowOnlyOptions(), &batches};
+    const SimResult result = Simulate(instance, 8, fifo, context);
+    horizon = result.stats.horizon;
+    benchmark::DoNotOptimize(batches.events());
+    benchmark::DoNotOptimize(result.flows.max_flow);
+  }
+  state.SetItemsProcessed(state.iterations() * horizon);
+}
+BENCHMARK(BM_EngineSparseBatchedObserved)->Arg(512)->Arg(2048);
+
 void BM_EngineSparseReference(benchmark::State& state) {
   const Instance instance =
       MakeSparseChainInstance(static_cast<int>(state.range(0)), 32);

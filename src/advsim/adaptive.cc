@@ -15,6 +15,7 @@ class AdaptiveEngine final : public EngineBackend {
                  const RunContext& context)
       : scheduler_(scheduler),
         observer_(context.observer),
+        batch_capacity_(context.batch_capacity),
         sequencer_(context.options.faults, options.m),
         m_(options.m),
         layers_(options.layers_per_job > 0 ? options.layers_per_job
@@ -105,6 +106,9 @@ class AdaptiveEngine final : public EngineBackend {
 
   Scheduler& scheduler_;
   RunObserver* observer_ = nullptr;  // borrowed; null = uninstrumented run
+  std::size_t batch_capacity_;       // event-ring size (RunContext)
+  SlotEventEmitter emitter_;         // batched event stream writer
+  bool time_picks_ = false;          // observer wants pick_seconds?
   BudgetSequencer sequencer_;        // per-slot capacity source
   int capacity_ = 1;                 // current slot's budget, m_t <= m
   bool record_full_ = true;          // materialize the Schedule?
@@ -153,6 +157,8 @@ AdaptiveAdversaryResult AdaptiveEngine::run() {
   std::vector<std::pair<JobId, NodeId>> last_in_layer;  // per slot scratch
   std::vector<JobId> completed_now_;                    // observer-only
 
+  emitter_.reset(this, observer_, batch_capacity_);
+  time_picks_ = observer_ != nullptr && observer_->wants_pick_timing();
   if (observer_ != nullptr) observer_->on_run_begin(*this);
 
   slot_ = 1;
@@ -163,13 +169,13 @@ AdaptiveAdversaryResult AdaptiveEngine::run() {
     OTSCHED_CHECK(slot_ <= max_horizon_,
                   "scheduler '" << scheduler_.name()
                                 << "' exceeded the adversary horizon");
-    if (observer_ != nullptr) observer_->on_slot_begin(slot_, *this);
+    if (emitter_.active()) emitter_.slot_begin(slot_);
     while (next_arrival_ < num_jobs_ && next_arrival_ * gap_ < slot_) {
       const JobId id = static_cast<JobId>(next_arrival_++);
       alive_.push_back(id);
       open_next_layer(id);
       scheduler_.on_arrival(id, view);
-      if (observer_ != nullptr) observer_->on_arrival(slot_, id);
+      if (emitter_.active()) emitter_.arrival(slot_, id);
     }
     result.max_alive =
         std::max(result.max_alive, static_cast<std::int64_t>(alive_.size()));
@@ -182,15 +188,13 @@ AdaptiveAdversaryResult AdaptiveEngine::run() {
           slot_, static_cast<std::int64_t>(alive_.size()));
       if (cap != capacity_) {
         capacity_ = cap;
-        if (observer_ != nullptr) {
-          observer_->on_capacity_change(slot_, capacity_);
-        }
+        if (emitter_.active()) emitter_.capacity_change(slot_, capacity_);
       }
     }
 
     picks.clear();
     double pick_seconds = 0.0;
-    if (observer_ != nullptr) {
+    if (time_picks_) {
       WallTimer pick_timer;
       scheduler_.pick(view, picks);
       pick_seconds = pick_timer.elapsed_seconds();
@@ -201,10 +205,19 @@ AdaptiveAdversaryResult AdaptiveEngine::run() {
                   "scheduler picked " << picks.size() << " with capacity "
                                       << capacity_ << " (m = " << m_
                                       << ")");
-    if (observer_ != nullptr) {
-      // Before execution mutates the ready sets the scheduler saw; an
-      // invalid pick aborts below, so observers never outlive one.
-      observer_->on_pick(slot_, *this, picks, pick_seconds);
+    if (emitter_.active()) {
+      // The pre-execution flush: nothing has mutated the ready sets the
+      // scheduler saw, so the state at delivery matches the historical
+      // per-pick hook (which fired here, before the validate/execute
+      // loop below); an invalid pick aborts in that loop, so observers
+      // never outlive one.
+      std::int64_t ready_width = 0;
+      for (const JobId id : alive_) {
+        ready_width += static_cast<std::int64_t>(ready(id).size());
+      }
+      emitter_.pick_block(slot_, picks,
+                          static_cast<std::int64_t>(alive_.size()),
+                          ready_width, pick_seconds);
     }
 
     // Validate, execute, and track layer completions.
@@ -227,7 +240,6 @@ AdaptiveAdversaryResult AdaptiveEngine::run() {
       ++job.done_nodes;
       ++executed_total_;
       if (record_full_) result.schedule->place(slot_, ref);
-      if (observer_ != nullptr) observer_->on_execute(slot_, ref);
       if (job.ready.empty()) {
         last_in_layer.emplace_back(ref.job, ref.node);
       }
@@ -243,19 +255,20 @@ AdaptiveAdversaryResult AdaptiveEngine::run() {
       if (job.done_layers == layers_) {
         job.completion = slot_;
         ++finished_jobs_;
-        if (observer_ != nullptr) completed_now_.push_back(job_id);
+        if (emitter_.active()) completed_now_.push_back(job_id);
       } else {
         open_next_layer(job_id);
       }
     }
-    if (observer_ != nullptr && !completed_now_.empty()) {
+    if (emitter_.active() && !completed_now_.empty()) {
       // Ascending job id, matching DeriveTrace's completion order.
       std::sort(completed_now_.begin(), completed_now_.end());
       for (const JobId id : completed_now_) {
-        observer_->on_complete(slot_, id);
+        emitter_.complete(slot_, id);
       }
       completed_now_.clear();
     }
+    if (emitter_.active()) emitter_.slot_end();
     if (!picks.empty()) {
       ++busy_slots_;
       last_busy_slot_ = slot_;
@@ -343,11 +356,6 @@ AdaptiveAdversaryResult RunAdaptiveAdversary(
                     << scheduler.name() << "' declares clairvoyance");
   AdaptiveEngine engine(scheduler, options, context);
   return engine.run();
-}
-
-AdaptiveAdversaryResult RunAdaptiveAdversary(
-    Scheduler& scheduler, const AdaptiveAdversaryOptions& options) {
-  return RunAdaptiveAdversary(scheduler, options, RunContext{});
 }
 
 }  // namespace otsched

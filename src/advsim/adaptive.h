@@ -65,12 +65,9 @@ struct AdaptiveAdversaryResult {
 /// firing `context.observer`'s hooks exactly like Simulate does (the
 /// on_finish SimResult is assembled from the produced schedule).  A
 /// positive `context.options.max_horizon` overrides `options.max_horizon`.
+/// The ONLY entry point (same single-signature contract as Simulate).
 AdaptiveAdversaryResult RunAdaptiveAdversary(
     Scheduler& scheduler, const AdaptiveAdversaryOptions& options,
-    const RunContext& context);
-
-/// Compatibility overload for observer-less call sites.
-AdaptiveAdversaryResult RunAdaptiveAdversary(
-    Scheduler& scheduler, const AdaptiveAdversaryOptions& options);
+    const RunContext& context = {});
 
 }  // namespace otsched

@@ -13,10 +13,9 @@ namespace otsched {
 namespace {
 
 PolicySpec Fifo(const std::string& name, FifoTieBreak tie_break,
-                std::vector<std::string> aliases, std::string description) {
+                std::string description) {
   PolicySpec spec;
   spec.name = name;
-  spec.aliases = std::move(aliases);
   spec.description = std::move(description);
   spec.make = [tie_break](std::uint64_t seed) -> std::unique_ptr<Scheduler> {
     FifoScheduler::Options options;
@@ -32,18 +31,15 @@ std::vector<PolicySpec> BuildRegistry() {
 
   // src/sched — the baseline zoo.
   registry.push_back(Fifo("fifo/first-ready", FifoTieBreak::kFirstReady,
-                          {"fifo"},
                           "non-clairvoyant FIFO, first-ready tie-break"));
-  registry.push_back(Fifo("fifo/last-ready", FifoTieBreak::kLastReady, {},
+  registry.push_back(Fifo("fifo/last-ready", FifoTieBreak::kLastReady,
                           "non-clairvoyant FIFO, last-ready tie-break"));
   registry.push_back(Fifo("fifo/random", FifoTieBreak::kRandom,
-                          {"fifo-random"},
                           "non-clairvoyant FIFO, seeded random tie-break"));
   registry.push_back(Fifo("fifo/lpf-height", FifoTieBreak::kLpfHeight,
-                          {"fifo-lpf"},
                           "clairvoyant FIFO, LPF-height tie-break"));
   registry.push_back(
-      Fifo("fifo/most-children", FifoTieBreak::kMostChildren, {},
+      Fifo("fifo/most-children", FifoTieBreak::kMostChildren,
            "clairvoyant FIFO, most-children tie-break"));
 
   {
@@ -58,7 +54,6 @@ std::vector<PolicySpec> BuildRegistry() {
   {
     PolicySpec spec;
     spec.name = "round-robin-equi";
-    spec.aliases = {"equi"};
     spec.description = "round-robin processor sharing";
     spec.make = [](std::uint64_t) -> std::unique_ptr<Scheduler> {
       return std::make_unique<RoundRobinScheduler>();
@@ -79,7 +74,6 @@ std::vector<PolicySpec> BuildRegistry() {
   {
     PolicySpec spec;
     spec.name = "remaining-work/smallest";
-    spec.aliases = {"srpt"};
     spec.description = "smallest-remaining-work first (clairvoyant)";
     spec.make = [](std::uint64_t) -> std::unique_ptr<Scheduler> {
       return std::make_unique<RemainingWorkScheduler>(
@@ -111,7 +105,6 @@ std::vector<PolicySpec> BuildRegistry() {
   {
     PolicySpec spec;
     spec.name = "alg-a/general";
-    spec.aliases = {"alg-a"};
     spec.description = "the paper's Algorithm A (general, Thm 5.7)";
     spec.needs_out_forests = true;
     spec.needs_alpha_divides_m = true;
@@ -124,7 +117,6 @@ std::vector<PolicySpec> BuildRegistry() {
   {
     PolicySpec spec;
     spec.name = "alg-a/semi-batched";
-    spec.aliases = {"alg-a-semibatched"};
     spec.description =
         "Algorithm A with known OPT (Thm 5.6; pass --opt)";
     spec.needs_out_forests = true;
@@ -153,9 +145,29 @@ const std::vector<PolicySpec>& AllPolicies() {
 const PolicySpec* FindPolicy(std::string_view name) {
   for (const PolicySpec& spec : AllPolicies()) {
     if (spec.name == name) return &spec;
-    for (const std::string& alias : spec.aliases) {
-      if (alias == name) return &spec;
-    }
+  }
+  return nullptr;
+}
+
+const char* LegacyPolicyAlias(std::string_view name) {
+  // The PR-3 spellings, retired when the registry names stabilized.
+  // Kept only so drivers can answer "unknown policy 'fifo'" with the
+  // rename instead of a bare failure.
+  struct Rename {
+    const char* legacy;
+    const char* current;
+  };
+  static constexpr Rename kRenames[] = {
+      {"fifo", "fifo/first-ready"},
+      {"fifo-random", "fifo/random"},
+      {"fifo-lpf", "fifo/lpf-height"},
+      {"equi", "round-robin-equi"},
+      {"srpt", "remaining-work/smallest"},
+      {"alg-a", "alg-a/general"},
+      {"alg-a-semibatched", "alg-a/semi-batched"},
+  };
+  for (const Rename& rename : kRenames) {
+    if (name == rename.legacy) return rename.current;
   }
   return nullptr;
 }

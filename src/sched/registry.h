@@ -28,10 +28,10 @@ inline constexpr double kTheorem57Ceiling = 1548.0;
 
 struct PolicySpec {
   /// Stable registry name (matches Scheduler::name() where possible).
+  /// The ONLY accepted spelling: the PR-3 legacy aliases were removed;
+  /// LegacyPolicyAlias() maps old spellings to their new names so CLIs
+  /// can point users at the rename.
   std::string name;
-
-  /// Legacy CLI spellings accepted by FindPolicy / MakePolicy.
-  std::vector<std::string> aliases;
 
   /// One-line summary for `otsched --list-policies`.
   std::string description;
@@ -63,10 +63,18 @@ struct PolicySpec {
 /// Every policy in src/sched plus the Section 5 algorithms in src/core.
 const std::vector<PolicySpec>& AllPolicies();
 
-/// Looks up a spec by registry name or legacy alias; nullptr if unknown.
+/// Looks up a spec by registry name; nullptr if unknown.  Legacy
+/// spellings are NOT accepted — resolve them via LegacyPolicyAlias to
+/// tell the user the new name.
 const PolicySpec* FindPolicy(std::string_view name);
 
-/// Builds a scheduler by name (or alias).  Returns nullptr for unknown
+/// Maps a removed legacy policy spelling (e.g. "fifo", "srpt", "alg-a")
+/// to its current registry name, or nullptr if `name` was never an
+/// alias.  Exists solely for diagnostics: drivers seeing an unknown
+/// policy print "renamed to X" and exit non-zero.
+const char* LegacyPolicyAlias(std::string_view name);
+
+/// Builds a scheduler by registry name.  Returns nullptr for unknown
 /// names so CLIs can print their own diagnostic.  For semi-batched
 /// policies `known_opt` is the certified optimum (<= 0 falls back to the
 /// CLI default of 2; drivers with a real certificate must pass it).

@@ -15,9 +15,21 @@ namespace otsched {
 /// executes, roots are precomputed once at construction, and the alive
 /// list is only compacted in slots where a job actually finished.  After
 /// construction no full-DAG rescan ever happens; per-slot cost is
-/// O(picks + arrivals), not O(sum of DAG sizes).  ReferenceSimulate
-/// (engine_reference.cc) preserves the seed implementation; the
-/// engine-equivalence gate proves both produce bit-identical schedules.
+/// O(picks + arrivals), not O(sum of DAG sizes).
+///
+/// Three saturation measures on top of the incremental bookkeeping:
+///  * all per-job state lives in one ReadyArena (a handful of flat
+///    arrays per RUN, not per-job heap objects), so a run performs O(1)
+///    allocations total;
+///  * schedulers read the world through the EngineHotState fast path
+///    (sim/engine.h): ready/alive/progress queries are inline array
+///    reads, no virtual dispatch;
+///  * the slot loop is compiled per (observed, record-full) mode, so
+///    unobserved flow-only runs carry no observer or schedule branches.
+///
+/// ReferenceSimulate (engine_reference.cc) preserves the seed
+/// implementation; the engine-equivalence gate proves both produce
+/// bit-identical schedules.
 class Engine final : public EngineBackend {
  public:
   Engine(const Instance& instance, int m, Scheduler& scheduler,
@@ -26,6 +38,7 @@ class Engine final : public EngineBackend {
         m_(m),
         scheduler_(scheduler),
         observer_(context.observer),
+        batch_capacity_(context.batch_capacity),
         sequencer_(context.options.faults, m) {
     OTSCHED_CHECK(m >= 1);
     const SimOptions& options = context.options;
@@ -73,21 +86,17 @@ class Engine final : public EngineBackend {
   }
   bool arrived(JobId id) const override { return release(id) < slot_; }
   bool finished(JobId id) const override {
-    return jobs_[static_cast<std::size_t>(id)].done() ==
-           work_[static_cast<std::size_t>(id)];
+    return arena_.done(id) == work_[static_cast<std::size_t>(id)];
   }
   std::span<const NodeId> ready(JobId id) const override {
-    return jobs_[static_cast<std::size_t>(id)].ready();
+    return arena_.ready(id);
   }
   std::int64_t remaining_work(JobId id) const override {
-    return work_[static_cast<std::size_t>(id)] -
-           jobs_[static_cast<std::size_t>(id)].done();
+    return work_[static_cast<std::size_t>(id)] - arena_.done(id);
   }
-  std::int64_t done_work(JobId id) const override {
-    return jobs_[static_cast<std::size_t>(id)].done();
-  }
+  std::int64_t done_work(JobId id) const override { return arena_.done(id); }
   bool executed(JobId id, NodeId v) const override {
-    return jobs_[static_cast<std::size_t>(id)].is_executed(v);
+    return arena_.is_executed(id, v);
   }
   const Dag& dag(JobId id) const override {
     OTSCHED_CHECK(clairvoyant_,
@@ -110,13 +119,19 @@ class Engine final : public EngineBackend {
   bool clairvoyant_allowed() const override { return clairvoyant_; }
 
  private:
+  template <bool kObserved, bool kRecordFull>
+  void run_loop(const SchedulerView& view, std::vector<SubjobRef>& picks,
+                SimResult& result);
+
+  template <bool kObserved>
   void deliver_arrivals(const SchedulerView& view);
-  void execute(SubjobRef ref);
 
   const Instance& instance_;
   int m_;
   Scheduler& scheduler_;
   RunObserver* observer_ = nullptr;  // borrowed; null = uninstrumented run
+  std::size_t batch_capacity_;       // event-ring size (RunContext)
+  SlotEventEmitter emitter_;         // batched event stream writer
   bool clairvoyant_ = false;
   bool record_full_ = true;          // materialize the Schedule?
   Time max_horizon_ = 0;
@@ -126,7 +141,8 @@ class Engine final : public EngineBackend {
   Time slot_ = 0;
   Time last_busy_slot_ = 0;          // online horizon (== schedule horizon)
   FlowAccumulator flows_;            // online flow accounting, both modes
-  std::vector<JobReadyState> jobs_;   // incremental per-job ready state
+  ReadyArena arena_;                 // SoA per-job ready/executed state
+  EngineHotState hot_;               // SchedulerView fast-path tables
   std::vector<const Dag*> dags_;      // flat caches: no Job indirection
   std::vector<std::int64_t> work_;    //   in the per-slot loop
   std::vector<Time> release_;
@@ -134,65 +150,34 @@ class Engine final : public EngineBackend {
   std::vector<JobId> arrival_order_;  // all jobs by (release, id)
   std::size_t next_arrival_ = 0;
   std::int64_t executed_total_ = 0;
+  std::int64_t ready_width_ = 0;      // sum of ready counts over alive jobs
+  bool time_picks_ = false;           // observer wants pick_seconds?
   int finished_this_slot_ = 0;        // gates alive-list compaction
   std::vector<JobId> completed_now_;  // observer-only: jobs finished this slot
 };
 
-void Engine::execute(SubjobRef ref) {
-  const std::size_t j = static_cast<std::size_t>(ref.job);
-  // Children may become ready — but only from the NEXT slot, which is fine
-  // because picks for the current slot were already validated against the
-  // pre-execution ready sets.
-  jobs_[j].execute(*dags_[j], ref.node);
-  ++executed_total_;
-  if (jobs_[j].done() == work_[j]) {
-    ++finished_this_slot_;
-    if (observer_ != nullptr) completed_now_.push_back(ref.job);
-  }
-}
-
+template <bool kObserved>
 void Engine::deliver_arrivals(const SchedulerView& view) {
   while (next_arrival_ < arrival_order_.size()) {
     const JobId id = arrival_order_[next_arrival_];
     if (release_[static_cast<std::size_t>(id)] >= slot_) break;
     ++next_arrival_;
     alive_.push_back(id);
+    hot_.alive = alive_.data();
+    hot_.alive_count = alive_.size();
     // Precomputed roots become ready on arrival (increasing node id, the
     // same order the seed engine's arrival rescan produced).
-    jobs_[static_cast<std::size_t>(id)].activate();
+    ready_width_ += arena_.activate(id);
     scheduler_.on_arrival(id, view);
-    if (observer_ != nullptr) observer_->on_arrival(slot_, id);
+    if constexpr (kObserved) emitter_.arrival(slot_, id);
   }
 }
 
-SimResult Engine::run() {
+template <bool kObserved, bool kRecordFull>
+void Engine::run_loop(const SchedulerView& view,
+                      std::vector<SubjobRef>& picks, SimResult& result) {
   const JobId n = instance_.job_count();
-  jobs_.resize(static_cast<std::size_t>(n));
-  dags_.resize(static_cast<std::size_t>(n));
-  work_.resize(static_cast<std::size_t>(n));
-  release_.resize(static_cast<std::size_t>(n));
-  for (JobId id = 0; id < n; ++id) {
-    const Job& job = instance_.job(id);
-    OTSCHED_CHECK(job.dag().node_count() >= 1,
-                  "job " << id << " has no subjobs");
-    const std::size_t j = static_cast<std::size_t>(id);
-    jobs_[j].init(job.dag());
-    dags_[j] = &job.dag();
-    work_[j] = job.work();
-    release_[j] = job.release();
-  }
-  arrival_order_ = instance_.release_order();
-
-  scheduler_.reset(m_, n);
-  SchedulerView view(*this);
-  flows_.init(instance_);
-  SimResult result;
-  if (record_full_) result.schedule.emplace(m_);
-
-  std::vector<SubjobRef> picks;
   const std::int64_t total_work = instance_.total_work();
-
-  if (observer_ != nullptr) observer_->on_run_begin(*this);
 
   slot_ = 1;
   while (executed_total_ < total_work) {
@@ -206,10 +191,11 @@ SimResult Engine::run() {
                   "scheduler '" << scheduler_.name()
                                 << "' exceeded the horizon bound "
                                 << max_horizon_);
+    hot_.slot = slot_;
 
-    if (observer_ != nullptr) observer_->on_slot_begin(slot_, *this);
+    if constexpr (kObserved) emitter_.slot_begin(slot_);
 
-    deliver_arrivals(view);
+    deliver_arrivals<kObserved>(view);
 
     if (sequencer_.active()) {
       // Capacity resolves after the slot's arrivals (the adversarial dip
@@ -218,9 +204,8 @@ SimResult Engine::run() {
           slot_, static_cast<std::int64_t>(alive_.size()));
       if (cap != capacity_) {
         capacity_ = cap;
-        if (observer_ != nullptr) {
-          observer_->on_capacity_change(slot_, capacity_);
-        }
+        hot_.capacity = capacity_;
+        if constexpr (kObserved) emitter_.capacity_change(slot_, capacity_);
       }
       if (capacity_ < m_) {
         ++result.stats.faulted_slots;
@@ -230,10 +215,14 @@ SimResult Engine::run() {
 
     picks.clear();
     double pick_seconds = 0.0;
-    if (observer_ != nullptr) {
-      WallTimer pick_timer;
-      scheduler_.pick(view, picks);
-      pick_seconds = pick_timer.elapsed_seconds();
+    if constexpr (kObserved) {
+      if (time_picks_) {
+        WallTimer pick_timer;
+        scheduler_.pick(view, picks);
+        pick_seconds = pick_timer.elapsed_seconds();
+      } else {
+        scheduler_.pick(view, picks);
+      }
     } else {
       scheduler_.pick(view, picks);
     }
@@ -254,37 +243,49 @@ SimResult Engine::run() {
       OTSCHED_CHECK(arrived(ref.job), "job " << ref.job
                                              << " picked before arrival at slot "
                                              << slot_);
-      OTSCHED_CHECK(!jobs_[j].is_executed(ref.node),
+      OTSCHED_CHECK(!arena_.is_executed(ref.job, ref.node),
                     "job " << ref.job << " node " << ref.node
                            << " picked twice (slot " << slot_ << ")");
-      OTSCHED_CHECK(jobs_[j].is_ready(ref.node),
+      OTSCHED_CHECK(arena_.is_ready(ref.job, ref.node),
                     "job " << ref.job << " node " << ref.node
                            << " is not ready at slot " << slot_);
     }
-    if (observer_ != nullptr) {
-      // After validation, before execution: the picks are final and the
-      // backend still shows the state the scheduler saw.
-      observer_->on_pick(slot_, *this, picks, pick_seconds);
+    if constexpr (kObserved) {
+      // The pre-execution flush: picks are final, the backend still shows
+      // the state the scheduler saw, and the event carries the incremental
+      // alive/ready-width counters observers used to recompute per pick.
+      emitter_.pick_block(slot_, picks,
+                          static_cast<std::int64_t>(alive_.size()),
+                          ready_width_, pick_seconds);
     }
     // Same-slot duplicate picks are caught by the executed flag flipping
     // during execution below.
     for (const SubjobRef& ref : picks) {
-      OTSCHED_CHECK(
-          !jobs_[static_cast<std::size_t>(ref.job)].is_executed(ref.node),
-          "duplicate pick of job " << ref.job << " node " << ref.node
-                                   << " in slot " << slot_);
-      execute(ref);
-      flows_.record(slot_, ref.job);
-      if (record_full_) result.schedule->place(slot_, ref);
-      if (observer_ != nullptr) observer_->on_execute(slot_, ref);
-    }
-    if (observer_ != nullptr && !completed_now_.empty()) {
-      // Ascending job id, matching DeriveTrace's completion order.
-      std::sort(completed_now_.begin(), completed_now_.end());
-      for (const JobId id : completed_now_) {
-        observer_->on_complete(slot_, id);
+      OTSCHED_CHECK(!arena_.is_executed(ref.job, ref.node),
+                    "duplicate pick of job " << ref.job << " node "
+                                             << ref.node << " in slot "
+                                             << slot_);
+      const std::size_t j = static_cast<std::size_t>(ref.job);
+      // Children may become ready — but only from the NEXT slot, which is
+      // fine because picks for the current slot were already validated
+      // against the pre-execution ready sets.
+      ready_width_ += arena_.execute(*dags_[j], ref.job, ref.node);
+      ++executed_total_;
+      if (arena_.done(ref.job) == work_[j]) {
+        ++finished_this_slot_;
+        if constexpr (kObserved) completed_now_.push_back(ref.job);
       }
-      completed_now_.clear();
+      flows_.record(slot_, ref.job);
+      if constexpr (kRecordFull) result.schedule->place(slot_, ref);
+    }
+    if constexpr (kObserved) {
+      if (!completed_now_.empty()) {
+        // Ascending job id, matching DeriveTrace's completion order.
+        std::sort(completed_now_.begin(), completed_now_.end());
+        for (const JobId id : completed_now_) emitter_.complete(slot_, id);
+        completed_now_.clear();
+      }
+      emitter_.slot_end();
     }
     if (!picks.empty()) {
       ++result.stats.busy_slots;
@@ -296,9 +297,71 @@ SimResult Engine::run() {
       // finished job removes nothing) and drops the per-slot cost from
       // O(alive) to O(1) outside finishing slots.
       std::erase_if(alive_, [this](JobId id) { return finished(id); });
+      hot_.alive = alive_.data();
+      hot_.alive_count = alive_.size();
       finished_this_slot_ = 0;
     }
     ++slot_;
+  }
+}
+
+SimResult Engine::run() {
+  const JobId n = instance_.job_count();
+  dags_.resize(static_cast<std::size_t>(n));
+  work_.resize(static_cast<std::size_t>(n));
+  release_.resize(static_cast<std::size_t>(n));
+  for (JobId id = 0; id < n; ++id) {
+    const Job& job = instance_.job(id);
+    OTSCHED_CHECK(job.dag().node_count() >= 1,
+                  "job " << id << " has no subjobs");
+    const std::size_t j = static_cast<std::size_t>(id);
+    dags_[j] = &job.dag();
+    work_[j] = job.work();
+    release_[j] = job.release();
+  }
+  arena_.init(dags_);
+  arrival_order_ = instance_.release_order();
+  alive_.reserve(static_cast<std::size_t>(n));
+
+  hot_.m = m_;
+  hot_.capacity = capacity_;
+  hot_.alive = alive_.data();
+  hot_.alive_count = 0;
+  hot_.ready_base = arena_.ready_storage();
+  hot_.node_off = arena_.node_offsets();
+  hot_.ready_len = arena_.ready_lengths();
+  hot_.done = arena_.done_counts();
+  hot_.work = work_.data();
+  hot_.release = release_.data();
+
+  scheduler_.reset(m_, n);
+  SchedulerView view(*this, &hot_);
+  flows_.init(instance_);
+  SimResult result;
+  if (record_full_) result.schedule.emplace(m_);
+
+  std::vector<SubjobRef> picks;
+  picks.reserve(static_cast<std::size_t>(m_));
+
+  emitter_.reset(this, observer_, batch_capacity_);
+  time_picks_ = observer_ != nullptr && observer_->wants_pick_timing();
+  if (observer_ != nullptr) observer_->on_run_begin(*this);
+
+  // One loop instantiation per (observed, record-full) mode: unobserved
+  // flow-only runs — the sweep/adversary configuration — compile to a
+  // loop with no observer or schedule code at all.
+  if (observer_ != nullptr) {
+    if (record_full_) {
+      run_loop<true, true>(view, picks, result);
+    } else {
+      run_loop<true, false>(view, picks, result);
+    }
+  } else {
+    if (record_full_) {
+      run_loop<false, true>(view, picks, result);
+    } else {
+      run_loop<false, false>(view, picks, result);
+    }
   }
 
   // Stats and flows are computed online in BOTH record modes (identical
@@ -313,29 +376,11 @@ SimResult Engine::run() {
   return result;
 }
 
-// --- SchedulerView forwarding ---
+// --- SchedulerView cold-path forwarding (hot accessors are inline in
+// engine.h; these either gate clairvoyance or are off the pick path) ---
 
-Time SchedulerView::slot() const { return backend_.slot(); }
-int SchedulerView::m() const { return backend_.m(); }
-int SchedulerView::capacity() const { return backend_.capacity(); }
 JobId SchedulerView::job_count() const { return backend_.job_count(); }
-std::span<const JobId> SchedulerView::alive() const {
-  return backend_.alive();
-}
-Time SchedulerView::release(JobId id) const { return backend_.release(id); }
 bool SchedulerView::arrived(JobId id) const { return backend_.arrived(id); }
-bool SchedulerView::finished(JobId id) const {
-  return backend_.finished(id);
-}
-std::span<const NodeId> SchedulerView::ready(JobId id) const {
-  return backend_.ready(id);
-}
-std::int64_t SchedulerView::remaining_work(JobId id) const {
-  return backend_.remaining_work(id);
-}
-std::int64_t SchedulerView::done_work(JobId id) const {
-  return backend_.done_work(id);
-}
 bool SchedulerView::executed(JobId id, NodeId v) const {
   return backend_.executed(id, v);
 }

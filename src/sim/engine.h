@@ -54,39 +54,97 @@ class EngineBackend {
   virtual bool clairvoyant_allowed() const = 0;
 };
 
+/// Flat tables behind SchedulerView's zero-dispatch fast path.  A backend
+/// that keeps its hot state in stable arrays (the incremental Engine; see
+/// ReadyArena in sim/ready_state.h) publishes them here so the accessors
+/// schedulers hammer in their inner loops — ready(), alive(),
+/// remaining_work() — compile to inline array reads instead of virtual
+/// calls.  Backends without flat state (reference, adaptive) pass null
+/// and SchedulerView falls back to the virtual EngineBackend, so every
+/// policy runs unchanged against either world.  The publishing engine
+/// must refresh slot/capacity/alive each slot; the per-job pointers are
+/// stable for the whole run.
+struct EngineHotState {
+  Time slot = 0;
+  int m = 0;
+  int capacity = 0;
+  const JobId* alive = nullptr;           // arrived & unfinished, FIFO order
+  std::size_t alive_count = 0;
+  const NodeId* ready_base = nullptr;     // ReadyArena storage
+  const std::int64_t* node_off = nullptr; // job -> region base
+  const std::int32_t* ready_len = nullptr;
+  const std::int64_t* done = nullptr;     // per-job executed count
+  const std::int64_t* work = nullptr;     // per-job total work
+  const Time* release = nullptr;          // per-job release time
+};
+
 /// Read-only window onto the engine state exposed to schedulers.
 class SchedulerView {
  public:
-  explicit SchedulerView(const EngineBackend& backend) : backend_(backend) {}
+  explicit SchedulerView(const EngineBackend& backend,
+                         const EngineHotState* hot = nullptr)
+      : backend_(backend), hot_(hot) {}
 
   /// The slot currently being filled (1-based).
-  Time slot() const;
+  Time slot() const {
+    return hot_ != nullptr ? hot_->slot : backend_.slot();
+  }
 
-  int m() const;
+  int m() const { return hot_ != nullptr ? hot_->m : backend_.m(); }
 
   /// Processors actually available in the current slot (m_t <= m; equals
   /// m() unless fault injection is active).  Policies must bound their
   /// picks by this, not by m() — the engine validates against it.
-  int capacity() const;
+  int capacity() const {
+    return hot_ != nullptr ? hot_->capacity : backend_.capacity();
+  }
 
   JobId job_count() const;
 
   /// Jobs that have arrived (release < slot) and are unfinished, sorted by
   /// (release, id): exactly the FIFO priority order.
-  std::span<const JobId> alive() const;
+  std::span<const JobId> alive() const {
+    if (hot_ != nullptr) return {hot_->alive, hot_->alive_count};
+    return backend_.alive();
+  }
 
-  Time release(JobId id) const;
+  Time release(JobId id) const {
+    if (hot_ != nullptr) return hot_->release[static_cast<std::size_t>(id)];
+    return backend_.release(id);
+  }
   bool arrived(JobId id) const;
-  bool finished(JobId id) const;
+  bool finished(JobId id) const {
+    if (hot_ != nullptr) {
+      return hot_->done[static_cast<std::size_t>(id)] ==
+             hot_->work[static_cast<std::size_t>(id)];
+    }
+    return backend_.finished(id);
+  }
 
   /// Ready subjobs of `id`: released, all predecessors completed in a
   /// strictly earlier slot, not yet executed.
-  std::span<const NodeId> ready(JobId id) const;
+  std::span<const NodeId> ready(JobId id) const {
+    if (hot_ != nullptr) {
+      const std::size_t i = static_cast<std::size_t>(id);
+      return {hot_->ready_base + hot_->node_off[i],
+              static_cast<std::size_t>(hot_->ready_len[i])};
+    }
+    return backend_.ready(id);
+  }
 
   /// Number of subjobs of `id` not yet executed.
-  std::int64_t remaining_work(JobId id) const;
+  std::int64_t remaining_work(JobId id) const {
+    if (hot_ != nullptr) {
+      const std::size_t i = static_cast<std::size_t>(id);
+      return hot_->work[i] - hot_->done[i];
+    }
+    return backend_.remaining_work(id);
+  }
   /// Number of subjobs of `id` already executed.
-  std::int64_t done_work(JobId id) const;
+  std::int64_t done_work(JobId id) const {
+    if (hot_ != nullptr) return hot_->done[static_cast<std::size_t>(id)];
+    return backend_.done_work(id);
+  }
 
   /// Whether a specific subjob has been executed (non-clairvoyant
   /// schedulers may only meaningfully ask this about discovered nodes, but
@@ -102,6 +160,7 @@ class SchedulerView {
 
  private:
   const EngineBackend& backend_;
+  const EngineHotState* hot_ = nullptr;  // null = virtual fallback
 };
 
 /// Base class for all online scheduling policies.
@@ -172,29 +231,17 @@ struct SimResult {
 
 /// Runs `scheduler` on `instance` with m processors to completion,
 /// firing `context.observer`'s hooks (if any) as the run progresses.
+/// The ONLY entry point: bare SimOptions (and nothing at all) convert
+/// into a RunContext, so observer-less call sites need no overload.
 SimResult Simulate(const Instance& instance, int m, Scheduler& scheduler,
-                   const RunContext& context);
+                   const RunContext& context = {});
 
 /// The pre-incremental seed engine, preserved as the golden baseline
 /// (sim/engine_reference.cc) and instrumented with the same observer
 /// hooks.  Only for the engine-equivalence gate and before/after
 /// benchmarks; production callers use Simulate().
 SimResult ReferenceSimulate(const Instance& instance, int m,
-                            Scheduler& scheduler, const RunContext& context);
-
-/// Compatibility forwarders for observer-less call sites: one inline
-/// definition each, shared by every caller.
-inline SimResult Simulate(const Instance& instance, int m,
-                          Scheduler& scheduler,
-                          const SimOptions& options = {}) {
-  return Simulate(instance, m, scheduler, RunContext{options, nullptr});
-}
-
-inline SimResult ReferenceSimulate(const Instance& instance, int m,
-                                   Scheduler& scheduler,
-                                   const SimOptions& options = {}) {
-  return ReferenceSimulate(instance, m, scheduler,
-                           RunContext{options, nullptr});
-}
+                            Scheduler& scheduler,
+                            const RunContext& context = {});
 
 }  // namespace otsched

@@ -27,6 +27,7 @@ class ReferenceEngine final : public EngineBackend {
         m_(m),
         scheduler_(scheduler),
         observer_(context.observer),
+        batch_capacity_(context.batch_capacity),
         sequencer_(context.options.faults, m) {
     OTSCHED_CHECK(m >= 1);
     const SimOptions& options = context.options;
@@ -113,6 +114,9 @@ class ReferenceEngine final : public EngineBackend {
   int m_;
   Scheduler& scheduler_;
   RunObserver* observer_ = nullptr;  // borrowed; null = uninstrumented run
+  std::size_t batch_capacity_;       // event-ring size (RunContext)
+  SlotEventEmitter emitter_;         // batched event stream writer
+  bool time_picks_ = false;          // observer wants pick_seconds?
   bool clairvoyant_ = false;
   bool record_full_ = true;          // materialize the Schedule?
   Time max_horizon_ = 0;
@@ -183,7 +187,7 @@ void ReferenceEngine::deliver_arrivals(const SchedulerView& view) {
       }
     }
     scheduler_.on_arrival(id, view);
-    if (observer_ != nullptr) observer_->on_arrival(slot_, id);
+    if (emitter_.active()) emitter_.arrival(slot_, id);
   }
 }
 
@@ -222,6 +226,8 @@ SimResult ReferenceEngine::run() {
   std::vector<SubjobRef> picks;
   const std::int64_t total_work = instance_.total_work();
 
+  emitter_.reset(this, observer_, batch_capacity_);
+  time_picks_ = observer_ != nullptr && observer_->wants_pick_timing();
   if (observer_ != nullptr) observer_->on_run_begin(*this);
 
   slot_ = 1;
@@ -237,7 +243,7 @@ SimResult ReferenceEngine::run() {
                                 << "' exceeded the horizon bound "
                                 << max_horizon_);
 
-    if (observer_ != nullptr) observer_->on_slot_begin(slot_, *this);
+    if (emitter_.active()) emitter_.slot_begin(slot_);
 
     deliver_arrivals(view);
 
@@ -248,9 +254,7 @@ SimResult ReferenceEngine::run() {
           slot_, static_cast<std::int64_t>(alive_.size()));
       if (cap != capacity_) {
         capacity_ = cap;
-        if (observer_ != nullptr) {
-          observer_->on_capacity_change(slot_, capacity_);
-        }
+        if (emitter_.active()) emitter_.capacity_change(slot_, capacity_);
       }
       if (capacity_ < m_) {
         ++result.stats.faulted_slots;
@@ -260,7 +264,7 @@ SimResult ReferenceEngine::run() {
 
     picks.clear();
     double pick_seconds = 0.0;
-    if (observer_ != nullptr) {
+    if (time_picks_) {
       WallTimer pick_timer;
       scheduler_.pick(view, picks);
       pick_seconds = pick_timer.elapsed_seconds();
@@ -294,8 +298,18 @@ SimResult ReferenceEngine::run() {
           "job " << ref.job << " node " << ref.node
                  << " is not ready at slot " << slot_);
     }
-    if (observer_ != nullptr) {
-      observer_->on_pick(slot_, *this, picks, pick_seconds);
+    if (emitter_.active()) {
+      // The pre-execution flush: the baseline pays an O(alive) sweep for
+      // the ready width the incremental engine tracks as a counter.
+      std::int64_t ready_width = 0;
+      for (const JobId id : alive_) {
+        ready_width +=
+            static_cast<std::int64_t>(ready_[static_cast<std::size_t>(id)]
+                                          .size());
+      }
+      emitter_.pick_block(slot_, picks,
+                          static_cast<std::int64_t>(alive_.size()),
+                          ready_width, pick_seconds);
     }
     // Same-slot duplicate picks are caught by the executed_ flag flipping
     // during execution below.
@@ -308,16 +322,16 @@ SimResult ReferenceEngine::run() {
       execute(ref);
       flows_.record(slot_, ref.job);
       if (record_full_) result.schedule->place(slot_, ref);
-      if (observer_ != nullptr) observer_->on_execute(slot_, ref);
     }
-    if (observer_ != nullptr && !completed_now_.empty()) {
+    if (emitter_.active() && !completed_now_.empty()) {
       // Ascending job id, matching DeriveTrace's completion order.
       std::sort(completed_now_.begin(), completed_now_.end());
       for (const JobId id : completed_now_) {
-        observer_->on_complete(slot_, id);
+        emitter_.complete(slot_, id);
       }
       completed_now_.clear();
     }
+    if (emitter_.active()) emitter_.slot_end();
     if (!picks.empty()) {
       ++result.stats.busy_slots;
       last_busy_slot_ = slot_;

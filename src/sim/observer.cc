@@ -1,0 +1,63 @@
+#include "sim/observer.h"
+
+#include "common/assert.h"
+
+namespace otsched {
+
+// The compatibility adapter: replays a batch through the fine-grained
+// hooks in stream order, so observers written against the per-pick
+// contract keep working unchanged under batched delivery.  The pick
+// span is rebuilt from the `value` kExecute records that follow each
+// kPickBegin (the emitter guarantees the block is contiguous within one
+// batch); picks up to kStackPicks live on the stack, larger blocks fall
+// back to a heap vector.
+void RunObserver::on_slot_batch(const EngineBackend& engine,
+                                std::span<const SlotEvent> events) {
+  constexpr std::size_t kStackPicks = 128;
+  SubjobRef stack_picks[kStackPicks];
+  std::vector<SubjobRef> heap_picks;
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const SlotEvent& event = events[i];
+    switch (event.kind) {
+      case SlotEvent::Kind::kSlotBegin:
+        on_slot_begin(event.slot, engine);
+        break;
+      case SlotEvent::Kind::kArrival:
+        on_arrival(event.slot, event.job);
+        break;
+      case SlotEvent::Kind::kCapacityChange:
+        on_capacity_change(event.slot, event.value);
+        break;
+      case SlotEvent::Kind::kPickBegin: {
+        const std::size_t count = static_cast<std::size_t>(event.value);
+        OTSCHED_CHECK(i + count < events.size() + 1,
+                      "pick block of " << count
+                                       << " executes split across batches");
+        SubjobRef* picks = stack_picks;
+        if (count > kStackPicks) {
+          heap_picks.resize(count);
+          picks = heap_picks.data();
+        }
+        for (std::size_t k = 0; k < count; ++k) {
+          const SlotEvent& exec = events[i + 1 + k];
+          OTSCHED_DCHECK(exec.kind == SlotEvent::Kind::kExecute);
+          picks[k] = SubjobRef{exec.job, exec.node};
+        }
+        on_pick(event.slot, engine,
+                std::span<const SubjobRef>(picks, count), event.seconds);
+        // The kExecute records stay in the stream: the loop visits them
+        // next and fires on_execute in placement order.
+        break;
+      }
+      case SlotEvent::Kind::kExecute:
+        on_execute(event.slot, SubjobRef{event.job, event.node});
+        break;
+      case SlotEvent::Kind::kComplete:
+        on_complete(event.slot, event.job);
+        break;
+    }
+  }
+}
+
+}  // namespace otsched

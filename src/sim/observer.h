@@ -1,8 +1,10 @@
 // The run API: options, observers, and the RunContext that carries both.
 //
-// A RunObserver is the streaming counterpart of the post-hoc SimResult:
-// the engine calls its hooks while a run executes, in a fixed order per
-// visited slot,
+// A RunObserver is the streaming counterpart of the post-hoc SimResult.
+// Engines deliver the run as BATCHES of fixed-size POD SlotEvent records
+// (one or two `on_slot_batch` calls per visited slot); the fine-grained
+// hooks below are REPLAYED from those batches by the default
+// `on_slot_batch` implementation, in the fixed per-slot order
 //
 //   on_run_begin                          (once, before the first slot)
 //   on_slot_begin -> on_arrival* -> on_capacity_change?
@@ -16,6 +18,22 @@
 // trace sink and the derived trace are interchangeable (and cross-checked
 // as an oracle by the differential fuzz harness).
 //
+// Batch flush points (identical in every engine; see
+// docs/OBSERVABILITY.md "Batched delivery"):
+//   1. pre-execution — after the slot's pick is validated and appended,
+//      before anything executes.  The engine state at this flush is
+//      exactly what the scheduler saw, so a replayed `on_pick` observes
+//      the same backend the per-pick contract promised.
+//   2. end-of-slot — only if completion events are pending.
+//   3. buffer-full — whenever appending would exceed the ring capacity
+//      (RunContext::batch_capacity).  A pick block (kPickBegin plus its
+//      kExecute records) is never split across batches.
+// Batches never span slots.  One contract change versus the historical
+// per-pick delivery: a replayed `on_slot_begin` observes POST-arrival
+// engine state (delivery is deferred to the first flush), where the
+// per-pick engine called it pre-arrival.  No shipped observer reads
+// engine state in `on_slot_begin`.
+//
 // Observers are engine-side instrumentation, not policies: hooks receive
 // the full EngineBackend and are not subject to the clairvoyance gate.
 // A null observer costs one predictable branch per hook site; with no
@@ -23,6 +41,8 @@
 // one (enforced by tests/engine_equivalence_test.cc).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -75,6 +95,40 @@ struct SimOptions {
   /// bit-identical to a pre-fault engine.
   FaultSpec faults;
 };
+
+/// One fixed-size POD record of the batched event stream.  Field use by
+/// kind (unused fields hold their defaults):
+///
+///   kSlotBegin       slot
+///   kArrival         slot, job
+///   kCapacityChange  slot, value = new capacity
+///   kPickBegin       slot, value = pick count, job = alive-job count,
+///                    width = total ready width, seconds = pick() wall time
+///   kExecute         slot, job, node   (the `value` kExecute records
+///                    after a kPickBegin ARE the slot's pick list, in
+///                    placement order)
+///   kComplete        slot, job
+struct SlotEvent {
+  enum class Kind : std::int32_t {
+    kSlotBegin,
+    kArrival,
+    kCapacityChange,
+    kPickBegin,
+    kExecute,
+    kComplete,
+  };
+
+  Kind kind = Kind::kSlotBegin;
+  JobId job = kInvalidJob;
+  NodeId node = kInvalidNode;
+  std::int32_t value = 0;
+  Time slot = 0;
+  std::int64_t width = 0;
+  double seconds = 0.0;
+};
+
+/// Default size of the per-run event ring (RunContext::batch_capacity).
+inline constexpr std::size_t kDefaultSlotBatchCapacity = 256;
 
 /// Streaming hooks fired by every engine (Simulate, ReferenceSimulate,
 /// and the advsim adaptive engine).  All hooks default to no-ops so sinks
@@ -137,6 +191,22 @@ class RunObserver {
 
   /// Once, with the finished result (flows and stats computed).
   virtual void on_finish(const SimResult& result) { (void)result; }
+
+  /// Whether this sink consumes `pick_seconds`.  Engines query it once
+  /// per run and skip the two clock reads per slot when no attached
+  /// observer wants the timing (the kPickBegin record then carries 0).
+  /// Defaults to true — opting out is a sink-side optimization.
+  virtual bool wants_pick_timing() const { return true; }
+
+  /// A batch of SlotEvent records, delivered in stream order at the
+  /// flush points documented in the header comment.  `engine` reflects
+  /// the state at the flush (pre-execution for the batch carrying the
+  /// slot's pick block).  The default implementation replays the batch
+  /// through the fine-grained hooks above, so existing observers work
+  /// unchanged; hot sinks override this and consume the records
+  /// directly (two virtual calls per slot instead of O(events)).
+  virtual void on_slot_batch(const EngineBackend& engine,
+                             std::span<const SlotEvent> events);
 };
 
 /// Fans every hook out to a list of borrowed observers, in order.  The
@@ -176,9 +246,105 @@ class ObserverList final : public RunObserver {
   void on_finish(const SimResult& result) override {
     for (RunObserver* o : observers_) o->on_finish(result);
   }
+  bool wants_pick_timing() const override {
+    for (RunObserver* o : observers_) {
+      if (o->wants_pick_timing()) return true;
+    }
+    return false;
+  }
+  /// Forwards the batch itself (NOT a replay): each member applies its
+  /// own on_slot_batch, so hot sinks in the list keep their fast path.
+  void on_slot_batch(const EngineBackend& engine,
+                     std::span<const SlotEvent> events) override {
+    for (RunObserver* o : observers_) o->on_slot_batch(engine, events);
+  }
 
  private:
   std::vector<RunObserver*> observers_;
+};
+
+/// Engine-side writer of the batched event stream.  All three engines
+/// append through this helper, so the flush discipline (and therefore
+/// the batch boundaries every observer sees) is identical everywhere.
+/// Inactive when no observer is attached: every append is behind one
+/// predictable `active()` branch at the call site.
+class SlotEventEmitter {
+ public:
+  /// Arms the emitter for one run.  `engine` is the backend passed to
+  /// flushes (stable for the run); null `observer` leaves it inactive.
+  void reset(const EngineBackend* engine, RunObserver* observer,
+             std::size_t capacity) {
+    engine_ = engine;
+    observer_ = observer;
+    capacity_ = capacity == 0 ? 1 : capacity;
+    buffer_.clear();
+    buffer_.reserve(capacity_);
+  }
+
+  bool active() const { return observer_ != nullptr; }
+
+  void slot_begin(Time slot) {
+    make_room(1);
+    buffer_.push_back({SlotEvent::Kind::kSlotBegin, kInvalidJob,
+                       kInvalidNode, 0, slot, 0, 0.0});
+  }
+  void arrival(Time slot, JobId job) {
+    make_room(1);
+    buffer_.push_back({SlotEvent::Kind::kArrival, job, kInvalidNode, 0,
+                       slot, 0, 0.0});
+  }
+  void capacity_change(Time slot, int capacity) {
+    make_room(1);
+    buffer_.push_back({SlotEvent::Kind::kCapacityChange, kInvalidJob,
+                       kInvalidNode, capacity, slot, 0, 0.0});
+  }
+  /// Appends the slot's pick block (kPickBegin + one kExecute per pick,
+  /// kept contiguous) and flushes unconditionally: the pre-execution
+  /// flush point.  `alive`/`ready_width` are the post-arrival values the
+  /// scheduler saw.
+  void pick_block(Time slot, std::span<const SubjobRef> picks,
+                  std::int64_t alive, std::int64_t ready_width,
+                  double pick_seconds) {
+    make_room(1 + picks.size());
+    buffer_.push_back({SlotEvent::Kind::kPickBegin,
+                       static_cast<JobId>(alive), kInvalidNode,
+                       static_cast<std::int32_t>(picks.size()), slot,
+                       ready_width, pick_seconds});
+    for (const SubjobRef& ref : picks) {
+      buffer_.push_back({SlotEvent::Kind::kExecute, ref.job, ref.node, 0,
+                         slot, 0, 0.0});
+    }
+    flush();
+  }
+  void complete(Time slot, JobId job) {
+    make_room(1);
+    buffer_.push_back({SlotEvent::Kind::kComplete, job, kInvalidNode, 0,
+                       slot, 0, 0.0});
+  }
+  /// End-of-slot flush point: delivers pending completion events (the
+  /// only records that can follow the pre-execution flush), so batches
+  /// never span slots.
+  void slot_end() {
+    if (!buffer_.empty()) flush();
+  }
+
+ private:
+  /// Buffer-full flush point.  The capacity is a soft threshold: a block
+  /// larger than the whole ring still lands contiguously (the vector
+  /// grows for that one batch).
+  void make_room(std::size_t incoming) {
+    if (!buffer_.empty() && buffer_.size() + incoming > capacity_) flush();
+  }
+  void flush() {
+    observer_->on_slot_batch(*engine_,
+                             std::span<const SlotEvent>(buffer_));
+    buffer_.clear();
+  }
+
+  const EngineBackend* engine_ = nullptr;
+  RunObserver* observer_ = nullptr;  // borrowed; null = inactive
+  std::size_t capacity_ = kDefaultSlotBatchCapacity;
+  std::vector<SlotEvent> buffer_;
 };
 
 /// Convenience for flow-only call sites (ratio/sweep/adversary runs that
@@ -189,13 +355,26 @@ inline SimOptions FlowOnlyOptions() {
   return options;
 }
 
-/// Everything a run needs besides (instance, m, scheduler): the options
-/// and an optional borrowed observer.  The primary argument of Simulate /
-/// ReferenceSimulate / RunAdaptiveAdversary; bare-SimOptions overloads
-/// remain as compatibility shims.
+/// Everything a run needs besides (instance, m, scheduler): the options,
+/// an optional borrowed observer, and the event-ring capacity.  The SOLE
+/// argument of Simulate / ReferenceSimulate / RunAdaptiveAdversary; bare
+/// SimOptions convert implicitly, so `Simulate(inst, m, s, options)` and
+/// `Simulate(inst, m, s)` still read naturally.
 struct RunContext {
+  RunContext() = default;
+  RunContext(const SimOptions& options, RunObserver* observer = nullptr,
+             std::size_t batch_capacity = kDefaultSlotBatchCapacity)
+      : options(options),
+        observer(observer),
+        batch_capacity(batch_capacity) {}
+
   SimOptions options;
   RunObserver* observer = nullptr;
+  /// Soft size of the per-run SlotEvent ring: a flush happens before any
+  /// append that would exceed it (pick blocks stay contiguous even when
+  /// larger).  Smaller rings mean more frequent `on_slot_batch` calls;
+  /// the flush-boundary tests run with capacities down to 1.
+  std::size_t batch_capacity = kDefaultSlotBatchCapacity;
 };
 
 }  // namespace otsched

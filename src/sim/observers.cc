@@ -137,93 +137,146 @@ MetricsObserver::MetricsObserver(MetricsRegistry& registry, Options options)
 void MetricsObserver::on_run_begin(const EngineBackend& engine) {
   m_ = engine.m();
   // Touch every metric up front so the emitted JSON has a stable shape
-  // (an empty run still serializes all keys).
-  registry_.counter("observer.arrivals");
-  registry_.counter("observer.completions");
-  registry_.counter("observer.executes");
-  registry_.counter("observer.picks");
-  registry_.counter("observer.slots_visited");
+  // (an empty run still serializes all keys), and capture the handles:
+  // the registry owns the metrics and never invalidates references, so
+  // the per-event work below is a pointer bump, not a name lookup.
+  arrivals_ = &registry_.counter("observer.arrivals");
+  completions_ = &registry_.counter("observer.completions");
+  executes_ = &registry_.counter("observer.executes");
+  picks_ = &registry_.counter("observer.picks");
+  slots_visited_ = &registry_.counter("observer.slots_visited");
   registry_.counter("engine.busy_slots");
   registry_.counter("engine.executed_subjobs");
   registry_.counter("engine.idle_processor_slots");
   registry_.counter("flow.total_slots");
-  registry_.counter("faults.capacity_changes");
+  capacity_changes_ = &registry_.counter("faults.capacity_changes");
   registry_.counter("faults.faulted_slots");
   registry_.counter("faults.capacity_shortfall");
   registry_.gauge("engine.horizon");
   registry_.gauge("flow.max");
-  registry_.gauge("alive.width");
-  registry_.gauge("ready.width");
+  alive_width_ = &registry_.gauge("alive.width");
+  ready_width_ = &registry_.gauge("ready.width");
   registry_.gauge("utilization.mean");
   registry_.histogram("flow.slots", FlowBuckets());
+  pick_seconds_ = nullptr;
   if (options_.record_pick_times) {
-    registry_.histogram("pick.seconds", PickSecondsBuckets());
+    pick_seconds_ = &registry_.histogram("pick.seconds", PickSecondsBuckets());
   }
+  slot_busy_ = slot_idle_ = slot_ready_width_ = slot_alive_ = nullptr;
+  slot_capacity_ = nullptr;
   if (options_.record_series) {
-    registry_.series("slot.busy");
-    registry_.series("slot.idle");
-    registry_.series("slot.ready_width");
-    registry_.series("slot.alive");
-    registry_.series("slot.capacity");
+    slot_busy_ = &registry_.series("slot.busy");
+    slot_idle_ = &registry_.series("slot.idle");
+    slot_ready_width_ = &registry_.series("slot.ready_width");
+    slot_alive_ = &registry_.series("slot.alive");
+    slot_capacity_ = &registry_.series("slot.capacity");
   }
 }
 
 void MetricsObserver::on_slot_begin(Time slot, const EngineBackend& engine) {
   (void)slot;
   (void)engine;
-  registry_.counter("observer.slots_visited").inc();
+  slots_visited_->inc();
 }
 
 void MetricsObserver::on_arrival(Time slot, JobId job) {
   (void)slot;
   (void)job;
-  registry_.counter("observer.arrivals").inc();
+  arrivals_->inc();
 }
 
 void MetricsObserver::on_capacity_change(Time slot, int capacity) {
-  registry_.counter("faults.capacity_changes").inc();
+  capacity_changes_->inc();
   if (options_.record_series) {
     // Sparse by construction: the hook only fires when the value changes,
     // so the series is the capacity step function's breakpoints.
-    registry_.series("slot.capacity").record(slot, capacity);
+    slot_capacity_->record(slot, capacity);
+  }
+}
+
+void MetricsObserver::record_pick(Time slot, std::int64_t picked,
+                                  std::int64_t alive,
+                                  std::int64_t ready_width,
+                                  double pick_seconds) {
+  picks_->inc();
+  alive_width_->set(static_cast<double>(alive));
+  ready_width_->set(static_cast<double>(ready_width));
+  if (options_.record_series) {
+    slot_busy_->record(slot, picked);
+    slot_idle_->record(slot, m_ - picked);
+    slot_ready_width_->record(slot, ready_width);
+    slot_alive_->record(slot, alive);
+  }
+  if (options_.record_pick_times) {
+    pick_seconds_->observe(pick_seconds);
   }
 }
 
 void MetricsObserver::on_pick(Time slot, const EngineBackend& engine,
                               std::span<const SubjobRef> picks,
                               double pick_seconds) {
-  registry_.counter("observer.picks").inc();
   // Sampled post-arrival, pre-execution: exactly what the scheduler saw.
+  // The fine-grained hook recomputes the widths from the engine; the
+  // batch path below reads the identical values off the kPickBegin
+  // record (the engine maintains them incrementally).
   const std::int64_t alive =
       static_cast<std::int64_t>(engine.alive().size());
   std::int64_t ready_width = 0;
   for (const JobId id : engine.alive()) {
     ready_width += static_cast<std::int64_t>(engine.ready(id).size());
   }
-  registry_.gauge("alive.width").set(static_cast<double>(alive));
-  registry_.gauge("ready.width").set(static_cast<double>(ready_width));
-  if (options_.record_series) {
-    const std::int64_t busy = static_cast<std::int64_t>(picks.size());
-    registry_.series("slot.busy").record(slot, busy);
-    registry_.series("slot.idle").record(slot, m_ - busy);
-    registry_.series("slot.ready_width").record(slot, ready_width);
-    registry_.series("slot.alive").record(slot, alive);
-  }
-  if (options_.record_pick_times) {
-    registry_.histogram("pick.seconds", {}).observe(pick_seconds);
-  }
+  record_pick(slot, static_cast<std::int64_t>(picks.size()), alive,
+              ready_width, pick_seconds);
 }
 
 void MetricsObserver::on_execute(Time slot, SubjobRef ref) {
   (void)slot;
   (void)ref;
-  registry_.counter("observer.executes").inc();
+  executes_->inc();
 }
 
 void MetricsObserver::on_complete(Time slot, JobId job) {
   (void)slot;
   (void)job;
-  registry_.counter("observer.completions").inc();
+  completions_->inc();
+}
+
+void MetricsObserver::on_slot_batch(const EngineBackend& engine,
+                                    std::span<const SlotEvent> events) {
+  (void)engine;
+  // Counter deltas accumulate in locals and land once per batch.
+  std::int64_t slots = 0;
+  std::int64_t arrivals = 0;
+  std::int64_t executes = 0;
+  std::int64_t completions = 0;
+  for (const SlotEvent& event : events) {
+    switch (event.kind) {
+      case SlotEvent::Kind::kSlotBegin:
+        ++slots;
+        break;
+      case SlotEvent::Kind::kArrival:
+        ++arrivals;
+        break;
+      case SlotEvent::Kind::kCapacityChange:
+        on_capacity_change(event.slot, event.value);
+        break;
+      case SlotEvent::Kind::kPickBegin:
+        // alive/ready-width ride on the record: no engine sweep at all.
+        record_pick(event.slot, event.value, event.job, event.width,
+                    event.seconds);
+        break;
+      case SlotEvent::Kind::kExecute:
+        ++executes;
+        break;
+      case SlotEvent::Kind::kComplete:
+        ++completions;
+        break;
+    }
+  }
+  if (slots != 0) slots_visited_->inc(slots);
+  if (arrivals != 0) arrivals_->inc(arrivals);
+  if (executes != 0) executes_->inc(executes);
+  if (completions != 0) completions_->inc(completions);
 }
 
 void MetricsObserver::on_finish(const SimResult& result) {

@@ -14,37 +14,62 @@ void PendingCounters::init(const Dag& dag) {
   }
 }
 
-void JobReadyState::init(const Dag& dag) {
-  pending_.init(dag);
-  const NodeId n = dag.node_count();
-  ready_.clear();
-  pos_.assign(static_cast<std::size_t>(n), kInvalidNode);
-  executed_.assign(static_cast<std::size_t>(n), 0);
-  done_ = 0;
-}
+void ReadyArena::init(std::span<const Dag* const> dags) {
+  const std::size_t jobs = dags.size();
+  off_.resize(jobs + 1);
+  roots_off_.resize(jobs + 1);
+  std::int64_t total = 0;
+  for (std::size_t j = 0; j < jobs; ++j) {
+    off_[j] = total;
+    total += dags[j]->node_count();
+  }
+  off_[jobs] = total;
 
-void JobReadyState::activate() {
-  for (NodeId v : pending_.roots()) {
-    pos_[static_cast<std::size_t>(v)] = static_cast<NodeId>(ready_.size());
-    ready_.push_back(v);
+  pending_.assign(static_cast<std::size_t>(total), 0);
+  pos_.assign(static_cast<std::size_t>(total), kInvalidNode);
+  executed_.assign(static_cast<std::size_t>((total + 63) / 64), 0);
+  ready_.resize(static_cast<std::size_t>(total));
+  ready_len_.assign(jobs, 0);
+  done_.assign(jobs, 0);
+
+  // Two passes over the roots: count, then fill — keeps roots_ a single
+  // exact-size allocation.
+  std::int64_t root_total = 0;
+  for (std::size_t j = 0; j < jobs; ++j) {
+    const Dag& dag = *dags[j];
+    roots_off_[j] = root_total;
+    std::int32_t* pending = pending_.data() + off_[j];
+    for (NodeId v = 0; v < dag.node_count(); ++v) {
+      pending[static_cast<std::size_t>(v)] = dag.in_degree(v);
+      if (pending[static_cast<std::size_t>(v)] == 0) ++root_total;
+    }
+  }
+  roots_off_[jobs] = root_total;
+  roots_.resize(static_cast<std::size_t>(root_total));
+  for (std::size_t j = 0; j < jobs; ++j) {
+    const std::int32_t* pending = pending_.data() + off_[j];
+    std::int64_t w = roots_off_[j];
+    for (NodeId v = 0; v < dags[j]->node_count(); ++v) {
+      if (pending[static_cast<std::size_t>(v)] == 0) {
+        roots_[static_cast<std::size_t>(w++)] = v;
+      }
+    }
   }
 }
 
-void JobReadyState::execute(const Dag& dag, NodeId v) {
-  executed_[static_cast<std::size_t>(v)] = 1;
-  ++done_;
-  // Swap-erase from the ready list (see the determinism contract).
-  const NodeId p = pos_[static_cast<std::size_t>(v)];
-  OTSCHED_DCHECK(p >= 0);
-  const NodeId moved = ready_.back();
-  ready_[static_cast<std::size_t>(p)] = moved;
-  pos_[static_cast<std::size_t>(moved)] = p;
-  ready_.pop_back();
-  pos_[static_cast<std::size_t>(v)] = kInvalidNode;
-  pending_.complete(dag, v, [this](NodeId c) {
-    pos_[static_cast<std::size_t>(c)] = static_cast<NodeId>(ready_.size());
-    ready_.push_back(c);
-  });
+std::int32_t ReadyArena::activate(JobId j) {
+  const std::size_t i = static_cast<std::size_t>(j);
+  NodeId* ready = ready_.data() + off_[i];
+  NodeId* pos = pos_.data() + off_[i];
+  std::int32_t& len = ready_len_[i];
+  OTSCHED_DCHECK(len == 0);
+  for (std::int64_t r = roots_off_[i]; r < roots_off_[i + 1]; ++r) {
+    const NodeId v = roots_[static_cast<std::size_t>(r)];
+    pos[static_cast<std::size_t>(v)] = static_cast<NodeId>(len);
+    ready[static_cast<std::size_t>(len)] = v;
+    ++len;
+  }
+  return len;
 }
 
 }  // namespace otsched

@@ -68,40 +68,100 @@ class PendingCounters {
   std::vector<NodeId> roots_;
 };
 
-/// Full per-job ready-set state for the online engine: pending counters
-/// plus an O(1)-push/pop ready queue with positional index and executed
-/// flags.  All queries the EngineBackend contract needs are O(1).
-class JobReadyState {
+/// Struct-of-arrays ready/executed state over ALL jobs of an instance —
+/// the engine's hot data, laid out as a handful of flat arrays instead
+/// of per-job heap objects (the former JobReadyState owned 4-5 vectors
+/// PER JOB; the arena owns ~9 vectors PER RUN regardless of job count).
+/// Per-job regions are CSR slices of node-indexed arrays: job j's nodes
+/// occupy [off(j), off(j+1)), its ready list lives in the same region of
+/// `ready_` (a job can never have more ready nodes than nodes), and the
+/// executed flags are one shared bitset.  All queries the EngineBackend
+/// contract needs are O(1); execute() additionally returns the ready-
+/// width delta so the engine can maintain the total ready width as a
+/// counter instead of the O(alive) sweep observers used to pay.
+///
+/// The determinism contract above holds per job region exactly as it did
+/// for the per-job vectors: same roots order, same swap-erase, same
+/// children order — the engine-equivalence gate proves it bit-for-bit.
+class ReadyArena {
  public:
-  /// Builds counters/flags for `dag`.  The ready list stays empty until
-  /// activate() — jobs contribute no ready subjobs before arrival.
-  void init(const Dag& dag);
+  /// Builds counters/roots/flags for every dag.  Ready lists stay empty
+  /// until activate() — jobs contribute no ready subjobs before arrival.
+  void init(std::span<const Dag* const> dags);
 
-  /// Publishes the roots into the ready list (arrival).  Call once.
-  void activate();
+  /// Publishes job j's roots into its ready region (arrival), in
+  /// increasing node id.  Call once per job; returns the root count (the
+  /// job's initial ready width).
+  std::int32_t activate(JobId j);
 
-  /// Marks `v` executed: swap-erases it from the ready list and enqueues
-  /// children whose last pending predecessor was `v`.
-  void execute(const Dag& dag, NodeId v);
-
-  std::span<const NodeId> ready() const { return ready_; }
-
-  bool is_ready(NodeId v) const {
-    return pos_[static_cast<std::size_t>(v)] != kInvalidNode;
+  /// Marks node `v` of job `j` executed: swap-erases it from the ready
+  /// region and enqueues children whose last pending predecessor was
+  /// `v`, in dag.children(v) order.  Returns the ready-width delta
+  /// (children enabled minus one).
+  std::int32_t execute(const Dag& dag, JobId j, NodeId v) {
+    const std::int64_t base = off_[static_cast<std::size_t>(j)];
+    const std::int64_t nv = base + v;
+    executed_[static_cast<std::size_t>(nv >> 6)] |=
+        std::uint64_t{1} << (nv & 63);
+    ++done_[static_cast<std::size_t>(j)];
+    NodeId* ready = ready_.data() + base;
+    NodeId* pos = pos_.data() + base;
+    std::int32_t& len = ready_len_[static_cast<std::size_t>(j)];
+    const NodeId p = pos[static_cast<std::size_t>(v)];
+    const NodeId moved = ready[static_cast<std::size_t>(len - 1)];
+    ready[static_cast<std::size_t>(p)] = moved;
+    pos[static_cast<std::size_t>(moved)] = p;
+    --len;
+    pos[static_cast<std::size_t>(v)] = kInvalidNode;
+    std::int32_t delta = -1;
+    std::int32_t* pending = pending_.data() + base;
+    for (NodeId c : dag.children(v)) {
+      if (--pending[static_cast<std::size_t>(c)] == 0) {
+        pos[static_cast<std::size_t>(c)] = static_cast<NodeId>(len);
+        ready[static_cast<std::size_t>(len)] = c;
+        ++len;
+        ++delta;
+      }
+    }
+    return delta;
   }
-  bool is_executed(NodeId v) const {
-    return executed_[static_cast<std::size_t>(v)] != 0;
+
+  std::span<const NodeId> ready(JobId j) const {
+    return {ready_.data() + off_[static_cast<std::size_t>(j)],
+            static_cast<std::size_t>(ready_len_[static_cast<std::size_t>(j)])};
+  }
+  bool is_ready(JobId j, NodeId v) const {
+    return pos_[static_cast<std::size_t>(off_[static_cast<std::size_t>(j)] +
+                                         v)] != kInvalidNode;
+  }
+  bool is_executed(JobId j, NodeId v) const {
+    const std::int64_t nv = off_[static_cast<std::size_t>(j)] + v;
+    return (executed_[static_cast<std::size_t>(nv >> 6)] >> (nv & 63)) & 1;
   }
 
-  /// Number of executed subjobs.
-  std::int64_t done() const { return done_; }
+  /// Number of executed subjobs of job j.
+  std::int64_t done(JobId j) const {
+    return done_[static_cast<std::size_t>(j)];
+  }
+
+  // Raw tables for the devirtualized scheduler fast path
+  // (EngineHotState in sim/engine.h).  Stable after init(): the arrays
+  // never reallocate during a run.
+  const NodeId* ready_storage() const { return ready_.data(); }
+  const std::int64_t* node_offsets() const { return off_.data(); }
+  const std::int32_t* ready_lengths() const { return ready_len_.data(); }
+  const std::int64_t* done_counts() const { return done_.data(); }
 
  private:
-  PendingCounters pending_;
-  std::vector<NodeId> ready_;    // ready nodes, deterministic order
-  std::vector<NodeId> pos_;      // node -> index in ready_, or kInvalidNode
-  std::vector<char> executed_;
-  std::int64_t done_ = 0;
+  std::vector<std::int64_t> off_;        // job -> base node index (jobs+1)
+  std::vector<std::int32_t> pending_;    // pending predecessors per node
+  std::vector<NodeId> pos_;              // node -> index in its ready region
+  std::vector<std::uint64_t> executed_;  // bitset over all nodes
+  std::vector<NodeId> ready_;            // per-job CSR ready regions
+  std::vector<std::int32_t> ready_len_;  // per-job ready count
+  std::vector<std::int64_t> done_;       // per-job executed count
+  std::vector<NodeId> roots_;            // CSR root lists (increasing id)
+  std::vector<std::int64_t> roots_off_;  // job -> root region (jobs+1)
 };
 
 }  // namespace otsched

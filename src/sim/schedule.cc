@@ -99,13 +99,6 @@ void FlowAccumulator::init(const Instance& instance) {
   last_slot_.assign(n, kNoTime);
 }
 
-void FlowAccumulator::record(Time slot, JobId job) {
-  OTSCHED_CHECK(job >= 0 && job < instance_->job_count(),
-                "schedule references unknown job " << job);
-  const std::size_t i = static_cast<std::size_t>(job);
-  ++placed_[i];
-  last_slot_[i] = std::max(last_slot_[i], slot);
-}
 
 FlowSummary FlowAccumulator::finish() const {
   OTSCHED_CHECK(instance_ != nullptr, "FlowAccumulator not initialized");
@@ -139,6 +132,10 @@ FlowSummary ComputeFlows(const Schedule& schedule, const Instance& instance) {
   FlowAccumulator accumulator(instance);
   for (Time t = 1; t <= schedule.horizon(); ++t) {
     for (const SubjobRef& ref : schedule.at(t)) {
+      // Engines validate picks before recording; an arbitrary Schedule
+      // (hand-built in tests) has not been validated, so guard here.
+      OTSCHED_CHECK(ref.job >= 0 && ref.job < instance.job_count(),
+                    "schedule references unknown job " << ref.job);
       accumulator.record(t, ref.job);
     }
   }

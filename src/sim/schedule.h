@@ -102,8 +102,13 @@ class FlowAccumulator {
   void init(const Instance& instance);
 
   /// One subjob of `job` ran during `slot`.  Slots need not be fed in
-  /// order; completion is the LAST slot a job's subjob ran in.
-  void record(Time slot, JobId job);
+  /// order; completion is the LAST slot a job's subjob ran in.  Inline:
+  /// this is once-per-executed-subjob on the engine hot path.
+  void record(Time slot, JobId job) {
+    const std::size_t i = static_cast<std::size_t>(job);
+    ++placed_[i];
+    if (slot > last_slot_[i]) last_slot_[i] = slot;
+  }
 
   /// Summarizes what has been recorded so far.  Jobs whose recorded count
   /// is short of their work are unfinished: completion = kNoTime, flow =

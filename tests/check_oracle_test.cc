@@ -14,7 +14,7 @@
 
 #include "check/diffrun.h"
 #include "check/oracles.h"
-#include "check/policies.h"
+#include "sched/registry.h"
 #include "common/rng.h"
 #include "dag/validate.h"
 #include "gen/arrivals.h"

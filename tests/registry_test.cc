@@ -1,9 +1,11 @@
 // Tests for sched/registry.h — the single policy-construction API: name
-// and alias lookup, listing, applicability gating, and that every spec
-// actually constructs a runnable scheduler.
+// lookup, legacy-rename diagnostics, listing, applicability gating, and
+// that every spec actually constructs a runnable scheduler.
 #include "gtest_compat.h"
 
 #include <set>
+#include <string_view>
+#include <utility>
 
 #include "dag/builders.h"
 #include "sched/registry.h"
@@ -21,17 +23,38 @@ TEST(Registry, NamesAreUniqueAndListed) {
   EXPECT_TRUE(unique.count("alg-a/semi-batched"));
 }
 
-TEST(Registry, AliasesResolveToTheSameSpec) {
-  EXPECT_EQ(FindPolicy("fifo"), FindPolicy("fifo/first-ready"));
-  EXPECT_EQ(FindPolicy("fifo-random"), FindPolicy("fifo/random"));
-  EXPECT_EQ(FindPolicy("fifo-lpf"), FindPolicy("fifo/lpf-height"));
-  EXPECT_EQ(FindPolicy("equi"), FindPolicy("round-robin-equi"));
-  EXPECT_EQ(FindPolicy("srpt"), FindPolicy("remaining-work/smallest"));
-  EXPECT_EQ(FindPolicy("alg-a"), FindPolicy("alg-a/general"));
-  EXPECT_EQ(FindPolicy("alg-a-semibatched"),
-            FindPolicy("alg-a/semi-batched"));
+TEST(Registry, LegacySpellingsAreRejected) {
+  // The PR-3 aliases were removed: FindPolicy/MakePolicy accept registry
+  // names only.
+  for (const char* legacy : {"fifo", "fifo-random", "fifo-lpf", "equi",
+                             "srpt", "alg-a", "alg-a-semibatched"}) {
+    EXPECT_EQ(FindPolicy(legacy), nullptr) << legacy;
+    EXPECT_EQ(MakePolicy(legacy), nullptr) << legacy;
+  }
   EXPECT_EQ(FindPolicy("no-such-policy"), nullptr);
   EXPECT_EQ(MakePolicy("no-such-policy"), nullptr);
+}
+
+TEST(Registry, LegacyPolicyAliasMapsEveryRename) {
+  // Diagnostics only: the mapping names the replacement, and every
+  // replacement is a real registry entry.
+  const std::pair<const char*, const char*> renames[] = {
+      {"fifo", "fifo/first-ready"},
+      {"fifo-random", "fifo/random"},
+      {"fifo-lpf", "fifo/lpf-height"},
+      {"equi", "round-robin-equi"},
+      {"srpt", "remaining-work/smallest"},
+      {"alg-a", "alg-a/general"},
+      {"alg-a-semibatched", "alg-a/semi-batched"},
+  };
+  for (const auto& [legacy, current] : renames) {
+    const char* mapped = LegacyPolicyAlias(legacy);
+    ASSERT_NE(mapped, nullptr) << legacy;
+    EXPECT_EQ(std::string_view(mapped), current) << legacy;
+    EXPECT_NE(FindPolicy(mapped), nullptr) << mapped;
+  }
+  EXPECT_EQ(LegacyPolicyAlias("fifo/first-ready"), nullptr);
+  EXPECT_EQ(LegacyPolicyAlias("no-such-policy"), nullptr);
 }
 
 TEST(Registry, EverySpecConstructsARunnableScheduler) {
@@ -54,16 +77,14 @@ TEST(Registry, EverySpecConstructsARunnableScheduler) {
   }
 }
 
-TEST(Registry, MakePolicyRunsAliasesIdenticallyToCanonicalNames) {
+TEST(Registry, MakePolicyBuildsFromCanonicalNames) {
   Instance instance;
   instance.add_job(Job(MakeChain(4), 0));
   instance.add_job(Job(MakeStar(4), 0));
-  auto canonical = MakePolicy("fifo/first-ready", 3);
-  auto alias = MakePolicy("fifo", 3);
-  const SimResult a = Simulate(instance, 2, *canonical);
-  const SimResult b = Simulate(instance, 2, *alias);
-  EXPECT_EQ(a.flows.max_flow, b.flows.max_flow);
-  EXPECT_EQ(a.stats.horizon, b.stats.horizon);
+  auto policy = MakePolicy("fifo/first-ready", 3);
+  ASSERT_NE(policy, nullptr);
+  const SimResult result = Simulate(instance, 2, *policy);
+  EXPECT_TRUE(result.flows.all_completed);
 }
 
 TEST(Registry, PolicyAppliesGatesPreconditions) {

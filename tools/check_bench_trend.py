@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Gate bench-smoke on the committed microbenchmark baseline.
+
+Compares a fresh Google-Benchmark JSON export against the committed
+``results/BENCH_micro.json`` and fails (exit 1) when either
+
+  * any shared benchmark's ``items_per_second`` regressed by more than
+    --max-regression (default 15%), or
+  * the observed-engine overhead ratio — flow-only-observed time over
+    flow-only time at the same job count — exceeds --max-overhead
+    (default 2.0x), the batched-observer budget from OBSERVABILITY.md.
+
+Benchmarks present on only one side are reported but never fatal, so
+adding or retiring a benchmark does not require touching this script.
+CI machines are noisy; the thresholds are deliberately loose enough
+that only a real hot-path regression trips them.  Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+OBSERVED_PAIRS = [
+    # (numerator benchmark family, denominator family) -> overhead ratio.
+    ("BM_EngineSparseFlowOnlyObserved", "BM_EngineSparseFlowOnly"),
+]
+
+
+def load_benchmarks(path):
+    """Returns {name: benchmark dict} for iteration runs in `path`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        out[bench["name"]] = bench
+    return out
+
+
+def family_and_arg(name):
+    """Splits 'BM_Foo/512' into ('BM_Foo', '512'); arg may be ''."""
+    family, _, arg = name.partition("/")
+    return family, arg
+
+
+def check_regressions(baseline, candidate, max_regression, lines):
+    failures = 0
+    shared = sorted(set(baseline) & set(candidate))
+    for name in sorted(set(baseline) - set(candidate)):
+        lines.append(f"note: {name} only in baseline (skipped)")
+    for name in sorted(set(candidate) - set(baseline)):
+        lines.append(f"note: {name} only in candidate (new, skipped)")
+    for name in shared:
+        base_ips = baseline[name].get("items_per_second")
+        cand_ips = candidate[name].get("items_per_second")
+        if not base_ips or not cand_ips:
+            lines.append(f"note: {name} has no items_per_second (skipped)")
+            continue
+        change = cand_ips / base_ips - 1.0
+        status = "ok"
+        if change < -max_regression:
+            status = "FAIL"
+            failures += 1
+        lines.append(
+            f"{status}: {name} items/s {base_ips:.3e} -> {cand_ips:.3e} "
+            f"({change:+.1%}, floor {-max_regression:.0%})"
+        )
+    return failures
+
+
+def check_overhead(candidate, max_overhead, lines):
+    """Observed/flow-only wall-time ratio per job-count arg."""
+    failures = 0
+    by_family = {}
+    for name, bench in candidate.items():
+        family, arg = family_and_arg(name)
+        by_family.setdefault(family, {})[arg] = bench
+    for observed, plain in OBSERVED_PAIRS:
+        obs_runs = by_family.get(observed, {})
+        plain_runs = by_family.get(plain, {})
+        for arg in sorted(set(obs_runs) & set(plain_runs)):
+            ratio = obs_runs[arg]["real_time"] / plain_runs[arg]["real_time"]
+            status = "ok"
+            if ratio > max_overhead:
+                status = "FAIL"
+                failures += 1
+            lines.append(
+                f"{status}: {observed}/{arg} vs {plain}/{arg} "
+                f"overhead {ratio:.2f}x (budget {max_overhead:.1f}x)"
+            )
+    return failures
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_micro.json")
+    parser.add_argument("--candidate", required=True,
+                        help="freshly produced benchmark JSON")
+    parser.add_argument("--report", default=None,
+                        help="also write the line-per-benchmark report here")
+    parser.add_argument("--max-regression", type=float, default=0.15,
+                        help="max tolerated items/s drop (fraction)")
+    parser.add_argument("--max-overhead", type=float, default=2.0,
+                        help="max observed-vs-flow-only time ratio")
+    args = parser.parse_args(argv)
+
+    baseline = load_benchmarks(args.baseline)
+    candidate = load_benchmarks(args.candidate)
+
+    lines = []
+    failures = check_regressions(baseline, candidate, args.max_regression,
+                                 lines)
+    failures += check_overhead(candidate, args.max_overhead, lines)
+
+    verdict = "PASS" if failures == 0 else f"FAIL ({failures} violations)"
+    lines.append(f"bench trend: {verdict}")
+    report = "\n".join(lines) + "\n"
+    sys.stdout.write(report)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(report)
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -8,12 +8,25 @@ function(run_step)
   endif()
 endfunction()
 
+# Expects the command to exit 2 and print `pattern` on stderr.
+function(expect_diagnostic pattern)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE code OUTPUT_QUIET
+                  ERROR_VARIABLE err WORKING_DIRECTORY ${WORKDIR})
+  if(NOT code EQUAL 2)
+    message(FATAL_ERROR "expected exit 2 for: ${ARGN} (got ${code})")
+  endif()
+  if(NOT err MATCHES "${pattern}")
+    message(FATAL_ERROR
+            "expected '${pattern}' on stderr for: ${ARGN}\ngot: ${err}")
+  endif()
+endfunction()
+
 set(INST ${WORKDIR}/cli_smoke.inst)
 run_step(${CLI} gen saturated 8 4 3 11 ${INST})
 run_step(${CLI} describe ${INST} 8)
 run_step(${CLI} bounds ${INST} 8)
-run_step(${CLI} run ${INST} 8 fifo --render 10)
-run_step(${CLI} run ${INST} 8 alg-a --svg ${WORKDIR}/cli_smoke.svg
+run_step(${CLI} run ${INST} 8 fifo/first-ready --render 10)
+run_step(${CLI} run ${INST} 8 alg-a/general --svg ${WORKDIR}/cli_smoke.svg
          --trace ${WORKDIR}/cli_smoke.trace
          --timeseries ${WORKDIR}/cli_smoke.csv)
 run_step(${CLI} adversary 4 6 ${WORKDIR}/cli_adv.inst)
@@ -24,22 +37,23 @@ foreach(artifact cli_smoke.svg cli_smoke.trace cli_smoke.csv)
   endif()
 endforeach()
 
-# Registry surface: --list-policies must print every canonical name, and
-# `run --policy <name>` must accept canonical names and legacy aliases.
-execute_process(COMMAND ${CLI} --list-policies RESULT_VARIABLE code
+# Registry surface: list-policies must print every canonical name, and
+# `run --policy <name>` accepts canonical names ONLY — the legacy PR-3
+# aliases exit 2 with a rename pointer (checked below).
+execute_process(COMMAND ${CLI} list-policies RESULT_VARIABLE code
                 OUTPUT_VARIABLE listing WORKING_DIRECTORY ${WORKDIR})
 if(NOT code EQUAL 0)
-  message(FATAL_ERROR "--list-policies failed (${code})")
+  message(FATAL_ERROR "list-policies failed (${code})")
 endif()
 foreach(name fifo/first-ready fifo/random list-greedy round-robin-equi
         work-stealing remaining-work/smallest global-lpf alg-a/general
         alg-a/semi-batched)
   if(NOT listing MATCHES "${name}")
-    message(FATAL_ERROR "--list-policies is missing '${name}'")
+    message(FATAL_ERROR "list-policies is missing '${name}'")
   endif()
 endforeach()
 run_step(${CLI} run ${INST} 8 --policy fifo/first-ready --render 4)
-run_step(${CLI} run ${INST} 8 --policy srpt)
+run_step(${CLI} run ${INST} 8 --policy remaining-work/smallest)
 execute_process(COMMAND ${CLI} run ${INST} 8 --policy no-such-policy
                 RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET
                 WORKING_DIRECTORY ${WORKDIR})
@@ -47,27 +61,26 @@ if(code EQUAL 0)
   message(FATAL_ERROR "unknown --policy name must fail, got exit 0")
 endif()
 
-# Subcommand surface: list-policies is the canonical spelling; the legacy
-# spellings keep working but point at it on stderr.
-execute_process(COMMAND ${CLI} list-policies RESULT_VARIABLE code
-                OUTPUT_VARIABLE canonical WORKING_DIRECTORY ${WORKDIR})
-if(NOT code EQUAL 0)
-  message(FATAL_ERROR "list-policies failed (${code})")
-endif()
+# Subcommand surface: list-policies is the only spelling; the removed
+# legacy subcommands exit 2 and point at the rename on stderr.
 foreach(legacy policies --list-policies)
-  execute_process(COMMAND ${CLI} ${legacy} RESULT_VARIABLE code
-                  OUTPUT_VARIABLE legacy_out ERROR_VARIABLE legacy_err
-                  WORKING_DIRECTORY ${WORKDIR})
-  if(NOT code EQUAL 0)
-    message(FATAL_ERROR "legacy '${legacy}' failed (${code})")
-  endif()
-  if(NOT legacy_out STREQUAL canonical)
-    message(FATAL_ERROR "legacy '${legacy}' output differs from list-policies")
-  endif()
-  if(NOT legacy_err MATCHES "deprecated")
-    message(FATAL_ERROR "legacy '${legacy}' must print a deprecation note")
-  endif()
+  expect_diagnostic("renamed to .otsched list-policies." ${CLI} ${legacy})
 endforeach()
+
+# Removed legacy policy spellings: exit 2 with the specific rename, for
+# every driver that takes a policy (run, sweep, trace).
+expect_diagnostic("unknown policy 'fifo'. renamed to 'fifo/first-ready'"
+                  ${CLI} run ${INST} 8 fifo)
+expect_diagnostic("renamed to 'remaining-work/smallest'"
+                  ${CLI} run ${INST} 8 --policy srpt)
+expect_diagnostic("renamed to 'alg-a/general'" ${CLI} run ${INST} 8 alg-a)
+expect_diagnostic("renamed to 'fifo/random'"
+                  ${CLI} sweep ${INST} fifo-random --m 2 --seeds 1)
+expect_diagnostic("renamed to 'round-robin-equi'" ${CLI} trace ${INST} 8 equi)
+expect_diagnostic("renamed to 'fifo/lpf-height'"
+                  ${CLI} run ${INST} 8 fifo-lpf)
+expect_diagnostic("renamed to 'alg-a/semi-batched'"
+                  ${CLI} run ${INST} 8 alg-a-semibatched)
 
 # Unknown subcommands fail loudly with a nonzero exit.
 execute_process(COMMAND ${CLI} frobnicate RESULT_VARIABLE code
@@ -82,18 +95,18 @@ endif()
 
 # Observability artifacts: run --metrics/--manifest/--metrics-csv, the
 # trace subcommand (byte-identical to run --trace), and sweep aggregates.
-run_step(${CLI} run ${INST} 8 fifo --metrics ${WORKDIR}/cli_metrics.json
+run_step(${CLI} run ${INST} 8 fifo/first-ready --metrics ${WORKDIR}/cli_metrics.json
          --metrics-csv ${WORKDIR}/cli_metrics.csv
          --manifest ${WORKDIR}/cli_manifest.json
          --trace ${WORKDIR}/cli_run.trace)
-run_step(${CLI} trace ${INST} 8 fifo --out ${WORKDIR}/cli_sub.trace)
+run_step(${CLI} trace ${INST} 8 fifo/first-ready --out ${WORKDIR}/cli_sub.trace)
 execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
                 ${WORKDIR}/cli_run.trace ${WORKDIR}/cli_sub.trace
                 RESULT_VARIABLE code)
 if(NOT code EQUAL 0)
   message(FATAL_ERROR "`trace` output differs from `run --trace`")
 endif()
-run_step(${CLI} sweep ${INST} fifo --m 2,8 --seeds 2 --workers 1
+run_step(${CLI} sweep ${INST} fifo/first-ready --m 2,8 --seeds 2 --workers 1
          --metrics ${WORKDIR}/cli_sweep.json --csv ${WORKDIR}/cli_sweep.csv)
 foreach(artifact cli_metrics.json cli_metrics.csv cli_manifest.json
         cli_sweep.json cli_sweep.csv)
@@ -119,43 +132,30 @@ endif()
 
 # ---- malformed input: per-line diagnostics + exit 2, never an abort ----
 
-# Expects the command to exit 2 and print `pattern` on stderr.
-function(expect_diagnostic pattern)
-  execute_process(COMMAND ${ARGN} RESULT_VARIABLE code OUTPUT_QUIET
-                  ERROR_VARIABLE err WORKING_DIRECTORY ${WORKDIR})
-  if(NOT code EQUAL 2)
-    message(FATAL_ERROR "expected exit 2 for: ${ARGN} (got ${code})")
-  endif()
-  if(NOT err MATCHES "${pattern}")
-    message(FATAL_ERROR
-            "expected '${pattern}' on stderr for: ${ARGN}\ngot: ${err}")
-  endif()
-endfunction()
-
 file(WRITE ${WORKDIR}/cli_bad.inst
      "otsched-instance-v1\njob 0 3\n0 1\n0 7\nend\n")
 expect_diagnostic("instance line 4.*outside the job's 3 nodes"
                   ${CLI} describe ${WORKDIR}/cli_bad.inst)
 expect_diagnostic("instance line" ${CLI} bounds ${WORKDIR}/cli_bad.inst 4)
-expect_diagnostic("instance line" ${CLI} run ${WORKDIR}/cli_bad.inst 4 fifo)
-expect_diagnostic("instance line" ${CLI} sweep ${WORKDIR}/cli_bad.inst fifo)
-expect_diagnostic("instance line" ${CLI} trace ${WORKDIR}/cli_bad.inst 4 fifo)
+expect_diagnostic("instance line" ${CLI} run ${WORKDIR}/cli_bad.inst 4 fifo/first-ready)
+expect_diagnostic("instance line" ${CLI} sweep ${WORKDIR}/cli_bad.inst fifo/first-ready)
+expect_diagnostic("instance line" ${CLI} trace ${WORKDIR}/cli_bad.inst 4 fifo/first-ready)
 file(WRITE ${WORKDIR}/cli_bad_magic.inst "not-an-instance\n")
 expect_diagnostic("bad magic" ${CLI} describe ${WORKDIR}/cli_bad_magic.inst)
 expect_diagnostic("cannot open" ${CLI} describe ${WORKDIR}/no_such.inst)
 
 file(WRITE ${WORKDIR}/cli_bad_budget.csv "slot,capacity\n3,2\n2,1\n")
 expect_diagnostic("budget csv line 3.*strictly after"
-                  ${CLI} run ${INST} 8 fifo
+                  ${CLI} run ${INST} 8 fifo/first-ready
                   --faults-trace ${WORKDIR}/cli_bad_budget.csv)
 expect_diagnostic("unknown fault model"
-                  ${CLI} run ${INST} 8 fifo --faults meteor-strike)
+                  ${CLI} run ${INST} 8 fifo/first-ready --faults meteor-strike)
 expect_diagnostic("want a number in .0, 0.9."
-                  ${CLI} run ${INST} 8 fifo --faults random-blip:1:0.95)
+                  ${CLI} run ${INST} 8 fifo/first-ready --faults random-blip:1:0.95)
 
 # ---- fault injection surface ----
 
-run_step(${CLI} run ${INST} 8 fifo --faults random-blip:7:0.3
+run_step(${CLI} run ${INST} 8 fifo/first-ready --faults random-blip:7:0.3
          --metrics ${WORKDIR}/cli_faulted_metrics.json)
 file(READ ${WORKDIR}/cli_faulted_metrics.json faulted_json)
 foreach(key faults random-blip:7:0.3 faults.faulted_slots
@@ -170,25 +170,26 @@ endforeach()
 run_step(${CLI} faults emit burst-outage:3:0.5 8 64
          ${WORKDIR}/cli_budget.csv)
 run_step(${CLI} faults inspect ${WORKDIR}/cli_budget.csv 8)
-run_step(${CLI} run ${INST} 8 fifo --faults-trace ${WORKDIR}/cli_budget.csv)
+run_step(${CLI} run ${INST} 8 fifo/first-ready --faults-trace ${WORKDIR}/cli_budget.csv)
 
 # Window planners opt out of fluctuating capacity: a clean diagnostic,
 # not an engine CHECK-abort.
 expect_diagnostic("does not support fluctuating capacity"
-                  ${CLI} run ${INST} 8 alg-a --faults random-blip:1:0.3)
+                  ${CLI} run ${INST} 8 alg-a/general
+                  --faults random-blip:1:0.3)
 
 # ---- crash-tolerant sweep checkpointing ----
 
 # The gate: a fresh sweep, a checkpointed sweep, and a crash-interrupted
 # sweep resumed from a truncated manifest must print byte-identical
 # tables.
-execute_process(COMMAND ${CLI} sweep ${INST} fifo --m 2,4 --seeds 2
+execute_process(COMMAND ${CLI} sweep ${INST} fifo/first-ready --m 2,4 --seeds 2
                 RESULT_VARIABLE code OUTPUT_VARIABLE sweep_fresh
                 WORKING_DIRECTORY ${WORKDIR})
 if(NOT code EQUAL 0)
   message(FATAL_ERROR "fresh sweep failed (${code})")
 endif()
-execute_process(COMMAND ${CLI} sweep ${INST} fifo --m 2,4 --seeds 2
+execute_process(COMMAND ${CLI} sweep ${INST} fifo/first-ready --m 2,4 --seeds 2
                 --checkpoint ${WORKDIR}/cli_sweep.ckpt
                 RESULT_VARIABLE code OUTPUT_VARIABLE sweep_ckpt
                 WORKING_DIRECTORY ${WORKDIR})
@@ -210,7 +211,7 @@ file(STRINGS ${WORKDIR}/cli_sweep.ckpt ckpt_lines)
 list(SUBLIST ckpt_lines 0 9 ckpt_head)
 string(JOIN "\n" ckpt_truncated ${ckpt_head})
 file(WRITE ${WORKDIR}/cli_sweep_cut.ckpt "${ckpt_truncated}\n")
-execute_process(COMMAND ${CLI} sweep ${INST} fifo --m 2,4 --seeds 2
+execute_process(COMMAND ${CLI} sweep ${INST} fifo/first-ready --m 2,4 --seeds 2
                 --checkpoint ${WORKDIR}/cli_sweep_cut.ckpt --resume
                 RESULT_VARIABLE code OUTPUT_VARIABLE sweep_resumed
                 WORKING_DIRECTORY ${WORKDIR})
@@ -276,23 +277,24 @@ endif()
 # Certified bounds under an explicit budget trace (frozen above).
 run_step(${CLI} bounds ${INST} 8 --certify
          --faults-trace ${WORKDIR}/cli_budget.csv)
-run_step(${CLI} run ${INST} 8 fifo --certify
+run_step(${CLI} run ${INST} 8 fifo/first-ready --certify
          --faults-trace ${WORKDIR}/cli_budget.csv)
 
 # Stochastic faults have no explicit budget stream to certify against:
 # a diagnostic, not an abort.
 expect_diagnostic("needs explicit per-slot budgets"
-                  ${CLI} run ${INST} 8 fifo --certify
+                  ${CLI} run ${INST} 8 fifo/first-ready --certify
                   --faults random-blip:1:0.3)
 # Non-positive machine counts get a diagnostic too.
 expect_diagnostic("m >= 1" ${CLI} bounds ${INST} 0)
 
 # A checkpoint from a DIFFERENT grid must be rejected, not spliced in.
 expect_diagnostic("different sweep"
-                  ${CLI} sweep ${INST} fifo --m 2,8 --seeds 2
+                  ${CLI} sweep ${INST} fifo/first-ready --m 2,8 --seeds 2
                   --checkpoint ${WORKDIR}/cli_sweep.ckpt --resume)
 # Flag hygiene: checkpoint cells are flow-only and un-instrumented.
 expect_diagnostic("incompatible"
-                  ${CLI} sweep ${INST} fifo --checkpoint ${WORKDIR}/x.ckpt
-                  --metrics ${WORKDIR}/x.json)
-expect_diagnostic("requires --checkpoint" ${CLI} sweep ${INST} fifo --resume)
+                  ${CLI} sweep ${INST} fifo/first-ready
+                  --checkpoint ${WORKDIR}/x.ckpt --metrics ${WORKDIR}/x.json)
+expect_diagnostic("requires --checkpoint"
+                  ${CLI} sweep ${INST} fifo/first-ready --resume)

@@ -18,11 +18,10 @@
 //   otsched faults inspect <trace.csv> <m>        summarize a budget trace
 //   otsched list-policies                         list the policy registry
 //
-// `otsched policies` and `otsched --list-policies` remain as deprecated
-// aliases of list-policies and print a pointer to the new spelling.
-//
-// Policies are constructed through the shared registry (sched/registry.h);
-// both canonical names (fifo/first-ready) and legacy aliases (fifo) work.
+// Policies are constructed through the shared registry (sched/registry.h)
+// under their canonical names (fifo/first-ready).  The PR-3 legacy
+// spellings (`fifo`, `srpt`, ..., and the `policies`/`--list-policies`
+// subcommands) were removed: they exit 2 with a pointer to the rename.
 //
 // Families for `gen`:
 //   quicksort <jobs> <n> <rate-denom> <seed>
@@ -202,15 +201,26 @@ bool WriteFileOrComplain(const std::string& path, const std::string& content,
   return true;
 }
 
-/// Prints the registry: canonical name, legacy aliases, one-line summary.
+/// Prints the registry: canonical name, one-line summary.
 void ListPolicies() {
   for (const PolicySpec& spec : AllPolicies()) {
-    std::string label = spec.name;
-    for (const std::string& alias : spec.aliases) {
-      label += " (" + alias + ")";
-    }
-    std::printf("%-36s %s\n", label.c_str(), spec.description.c_str());
+    std::printf("%-36s %s\n", spec.name.c_str(), spec.description.c_str());
   }
+}
+
+/// The unknown-policy diagnostic, shared by run/sweep/trace.  Legacy
+/// PR-3 spellings get the rename pointer; anything else the registry
+/// hint.  Always exits 2 at the call site.
+void ComplainUnknownPolicy(const std::string& name) {
+  if (const char* renamed = LegacyPolicyAlias(name)) {
+    std::fprintf(stderr,
+                 "unknown policy '%s': renamed to '%s'\n",
+                 name.c_str(), renamed);
+    return;
+  }
+  std::fprintf(stderr,
+               "unknown policy '%s' (try `otsched list-policies`)\n",
+               name.c_str());
 }
 
 int CmdGen(int argc, char** argv) {
@@ -449,9 +459,7 @@ int CmdRun(int argc, char** argv) {
 
   std::unique_ptr<Scheduler> policy = MakePolicy(policy_name, seed, known_opt);
   if (!policy) {
-    std::fprintf(stderr,
-                 "unknown policy '%s' (try `otsched list-policies`)\n",
-                 policy_name.c_str());
+    ComplainUnknownPolicy(policy_name);
     return 2;
   }
   if (!CheckFaultSupportOrComplain(*policy, faults)) return 2;
@@ -661,9 +669,7 @@ int CmdSweep(int argc, char** argv) {
     const std::unique_ptr<Scheduler> probe =
         MakePolicy(policy_name, 1, known_opt);
     if (!probe) {
-      std::fprintf(stderr,
-                   "unknown policy '%s' (try `otsched list-policies`)\n",
-                   policy_name.c_str());
+      ComplainUnknownPolicy(policy_name);
       return 2;
     }
     if (!CheckFaultSupportOrComplain(*probe, faults)) return 2;
@@ -838,9 +844,7 @@ int CmdTrace(int argc, char** argv) {
   }
   std::unique_ptr<Scheduler> policy = MakePolicy(policy_name, seed, known_opt);
   if (!policy) {
-    std::fprintf(stderr,
-                 "unknown policy '%s' (try `otsched list-policies`)\n",
-                 policy_name.c_str());
+    ComplainUnknownPolicy(policy_name);
     return 2;
   }
   EventTrace streamed;
@@ -953,11 +957,9 @@ int main(int argc, char** argv) {
   }
   if (command == "policies" || command == "--list-policies") {
     std::fprintf(stderr,
-                 "note: `otsched %s` is deprecated; use `otsched "
-                 "list-policies`\n",
+                 "`otsched %s` was renamed to `otsched list-policies`\n",
                  command.c_str());
-    ListPolicies();
-    return 0;
+    return 2;
   }
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return Usage();
