@@ -33,7 +33,7 @@ int main() {
     double spaced_ratio;
   };
 
-  const auto rows = RunSweep<Row>(alphas.size(), [&](std::size_t i) {
+  const auto rows = BatchRunner().Map<Row>(alphas.size(), [&](std::size_t i) {
     const int alpha = alphas[i];
     Row row{alpha, 0.0, 0.0};
     for (int seed = 0; seed < kSeeds; ++seed) {

@@ -30,7 +30,7 @@ int main() {
     std::vector<double> ratios;
   };
 
-  const auto rows = RunSweep<Row>(ms.size(), [&](std::size_t i) {
+  const auto rows = BatchRunner().Map<Row>(ms.size(), [&](std::size_t i) {
     const int m = ms[i];
     LowerBoundSimOptions options;
     options.m = m;

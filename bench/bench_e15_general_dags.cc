@@ -79,7 +79,7 @@ int main() {
     std::int64_t mc_violations;
   };
   const std::vector<int> ms = {8, 16, 32, 64};
-  const auto rows = RunSweep<Row>(ms.size(), [&](std::size_t i) {
+  const auto rows = BatchRunner().Map<Row>(ms.size(), [&](std::size_t i) {
     const int m = ms[i];
     Row row{m, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0};
     for (int seed = 0; seed < 3; ++seed) {

@@ -41,7 +41,7 @@ int main() {
     double tetris;        // fully packed board, arbitrary releases
   };
 
-  const auto rows = RunSweep<Row>(ms.size(), [&](std::size_t i) {
+  const auto rows = BatchRunner().Map<Row>(ms.size(), [&](std::size_t i) {
     const int m = ms[i];
     Row row{m, 0.0, 0.0, 0.0, 0.0};
     for (int seed = 0; seed < 4; ++seed) {

@@ -37,7 +37,7 @@ int main() {
     double alg_a;
   };
 
-  const auto rows = RunSweep<Row>(loads.size(), [&](std::size_t i) {
+  const auto rows = BatchRunner().Map<Row>(loads.size(), [&](std::size_t i) {
     const double load = loads[i];
     // Poisson arrivals with mean gap = work / (load * m).
     const double rate =

@@ -36,7 +36,7 @@ int main() {
     double clairvoyant_fifo_ratio;
   };
 
-  const auto rows = RunSweep<Row>(ms.size(), [&](std::size_t i) {
+  const auto rows = BatchRunner().Map<Row>(ms.size(), [&](std::size_t i) {
     const int m = ms[i];
     LowerBoundSimOptions options;
     options.m = m;

@@ -52,7 +52,7 @@ int main() {
     for (int m : ms) configs.push_back({family, m});
   }
 
-  const auto cells = RunSweep<Cell>(configs.size(), [&](std::size_t i) {
+  const auto cells = BatchRunner().Map<Cell>(configs.size(), [&](std::size_t i) {
     const Config& config = configs[i];
     Cell cell;
     for (int seed = 0; seed < kSeeds; ++seed) {

@@ -38,7 +38,7 @@ int main() {
     int log_tau = 0;
   };
 
-  const auto rows = RunSweep<Row>(ms.size(), [&](std::size_t i) {
+  const auto rows = BatchRunner().Map<Row>(ms.size(), [&](std::size_t i) {
     const int m = ms[i];
     Row row{m, true, 0.0, 0.0, true, 0.0, 0.0, 0};
 

@@ -37,7 +37,7 @@ int main() {
     bool structure_ok = true;  // Section 5.3 proof mechanics (analysis/section5)
   };
 
-  const auto rows = RunSweep<Row>(ms.size(), [&](std::size_t i) {
+  const auto rows = BatchRunner().Map<Row>(ms.size(), [&](std::size_t i) {
     const int m = ms[i];
     Row row{m, 0.0, 0.0, 0};
     for (int seed = 0; seed < kSeeds; ++seed) {

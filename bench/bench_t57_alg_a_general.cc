@@ -37,7 +37,7 @@ int main() {
     Time final_guess;
   };
 
-  const auto rows = RunSweep<Row>(ms.size(), [&](std::size_t i) {
+  const auto rows = BatchRunner().Map<Row>(ms.size(), [&](std::size_t i) {
     const int m = ms[i];
     Row row{m, 0.0, 0, 0.0, 0, 0};
     for (int seed = 0; seed < 4; ++seed) {

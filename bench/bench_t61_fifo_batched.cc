@@ -72,7 +72,7 @@ int main() {
     double envelope;
   };
 
-  const auto rows = RunSweep<Row>(ms.size(), [&](std::size_t i) {
+  const auto rows = BatchRunner().Map<Row>(ms.size(), [&](std::size_t i) {
     const int m = ms[i];
     Row row{m, 0.0, 0.0, 0.0, 0.0, 0.0};
 

@@ -49,6 +49,11 @@ class AdaptiveEngine final : public EngineBackend {
 
   AdaptiveAdversaryResult run();
 
+  /// All jobs finished (the adversary's termination condition is
+  /// finished jobs, not executed work: layers open lazily, so total
+  /// work is only known once every key has been crowned).
+  bool idle() const { return finished_jobs_ == num_jobs_; }
+
   // --- EngineBackend ---
   Time slot() const override { return slot_; }
   int m() const override { return m_; }
@@ -104,6 +109,14 @@ class AdaptiveEngine final : public EngineBackend {
 
   void open_next_layer(JobId id);
 
+  // The tick shape (mirrors SimDriver's begin/advance/drain): begin()
+  // arms the run, step_slot() simulates exactly one slot, finalize()
+  // materializes the instance and proves consistency.  run() is the
+  // thin driver loop over them.
+  void begin();
+  void step_slot(const SchedulerView& view);
+  AdaptiveAdversaryResult finalize();
+
   Scheduler& scheduler_;
   RunObserver* observer_ = nullptr;  // borrowed; null = uninstrumented run
   std::size_t batch_capacity_;       // event-ring size (RunContext)
@@ -127,6 +140,13 @@ class AdaptiveEngine final : public EngineBackend {
   std::vector<JobId> alive_;
   std::int64_t next_arrival_ = 0;
   std::int64_t finished_jobs_ = 0;
+  std::int64_t max_alive_ = 0;
+  std::optional<Schedule> schedule_;  // record_full_ only
+
+  // Per-slot scratch (members so step_slot never reallocates).
+  std::vector<SubjobRef> picks_;
+  std::vector<std::pair<JobId, NodeId>> last_in_layer_;
+  std::vector<JobId> completed_now_;  // observer-only
 };
 
 void AdaptiveEngine::open_next_layer(JobId id) {
@@ -139,143 +159,140 @@ void AdaptiveEngine::open_next_layer(JobId id) {
   for (NodeId v = base; v < base + width_; ++v) job.ready.push_back(v);
 }
 
-AdaptiveAdversaryResult AdaptiveEngine::run() {
+void AdaptiveEngine::begin() {
   jobs_.assign(static_cast<std::size_t>(num_jobs_), JobState{});
   for (JobState& job : jobs_) {
     job.executed.assign(
         static_cast<std::size_t>(layers_) * static_cast<std::size_t>(width_),
         0);
   }
-
   scheduler_.reset(m_, static_cast<JobId>(num_jobs_));
-  SchedulerView view(*this);
-  AdaptiveAdversaryResult result;
-  if (record_full_) result.schedule.emplace(m_);
-  result.certified_opt_upper = gap_;
-
-  std::vector<SubjobRef> picks;
-  std::vector<std::pair<JobId, NodeId>> last_in_layer;  // per slot scratch
-  std::vector<JobId> completed_now_;                    // observer-only
-
+  if (record_full_) schedule_.emplace(m_);
   emitter_.reset(this, observer_, batch_capacity_);
   time_picks_ = observer_ != nullptr && observer_->wants_pick_timing();
   if (observer_ != nullptr) observer_->on_run_begin(*this);
-
   slot_ = 1;
-  while (finished_jobs_ < num_jobs_) {
-    if (alive_.empty() && next_arrival_ < num_jobs_) {
-      slot_ = std::max(slot_, next_arrival_ * gap_ + 1);
-    }
-    OTSCHED_CHECK(slot_ <= max_horizon_,
-                  "scheduler '" << scheduler_.name()
-                                << "' exceeded the adversary horizon");
-    if (emitter_.active()) emitter_.slot_begin(slot_);
-    while (next_arrival_ < num_jobs_ && next_arrival_ * gap_ < slot_) {
-      const JobId id = static_cast<JobId>(next_arrival_++);
-      alive_.push_back(id);
-      open_next_layer(id);
-      scheduler_.on_arrival(id, view);
-      if (emitter_.active()) emitter_.arrival(slot_, id);
-    }
-    result.max_alive =
-        std::max(result.max_alive, static_cast<std::int64_t>(alive_.size()));
+}
 
-    if (sequencer_.active()) {
-      // Same resolution point as the fixed-instance engines: after the
-      // slot's arrivals, before the pick.  The adversarial-dip model
-      // feeds on the same alive counter the Section 4 argument tracks.
-      const int cap = sequencer_.capacity(
-          slot_, static_cast<std::int64_t>(alive_.size()));
-      if (cap != capacity_) {
-        capacity_ = cap;
-        if (emitter_.active()) emitter_.capacity_change(slot_, capacity_);
-      }
-    }
-
-    picks.clear();
-    double pick_seconds = 0.0;
-    if (time_picks_) {
-      WallTimer pick_timer;
-      scheduler_.pick(view, picks);
-      pick_seconds = pick_timer.elapsed_seconds();
-    } else {
-      scheduler_.pick(view, picks);
-    }
-    OTSCHED_CHECK(static_cast<int>(picks.size()) <= capacity_,
-                  "scheduler picked " << picks.size() << " with capacity "
-                                      << capacity_ << " (m = " << m_
-                                      << ")");
-    if (emitter_.active()) {
-      // The pre-execution flush: nothing has mutated the ready sets the
-      // scheduler saw, so the state at delivery matches the historical
-      // per-pick hook (which fired here, before the validate/execute
-      // loop below); an invalid pick aborts in that loop, so observers
-      // never outlive one.
-      std::int64_t ready_width = 0;
-      for (const JobId id : alive_) {
-        ready_width += static_cast<std::int64_t>(ready(id).size());
-      }
-      emitter_.pick_block(slot_, picks,
-                          static_cast<std::int64_t>(alive_.size()),
-                          ready_width, pick_seconds);
-    }
-
-    // Validate, execute, and track layer completions.
-    last_in_layer.clear();
-    for (const SubjobRef& ref : picks) {
-      OTSCHED_CHECK(ref.job >= 0 && ref.job < job_count(),
-                    "pick references unknown job " << ref.job);
-      JobState& job = jobs_[static_cast<std::size_t>(ref.job)];
-      OTSCHED_CHECK(arrived(ref.job), "picked before arrival");
-      // The node must be in the open layer's ready set.
-      auto it = std::find(job.ready.begin(), job.ready.end(), ref.node);
-      OTSCHED_CHECK(job.layer_open && it != job.ready.end(),
-                    "job " << ref.job << " node " << ref.node
-                           << " is not ready at slot " << slot_);
-      // Layers completed this slot only open AFTER the pick loop, so a
-      // key's children can never run in the slot the key completes —
-      // readiness is correct by construction.
-      job.ready.erase(it);
-      job.executed[static_cast<std::size_t>(ref.node)] = 1;
-      ++job.done_nodes;
-      ++executed_total_;
-      if (record_full_) result.schedule->place(slot_, ref);
-      if (job.ready.empty()) {
-        last_in_layer.emplace_back(ref.job, ref.node);
-      }
-    }
-    // Layers that completed this slot: crown the LAST pick of the layer
-    // in this slot as the key, then open the next layer (ready from the
-    // next slot).
-    for (const auto& [job_id, last_node] : last_in_layer) {
-      JobState& job = jobs_[static_cast<std::size_t>(job_id)];
-      job.keys.push_back(last_node);
-      ++job.done_layers;
-      job.layer_open = false;
-      if (job.done_layers == layers_) {
-        job.completion = slot_;
-        ++finished_jobs_;
-        if (emitter_.active()) completed_now_.push_back(job_id);
-      } else {
-        open_next_layer(job_id);
-      }
-    }
-    if (emitter_.active() && !completed_now_.empty()) {
-      // Ascending job id, matching DeriveTrace's completion order.
-      std::sort(completed_now_.begin(), completed_now_.end());
-      for (const JobId id : completed_now_) {
-        emitter_.complete(slot_, id);
-      }
-      completed_now_.clear();
-    }
-    if (emitter_.active()) emitter_.slot_end();
-    if (!picks.empty()) {
-      ++busy_slots_;
-      last_busy_slot_ = slot_;
-    }
-    std::erase_if(alive_, [this](JobId id) { return finished(id); });
-    ++slot_;
+void AdaptiveEngine::step_slot(const SchedulerView& view) {
+  if (alive_.empty() && next_arrival_ < num_jobs_) {
+    slot_ = std::max(slot_, next_arrival_ * gap_ + 1);
   }
+  OTSCHED_CHECK(slot_ <= max_horizon_,
+                "scheduler '" << scheduler_.name()
+                              << "' exceeded the adversary horizon");
+  if (emitter_.active()) emitter_.slot_begin(slot_);
+  while (next_arrival_ < num_jobs_ && next_arrival_ * gap_ < slot_) {
+    const JobId id = static_cast<JobId>(next_arrival_++);
+    alive_.push_back(id);
+    open_next_layer(id);
+    scheduler_.on_arrival(id, view);
+    if (emitter_.active()) emitter_.arrival(slot_, id);
+  }
+  max_alive_ = std::max(max_alive_, static_cast<std::int64_t>(alive_.size()));
+
+  if (sequencer_.active()) {
+    // Same resolution point as the fixed-instance engines: after the
+    // slot's arrivals, before the pick.  The adversarial-dip model
+    // feeds on the same alive counter the Section 4 argument tracks.
+    const int cap = sequencer_.capacity(
+        slot_, static_cast<std::int64_t>(alive_.size()));
+    if (cap != capacity_) {
+      capacity_ = cap;
+      if (emitter_.active()) emitter_.capacity_change(slot_, capacity_);
+    }
+  }
+
+  picks_.clear();
+  double pick_seconds = 0.0;
+  if (time_picks_) {
+    WallTimer pick_timer;
+    scheduler_.pick(view, picks_);
+    pick_seconds = pick_timer.elapsed_seconds();
+  } else {
+    scheduler_.pick(view, picks_);
+  }
+  OTSCHED_CHECK(static_cast<int>(picks_.size()) <= capacity_,
+                "scheduler picked " << picks_.size() << " with capacity "
+                                    << capacity_ << " (m = " << m_
+                                    << ")");
+  if (emitter_.active()) {
+    // The pre-execution flush: nothing has mutated the ready sets the
+    // scheduler saw, so the state at delivery matches the historical
+    // per-pick hook (which fired here, before the validate/execute
+    // loop below); an invalid pick aborts in that loop, so observers
+    // never outlive one.
+    std::int64_t ready_width = 0;
+    for (const JobId id : alive_) {
+      ready_width += static_cast<std::int64_t>(ready(id).size());
+    }
+    emitter_.pick_block(slot_, picks_,
+                        static_cast<std::int64_t>(alive_.size()),
+                        ready_width, pick_seconds);
+  }
+
+  // Validate, execute, and track layer completions.
+  last_in_layer_.clear();
+  for (const SubjobRef& ref : picks_) {
+    OTSCHED_CHECK(ref.job >= 0 && ref.job < job_count(),
+                  "pick references unknown job " << ref.job);
+    JobState& job = jobs_[static_cast<std::size_t>(ref.job)];
+    OTSCHED_CHECK(arrived(ref.job), "picked before arrival");
+    // The node must be in the open layer's ready set.
+    auto it = std::find(job.ready.begin(), job.ready.end(), ref.node);
+    OTSCHED_CHECK(job.layer_open && it != job.ready.end(),
+                  "job " << ref.job << " node " << ref.node
+                         << " is not ready at slot " << slot_);
+    // Layers completed this slot only open AFTER the pick loop, so a
+    // key's children can never run in the slot the key completes —
+    // readiness is correct by construction.
+    job.ready.erase(it);
+    job.executed[static_cast<std::size_t>(ref.node)] = 1;
+    ++job.done_nodes;
+    ++executed_total_;
+    if (record_full_) schedule_->place(slot_, ref);
+    if (job.ready.empty()) {
+      last_in_layer_.emplace_back(ref.job, ref.node);
+    }
+  }
+  // Layers that completed this slot: crown the LAST pick of the layer
+  // in this slot as the key, then open the next layer (ready from the
+  // next slot).
+  for (const auto& [job_id, last_node] : last_in_layer_) {
+    JobState& job = jobs_[static_cast<std::size_t>(job_id)];
+    job.keys.push_back(last_node);
+    ++job.done_layers;
+    job.layer_open = false;
+    if (job.done_layers == layers_) {
+      job.completion = slot_;
+      ++finished_jobs_;
+      if (emitter_.active()) completed_now_.push_back(job_id);
+    } else {
+      open_next_layer(job_id);
+    }
+  }
+  if (emitter_.active() && !completed_now_.empty()) {
+    // Ascending job id, matching DeriveTrace's completion order.
+    std::sort(completed_now_.begin(), completed_now_.end());
+    for (const JobId id : completed_now_) {
+      emitter_.complete(slot_, id);
+    }
+    completed_now_.clear();
+  }
+  if (emitter_.active()) emitter_.slot_end();
+  if (!picks_.empty()) {
+    ++busy_slots_;
+    last_busy_slot_ = slot_;
+  }
+  std::erase_if(alive_, [this](JobId id) { return finished(id); });
+  ++slot_;
+}
+
+AdaptiveAdversaryResult AdaptiveEngine::finalize() {
+  AdaptiveAdversaryResult result;
+  result.schedule = std::move(schedule_);
+  result.certified_opt_upper = gap_;
+  result.max_alive = max_alive_;
 
   // Materialize the instance with the chosen keys wired in.
   for (std::int64_t j = 0; j < num_jobs_; ++j) {
@@ -336,6 +353,13 @@ AdaptiveAdversaryResult AdaptiveEngine::run() {
     observer_->on_finish(summary);
   }
   return result;
+}
+
+AdaptiveAdversaryResult AdaptiveEngine::run() {
+  begin();
+  SchedulerView view(*this);
+  while (!idle()) step_slot(view);
+  return finalize();
 }
 
 }  // namespace

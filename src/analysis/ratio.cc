@@ -7,13 +7,6 @@ namespace otsched {
 
 RatioMeasurement MeasureRatio(const Instance& instance, int m,
                               Scheduler& scheduler, Time certified_opt,
-                              const SimOptions& options) {
-  return MeasureRatio(instance, m, scheduler, certified_opt,
-                      RunContext{options, nullptr});
-}
-
-RatioMeasurement MeasureRatio(const Instance& instance, int m,
-                              Scheduler& scheduler, Time certified_opt,
                               const RunContext& context) {
   RatioMeasurement result;
   result.scheduler = scheduler.name();

@@ -49,20 +49,17 @@ struct RatioMeasurement {
 
 /// Runs `scheduler` on `instance` with m processors and divides the
 /// achieved maximum flow by `certified_opt` (> 0) or, if certified_opt
-/// == 0, by the computed lower bound.  The RunContext form fires
-/// `context.observer`'s hooks during the measured run.
+/// == 0, by the computed lower bound.  `context` is the one run surface
+/// (bare SimOptions convert implicitly — the old SimOptions overload was
+/// folded away); `context.observer`'s hooks fire during the measured run.
 ///
 /// The measurement only consumes aggregates, so flow-only runs
 /// (RecordMode::kFlowOnly, e.g. via FlowOnlyOptions()) are the preferred
 /// mode for sweeps; full-mode runs additionally re-validate the produced
 /// schedule end to end with ScheduleValidator.
 RatioMeasurement MeasureRatio(const Instance& instance, int m,
-                              Scheduler& scheduler, Time certified_opt,
-                              const RunContext& context);
-
-RatioMeasurement MeasureRatio(const Instance& instance, int m,
                               Scheduler& scheduler, Time certified_opt = 0,
-                              const SimOptions& options = {});
+                              const RunContext& context = {});
 
 /// Computes the certified max-flow lower bound for the measured
 /// (instance, m) cell — under the same fluctuating budget the run used,

@@ -104,6 +104,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
   OTSCHED_CHECK(!gauges_.contains(name) && !histograms_.contains(name) &&
                     !series_.contains(name),
                 "metric '" << name << "' already registered as another kind");
+  touch();
   return counters_[name];
 }
 
@@ -111,6 +112,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
   OTSCHED_CHECK(!counters_.contains(name) && !histograms_.contains(name) &&
                     !series_.contains(name),
                 "metric '" << name << "' already registered as another kind");
+  touch();
   return gauges_[name];
 }
 
@@ -128,6 +130,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
                   "histogram '" << name << "' re-requested with different "
                                    "bucket bounds");
   }
+  touch();
   return it->second;
 }
 
@@ -135,17 +138,20 @@ Series& MetricsRegistry::series(const std::string& name) {
   OTSCHED_CHECK(!counters_.contains(name) && !gauges_.contains(name) &&
                     !histograms_.contains(name),
                 "metric '" << name << "' already registered as another kind");
+  touch();
   return series_[name];
 }
 
 void MetricsRegistry::set_manifest(const std::string& key,
                                    const std::string& value) {
   manifest_[key] = JsonString(value);
+  touch();
 }
 
 void MetricsRegistry::set_manifest(const std::string& key,
                                    std::int64_t value) {
   manifest_[key] = std::to_string(value);
+  touch();
 }
 
 std::string JsonNumber(double value) {
@@ -260,6 +266,15 @@ std::string MetricsRegistry::to_json() const {
              false);
   out << "\n}\n";
   return out.str();
+}
+
+const std::string& MetricsRegistry::to_json_cached() const {
+  if (cached_generation_ != generation_) {
+    cached_json_ = to_json();
+    cached_generation_ = generation_;
+    ++json_renders_;
+  }
+  return cached_json_;
 }
 
 std::string MetricsRegistry::series_csv() const {

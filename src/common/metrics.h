@@ -98,6 +98,14 @@ class Series {
 /// Named metrics plus a flat manifest of run provenance.  Lookup creates
 /// on first use; a name denotes one kind of metric for the registry's
 /// lifetime (re-requesting it as another kind aborts).
+///
+/// Serialization is cached behind a generation counter: every non-const
+/// accessor (the registry cannot see writes through handles it already
+/// handed out) bumps the generation, and writers that keep handles call
+/// touch() after a write burst.  to_json_cached() re-renders only when
+/// the generation moved, so a long-lived reader (the `otsched serve`
+/// /metrics endpoint) polling an idle registry serves the same bytes
+/// without re-serializing the whole document per request.
 class MetricsRegistry {
  public:
   Counter& counter(const std::string& name);
@@ -123,6 +131,20 @@ class MetricsRegistry {
   /// Deterministic JSON document (see tools/metrics_schema.json).
   std::string to_json() const;
 
+  /// to_json() through the generation cache: re-renders only when a
+  /// mutator or touch() ran since the last call, else returns the cached
+  /// bytes.  The returned reference is invalidated by the next mutation.
+  const std::string& to_json_cached() const;
+
+  /// Marks the registry dirty.  Needed ONLY by writers that mutate
+  /// through handles obtained earlier (handle writes are invisible to
+  /// the registry); direct accessor calls mark it automatically.
+  void touch() { ++generation_; }
+
+  /// How many times to_json_cached() actually rendered — the dirty-bit
+  /// regression test's probe (idle polls must not increment this).
+  std::int64_t json_renders() const { return json_renders_; }
+
   /// All series as CSV rows "name,slot,value" (header included).
   std::string series_csv() const;
 
@@ -139,6 +161,13 @@ class MetricsRegistry {
   std::map<std::string, Series> series_;
   // Manifest values pre-rendered as JSON literals (quoted or numeric).
   std::map<std::string, std::string> manifest_;
+
+  // Dirty-bit serialization cache (see to_json_cached).  generation_
+  // starts ahead of cached_generation_ so the first render always runs.
+  std::uint64_t generation_ = 1;
+  mutable std::uint64_t cached_generation_ = 0;
+  mutable std::string cached_json_;
+  mutable std::int64_t json_renders_ = 0;
 };
 
 /// Formats a double as a JSON number (shortest round-trip form).

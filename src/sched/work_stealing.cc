@@ -18,6 +18,11 @@ void WorkStealingScheduler::reset(int m, JobId job_count) {
 
 void WorkStealingScheduler::on_arrival(JobId id, const SchedulerView& view) {
   const Dag& dag = view.dag(id);
+  // Streaming drivers submit jobs after reset(); grow lazily (a no-op on
+  // batch runs, where reset sized the table for the whole instance).
+  if (static_cast<std::size_t>(id) >= pending_parents_.size()) {
+    pending_parents_.resize(static_cast<std::size_t>(id) + 1);
+  }
   auto& pending = pending_parents_[static_cast<std::size_t>(id)];
   pending.resize(static_cast<std::size_t>(dag.node_count()));
   // The runtime is handed the job's roots; everything deeper is

@@ -1,0 +1,263 @@
+#include "serve/protocol.h"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+#include "common/metrics.h"  // JsonString
+
+namespace otsched::serve {
+namespace {
+
+/// Recursive-descent reader over one submission line.  Only the subset
+/// the protocol needs: one top-level object with string / integer /
+/// array-of-integer / array-of-integer-pair values.
+class LineParser {
+ public:
+  explicit LineParser(const std::string& text) : text_(text) {}
+
+  bool fail(std::string* error, const std::string& what) {
+    if (error != nullptr) {
+      *error = what + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+  bool parse_string(std::string* out, std::string* error) {
+    skip_ws();
+    if (!consume('"')) return fail(error, "expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ == text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          default:
+            return fail(error, std::string("unsupported escape '\\") + esc +
+                                   "'");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return fail(error, "unterminated string");
+  }
+
+  bool parse_int(std::int64_t* out, std::string* error) {
+    skip_ws();
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, *out);
+    if (ec != std::errc() || ptr == begin) {
+      return fail(error, "expected an integer");
+    }
+    pos_ += static_cast<std::size_t>(ptr - begin);
+    return true;
+  }
+
+  /// [1, -1, 0, ...]
+  bool parse_int_array(std::vector<std::int64_t>* out, std::string* error) {
+    if (!consume('[')) return fail(error, "expected '['");
+    out->clear();
+    if (consume(']')) return true;
+    while (true) {
+      std::int64_t value = 0;
+      if (!parse_int(&value, error)) return false;
+      out->push_back(value);
+      if (consume(']')) return true;
+      if (!consume(',')) return fail(error, "expected ',' or ']'");
+    }
+  }
+
+  /// [[0, 1], [0, 2], ...]
+  bool parse_pair_array(
+      std::vector<std::pair<std::int64_t, std::int64_t>>* out,
+      std::string* error) {
+    if (!consume('[')) return fail(error, "expected '['");
+    out->clear();
+    if (consume(']')) return true;
+    while (true) {
+      std::pair<std::int64_t, std::int64_t> edge;
+      if (!consume('[')) return fail(error, "expected '[' (edge pair)");
+      if (!parse_int(&edge.first, error)) return false;
+      if (!consume(',')) return fail(error, "expected ',' in edge pair");
+      if (!parse_int(&edge.second, error)) return false;
+      if (!consume(']')) return fail(error, "expected ']' after edge pair");
+      out->push_back(edge);
+      if (consume(']')) return true;
+      if (!consume(',')) return fail(error, "expected ',' or ']'");
+    }
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<SubmitRequest> ParseSubmitRequest(const std::string& line,
+                                                std::string* error) {
+  LineParser p(line);
+  if (!p.consume('{')) {
+    p.fail(error, "expected a JSON object");
+    return std::nullopt;
+  }
+
+  SubmitRequest request;
+  bool saw_parents = false;
+  bool saw_edges = false;
+  std::int64_t nodes = -1;
+  std::vector<std::int64_t> parents;
+  std::vector<std::pair<std::int64_t, std::int64_t>> edges;
+
+  if (!p.consume('}')) {
+    while (true) {
+      std::string key;
+      if (!p.parse_string(&key, error)) return std::nullopt;
+      if (!p.consume(':')) {
+        p.fail(error, "expected ':'");
+        return std::nullopt;
+      }
+      if (key == "id") {
+        if (!p.parse_string(&request.tag, error)) return std::nullopt;
+      } else if (key == "release") {
+        std::int64_t value = 0;
+        if (!p.parse_int(&value, error)) return std::nullopt;
+        request.release = value;
+      } else if (key == "nodes") {
+        if (!p.parse_int(&nodes, error)) return std::nullopt;
+      } else if (key == "parents") {
+        if (!p.parse_int_array(&parents, error)) return std::nullopt;
+        saw_parents = true;
+      } else if (key == "edges") {
+        if (!p.parse_pair_array(&edges, error)) return std::nullopt;
+        saw_edges = true;
+      } else {
+        p.fail(error, "unknown key \"" + key + "\"");
+        return std::nullopt;
+      }
+      if (p.consume('}')) break;
+      if (!p.consume(',')) {
+        p.fail(error, "expected ',' or '}'");
+        return std::nullopt;
+      }
+    }
+  }
+  if (!p.at_end()) {
+    p.fail(error, "trailing bytes after object");
+    return std::nullopt;
+  }
+
+  if (request.release < 0) {
+    p.fail(error, "negative release");
+    return std::nullopt;
+  }
+  if (saw_parents == (saw_edges || nodes >= 0)) {
+    p.fail(error,
+           "exactly one DAG spelling required: \"parents\" or "
+           "\"nodes\"+\"edges\"");
+    return std::nullopt;
+  }
+
+  if (saw_parents) {
+    const std::int64_t n = static_cast<std::int64_t>(parents.size());
+    if (n == 0) {
+      p.fail(error, "\"parents\" must be non-empty");
+      return std::nullopt;
+    }
+    Dag::Builder builder(static_cast<NodeId>(n));
+    for (std::int64_t v = 0; v < n; ++v) {
+      const std::int64_t parent = parents[static_cast<std::size_t>(v)];
+      if (parent == -1) continue;
+      // Parents must precede children, so the ids alone prove acyclicity.
+      if (parent < 0 || parent >= v) {
+        p.fail(error, "parents[" + std::to_string(v) + "] = " +
+                          std::to_string(parent) +
+                          " out of range (want -1 or a smaller node id)");
+        return std::nullopt;
+      }
+      builder.add_edge(static_cast<NodeId>(parent), static_cast<NodeId>(v));
+    }
+    request.dag = std::move(builder).build();
+    return request;
+  }
+
+  if (nodes < 1) {
+    p.fail(error, "\"nodes\" must be >= 1");
+    return std::nullopt;
+  }
+  Dag::Builder builder(static_cast<NodeId>(nodes));
+  for (const auto& [from, to] : edges) {
+    // Same topological-id convention as the parents form.
+    if (from < 0 || to <= from || to >= nodes) {
+      p.fail(error, "edge [" + std::to_string(from) + ", " +
+                        std::to_string(to) +
+                        "] out of range (want 0 <= from < to < nodes)");
+      return std::nullopt;
+    }
+    builder.add_edge(static_cast<NodeId>(from), static_cast<NodeId>(to));
+  }
+  request.dag = std::move(builder).build();
+  return request;
+}
+
+std::string FormatFinishedReply(JobId job, const std::string& tag,
+                                Time release, Time finish, Time flow) {
+  std::ostringstream out;
+  out << "{\"job_id\": " << job;
+  if (!tag.empty()) out << ", \"id\": " << JsonString(tag);
+  out << ", \"release\": " << release << ", \"finish\": " << finish
+      << ", \"flow\": " << flow << "}\n";
+  return out.str();
+}
+
+std::string FormatErrorReply(const std::string& message) {
+  return "{\"error\": " + JsonString(message) + "}\n";
+}
+
+std::string FormatHttpResponse(int status, const std::string& content_type,
+                               const std::string& body) {
+  const char* reason = status == 200   ? "OK"
+                       : status == 404 ? "Not Found"
+                                       : "Error";
+  std::ostringstream out;
+  out << "HTTP/1.0 " << status << ' ' << reason << "\r\n"
+      << "Content-Type: " << content_type << "\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << body;
+  return out.str();
+}
+
+}  // namespace otsched::serve

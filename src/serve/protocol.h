@@ -1,0 +1,61 @@
+// The `otsched serve` wire protocol (see docs/SERVING.md).
+//
+// Submissions are newline-delimited JSON objects, one job per line:
+//
+//   {"id": "my-job", "release": 7, "parents": [-1, 0, 0, 1]}
+//   {"id": "fanout", "release": 0, "nodes": 4,
+//    "edges": [[0, 1], [0, 2], [0, 3]]}
+//
+// The two DAG spellings:
+//   * "parents": parents[v] is the (single) parent of node v, -1 for a
+//     root — the natural encoding for the paper's out-trees.  Node count
+//     is the array length.
+//   * "nodes" + "edges": explicit node count and [from, to] precedence
+//     edge pairs — general DAGs.
+// "release" is optional (default 0) and is clamped up to the daemon's
+// current slot on arrival; "id" is an optional client tag echoed back.
+//
+// Each finished job produces one reply line:
+//
+//   {"job_id": 3, "id": "my-job", "release": 7, "finish": 12, "flow": 5}
+//
+// The parser is a deliberately small hand-rolled recursive-descent JSON
+// reader (objects, arrays, strings, integers) — the daemon cannot take
+// on a JSON dependency, and the schema above needs nothing more.  Parse
+// errors carry a position so the daemon's error replies
+// ({"error": "..."}) point at the offending byte.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "job/job.h"
+
+namespace otsched::serve {
+
+/// One parsed submission line.
+struct SubmitRequest {
+  std::string tag;   // client "id" (may be empty)
+  Time release = 0;  // requested release slot
+  Dag dag;
+};
+
+/// Parses one NDJSON submission line.  On malformed input returns
+/// nullopt and writes a diagnostic (with byte position) to `error`.
+std::optional<SubmitRequest> ParseSubmitRequest(const std::string& line,
+                                                std::string* error);
+
+/// The reply line for a finished job (newline included).
+std::string FormatFinishedReply(JobId job, const std::string& tag,
+                                Time release, Time finish, Time flow);
+
+/// An error reply line (newline included): {"error": "..."}.
+std::string FormatErrorReply(const std::string& message);
+
+/// A minimal HTTP/1.0 response (Connection: close semantics — the serve
+/// loop writes it and closes the socket).
+std::string FormatHttpResponse(int status, const std::string& content_type,
+                               const std::string& body);
+
+}  // namespace otsched::serve

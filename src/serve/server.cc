@@ -1,0 +1,450 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "common/assert.h"
+#include "serve/protocol.h"
+
+namespace otsched::serve {
+namespace {
+
+volatile std::sig_atomic_t* g_stop_flag = nullptr;
+
+void StopSignalHandler(int) {
+  if (g_stop_flag != nullptr) *g_stop_flag = 1;
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// 16-hex-digit FNV-1a — same shape as FingerprintInstance, over the
+/// daemon's pseudo-instance name, so the /metrics manifest satisfies the
+/// schema's instance_hash pattern.
+std::string FingerprintString(const std::string& text) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return hex;
+}
+
+SimOptions FlowOnlyStreamOptions() {
+  SimOptions options;
+  options.record = RecordMode::kFlowOnly;
+  return options;
+}
+
+}  // namespace
+
+bool InstallStopSignalHandlers(volatile std::sig_atomic_t* flag) {
+  g_stop_flag = flag;
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = StopSignalHandler;
+  sigemptyset(&action.sa_mask);
+  return sigaction(SIGTERM, &action, nullptr) == 0 &&
+         sigaction(SIGINT, &action, nullptr) == 0;
+}
+
+ScheduleServer::ScheduleServer(ServeOptions options,
+                               std::unique_ptr<Scheduler> scheduler)
+    : options_(std::move(options)),
+      scheduler_(std::move(scheduler)),
+      driver_(options_.m, *scheduler_, RunContext(FlowOnlyStreamOptions())) {
+  OTSCHED_CHECK(scheduler_ != nullptr, "serve: null scheduler");
+  OTSCHED_CHECK(options_.chunk_slots >= 1);
+}
+
+ScheduleServer::~ScheduleServer() {
+  for (Connection& conn : connections_) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
+}
+
+bool ScheduleServer::start(std::string* error) {
+  const std::string& listen = options_.listen;
+  if (listen.rfind("unix:", 0) == 0) {
+    const std::string path = listen.substr(5);
+    if (path.empty() || path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      if (error != nullptr) *error = "bad unix socket path '" + path + "'";
+      return false;
+    }
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      if (error != nullptr) *error = "socket: " + std::string(strerror(errno));
+      return false;
+    }
+    ::unlink(path.c_str());  // stale socket from a previous run
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      if (error != nullptr) {
+        *error = "bind " + path + ": " + strerror(errno);
+      }
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    unix_path_ = path;
+    address_ = listen;
+  } else {
+    const std::size_t colon = listen.rfind(':');
+    if (colon == std::string::npos) {
+      if (error != nullptr) {
+        *error = "bad listen address '" + listen +
+                 "' (want host:port or unix:/path)";
+      }
+      return false;
+    }
+    const std::string host = listen.substr(0, colon);
+    const std::string port_text = listen.substr(colon + 1);
+    char* end = nullptr;
+    const long port = std::strtol(port_text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || port_text.empty() || port < 0 ||
+        port > 65535) {
+      if (error != nullptr) *error = "bad port '" + port_text + "'";
+      return false;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      if (error != nullptr) *error = "bad host '" + host + "'";
+      return false;
+    }
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      if (error != nullptr) *error = "socket: " + std::string(strerror(errno));
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      if (error != nullptr) {
+        *error = "bind " + listen + ": " + strerror(errno);
+      }
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len);
+    address_ = host + ":" + std::to_string(ntohs(bound.sin_port));
+  }
+  if (::listen(listen_fd_, 64) != 0 || !SetNonBlocking(listen_fd_)) {
+    if (error != nullptr) *error = "listen: " + std::string(strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    if (!unix_path_.empty()) {
+      ::unlink(unix_path_.c_str());
+      unix_path_.clear();
+    }
+    return false;
+  }
+
+  // The /metrics manifest: the stream is the daemon's "instance".
+  const std::string instance = "serve:" + address_;
+  registry_.set_manifest("instance", instance);
+  registry_.set_manifest("instance_hash", FingerprintString(instance));
+  registry_.set_manifest("jobs", std::int64_t{0});
+  registry_.set_manifest("total_work", std::int64_t{0});
+  registry_.set_manifest("policy", options_.policy);
+  registry_.set_manifest("m", static_cast<std::int64_t>(options_.m));
+  registry_.set_manifest("seed", static_cast<std::int64_t>(options_.seed));
+  registry_.set_manifest("max_horizon", std::int64_t{0});
+  registry_.set_manifest("clairvoyance", "policy-default");
+  registry_.set_manifest("record", "flow-only");
+  registry_.set_manifest("faults", "none");
+  return true;
+}
+
+void ScheduleServer::accept_ready() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: next poll round
+    if (!SetNonBlocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    registry_.counter("serve.connections").inc();
+    // Reuse a dead slot so pending_ job -> connection indices stay
+    // stable for the connections that are still alive.
+    Connection* slot = nullptr;
+    for (Connection& conn : connections_) {
+      if (conn.fd < 0) {
+        slot = &conn;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      connections_.push_back(Connection{});
+      slot = &connections_.back();
+    }
+    *slot = Connection{};
+    slot->fd = fd;
+  }
+}
+
+void ScheduleServer::read_connection(Connection& conn) {
+  char buffer[65536];
+  while (true) {
+    const ssize_t got = ::recv(conn.fd, buffer, sizeof(buffer), 0);
+    if (got > 0) {
+      conn.in.append(buffer, static_cast<std::size_t>(got));
+      if (got < static_cast<ssize_t>(sizeof(buffer))) break;
+      continue;
+    }
+    if (got == 0) {
+      conn.eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    conn.eof = true;  // hard error: flush what we owe, then close
+    break;
+  }
+  process_lines(conn);
+}
+
+void ScheduleServer::process_lines(Connection& conn) {
+  if (!conn.classified && conn.in.size() >= 4) {
+    conn.http = conn.in.compare(0, 4, "GET ") == 0;
+    conn.classified = true;
+  }
+  if (!conn.classified && conn.eof && !conn.in.empty()) {
+    conn.classified = true;  // short non-HTTP scrap: treat as NDJSON
+  }
+  if (!conn.classified) return;
+
+  if (conn.http) {
+    handle_http(conn);
+    return;
+  }
+
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t newline = conn.in.find('\n', start);
+    if (newline == std::string::npos) break;
+    std::string line = conn.in.substr(start, newline - start);
+    start = newline + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (stopping()) {
+      conn.out += FormatErrorReply("draining: submission rejected");
+      continue;
+    }
+    std::string error;
+    std::optional<SubmitRequest> request = ParseSubmitRequest(line, &error);
+    if (!request.has_value()) {
+      registry_.counter("serve.parse_errors").inc();
+      conn.out += FormatErrorReply(error);
+      continue;
+    }
+    // A release in the simulated past cannot be honored (those slots are
+    // gone); clamp up to the current slot.  The reply echoes the
+    // effective release, keeping offline replays faithful.
+    const Time release = std::max(request->release, driver_.now());
+    total_submitted_work_ += request->dag.node_count();
+    const JobId id = driver_.submit(
+        Job(std::move(request->dag), release,
+            request->tag.empty() ? "job-" + std::to_string(jobs_submitted_)
+                                 : request->tag));
+    OTSCHED_CHECK(static_cast<std::size_t>(id) == pending_.size());
+    pending_.push_back(PendingJob{
+        static_cast<std::size_t>(&conn - connections_.data()),
+        std::move(request->tag)});
+    ++conn.pending_jobs;
+    ++jobs_submitted_;
+  }
+  conn.in.erase(0, start);
+}
+
+void ScheduleServer::handle_http(Connection& conn) {
+  const std::size_t line_end = conn.in.find("\r\n");
+  if (line_end == std::string::npos && !conn.eof) return;  // need more
+  const std::string request_line = conn.in.substr(
+      0, line_end == std::string::npos ? conn.in.size() : line_end);
+  // "GET <path> HTTP/1.x" — the path is the second token.
+  const std::size_t path_begin = request_line.find(' ');
+  std::string path;
+  if (path_begin != std::string::npos) {
+    const std::size_t path_end = request_line.find(' ', path_begin + 1);
+    path = request_line.substr(path_begin + 1,
+                               path_end == std::string::npos
+                                   ? std::string::npos
+                                   : path_end - path_begin - 1);
+  }
+  registry_.counter("serve.http_requests").inc();
+  if (path == "/metrics") {
+    conn.out += FormatHttpResponse(200, "application/json",
+                                   registry_.to_json_cached());
+  } else if (path == "/healthz") {
+    conn.out += FormatHttpResponse(200, "text/plain", "ok\n");
+  } else {
+    conn.out += FormatHttpResponse(404, "text/plain",
+                                   "not found (try /metrics or /healthz)\n");
+  }
+  conn.eof = true;  // one-shot: close once the response is flushed
+  conn.in.clear();
+}
+
+void ScheduleServer::tick_driver() {
+  bool activity = false;
+  if (!driver_.idle()) {
+    // While draining, run to completion in one go; otherwise a bounded
+    // chunk so fresh submissions interleave with progress.
+    const Time budget = stopping() ? std::numeric_limits<Time>::max()
+                                   : options_.chunk_slots;
+    activity = driver_.advance(budget) > 0;
+  }
+  const std::vector<SimDriver::FinishedJob> finished =
+      driver_.take_finished();
+  for (const SimDriver::FinishedJob& job : finished) {
+    PendingJob& owner = pending_[static_cast<std::size_t>(job.job)];
+    Connection& conn = connections_[owner.conn];
+    if (conn.fd >= 0 && !conn.http) {
+      conn.out += FormatFinishedReply(job.job, owner.tag, job.release,
+                                      job.finish, job.flow);
+      --conn.pending_jobs;
+    }
+    owner.tag.clear();
+    owner.tag.shrink_to_fit();
+    ++jobs_finished_;
+  }
+  driver_.retire_finished();
+
+  if (activity || !finished.empty()) {
+    registry_.counter("serve.jobs_submitted").set(jobs_submitted_);
+    registry_.counter("serve.jobs_finished").set(jobs_finished_);
+    registry_.gauge("serve.pending_work")
+        .set(static_cast<double>(driver_.pending_work()));
+    registry_.gauge("serve.arena_nodes")
+        .set(static_cast<double>(driver_.arena_nodes()));
+    registry_.gauge("serve.slot").set(static_cast<double>(driver_.now()));
+    registry_.set_manifest("jobs", jobs_submitted_);
+    registry_.set_manifest("total_work", total_submitted_work_);
+  }
+}
+
+void ScheduleServer::flush_writes() {
+  for (Connection& conn : connections_) {
+    if (conn.fd < 0) continue;
+    while (!conn.out.empty()) {
+      const ssize_t wrote =
+          ::send(conn.fd, conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
+      if (wrote > 0) {
+        conn.out.erase(0, static_cast<std::size_t>(wrote));
+        continue;
+      }
+      if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      close_connection(conn);  // peer went away; drop its replies
+      break;
+    }
+    if (conn.fd >= 0 && conn.out.empty() && conn.eof &&
+        conn.pending_jobs == 0) {
+      close_connection(conn);
+    }
+  }
+}
+
+void ScheduleServer::close_connection(Connection& conn) {
+  if (conn.fd >= 0) ::close(conn.fd);
+  conn = Connection{};
+}
+
+void ScheduleServer::run() {
+  OTSCHED_CHECK(listen_fd_ >= 0, "run() before start()");
+  bool listener_open = true;
+  std::vector<pollfd> fds;
+  std::vector<std::size_t> polled;  // connections_ index; npos = listener
+
+  while (true) {
+    const bool draining = stopping();
+    if (draining && listener_open) {
+      ::close(listen_fd_);
+      if (!unix_path_.empty()) {
+        ::unlink(unix_path_.c_str());
+        unix_path_.clear();
+      }
+      listener_open = false;
+    }
+
+    fds.clear();
+    polled.clear();
+    if (listener_open) {
+      fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+      polled.push_back(std::string::npos);
+    }
+    bool writes_pending = false;
+    for (std::size_t c = 0; c < connections_.size(); ++c) {
+      Connection& conn = connections_[c];
+      if (conn.fd < 0) continue;
+      short events = 0;
+      if (!conn.eof && !draining) events |= POLLIN;
+      if (!conn.out.empty()) {
+        events |= POLLOUT;
+        writes_pending = true;
+      }
+      if (events == 0) continue;
+      fds.push_back(pollfd{conn.fd, events, 0});
+      polled.push_back(c);
+    }
+
+    if (draining && driver_.idle() && !writes_pending) break;
+
+    const int timeout =
+        (!driver_.idle() || draining) ? 0 : options_.idle_poll_ms;
+    const int ready =
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout);
+    if (ready > 0) {
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        if (fds[i].revents == 0) continue;
+        if (polled[i] == std::string::npos) {
+          accept_ready();
+          continue;
+        }
+        Connection& conn = connections_[polled[i]];
+        if (conn.fd < 0) continue;
+        if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0 &&
+            !draining && !conn.eof) {
+          read_connection(conn);
+        } else if ((fds[i].revents & (POLLHUP | POLLERR)) != 0 &&
+                   conn.out.empty()) {
+          close_connection(conn);
+        }
+      }
+    }
+
+    tick_driver();
+    flush_writes();
+  }
+
+  // Drained: nothing left to write, close whatever connections remain.
+  for (Connection& conn : connections_) close_connection(conn);
+}
+
+}  // namespace otsched::serve

@@ -1,0 +1,147 @@
+// The `otsched serve` streaming scheduler daemon (docs/SERVING.md).
+//
+// ScheduleServer is a single-threaded poll() loop over one listening
+// socket (TCP "host:port", port 0 for ephemeral, or "unix:/path") and
+// its accepted connections, multiplexing two protocols by the first
+// bytes of each connection:
+//
+//   * "GET ..."  — a one-shot HTTP request: /metrics serves the
+//     registry's cached JSON (MetricsRegistry::to_json_cached — idle
+//     daemons re-serve the same bytes without re-rendering), /healthz
+//     serves "ok"; the response closes the connection.
+//   * anything else — a newline-delimited JSON job stream (one
+//     serve::SubmitRequest per line); each finished job is answered
+//     with one reply line on the connection that submitted it.
+//
+// Between poll rounds the loop ticks the embedded SimDriver
+// (advance/take_finished/retire_finished), so simulation progress
+// interleaves with I/O and memory stays proportional to the live width
+// of the stream: finished jobs are retired as soon as their replies are
+// written.  A requested release in the simulated past is clamped up to
+// the driver's current slot (the effective release is echoed in the
+// reply, so an offline replay of the effective stream reproduces the
+// daemon's flows bit-identically — the serve integration test's check).
+//
+// Shutdown: request_stop() (the CLI wires SIGTERM/SIGINT to it through
+// a sig_atomic_t flag polled via ServeOptions::stop_flag) closes the
+// listener, drains all submitted work, flushes the remaining replies,
+// and returns from run() — exit 0.
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "sim/driver.h"
+
+namespace otsched::serve {
+
+struct ServeOptions {
+  /// "host:port" (port 0 = ephemeral) or "unix:/path/to.sock".
+  std::string listen = "127.0.0.1:0";
+  int m = 4;
+  /// Registry name of the policy driving the embedded SimDriver (the
+  /// default general Algorithm A pipeline is the reason the daemon
+  /// exists; see docs/SERVING.md on its guess-and-double restarts).
+  std::string policy = "alg-a/general";
+  std::uint64_t seed = 0;
+  /// Slots simulated per poll round while work is pending.  Small
+  /// enough that new submissions interleave with progress, large enough
+  /// to amortize the loop; correctness does not depend on it.
+  Time chunk_slots = 128;
+  /// Poll timeout while idle (no pending work), milliseconds.
+  int idle_poll_ms = 50;
+  /// Optional external stop flag (e.g. set by a SIGTERM handler); the
+  /// loop treats a nonzero value exactly like request_stop().
+  const volatile std::sig_atomic_t* stop_flag = nullptr;
+};
+
+class ScheduleServer {
+ public:
+  /// The scheduler is owned; construct it via MakePolicy(options.policy)
+  /// or hand in any Scheduler for tests.
+  ScheduleServer(ServeOptions options, std::unique_ptr<Scheduler> scheduler);
+  ~ScheduleServer();
+
+  ScheduleServer(const ScheduleServer&) = delete;
+  ScheduleServer& operator=(const ScheduleServer&) = delete;
+
+  /// Binds and listens.  Returns false (with a diagnostic in `error`)
+  /// on bad addresses or bind failures; no partial state survives.
+  bool start(std::string* error);
+
+  /// The bound address ("127.0.0.1:41873" with the ephemeral port
+  /// resolved, or the unix path).  Valid after start().
+  const std::string& address() const { return address_; }
+
+  /// Serves until request_stop() / *stop_flag, then drains and returns.
+  void run();
+
+  /// Signals run() to stop accepting, drain, and return.  Callable from
+  /// another thread (the in-process integration test's shape).
+  void request_stop() { stop_ = 1; }
+
+  /// The daemon's metrics registry (the /metrics document).
+  const MetricsRegistry& registry() const { return registry_; }
+
+  std::int64_t jobs_submitted() const { return jobs_submitted_; }
+  std::int64_t jobs_finished() const { return jobs_finished_; }
+
+  /// Arena node slots backing the embedded driver (live + free-listed)
+  /// — the bounded-memory probe the integration test asserts on.
+  std::int64_t arena_nodes() const { return driver_.arena_nodes(); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string in;        // unconsumed request bytes
+    std::string out;       // unwritten reply bytes
+    bool http = false;     // classified as a one-shot HTTP request
+    bool classified = false;
+    bool eof = false;      // peer half-closed; flush replies then close
+    std::int64_t pending_jobs = 0;  // submitted, not yet replied
+  };
+
+  void accept_ready();
+  void read_connection(Connection& conn);
+  void process_lines(Connection& conn);
+  void handle_http(Connection& conn);
+  void tick_driver();
+  void flush_writes();
+  void close_connection(Connection& conn);
+  bool stopping() const {
+    return stop_ != 0 ||
+           (options_.stop_flag != nullptr && *options_.stop_flag != 0);
+  }
+
+  ServeOptions options_;
+  std::unique_ptr<Scheduler> scheduler_;
+  MetricsRegistry registry_;
+  SimDriver driver_;
+
+  int listen_fd_ = -1;
+  std::string address_;
+  std::string unix_path_;  // unlinked on close when non-empty
+  std::vector<Connection> connections_;
+  // job id -> (connection index, client tag); parallel to driver ids.
+  struct PendingJob {
+    std::size_t conn = 0;
+    std::string tag;
+  };
+  std::vector<PendingJob> pending_;
+
+  volatile std::sig_atomic_t stop_ = 0;
+  std::int64_t jobs_submitted_ = 0;
+  std::int64_t jobs_finished_ = 0;
+  std::int64_t total_submitted_work_ = 0;
+};
+
+/// Installs `flag` as the target of SIGTERM/SIGINT (handler just sets
+/// it) and returns true; the CLI passes the same flag via
+/// ServeOptions::stop_flag.
+bool InstallStopSignalHandlers(volatile std::sig_atomic_t* flag);
+
+}  // namespace otsched::serve

@@ -151,17 +151,25 @@ class BatchRunner {
   /// A simulation task: one policy run on one shared immutable instance.
   /// `make_scheduler` runs inside the cell (fresh policy per cell).
   /// Batch cells default to flow-only recording — sweeps aggregate flows
-  /// and stats, never individual schedules; pass options with
-  /// RecordMode::kFull to materialize schedules anyway.
+  /// and stats, never individual schedules; pass a context with
+  /// RecordMode::kFull to materialize schedules anyway.  `context` is the
+  /// one run surface (bare SimOptions convert implicitly; the old
+  /// SimOptions overloads were folded away) and must not carry an
+  /// observer: cells run concurrently and a single borrowed observer
+  /// would see interleaved hook streams.
   template <typename MakeScheduler>
   std::vector<SimResult> RunSimulations(
       std::span<const std::pair<const Instance*, int>> cells,
       MakeScheduler&& make_scheduler,
-      const SimOptions& options = FlowOnlyOptions()) const {
+      const RunContext& context = FlowOnlyOptions()) const {
+    OTSCHED_CHECK(context.observer == nullptr,
+                  "batch cells run concurrently; attach per-cell observers "
+                  "inside make_scheduler-style cell code instead of sharing "
+                  "one through the batch RunContext");
     return Map<SimResult>(cells.size(), [&](std::size_t i) {
       const auto& [instance, m] = cells[i];
       auto scheduler = make_scheduler(i);
-      return Simulate(*instance, m, *scheduler, options);
+      return Simulate(*instance, m, *scheduler, context);
     });
   }
 
@@ -176,23 +184,27 @@ class BatchRunner {
   /// RunSimulations with a MetricsObserver attached to every cell.  Each
   /// cell gets a private registry, so instrumentation adds no cross-worker
   /// coordination; pass record_pick_times = false in `observer_options`
-  /// when the aggregate must be deterministic.
+  /// when the aggregate must be deterministic.  The observer slot of
+  /// `context` must be empty — each cell installs its own MetricsObserver
+  /// over the shared options/capacity.
   template <typename MakeScheduler>
   std::vector<InstrumentedRun> RunInstrumentedSimulations(
       std::span<const std::pair<const Instance*, int>> cells,
       MakeScheduler&& make_scheduler,
-      const SimOptions& options = FlowOnlyOptions(),
+      const RunContext& context = FlowOnlyOptions(),
       MetricsObserver::Options observer_options = MetricsObserver::Options())
       const {
+    OTSCHED_CHECK(context.observer == nullptr,
+                  "instrumented batch cells install their own per-cell "
+                  "MetricsObserver; the batch RunContext must not carry one");
     return Map<InstrumentedRun>(cells.size(), [&](std::size_t i) {
       const auto& [instance, m] = cells[i];
       auto scheduler = make_scheduler(i);
       InstrumentedRun run;
       MetricsObserver observer(run.metrics, observer_options);
-      RunContext context;
-      context.options = options;
-      context.observer = &observer;
-      run.result = Simulate(*instance, m, *scheduler, context);
+      RunContext cell_context = context;
+      cell_context.observer = &observer;
+      run.result = Simulate(*instance, m, *scheduler, cell_context);
       return run;
     });
   }

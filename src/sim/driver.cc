@@ -1,0 +1,411 @@
+#include "sim/driver.h"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+
+#include "common/assert.h"
+#include "common/timer.h"
+
+namespace otsched {
+
+SimDriver::SimDriver(int m, Scheduler& scheduler, const RunContext& context)
+    : m_(m),
+      scheduler_(scheduler),
+      observer_(context.observer),
+      batch_capacity_(context.batch_capacity),
+      sequencer_(context.options.faults, m) {
+  OTSCHED_CHECK(m >= 1);
+  const SimOptions& options = context.options;
+  clairvoyant_ =
+      options.clairvoyance == ClairvoyanceOverride::kPolicyDefault
+          ? scheduler.requires_clairvoyance()
+          : options.clairvoyance == ClairvoyanceOverride::kAllow;
+  record_full_ = options.record == RecordMode::kFull;
+  capacity_ = m_;
+  if (sequencer_.active()) {
+    OTSCHED_CHECK(scheduler.supports_fluctuating_capacity(),
+                  "scheduler '" << scheduler.name()
+                                << "' does not support a fluctuating "
+                                   "per-slot capacity (fault model "
+                                << ToString(options.faults.model) << ")");
+  }
+  options_horizon_ = options.max_horizon;
+}
+
+Time SimDriver::horizon_bound() const {
+  if (options_horizon_ > 0) return options_horizon_;
+  // Any policy that executes at least one ready subjob whenever one
+  // exists finishes well within this bound; schedulers that stall
+  // (e.g. a broken Algorithm A window plan) hit the check instead of
+  // hanging the process.  Recomputed from the running aggregates so a
+  // stream's bound grows with its submissions.
+  if (sequencer_.active()) {
+    // Faulted slots can run far below m (or at zero): leave room for
+    // the outage time before declaring a scheduler stalled.  Rates
+    // are capped at 0.9, so 64x work is generous.
+    return max_release_ + 64 * total_work_ + max_span_ + 65536;
+  }
+  return max_release_ + 4 * total_work_ + max_span_ + 1024;
+}
+
+const Dag& SimDriver::dag(JobId id) const {
+  OTSCHED_CHECK(clairvoyant_,
+                "non-clairvoyant scheduler '"
+                    << scheduler_.name() << "' asked for the DAG of job "
+                    << id);
+  OTSCHED_CHECK(arrived(id), "DAG of job " << id
+                                           << " requested before arrival");
+  const Dag* dag = dags_[static_cast<std::size_t>(id)];
+  OTSCHED_CHECK(dag != nullptr, "DAG of job " << id
+                                              << " requested after retire");
+  return *dag;
+}
+
+const DagMetrics& SimDriver::metrics(JobId id) const {
+  OTSCHED_CHECK(clairvoyant_,
+                "non-clairvoyant scheduler '"
+                    << scheduler_.name() << "' asked for metrics of job "
+                    << id);
+  OTSCHED_CHECK(arrived(id),
+                "metrics of job " << id << " requested before arrival");
+  const Job* job = jobs_[static_cast<std::size_t>(id)];
+  OTSCHED_CHECK(job != nullptr, "metrics of job " << id
+                                                  << " requested after retire");
+  return job->metrics();
+}
+
+void SimDriver::submit_all(const Instance& instance) {
+  OTSCHED_CHECK(!begun_ && jobs_.empty(),
+                "submit_all requires a fresh driver (submit jobs "
+                "individually to extend a run)");
+  const JobId n = instance.job_count();
+  jobs_.resize(static_cast<std::size_t>(n));
+  dags_.resize(static_cast<std::size_t>(n));
+  work_.resize(static_cast<std::size_t>(n));
+  release_.resize(static_cast<std::size_t>(n));
+  for (JobId id = 0; id < n; ++id) {
+    const Job& job = instance.job(id);
+    OTSCHED_CHECK(job.dag().node_count() >= 1,
+                  "job " << id << " has no subjobs");
+    const std::size_t j = static_cast<std::size_t>(id);
+    jobs_[j] = &job;
+    dags_[j] = &job.dag();
+    work_[j] = job.work();
+    release_[j] = job.release();
+    flows_.add_job(job.work(), job.release());
+    total_work_ += job.work();
+  }
+  arena_.init(dags_);
+  arrival_order_ = instance.release_order();
+  max_release_ = instance.max_release();
+  max_span_ = instance.max_span();
+}
+
+JobId SimDriver::submit(Job job) {
+  OTSCHED_CHECK(!finalized_, "submit after drain()");
+  OTSCHED_CHECK(job.dag().node_count() >= 1,
+                "submitted job has no subjobs");
+  OTSCHED_CHECK(job.release() >= now(),
+                "job submitted with release " << job.release()
+                                              << " in the simulated past "
+                                                 "(now = " << now() << ")");
+  const JobId id = static_cast<JobId>(jobs_.size());
+  const std::size_t j = static_cast<std::size_t>(id);
+  owned_.resize(j + 1);
+  owned_[j] = std::make_unique<Job>(std::move(job));
+  const Job& ref = *owned_[j];
+  jobs_.push_back(&ref);
+  dags_.push_back(&ref.dag());
+  work_.push_back(ref.work());
+  release_.push_back(ref.release());
+  flows_.add_job(ref.work(), ref.release());
+  total_work_ += ref.work();
+  max_release_ = std::max(max_release_, ref.release());
+  max_span_ = std::max(max_span_, ref.span());
+  const JobId arena_id = arena_.append(ref.dag());
+  OTSCHED_CHECK(arena_id == id);
+  late_arrivals_.emplace(ref.release(), id);
+  track_finished_ = true;
+  if (begun_) publish_hot();
+  return id;
+}
+
+void SimDriver::publish_hot() {
+  hot_.m = m_;
+  hot_.capacity = capacity_;
+  hot_.alive = alive_.data();
+  hot_.alive_count = alive_.size();
+  hot_.ready_base = arena_.ready_storage();
+  hot_.node_off = arena_.node_offsets();
+  hot_.ready_len = arena_.ready_lengths();
+  hot_.done = arena_.done_counts();
+  hot_.work = work_.data();
+  hot_.release = release_.data();
+}
+
+void SimDriver::begin() {
+  begun_ = true;
+  alive_.reserve(jobs_.size());
+  publish_hot();
+  scheduler_.reset(m_, job_count());
+  if (record_full_) result_.schedule.emplace(m_);
+  picks_.reserve(static_cast<std::size_t>(m_));
+  emitter_.reset(this, observer_, batch_capacity_);
+  time_picks_ = observer_ != nullptr && observer_->wants_pick_timing();
+  if (observer_ != nullptr) observer_->on_run_begin(*this);
+  slot_ = 1;
+}
+
+std::optional<std::pair<Time, JobId>> SimDriver::next_pending_arrival()
+    const {
+  std::optional<std::pair<Time, JobId>> next;
+  if (next_arrival_ < arrival_order_.size()) {
+    const JobId id = arrival_order_[next_arrival_];
+    next = {release_[static_cast<std::size_t>(id)], id};
+  }
+  if (!late_arrivals_.empty() &&
+      (!next.has_value() || late_arrivals_.top() < *next)) {
+    next = late_arrivals_.top();
+  }
+  return next;
+}
+
+template <bool kObserved>
+void SimDriver::deliver_arrivals(const SchedulerView& view) {
+  while (true) {
+    JobId id = kInvalidJob;
+    bool from_bulk = false;
+    if (next_arrival_ < arrival_order_.size()) {
+      id = arrival_order_[next_arrival_];
+      from_bulk = true;
+    }
+    if (!late_arrivals_.empty()) {
+      const std::pair<Time, JobId>& top = late_arrivals_.top();
+      if (id == kInvalidJob ||
+          top < std::pair<Time, JobId>(
+                    release_[static_cast<std::size_t>(id)], id)) {
+        id = top.second;
+        from_bulk = false;
+      }
+    }
+    if (id == kInvalidJob ||
+        release_[static_cast<std::size_t>(id)] >= slot_) {
+      break;
+    }
+    if (from_bulk) {
+      ++next_arrival_;
+    } else {
+      late_arrivals_.pop();
+    }
+    alive_.push_back(id);
+    hot_.alive = alive_.data();
+    hot_.alive_count = alive_.size();
+    // Precomputed roots become ready on arrival (increasing node id, the
+    // same order the seed engine's arrival rescan produced).
+    ready_width_ += arena_.activate(id);
+    scheduler_.on_arrival(id, view);
+    if constexpr (kObserved) emitter_.arrival(slot_, id);
+  }
+}
+
+template <bool kObserved, bool kRecordFull>
+Time SimDriver::run_slots(const SchedulerView& view, Time max_slots) {
+  const JobId n = job_count();
+  const std::int64_t total_work = total_work_;
+  const Time max_horizon = horizon_bound();
+
+  Time visited = 0;
+  while (visited < max_slots && executed_total_ < total_work) {
+    // Fast-forward across empty stretches when nothing is alive.
+    if (alive_.empty()) {
+      const auto next = next_pending_arrival();
+      if (next.has_value()) slot_ = std::max(slot_, next->first + 1);
+    }
+    OTSCHED_CHECK(slot_ <= max_horizon,
+                  "scheduler '" << scheduler_.name()
+                                << "' exceeded the horizon bound "
+                                << max_horizon);
+    hot_.slot = slot_;
+
+    if constexpr (kObserved) emitter_.slot_begin(slot_);
+
+    deliver_arrivals<kObserved>(view);
+
+    if (sequencer_.active()) {
+      // Capacity resolves after the slot's arrivals (the adversarial dip
+      // watches the post-arrival alive count) and before the pick.
+      const int cap = sequencer_.capacity(
+          slot_, static_cast<std::int64_t>(alive_.size()));
+      if (cap != capacity_) {
+        capacity_ = cap;
+        hot_.capacity = capacity_;
+        if constexpr (kObserved) emitter_.capacity_change(slot_, capacity_);
+      }
+      if (capacity_ < m_) {
+        ++result_.stats.faulted_slots;
+        result_.stats.capacity_shortfall += m_ - capacity_;
+      }
+    }
+
+    picks_.clear();
+    double pick_seconds = 0.0;
+    if constexpr (kObserved) {
+      if (time_picks_) {
+        WallTimer pick_timer;
+        scheduler_.pick(view, picks_);
+        pick_seconds = pick_timer.elapsed_seconds();
+      } else {
+        scheduler_.pick(view, picks_);
+      }
+    } else {
+      scheduler_.pick(view, picks_);
+    }
+
+    OTSCHED_CHECK(static_cast<int>(picks_.size()) <= capacity_,
+                  "scheduler '" << scheduler_.name() << "' picked "
+                                << picks_.size() << " subjobs with capacity "
+                                << capacity_ << " (m = " << m_
+                                << ") at slot " << slot_);
+    // Validate readiness and uniqueness, then execute.
+    for (const SubjobRef& ref : picks_) {
+      OTSCHED_CHECK(ref.job >= 0 && ref.job < n,
+                    "pick references unknown job " << ref.job);
+      const std::size_t j = static_cast<std::size_t>(ref.job);
+      OTSCHED_CHECK(dags_[j] != nullptr,
+                    "retired job " << ref.job << " picked at slot " << slot_);
+      OTSCHED_CHECK(ref.node >= 0 && ref.node < dags_[j]->node_count(),
+                    "pick references unknown node " << ref.node << " of job "
+                                                    << ref.job);
+      OTSCHED_CHECK(arrived(ref.job), "job " << ref.job
+                                             << " picked before arrival at slot "
+                                             << slot_);
+      OTSCHED_CHECK(!arena_.is_executed(ref.job, ref.node),
+                    "job " << ref.job << " node " << ref.node
+                           << " picked twice (slot " << slot_ << ")");
+      OTSCHED_CHECK(arena_.is_ready(ref.job, ref.node),
+                    "job " << ref.job << " node " << ref.node
+                           << " is not ready at slot " << slot_);
+    }
+    if constexpr (kObserved) {
+      // The pre-execution flush: picks are final, the backend still shows
+      // the state the scheduler saw, and the event carries the incremental
+      // alive/ready-width counters observers used to recompute per pick.
+      emitter_.pick_block(slot_, picks_,
+                          static_cast<std::int64_t>(alive_.size()),
+                          ready_width_, pick_seconds);
+    }
+    // Same-slot duplicate picks are caught by the executed flag flipping
+    // during execution below.
+    for (const SubjobRef& ref : picks_) {
+      OTSCHED_CHECK(!arena_.is_executed(ref.job, ref.node),
+                    "duplicate pick of job " << ref.job << " node "
+                                             << ref.node << " in slot "
+                                             << slot_);
+      const std::size_t j = static_cast<std::size_t>(ref.job);
+      // Children may become ready — but only from the NEXT slot, which is
+      // fine because picks for the current slot were already validated
+      // against the pre-execution ready sets.
+      ready_width_ += arena_.execute(*dags_[j], ref.job, ref.node);
+      ++executed_total_;
+      if (arena_.done(ref.job) == work_[j]) {
+        ++finished_this_slot_;
+        if (track_finished_) {
+          finished_log_.push_back({ref.job, release_[j], slot_,
+                                   slot_ - release_[j]});
+          retirable_.push_back(ref.job);
+        }
+        if constexpr (kObserved) completed_now_.push_back(ref.job);
+      }
+      flows_.record(slot_, ref.job);
+      if constexpr (kRecordFull) result_.schedule->place(slot_, ref);
+    }
+    if constexpr (kObserved) {
+      if (!completed_now_.empty()) {
+        // Ascending job id, matching DeriveTrace's completion order.
+        std::sort(completed_now_.begin(), completed_now_.end());
+        for (const JobId id : completed_now_) emitter_.complete(slot_, id);
+        completed_now_.clear();
+      }
+      emitter_.slot_end();
+    }
+    if (!picks_.empty()) {
+      ++result_.stats.busy_slots;
+      last_busy_slot_ = slot_;
+    }
+    if (finished_this_slot_ > 0) {
+      // The seed engine swept the alive list every slot; sweeping only
+      // when a job finished is observationally identical (a sweep with no
+      // finished job removes nothing) and drops the per-slot cost from
+      // O(alive) to O(1) outside finishing slots.
+      std::erase_if(alive_, [this](JobId id) { return finished(id); });
+      hot_.alive = alive_.data();
+      hot_.alive_count = alive_.size();
+      finished_this_slot_ = 0;
+    }
+    ++slot_;
+    ++visited;
+  }
+  return visited;
+}
+
+Time SimDriver::advance(Time max_slots) {
+  OTSCHED_CHECK(!finalized_, "advance after drain()");
+  if (!begun_) begin();
+  if (max_slots <= 0 || idle()) return 0;
+  SchedulerView view(*this, &hot_);
+  // One loop instantiation per (observed, record-full) mode: unobserved
+  // flow-only runs — the sweep/adversary configuration — compile to a
+  // loop with no observer or schedule code at all.
+  if (observer_ != nullptr) {
+    if (record_full_) return run_slots<true, true>(view, max_slots);
+    return run_slots<true, false>(view, max_slots);
+  }
+  if (record_full_) return run_slots<false, true>(view, max_slots);
+  return run_slots<false, false>(view, max_slots);
+}
+
+SimResult SimDriver::drain() {
+  OTSCHED_CHECK(!finalized_, "drain called twice");
+  if (!begun_) begin();
+  while (!idle()) {
+    advance(std::numeric_limits<Time>::max());
+  }
+  finalized_ = true;
+  // Stats and flows are computed online in BOTH record modes (identical
+  // by construction; ComputeFlows over the materialized schedule yields
+  // the same numbers, as the driver-equivalence gate proves).
+  result_.stats.horizon = last_busy_slot_;
+  result_.stats.executed_subjobs = executed_total_;
+  result_.stats.idle_processor_slots =
+      static_cast<std::int64_t>(m_) * last_busy_slot_ - executed_total_;
+  result_.flows = flows_.finish();
+  if (observer_ != nullptr) observer_->on_finish(result_);
+  return std::move(result_);
+}
+
+std::vector<SimDriver::FinishedJob> SimDriver::take_finished() {
+  return std::exchange(finished_log_, {});
+}
+
+std::size_t SimDriver::retire_finished() {
+  std::size_t retired = 0;
+  for (const JobId id : retirable_) {
+    const std::size_t j = static_cast<std::size_t>(id);
+    arena_.retire(id);
+    dags_[j] = nullptr;
+    jobs_[j] = nullptr;
+    if (j < owned_.size()) owned_[j].reset();
+    ++retired;
+  }
+  retirable_.clear();
+  return retired;
+}
+
+// Explicit instantiations keep the four loop flavours in this TU.
+template Time SimDriver::run_slots<false, false>(const SchedulerView&, Time);
+template Time SimDriver::run_slots<false, true>(const SchedulerView&, Time);
+template Time SimDriver::run_slots<true, false>(const SchedulerView&, Time);
+template Time SimDriver::run_slots<true, true>(const SchedulerView&, Time);
+
+}  // namespace otsched

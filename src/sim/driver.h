@@ -1,0 +1,229 @@
+// The incremental tick/advance engine core.
+//
+// SimDriver is the one simulation loop in the library: it owns the
+// ReadyArena / EngineHotState / SlotEventEmitter state the former
+// monolithic Engine owned, but exposes the run as an incremental API
+// instead of a single run-to-horizon call:
+//
+//   SimDriver driver(m, scheduler, context);
+//   driver.submit(Job(...));        // any time before or between advances
+//   driver.advance(n);              // simulate at most n slots
+//   driver.take_finished();         // per-job {release, finish, flow}
+//   driver.retire_finished();       // recycle finished jobs' memory
+//   SimResult result = driver.drain();  // run to completion, finalize
+//
+// Simulate() (sim/engine.h) is a thin wrapper — submit_all + drain — so
+// the batch path and the tick path are literally the same code; the
+// driver-equivalence suite additionally proves advance(1) stepping is
+// bit-identical to one-shot Simulate across policies, record modes,
+// observers, and fault models.
+//
+// Streaming semantics (the `otsched serve` daemon, src/serve):
+//   * submit() may be called between advances; the job's release must be
+//     >= now() (a release in the simulated past would diverge from an
+//     offline replay of the same arrival stream).  Arrivals are merged
+//     into the slot loop in (release, id) order — exactly the order
+//     Instance::release_order() feeds the batch path.
+//   * retire_finished() recycles finished jobs' DAG node regions through
+//     the ReadyArena free list and drops the driver's Job copies, so an
+//     unbounded stream runs in memory proportional to the live width of
+//     the stream plus O(1) residual per job (flow counters, region
+//     bases).  Retired jobs answer release/finished/done_work queries
+//     but no longer expose ready sets, DAGs, or metrics.
+//
+// The slot loop body is the PR-7 saturated hot path, unchanged: one
+// templated instantiation per (observed, record-full) mode, batched
+// observer delivery, flat-array scheduler reads via EngineHotState.
+#pragma once
+
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "job/instance.h"
+#include "sim/engine.h"
+#include "sim/faults.h"
+#include "sim/observer.h"
+#include "sim/ready_state.h"
+#include "sim/schedule.h"
+
+namespace otsched {
+
+class SimDriver final : public EngineBackend {
+ public:
+  /// A job that ran its last subjob, reported once via take_finished().
+  struct FinishedJob {
+    JobId job = kInvalidJob;
+    Time release = 0;
+    Time finish = 0;  // the slot its last subjob executed in
+    Time flow = 0;    // finish - release
+
+    friend bool operator==(const FinishedJob&, const FinishedJob&) = default;
+  };
+
+  /// `m` processors, one `scheduler`, one `context` — the same contract
+  /// as Simulate, minus the instance: jobs are submitted, not bound.
+  SimDriver(int m, Scheduler& scheduler, const RunContext& context = {});
+
+  /// Bulk-loads every job of `instance` (borrowed — the instance must
+  /// outlive the driver).  Only valid on a fresh driver; this is the
+  /// batch path and costs exactly what the monolithic engine's setup
+  /// cost.  Streaming callers use submit() instead.
+  void submit_all(const Instance& instance);
+
+  /// Submits one job (the driver takes ownership).  Valid before the
+  /// first advance and between advances; the release must be >= now().
+  /// Returns the job's dense id.  Enables finished-job tracking.
+  JobId submit(Job job);
+
+  /// Simulates at most `max_slots` further slots (fast-forwarded empty
+  /// stretches count as one).  Returns the number of slots visited: 0
+  /// means the driver is idle (all submitted work done).
+  Time advance(Time max_slots);
+
+  /// Runs until all submitted work is done, finalizes stats and flows,
+  /// fires on_finish, and returns the result.  The driver is spent
+  /// afterwards: no further submit/advance calls.
+  SimResult drain();
+
+  /// All submitted work executed (also true before the first submit).
+  bool idle() const { return executed_total_ == total_work_; }
+
+  /// Last fully simulated slot (0 before the first advance).
+  Time now() const { return slot_ > 0 ? slot_ - 1 : 0; }
+
+  /// Jobs that finished since the previous call, in completion order
+  /// (ties: pick placement order within the slot).  Populated once
+  /// tracking is on — submit() turns it on; submit_all alone (the batch
+  /// path) leaves it off and pays nothing.
+  std::vector<FinishedJob> take_finished();
+
+  /// Recycles the arena regions and Job storage of every job that
+  /// finished since the previous call.  Returns how many jobs were
+  /// retired.  Requires finished-job tracking (i.e. a streaming driver).
+  std::size_t retire_finished();
+
+  /// Stats accumulated so far (horizon fields are only final after
+  /// drain()).
+  const SimStats& stats() const { return result_.stats; }
+
+  /// Flow summary over everything recorded so far (snapshot; drain()
+  /// produces the authoritative one).
+  FlowSummary flows_snapshot() const { return flows_.finish(); }
+
+  /// Outstanding (submitted, unexecuted) subjobs.
+  std::int64_t pending_work() const { return total_work_ - executed_total_; }
+
+  /// Arena introspection for the retire-on-finish memory bound: node
+  /// slots currently backing the driver (live + recyclable).
+  std::int64_t arena_nodes() const { return arena_.node_capacity(); }
+
+  // --- EngineBackend implementation ---
+  Time slot() const override { return slot_; }
+  int m() const override { return m_; }
+  int capacity() const override { return capacity_; }
+  JobId job_count() const override {
+    return static_cast<JobId>(jobs_.size());
+  }
+  std::span<const JobId> alive() const override { return alive_; }
+  Time release(JobId id) const override {
+    return release_[static_cast<std::size_t>(id)];
+  }
+  bool arrived(JobId id) const override { return release(id) < slot_; }
+  bool finished(JobId id) const override {
+    return arena_.done(id) == work_[static_cast<std::size_t>(id)];
+  }
+  std::span<const NodeId> ready(JobId id) const override {
+    return arena_.ready(id);
+  }
+  std::int64_t remaining_work(JobId id) const override {
+    return work_[static_cast<std::size_t>(id)] - arena_.done(id);
+  }
+  std::int64_t done_work(JobId id) const override { return arena_.done(id); }
+  bool executed(JobId id, NodeId v) const override {
+    return arena_.is_executed(id, v);
+  }
+  const Dag& dag(JobId id) const override;
+  const DagMetrics& metrics(JobId id) const override;
+  bool clairvoyant_allowed() const override { return clairvoyant_; }
+
+ private:
+  template <bool kObserved, bool kRecordFull>
+  Time run_slots(const SchedulerView& view, Time max_slots);
+
+  template <bool kObserved>
+  void deliver_arrivals(const SchedulerView& view);
+
+  /// One-time run setup: publish the hot tables, reset the scheduler
+  /// (with the job count submitted so far), arm the emitter, fire
+  /// on_run_begin, enter slot 1.
+  void begin();
+
+  /// Re-points the EngineHotState tables (the backing vectors may have
+  /// reallocated after submit/append).
+  void publish_hot();
+
+  /// The auto horizon bound over everything submitted so far (same
+  /// formula the batch engine derived from its instance).
+  Time horizon_bound() const;
+
+  /// Smallest (release, id) among undelivered arrivals, or nullopt.
+  std::optional<std::pair<Time, JobId>> next_pending_arrival() const;
+
+  int m_;
+  Scheduler& scheduler_;
+  RunObserver* observer_ = nullptr;  // borrowed; null = uninstrumented run
+  std::size_t batch_capacity_;       // event-ring size (RunContext)
+  SlotEventEmitter emitter_;         // batched event stream writer
+  bool clairvoyant_ = false;
+  bool record_full_ = true;          // materialize the Schedule?
+  Time options_horizon_ = 0;         // explicit cap; 0 = auto (running)
+  BudgetSequencer sequencer_;        // per-slot capacity source
+  int capacity_ = 1;                 // current slot's budget, m_t <= m
+
+  bool begun_ = false;
+  bool finalized_ = false;
+  Time slot_ = 0;
+  Time last_busy_slot_ = 0;          // online horizon (== schedule horizon)
+  SimResult result_;                 // schedule + stats accumulate here
+  FlowAccumulator flows_;            // online flow accounting, both modes
+  ReadyArena arena_;                 // SoA per-job ready/executed state
+  EngineHotState hot_;               // SchedulerView fast-path tables
+
+  // Per-job flat caches (no Job indirection in the per-slot loop).
+  // jobs_ entries are borrowed from the bulk instance or point into
+  // owned_; both are nulled by retire_finished().
+  std::vector<const Job*> jobs_;
+  std::vector<std::unique_ptr<Job>> owned_;  // streaming submissions
+  std::vector<const Dag*> dags_;
+  std::vector<std::int64_t> work_;
+  std::vector<Time> release_;
+
+  std::vector<JobId> alive_;          // arrived, unfinished, FIFO order
+  std::vector<JobId> arrival_order_;  // bulk jobs by (release, id)
+  std::size_t next_arrival_ = 0;
+  // Streaming submissions pending arrival, min-heap on (release, id) —
+  // merged with arrival_order_ so mixed bulk+streaming runs still
+  // deliver in global (release, id) order.
+  std::priority_queue<std::pair<Time, JobId>,
+                      std::vector<std::pair<Time, JobId>>,
+                      std::greater<std::pair<Time, JobId>>>
+      late_arrivals_;
+
+  std::int64_t executed_total_ = 0;
+  std::int64_t total_work_ = 0;       // over all submitted jobs
+  Time max_release_ = 0;              // running, for the auto horizon
+  std::int64_t max_span_ = 0;         // running, for the auto horizon
+  std::int64_t ready_width_ = 0;      // sum of ready counts over alive jobs
+  bool time_picks_ = false;           // observer wants pick_seconds?
+  int finished_this_slot_ = 0;        // gates alive-list compaction
+  std::vector<JobId> completed_now_;  // observer-only: finished this slot
+  std::vector<SubjobRef> picks_;      // per-slot scratch
+
+  bool track_finished_ = false;       // streaming: log finished jobs
+  std::vector<FinishedJob> finished_log_;  // take_finished() backlog
+  std::vector<JobId> retirable_;           // retire_finished() backlog
+};
+
+}  // namespace otsched

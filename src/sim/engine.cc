@@ -1,380 +1,9 @@
 #include "sim/engine.h"
 
-#include <algorithm>
-
 #include "common/assert.h"
-#include "common/timer.h"
-#include "sim/ready_state.h"
+#include "sim/driver.h"
 
 namespace otsched {
-
-/// Engine internals.  Lives in the .cc: users interact through Simulate().
-///
-/// The hot path is fully incremental (see sim/ready_state.h): per-node
-/// pending-predecessor counters are maintained as deltas when a subjob
-/// executes, roots are precomputed once at construction, and the alive
-/// list is only compacted in slots where a job actually finished.  After
-/// construction no full-DAG rescan ever happens; per-slot cost is
-/// O(picks + arrivals), not O(sum of DAG sizes).
-///
-/// Three saturation measures on top of the incremental bookkeeping:
-///  * all per-job state lives in one ReadyArena (a handful of flat
-///    arrays per RUN, not per-job heap objects), so a run performs O(1)
-///    allocations total;
-///  * schedulers read the world through the EngineHotState fast path
-///    (sim/engine.h): ready/alive/progress queries are inline array
-///    reads, no virtual dispatch;
-///  * the slot loop is compiled per (observed, record-full) mode, so
-///    unobserved flow-only runs carry no observer or schedule branches.
-///
-/// ReferenceSimulate (engine_reference.cc) preserves the seed
-/// implementation; the engine-equivalence gate proves both produce
-/// bit-identical schedules.
-class Engine final : public EngineBackend {
- public:
-  Engine(const Instance& instance, int m, Scheduler& scheduler,
-         const RunContext& context)
-      : instance_(instance),
-        m_(m),
-        scheduler_(scheduler),
-        observer_(context.observer),
-        batch_capacity_(context.batch_capacity),
-        sequencer_(context.options.faults, m) {
-    OTSCHED_CHECK(m >= 1);
-    const SimOptions& options = context.options;
-    clairvoyant_ =
-        options.clairvoyance == ClairvoyanceOverride::kPolicyDefault
-            ? scheduler.requires_clairvoyance()
-            : options.clairvoyance == ClairvoyanceOverride::kAllow;
-    record_full_ = options.record == RecordMode::kFull;
-    capacity_ = m_;
-    if (sequencer_.active()) {
-      OTSCHED_CHECK(scheduler.supports_fluctuating_capacity(),
-                    "scheduler '" << scheduler.name()
-                                  << "' does not support a fluctuating "
-                                     "per-slot capacity (fault model "
-                                  << ToString(options.faults.model) << ")");
-    }
-    max_horizon_ = options.max_horizon;
-    if (max_horizon_ == 0) {
-      // Any policy that executes at least one ready subjob whenever one
-      // exists finishes well within this bound; schedulers that stall
-      // (e.g. a broken Algorithm A window plan) hit the check instead of
-      // hanging the process.
-      max_horizon_ = instance.max_release() + 4 * instance.total_work() +
-                     instance.max_span() + 1024;
-      if (sequencer_.active()) {
-        // Faulted slots can run far below m (or at zero): leave room for
-        // the outage time before declaring a scheduler stalled.  Rates
-        // are capped at 0.9, so 64x work is generous.
-        max_horizon_ = instance.max_release() + 64 * instance.total_work() +
-                       instance.max_span() + 65536;
-      }
-    }
-  }
-
-  SimResult run();
-
-  // --- EngineBackend implementation ---
-  Time slot() const override { return slot_; }
-  int m() const override { return m_; }
-  int capacity() const override { return capacity_; }
-  JobId job_count() const override { return instance_.job_count(); }
-  std::span<const JobId> alive() const override { return alive_; }
-  Time release(JobId id) const override {
-    return release_[static_cast<std::size_t>(id)];
-  }
-  bool arrived(JobId id) const override { return release(id) < slot_; }
-  bool finished(JobId id) const override {
-    return arena_.done(id) == work_[static_cast<std::size_t>(id)];
-  }
-  std::span<const NodeId> ready(JobId id) const override {
-    return arena_.ready(id);
-  }
-  std::int64_t remaining_work(JobId id) const override {
-    return work_[static_cast<std::size_t>(id)] - arena_.done(id);
-  }
-  std::int64_t done_work(JobId id) const override { return arena_.done(id); }
-  bool executed(JobId id, NodeId v) const override {
-    return arena_.is_executed(id, v);
-  }
-  const Dag& dag(JobId id) const override {
-    OTSCHED_CHECK(clairvoyant_,
-                  "non-clairvoyant scheduler '"
-                      << scheduler_.name() << "' asked for the DAG of job "
-                      << id);
-    OTSCHED_CHECK(arrived(id), "DAG of job " << id
-                                             << " requested before arrival");
-    return *dags_[static_cast<std::size_t>(id)];
-  }
-  const DagMetrics& metrics(JobId id) const override {
-    OTSCHED_CHECK(clairvoyant_,
-                  "non-clairvoyant scheduler '"
-                      << scheduler_.name()
-                      << "' asked for metrics of job " << id);
-    OTSCHED_CHECK(arrived(id),
-                  "metrics of job " << id << " requested before arrival");
-    return instance_.job(id).metrics();
-  }
-  bool clairvoyant_allowed() const override { return clairvoyant_; }
-
- private:
-  template <bool kObserved, bool kRecordFull>
-  void run_loop(const SchedulerView& view, std::vector<SubjobRef>& picks,
-                SimResult& result);
-
-  template <bool kObserved>
-  void deliver_arrivals(const SchedulerView& view);
-
-  const Instance& instance_;
-  int m_;
-  Scheduler& scheduler_;
-  RunObserver* observer_ = nullptr;  // borrowed; null = uninstrumented run
-  std::size_t batch_capacity_;       // event-ring size (RunContext)
-  SlotEventEmitter emitter_;         // batched event stream writer
-  bool clairvoyant_ = false;
-  bool record_full_ = true;          // materialize the Schedule?
-  Time max_horizon_ = 0;
-  BudgetSequencer sequencer_;        // per-slot capacity source
-  int capacity_ = 1;                 // current slot's budget, m_t <= m
-
-  Time slot_ = 0;
-  Time last_busy_slot_ = 0;          // online horizon (== schedule horizon)
-  FlowAccumulator flows_;            // online flow accounting, both modes
-  ReadyArena arena_;                 // SoA per-job ready/executed state
-  EngineHotState hot_;               // SchedulerView fast-path tables
-  std::vector<const Dag*> dags_;      // flat caches: no Job indirection
-  std::vector<std::int64_t> work_;    //   in the per-slot loop
-  std::vector<Time> release_;
-  std::vector<JobId> alive_;          // arrived, unfinished, FIFO order
-  std::vector<JobId> arrival_order_;  // all jobs by (release, id)
-  std::size_t next_arrival_ = 0;
-  std::int64_t executed_total_ = 0;
-  std::int64_t ready_width_ = 0;      // sum of ready counts over alive jobs
-  bool time_picks_ = false;           // observer wants pick_seconds?
-  int finished_this_slot_ = 0;        // gates alive-list compaction
-  std::vector<JobId> completed_now_;  // observer-only: jobs finished this slot
-};
-
-template <bool kObserved>
-void Engine::deliver_arrivals(const SchedulerView& view) {
-  while (next_arrival_ < arrival_order_.size()) {
-    const JobId id = arrival_order_[next_arrival_];
-    if (release_[static_cast<std::size_t>(id)] >= slot_) break;
-    ++next_arrival_;
-    alive_.push_back(id);
-    hot_.alive = alive_.data();
-    hot_.alive_count = alive_.size();
-    // Precomputed roots become ready on arrival (increasing node id, the
-    // same order the seed engine's arrival rescan produced).
-    ready_width_ += arena_.activate(id);
-    scheduler_.on_arrival(id, view);
-    if constexpr (kObserved) emitter_.arrival(slot_, id);
-  }
-}
-
-template <bool kObserved, bool kRecordFull>
-void Engine::run_loop(const SchedulerView& view,
-                      std::vector<SubjobRef>& picks, SimResult& result) {
-  const JobId n = instance_.job_count();
-  const std::int64_t total_work = instance_.total_work();
-
-  slot_ = 1;
-  while (executed_total_ < total_work) {
-    // Fast-forward across empty stretches when nothing is alive.
-    if (alive_.empty() && next_arrival_ < arrival_order_.size()) {
-      const Time next_release =
-          release_[static_cast<std::size_t>(arrival_order_[next_arrival_])];
-      slot_ = std::max(slot_, next_release + 1);
-    }
-    OTSCHED_CHECK(slot_ <= max_horizon_,
-                  "scheduler '" << scheduler_.name()
-                                << "' exceeded the horizon bound "
-                                << max_horizon_);
-    hot_.slot = slot_;
-
-    if constexpr (kObserved) emitter_.slot_begin(slot_);
-
-    deliver_arrivals<kObserved>(view);
-
-    if (sequencer_.active()) {
-      // Capacity resolves after the slot's arrivals (the adversarial dip
-      // watches the post-arrival alive count) and before the pick.
-      const int cap = sequencer_.capacity(
-          slot_, static_cast<std::int64_t>(alive_.size()));
-      if (cap != capacity_) {
-        capacity_ = cap;
-        hot_.capacity = capacity_;
-        if constexpr (kObserved) emitter_.capacity_change(slot_, capacity_);
-      }
-      if (capacity_ < m_) {
-        ++result.stats.faulted_slots;
-        result.stats.capacity_shortfall += m_ - capacity_;
-      }
-    }
-
-    picks.clear();
-    double pick_seconds = 0.0;
-    if constexpr (kObserved) {
-      if (time_picks_) {
-        WallTimer pick_timer;
-        scheduler_.pick(view, picks);
-        pick_seconds = pick_timer.elapsed_seconds();
-      } else {
-        scheduler_.pick(view, picks);
-      }
-    } else {
-      scheduler_.pick(view, picks);
-    }
-
-    OTSCHED_CHECK(static_cast<int>(picks.size()) <= capacity_,
-                  "scheduler '" << scheduler_.name() << "' picked "
-                                << picks.size() << " subjobs with capacity "
-                                << capacity_ << " (m = " << m_
-                                << ") at slot " << slot_);
-    // Validate readiness and uniqueness, then execute.
-    for (const SubjobRef& ref : picks) {
-      OTSCHED_CHECK(ref.job >= 0 && ref.job < n,
-                    "pick references unknown job " << ref.job);
-      const std::size_t j = static_cast<std::size_t>(ref.job);
-      OTSCHED_CHECK(ref.node >= 0 && ref.node < dags_[j]->node_count(),
-                    "pick references unknown node " << ref.node << " of job "
-                                                    << ref.job);
-      OTSCHED_CHECK(arrived(ref.job), "job " << ref.job
-                                             << " picked before arrival at slot "
-                                             << slot_);
-      OTSCHED_CHECK(!arena_.is_executed(ref.job, ref.node),
-                    "job " << ref.job << " node " << ref.node
-                           << " picked twice (slot " << slot_ << ")");
-      OTSCHED_CHECK(arena_.is_ready(ref.job, ref.node),
-                    "job " << ref.job << " node " << ref.node
-                           << " is not ready at slot " << slot_);
-    }
-    if constexpr (kObserved) {
-      // The pre-execution flush: picks are final, the backend still shows
-      // the state the scheduler saw, and the event carries the incremental
-      // alive/ready-width counters observers used to recompute per pick.
-      emitter_.pick_block(slot_, picks,
-                          static_cast<std::int64_t>(alive_.size()),
-                          ready_width_, pick_seconds);
-    }
-    // Same-slot duplicate picks are caught by the executed flag flipping
-    // during execution below.
-    for (const SubjobRef& ref : picks) {
-      OTSCHED_CHECK(!arena_.is_executed(ref.job, ref.node),
-                    "duplicate pick of job " << ref.job << " node "
-                                             << ref.node << " in slot "
-                                             << slot_);
-      const std::size_t j = static_cast<std::size_t>(ref.job);
-      // Children may become ready — but only from the NEXT slot, which is
-      // fine because picks for the current slot were already validated
-      // against the pre-execution ready sets.
-      ready_width_ += arena_.execute(*dags_[j], ref.job, ref.node);
-      ++executed_total_;
-      if (arena_.done(ref.job) == work_[j]) {
-        ++finished_this_slot_;
-        if constexpr (kObserved) completed_now_.push_back(ref.job);
-      }
-      flows_.record(slot_, ref.job);
-      if constexpr (kRecordFull) result.schedule->place(slot_, ref);
-    }
-    if constexpr (kObserved) {
-      if (!completed_now_.empty()) {
-        // Ascending job id, matching DeriveTrace's completion order.
-        std::sort(completed_now_.begin(), completed_now_.end());
-        for (const JobId id : completed_now_) emitter_.complete(slot_, id);
-        completed_now_.clear();
-      }
-      emitter_.slot_end();
-    }
-    if (!picks.empty()) {
-      ++result.stats.busy_slots;
-      last_busy_slot_ = slot_;
-    }
-    if (finished_this_slot_ > 0) {
-      // The seed engine swept the alive list every slot; sweeping only
-      // when a job finished is observationally identical (a sweep with no
-      // finished job removes nothing) and drops the per-slot cost from
-      // O(alive) to O(1) outside finishing slots.
-      std::erase_if(alive_, [this](JobId id) { return finished(id); });
-      hot_.alive = alive_.data();
-      hot_.alive_count = alive_.size();
-      finished_this_slot_ = 0;
-    }
-    ++slot_;
-  }
-}
-
-SimResult Engine::run() {
-  const JobId n = instance_.job_count();
-  dags_.resize(static_cast<std::size_t>(n));
-  work_.resize(static_cast<std::size_t>(n));
-  release_.resize(static_cast<std::size_t>(n));
-  for (JobId id = 0; id < n; ++id) {
-    const Job& job = instance_.job(id);
-    OTSCHED_CHECK(job.dag().node_count() >= 1,
-                  "job " << id << " has no subjobs");
-    const std::size_t j = static_cast<std::size_t>(id);
-    dags_[j] = &job.dag();
-    work_[j] = job.work();
-    release_[j] = job.release();
-  }
-  arena_.init(dags_);
-  arrival_order_ = instance_.release_order();
-  alive_.reserve(static_cast<std::size_t>(n));
-
-  hot_.m = m_;
-  hot_.capacity = capacity_;
-  hot_.alive = alive_.data();
-  hot_.alive_count = 0;
-  hot_.ready_base = arena_.ready_storage();
-  hot_.node_off = arena_.node_offsets();
-  hot_.ready_len = arena_.ready_lengths();
-  hot_.done = arena_.done_counts();
-  hot_.work = work_.data();
-  hot_.release = release_.data();
-
-  scheduler_.reset(m_, n);
-  SchedulerView view(*this, &hot_);
-  flows_.init(instance_);
-  SimResult result;
-  if (record_full_) result.schedule.emplace(m_);
-
-  std::vector<SubjobRef> picks;
-  picks.reserve(static_cast<std::size_t>(m_));
-
-  emitter_.reset(this, observer_, batch_capacity_);
-  time_picks_ = observer_ != nullptr && observer_->wants_pick_timing();
-  if (observer_ != nullptr) observer_->on_run_begin(*this);
-
-  // One loop instantiation per (observed, record-full) mode: unobserved
-  // flow-only runs — the sweep/adversary configuration — compile to a
-  // loop with no observer or schedule code at all.
-  if (observer_ != nullptr) {
-    if (record_full_) {
-      run_loop<true, true>(view, picks, result);
-    } else {
-      run_loop<true, false>(view, picks, result);
-    }
-  } else {
-    if (record_full_) {
-      run_loop<false, true>(view, picks, result);
-    } else {
-      run_loop<false, false>(view, picks, result);
-    }
-  }
-
-  // Stats and flows are computed online in BOTH record modes (identical
-  // by construction; ComputeFlows over the materialized schedule yields
-  // the same numbers, as the engine-equivalence gate proves).
-  result.stats.horizon = last_busy_slot_;
-  result.stats.executed_subjobs = executed_total_;
-  result.stats.idle_processor_slots =
-      static_cast<std::int64_t>(m_) * last_busy_slot_ - executed_total_;
-  result.flows = flows_.finish();
-  if (observer_ != nullptr) observer_->on_finish(result);
-  return result;
-}
 
 // --- SchedulerView cold-path forwarding (hot accessors are inline in
 // engine.h; these either gate clairvoyance or are off the pick path) ---
@@ -399,10 +28,16 @@ const Schedule& SimResult::full_schedule() const {
   return *schedule;
 }
 
+/// Batch runs are the tick engine driven to completion: Simulate is a
+/// thin SimDriver loop (bulk submit + drain), so the batch path and the
+/// incremental path are the same compiled code — the bit-identity the
+/// driver-equivalence suite then re-proves slot by slot for advance(1)
+/// stepping.  The engine internals live in sim/driver.{h,cc}.
 SimResult Simulate(const Instance& instance, int m, Scheduler& scheduler,
                    const RunContext& context) {
-  Engine engine(instance, m, scheduler, context);
-  return engine.run();
+  SimDriver driver(m, scheduler, context);
+  driver.submit_all(instance);
+  return driver.drain();
 }
 
 }  // namespace otsched

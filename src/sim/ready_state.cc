@@ -1,5 +1,7 @@
 #include "sim/ready_state.h"
 
+#include <algorithm>
+
 #include "common/assert.h"
 
 namespace otsched {
@@ -15,15 +17,18 @@ void PendingCounters::init(const Dag& dag) {
 }
 
 void ReadyArena::init(std::span<const Dag* const> dags) {
+  OTSCHED_CHECK(off_.empty(), "ReadyArena::init on a non-empty arena");
   const std::size_t jobs = dags.size();
-  off_.resize(jobs + 1);
+  off_.resize(jobs);
+  nodes_.resize(jobs);
   roots_off_.resize(jobs + 1);
   std::int64_t total = 0;
   for (std::size_t j = 0; j < jobs; ++j) {
     off_[j] = total;
+    nodes_[j] = dags[j]->node_count();
     total += dags[j]->node_count();
   }
-  off_[jobs] = total;
+  total_nodes_ = total;
 
   pending_.assign(static_cast<std::size_t>(total), 0);
   pos_.assign(static_cast<std::size_t>(total), kInvalidNode);
@@ -57,17 +62,108 @@ void ReadyArena::init(std::span<const Dag* const> dags) {
   }
 }
 
+JobId ReadyArena::append(const Dag& dag) {
+  const std::int32_t n = dag.node_count();
+  std::int64_t base = -1;
+  // First fit over the (sorted, coalesced) free list; a larger region is
+  // split and its tail stays available.
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    if (free_[i].size >= n) {
+      base = free_[i].base;
+      if (free_[i].size > n) {
+        free_[i].base += n;
+        free_[i].size -= n;
+      } else {
+        free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+      break;
+    }
+  }
+  if (base < 0) {
+    base = total_nodes_;
+    total_nodes_ += n;
+    pending_.resize(static_cast<std::size_t>(total_nodes_));
+    pos_.resize(static_cast<std::size_t>(total_nodes_));
+    ready_.resize(static_cast<std::size_t>(total_nodes_));
+    executed_.resize(static_cast<std::size_t>((total_nodes_ + 63) / 64), 0);
+  }
+  // (Re)initialize the region: in-degrees, no ready positions, executed
+  // bits cleared (the region may have hosted a retired job).
+  std::int32_t* pending = pending_.data() + base;
+  NodeId* pos = pos_.data() + base;
+  for (NodeId v = 0; v < n; ++v) {
+    pending[static_cast<std::size_t>(v)] = dag.in_degree(v);
+    pos[static_cast<std::size_t>(v)] = kInvalidNode;
+  }
+  for (std::int64_t nv = base; nv < base + n; ++nv) {
+    executed_[static_cast<std::size_t>(nv >> 6)] &=
+        ~(std::uint64_t{1} << (nv & 63));
+  }
+
+  const JobId j = static_cast<JobId>(off_.size());
+  off_.push_back(base);
+  nodes_.push_back(n);
+  ready_len_.push_back(0);
+  done_.push_back(0);
+  return j;
+}
+
+void ReadyArena::retire(JobId j) {
+  const std::size_t i = static_cast<std::size_t>(j);
+  OTSCHED_CHECK(i < off_.size(), "retire of unknown job " << j);
+  OTSCHED_CHECK(done_[i] == nodes_[i],
+                "retire of unfinished job " << j << " (" << done_[i] << "/"
+                                            << nodes_[i] << " executed)");
+  OTSCHED_DCHECK(ready_len_[i] == 0);
+  FreeRegion region{off_[i], nodes_[i]};
+  if (region.size == 0) return;
+  // Sorted insert + coalesce with both neighbours, so back-to-back
+  // retirements of adjacent jobs merge into one reusable region.
+  const auto at = std::lower_bound(
+      free_.begin(), free_.end(), region.base,
+      [](const FreeRegion& r, std::int64_t b) { return r.base < b; });
+  const std::size_t idx =
+      static_cast<std::size_t>(at - free_.begin());
+  free_.insert(at, region);
+  if (idx + 1 < free_.size() &&
+      free_[idx].base + free_[idx].size == free_[idx + 1].base) {
+    free_[idx].size += free_[idx + 1].size;
+    free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(idx) + 1);
+  }
+  if (idx > 0 &&
+      free_[idx - 1].base + free_[idx - 1].size == free_[idx].base) {
+    free_[idx - 1].size += free_[idx].size;
+    free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+}
+
 std::int32_t ReadyArena::activate(JobId j) {
   const std::size_t i = static_cast<std::size_t>(j);
   NodeId* ready = ready_.data() + off_[i];
   NodeId* pos = pos_.data() + off_[i];
   std::int32_t& len = ready_len_[i];
   OTSCHED_DCHECK(len == 0);
-  for (std::int64_t r = roots_off_[i]; r < roots_off_[i + 1]; ++r) {
-    const NodeId v = roots_[static_cast<std::size_t>(r)];
-    pos[static_cast<std::size_t>(v)] = static_cast<NodeId>(len);
-    ready[static_cast<std::size_t>(len)] = v;
-    ++len;
+  if (i + 1 < roots_off_.size()) {
+    // Bulk-initialized job: precomputed root list.
+    for (std::int64_t r = roots_off_[i]; r < roots_off_[i + 1]; ++r) {
+      const NodeId v = roots_[static_cast<std::size_t>(r)];
+      pos[static_cast<std::size_t>(v)] = static_cast<NodeId>(len);
+      ready[static_cast<std::size_t>(len)] = v;
+      ++len;
+    }
+  } else {
+    // Appended job: scan the still-initial pending counters.  Same order
+    // (increasing node id over the in-degree-0 nodes), one O(nodes) pass
+    // that replaces the root-list pass bulk init would have paid.
+    const std::int32_t n = nodes_[i];
+    const std::int32_t* pending = pending_.data() + off_[i];
+    for (NodeId v = 0; v < n; ++v) {
+      if (pending[static_cast<std::size_t>(v)] == 0) {
+        pos[static_cast<std::size_t>(v)] = static_cast<NodeId>(len);
+        ready[static_cast<std::size_t>(len)] = v;
+        ++len;
+      }
+    }
   }
   return len;
 }

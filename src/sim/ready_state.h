@@ -83,11 +83,42 @@ class PendingCounters {
 /// The determinism contract above holds per job region exactly as it did
 /// for the per-job vectors: same roots order, same swap-erase, same
 /// children order — the engine-equivalence gate proves it bit-for-bit.
+/// Streaming extension (SimDriver, sim/driver.h): jobs may additionally
+/// be append()ed one at a time after (or instead of) the bulk init, and
+/// finished jobs may be retire()d, which recycles their node region
+/// through a coalescing free list so an unbounded submission stream runs
+/// in memory proportional to the LIVE node count plus O(1) per job ever
+/// seen (the per-job base/len/done entries are never reclaimed — job ids
+/// are stable for the driver's lifetime).  Appended jobs activate by
+/// scanning their pending counters (identical root order: increasing
+/// node id); bulk jobs keep the precomputed root lists, so the batch
+/// path is untouched.
 class ReadyArena {
  public:
   /// Builds counters/roots/flags for every dag.  Ready lists stay empty
   /// until activate() — jobs contribute no ready subjobs before arrival.
+  /// Only valid on a fresh arena (no prior init/append).
   void init(std::span<const Dag* const> dags);
+
+  /// Adds one job after construction, reusing a retired region when one
+  /// is large enough (first-fit with splitting) and growing the node
+  /// arrays otherwise.  Returns the new job's id (== job_count() - 1).
+  /// Growing may reallocate the raw tables below — re-publish any cached
+  /// pointers after calling this.
+  JobId append(const Dag& dag);
+
+  /// Recycles job j's node region (j must be finished: every node
+  /// executed, ready list empty).  Per-job queries done()/is-finished
+  /// remain valid; per-NODE queries (ready/is_ready/is_executed) for j
+  /// are meaningless once the region is reused.  Never reallocates.
+  void retire(JobId j);
+
+  std::size_t job_count() const { return off_.size(); }
+
+  /// Node slots currently backing the arena (live + free-listed).  The
+  /// retire-on-finish memory bound is asserted against this: it tracks
+  /// the peak LIVE width of the stream, not the cumulative submissions.
+  std::int64_t node_capacity() const { return total_nodes_; }
 
   /// Publishes job j's roots into its ready region (arrival), in
   /// increasing node id.  Call once per job; returns the root count (the
@@ -153,15 +184,25 @@ class ReadyArena {
   const std::int64_t* done_counts() const { return done_.data(); }
 
  private:
-  std::vector<std::int64_t> off_;        // job -> base node index (jobs+1)
+  /// A retired node region awaiting reuse, kept sorted by base and
+  /// coalesced with adjacent entries on insert.
+  struct FreeRegion {
+    std::int64_t base = 0;
+    std::int64_t size = 0;
+  };
+
+  std::vector<std::int64_t> off_;        // job -> base node index
+  std::vector<std::int32_t> nodes_;      // job -> region size (node count)
   std::vector<std::int32_t> pending_;    // pending predecessors per node
   std::vector<NodeId> pos_;              // node -> index in its ready region
   std::vector<std::uint64_t> executed_;  // bitset over all nodes
   std::vector<NodeId> ready_;            // per-job CSR ready regions
   std::vector<std::int32_t> ready_len_;  // per-job ready count
   std::vector<std::int64_t> done_;       // per-job executed count
-  std::vector<NodeId> roots_;            // CSR root lists (increasing id)
-  std::vector<std::int64_t> roots_off_;  // job -> root region (jobs+1)
+  std::vector<NodeId> roots_;            // CSR root lists, bulk jobs only
+  std::vector<std::int64_t> roots_off_;  // bulk job -> root region (jobs+1)
+  std::vector<FreeRegion> free_;         // retired regions, sorted by base
+  std::int64_t total_nodes_ = 0;         // node slots backing the arena
 };
 
 }  // namespace otsched

@@ -93,38 +93,47 @@ std::vector<Time> Schedule::idle_slots(Time from, Time to,
 }
 
 void FlowAccumulator::init(const Instance& instance) {
-  instance_ = &instance;
-  const std::size_t n = static_cast<std::size_t>(instance.job_count());
-  placed_.assign(n, 0);
-  last_slot_.assign(n, kNoTime);
+  reset();
+  for (JobId id = 0; id < instance.job_count(); ++id) {
+    const Job& job = instance.job(id);
+    add_job(job.work(), job.release());
+  }
 }
 
+void FlowAccumulator::reset() {
+  work_.clear();
+  release_.clear();
+  placed_.clear();
+  last_slot_.clear();
+}
+
+JobId FlowAccumulator::add_job(std::int64_t work, Time release) {
+  work_.push_back(work);
+  release_.push_back(release);
+  placed_.push_back(0);
+  last_slot_.push_back(kNoTime);
+  return static_cast<JobId>(work_.size()) - 1;
+}
 
 FlowSummary FlowAccumulator::finish() const {
-  OTSCHED_CHECK(instance_ != nullptr, "FlowAccumulator not initialized");
-  const Instance& instance = *instance_;
-  const std::size_t n = static_cast<std::size_t>(instance.job_count());
+  const std::size_t n = work_.size();
   FlowSummary summary;
   summary.completion.resize(n, kNoTime);
   summary.flow.resize(n, kInfiniteTime);
-  for (JobId id = 0; id < instance.job_count(); ++id) {
-    const std::size_t i = static_cast<std::size_t>(id);
-    const Job& job = instance.job(id);
-    if (placed_[i] == job.work()) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (placed_[i] == work_[i]) {
       summary.completion[i] = last_slot_[i];
-      summary.flow[i] = last_slot_[i] - job.release();
+      summary.flow[i] = last_slot_[i] - release_[i];
     } else {
       summary.all_completed = false;
     }
     if (summary.max_flow_job == kInvalidJob ||
         summary.flow[i] > summary.max_flow) {
       summary.max_flow = summary.flow[i];
-      summary.max_flow_job = id;
+      summary.max_flow_job = static_cast<JobId>(i);
     }
   }
-  if (instance.job_count() == 0) {
-    summary.max_flow = 0;
-  }
+  if (n == 0) summary.max_flow = 0;
   return summary;
 }
 

@@ -93,6 +93,9 @@ struct FlowSummary {
 /// from a materialized schedule (ComputeFlows is implemented on top of
 /// it, so the two paths agree by construction).  This is what lets
 /// flow-only runs skip the schedule entirely.
+/// The accumulator owns per-job (work, release) copies rather than a
+/// borrowed Instance, so incremental engines (SimDriver) can add jobs as
+/// a stream submits them — finish() needs no Instance at all.
 class FlowAccumulator {
  public:
   FlowAccumulator() = default;
@@ -100,6 +103,14 @@ class FlowAccumulator {
 
   /// (Re)binds to an instance; resets all counters.
   void init(const Instance& instance);
+
+  /// Drops every job and all recorded placements.
+  void reset();
+
+  /// Registers one more job (dense ids, in call order).  Returns its id.
+  JobId add_job(std::int64_t work, Time release);
+
+  JobId job_count() const { return static_cast<JobId>(work_.size()); }
 
   /// One subjob of `job` ran during `slot`.  Slots need not be fed in
   /// order; completion is the LAST slot a job's subjob ran in.  Inline:
@@ -116,7 +127,8 @@ class FlowAccumulator {
   FlowSummary finish() const;
 
  private:
-  const Instance* instance_ = nullptr;
+  std::vector<std::int64_t> work_;    // per-job total work
+  std::vector<Time> release_;         // per-job release time
   std::vector<std::int64_t> placed_;
   std::vector<Time> last_slot_;
 };

@@ -1,6 +1,7 @@
 #include "sim/trace.h"
 
 #include <algorithm>
+#include <fstream>
 #include <limits>
 #include <sstream>
 
@@ -126,6 +127,42 @@ EventTrace EventTrace::from_text(const std::string& text) {
   std::optional<EventTrace> trace = try_from_text(text, &error);
   OTSCHED_CHECK(trace.has_value(), error);
   return *std::move(trace);
+}
+
+std::optional<EventTrace> EventTrace::try_from_file(const std::string& path,
+                                                    std::string* error) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    if (error != nullptr) *error = path + ": cannot open trace file";
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    if (error != nullptr) *error = path + ": read error";
+    return std::nullopt;
+  }
+  std::string parse_error;
+  std::optional<EventTrace> trace = try_from_text(buffer.str(), &parse_error);
+  if (!trace.has_value() && error != nullptr) {
+    *error = path + ": " + parse_error;
+  }
+  return trace;
+}
+
+bool EventTrace::to_file(const std::string& path, std::string* error) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) {
+    if (error != nullptr) *error = path + ": cannot open for writing";
+    return false;
+  }
+  out << to_text();
+  out.flush();
+  if (!out.good()) {
+    if (error != nullptr) *error = path + ": write error";
+    return false;
+  }
+  return true;
 }
 
 EventTrace DeriveTrace(const Schedule& schedule, const Instance& instance) {

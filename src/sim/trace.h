@@ -55,6 +55,18 @@ class EventTrace {
   /// try_from_text that aborts (OTSCHED_CHECK) on malformed input.
   static EventTrace from_text(const std::string& text);
 
+  /// File-level counterpart of try_from_text (symmetric with to_file):
+  /// reads `path` and parses it.  An unreadable file or a malformed line
+  /// yields nullopt with a diagnostic prefixed by the path, so CLI users
+  /// see "<path>: trace line N: ..." for parse errors.
+  static std::optional<EventTrace> try_from_file(const std::string& path,
+                                                 std::string* error = nullptr);
+
+  /// Writes to_text() to `path`.  Returns false (with a diagnostic in
+  /// `error`) on I/O failure; a successful write round-trips through
+  /// try_from_file to an equal trace.
+  bool to_file(const std::string& path, std::string* error = nullptr) const;
+
   friend bool operator==(const EventTrace&, const EventTrace&) = default;
 
  private:

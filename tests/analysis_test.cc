@@ -68,8 +68,8 @@ TEST(Ratio, LowerBoundDenominatorFallback) {
 }
 
 TEST(Sweep, ResultsComeBackInIndexOrder) {
-  const auto results = RunSweep<std::size_t>(
-      100, [](std::size_t i) { return i * i; }, 4);
+  const auto results = BatchRunner(4).Map<std::size_t>(
+      100, [](std::size_t i) { return i * i; });
   ASSERT_EQ(results.size(), 100u);
   for (std::size_t i = 0; i < results.size(); ++i) {
     EXPECT_EQ(results[i], i * i);
@@ -116,8 +116,8 @@ TEST(Sweep, DeterministicAcrossWorkerCounts) {
     FifoScheduler fifo;
     return MeasureRatio(cert.instance, 4, fifo, cert.opt).ratio;
   };
-  const auto serial = RunSweep<double>(6, cell, 1);
-  const auto parallel = RunSweep<double>(6, cell, 4);
+  const auto serial = BatchRunner(1).Map<double>(6, cell);
+  const auto parallel = BatchRunner(4).Map<double>(6, cell);
   EXPECT_EQ(serial, parallel);
 }
 

@@ -1,0 +1,379 @@
+// The tick/advance gate for the incremental SimDriver: stepping a driver
+// one slot at a time (advance(1) ... drain()) must be BIT-IDENTICAL to
+// one-shot Simulate — same Schedule, flows, stats, and byte-identical
+// observer hook streams — for every registry policy, in both record
+// modes, with and without observers, and under fluctuating fault
+// budgets.  Simulate() itself is a thin submit_all+drain loop over the
+// driver, so this suite is what licenses the claim that the batch path
+// and the tick path are the same code.
+//
+// On top of the equivalence matrix: the streaming contract — mid-run
+// submit() between advances lands jobs in the same (release, id) arrival
+// order the batch path uses, take_finished() reports every completion
+// exactly once with flow == finish - release, and retire_finished()
+// keeps arena memory proportional to the live width of the stream
+// instead of the length of the run.
+#include "gtest_compat.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.h"
+#include "dag/builders.h"
+#include "gen/arrivals.h"
+#include "gen/certified.h"
+#include "gen/random_trees.h"
+#include "sched/fifo.h"
+#include "sched/registry.h"
+#include "sim/driver.h"
+#include "sim/engine.h"
+#include "sim/observers.h"
+#include "sim/trace.h"
+
+namespace otsched {
+namespace {
+
+/// Flattens every hook invocation into one comparable line (pick wall
+/// times excluded — the one nondeterministic hook argument).
+class HookRecorder final : public RunObserver {
+ public:
+  void on_run_begin(const EngineBackend& engine) override {
+    std::ostringstream line;
+    line << "begin m=" << engine.m() << " jobs=" << engine.job_count();
+    lines_.push_back(line.str());
+  }
+  void on_slot_begin(Time slot, const EngineBackend& engine) override {
+    std::ostringstream line;
+    line << "slot " << slot << " alive=" << engine.alive().size();
+    lines_.push_back(line.str());
+  }
+  void on_arrival(Time slot, JobId job) override {
+    std::ostringstream line;
+    line << "arrive " << slot << ' ' << job;
+    lines_.push_back(line.str());
+  }
+  void on_capacity_change(Time slot, int capacity) override {
+    std::ostringstream line;
+    line << "cap " << slot << ' ' << capacity;
+    lines_.push_back(line.str());
+  }
+  void on_pick(Time slot, const EngineBackend&,
+               std::span<const SubjobRef> picks, double) override {
+    std::ostringstream line;
+    line << "pick " << slot;
+    for (const SubjobRef& ref : picks) {
+      line << ' ' << ref.job << ':' << ref.node;
+    }
+    lines_.push_back(line.str());
+  }
+  void on_execute(Time slot, SubjobRef ref) override {
+    std::ostringstream line;
+    line << "exec " << slot << ' ' << ref.job << ':' << ref.node;
+    lines_.push_back(line.str());
+  }
+  void on_complete(Time slot, JobId job) override {
+    std::ostringstream line;
+    line << "done " << slot << ' ' << job;
+    lines_.push_back(line.str());
+  }
+  void on_finish(const SimResult& result) override {
+    std::ostringstream line;
+    line << "finish horizon=" << result.stats.horizon
+         << " max_flow=" << result.flows.max_flow;
+    lines_.push_back(line.str());
+  }
+
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+void ExpectIdenticalResults(const SimResult& tick, const SimResult& batch,
+                            const std::string& label) {
+  ASSERT_EQ(tick.has_schedule(), batch.has_schedule()) << label;
+  if (batch.has_schedule()) {
+    const Schedule& got = tick.full_schedule();
+    const Schedule& want = batch.full_schedule();
+    ASSERT_EQ(got.horizon(), want.horizon()) << label;
+    ASSERT_EQ(got.total_placed(), want.total_placed()) << label;
+    for (Time t = 1; t <= want.horizon(); ++t) {
+      const auto a = got.at(t);
+      const auto b = want.at(t);
+      ASSERT_EQ(a.size(), b.size()) << label << " at slot " << t;
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        EXPECT_EQ(a[i], b[i]) << label << " at slot " << t << " index " << i;
+      }
+    }
+  }
+  EXPECT_EQ(tick.flows.completion, batch.flows.completion) << label;
+  EXPECT_EQ(tick.flows.flow, batch.flows.flow) << label;
+  EXPECT_EQ(tick.flows.max_flow, batch.flows.max_flow) << label;
+  EXPECT_EQ(tick.flows.max_flow_job, batch.flows.max_flow_job) << label;
+  EXPECT_EQ(tick.flows.all_completed, batch.flows.all_completed) << label;
+  EXPECT_EQ(tick.stats.horizon, batch.stats.horizon) << label;
+  EXPECT_EQ(tick.stats.executed_subjobs, batch.stats.executed_subjobs)
+      << label;
+  EXPECT_EQ(tick.stats.idle_processor_slots, batch.stats.idle_processor_slots)
+      << label;
+  EXPECT_EQ(tick.stats.busy_slots, batch.stats.busy_slots) << label;
+  EXPECT_EQ(tick.stats.faulted_slots, batch.stats.faulted_slots) << label;
+  EXPECT_EQ(tick.stats.capacity_shortfall, batch.stats.capacity_shortfall)
+      << label;
+}
+
+/// Runs one (instance, m, policy) case through advance(1) ticking and
+/// through one-shot Simulate under identical options, with and without
+/// observers, and requires bit-identical everything.
+void CheckTickEqualsBatch(const Instance& instance, int m,
+                          const PolicySpec& spec, Time known_opt,
+                          const SimOptions& options,
+                          const std::string& label) {
+  const std::uint64_t seed = 12345;
+  const auto make = [&] {
+    return spec.needs_semi_batched ? spec.make_semi_batched(known_opt)
+                                   : spec.make(seed);
+  };
+
+  // Batch baseline.
+  auto batch_scheduler = make();
+  const SimResult batch = Simulate(instance, m, *batch_scheduler, options);
+
+  // Tick: advance one slot at a time until idle, then drain.
+  auto tick_scheduler = make();
+  SimDriver driver(m, *tick_scheduler, options);
+  driver.submit_all(instance);
+  Time ticks = 0;
+  while (driver.advance(1) > 0) ++ticks;
+  EXPECT_EQ(driver.advance(1), 0) << label;  // idle drivers report 0
+  EXPECT_TRUE(driver.idle()) << label;
+  const SimResult tick = driver.drain();
+  ExpectIdenticalResults(tick, batch, label + " [tick]");
+
+  // Observed legs: both paths must fire byte-identical hook streams and
+  // the attached observers must not perturb the run.
+  auto observed_batch_scheduler = make();
+  HookRecorder batch_recorder;
+  RunContext batch_context{options, &batch_recorder};
+  const SimResult observed_batch =
+      Simulate(instance, m, *observed_batch_scheduler, batch_context);
+  ExpectIdenticalResults(observed_batch, batch, label + " [observed batch]");
+
+  auto observed_tick_scheduler = make();
+  HookRecorder tick_recorder;
+  EventTrace streamed;
+  StreamingTraceObserver tracer(streamed);
+  ObserverList observers;
+  observers.add(&tick_recorder);
+  observers.add(&tracer);
+  RunContext tick_context{options, &observers};
+  SimDriver observed_driver(m, *observed_tick_scheduler, tick_context);
+  observed_driver.submit_all(instance);
+  while (observed_driver.advance(1) > 0) {
+  }
+  const SimResult observed_tick = observed_driver.drain();
+  ExpectIdenticalResults(observed_tick, batch, label + " [observed tick]");
+  EXPECT_EQ(tick_recorder.lines(), batch_recorder.lines())
+      << label << " [hook stream]";
+  if (batch.has_schedule()) {
+    EXPECT_EQ(FirstDivergence(streamed,
+                              DeriveTrace(batch.full_schedule(), instance)),
+              -1)
+        << label << " [streamed trace]";
+  }
+}
+
+/// The full matrix on one corpus instance: every applicable policy ×
+/// both record modes × ±faults (each leg internally ±observers).
+void CheckMatrix(const Instance& instance, int m, bool semi_batched_certified,
+                 Time known_opt, const std::string& corpus_label) {
+  FaultSpec blip;
+  blip.model = FaultModel::kRandomBlip;
+  blip.seed = 5;
+  blip.rate = 0.4;
+
+  for (const PolicySpec& spec : AllPolicies()) {
+    if (!PolicyApplies(spec, instance.all_out_forests(),
+                       semi_batched_certified, m)) {
+      continue;
+    }
+    std::ostringstream base;
+    base << corpus_label << " / " << spec.name << " / m=" << m;
+
+    SimOptions full;
+    CheckTickEqualsBatch(instance, m, spec, known_opt, full,
+                         base.str() + " full");
+    CheckTickEqualsBatch(instance, m, spec, known_opt, FlowOnlyOptions(),
+                         base.str() + " flow-only");
+
+    // Fault legs for capacity-aware policies (window planners opt out of
+    // fluctuating capacity and the engines CHECK that).
+    if (!spec.needs_semi_batched &&
+        spec.make(1)->supports_fluctuating_capacity()) {
+      SimOptions faulted;
+      faulted.faults = blip;
+      CheckTickEqualsBatch(instance, m, spec, known_opt, faulted,
+                           base.str() + " faulted");
+      SimOptions faulted_flow;
+      faulted_flow.faults = blip;
+      faulted_flow.record = RecordMode::kFlowOnly;
+      CheckTickEqualsBatch(instance, m, spec, known_opt, faulted_flow,
+                           base.str() + " faulted flow-only");
+    }
+  }
+}
+
+TEST(DriverEquivalence, PoissonTreeMixAllPolicies) {
+  Rng rng(7);
+  Instance instance = MakePoissonArrivals(
+      6, 0.2,
+      [](std::int64_t i, Rng& r) {
+        return MakeTree(static_cast<TreeFamily>(i % 4),
+                        static_cast<NodeId>(5 + r.next_below(20)), r);
+      },
+      rng);
+  for (int m : {1, 3}) {
+    CheckMatrix(instance, m, /*semi_batched_certified=*/false,
+                /*known_opt=*/0, "tick-poisson");
+  }
+}
+
+TEST(DriverEquivalence, CertifiedPipelinedSemiBatched) {
+  Rng rng(42);
+  CertifiedInstance cert = MakePipelinedSemiBatchedInstance(4, 2, 3, rng);
+  CheckMatrix(cert.instance, 4, /*semi_batched_certified=*/true, cert.opt,
+              "tick-pipelined");
+}
+
+TEST(DriverEquivalence, SaturatedCertifiedBatches) {
+  Rng rng(42);
+  CertifiedInstance cert = MakeSpacedSaturatedInstance(4, 3, 3, rng);
+  CheckMatrix(cert.instance, 4, /*semi_batched_certified=*/false, cert.opt,
+              "tick-saturated");
+}
+
+// ---- streaming: submit() between advances ----
+
+TEST(DriverStreaming, MidRunSubmitMatchesBatchArrivalOrder) {
+  // Jobs released at 0, 2, 5; the batch path sees them all up front, the
+  // streaming path submits each one mid-run just before its release
+  // becomes current.  Identical schedules prove the (release, id) merge.
+  Instance instance;
+  instance.add_job(Job(MakeChain(4), 0));
+  instance.add_job(Job(MakeStar(3), 2));
+  instance.add_job(Job(MakeChain(3), 5));
+
+  FifoScheduler batch_fifo;
+  const SimResult batch = Simulate(instance, 2, batch_fifo);
+
+  FifoScheduler tick_fifo;
+  SimDriver driver(2, tick_fifo);
+  driver.submit(Job(MakeChain(4), 0));
+  // Advance past slot 1, then submit the release-2 job (2 >= now()).
+  ASSERT_GT(driver.advance(1), 0);
+  ASSERT_EQ(driver.now(), 1);
+  EXPECT_EQ(driver.submit(Job(MakeStar(3), 2)), 1);
+  ASSERT_GT(driver.advance(2), 0);
+  EXPECT_EQ(driver.submit(Job(MakeChain(3), 5)), 2);
+  while (driver.advance(1) > 0) {
+  }
+  const SimResult tick = driver.drain();
+  ExpectIdenticalResults(tick, batch, "mid-run submit");
+}
+
+TEST(DriverStreaming, TakeFinishedReportsEveryJobOnceWithExactFlows) {
+  Instance instance;
+  instance.add_job(Job(MakeChain(3), 0));
+  instance.add_job(Job(MakeStar(4), 1));
+  instance.add_job(Job(MakeChain(2), 4));
+
+  FifoScheduler fifo;
+  SimDriver driver(2, fifo);
+  for (JobId id = 0; id < instance.job_count(); ++id) {
+    driver.submit(Job(instance.job(id)));
+  }
+  std::vector<SimDriver::FinishedJob> finished;
+  while (driver.advance(1) > 0) {
+    for (const SimDriver::FinishedJob& f : driver.take_finished()) {
+      finished.push_back(f);
+    }
+  }
+  const SimResult result = driver.drain();
+  ASSERT_EQ(finished.size(), 3u);
+  // Every job exactly once, flow == finish - release, and the reported
+  // flows agree with the run's FlowSummary.
+  std::vector<bool> seen(3, false);
+  for (const SimDriver::FinishedJob& f : finished) {
+    ASSERT_GE(f.job, 0);
+    ASSERT_LT(f.job, 3);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(f.job)]) << f.job;
+    seen[static_cast<std::size_t>(f.job)] = true;
+    EXPECT_EQ(f.flow, f.finish - f.release) << f.job;
+    EXPECT_EQ(f.release, instance.job(f.job).release()) << f.job;
+    EXPECT_EQ(f.finish,
+              result.flows.completion[static_cast<std::size_t>(f.job)])
+        << f.job;
+    EXPECT_EQ(f.flow, result.flows.flow[static_cast<std::size_t>(f.job)])
+        << f.job;
+  }
+  // Nothing left in the backlog.
+  EXPECT_TRUE(driver.take_finished().empty());
+}
+
+TEST(DriverStreaming, RetireFinishedBoundsArenaToLiveWidth) {
+  // A long sequential stream: 200 chain jobs, each released after the
+  // previous one finishes (release = 3 * i on m=1 so at most two jobs are
+  // ever live).  With retire-on-finish the arena must stay O(width), not
+  // O(stream length).
+  constexpr int kJobs = 200;
+  constexpr NodeId kChain = 3;
+  FifoScheduler fifo;
+  SimDriver driver(1, fifo);
+  std::int64_t peak_nodes = 0;
+  JobId next = 0;
+  std::size_t retired = 0;
+  while (next < kJobs || !driver.idle()) {
+    while (next < kJobs &&
+           static_cast<Time>(kChain) * next <= driver.now() + 1) {
+      driver.submit(Job(MakeChain(kChain), static_cast<Time>(kChain) * next));
+      ++next;
+    }
+    if (driver.advance(1) == 0 && next < kJobs) {
+      // Idle gap before the next release: submit unblocks the stream.
+      continue;
+    }
+    retired += driver.retire_finished();
+    peak_nodes = std::max(peak_nodes, driver.arena_nodes());
+  }
+  const SimResult result = driver.drain();
+  EXPECT_TRUE(result.flows.all_completed);
+  EXPECT_EQ(retired, static_cast<std::size_t>(kJobs));
+  // 200 jobs x 3 nodes = 600 total; the live width is ~2 jobs, so the
+  // recycled arena stays tiny.  The bound leaves generous slack — the
+  // point is the asymptotics, not the constant.
+  EXPECT_LE(peak_nodes, 64) << "arena grew with stream length";
+}
+
+TEST(DriverStreaming, RetiredJobsStillAnswerFlowQueries) {
+  FifoScheduler fifo;
+  SimDriver driver(2, fifo);
+  driver.submit(Job(MakeChain(2), 0));
+  driver.submit(Job(MakeChain(6), 0));
+  while (driver.advance(1) > 0) {
+    driver.retire_finished();
+  }
+  // Job 0 finished and was retired mid-run; the driver still reports its
+  // cold facts (release / finished / done_work) and drain() still
+  // produces a complete FlowSummary for both jobs.
+  EXPECT_TRUE(driver.finished(0));
+  EXPECT_EQ(driver.release(0), 0);
+  EXPECT_EQ(driver.done_work(0), 2);
+  const SimResult result = driver.drain();
+  EXPECT_TRUE(result.flows.all_completed);
+  ASSERT_EQ(result.flows.flow.size(), 2u);
+  EXPECT_EQ(result.flows.flow[0], 2);
+}
+
+}  // namespace
+}  // namespace otsched

@@ -314,6 +314,55 @@ TEST(MetricsRegistry, JsonIsDeterministicAndSchemaShaped) {
   }
 }
 
+TEST(MetricsRegistry, ToJsonCachedServesCachedBytesUntilTouched) {
+  // The /metrics regression: an idle daemon polls to_json_cached() over
+  // and over; only mutations (the generation counter) may trigger a
+  // re-render.
+  MetricsRegistry registry;
+  registry.set_manifest("policy", std::string("fifo"));
+  registry.counter("jobs").inc(3);
+
+  const std::string first = registry.to_json_cached();  // copy: the
+  // cached buffer itself is reused across re-renders.
+  EXPECT_EQ(registry.json_renders(), 1);
+  EXPECT_EQ(first, registry.to_json());
+
+  // Idle polls: same bytes, no further renders.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(registry.to_json_cached(), first);
+    EXPECT_EQ(registry.json_renders(), 1) << "poll " << i;
+  }
+
+  // Any mutation through the registry accessors bumps the generation and
+  // the next poll re-renders exactly once.
+  registry.counter("jobs").inc();
+  EXPECT_EQ(registry.json_renders(), 1);  // lazily re-rendered, not eagerly
+  const std::string after = registry.to_json_cached();
+  EXPECT_EQ(registry.json_renders(), 2);
+  EXPECT_NE(after, first);
+  EXPECT_NE(after.find("\"jobs\": 4"), std::string::npos);
+  registry.to_json_cached();
+  EXPECT_EQ(registry.json_renders(), 2);
+
+  // set_manifest and the other accessor kinds dirty the cache too.
+  registry.set_manifest("m", std::int64_t{8});
+  registry.to_json_cached();
+  EXPECT_EQ(registry.json_renders(), 3);
+  registry.gauge("width");
+  registry.to_json_cached();
+  EXPECT_EQ(registry.json_renders(), 4);
+
+  // Handle-writers bypass the registry, so tick code that mutates
+  // through a kept handle must call touch() — the documented contract.
+  Counter& handle = registry.counter("jobs");  // accessor: dirties
+  registry.to_json_cached();
+  EXPECT_EQ(registry.json_renders(), 5);
+  handle.inc();             // invisible to the generation counter...
+  registry.touch();         // ...until touch()
+  registry.to_json_cached();
+  EXPECT_EQ(registry.json_renders(), 6);
+}
+
 // ---- MetricsObserver golden run ----
 
 TEST(MetricsObserver, TinyRunMatchesHandComputedRegistry) {

@@ -1,6 +1,9 @@
 // Tests for sim/trace.h.
 #include "gtest_compat.h"
 
+#include <cstdio>
+#include <fstream>
+
 #include "dag/builders.h"
 #include "sched/fifo.h"
 #include "sched/list_greedy.h"
@@ -151,6 +154,101 @@ TEST(Trace, TryFromTextRejectsEveryMalformedShape) {
       EventTrace::try_from_text("1 arrive 0\n1 exec 0 0\nbroken\n", &error)
           .has_value());
   EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+}
+
+// ---- file-level symmetric I/O (to_file <-> try_from_file) ----
+
+namespace {
+
+/// A unique scratch path under the test temp dir; removed on scope exit.
+class ScratchFile {
+ public:
+  explicit ScratchFile(const std::string& name)
+      : path_(::testing::TempDir() + name) {
+    std::remove(path_.c_str());
+  }
+  ~ScratchFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace
+
+TEST(TraceFile, ToFileRoundTripsThroughTryFromFile) {
+  EventTrace trace;
+  trace.add(TraceEvent{1, TraceEventKind::kArrival, 0, kInvalidNode});
+  trace.add(TraceEvent{1, TraceEventKind::kExecute, 0, 3});
+  trace.add(TraceEvent{2, TraceEventKind::kComplete, 0, kInvalidNode});
+
+  ScratchFile file("trace_roundtrip.trace");
+  std::string error;
+  ASSERT_TRUE(trace.to_file(file.path(), &error)) << error;
+  const auto loaded = EventTrace::try_from_file(file.path(), &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(*loaded, trace);
+  EXPECT_EQ(loaded->to_text(), trace.to_text());
+}
+
+TEST(TraceFile, EmptyTraceRoundTripsToEmptyFile) {
+  ScratchFile file("trace_empty.trace");
+  std::string error;
+  ASSERT_TRUE(EventTrace().to_file(file.path(), &error)) << error;
+  const auto loaded = EventTrace::try_from_file(file.path(), &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST(TraceFile, MissingFileDiagnosticNamesThePath) {
+  std::string error;
+  const auto loaded =
+      EventTrace::try_from_file("/nonexistent/dir/nope.trace", &error);
+  EXPECT_FALSE(loaded.has_value());
+  EXPECT_NE(error.find("/nonexistent/dir/nope.trace"), std::string::npos)
+      << error;
+  EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+}
+
+TEST(TraceFile, MalformedFileDiagnosticCarriesPathAndLine) {
+  ScratchFile file("trace_malformed.trace");
+  {
+    std::ofstream out(file.path());
+    out << "1 arrive 0\n1 frobnicate 0\n";
+  }
+  std::string error;
+  const auto loaded = EventTrace::try_from_file(file.path(), &error);
+  EXPECT_FALSE(loaded.has_value());
+  // The file-level diagnostic keeps the per-line parse diagnostic and
+  // prefixes the path: "<path>: trace line 2: bad kind ...".
+  EXPECT_NE(error.find(file.path()), std::string::npos) << error;
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("bad kind"), std::string::npos) << error;
+}
+
+TEST(TraceFile, UnwritableDestinationReportsFailure) {
+  EventTrace trace;
+  trace.add(TraceEvent{1, TraceEventKind::kArrival, 0, kInvalidNode});
+  std::string error;
+  EXPECT_FALSE(trace.to_file("/nonexistent/dir/out.trace", &error));
+  EXPECT_NE(error.find("/nonexistent/dir/out.trace"), std::string::npos)
+      << error;
+}
+
+TEST(TraceFile, StreamedRunTraceSurvivesTheFileRoundTrip) {
+  Instance instance;
+  instance.add_job(Job(MakeChain(3), 0));
+  instance.add_job(Job(MakeParallelBlob(4), 1));
+  FifoScheduler fifo;
+  const SimResult run = Simulate(instance, 2, fifo);
+  const EventTrace derived = DeriveTrace(run.full_schedule(), instance);
+
+  ScratchFile file("trace_run.trace");
+  std::string error;
+  ASSERT_TRUE(derived.to_file(file.path(), &error)) << error;
+  const auto loaded = EventTrace::try_from_file(file.path(), &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(FirstDivergence(*loaded, derived), -1);
 }
 
 }  // namespace

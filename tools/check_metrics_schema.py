@@ -12,6 +12,10 @@ enforces the structural invariants the schema prose documents:
 
 A file containing a "counters" key is validated as a full metrics
 document; anything else is validated as a standalone run manifest.
+Live /metrics captures from `otsched serve` (manifest instance
+"serve:<addr>") additionally get the serve-profile checks: flow-only
+record, no faults, serve.jobs_finished <= serve.jobs_submitted, and
+manifest jobs tracking the submission counter (docs/SERVING.md).
 
 Usage: check_metrics_schema.py <file.json> [more.json ...]
 Exits nonzero on the first invalid file.
@@ -79,12 +83,37 @@ def check_manifest(manifest, schema):
                 f"{manifest['ratio_vs_certificate']!r}")
 
 
+def check_serve_profile(doc):
+    """Extra invariants for live /metrics captures from `otsched serve`
+    (manifest instance 'serve:<addr>'; see docs/SERVING.md)."""
+    manifest, counters = doc["manifest"], doc["counters"]
+    require(manifest["record"] == "flow-only",
+            "serve capture must be record=flow-only")
+    require(manifest["faults"] == "none",
+            "serve capture must be faults=none")
+    # The serve counters update together on driver activity; a capture
+    # taken before the first submission legitimately lacks them.
+    if "serve.jobs_submitted" in counters:
+        require("serve.jobs_finished" in counters,
+                "serve.jobs_submitted without serve.jobs_finished")
+        submitted = counters["serve.jobs_submitted"]
+        finished = counters["serve.jobs_finished"]
+        require(finished <= submitted,
+                f"serve.jobs_finished {finished} > "
+                f"serve.jobs_submitted {submitted}")
+        require(manifest["jobs"] == submitted,
+                f"manifest jobs {manifest['jobs']} != "
+                f"serve.jobs_submitted {submitted}")
+
+
 def check_metrics(doc, schema):
     for key in schema["required"]:
         require(key in doc, f"document is missing '{key}'")
     require(doc["schema_version"] == 1,
             f"unsupported schema_version {doc['schema_version']}")
     check_manifest(doc["manifest"], schema)
+    if doc["manifest"]["instance"].startswith("serve:"):
+        check_serve_profile(doc)
 
     for name, value in doc["counters"].items():
         require(isinstance(value, int) and not isinstance(value, bool),

@@ -16,6 +16,8 @@
 //       [--record full|flow]                      stream the event trace
 //   otsched faults emit <spec> <m> <horizon> [out.csv]   freeze a model
 //   otsched faults inspect <trace.csv> <m>        summarize a budget trace
+//   otsched serve [--listen A] [--m M] [--policy P]      NDJSON-over-socket
+//       [--seed S] [--chunk N]                    scheduler daemon (SERVING.md)
 //   otsched list-policies                         list the policy registry
 //
 // Policies are constructed through the shared registry (sched/registry.h)
@@ -65,6 +67,7 @@
 #include "sim/observers.h"
 #include "sim/renderer.h"
 #include "sim/svg.h"
+#include "serve/server.h"
 #include "sim/trace.h"
 
 using namespace otsched;
@@ -98,6 +101,8 @@ int Usage() {
       "              [--record full|flow]  (default: full)\n"
       "  otsched faults emit <model[:seed[:rate]]> <m> <horizon> [out.csv]\n"
       "  otsched faults inspect <trace.csv> <m>\n"
+      "  otsched serve [--listen H:P|unix:PATH] [--m M] [--policy P]\n"
+      "              [--seed S] [--chunk N]       streaming scheduler daemon\n"
       "  otsched list-policies\n");
   return 2;
 }
@@ -551,7 +556,9 @@ int CmdRun(int argc, char** argv) {
     std::printf("manifest written to %s\n", manifest_path.c_str());
   }
   if (!trace_path.empty()) {
-    if (!WriteFileOrComplain(trace_path, streamed.to_text(), "trace")) {
+    std::string trace_error;
+    if (!streamed.to_file(trace_path, &trace_error)) {
+      std::fprintf(stderr, "%s\n", trace_error.c_str());
       return 1;
     }
     std::printf("event trace written to %s\n", trace_path.c_str());
@@ -858,9 +865,67 @@ int CmdTrace(int argc, char** argv) {
   if (out_path.empty()) {
     std::fputs(streamed.to_text().c_str(), stdout);
   } else {
-    if (!WriteFileOrComplain(out_path, streamed.to_text(), "trace")) return 1;
+    std::string trace_error;
+    if (!streamed.to_file(out_path, &trace_error)) {
+      std::fprintf(stderr, "%s\n", trace_error.c_str());
+      return 1;
+    }
     std::printf("event trace written to %s\n", out_path.c_str());
   }
+  return 0;
+}
+
+int CmdServe(int argc, char** argv) {
+  serve::ServeOptions options;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--listen" && i + 1 < argc) {
+      options.listen = argv[++i];
+    } else if (arg == "--m" && i + 1 < argc) {
+      options.m = std::atoi(argv[++i]);
+    } else if (arg == "--policy" && i + 1 < argc) {
+      options.policy = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--chunk" && i + 1 < argc) {
+      options.chunk_slots = std::atoll(argv[++i]);
+    } else {
+      std::fprintf(stderr, "serve: unknown argument '%s'\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (options.m < 1) {
+    std::fprintf(stderr, "serve: need --m >= 1\n");
+    return 2;
+  }
+  std::unique_ptr<Scheduler> policy =
+      MakePolicy(options.policy, options.seed);
+  if (policy == nullptr) {
+    ComplainUnknownPolicy(options.policy);
+    return 2;
+  }
+
+  static volatile std::sig_atomic_t stop_flag = 0;
+  options.stop_flag = &stop_flag;
+  if (!serve::InstallStopSignalHandlers(&stop_flag)) {
+    std::fprintf(stderr, "serve: cannot install signal handlers\n");
+    return 1;
+  }
+
+  serve::ScheduleServer server(options, std::move(policy));
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "serve: %s\n", error.c_str());
+    return 1;
+  }
+  // Line-buffered and flushed so a supervising script (the CI smoke job)
+  // can scrape the resolved ephemeral port before the first submission.
+  std::printf("listening on %s\n", server.address().c_str());
+  std::fflush(stdout);
+  server.run();
+  std::printf("drained: %lld jobs submitted, %lld finished\n",
+              static_cast<long long>(server.jobs_submitted()),
+              static_cast<long long>(server.jobs_finished()));
   return 0;
 }
 
@@ -951,6 +1016,7 @@ int main(int argc, char** argv) {
   if (command == "sweep") return CmdSweep(argc - 2, argv + 2);
   if (command == "trace") return CmdTrace(argc - 2, argv + 2);
   if (command == "faults") return CmdFaults(argc - 2, argv + 2);
+  if (command == "serve") return CmdServe(argc - 2, argv + 2);
   if (command == "list-policies") {
     ListPolicies();
     return 0;

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Streams otsched-instance-v1 files into an `otsched serve` daemon.
+
+Stdlib-only client for the NDJSON wire protocol (docs/SERVING.md): each
+job becomes one submission line in the explicit nodes+edges spelling,
+
+    {"id": "<file>#<k>", "release": R, "nodes": N, "edges": [[u, v], ...]}
+
+sent with a bounded in-flight window, and each reply line
+
+    {"job_id": J, "id": "<tag>", "release": R, "finish": F, "flow": W}
+
+is checked: every submitted job must be answered exactly once, with
+flow == finish - release and the echoed (effective) release >= the
+requested one.  Any {"error": ...} reply, short stream, or failed check
+exits nonzero — which makes this the CI serve smoke probe.
+
+Usage: serve_client.py --addr HOST:PORT|unix:/path [--window N] file.inst ...
+"""
+
+import argparse
+import json
+import socket
+import sys
+
+
+def parse_instance(path):
+    """Parses the otsched-instance-v1 text format (src/job/serialize.cc).
+
+    Returns a list of (release, node_count, edges) triples in file order.
+    """
+    jobs = []
+    with open(path, encoding="utf-8") as f:
+        lines = []
+        for raw in f:
+            line = raw.split("#", 1)[0].strip()
+            if line:
+                lines.append(line)
+    if not lines or lines[0].split()[0] != "otsched-instance-v1":
+        raise ValueError(f"{path}: not an otsched-instance-v1 file")
+    i = 1
+    while i < len(lines):
+        fields = lines[i].split()
+        if fields[0] == "name":
+            i += 1
+            continue
+        if fields[0] != "job":
+            raise ValueError(f"{path}: unknown keyword {fields[0]!r}")
+        if len(fields) < 3:
+            raise ValueError(f"{path}: job needs release and size")
+        release, node_count = int(fields[1]), int(fields[2])
+        i += 1
+        edges = []
+        while i < len(lines) and lines[i].split()[0] != "end":
+            u, v = lines[i].split()[:2]
+            edges.append([int(u), int(v)])
+            i += 1
+        if i == len(lines):
+            raise ValueError(f"{path}: unterminated job")
+        i += 1  # skip "end"
+        jobs.append((release, node_count, edges))
+    return jobs
+
+
+def connect(addr):
+    if addr.startswith("unix:"):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(addr[len("unix:"):])
+        return sock
+    host, _, port = addr.rpartition(":")
+    return socket.create_connection((host, int(port)))
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--addr", required=True,
+                        help="daemon address: HOST:PORT or unix:/path")
+    parser.add_argument("--window", type=int, default=64,
+                        help="max in-flight (unanswered) submissions")
+    parser.add_argument("files", nargs="+", help="otsched-instance-v1 files")
+    args = parser.parse_args(argv[1:])
+
+    submissions = []  # tag -> requested release, via parallel dict
+    requested = {}
+    for path in args.files:
+        for k, (release, node_count, edges) in enumerate(
+                parse_instance(path)):
+            tag = f"{path}#{k}"
+            line = {"id": tag, "release": release, "nodes": node_count}
+            if edges:
+                line["edges"] = edges
+            submissions.append(json.dumps(line) + "\n")
+            requested[tag] = release
+
+    sock = connect(args.addr)
+    reader = sock.makefile("r", encoding="utf-8", newline="\n")
+
+    answered = 0
+    failures = 0
+
+    def read_reply():
+        nonlocal answered, failures
+        line = reader.readline()
+        if not line:
+            raise EOFError("daemon closed the stream early")
+        reply = json.loads(line)
+        if "error" in reply:
+            print(f"error reply: {reply['error']}", file=sys.stderr)
+            failures += 1
+            return
+        tag = reply.get("id")
+        if tag not in requested:
+            print(f"reply for unknown tag {tag!r}", file=sys.stderr)
+            failures += 1
+            return
+        want = requested.pop(tag)
+        release, finish, flow = (reply["release"], reply["finish"],
+                                 reply["flow"])
+        if release < want or flow != finish - release or flow < 1:
+            print(f"bad reply for {tag}: requested release {want}, "
+                  f"got {line.strip()}", file=sys.stderr)
+            failures += 1
+            return
+        answered += 1
+
+    try:
+        in_flight = 0
+        for line in submissions:
+            while in_flight >= args.window:
+                read_reply()
+                in_flight -= 1
+            sock.sendall(line.encode("utf-8"))
+            in_flight += 1
+        sock.shutdown(socket.SHUT_WR)  # daemon flushes replies, then closes
+        while in_flight > 0:
+            read_reply()
+            in_flight -= 1
+    except EOFError as err:
+        print(f"{err} ({answered}/{len(submissions)} answered)",
+              file=sys.stderr)
+        return 1
+    finally:
+        sock.close()
+
+    if failures or requested:
+        print(f"{failures} failures, {len(requested)} unanswered "
+              f"of {len(submissions)}", file=sys.stderr)
+        return 1
+    print(f"{answered} jobs streamed and verified "
+          f"(window {args.window})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
