@@ -21,6 +21,7 @@
 #include "lbsim/lbsim.h"
 #include "sched/fifo.h"
 #include "sim/engine.h"
+#include "sim/job_faults.h"
 #include "sim/observers.h"
 
 namespace {
@@ -390,6 +391,39 @@ void BM_SaturatedGenerator(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * m * 8);
 }
 BENCHMARK(BM_SaturatedGenerator)->Arg(16)->Arg(256);
+
+/// Reversible-core row: the sparse chain workload of the
+/// BM_EngineSparse* family under an active random-crash model with
+/// every-slots checkpointing.  The delta against BM_EngineSparseFlowOnly
+/// prices the rollback machinery when it actually fires (commit-frontier
+/// bookkeeping, ready-region rebuilds, wasted-work accounting); the
+/// no-lost-work budget — armed-but-silent within 5% of faults-off — is
+/// enforced on BM_EngineSparseFlowOnly* itself by
+/// tools/check_bench_trend.py, since arming with rate 0 walks the
+/// identical per-slot code paths minus the rebuilds.  Registered last so
+/// the family indices of the committed baseline rows stay stable.
+void BM_EngineSparseRollback(benchmark::State& state) {
+  const Instance instance =
+      MakeSparseChainInstance(static_cast<int>(state.range(0)), 32);
+  SimOptions options = FlowOnlyOptions();
+  options.job_faults.model = JobFaultModel::kRandomCrash;
+  options.job_faults.seed = 11;
+  options.job_faults.rate = 0.02;
+  options.job_faults.checkpoint = CheckpointPolicy::kEveryKSlots;
+  options.job_faults.checkpoint_every = 8;
+  std::int64_t horizon = 0;
+  std::int64_t wasted = 0;
+  for (auto _ : state) {
+    FifoScheduler fifo;
+    const SimResult result = Simulate(instance, 8, fifo, options);
+    horizon = result.stats.horizon;
+    wasted = result.stats.wasted_subjob_slots;
+    benchmark::DoNotOptimize(result.flows.max_flow);
+  }
+  state.counters["wasted_slots"] = static_cast<double>(wasted);
+  state.SetItemsProcessed(state.iterations() * horizon);
+}
+BENCHMARK(BM_EngineSparseRollback)->Arg(512)->Arg(2048);
 
 }  // namespace
 }  // namespace otsched

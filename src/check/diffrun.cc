@@ -64,6 +64,9 @@ struct PolicyCaseConfig {
   /// lower bounds / brute force on the spot.
   Time certified_opt = 0;
   bool brute_cross_check = false;
+  /// Run the job-fault legs (FuzzOptions::job_faults threaded through so
+  /// shrinking and `--replay` rerun the identical trials).
+  bool job_faults = false;
 };
 
 /// FNV-1a over (seed, m, policy): the case identity hash behind every
@@ -105,6 +108,72 @@ FaultSpec FuzzFaultSpec(const PolicyCaseConfig& cfg) {
   spec.seed = h;
   spec.rate = 0.15 + 0.05 * static_cast<double>((h >> 3) % 8);  // [.15,.5]
   spec.burst_len = 1 + static_cast<Time>((h >> 6) % 8);
+  return spec;
+}
+
+/// The case's job-fault checkpoint policy, shared by both job-fault legs:
+/// always kEveryKSlots.  A commit fires every k slots no matter how the
+/// machine served the job, so every crash model is guaranteed to make
+/// progress (any job served during a commit slot banks at least that
+/// slot's work) and the engines' horizon-trip livelock check stays a
+/// real-bug detector.  The service-coupled policies (kEveryKSubjobs,
+/// kOnCompletion) CAN livelock against a fast-enough crash model by
+/// design; they are exercised in the deterministic unit tests instead.
+void DeriveCheckpointPolicy(std::uint64_t h, JobFaultSpec& spec) {
+  spec.checkpoint = CheckpointPolicy::kEveryKSlots;
+  spec.checkpoint_every = 2 + static_cast<std::int64_t>((h >> 9) % 6);
+}
+
+/// Domain-separated case hash for the job-fault dimension (distinct from
+/// the capacity-fault stream so the two legs draw independent bits).
+std::uint64_t JobFaultCaseHash(const PolicyCaseConfig& cfg) {
+  std::uint64_t h = CaseIdentityHash(cfg);
+  for (const char c : {'j', 'b', 'f'}) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// The armed-but-silent spec for the kNoLostWorkWhenHealthy leg: the
+/// fault machinery (commit tracking, checkpoint commits) runs, but
+/// random-crash at rate 0 never fires, so the run must be bit-identical
+/// to the plain one.
+JobFaultSpec FuzzArmedJobFaultSpec(const PolicyCaseConfig& cfg) {
+  const std::uint64_t h = JobFaultCaseHash(cfg);
+  JobFaultSpec spec;
+  spec.model = JobFaultModel::kRandomCrash;
+  spec.seed = h;
+  spec.rate = 0.0;
+  DeriveCheckpointPolicy(h, spec);
+  return spec;
+}
+
+/// The actively crashing spec for the committed-feasibility leg: the
+/// three models round-robin on the case hash with hash-derived
+/// parameters.  Every spec pairs with an interval checkpoint policy whose
+/// interval is well below the periodic-crash period, so each run is
+/// guaranteed to make progress (the horizon-trip livelock check stays a
+/// real-bug detector, not a fuzz flake).
+JobFaultSpec FuzzActiveJobFaultSpec(const PolicyCaseConfig& cfg) {
+  const std::uint64_t h = JobFaultCaseHash(cfg);
+  JobFaultSpec spec;
+  spec.seed = h;
+  switch (h % 3) {
+    case 0:
+      spec.model = JobFaultModel::kRandomCrash;
+      spec.rate = 0.05 + 0.05 * static_cast<double>((h >> 2) % 6);  // [.05,.3]
+      break;
+    case 1:
+      spec.model = JobFaultModel::kPeriodicCrash;
+      spec.period = 16 + static_cast<std::int64_t>((h >> 2) % 48);  // [16,63]
+      break;
+    default:
+      spec.model = JobFaultModel::kAdversarialLoss;
+      spec.threshold = 2 + static_cast<std::int64_t>((h >> 2) % 8);  // [2,9]
+      break;
+  }
+  DeriveCheckpointPolicy(h, spec);
   return spec;
 }
 
@@ -261,6 +330,46 @@ std::vector<OracleResult> RunPolicyCase(const PolicyCaseConfig& cfg,
         CheckFeasibilityOracle(faulted.full_schedule(), instance));
     results.push_back(
         CheckFaultedEquivalenceOracle(faulted, faulted_reference));
+  }
+
+  if (cfg.job_faults && scheduler->supports_fluctuating_capacity() &&
+      scheduler->supports_job_rollback()) {
+    // Job-fault dimension (sim/job_faults.h), two legs:
+    //
+    // (a) kNoLostWorkWhenHealthy: a flow-only rerun with the fault
+    //     machinery ARMED (commit tracking on, checkpoints firing) but a
+    //     rate-0 crash model must be bit-identical to a plain flow-only
+    //     run — arming alone may never change behaviour.
+    auto rerun_scheduler = [&cfg]() {
+      return cfg.spec->needs_semi_batched
+                 ? cfg.spec->make_semi_batched(cfg.known_opt)
+                 : cfg.spec->make(cfg.seed);
+    };
+    std::unique_ptr<Scheduler> plain_scheduler = rerun_scheduler();
+    const SimResult plain =
+        Simulate(instance, cfg.m, *plain_scheduler, FlowOnlyOptions());
+    SimOptions armed_options = FlowOnlyOptions();
+    armed_options.job_faults = FuzzArmedJobFaultSpec(cfg);
+    std::unique_ptr<Scheduler> armed_scheduler = rerun_scheduler();
+    const SimResult armed =
+        Simulate(instance, cfg.m, *armed_scheduler, armed_options);
+    results.push_back(CheckNoLostWorkWhenHealthyOracle(plain, armed));
+
+    // (b) committed feasibility: an actively crashing run, streamed, must
+    //     satisfy the Section 3 axioms over the work that SURVIVED and
+    //     reconcile executes == total work + wasted slots exactly.
+    RunContext faulted_context;
+    faulted_context.options = FlowOnlyOptions();
+    faulted_context.options.job_faults = FuzzActiveJobFaultSpec(cfg);
+    EventTrace faulted_trace;
+    StreamingTraceObserver faulted_tracer(faulted_trace);
+    faulted_context.observer = &faulted_tracer;
+    std::unique_ptr<Scheduler> crash_scheduler = rerun_scheduler();
+    const SimResult crashed =
+        Simulate(instance, cfg.m, *crash_scheduler, faulted_context);
+    results.push_back(CheckCommittedFeasibilityOracle(
+        faulted_trace, instance, cfg.m, crashed.stats));
+    if (simulations != nullptr) *simulations += 3;
   }
 
   Time exact = cfg.certified_opt;
@@ -553,6 +662,7 @@ void RunPolicyGrid(const FuzzOptions& options, SeedOutcome& outcome,
     cfg.known_opt = known_opt;
     cfg.certified_opt = certified_opt;
     cfg.brute_cross_check = options.cross_check_brute_force;
+    cfg.job_faults = options.job_faults;
 
     const std::vector<OracleResult> results =
         RunPolicyCase(cfg, instance, &outcome.simulations);
@@ -866,6 +976,7 @@ FuzzReport ReplayRepro(const std::string& repro_text,
   cfg.m = m;
   cfg.known_opt = known_opt;
   cfg.brute_cross_check = options.cross_check_brute_force;
+  cfg.job_faults = options.job_faults;
   for (const OracleResult& result :
        RunPolicyCase(cfg, instance, &report.simulations)) {
     record(result);

@@ -49,6 +49,14 @@ struct FuzzOptions {
   /// Run the certified lower-bound oracle (max-flow + dual-fitting
   /// certificates, CheckOptLowerBoundOracle) on every (instance, m) cell.
   bool opt_certificates = true;
+  /// Run the job-fault dimension (sim/job_faults.h) on every applicable
+  /// case: an armed-but-silent rerun held to bit-identity with the plain
+  /// run (kNoLostWorkWhenHealthy), plus an actively crashing rerun whose
+  /// streamed trace must pass Section 3 feasibility over committed work
+  /// and reconcile executes == total work + wasted.  Both legs derive
+  /// their specs purely from (seed, m, policy), so `--replay` reruns
+  /// them with no extra repro state.
+  bool job_faults = false;
   /// Thread-pool width; 0 = hardware concurrency.
   std::size_t workers = 0;
   /// Directory for shrunk repro files; empty = keep repros in memory only.

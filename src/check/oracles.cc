@@ -51,8 +51,166 @@ const char* ToString(OracleId id) {
       return "faulted-engine-equivalence(budget)";
     case OracleId::kOptLowerBound:
       return "opt-lower-bound(certified)";
+    case OracleId::kNoLostWorkWhenHealthy:
+      return "no-lost-work-when-healthy(job-faults)";
+    case OracleId::kCommittedFeasibility:
+      return "committed-feasibility(S3,job-faults)";
   }
   return "unknown-oracle";
+}
+
+OracleResult CheckNoLostWorkWhenHealthyOracle(const SimResult& baseline,
+                                              const SimResult& armed) {
+  OracleResult result;
+  result.id = OracleId::kNoLostWorkWhenHealthy;
+  const auto fail = [&result](std::string detail) {
+    result.ok = false;
+    result.detail = std::move(detail);
+  };
+  if (armed.stats.job_rollbacks != 0) {
+    fail("armed-but-silent run reported " +
+         std::to_string(armed.stats.job_rollbacks) + " rollbacks");
+    return result;
+  }
+  if (armed.stats.wasted_subjob_slots != 0) {
+    fail("armed-but-silent run reported " +
+         std::to_string(armed.stats.wasted_subjob_slots) + " wasted slots");
+    return result;
+  }
+  if (armed.flows.max_flow != baseline.flows.max_flow) {
+    fail("max flow diverged: baseline " +
+         std::to_string(baseline.flows.max_flow) + " vs armed " +
+         std::to_string(armed.flows.max_flow));
+    return result;
+  }
+  if (armed.flows.flow != baseline.flows.flow) {
+    for (std::size_t i = 0; i < baseline.flows.flow.size(); ++i) {
+      if (i >= armed.flows.flow.size() ||
+          armed.flows.flow[i] != baseline.flows.flow[i]) {
+        fail("flow of job " + std::to_string(i) + " diverged: baseline " +
+             std::to_string(baseline.flows.flow[i]) + " vs armed " +
+             (i < armed.flows.flow.size()
+                  ? std::to_string(armed.flows.flow[i])
+                  : std::string("<missing>")));
+        return result;
+      }
+    }
+    fail("armed run has extra per-job flows");
+    return result;
+  }
+  const auto check_stat = [&](const char* name, std::int64_t want,
+                              std::int64_t got) {
+    if (result.ok && want != got) {
+      fail(std::string(name) + " diverged: baseline " + std::to_string(want) +
+           " vs armed " + std::to_string(got));
+    }
+  };
+  check_stat("horizon", baseline.stats.horizon, armed.stats.horizon);
+  check_stat("executed_subjobs", baseline.stats.executed_subjobs,
+             armed.stats.executed_subjobs);
+  check_stat("idle_processor_slots", baseline.stats.idle_processor_slots,
+             armed.stats.idle_processor_slots);
+  check_stat("busy_slots", baseline.stats.busy_slots, armed.stats.busy_slots);
+  check_stat("faulted_slots", baseline.stats.faulted_slots,
+             armed.stats.faulted_slots);
+  check_stat("capacity_shortfall", baseline.stats.capacity_shortfall,
+             armed.stats.capacity_shortfall);
+  // stats.checkpoints intentionally unchecked: commits are bookkeeping.
+  return result;
+}
+
+OracleResult CheckCommittedFeasibilityOracle(const EventTrace& trace,
+                                             const Instance& instance, int m,
+                                             const SimStats& stats) {
+  OracleResult result;
+  result.id = OracleId::kCommittedFeasibility;
+  const auto fail = [&result](std::string detail) {
+    result.ok = false;
+    result.detail = std::move(detail);
+  };
+  const JobId jobs = instance.job_count();
+  // Per (job, node): last execution slot; per job: last execute and
+  // completion slots; per slot: execute count.
+  std::vector<std::vector<Time>> last_exec(static_cast<std::size_t>(jobs));
+  for (JobId j = 0; j < jobs; ++j) {
+    last_exec[static_cast<std::size_t>(j)].assign(
+        static_cast<std::size_t>(instance.job(j).dag().node_count()), 0);
+  }
+  std::vector<Time> job_last_exec(static_cast<std::size_t>(jobs), 0);
+  std::vector<Time> job_complete(static_cast<std::size_t>(jobs), 0);
+  std::int64_t total_executes = 0;
+  Time current_slot = 0;
+  std::int64_t slot_executes = 0;
+  for (const TraceEvent& event : trace.events()) {
+    if (event.kind != TraceEventKind::kExecute) {
+      if (event.kind == TraceEventKind::kComplete) {
+        job_complete[static_cast<std::size_t>(event.job)] = event.slot;
+      }
+      continue;
+    }
+    if (event.slot != current_slot) {
+      current_slot = event.slot;
+      slot_executes = 0;
+    }
+    if (++slot_executes > m) {
+      fail("slot " + std::to_string(event.slot) + " executes more than m=" +
+           std::to_string(m) + " subjobs");
+      return result;
+    }
+    const Job& job = instance.job(event.job);
+    if (event.slot <= job.release()) {
+      fail("job " + std::to_string(event.job) + " node " +
+           std::to_string(event.node) + " executed at slot " +
+           std::to_string(event.slot) + " <= release " +
+           std::to_string(job.release()));
+      return result;
+    }
+    ++total_executes;
+    last_exec[static_cast<std::size_t>(event.job)]
+             [static_cast<std::size_t>(event.node)] = event.slot;
+    job_last_exec[static_cast<std::size_t>(event.job)] = std::max(
+        job_last_exec[static_cast<std::size_t>(event.job)], event.slot);
+  }
+  for (JobId j = 0; j < jobs; ++j) {
+    const Dag& dag = instance.job(j).dag();
+    const auto& last = last_exec[static_cast<std::size_t>(j)];
+    for (NodeId v = 0; v < dag.node_count(); ++v) {
+      const Time slot = last[static_cast<std::size_t>(v)];
+      if (slot == 0) {
+        fail("job " + std::to_string(j) + " node " + std::to_string(v) +
+             " never executed");
+        return result;
+      }
+      for (const NodeId p : dag.parents(v)) {
+        const Time parent_slot = last[static_cast<std::size_t>(p)];
+        if (parent_slot >= slot) {
+          fail("committed precedence violated: job " + std::to_string(j) +
+               " edge " + std::to_string(p) + "->" + std::to_string(v) +
+               " final executions at slots " + std::to_string(parent_slot) +
+               " >= " + std::to_string(slot));
+          return result;
+        }
+      }
+    }
+    if (job_complete[static_cast<std::size_t>(j)] !=
+        job_last_exec[static_cast<std::size_t>(j)]) {
+      fail("job " + std::to_string(j) + " completion slot " +
+           std::to_string(job_complete[static_cast<std::size_t>(j)]) +
+           " != last execute slot " +
+           std::to_string(job_last_exec[static_cast<std::size_t>(j)]));
+      return result;
+    }
+  }
+  const std::int64_t expected =
+      instance.total_work() + stats.wasted_subjob_slots;
+  if (total_executes != expected) {
+    fail("execute reconciliation failed: trace has " +
+         std::to_string(total_executes) + " executes, expected total work " +
+         std::to_string(instance.total_work()) + " + wasted " +
+         std::to_string(stats.wasted_subjob_slots));
+    return result;
+  }
+  return result;
 }
 
 OracleResult CheckTraceEquivalenceOracle(const EventTrace& streamed,

@@ -40,6 +40,7 @@
 #include "core/lpf.h"
 #include "job/instance.h"
 #include "sched/registry.h"  // kTheorem56Ceiling / kTheorem57Ceiling
+#include "sim/engine.h"
 #include "sim/faults.h"
 #include "sim/schedule.h"
 #include "sim/trace.h"
@@ -58,6 +59,8 @@ enum class OracleId {
   kFaultedEngineEquivalence,  // faulted run: both engines bit-identical
   kOptLowerBound,  // certified bounds: heuristic <= dual-fit <= max-flow
                    // certificate <= brute-force OPT, certificates verify
+  kNoLostWorkWhenHealthy,  // armed-but-silent job faults == plain run
+  kCommittedFeasibility,   // Section 3 axioms over committed work only
 };
 
 const char* ToString(OracleId id);
@@ -195,6 +198,40 @@ struct OptBoundCheckOptions {
 /// fuzz repros replay it with no extra state.
 OracleResult CheckOptLowerBoundOracle(const Instance& instance, int m,
                                       const OptBoundCheckOptions& options = {});
+
+// ---- job faults: no lost work when healthy ----
+
+/// The kNoLostWorkWhenHealthy contract of sim/job_faults.h: a run with the
+/// job-fault machinery ARMED but never firing (e.g. random-crash at rate 0)
+/// must match the plain run exactly — same per-job flows, same max flow,
+/// same busy/executed/idle slot accounting — and must itself report zero
+/// rollbacks and zero wasted slots.  `stats.checkpoints` is exempt: commits
+/// are bookkeeping, not behaviour, and the armed run legitimately counts
+/// them.  Pure over the two SimResults, so fuzz repros replay it verbatim.
+OracleResult CheckNoLostWorkWhenHealthyOracle(const SimResult& baseline,
+                                              const SimResult& armed);
+
+// ---- job faults: Section 3 feasibility over committed work ----
+
+/// Section 3 feasibility of a run WITH rollbacks, checked on the streamed
+/// event trace (job faults force RecordMode::kFlowOnly, so no Schedule
+/// exists; re-executed subjobs appear in the trace once per execution):
+///
+///   - at most m executes per slot (the machine-size cap; concurrent
+///     capacity faults only make the true cap tighter, never looser),
+///   - every execute lands strictly after its job's release,
+///   - every subjob executes at least once, and the FINAL execution of a
+///     node lands strictly after the FINAL execution of each of its
+///     parents — rollbacks un-execute suffix-closed sets, so the
+///     executions that survive respect precedence even though earlier
+///     attempts were discarded,
+///   - each job's kComplete coincides with its last execute,
+///   - reconciliation: total executes == instance total work +
+///     `stats.wasted_subjob_slots` (every discarded slot is re-done,
+///     nothing else is).
+OracleResult CheckCommittedFeasibilityOracle(const EventTrace& trace,
+                                             const Instance& instance, int m,
+                                             const SimStats& stats);
 
 // ---- observability: streaming trace equivalence ----
 

@@ -46,6 +46,9 @@ class WorkStealingScheduler : public Scheduler {
 
   std::string name() const override { return "work-stealing"; }
   bool requires_clairvoyance() const override { return true; }
+  /// The deques carry discovered subjobs across slots; a rollback would
+  /// leave them holding refs the arena no longer considers ready.
+  bool supports_job_rollback() const override { return false; }
   void reset(int m, JobId job_count) override;
   void on_arrival(JobId id, const SchedulerView& view) override;
   void pick(const SchedulerView& view, std::vector<SubjobRef>& out) override;

@@ -14,7 +14,8 @@ SimDriver::SimDriver(int m, Scheduler& scheduler, const RunContext& context)
       scheduler_(scheduler),
       observer_(context.observer),
       batch_capacity_(context.batch_capacity),
-      sequencer_(context.options.faults, m) {
+      sequencer_(context.options.faults, m),
+      job_faults_(context.options.job_faults) {
   OTSCHED_CHECK(m >= 1);
   const SimOptions& options = context.options;
   clairvoyant_ =
@@ -30,6 +31,28 @@ SimDriver::SimDriver(int m, Scheduler& scheduler, const RunContext& context)
                                    "per-slot capacity (fault model "
                                 << ToString(options.faults.model) << ")");
   }
+  if (job_faults_.active()) {
+    OTSCHED_CHECK(options.record == RecordMode::kFlowOnly,
+                  "job faults (model "
+                      << ToString(options.job_faults.model)
+                      << ") require RecordMode::kFlowOnly: re-executed "
+                         "subjobs are unrepresentable in a materialized "
+                         "Schedule");
+    OTSCHED_CHECK(scheduler.supports_fluctuating_capacity(),
+                  "scheduler '" << scheduler.name()
+                                << "' does not support job faults (job-fault "
+                                   "model "
+                                << ToString(options.job_faults.model)
+                                << "): rollbacks invalidate precomputed "
+                                   "window plans");
+    OTSCHED_CHECK(scheduler.supports_job_rollback(),
+                  "scheduler '" << scheduler.name()
+                                << "' does not support job faults (job-fault "
+                                   "model "
+                                << ToString(options.job_faults.model)
+                                << "): its internal queues would dispatch "
+                                   "rolled-back subjobs");
+  }
   options_horizon_ = options.max_horizon;
 }
 
@@ -40,10 +63,13 @@ Time SimDriver::horizon_bound() const {
   // (e.g. a broken Algorithm A window plan) hit the check instead of
   // hanging the process.  Recomputed from the running aggregates so a
   // stream's bound grows with its submissions.
-  if (sequencer_.active()) {
-    // Faulted slots can run far below m (or at zero): leave room for
-    // the outage time before declaring a scheduler stalled.  Rates
-    // are capped at 0.9, so 64x work is generous.
+  if (sequencer_.active() || job_faults_.active()) {
+    // Faulted slots can run far below m (or at zero), and job faults
+    // re-execute rolled-back work: leave room for the outage/re-execution
+    // time before declaring a scheduler stalled.  Crash rates are capped
+    // at 0.9, so 64x work is generous; a job-fault spec that crashes
+    // faster than its checkpoint policy commits (livelock) hits this
+    // bound loudly, which is the intended stall detection.
     return max_release_ + 64 * total_work_ + max_span_ + 65536;
   }
   return max_release_ + 4 * total_work_ + max_span_ + 1024;
@@ -96,6 +122,10 @@ void SimDriver::submit_all(const Instance& instance) {
     flows_.add_job(job.work(), job.release());
     total_work_ += job.work();
   }
+  if (job_faults_.active()) {
+    arena_.enable_commit_tracking();
+    wasted_.assign(static_cast<std::size_t>(n), 0);
+  }
   arena_.init(dags_);
   arrival_order_ = instance.release_order();
   max_release_ = instance.max_release();
@@ -123,6 +153,11 @@ JobId SimDriver::submit(Job job) {
   total_work_ += ref.work();
   max_release_ = std::max(max_release_, ref.release());
   max_span_ = std::max(max_span_, ref.span());
+  if (job_faults_.active()) {
+    arena_.enable_commit_tracking();  // idempotent; before the append so
+                                      // the region grows the commit bitset
+    wasted_.push_back(0);
+  }
   const JobId arena_id = arena_.append(ref.dag());
   OTSCHED_CHECK(arena_id == id);
   late_arrivals_.emplace(ref.release(), id);
@@ -248,6 +283,35 @@ Time SimDriver::run_slots(const SchedulerView& view, Time max_slots) {
       }
     }
 
+    if (job_faults_.active()) {
+      // The ROLLBACK step (sim/job_faults.h slot protocol): resolved
+      // after arrivals and capacity, before the pick, so the scheduler
+      // only ever sees post-rollback ready sets.
+      for (const JobId id : alive_) {
+        const std::size_t j = static_cast<std::size_t>(id);
+        const std::int64_t volatile_work =
+            arena_.done(id) - arena_.committed_done(id);
+        if (volatile_work <= 0) continue;
+        if (!job_faults_.crashes(slot_, id, release_[j], volatile_work)) {
+          continue;
+        }
+        const std::int64_t ready_before =
+            static_cast<std::int64_t>(arena_.ready(id).size());
+        const std::int64_t wasted =
+            arena_.rollback_to_checkpoint(*dags_[j], id);
+        ready_width_ +=
+            static_cast<std::int64_t>(arena_.ready(id).size()) - ready_before;
+        executed_total_ -= wasted;
+        flows_.unrecord(id, wasted);
+        wasted_[j] += wasted;
+        ++result_.stats.job_rollbacks;
+        result_.stats.wasted_subjob_slots += wasted;
+        if constexpr (kObserved) {
+          emitter_.rollback(slot_, id, wasted, committed_total_);
+        }
+      }
+    }
+
     picks_.clear();
     double pick_seconds = 0.0;
     if constexpr (kObserved) {
@@ -309,16 +373,46 @@ Time SimDriver::run_slots(const SchedulerView& view, Time max_slots) {
       ready_width_ += arena_.execute(*dags_[j], ref.job, ref.node);
       ++executed_total_;
       if (arena_.done(ref.job) == work_[j]) {
+        std::int64_t job_wasted = 0;
+        if (job_faults_.active()) {
+          // Implicit finish-commit: a finished job is never rolled back,
+          // so retire-on-finish recycling stays sound.  Not counted in
+          // stats.checkpoints (it is not an interval-policy commit).
+          const std::int64_t newly = arena_.checkpoint(ref.job);
+          committed_total_ += newly;
+          job_wasted = wasted_[j];
+          if constexpr (kObserved) {
+            emitter_.checkpoint(slot_, ref.job, newly, committed_total_);
+          }
+        }
         ++finished_this_slot_;
         if (track_finished_) {
           finished_log_.push_back({ref.job, release_[j], slot_,
-                                   slot_ - release_[j]});
+                                   slot_ - release_[j], job_wasted});
           retirable_.push_back(ref.job);
         }
         if constexpr (kObserved) completed_now_.push_back(ref.job);
       }
       flows_.record(slot_, ref.job);
       if constexpr (kRecordFull) result_.schedule->place(slot_, ref);
+    }
+    if (job_faults_.active()) {
+      // The CHECKPOINT step: interval-policy commits at end of slot for
+      // every alive unfinished job with volatile work (finishing jobs
+      // already finish-committed above; the alive list is compacted
+      // after this, so skip finished entries explicitly).
+      for (const JobId id : alive_) {
+        if (finished(id)) continue;
+        const std::int64_t volatile_work =
+            arena_.done(id) - arena_.committed_done(id);
+        if (!job_faults_.checkpoint_due(slot_, volatile_work)) continue;
+        const std::int64_t newly = arena_.checkpoint(id);
+        committed_total_ += newly;
+        ++result_.stats.checkpoints;
+        if constexpr (kObserved) {
+          emitter_.checkpoint(slot_, id, newly, committed_total_);
+        }
+      }
     }
     if constexpr (kObserved) {
       if (!completed_now_.empty()) {
@@ -377,8 +471,11 @@ SimResult SimDriver::drain() {
   // the same numbers, as the driver-equivalence gate proves).
   result_.stats.horizon = last_busy_slot_;
   result_.stats.executed_subjobs = executed_total_;
+  // Wasted (rolled-back) subjob slots occupied processors too: they are
+  // neither idle nor part of the committed executed count.
   result_.stats.idle_processor_slots =
-      static_cast<std::int64_t>(m_) * last_busy_slot_ - executed_total_;
+      static_cast<std::int64_t>(m_) * last_busy_slot_ - executed_total_ -
+      result_.stats.wasted_subjob_slots;
   result_.flows = flows_.finish();
   if (observer_ != nullptr) observer_->on_finish(result_);
   return std::move(result_);

@@ -58,6 +58,9 @@ class SimDriver final : public EngineBackend {
     Time release = 0;
     Time finish = 0;  // the slot its last subjob executed in
     Time flow = 0;    // finish - release
+    /// Subjob slots this job lost to rollbacks over its lifetime (job
+    /// faults, sim/job_faults.h; always 0 on healthy runs).
+    std::int64_t wasted = 0;
 
     friend bool operator==(const FinishedJob&, const FinishedJob&) = default;
   };
@@ -114,6 +117,11 @@ class SimDriver final : public EngineBackend {
 
   /// Outstanding (submitted, unexecuted) subjobs.
   std::int64_t pending_work() const { return total_work_ - executed_total_; }
+
+  /// Engine-wide checkpoint-committed subjob count (job faults only;
+  /// stays 0 on healthy runs, where commit tracking is never enabled).
+  /// Equals executed_subjobs at drain() — every job finish-commits.
+  std::int64_t committed_frontier() const { return committed_total_; }
 
   /// Arena introspection for the retire-on-finish memory bound: node
   /// slots currently backing the driver (live + recyclable).
@@ -181,6 +189,7 @@ class SimDriver final : public EngineBackend {
   Time options_horizon_ = 0;         // explicit cap; 0 = auto (running)
   BudgetSequencer sequencer_;        // per-slot capacity source
   int capacity_ = 1;                 // current slot's budget, m_t <= m
+  JobFaultSequencer job_faults_;     // per-(slot, job) crash/commit source
 
   bool begun_ = false;
   bool finalized_ = false;
@@ -213,6 +222,9 @@ class SimDriver final : public EngineBackend {
 
   std::int64_t executed_total_ = 0;
   std::int64_t total_work_ = 0;       // over all submitted jobs
+  std::int64_t committed_total_ = 0;  // engine-wide committed frontier
+  std::vector<std::int64_t> wasted_;  // per-job rolled-back subjob count
+                                      // (sized only under job faults)
   Time max_release_ = 0;              // running, for the auto horizon
   std::int64_t max_span_ = 0;         // running, for the auto horizon
   std::int64_t ready_width_ = 0;      // sum of ready counts over alive jobs

@@ -181,6 +181,15 @@ class Scheduler {
   /// refuses to run them under an active fault model.
   virtual bool supports_fluctuating_capacity() const { return true; }
 
+  /// Declares whether the policy tolerates job-side rollbacks
+  /// (sim/job_faults.h), which un-execute subjobs and shrink ready sets
+  /// between slots.  Policies that re-read view.ready() every pick return
+  /// true (the default); policies that carry discovered subjobs across
+  /// slots in their own queues (work stealing) would dispatch stale refs
+  /// after a rollback and return false, and the engine refuses to run
+  /// them under an active job-fault model.
+  virtual bool supports_job_rollback() const { return true; }
+
   /// Called once before the run; `m` is fixed for the whole run.
   virtual void reset(int m, JobId job_count) {
     (void)m;
@@ -212,6 +221,13 @@ struct SimStats {
   // Fault injection (zero on fault-free runs):
   std::int64_t faulted_slots = 0;      // visited slots with capacity < m
   std::int64_t capacity_shortfall = 0;  // sum of (m - capacity) over them
+  // Job faults (sim/job_faults.h; zero when job faults are off — part of
+  // the kNoLostWorkWhenHealthy bit-identity contract):
+  std::int64_t job_rollbacks = 0;        // crash events that lost work
+  std::int64_t wasted_subjob_slots = 0;  // volatile subjobs rolled back
+  std::int64_t checkpoints = 0;          // interval-policy commits (the
+                                         // implicit finish-commit is free
+                                         // and not counted)
 };
 
 struct SimResult {

@@ -28,7 +28,8 @@ class ReferenceEngine final : public EngineBackend {
         scheduler_(scheduler),
         observer_(context.observer),
         batch_capacity_(context.batch_capacity),
-        sequencer_(context.options.faults, m) {
+        sequencer_(context.options.faults, m),
+        job_faults_(context.options.job_faults) {
     OTSCHED_CHECK(m >= 1);
     const SimOptions& options = context.options;
     clairvoyant_ =
@@ -44,11 +45,33 @@ class ReferenceEngine final : public EngineBackend {
                                      "per-slot capacity (fault model "
                                   << ToString(options.faults.model) << ")");
     }
+    if (job_faults_.active()) {
+      OTSCHED_CHECK(options.record == RecordMode::kFlowOnly,
+                    "job faults (model "
+                        << ToString(options.job_faults.model)
+                        << ") require RecordMode::kFlowOnly: re-executed "
+                           "subjobs are unrepresentable in a materialized "
+                           "Schedule");
+      OTSCHED_CHECK(scheduler.supports_fluctuating_capacity(),
+                    "scheduler '" << scheduler.name()
+                                  << "' does not support job faults "
+                                     "(job-fault model "
+                                  << ToString(options.job_faults.model)
+                                  << "): rollbacks invalidate precomputed "
+                                     "window plans");
+      OTSCHED_CHECK(scheduler.supports_job_rollback(),
+                    "scheduler '" << scheduler.name()
+                                  << "' does not support job faults "
+                                     "(job-fault model "
+                                  << ToString(options.job_faults.model)
+                                  << "): its internal queues would dispatch "
+                                     "rolled-back subjobs");
+    }
     max_horizon_ = options.max_horizon;
     if (max_horizon_ == 0) {
       max_horizon_ = instance.max_release() + 4 * instance.total_work() +
                      instance.max_span() + 1024;
-      if (sequencer_.active()) {
+      if (sequencer_.active() || job_faults_.active()) {
         // Mirror the incremental engine's fault allowance exactly.
         max_horizon_ = instance.max_release() + 64 * instance.total_work() +
                        instance.max_span() + 65536;
@@ -109,6 +132,8 @@ class ReferenceEngine final : public EngineBackend {
   void deliver_arrivals(const SchedulerView& view);
   void execute(SubjobRef ref);
   void refresh_alive();
+  std::int64_t commit_job(JobId id);
+  std::int64_t rollback_job(JobId id);
 
   const Instance& instance_;
   int m_;
@@ -122,6 +147,12 @@ class ReferenceEngine final : public EngineBackend {
   Time max_horizon_ = 0;
   BudgetSequencer sequencer_;        // per-slot capacity source
   int capacity_ = 1;                 // current slot's budget, m_t <= m
+  JobFaultSequencer job_faults_;     // per-(slot, job) crash/commit source
+  std::int64_t committed_total_ = 0; // engine-wide committed frontier
+  // Checkpoint snapshots (job faults only; the baseline mirror of the
+  // arena's commit bitset and committed_done counters).
+  std::vector<std::vector<char>> committed_executed_;
+  std::vector<std::int64_t> committed_done_;
 
   Time slot_ = 0;
   Time last_busy_slot_ = 0;          // online horizon (== schedule horizon)
@@ -195,6 +226,49 @@ void ReferenceEngine::refresh_alive() {
   std::erase_if(alive_, [this](JobId id) { return finished(id); });
 }
 
+std::int64_t ReferenceEngine::commit_job(JobId id) {
+  const std::size_t j = static_cast<std::size_t>(id);
+  const std::int64_t newly = done_[j] - committed_done_[j];
+  if (newly == 0) return 0;
+  committed_executed_[j] = executed_[j];
+  committed_done_[j] = done_[j];
+  return newly;
+}
+
+std::int64_t ReferenceEngine::rollback_job(JobId id) {
+  const std::size_t j = static_cast<std::size_t>(id);
+  const std::int64_t wasted = done_[j] - committed_done_[j];
+  if (wasted == 0) return 0;
+  const Dag& dag = instance_.job(id).dag();
+  const NodeId n = dag.node_count();
+  executed_[j] = committed_executed_[j];
+  // Rebuild pending counts and the ready list from the restored executed
+  // set, in increasing node id — the rollback determinism contract
+  // (sim/ready_state.h), mirrored exactly.
+  auto& ready = ready_[j];
+  auto& pos = ready_pos_[j];
+  ready.clear();
+  for (NodeId v = 0; v < n; ++v) {
+    pos[static_cast<std::size_t>(v)] = kInvalidNode;
+    if (executed_[j][static_cast<std::size_t>(v)]) {
+      pending_in_[j][static_cast<std::size_t>(v)] = 0;
+      continue;
+    }
+    NodeId p = 0;
+    for (const NodeId u : dag.parents(v)) {
+      if (!executed_[j][static_cast<std::size_t>(u)]) ++p;
+    }
+    pending_in_[j][static_cast<std::size_t>(v)] = p;
+    if (p == 0) {
+      pos[static_cast<std::size_t>(v)] = static_cast<NodeId>(ready.size());
+      ready.push_back(v);
+    }
+  }
+  executed_total_ -= wasted;
+  done_[j] = committed_done_[j];
+  return wasted;
+}
+
 SimResult ReferenceEngine::run() {
   const JobId n = instance_.job_count();
   ready_.resize(static_cast<std::size_t>(n));
@@ -216,6 +290,10 @@ SimResult ReferenceEngine::run() {
     }
   }
   arrival_order_ = instance_.release_order();
+  if (job_faults_.active()) {
+    committed_executed_ = executed_;  // all-zero initial snapshots
+    committed_done_.assign(static_cast<std::size_t>(n), 0);
+  }
 
   scheduler_.reset(m_, n);
   SchedulerView view(*this);
@@ -259,6 +337,27 @@ SimResult ReferenceEngine::run() {
       if (capacity_ < m_) {
         ++result.stats.faulted_slots;
         result.stats.capacity_shortfall += m_ - capacity_;
+      }
+    }
+
+    if (job_faults_.active()) {
+      // The ROLLBACK step, mirroring the incremental engine exactly:
+      // after arrivals and capacity, before the pick.
+      for (const JobId id : alive_) {
+        const std::size_t j = static_cast<std::size_t>(id);
+        const std::int64_t volatile_work = done_[j] - committed_done_[j];
+        if (volatile_work <= 0) continue;
+        if (!job_faults_.crashes(slot_, id, instance_.job(id).release(),
+                                 volatile_work)) {
+          continue;
+        }
+        const std::int64_t wasted = rollback_job(id);
+        flows_.unrecord(id, wasted);
+        ++result.stats.job_rollbacks;
+        result.stats.wasted_subjob_slots += wasted;
+        if (emitter_.active()) {
+          emitter_.rollback(slot_, id, wasted, committed_total_);
+        }
       }
     }
 
@@ -320,8 +419,33 @@ SimResult ReferenceEngine::run() {
                                              << ref.node << " in slot "
                                              << slot_);
       execute(ref);
+      if (job_faults_.active() && finished(ref.job)) {
+        // Implicit finish-commit at the point of finish, as in the
+        // incremental engine (not counted in stats.checkpoints).
+        const std::int64_t newly = commit_job(ref.job);
+        committed_total_ += newly;
+        if (emitter_.active()) {
+          emitter_.checkpoint(slot_, ref.job, newly, committed_total_);
+        }
+      }
       flows_.record(slot_, ref.job);
       if (record_full_) result.schedule->place(slot_, ref);
+    }
+    if (job_faults_.active()) {
+      // The CHECKPOINT step: interval-policy commits at end of slot for
+      // every alive unfinished job with volatile work.
+      for (const JobId id : alive_) {
+        if (finished(id)) continue;
+        const std::size_t j = static_cast<std::size_t>(id);
+        const std::int64_t volatile_work = done_[j] - committed_done_[j];
+        if (!job_faults_.checkpoint_due(slot_, volatile_work)) continue;
+        const std::int64_t newly = commit_job(id);
+        committed_total_ += newly;
+        ++result.stats.checkpoints;
+        if (emitter_.active()) {
+          emitter_.checkpoint(slot_, id, newly, committed_total_);
+        }
+      }
     }
     if (emitter_.active() && !completed_now_.empty()) {
       // Ascending job id, matching DeriveTrace's completion order.
@@ -344,8 +468,10 @@ SimResult ReferenceEngine::run() {
   // the incremental engine (sim/engine.cc).
   result.stats.horizon = last_busy_slot_;
   result.stats.executed_subjobs = executed_total_;
+  // Wasted (rolled-back) subjob slots occupied processors too.
   result.stats.idle_processor_slots =
-      static_cast<std::int64_t>(m_) * last_busy_slot_ - executed_total_;
+      static_cast<std::int64_t>(m_) * last_busy_slot_ - executed_total_ -
+      result.stats.wasted_subjob_slots;
   result.flows = flows_.finish();
   if (observer_ != nullptr) observer_->on_finish(result);
   return result;

@@ -1,0 +1,276 @@
+#include "sim/job_faults.h"
+
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace otsched {
+
+namespace {
+
+/// splitmix64 — the same counter-based mixer sim/faults.cc uses for
+/// processor faults, duplicated here so the two fault axes stay
+/// dependency-free of each other.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from (seed, a, b).
+double HashUnit(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t h = Mix64(seed ^ Mix64(a ^ Mix64(b)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Domain separator so `--faults` and `--job-faults` with the same seed
+/// draw from independent streams.
+constexpr std::uint64_t kJobFaultDomain = 0x4A42464155ULL;  // "JBFAU"
+
+/// Strict all-digits parse (the sim/faults.cc idiom).
+template <typename Int>
+bool ParseNonNegative(const std::string& token, Int* out) {
+  if (token.empty()) return false;
+  Int value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return false;
+    const Int digit = static_cast<Int>(c - '0');
+    if (value > (std::numeric_limits<Int>::max() - digit) / 10) return false;
+    value = static_cast<Int>(value * 10 + digit);
+  }
+  *out = value;
+  return true;
+}
+
+std::vector<std::string> SplitColons(std::string_view text) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (const char c : text) {
+    if (c == ':') {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+}  // namespace
+
+const char* ToString(JobFaultModel model) {
+  switch (model) {
+    case JobFaultModel::kNone:
+      return "none";
+    case JobFaultModel::kRandomCrash:
+      return "random-crash";
+    case JobFaultModel::kPeriodicCrash:
+      return "periodic-crash";
+    case JobFaultModel::kAdversarialLoss:
+      return "adversarial-loss";
+  }
+  return "?";
+}
+
+std::optional<JobFaultModel> ParseJobFaultModel(std::string_view name) {
+  if (name == "none") return JobFaultModel::kNone;
+  if (name == "random-crash") return JobFaultModel::kRandomCrash;
+  if (name == "periodic-crash") return JobFaultModel::kPeriodicCrash;
+  if (name == "adversarial-loss") return JobFaultModel::kAdversarialLoss;
+  return std::nullopt;
+}
+
+const char* ToString(CheckpointPolicy policy) {
+  switch (policy) {
+    case CheckpointPolicy::kOnCompletion:
+      return "on-completion";
+    case CheckpointPolicy::kEveryKSlots:
+      return "every-slots";
+    case CheckpointPolicy::kEveryKSubjobs:
+      return "every-subjobs";
+  }
+  return "?";
+}
+
+std::string ToString(const JobFaultSpec& spec) {
+  std::ostringstream out;
+  out << ToString(spec.model);
+  switch (spec.model) {
+    case JobFaultModel::kNone:
+      break;
+    case JobFaultModel::kRandomCrash:
+      out << ':' << spec.seed << ':' << spec.rate;
+      break;
+    case JobFaultModel::kPeriodicCrash:
+      out << ':' << spec.seed << ':' << spec.period;
+      break;
+    case JobFaultModel::kAdversarialLoss:
+      out << ':' << spec.seed << ':' << spec.threshold;
+      break;
+  }
+  return out.str();
+}
+
+std::string CheckpointPolicyString(const JobFaultSpec& spec) {
+  std::ostringstream out;
+  out << ToString(spec.checkpoint);
+  if (spec.checkpoint != CheckpointPolicy::kOnCompletion) {
+    out << ':' << spec.checkpoint_every;
+  }
+  return out.str();
+}
+
+std::optional<JobFaultSpec> ParseJobFaultSpec(std::string_view text,
+                                              std::string* error) {
+  auto fail = [&](const std::string& what) -> std::optional<JobFaultSpec> {
+    if (error != nullptr) *error = what;
+    return std::nullopt;
+  };
+  const std::vector<std::string> parts = SplitColons(text);
+  if (parts.size() > 3) {
+    return fail("too many ':' fields in job-fault spec '" +
+                std::string(text) + "' (want model[:seed[:param]])");
+  }
+  JobFaultSpec spec;
+  const std::optional<JobFaultModel> model = ParseJobFaultModel(parts[0]);
+  if (!model.has_value()) {
+    return fail("unknown job-fault model '" + parts[0] +
+                "' (want none|random-crash|periodic-crash|adversarial-loss)");
+  }
+  spec.model = *model;
+  if (parts.size() >= 2) {
+    if (!ParseNonNegative(parts[1], &spec.seed)) {
+      return fail("malformed job-fault seed '" + parts[1] +
+                  "' (want integer >= 0)");
+    }
+  }
+  if (parts.size() >= 3) {
+    switch (spec.model) {
+      case JobFaultModel::kNone:
+        return fail("job-fault model 'none' takes no parameters, got '" +
+                    parts[2] + "'");
+      case JobFaultModel::kRandomCrash: {
+        std::size_t consumed = 0;
+        double rate = 0.0;
+        try {
+          rate = std::stod(parts[2], &consumed);
+        } catch (...) {
+          consumed = 0;
+        }
+        if (consumed != parts[2].size() || rate < 0.0 || rate > 0.9) {
+          return fail("malformed crash rate '" + parts[2] +
+                      "' (want a number in [0, 0.9])");
+        }
+        spec.rate = rate;
+        break;
+      }
+      case JobFaultModel::kPeriodicCrash:
+        if (!ParseNonNegative(parts[2], &spec.period) || spec.period < 2) {
+          return fail("malformed crash period '" + parts[2] +
+                      "' (want integer >= 2)");
+        }
+        break;
+      case JobFaultModel::kAdversarialLoss:
+        if (!ParseNonNegative(parts[2], &spec.threshold) ||
+            spec.threshold < 1) {
+          return fail("malformed loss threshold '" + parts[2] +
+                      "' (want integer >= 1)");
+        }
+        break;
+    }
+  }
+  return spec;
+}
+
+bool ParseCheckpointPolicyInto(std::string_view text, JobFaultSpec* spec,
+                               std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  const std::vector<std::string> parts = SplitColons(text);
+  if (parts[0] == "on-completion") {
+    if (parts.size() > 1) {
+      return fail("checkpoint policy 'on-completion' takes no interval, "
+                  "got '" + std::string(text) + "'");
+    }
+    spec->checkpoint = CheckpointPolicy::kOnCompletion;
+    return true;
+  }
+  if (parts[0] == "every-slots" || parts[0] == "every-subjobs") {
+    if (parts.size() != 2) {
+      return fail("checkpoint policy '" + parts[0] +
+                  "' needs an interval (want " + parts[0] + ":K)");
+    }
+    std::int64_t k = 0;
+    if (!ParseNonNegative(parts[1], &k) || k < 1) {
+      return fail("malformed checkpoint interval '" + parts[1] +
+                  "' (want integer >= 1)");
+    }
+    spec->checkpoint = parts[0] == "every-slots"
+                           ? CheckpointPolicy::kEveryKSlots
+                           : CheckpointPolicy::kEveryKSubjobs;
+    spec->checkpoint_every = k;
+    return true;
+  }
+  return fail("unknown checkpoint policy '" + parts[0] +
+              "' (want on-completion|every-slots:K|every-subjobs:K)");
+}
+
+void ValidateJobFaultSpec(const JobFaultSpec& spec) {
+  if (!spec.active()) return;
+  OTSCHED_CHECK(spec.rate >= 0.0 && spec.rate <= 0.9,
+                "job-fault rate must be in [0, 0.9], got " << spec.rate);
+  OTSCHED_CHECK(spec.period >= 2,
+                "job-fault period must be >= 2, got " << spec.period);
+  OTSCHED_CHECK(spec.threshold >= 1,
+                "job-fault threshold must be >= 1, got " << spec.threshold);
+  OTSCHED_CHECK(spec.checkpoint_every >= 1,
+                "checkpoint interval must be >= 1, got "
+                    << spec.checkpoint_every);
+}
+
+JobFaultSequencer::JobFaultSequencer(const JobFaultSpec& spec)
+    : spec_(spec) {
+  ValidateJobFaultSpec(spec_);
+}
+
+bool JobFaultSequencer::crashes(Time slot, JobId job, Time release,
+                                std::int64_t volatile_work) const {
+  if (volatile_work <= 0) return false;  // nothing to lose
+  switch (spec_.model) {
+    case JobFaultModel::kNone:
+      return false;
+    case JobFaultModel::kRandomCrash:
+      return HashUnit(spec_.seed, static_cast<std::uint64_t>(slot),
+                      kJobFaultDomain ^ static_cast<std::uint64_t>(job)) <
+             spec_.rate;
+    case JobFaultModel::kPeriodicCrash: {
+      const Time age = slot - release;
+      return age > 0 && age % spec_.period == 0;
+    }
+    case JobFaultModel::kAdversarialLoss:
+      return volatile_work >= spec_.threshold;
+  }
+  return false;
+}
+
+bool JobFaultSequencer::checkpoint_due(Time slot,
+                                       std::int64_t volatile_work) const {
+  if (volatile_work <= 0) return false;
+  switch (spec_.checkpoint) {
+    case CheckpointPolicy::kOnCompletion:
+      return false;
+    case CheckpointPolicy::kEveryKSlots:
+      return slot % spec_.checkpoint_every == 0;
+    case CheckpointPolicy::kEveryKSubjobs:
+      return volatile_work >= spec_.checkpoint_every;
+  }
+  return false;
+}
+
+}  // namespace otsched

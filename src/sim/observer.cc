@@ -56,6 +56,12 @@ void RunObserver::on_slot_batch(const EngineBackend& engine,
       case SlotEvent::Kind::kComplete:
         on_complete(event.slot, event.job);
         break;
+      case SlotEvent::Kind::kRollback:
+        on_rollback(event.slot, event.job, event.value, event.width);
+        break;
+      case SlotEvent::Kind::kCheckpoint:
+        on_checkpoint(event.slot, event.job, event.value, event.width);
+        break;
     }
   }
 }

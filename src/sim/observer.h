@@ -48,6 +48,7 @@
 
 #include "common/types.h"
 #include "sim/faults.h"
+#include "sim/job_faults.h"
 
 namespace otsched {
 
@@ -94,6 +95,16 @@ struct SimOptions {
   /// (sim/faults.h).  The default kNone runs at full capacity and is
   /// bit-identical to a pre-fault engine.
   FaultSpec faults;
+
+  /// Job fault injection: crash/rollback-to-checkpoint models
+  /// (sim/job_faults.h).  The default kNone never crashes a job and
+  /// leaves the engines bit-identical to the monotone-progress ones (the
+  /// kNoLostWorkWhenHealthy contract).  An active spec requires
+  /// RecordMode::kFlowOnly — re-execution is unrepresentable in the
+  /// materialized Schedule — and a scheduler that
+  /// supports_fluctuating_capacity() (window planners would replay stale
+  /// picks over rolled-back state).
+  JobFaultSpec job_faults;
 };
 
 /// One fixed-size POD record of the batched event stream.  Field use by
@@ -108,6 +119,16 @@ struct SimOptions {
 ///                    after a kPickBegin ARE the slot's pick list, in
 ///                    placement order)
 ///   kComplete        slot, job
+///   kRollback        slot, job, value = wasted subjob count,
+///                    width = engine-wide committed frontier after
+///   kCheckpoint      slot, job, value = newly committed subjob count,
+///                    width = engine-wide committed frontier after
+///
+/// Job-fault records (sim/job_faults.h) sit at fixed points of the slot:
+/// kRollback fires in the pre-pick region (after kCapacityChange, before
+/// kPickBegin); kCheckpoint fires after the slot's executes — at the
+/// point of finish for the implicit finish-commit, before kComplete for
+/// interval-policy commits.  Healthy runs emit neither kind.
 struct SlotEvent {
   enum class Kind : std::int32_t {
     kSlotBegin,
@@ -116,6 +137,8 @@ struct SlotEvent {
     kPickBegin,
     kExecute,
     kComplete,
+    kRollback,
+    kCheckpoint,
   };
 
   Kind kind = Kind::kSlotBegin;
@@ -189,6 +212,29 @@ class RunObserver {
     (void)job;
   }
 
+  /// `job` crashed and rolled back to its last checkpoint, losing
+  /// `wasted` volatile subjobs (job faults; sim/job_faults.h).  Fired in
+  /// the pre-pick region, after any capacity change.  `frontier` is the
+  /// engine-wide committed subjob count (unchanged by rollbacks).
+  virtual void on_rollback(Time slot, JobId job, std::int64_t wasted,
+                           std::int64_t frontier) {
+    (void)slot;
+    (void)job;
+    (void)wasted;
+    (void)frontier;
+  }
+
+  /// `job` committed `committed` volatile subjobs — an interval-policy
+  /// checkpoint or the implicit commit when a job finishes.  `frontier`
+  /// is the engine-wide committed subjob count after the commit.
+  virtual void on_checkpoint(Time slot, JobId job, std::int64_t committed,
+                             std::int64_t frontier) {
+    (void)slot;
+    (void)job;
+    (void)committed;
+    (void)frontier;
+  }
+
   /// Once, with the finished result (flows and stats computed).
   virtual void on_finish(const SimResult& result) { (void)result; }
 
@@ -242,6 +288,18 @@ class ObserverList final : public RunObserver {
   }
   void on_complete(Time slot, JobId job) override {
     for (RunObserver* o : observers_) o->on_complete(slot, job);
+  }
+  void on_rollback(Time slot, JobId job, std::int64_t wasted,
+                   std::int64_t frontier) override {
+    for (RunObserver* o : observers_) {
+      o->on_rollback(slot, job, wasted, frontier);
+    }
+  }
+  void on_checkpoint(Time slot, JobId job, std::int64_t committed,
+                     std::int64_t frontier) override {
+    for (RunObserver* o : observers_) {
+      o->on_checkpoint(slot, job, committed, frontier);
+    }
   }
   void on_finish(const SimResult& result) override {
     for (RunObserver* o : observers_) o->on_finish(result);
@@ -320,6 +378,20 @@ class SlotEventEmitter {
     make_room(1);
     buffer_.push_back({SlotEvent::Kind::kComplete, job, kInvalidNode, 0,
                        slot, 0, 0.0});
+  }
+  void rollback(Time slot, JobId job, std::int64_t wasted,
+                std::int64_t frontier) {
+    make_room(1);
+    buffer_.push_back({SlotEvent::Kind::kRollback, job, kInvalidNode,
+                       static_cast<std::int32_t>(wasted), slot, frontier,
+                       0.0});
+  }
+  void checkpoint(Time slot, JobId job, std::int64_t committed,
+                  std::int64_t frontier) {
+    make_room(1);
+    buffer_.push_back({SlotEvent::Kind::kCheckpoint, job, kInvalidNode,
+                       static_cast<std::int32_t>(committed), slot, frontier,
+                       0.0});
   }
   /// End-of-slot flush point: delivers pending completion events (the
   /// only records that can follow the pre-execution flush), so batches

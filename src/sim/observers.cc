@@ -81,6 +81,8 @@ RunManifest MakeRunManifest(const Instance& instance, int m,
   manifest.clairvoyance = ToString(options.clairvoyance);
   manifest.record = ToString(options.record);
   manifest.faults = ToString(options.faults);
+  manifest.job_faults = ToString(options.job_faults);
+  manifest.checkpoint_policy = CheckpointPolicyString(options.job_faults);
   return manifest;
 }
 
@@ -97,6 +99,10 @@ std::string RunManifest::to_json() const {
   out += "  \"clairvoyance\": " + JsonString(clairvoyance) + ",\n";
   out += "  \"record\": " + JsonString(record) + ",\n";
   out += "  \"faults\": " + JsonString(faults);
+  if (job_faults != "none" && !job_faults.empty()) {
+    out += ",\n  \"job_faults\": " + JsonString(job_faults);
+    out += ",\n  \"checkpoint_policy\": " + JsonString(checkpoint_policy);
+  }
   if (certified_bound > 0) {
     out += ",\n  \"certified_bound\": " + std::to_string(certified_bound);
     out += ",\n  \"certificate_method\": " + JsonString(certificate_method);
@@ -121,6 +127,10 @@ void WriteManifest(MetricsRegistry& registry, const RunManifest& manifest) {
   registry.set_manifest("clairvoyance", manifest.clairvoyance);
   registry.set_manifest("record", manifest.record);
   registry.set_manifest("faults", manifest.faults);
+  if (manifest.job_faults != "none" && !manifest.job_faults.empty()) {
+    registry.set_manifest("job_faults", manifest.job_faults);
+    registry.set_manifest("checkpoint_policy", manifest.checkpoint_policy);
+  }
   if (manifest.certified_bound > 0) {
     registry.set_manifest("certified_bound", manifest.certified_bound);
     registry.set_manifest("certificate_method", manifest.certificate_method);
@@ -152,6 +162,9 @@ void MetricsObserver::on_run_begin(const EngineBackend& engine) {
   capacity_changes_ = &registry_.counter("faults.capacity_changes");
   registry_.counter("faults.faulted_slots");
   registry_.counter("faults.capacity_shortfall");
+  rollbacks_ = &registry_.counter("faults.rollbacks");
+  checkpoints_ = &registry_.counter("faults.checkpoints");
+  wasted_ = &registry_.counter("work.wasted_slots");
   registry_.gauge("engine.horizon");
   registry_.gauge("flow.max");
   alive_width_ = &registry_.gauge("alive.width");
@@ -164,12 +177,15 @@ void MetricsObserver::on_run_begin(const EngineBackend& engine) {
   }
   slot_busy_ = slot_idle_ = slot_ready_width_ = slot_alive_ = nullptr;
   slot_capacity_ = nullptr;
+  committed_frontier_ = nullptr;
+  pending_frontier_valid_ = false;
   if (options_.record_series) {
     slot_busy_ = &registry_.series("slot.busy");
     slot_idle_ = &registry_.series("slot.idle");
     slot_ready_width_ = &registry_.series("slot.ready_width");
     slot_alive_ = &registry_.series("slot.alive");
     slot_capacity_ = &registry_.series("slot.capacity");
+    committed_frontier_ = &registry_.series("work.committed_frontier");
   }
 }
 
@@ -241,6 +257,30 @@ void MetricsObserver::on_complete(Time slot, JobId job) {
   completions_->inc();
 }
 
+void MetricsObserver::on_rollback(Time slot, JobId job, std::int64_t wasted,
+                                  std::int64_t frontier) {
+  (void)slot;
+  (void)job;
+  (void)frontier;
+  rollbacks_->inc();
+  wasted_->inc(wasted);
+}
+
+void MetricsObserver::on_checkpoint(Time slot, JobId job,
+                                    std::int64_t committed,
+                                    std::int64_t frontier) {
+  (void)job;
+  (void)committed;
+  checkpoints_->inc();
+  if (committed_frontier_ == nullptr) return;
+  if (pending_frontier_valid_ && slot != pending_frontier_slot_) {
+    committed_frontier_->record(pending_frontier_slot_, pending_frontier_);
+  }
+  pending_frontier_slot_ = slot;
+  pending_frontier_ = frontier;
+  pending_frontier_valid_ = true;
+}
+
 void MetricsObserver::on_slot_batch(const EngineBackend& engine,
                                     std::span<const SlotEvent> events) {
   (void)engine;
@@ -271,6 +311,12 @@ void MetricsObserver::on_slot_batch(const EngineBackend& engine,
       case SlotEvent::Kind::kComplete:
         ++completions;
         break;
+      case SlotEvent::Kind::kRollback:
+        on_rollback(event.slot, event.job, event.value, event.width);
+        break;
+      case SlotEvent::Kind::kCheckpoint:
+        on_checkpoint(event.slot, event.job, event.value, event.width);
+        break;
     }
   }
   if (slots != 0) slots_visited_->inc(slots);
@@ -291,6 +337,14 @@ void MetricsObserver::on_finish(const SimResult& result) {
   registry_.counter("faults.faulted_slots").set(result.stats.faulted_slots);
   registry_.counter("faults.capacity_shortfall")
       .set(result.stats.capacity_shortfall);
+  // faults.checkpoints stays the event count (finish-commits included):
+  // there is no SimStats mirror that subsumes it.
+  registry_.counter("faults.rollbacks").set(result.stats.job_rollbacks);
+  registry_.counter("work.wasted_slots").set(result.stats.wasted_subjob_slots);
+  if (pending_frontier_valid_) {
+    committed_frontier_->record(pending_frontier_slot_, pending_frontier_);
+    pending_frontier_valid_ = false;
+  }
   registry_.gauge("engine.horizon")
       .set(static_cast<double>(result.stats.horizon));
   registry_.gauge("flow.max")

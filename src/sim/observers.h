@@ -34,6 +34,11 @@ struct RunManifest {
   std::string clairvoyance;          // "policy-default" | "deny" | "allow"
   std::string record;                // "full" | "flow-only"
   std::string faults;                // fault spec shorthand ("none", ...)
+  // Job-fault axis (sim/job_faults.h).  Emitted only when job_faults !=
+  // "none", keeping pre-job-fault manifests byte-identical (the same
+  // convention as the certified extras below).
+  std::string job_faults = "none";   // job-fault spec shorthand
+  std::string checkpoint_policy = "on-completion";
 
   // ---- optional certified lower-bound extras (`--certify`) ----
   // certified_bound == 0 means "no certificate attached" and none of the
@@ -92,6 +97,10 @@ class MetricsObserver final : public RunObserver {
                std::span<const SubjobRef> picks, double pick_seconds) override;
   void on_execute(Time slot, SubjobRef ref) override;
   void on_complete(Time slot, JobId job) override;
+  void on_rollback(Time slot, JobId job, std::int64_t wasted,
+                   std::int64_t frontier) override;
+  void on_checkpoint(Time slot, JobId job, std::int64_t committed,
+                     std::int64_t frontier) override;
   void on_finish(const SimResult& result) override;
   void on_slot_batch(const EngineBackend& engine,
                      std::span<const SlotEvent> events) override;
@@ -118,6 +127,9 @@ class MetricsObserver final : public RunObserver {
   Counter* picks_ = nullptr;
   Counter* slots_visited_ = nullptr;
   Counter* capacity_changes_ = nullptr;
+  Counter* rollbacks_ = nullptr;
+  Counter* checkpoints_ = nullptr;   // commit EVENTS (incl. finish-commits)
+  Counter* wasted_ = nullptr;
   Gauge* alive_width_ = nullptr;
   Gauge* ready_width_ = nullptr;
   Histogram* pick_seconds_ = nullptr;
@@ -126,6 +138,14 @@ class MetricsObserver final : public RunObserver {
   Series* slot_ready_width_ = nullptr;
   Series* slot_alive_ = nullptr;
   Series* slot_capacity_ = nullptr;
+  Series* committed_frontier_ = nullptr;
+  // Per-slot coalescing for work.committed_frontier: several jobs can
+  // commit in one slot but Series::record requires strictly increasing
+  // slots, so the last frontier value of a slot is held back until the
+  // slot advances (flushed in on_finish).
+  Time pending_frontier_slot_ = 0;
+  std::int64_t pending_frontier_ = 0;
+  bool pending_frontier_valid_ = false;
 };
 
 /// Appends arrive/exec/done events to a borrowed EventTrace as the run

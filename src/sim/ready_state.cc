@@ -6,6 +6,31 @@
 
 namespace otsched {
 
+namespace {
+
+/// Copies bit range [base, end) from `src` into `dst`, leaving every
+/// other bit of the shared words untouched (neighbouring job regions
+/// share boundary words of the arena bitsets).
+void CopyRegionBits(std::vector<std::uint64_t>& dst,
+                    const std::vector<std::uint64_t>& src, std::int64_t base,
+                    std::int64_t end) {
+  if (base >= end) return;
+  const std::int64_t w0 = base >> 6;
+  const std::int64_t w1 = (end - 1) >> 6;
+  for (std::int64_t w = w0; w <= w1; ++w) {
+    std::uint64_t mask = ~std::uint64_t{0};
+    if (w == w0) mask &= ~std::uint64_t{0} << (base & 63);
+    if (w == w1 && (end & 63) != 0) {
+      mask &= (std::uint64_t{1} << (end & 63)) - 1;
+    }
+    dst[static_cast<std::size_t>(w)] =
+        (dst[static_cast<std::size_t>(w)] & ~mask) |
+        (src[static_cast<std::size_t>(w)] & mask);
+  }
+}
+
+}  // namespace
+
 void PendingCounters::init(const Dag& dag) {
   const NodeId n = dag.node_count();
   counts_.assign(static_cast<std::size_t>(n), 0);
@@ -49,6 +74,11 @@ void ReadyArena::init(std::span<const Dag* const> dags) {
       if (pending[static_cast<std::size_t>(v)] == 0) ++root_total;
     }
   }
+  if (commit_tracking_) {
+    committed_.assign(executed_.size(), 0);
+    committed_done_.assign(jobs, 0);
+  }
+
   roots_off_[jobs] = root_total;
   roots_.resize(static_cast<std::size_t>(root_total));
   for (std::size_t j = 0; j < jobs; ++j) {
@@ -99,6 +129,14 @@ JobId ReadyArena::append(const Dag& dag) {
     executed_[static_cast<std::size_t>(nv >> 6)] &=
         ~(std::uint64_t{1} << (nv & 63));
   }
+  if (commit_tracking_) {
+    committed_.resize(executed_.size(), 0);
+    for (std::int64_t nv = base; nv < base + n; ++nv) {
+      committed_[static_cast<std::size_t>(nv >> 6)] &=
+          ~(std::uint64_t{1} << (nv & 63));
+    }
+    committed_done_.push_back(0);
+  }
 
   const JobId j = static_cast<JobId>(off_.size());
   off_.push_back(base);
@@ -115,6 +153,9 @@ void ReadyArena::retire(JobId j) {
                 "retire of unfinished job " << j << " (" << done_[i] << "/"
                                             << nodes_[i] << " executed)");
   OTSCHED_DCHECK(ready_len_[i] == 0);
+  // Under commit tracking a finished job must have been finish-committed
+  // before its region is recycled (finished jobs are never rolled back).
+  OTSCHED_DCHECK(!commit_tracking_ || committed_done_[i] == done_[i]);
   FreeRegion region{off_[i], nodes_[i]};
   if (region.size == 0) return;
   // Sorted insert + coalesce with both neighbours, so back-to-back
@@ -166,6 +207,62 @@ std::int32_t ReadyArena::activate(JobId j) {
     }
   }
   return len;
+}
+
+void ReadyArena::enable_commit_tracking() {
+  if (commit_tracking_) return;
+  commit_tracking_ = true;
+  committed_.assign(executed_.size(), 0);
+  committed_done_.assign(done_.size(), 0);
+}
+
+std::int64_t ReadyArena::checkpoint(JobId j) {
+  OTSCHED_DCHECK(commit_tracking_);
+  const std::size_t i = static_cast<std::size_t>(j);
+  const std::int64_t delta = done_[i] - committed_done_[i];
+  if (delta == 0) return 0;
+  CopyRegionBits(committed_, executed_, off_[i], off_[i] + nodes_[i]);
+  committed_done_[i] = done_[i];
+  return delta;
+}
+
+std::int64_t ReadyArena::rollback_to_checkpoint(const Dag& dag, JobId j) {
+  OTSCHED_DCHECK(commit_tracking_);
+  const std::size_t i = static_cast<std::size_t>(j);
+  const std::int64_t wasted = done_[i] - committed_done_[i];
+  if (wasted == 0) return 0;
+  const std::int64_t base = off_[i];
+  const std::int32_t n = nodes_[i];
+  CopyRegionBits(executed_, committed_, base, base + n);
+  // Rebuild pending counts and the ready region from the restored
+  // executed set, in increasing node id (the rollback determinism
+  // contract in the header).  Committed sets are prefix-closed (they
+  // snapshot a legal execution), so every restored node has all parents
+  // restored and a zeroed pending count is consistent.
+  std::int32_t* pending = pending_.data() + base;
+  NodeId* ready = ready_.data() + base;
+  NodeId* pos = pos_.data() + base;
+  std::int32_t len = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    pos[static_cast<std::size_t>(v)] = kInvalidNode;
+    if (is_executed(j, v)) {
+      pending[static_cast<std::size_t>(v)] = 0;
+      continue;
+    }
+    std::int32_t p = 0;
+    for (const NodeId u : dag.parents(v)) {
+      if (!is_executed(j, u)) ++p;
+    }
+    pending[static_cast<std::size_t>(v)] = p;
+    if (p == 0) {
+      pos[static_cast<std::size_t>(v)] = static_cast<NodeId>(len);
+      ready[static_cast<std::size_t>(len)] = v;
+      ++len;
+    }
+  }
+  ready_len_[i] = len;
+  done_[i] = committed_done_[i];
+  return wasted;
 }
 
 }  // namespace otsched

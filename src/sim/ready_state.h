@@ -175,6 +175,45 @@ class ReadyArena {
     return done_[static_cast<std::size_t>(j)];
   }
 
+  // ---- commit frontier (job faults; sim/job_faults.h) ----
+  //
+  // With commit tracking enabled the arena splits each job's progress
+  // into a checkpoint-committed region (survives crashes) and a volatile
+  // region (everything executed since the last checkpoint()).  A crashed
+  // job rolls back to its committed snapshot; the volatile work is lost
+  // and re-enqueued.  Disabled (the default) the extra arrays stay empty
+  // and execute() is untouched — the no-lost-work-when-healthy contract
+  // that keeps healthy runs bit-identical to the pre-refactor engine.
+  //
+  // Rollback determinism contract (mirrored by ReferenceSimulate and
+  // advsim): rollback_to_checkpoint rebuilds the job's ready region in
+  // INCREASING NODE ID over the restored frontier (every uncommitted
+  // node whose parents are all committed) — the same canonical order
+  // activation uses, independent of the lost execution history.
+
+  /// Turns on commit tracking.  Call before the run executes anything;
+  /// safe before or after init()/append() (later appends keep tracking).
+  void enable_commit_tracking();
+  bool commit_tracking() const { return commit_tracking_; }
+
+  /// Number of checkpoint-committed subjobs of job j (<= done(j)).
+  std::int64_t committed_done(JobId j) const {
+    return committed_done_[static_cast<std::size_t>(j)];
+  }
+
+  /// Commits job j's entire executed set (checkpoint or implicit
+  /// finish-commit).  Returns the newly committed count
+  /// (done(j) - the previous committed_done(j)).
+  std::int64_t checkpoint(JobId j);
+
+  /// Rolls job j back to its last checkpoint: restores the executed
+  /// bits from the committed snapshot, recomputes pending counts,
+  /// rebuilds the ready region in increasing node id, and rewinds
+  /// done(j) to committed_done(j).  Returns the wasted subjob count
+  /// (the volatile work lost).  The caller re-reads ready(j).size() to
+  /// maintain any aggregate ready-width counter.
+  std::int64_t rollback_to_checkpoint(const Dag& dag, JobId j);
+
   // Raw tables for the devirtualized scheduler fast path
   // (EngineHotState in sim/engine.h).  Stable after init(): the arrays
   // never reallocate during a run.
@@ -203,6 +242,11 @@ class ReadyArena {
   std::vector<std::int64_t> roots_off_;  // bulk job -> root region (jobs+1)
   std::vector<FreeRegion> free_;         // retired regions, sorted by base
   std::int64_t total_nodes_ = 0;         // node slots backing the arena
+
+  // Commit frontier (empty unless enable_commit_tracking() was called).
+  bool commit_tracking_ = false;
+  std::vector<std::uint64_t> committed_;      // committed bitset, as executed_
+  std::vector<std::int64_t> committed_done_;  // per-job committed count
 };
 
 }  // namespace otsched

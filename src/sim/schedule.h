@@ -121,6 +121,14 @@ class FlowAccumulator {
     if (slot > last_slot_[i]) last_slot_[i] = slot;
   }
 
+  /// Un-records `count` placements of `job` — a job-fault rollback lost
+  /// that much volatile work (sim/job_faults.h).  `last_slot_` needs no
+  /// rewind: the lost subjobs re-execute in strictly later slots, so the
+  /// max in record() self-corrects before the job can complete.
+  void unrecord(JobId job, std::int64_t count) {
+    placed_[static_cast<std::size_t>(job)] -= count;
+  }
+
   /// Summarizes what has been recorded so far.  Jobs whose recorded count
   /// is short of their work are unfinished: completion = kNoTime, flow =
   /// kInfiniteTime (saturating max_flow).

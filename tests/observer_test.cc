@@ -398,6 +398,10 @@ TEST(MetricsObserver, TinyRunMatchesHandComputedRegistry) {
   want.counter("faults.capacity_changes").set(0);
   want.counter("faults.faulted_slots").set(0);
   want.counter("faults.capacity_shortfall").set(0);
+  // Job faults off: the rollback/checkpoint counters exist but stay zero.
+  want.counter("faults.rollbacks").set(0);
+  want.counter("faults.checkpoints").set(0);
+  want.counter("work.wasted_slots").set(0);
   want.gauge("engine.horizon").set(2.0);
   want.gauge("flow.max").set(1.0);
   want.gauge("alive.width").set(1.0);
@@ -421,6 +425,7 @@ TEST(MetricsObserver, TinyRunMatchesHandComputedRegistry) {
   want.series("slot.alive").record(1, 1);
   want.series("slot.alive").record(2, 1);
   want.series("slot.capacity");  // declared but empty: capacity never changed
+  want.series("work.committed_frontier");  // empty: job faults off
 
   EXPECT_EQ(got.to_json(), want.to_json());
 }

@@ -6,6 +6,10 @@ Compares a fresh Google-Benchmark JSON export against the committed
 
   * any shared benchmark's ``items_per_second`` regressed by more than
     --max-regression (default 15%), or
+  * a benchmark whose family starts with --strict-prefix (default
+    ``BM_EngineSparseFlowOnly``, the reversible-core no-lost-work
+    budget from docs/ROBUSTNESS.md) regressed by more than
+    --strict-regression (default 5%), or
   * the observed-engine overhead ratio — flow-only-observed time over
     flow-only time at the same job count — exceeds --max-overhead
     (default 2.0x), the batched-observer budget from OBSERVABILITY.md.
@@ -44,7 +48,8 @@ def family_and_arg(name):
     return family, arg
 
 
-def check_regressions(baseline, candidate, max_regression, lines):
+def check_regressions(baseline, candidate, max_regression, lines,
+                      strict_prefix="", strict_regression=None):
     failures = 0
     shared = sorted(set(baseline) & set(candidate))
     for name in sorted(set(baseline) - set(candidate)):
@@ -57,14 +62,18 @@ def check_regressions(baseline, candidate, max_regression, lines):
         if not base_ips or not cand_ips:
             lines.append(f"note: {name} has no items_per_second (skipped)")
             continue
+        floor = max_regression
+        if strict_prefix and strict_regression is not None and \
+                family_and_arg(name)[0].startswith(strict_prefix):
+            floor = strict_regression
         change = cand_ips / base_ips - 1.0
         status = "ok"
-        if change < -max_regression:
+        if change < -floor:
             status = "FAIL"
             failures += 1
         lines.append(
             f"{status}: {name} items/s {base_ips:.3e} -> {cand_ips:.3e} "
-            f"({change:+.1%}, floor {-max_regression:.0%})"
+            f"({change:+.1%}, floor {-floor:.0%})"
         )
     return failures
 
@@ -102,6 +111,12 @@ def main(argv):
                         help="also write the line-per-benchmark report here")
     parser.add_argument("--max-regression", type=float, default=0.15,
                         help="max tolerated items/s drop (fraction)")
+    parser.add_argument("--strict-prefix", default="BM_EngineSparseFlowOnly",
+                        help="family prefix held to the strict floor "
+                             "(empty string disables)")
+    parser.add_argument("--strict-regression", type=float, default=0.05,
+                        help="max tolerated items/s drop for strict "
+                             "families (fraction)")
     parser.add_argument("--max-overhead", type=float, default=2.0,
                         help="max observed-vs-flow-only time ratio")
     args = parser.parse_args(argv)
@@ -111,7 +126,8 @@ def main(argv):
 
     lines = []
     failures = check_regressions(baseline, candidate, args.max_regression,
-                                 lines)
+                                 lines, args.strict_prefix,
+                                 args.strict_regression)
     failures += check_overhead(candidate, args.max_overhead, lines)
 
     verdict = "PASS" if failures == 0 else f"FAIL ({failures} violations)"

@@ -9,6 +9,9 @@ enforces the structural invariants the schema prose documents:
     le strictly increasing
   * series: len(slots) == len(values), slots strictly increasing
   * gauges: min <= mean <= max when count > 0
+  * job faults: job_faults/checkpoint_policy appear together and imply
+    flow-only record; without them work.wasted_slots and faults.rollbacks
+    must be 0 (no rollback can fire with the model off)
 
 A file containing a "counters" key is validated as a full metrics
 document; anything else is validated as a standalone run manifest.
@@ -55,6 +58,20 @@ def check_manifest(manifest, schema):
     require(re.fullmatch(spec["properties"]["faults"]["pattern"],
                          manifest["faults"]),
             f"bad faults spec {manifest['faults']!r}")
+    # Job-fault keys are conditional: both present for an active model,
+    # both absent otherwise (never "none" — WriteManifest elides them).
+    if "job_faults" in manifest or "checkpoint_policy" in manifest:
+        require("job_faults" in manifest and "checkpoint_policy" in manifest,
+                "job_faults and checkpoint_policy must appear together")
+        require(re.fullmatch(spec["properties"]["job_faults"]["pattern"],
+                             manifest["job_faults"]),
+                f"bad job_faults spec {manifest['job_faults']!r}")
+        require(re.fullmatch(
+                    spec["properties"]["checkpoint_policy"]["pattern"],
+                    manifest["checkpoint_policy"]),
+                f"bad checkpoint_policy {manifest['checkpoint_policy']!r}")
+        require(manifest["record"] == "flow-only",
+                "job_faults requires record=flow-only")
     for key in ("jobs", "total_work", "m", "seed", "max_horizon"):
         require(isinstance(manifest[key], int) and not
                 isinstance(manifest[key], bool),
@@ -114,6 +131,15 @@ def check_metrics(doc, schema):
     check_manifest(doc["manifest"], schema)
     if doc["manifest"]["instance"].startswith("serve:"):
         check_serve_profile(doc)
+    # Wasted work only exists under an active job-fault model: with the
+    # model off (key elided from the manifest) no rollback may ever fire.
+    # This covers the serve profile too, which never arms job faults.
+    if "job_faults" not in doc["manifest"]:
+        for name in ("work.wasted_slots", "faults.rollbacks"):
+            value = doc["counters"].get(name, 0)
+            require(value == 0,
+                    f"counter '{name}' is {value} but the manifest has "
+                    f"no job_faults model")
 
     for name, value in doc["counters"].items():
         require(isinstance(value, int) and not isinstance(value, bool),

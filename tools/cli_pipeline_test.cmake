@@ -178,6 +178,77 @@ expect_diagnostic("does not support fluctuating capacity"
                   ${CLI} run ${INST} 8 alg-a/general
                   --faults random-blip:1:0.3)
 
+# ---- job-side faults & checkpointing surface ----
+
+# The describe-style listing names every crash model and checkpoint
+# policy.
+execute_process(COMMAND ${CLI} list-job-faults RESULT_VARIABLE code
+                OUTPUT_VARIABLE job_fault_listing)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "list-job-faults failed (${code})")
+endif()
+foreach(name random-crash periodic-crash adversarial-loss on-completion
+        every-slots every-subjobs)
+  if(NOT job_fault_listing MATCHES "${name}")
+    message(FATAL_ERROR "list-job-faults is missing '${name}'")
+  endif()
+endforeach()
+
+# A faulted run defaults to flow-only recording, reports the rollback
+# line, and stamps the model into manifest and metrics.
+run_step(${CLI} run ${INST} 8 fifo/first-ready
+         --job-faults random-crash:7:0.1 --checkpoint-policy every-slots:4
+         --metrics ${WORKDIR}/cli_job_faulted_metrics.json)
+file(READ ${WORKDIR}/cli_job_faulted_metrics.json job_faulted_json)
+foreach(key job_faults random-crash:7:0.1 checkpoint_policy every-slots:4
+        faults.rollbacks faults.checkpoints work.wasted_slots
+        work.committed_frontier)
+  if(NOT job_faulted_json MATCHES "${key}")
+    message(FATAL_ERROR "job-faulted metrics JSON is missing '${key}'")
+  endif()
+endforeach()
+
+# A fault-free run must NOT carry the conditional manifest keys.
+run_step(${CLI} run ${INST} 8 fifo/first-ready
+         --metrics ${WORKDIR}/cli_healthy_metrics.json)
+file(READ ${WORKDIR}/cli_healthy_metrics.json healthy_json)
+if(healthy_json MATCHES "job_faults")
+  message(FATAL_ERROR "healthy metrics JSON leaked a job_faults key")
+endif()
+
+# Per-token parse diagnostics, each exit 2.
+expect_diagnostic("unknown job-fault model"
+                  ${CLI} run ${INST} 8 fifo/first-ready --job-faults bogus)
+expect_diagnostic("want a number in .0, 0.9."
+                  ${CLI} run ${INST} 8 fifo/first-ready
+                  --job-faults random-crash:1:0.95)
+expect_diagnostic("malformed checkpoint interval"
+                  ${CLI} run ${INST} 8 fifo/first-ready
+                  --job-faults random-crash --checkpoint-policy every-slots:0)
+expect_diagnostic("takes no interval"
+                  ${CLI} run ${INST} 8 fifo/first-ready
+                  --job-faults random-crash
+                  --checkpoint-policy on-completion:3)
+
+# Gating diagnostics: an orphaned checkpoint policy, the flow-only
+# requirement, the schedule-walking renderers, and a policy whose
+# internal queues cannot survive a rollback.
+expect_diagnostic("needs an active job-fault model"
+                  ${CLI} run ${INST} 8 fifo/first-ready
+                  --checkpoint-policy every-slots:4)
+expect_diagnostic("require --record flow"
+                  ${CLI} run ${INST} 8 fifo/first-ready
+                  --job-faults random-crash --record full)
+expect_diagnostic("incompatible with --job-faults"
+                  ${CLI} run ${INST} 8 fifo/first-ready
+                  --job-faults random-crash --render 10)
+expect_diagnostic("does not support job faults"
+                  ${CLI} run ${INST} 8 work-stealing
+                  --job-faults random-crash)
+expect_diagnostic("does not support job faults"
+                  ${CLI} sweep ${INST} work-stealing
+                  --job-faults random-crash)
+
 # ---- crash-tolerant sweep checkpointing ----
 
 # The gate: a fresh sweep, a checkpointed sweep, and a crash-interrupted

@@ -8,10 +8,12 @@
 //   otsched run <in.inst> <m> [--policy] <policy> run a policy, report flows
 //       [--render N] [--seed S] [--opt V] [--svg F] [--trace F]
 //       [--timeseries F] [--metrics F] [--metrics-csv F] [--manifest F]
-//       [--record full|flow] [--faults SPEC] [--faults-trace F] [--certify]
+//       [--record full|flow] [--faults SPEC] [--faults-trace F]
+//       [--job-faults SPEC] [--checkpoint-policy P] [--certify]
 //   otsched sweep <in.inst> <policy> [--m LIST] [--seeds N] [--workers N]
 //       [--opt V] [--metrics F] [--csv F] [--record full|flow]
-//       [--faults SPEC] [--faults-trace F] [--checkpoint F] [--resume]
+//       [--faults SPEC] [--faults-trace F] [--job-faults SPEC]
+//       [--checkpoint-policy P] [--checkpoint F] [--resume]
 //   otsched trace <in.inst> <m> <policy> [--seed S] [--opt V] [--out F]
 //       [--record full|flow]                      stream the event trace
 //   otsched faults emit <spec> <m> <horizon> [out.csv]   freeze a model
@@ -91,11 +93,16 @@ int Usage() {
       "              [--metrics F] [--metrics-csv F] [--manifest F]\n"
       "              [--record full|flow]  (default: full)\n"
       "              [--faults MODEL[:SEED[:RATE]]] [--faults-trace F]\n"
+      "              [--job-faults MODEL[:SEED[:PARAM]]]\n"
+      "              [--checkpoint-policy on-completion|every-slots:K|"
+      "every-subjobs:K]\n"
       "              [--certify]\n"
       "  otsched sweep <in> <policy> [--m LIST] [--seeds N] [--workers N]\n"
       "              [--opt V] [--metrics F] [--csv F]\n"
       "              [--record full|flow]  (default: flow)\n"
       "              [--faults MODEL[:SEED[:RATE]]] [--faults-trace F]\n"
+      "              [--job-faults MODEL[:SEED[:PARAM]]]\n"
+      "              [--checkpoint-policy P]\n"
       "              [--checkpoint F] [--resume]\n"
       "  otsched trace <in> <m> <policy> [--seed S] [--opt V] [--out F]\n"
       "              [--record full|flow]  (default: full)\n"
@@ -103,7 +110,8 @@ int Usage() {
       "  otsched faults inspect <trace.csv> <m>\n"
       "  otsched serve [--listen H:P|unix:PATH] [--m M] [--policy P]\n"
       "              [--seed S] [--chunk N]       streaming scheduler daemon\n"
-      "  otsched list-policies\n");
+      "  otsched list-policies\n"
+      "  otsched list-job-faults\n");
   return 2;
 }
 
@@ -193,6 +201,99 @@ bool CheckFaultSupportOrComplain(const Scheduler& policy,
     return false;
   }
   return true;
+}
+
+/// Shared job-fault flag state for `run` and `sweep` (sim/job_faults.h).
+/// `policy_set` distinguishes "--checkpoint-policy never given" from the
+/// default, so a stray --checkpoint-policy without --job-faults diagnoses.
+struct JobFaultArgs {
+  JobFaultSpec spec;
+  bool policy_set = false;
+};
+
+/// Parses `--job-faults MODEL[:SEED[:PARAM]]`, preserving any checkpoint
+/// policy already parsed (the two flags may come in either order).
+/// Diagnoses and returns false on malformed specs (exit 2 at call sites).
+bool ParseJobFaultsFlagOrComplain(const char* value, JobFaultArgs* args) {
+  std::string error;
+  std::optional<JobFaultSpec> spec = ParseJobFaultSpec(value, &error);
+  if (!spec.has_value()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return false;
+  }
+  spec->checkpoint = args->spec.checkpoint;
+  spec->checkpoint_every = args->spec.checkpoint_every;
+  args->spec = *spec;
+  return true;
+}
+
+/// Parses `--checkpoint-policy on-completion|every-slots:K|every-subjobs:K`
+/// into the shared spec.  Diagnoses and returns false on malformed input.
+bool ParseCheckpointPolicyOrComplain(const char* value, JobFaultArgs* args) {
+  std::string error;
+  if (!ParseCheckpointPolicyInto(value, &args->spec, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return false;
+  }
+  args->policy_set = true;
+  return true;
+}
+
+/// Job-faulted runs are flow-only (re-executed subjobs have no Schedule
+/// representation) and need a policy that re-reads ready sets every slot.
+/// Diagnose here instead of tripping the engine's CHECKs.
+bool CheckJobFaultSupportOrComplain(const Scheduler& policy,
+                                    const JobFaultArgs& args,
+                                    RecordMode record) {
+  if (!args.spec.active()) {
+    if (args.policy_set) {
+      std::fprintf(stderr,
+                   "--checkpoint-policy needs an active job-fault model "
+                   "(--job-faults)\n");
+      return false;
+    }
+    return true;
+  }
+  if (record != RecordMode::kFlowOnly) {
+    std::fprintf(stderr,
+                 "job faults (--job-faults) require --record flow: "
+                 "re-executed subjobs cannot be materialized in a "
+                 "schedule\n");
+    return false;
+  }
+  if (!policy.supports_fluctuating_capacity() ||
+      !policy.supports_job_rollback()) {
+    std::fprintf(stderr,
+                 "policy '%s' does not support job faults (--job-faults); "
+                 "pick a list policy that re-reads ready sets every slot\n",
+                 policy.name().c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Prints the job-fault crash models and checkpoint policies with their
+/// spec shorthands, mirroring `list-policies`.
+void ListJobFaults() {
+  std::printf("crash models (--job-faults MODEL[:SEED[:PARAM]]):\n");
+  std::printf("%-36s %s\n", "none",
+              "no job ever crashes (the default)");
+  std::printf("%-36s %s\n", "random-crash[:seed[:rate]]",
+              "iid per-(slot, job) crash with probability rate in [0, 0.9]");
+  std::printf("%-36s %s\n", "periodic-crash[:seed[:period]]",
+              "deterministic crash every `period` slots of job age (>= 2)");
+  std::printf("%-36s %s\n", "adversarial-loss[:seed[:threshold]]",
+              "crash the moment volatile work reaches `threshold` (>= 1)");
+  std::printf("\ncheckpoint policies (--checkpoint-policy P):\n");
+  std::printf("%-36s %s\n", "on-completion",
+              "only the implicit commit when a job finishes (the default)");
+  std::printf("%-36s %s\n", "every-slots:K",
+              "commit every job at slots divisible by K");
+  std::printf("%-36s %s\n", "every-subjobs:K",
+              "commit a job once its volatile work reaches K subjobs");
+  std::printf(
+      "\ncrashed jobs lose every subjob executed since their last commit\n"
+      "and redo that work; see docs/ROBUSTNESS.md for the model contract.\n");
 }
 
 bool WriteFileOrComplain(const std::string& path, const std::string& content,
@@ -422,11 +523,14 @@ int CmdRun(int argc, char** argv) {
   std::string metrics_csv_path;
   std::string manifest_path;
   RecordMode record = RecordMode::kFull;
+  bool record_set = false;
   FaultArgs faults;
+  JobFaultArgs job_faults;
   bool certify = false;
   for (int i = first_flag; i < argc; ++i) {
     if (std::strncmp(argv[i], "--record=", 9) == 0) {
       if (!ParseRecordMode(argv[i] + 9, &record)) return 2;
+      record_set = true;
       continue;
     }
     if (std::strcmp(argv[i], "--certify") == 0) {
@@ -436,12 +540,21 @@ int CmdRun(int argc, char** argv) {
     if (i + 1 >= argc) break;
     if (std::strcmp(argv[i], "--record") == 0) {
       if (!ParseRecordMode(argv[i + 1], &record)) return 2;
+      record_set = true;
     }
     if (std::strcmp(argv[i], "--faults") == 0) {
       if (!ParseFaultsFlagOrComplain(argv[i + 1], &faults)) return 2;
     }
     if (std::strcmp(argv[i], "--faults-trace") == 0) {
       if (!LoadFaultsTraceOrComplain(argv[i + 1], &faults)) return 2;
+    }
+    if (std::strcmp(argv[i], "--job-faults") == 0) {
+      if (!ParseJobFaultsFlagOrComplain(argv[i + 1], &job_faults)) return 2;
+    }
+    if (std::strcmp(argv[i], "--checkpoint-policy") == 0) {
+      if (!ParseCheckpointPolicyOrComplain(argv[i + 1], &job_faults)) {
+        return 2;
+      }
     }
     if (std::strcmp(argv[i], "--policy") == 0) policy_name = argv[i + 1];
     if (std::strcmp(argv[i], "--render") == 0) render = std::atoll(argv[i + 1]);
@@ -468,6 +581,17 @@ int CmdRun(int argc, char** argv) {
     return 2;
   }
   if (!CheckFaultSupportOrComplain(*policy, faults)) return 2;
+  // Job faults force flow-only recording; an unset --record follows along,
+  // an explicit --record full diagnoses.
+  if (job_faults.spec.active() && !record_set) record = RecordMode::kFlowOnly;
+  if (!CheckJobFaultSupportOrComplain(*policy, job_faults, record)) return 2;
+  if (job_faults.spec.active() &&
+      (render > 0 || !svg_path.empty() || !timeseries_path.empty())) {
+    std::fprintf(stderr,
+                 "--render/--svg/--timeseries walk a materialized schedule "
+                 "and are incompatible with --job-faults\n");
+    return 2;
+  }
   if (certify && faults.spec.active() &&
       faults.spec.model != FaultModel::kTrace) {
     // The certified bound charges explicit per-slot capacities; freeze the
@@ -494,6 +618,7 @@ int CmdRun(int argc, char** argv) {
   RunContext context;
   context.options.record = record;
   context.options.faults = faults.spec;
+  context.options.job_faults = job_faults.spec;
   context.observer = observers.empty() ? nullptr : &observers;
   RatioMeasurement r = MeasureRatio(instance, m, *policy, known_opt, context);
   if (certify) {
@@ -523,6 +648,13 @@ int CmdRun(int argc, char** argv) {
   std::printf("horizon         : %lld slots, idle processor-slots %lld\n",
               static_cast<long long>(r.sim_stats.horizon),
               static_cast<long long>(r.sim_stats.idle_processor_slots));
+  if (job_faults.spec.active()) {
+    std::printf("job faults      : %lld rollbacks, %lld wasted subjob-slots, "
+                "%lld interval checkpoints\n",
+                static_cast<long long>(r.sim_stats.job_rollbacks),
+                static_cast<long long>(r.sim_stats.wasted_subjob_slots),
+                static_cast<long long>(r.sim_stats.checkpoints));
+  }
 
   RunManifest manifest =
       MakeRunManifest(instance, m, r.scheduler, seed, context.options);
@@ -611,6 +743,7 @@ int CmdSweep(int argc, char** argv) {
   std::string checkpoint_path;
   bool resume = false;
   FaultArgs faults;
+  JobFaultArgs job_faults;
   // Sweeps only read flows and stats, so cells default to flow-only
   // recording; `--record full` restores schedule materialization.
   RecordMode record = RecordMode::kFlowOnly;
@@ -632,6 +765,14 @@ int CmdSweep(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--faults-trace") == 0) {
       if (!LoadFaultsTraceOrComplain(argv[i + 1], &faults)) return 2;
+    }
+    if (std::strcmp(argv[i], "--job-faults") == 0) {
+      if (!ParseJobFaultsFlagOrComplain(argv[i + 1], &job_faults)) return 2;
+    }
+    if (std::strcmp(argv[i], "--checkpoint-policy") == 0) {
+      if (!ParseCheckpointPolicyOrComplain(argv[i + 1], &job_faults)) {
+        return 2;
+      }
     }
     if (std::strcmp(argv[i], "--checkpoint") == 0) {
       checkpoint_path = argv[i + 1];
@@ -680,6 +821,7 @@ int CmdSweep(int argc, char** argv) {
       return 2;
     }
     if (!CheckFaultSupportOrComplain(*probe, faults)) return 2;
+    if (!CheckJobFaultSupportOrComplain(*probe, job_faults, record)) return 2;
   }
 
   // Grid: machines x seeds, in row-major order; cell i uses seed
@@ -709,6 +851,12 @@ int CmdSweep(int argc, char** argv) {
     identity.seeds = seeds;
     identity.record = "flow-only";
     identity.faults = ToString(faults.spec);
+    if (job_faults.spec.active()) {
+      // The job-fault axis folds into the fault identity string: a resumed
+      // sweep must replay the exact same crash/checkpoint streams.
+      identity.faults += "+" + ToString(job_faults.spec) + "@" +
+                         CheckpointPolicyString(job_faults.spec);
+    }
     SweepCheckpoint checkpoint(checkpoint_path, identity);
     if (resume) {
       std::string error;
@@ -730,6 +878,7 @@ int CmdSweep(int argc, char** argv) {
               known_opt);
           SimOptions options = FlowOnlyOptions();
           options.faults = faults.spec;
+          options.job_faults = job_faults.spec;
           const SimResult result = Simulate(*inst, m, *policy, options);
           SweepCellRecord cell;
           cell.index = i;
@@ -771,6 +920,7 @@ int CmdSweep(int argc, char** argv) {
   SimOptions sweep_options;
   sweep_options.record = record;
   sweep_options.faults = faults.spec;
+  sweep_options.job_faults = job_faults.spec;
   const std::vector<BatchRunner::InstrumentedRun> runs =
       runner.RunInstrumentedSimulations(
           cells,
@@ -1019,6 +1169,10 @@ int main(int argc, char** argv) {
   if (command == "serve") return CmdServe(argc - 2, argv + 2);
   if (command == "list-policies") {
     ListPolicies();
+    return 0;
+  }
+  if (command == "list-job-faults") {
+    ListJobFaults();
     return 0;
   }
   if (command == "policies" || command == "--list-policies") {

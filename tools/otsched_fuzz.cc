@@ -36,6 +36,8 @@ namespace {
       "  --shrink-evals N    shrink budget per failure (default 160)\n"
       "  --no-brute-force    skip the exhaustive-search cross-checks\n"
       "  --no-opt-certificates  skip the certified lower-bound oracle\n"
+      "  --job-faults        add the job-fault legs (no-lost-work +\n"
+      "                      committed feasibility) to every case\n"
       "  --replay FILE       re-run one serialized repro and exit\n",
       argv0);
   std::exit(2);
@@ -107,6 +109,8 @@ int main(int argc, char** argv) {
       options.cross_check_brute_force = false;
     } else if (std::strcmp(arg, "--no-opt-certificates") == 0) {
       options.opt_certificates = false;
+    } else if (std::strcmp(arg, "--job-faults") == 0) {
+      options.job_faults = true;
     } else if (std::strcmp(arg, "--replay") == 0) {
       replay_path = value();
     } else {
