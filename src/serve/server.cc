@@ -213,9 +213,21 @@ void ScheduleServer::accept_ready() {
 void ScheduleServer::read_connection(Connection& conn) {
   char buffer[65536];
   while (true) {
+    // Stop pulling once the buffer already holds an over-cap line:
+    // process_lines() will reject it, and reading further just feeds a
+    // no-newline flood.  The bound is cap + one chunk.
+    if (!conn.discard_input && conn.in.size() > options_.max_line_bytes) {
+      break;
+    }
     const ssize_t got = ::recv(conn.fd, buffer, sizeof(buffer), 0);
     if (got > 0) {
-      conn.in.append(buffer, static_cast<std::size_t>(got));
+      // Rejected connections drain-and-discard: closing with unread
+      // bytes would RST the socket and destroy the error reply in
+      // flight, so the remaining input is read and dropped (memory
+      // O(1)) until the peer half-closes.
+      if (!conn.discard_input) {
+        conn.in.append(buffer, static_cast<std::size_t>(got));
+      }
       if (got < static_cast<ssize_t>(sizeof(buffer))) break;
       continue;
     }
@@ -227,7 +239,7 @@ void ScheduleServer::read_connection(Connection& conn) {
     conn.eof = true;  // hard error: flush what we owe, then close
     break;
   }
-  process_lines(conn);
+  if (!conn.discard_input) process_lines(conn);
 }
 
 void ScheduleServer::process_lines(Connection& conn) {
@@ -248,7 +260,21 @@ void ScheduleServer::process_lines(Connection& conn) {
   std::size_t start = 0;
   while (true) {
     const std::size_t newline = conn.in.find('\n', start);
-    if (newline == std::string::npos) break;
+    if (newline == std::string::npos) {
+      // No complete line: bounded as long as the partial tail stays
+      // under the cap.  Past it, this is the no-newline flood — reject
+      // with a structured reply and close (docs/SERVING.md, "Overload
+      // behavior"); the peer's owed replies still flush first.
+      if (conn.in.size() - start > options_.max_line_bytes) {
+        reject_oversized_line(conn);
+        return;
+      }
+      break;
+    }
+    if (newline - start > options_.max_line_bytes) {
+      reject_oversized_line(conn);
+      return;
+    }
     std::string line = conn.in.substr(start, newline - start);
     start = newline + 1;
     if (!line.empty() && line.back() == '\r') line.pop_back();
@@ -283,9 +309,30 @@ void ScheduleServer::process_lines(Connection& conn) {
   conn.in.erase(0, start);
 }
 
+void ScheduleServer::reject_oversized_line(Connection& conn) {
+  registry_.counter("serve.rejected_lines").inc();
+  conn.out += FormatErrorReply(
+      "line exceeds max length (" +
+      std::to_string(options_.max_line_bytes) + " bytes): connection closed");
+  conn.in.clear();
+  conn.in.shrink_to_fit();
+  // Switch to drain-and-discard: the error reply and any owed replies
+  // flush, then flush_writes() half-closes the write side; the read
+  // side keeps draining (dropping bytes) until the peer's EOF so the
+  // final close never carries unread data.
+  conn.discard_input = true;
+}
+
 void ScheduleServer::handle_http(Connection& conn) {
   const std::size_t line_end = conn.in.find("\r\n");
-  if (line_end == std::string::npos && !conn.eof) return;  // need more
+  if (line_end == std::string::npos) {
+    if (conn.in.size() > options_.max_line_bytes) {
+      // An HTTP request head has the same line cap as a submission.
+      reject_oversized_line(conn);
+      return;
+    }
+    if (!conn.eof) return;  // need more
+  }
   const std::string request_line = conn.in.substr(
       0, line_end == std::string::npos ? conn.in.size() : line_end);
   // "GET <path> HTTP/1.x" — the path is the second token.
@@ -363,6 +410,13 @@ void ScheduleServer::flush_writes() {
       if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
       close_connection(conn);  // peer went away; drop its replies
       break;
+    }
+    if (conn.fd >= 0 && conn.out.empty() && conn.discard_input &&
+        conn.pending_jobs == 0 && !conn.write_shut) {
+      // Rejected connection, everything owed delivered: FIN the write
+      // side so the peer sees end-of-replies; keep draining its input.
+      ::shutdown(conn.fd, SHUT_WR);
+      conn.write_shut = true;
     }
     if (conn.fd >= 0 && conn.out.empty() && conn.eof &&
         conn.pending_jobs == 0) {

@@ -54,6 +54,12 @@ struct ServeOptions {
   Time chunk_slots = 128;
   /// Poll timeout while idle (no pending work), milliseconds.
   int idle_poll_ms = 50;
+  /// Longest accepted submission (or HTTP request-head) line, bytes.  A
+  /// connection whose unconsumed input exceeds this without a newline —
+  /// the degenerate no-newline flood — gets one structured error reply
+  /// and is closed, so per-connection memory is bounded by this cap
+  /// plus one read chunk (counted in serve.rejected_lines).
+  std::size_t max_line_bytes = 1 << 20;
   /// Optional external stop flag (e.g. set by a SIGTERM handler); the
   /// loop treats a nonzero value exactly like request_stop().
   const volatile std::sig_atomic_t* stop_flag = nullptr;
@@ -102,12 +108,20 @@ class ScheduleServer {
     bool http = false;     // classified as a one-shot HTTP request
     bool classified = false;
     bool eof = false;      // peer half-closed; flush replies then close
+    // Rejected (oversized-line) connection: further input is read and
+    // dropped, and once the error reply and any owed replies have
+    // flushed the write side is shut down (FIN) — closing outright
+    // with unread bytes in the kernel buffer would RST the socket and
+    // destroy the reply in flight.
+    bool discard_input = false;
+    bool write_shut = false;  // shutdown(SHUT_WR) already issued
     std::int64_t pending_jobs = 0;  // submitted, not yet replied
   };
 
   void accept_ready();
   void read_connection(Connection& conn);
   void process_lines(Connection& conn);
+  void reject_oversized_line(Connection& conn);
   void handle_http(Connection& conn);
   void tick_driver();
   void flush_writes();

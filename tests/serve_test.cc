@@ -313,6 +313,56 @@ TEST(ServeIntegration, HttpEndpointsAndErrorReplies) {
   EXPECT_EQ(running.server().jobs_finished(), 2);
 }
 
+TEST(ServeIntegration, NoNewlineFloodIsBoundedAndRejected) {
+  serve::ServeOptions options;
+  options.listen = "127.0.0.1:0";
+  options.policy = "fifo/first-ready";
+  options.m = 2;
+  options.max_line_bytes = 4096;  // small cap so the test floods cheaply
+  RunningServer running(options);
+  ASSERT_TRUE(running.started());
+
+  {
+    // A client streaming bytes with no newline must get one structured
+    // error reply and a closed connection, not unbounded daemon memory.
+    TestClient flood(running.server().address());
+    ASSERT_TRUE(flood.connected());
+    const std::string junk(64 * 1024, 'x');  // 16x the cap, no newline
+    flood.send_all(junk);
+    const std::string response = flood.read_to_eof();  // reply, then close
+    EXPECT_NE(response.find("\"error\""), std::string::npos) << response;
+    EXPECT_NE(response.find("line exceeds max length"), std::string::npos)
+        << response;
+  }
+  {
+    // A single over-cap line WITH a newline is rejected the same way.
+    TestClient longline(running.server().address());
+    ASSERT_TRUE(longline.connected());
+    std::string line = "{\"parents\": [-1";
+    while (line.size() < 8192) line += ", 0";
+    line += "]}\n";
+    longline.send_all(line);
+    const std::string response = longline.read_to_eof();
+    EXPECT_NE(response.find("line exceeds max length"), std::string::npos)
+        << response;
+  }
+  {
+    // An under-cap connection is untouched by the new bound.
+    TestClient ok(running.server().address());
+    ASSERT_TRUE(ok.connected());
+    ok.send_all("{\"release\": 0, \"parents\": [-1]}\n");
+    const auto lines = ok.read_lines(1);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("\"flow\": 1"), std::string::npos) << lines[0];
+  }
+
+  running.stop();
+  const auto& counters = running.server().registry().counters();
+  const auto rejected = counters.find("serve.rejected_lines");
+  ASSERT_NE(rejected, counters.end());
+  EXPECT_EQ(rejected->second.value(), 2);
+}
+
 // ---- protocol unit surface ----
 
 TEST(ServeProtocol, ParsesBothDagSpellings) {
