@@ -41,6 +41,13 @@ bool FifoScheduler::requires_clairvoyance() const {
          options_.tie_break == FifoTieBreak::kMostChildren;
 }
 
+bool FifoScheduler::supports_warm_start() const {
+  return options_.tie_break == FifoTieBreak::kFirstReady ||
+         options_.tie_break == FifoTieBreak::kLastReady ||
+         options_.tie_break == FifoTieBreak::kLpfHeight ||
+         options_.tie_break == FifoTieBreak::kMostChildren;
+}
+
 void FifoScheduler::reset(int m, JobId job_count) {
   (void)m;
   (void)job_count;

@@ -55,6 +55,11 @@ class FifoScheduler : public Scheduler {
 
   std::string name() const override;
   bool requires_clairvoyance() const override;
+  /// The deterministic view-only tie-breaks (first/last-ready, the
+  /// clairvoyant height / out-degree keys) carry no state across slots
+  /// and are warm-startable; kRandom consumes RNG state and
+  /// kAvoidMarked depends on an external predicate, so neither is.
+  bool supports_warm_start() const override;
   void reset(int m, JobId job_count) override;
   void pick(const SchedulerView& view, std::vector<SubjobRef>& out) override;
 

@@ -1,0 +1,423 @@
+#include "serve/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.h"
+#include "common/metrics.h"  // JsonString
+#include "serve/json.h"
+
+namespace otsched::serve {
+namespace {
+
+const std::uint32_t* Crc32Table() {
+  static const auto table = [] {
+    static std::uint32_t t[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::string CrcHex(std::uint32_t crc) {
+  char hex[16];
+  std::snprintf(hex, sizeof(hex), "%08x", crc);
+  return hex;
+}
+
+}  // namespace
+
+std::uint32_t JournalCrc32(const std::string& text) {
+  const std::uint32_t* table = Crc32Table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : text) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string FrameJournalLine(const std::string& json) {
+  return CrcHex(JournalCrc32(json)) + " " + json + "\n";
+}
+
+std::string EncodeOpen(const JournalOpen& open) {
+  std::ostringstream json;
+  json << "{\"type\": \"open\", \"version\": 1, \"policy\": "
+       << JsonString(open.policy) << ", \"m\": " << open.m
+       << ", \"seed\": " << open.seed << "}";
+  return FrameJournalLine(json.str());
+}
+
+std::string EncodeJob(const JournalJob& job) {
+  std::ostringstream json;
+  json << "{\"type\": \"job\", \"id\": " << job.id
+       << ", \"release\": " << job.release
+       << ", \"tag\": " << JsonString(job.tag) << ", \"nodes\": " << job.nodes
+       << ", \"edges\": [";
+  bool first = true;
+  for (const auto& [from, to] : job.edges) {
+    if (!first) json << ", ";
+    first = false;
+    json << "[" << from << ", " << to << "]";
+  }
+  json << "]}";
+  return FrameJournalLine(json.str());
+}
+
+std::string EncodeAdvance(const JournalAdvance& advance) {
+  return FrameJournalLine("{\"type\": \"adv\", \"slot\": " +
+                          std::to_string(advance.slot) + "}");
+}
+
+std::string EncodeSnapshot(const JournalSnapshot& snapshot) {
+  std::ostringstream json;
+  json << "{\"type\": \"snap\", \"slot\": " << snapshot.slot
+       << ", \"jobs\": " << snapshot.jobs_submitted
+       << ", \"finished\": " << snapshot.jobs_finished
+       << ", \"work\": " << snapshot.total_work
+       << ", \"flow\": " << snapshot.total_flow
+       << ", \"max_flow\": " << snapshot.max_flow
+       << ", \"offset\": " << snapshot.offset
+       << ", \"records\": " << snapshot.records << "}";
+  return FrameJournalLine(json.str());
+}
+
+bool ParseJournalLine(const std::string& line, JournalRecord* out,
+                      std::string* error) {
+  // Frame: 8 hex digits, one space, the json payload.
+  if (line.size() < 10 || line[8] != ' ') {
+    if (error != nullptr) *error = "bad frame (want '<crc32> <json>')";
+    return false;
+  }
+  std::uint32_t framed_crc = 0;
+  for (int i = 0; i < 8; ++i) {
+    const char c = line[static_cast<std::size_t>(i)];
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = 10 + (c - 'a');
+    } else {
+      if (error != nullptr) *error = "bad crc hex";
+      return false;
+    }
+    framed_crc = (framed_crc << 4) | static_cast<std::uint32_t>(digit);
+  }
+  const std::string json = line.substr(9);
+  if (JournalCrc32(json) != framed_crc) {
+    if (error != nullptr) *error = "crc mismatch";
+    return false;
+  }
+
+  LineParser p(json);
+  if (!p.consume('{')) {
+    p.fail(error, "expected a JSON object");
+    return false;
+  }
+  std::string type;
+  JournalRecord record;
+  std::vector<std::pair<std::int64_t, std::int64_t>> edges;
+  bool saw_type = false;
+  if (!p.consume('}')) {
+    while (true) {
+      std::string key;
+      if (!p.parse_string(&key, error)) return false;
+      if (!p.consume(':')) return p.fail(error, "expected ':'");
+      if (key == "type") {
+        if (!p.parse_string(&type, error)) return false;
+        saw_type = true;
+      } else if (key == "policy") {
+        if (!p.parse_string(&record.open.policy, error)) return false;
+      } else if (key == "tag") {
+        if (!p.parse_string(&record.job.tag, error)) return false;
+      } else if (key == "edges") {
+        if (!p.parse_pair_array(&record.job.edges, error)) return false;
+      } else {
+        std::int64_t value = 0;
+        if (!p.parse_int(&value, error)) return false;
+        if (key == "version") {
+          if (value != 1) return p.fail(error, "unsupported journal version");
+        } else if (key == "m") {
+          record.open.m = value;
+        } else if (key == "seed") {
+          record.open.seed = value;
+        } else if (key == "id") {
+          record.job.id = value;
+        } else if (key == "release") {
+          record.job.release = value;
+        } else if (key == "nodes") {
+          record.job.nodes = value;
+        } else if (key == "slot") {
+          record.advance.slot = value;
+          record.snapshot.slot = value;
+        } else if (key == "jobs") {
+          record.snapshot.jobs_submitted = value;
+        } else if (key == "finished") {
+          record.snapshot.jobs_finished = value;
+        } else if (key == "work") {
+          record.snapshot.total_work = value;
+        } else if (key == "flow") {
+          record.snapshot.total_flow = value;
+        } else if (key == "max_flow") {
+          record.snapshot.max_flow = value;
+        } else if (key == "offset") {
+          record.snapshot.offset = value;
+        } else if (key == "records") {
+          record.snapshot.records = value;
+        } else {
+          return p.fail(error, "unknown key \"" + key + "\"");
+        }
+      }
+      if (p.consume('}')) break;
+      if (!p.consume(',')) return p.fail(error, "expected ',' or '}'");
+    }
+  }
+  if (!p.at_end()) return p.fail(error, "trailing bytes after object");
+  if (!saw_type) return p.fail(error, "record without \"type\"");
+
+  if (type == "open") {
+    record.type = JournalRecord::Type::kOpen;
+  } else if (type == "job") {
+    record.type = JournalRecord::Type::kJob;
+    if (record.job.nodes < 1) return p.fail(error, "job with no nodes");
+    if (record.job.release < 0) return p.fail(error, "negative release");
+    for (const auto& [from, to] : record.job.edges) {
+      if (from < 0 || to <= from || to >= record.job.nodes) {
+        return p.fail(error, "edge [" + std::to_string(from) + ", " +
+                                 std::to_string(to) + "] out of range");
+      }
+    }
+  } else if (type == "adv") {
+    record.type = JournalRecord::Type::kAdvance;
+    if (record.advance.slot < 0) return p.fail(error, "negative slot");
+  } else if (type == "snap") {
+    record.type = JournalRecord::Type::kSnapshot;
+  } else {
+    return p.fail(error, "unknown record type \"" + type + "\"");
+  }
+  *out = std::move(record);
+  return true;
+}
+
+std::unique_ptr<JournalWriter> JournalWriter::Open(const std::string& path,
+                                                   std::string* error) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = "cannot open journal '" + path + "': " + strerror(errno);
+    }
+    return nullptr;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    if (error != nullptr) {
+      *error = "cannot stat journal '" + path + "': " + strerror(errno);
+    }
+    ::close(fd);
+    return nullptr;
+  }
+  return std::unique_ptr<JournalWriter>(
+      new JournalWriter(path, fd, static_cast<std::int64_t>(st.st_size)));
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void JournalWriter::buffer(std::string line) {
+  pending_ += line;
+  ++pending_records_;
+}
+
+void JournalWriter::append_snapshot(JournalSnapshot snapshot) {
+  snapshot.offset =
+      bytes_committed_ + static_cast<std::int64_t>(pending_.size());
+  snapshot.records = records_committed_ + pending_records_;
+  buffer(EncodeSnapshot(snapshot));
+}
+
+bool JournalWriter::commit(std::string* error) {
+  if (pending_.empty()) return true;
+  std::size_t written = 0;
+  while (written < pending_.size()) {
+    const ssize_t wrote = ::write(fd_, pending_.data() + written,
+                                  pending_.size() - written);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) {
+        *error = "journal write '" + path_ + "': " + strerror(errno);
+      }
+      return false;
+    }
+    written += static_cast<std::size_t>(wrote);
+  }
+  if (::fsync(fd_) != 0) {
+    if (error != nullptr) {
+      *error = "journal fsync '" + path_ + "': " + strerror(errno);
+    }
+    return false;
+  }
+  bytes_committed_ += static_cast<std::int64_t>(pending_.size());
+  records_committed_ += pending_records_;
+  pending_.clear();
+  pending_records_ = 0;
+  return true;
+}
+
+bool JournalWriter::rotate(const JournalOpen& open, JournalSnapshot snapshot,
+                           std::string* error) {
+  OTSCHED_CHECK(pending_.empty(), "rotate with uncommitted journal records");
+  const std::string open_line = EncodeOpen(open);
+  snapshot.offset = static_cast<std::int64_t>(open_line.size());
+  snapshot.records = 1;
+  const std::string content = open_line + EncodeSnapshot(snapshot);
+
+  const std::string tmp = path_ + ".tmp";
+  const int tmp_fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (tmp_fd < 0) {
+    if (error != nullptr) {
+      *error = "cannot open '" + tmp + "': " + strerror(errno);
+    }
+    return false;
+  }
+  std::size_t written = 0;
+  while (written < content.size()) {
+    const ssize_t wrote =
+        ::write(tmp_fd, content.data() + written, content.size() - written);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) {
+        *error = "write '" + tmp + "': " + strerror(errno);
+      }
+      ::close(tmp_fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    written += static_cast<std::size_t>(wrote);
+  }
+  if (::fsync(tmp_fd) != 0 || ::close(tmp_fd) != 0) {
+    if (error != nullptr) {
+      *error = "fsync '" + tmp + "': " + strerror(errno);
+    }
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    if (error != nullptr) {
+      *error = "rename '" + tmp + "' -> '" + path_ + "': " + strerror(errno);
+    }
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // Re-point the append fd at the rotated file.
+  ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND);
+  if (fd_ < 0) {
+    if (error != nullptr) {
+      *error = "cannot reopen '" + path_ + "': " + strerror(errno);
+    }
+    return false;
+  }
+  bytes_committed_ = static_cast<std::int64_t>(content.size());
+  records_committed_ = 2;
+  return true;
+}
+
+bool ReadJournal(const std::string& path, JournalReadResult* result,
+                 std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open journal '" + path + "'";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+
+  *result = JournalReadResult{};
+  std::size_t pos = 0;
+  std::size_t line_number = 0;
+  // Tail-tolerance state: once a line fails, everything after it must
+  // fail too (the fsync batch the crash tore); a later GOOD line means
+  // the corruption is interior and the journal is unusable.
+  bool tail_bad = false;
+  std::size_t bad_line = 0;
+  std::string bad_reason;
+  while (pos < content.size()) {
+    const std::size_t newline = content.find('\n', pos);
+    const bool complete = newline != std::string::npos;
+    const std::string line = content.substr(
+        pos, complete ? newline - pos : std::string::npos);
+    ++line_number;
+    JournalRecord record;
+    std::string line_error;
+    const bool ok =
+        complete && ParseJournalLine(line, &record, &line_error);
+    if (ok) {
+      if (tail_bad) {
+        if (error != nullptr) {
+          *error = "journal '" + path + "': corrupt record at line " +
+                   std::to_string(bad_line) + " (" + bad_reason +
+                   ") followed by a valid record at line " +
+                   std::to_string(line_number) +
+                   " — interior corruption, not a torn tail";
+        }
+        return false;
+      }
+      if (result->records.empty() &&
+          record.type != JournalRecord::Type::kOpen) {
+        if (error != nullptr) {
+          *error = "journal '" + path + "': first record is not an open "
+                   "header";
+        }
+        return false;
+      }
+      if (!result->records.empty() &&
+          record.type == JournalRecord::Type::kOpen) {
+        if (error != nullptr) {
+          *error = "journal '" + path + "': duplicate open header at line " +
+                   std::to_string(line_number);
+        }
+        return false;
+      }
+      result->records.push_back(std::move(record));
+      result->valid_bytes = static_cast<std::int64_t>(newline + 1);
+    } else if (!tail_bad) {
+      tail_bad = true;
+      bad_line = line_number;
+      bad_reason = complete ? line_error : "incomplete final line";
+    }
+    if (!complete) break;
+    pos = newline + 1;
+  }
+  if (result->records.empty()) {
+    if (error != nullptr) {
+      *error = tail_bad ? "journal '" + path + "': no valid records (line 1: " +
+                              bad_reason + ")"
+                        : "journal '" + path + "' is empty";
+    }
+    return false;
+  }
+  if (tail_bad) {
+    result->torn_tail = true;
+    result->tail_error =
+        "line " + std::to_string(bad_line) + ": " + bad_reason;
+  }
+  return true;
+}
+
+}  // namespace otsched::serve

@@ -1,0 +1,185 @@
+// Write-ahead journal for the `otsched serve` daemon (docs/SERVING.md,
+// "Durability & recovery").
+//
+// The engine is deterministic: the daemon's entire state is a function
+// of the accepted submission stream (with effective, i.e. clamped,
+// releases) interleaved with how far the driver had advanced between
+// acceptances.  The journal records exactly that — one NDJSON record
+// per accepted job and one per slot change — so `serve --recover`
+// re-derives the crashed daemon's state by replaying the file through a
+// fresh SimDriver.  Nothing else (no engine state, no policy state) is
+// persisted, mirroring how the sweep checkpoints (analysis/sweep.h) and
+// the PR 9 rollback oracles re-derive state from inputs alone.
+//
+// Line framing: every record is one line, `<8-hex-crc32> <json>\n`,
+// CRC-32 over the json payload.  A crash can tear the tail of the file
+// (the last fsync batch), so readers tolerate a trailing run of
+// corrupt/incomplete lines — but a bad line FOLLOWED by a good one is
+// interior corruption and a hard error, the same contract as
+// SweepCheckpoint.
+//
+// Record types:
+//   open  {"type":"open","version":1,"policy":P,"m":M,"seed":S}
+//         identity header; --recover refuses a journal whose identity
+//         does not match the daemon's own options.
+//   job   {"type":"job","id":I,"release":R,"tag":T,"nodes":N,
+//          "edges":[[u,v],...]}
+//         one accepted submission; `release` is the effective release,
+//         `id` the wire job id (dense across rotations).
+//   adv   {"type":"adv","slot":S}
+//         the driver finished simulating through slot S.
+//   snap  {"type":"snap","slot":S,"jobs":J,"finished":F,"work":W,
+//          "flow":Fl,"max_flow":Mf,"offset":O,"records":K}
+//         retired-flow summary at a quiescent point (driver idle, all
+//         replies delivered) plus the byte offset where the record
+//         begins.  A snapshot directly after the open header is a
+//         *base* snapshot: replay warm-starts the driver at its slot
+//         instead of re-running history — the form `--journal-rotate`
+//         truncates to.  Only policies whose decisions are a function
+//         of the current view (Scheduler::supports_warm_start) may
+//         write snapshots; stateful policies replay the full journal.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace otsched::serve {
+
+struct JournalOpen {
+  std::string policy;
+  std::int64_t m = 0;
+  std::int64_t seed = 0;
+};
+
+struct JournalJob {
+  std::int64_t id = 0;  // wire job id
+  Time release = 0;     // effective (clamped) release
+  std::string tag;      // client tag; may be empty
+  std::int64_t nodes = 0;
+  std::vector<std::pair<std::int64_t, std::int64_t>> edges;
+};
+
+struct JournalAdvance {
+  Time slot = 0;
+};
+
+struct JournalSnapshot {
+  Time slot = 0;
+  std::int64_t jobs_submitted = 0;
+  std::int64_t jobs_finished = 0;
+  std::int64_t total_work = 0;
+  std::int64_t total_flow = 0;
+  Time max_flow = 0;
+  std::int64_t offset = 0;   // byte offset of this record in the file
+  std::int64_t records = 0;  // records preceding this one
+};
+
+struct JournalRecord {
+  enum class Type { kOpen, kJob, kAdvance, kSnapshot };
+  Type type = Type::kOpen;
+  JournalOpen open;
+  JournalJob job;
+  JournalAdvance advance;
+  JournalSnapshot snapshot;
+};
+
+/// CRC-32 (IEEE, reflected) over `text` — the journal's line checksum.
+std::uint32_t JournalCrc32(const std::string& text);
+
+/// Wraps one json payload into its framed journal line:
+/// "<8-hex-crc32> <json>\n".
+std::string FrameJournalLine(const std::string& json);
+
+/// Parses one framed line (no trailing newline).  Returns false with a
+/// diagnostic on bad framing, CRC mismatch, or malformed json.
+bool ParseJournalLine(const std::string& line, JournalRecord* out,
+                      std::string* error);
+
+// Record encoders (framed, newline-terminated).
+std::string EncodeOpen(const JournalOpen& open);
+std::string EncodeJob(const JournalJob& job);
+std::string EncodeAdvance(const JournalAdvance& advance);
+std::string EncodeSnapshot(const JournalSnapshot& snapshot);
+
+/// Appender with per-poll-cycle fsync batching: append_*() buffers in
+/// memory; commit() writes the batch and fsyncs once.  The serve loop
+/// commits after simulation and BEFORE replies flush, so every reply a
+/// client ever sees is backed by a durable record.
+class JournalWriter {
+ public:
+  /// Opens (creating or appending).  Null + diagnostic on failure.
+  static std::unique_ptr<JournalWriter> Open(const std::string& path,
+                                             std::string* error);
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  void append(const JournalOpen& open) { buffer(EncodeOpen(open)); }
+  void append(const JournalJob& job) { buffer(EncodeJob(job)); }
+  void append(const JournalAdvance& advance) { buffer(EncodeAdvance(advance)); }
+  /// Fills snapshot.offset / snapshot.records from the writer's own
+  /// position before encoding.
+  void append_snapshot(JournalSnapshot snapshot);
+
+  /// True when append_*() calls are waiting for a commit().
+  bool dirty() const { return !pending_.empty(); }
+
+  /// Writes the pending batch and fsyncs.  Returns false (with a
+  /// diagnostic) on I/O errors; the daemon treats that as fatal rather
+  /// than serve acknowledgements it cannot back.
+  bool commit(std::string* error);
+
+  /// Atomically replaces the journal with `open` + a base `snapshot`
+  /// (tmp + fsync + rename — a crash leaves either file, never a torn
+  /// one).  Requires nothing pending.  The writer continues appending
+  /// to the rotated file.
+  bool rotate(const JournalOpen& open, JournalSnapshot snapshot,
+              std::string* error);
+
+  /// Tells a writer opened on a pre-existing (recovered) file how many
+  /// valid records it already holds, so records_committed() and
+  /// snapshot record counts stay absolute.
+  void note_existing_records(std::int64_t records) {
+    records_committed_ = records;
+  }
+
+  std::int64_t records_committed() const { return records_committed_; }
+  std::int64_t bytes_committed() const { return bytes_committed_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  JournalWriter(std::string path, int fd, std::int64_t bytes)
+      : path_(std::move(path)), fd_(fd), bytes_committed_(bytes) {}
+
+  void buffer(std::string line);
+
+  std::string path_;
+  int fd_ = -1;
+  std::string pending_;
+  std::int64_t pending_records_ = 0;
+  std::int64_t records_committed_ = 0;
+  std::int64_t bytes_committed_ = 0;
+};
+
+/// The whole journal, read strictly.
+struct JournalReadResult {
+  std::vector<JournalRecord> records;
+  std::int64_t valid_bytes = 0;  // file prefix covered by `records`
+  bool torn_tail = false;        // trailing bad/incomplete lines dropped
+  std::string tail_error;        // why the tail was dropped (diagnostic)
+};
+
+/// Reads and validates `path`.  Returns false with a diagnostic on an
+/// unreadable file, a missing/mispositioned open header, or interior
+/// corruption (a bad line followed by a good one); a torn TAIL is
+/// tolerated and reported via result->torn_tail.
+bool ReadJournal(const std::string& path, JournalReadResult* result,
+                 std::string* error);
+
+}  // namespace otsched::serve

@@ -1,130 +1,12 @@
 #include "serve/protocol.h"
 
-#include <cctype>
-#include <charconv>
 #include <sstream>
 #include <vector>
 
 #include "common/metrics.h"  // JsonString
+#include "serve/json.h"
 
 namespace otsched::serve {
-namespace {
-
-/// Recursive-descent reader over one submission line.  Only the subset
-/// the protocol needs: one top-level object with string / integer /
-/// array-of-integer / array-of-integer-pair values.
-class LineParser {
- public:
-  explicit LineParser(const std::string& text) : text_(text) {}
-
-  bool fail(std::string* error, const std::string& what) {
-    if (error != nullptr) {
-      *error = what + " at byte " + std::to_string(pos_);
-    }
-    return false;
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool consume(char c) {
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  bool at_end() {
-    skip_ws();
-    return pos_ == text_.size();
-  }
-
-  bool parse_string(std::string* out, std::string* error) {
-    skip_ws();
-    if (!consume('"')) return fail(error, "expected '\"'");
-    out->clear();
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return true;
-      if (c == '\\') {
-        if (pos_ == text_.size()) break;
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': out->push_back('"'); break;
-          case '\\': out->push_back('\\'); break;
-          case '/': out->push_back('/'); break;
-          case 'n': out->push_back('\n'); break;
-          case 't': out->push_back('\t'); break;
-          case 'r': out->push_back('\r'); break;
-          default:
-            return fail(error, std::string("unsupported escape '\\") + esc +
-                                   "'");
-        }
-      } else {
-        out->push_back(c);
-      }
-    }
-    return fail(error, "unterminated string");
-  }
-
-  bool parse_int(std::int64_t* out, std::string* error) {
-    skip_ws();
-    const char* begin = text_.data() + pos_;
-    const char* end = text_.data() + text_.size();
-    const auto [ptr, ec] = std::from_chars(begin, end, *out);
-    if (ec != std::errc() || ptr == begin) {
-      return fail(error, "expected an integer");
-    }
-    pos_ += static_cast<std::size_t>(ptr - begin);
-    return true;
-  }
-
-  /// [1, -1, 0, ...]
-  bool parse_int_array(std::vector<std::int64_t>* out, std::string* error) {
-    if (!consume('[')) return fail(error, "expected '['");
-    out->clear();
-    if (consume(']')) return true;
-    while (true) {
-      std::int64_t value = 0;
-      if (!parse_int(&value, error)) return false;
-      out->push_back(value);
-      if (consume(']')) return true;
-      if (!consume(',')) return fail(error, "expected ',' or ']'");
-    }
-  }
-
-  /// [[0, 1], [0, 2], ...]
-  bool parse_pair_array(
-      std::vector<std::pair<std::int64_t, std::int64_t>>* out,
-      std::string* error) {
-    if (!consume('[')) return fail(error, "expected '['");
-    out->clear();
-    if (consume(']')) return true;
-    while (true) {
-      std::pair<std::int64_t, std::int64_t> edge;
-      if (!consume('[')) return fail(error, "expected '[' (edge pair)");
-      if (!parse_int(&edge.first, error)) return false;
-      if (!consume(',')) return fail(error, "expected ',' in edge pair");
-      if (!parse_int(&edge.second, error)) return false;
-      if (!consume(']')) return fail(error, "expected ']' after edge pair");
-      out->push_back(edge);
-      if (consume(']')) return true;
-      if (!consume(',')) return fail(error, "expected ',' or ']'");
-    }
-  }
-
- private:
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-}  // namespace
 
 std::optional<SubmitRequest> ParseSubmitRequest(const std::string& line,
                                                 std::string* error) {

@@ -81,7 +81,242 @@ ScheduleServer::~ScheduleServer() {
   if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
 }
 
+JournalSnapshot ScheduleServer::snapshot_now() const {
+  JournalSnapshot snapshot;
+  snapshot.slot = driver_.now();
+  snapshot.jobs_submitted = jobs_submitted_;
+  snapshot.jobs_finished = jobs_finished_;
+  snapshot.total_work = total_submitted_work_;
+  snapshot.total_flow = total_flow_;
+  snapshot.max_flow = max_flow_;
+  return snapshot;
+}
+
+bool ScheduleServer::replay_journal(std::string* error) {
+  JournalReadResult journal;
+  if (!ReadJournal(options_.recover_path, &journal, error)) return false;
+  const JournalOpen& open = journal.records.front().open;
+  if (open.policy != options_.policy || open.m != options_.m ||
+      open.seed != static_cast<std::int64_t>(options_.seed)) {
+    if (error != nullptr) {
+      *error = "journal '" + options_.recover_path +
+               "' identity mismatch: written by policy=" + open.policy +
+               " m=" + std::to_string(open.m) +
+               " seed=" + std::to_string(open.seed) +
+               ", daemon runs policy=" + options_.policy +
+               " m=" + std::to_string(options_.m) +
+               " seed=" + std::to_string(options_.seed);
+    }
+    return false;
+  }
+
+  std::size_t next = 1;
+  if (next < journal.records.size() &&
+      journal.records[next].type == JournalRecord::Type::kSnapshot) {
+    // Base snapshot (the rotated form): warm-start instead of replaying
+    // the truncated history.
+    const JournalSnapshot& snap = journal.records[next].snapshot;
+    if (!scheduler_->supports_warm_start()) {
+      if (error != nullptr) {
+        *error = "journal '" + options_.recover_path +
+                 "' has a base snapshot but policy '" + options_.policy +
+                 "' is stateful (no warm start): it cannot have written it";
+      }
+      return false;
+    }
+    driver_.warm_start(snap.slot);
+    id_base_ = snap.jobs_submitted;
+    jobs_submitted_ = snap.jobs_submitted;
+    jobs_finished_ = snap.jobs_finished;
+    total_submitted_work_ = snap.total_work;
+    total_flow_ = snap.total_flow;
+    max_flow_ = snap.max_flow;
+    last_journaled_slot_ = snap.slot;
+    ++next;
+  }
+
+  std::int64_t replayed_jobs = 0;
+  for (; next < journal.records.size(); ++next) {
+    const JournalRecord& record = journal.records[next];
+    switch (record.type) {
+      case JournalRecord::Type::kJob: {
+        if (record.job.id != jobs_submitted_) {
+          if (error != nullptr) {
+            *error = "journal '" + options_.recover_path +
+                     "': job record has id " + std::to_string(record.job.id) +
+                     ", expected " + std::to_string(jobs_submitted_) +
+                     " (wire ids must be dense)";
+          }
+          return false;
+        }
+        if (record.job.release < driver_.now()) {
+          if (error != nullptr) {
+            *error = "journal '" + options_.recover_path + "': job " +
+                     std::to_string(record.job.id) + " released at slot " +
+                     std::to_string(record.job.release) +
+                     ", already replayed past it (slot " +
+                     std::to_string(driver_.now()) + ")";
+          }
+          return false;
+        }
+        Dag::Builder builder(static_cast<NodeId>(record.job.nodes));
+        for (const auto& [from, to] : record.job.edges) {
+          builder.add_edge(static_cast<NodeId>(from),
+                           static_cast<NodeId>(to));
+        }
+        admit_job(std::move(builder).build(), record.job.release,
+                  record.job.tag);
+        ++replayed_jobs;
+        break;
+      }
+      case JournalRecord::Type::kAdvance: {
+        // advance(n) budgets n ITERATIONS, and an iteration fast-forwards
+        // across idle stretches — advance(target - now) can overshoot the
+        // journaled slot.  Single-iteration steps walk the exact slot
+        // sequence the live daemon walked (tick ≡ batch, per the
+        // driver-equivalence gate), so now() lands on every adv boundary.
+        const Time target = record.advance.slot;
+        while (driver_.now() < target) {
+          if (driver_.advance(1) == 0) break;
+        }
+        if (driver_.now() != target) {
+          if (error != nullptr) {
+            *error = "journal '" + options_.recover_path +
+                     "': replay diverged — journal advances to slot " +
+                     std::to_string(target) + " but the driver reached " +
+                     std::to_string(driver_.now());
+          }
+          return false;
+        }
+        deliver_finished();
+        last_journaled_slot_ = target;
+        break;
+      }
+      case JournalRecord::Type::kSnapshot: {
+        deliver_finished();
+        const JournalSnapshot& snap = record.snapshot;
+        if (snap.slot != driver_.now() ||
+            snap.jobs_submitted != jobs_submitted_ ||
+            snap.jobs_finished != jobs_finished_) {
+          if (error != nullptr) {
+            *error = "journal '" + options_.recover_path +
+                     "': snapshot disagrees with the replayed state "
+                     "(snapshot slot=" + std::to_string(snap.slot) +
+                     " jobs=" + std::to_string(snap.jobs_submitted) +
+                     " finished=" + std::to_string(snap.jobs_finished) +
+                     ", replay slot=" + std::to_string(driver_.now()) +
+                     " jobs=" + std::to_string(jobs_submitted_) +
+                     " finished=" + std::to_string(jobs_finished_) + ")";
+          }
+          return false;
+        }
+        break;
+      }
+      case JournalRecord::Type::kOpen:
+        break;  // unreachable: ReadJournal rejects a duplicate header
+    }
+  }
+  deliver_finished();
+  refresh_metrics();
+  registry_.counter("serve.recovered_jobs").set(replayed_jobs);
+  registry_.counter("serve.recovered_replies").set(0);
+
+  recovered_valid_bytes_ = journal.valid_bytes;
+  recovered_records_ = static_cast<std::int64_t>(journal.records.size());
+  recovered_torn_tail_ = journal.torn_tail;
+  recovery_summary_ =
+      "recovered " + std::to_string(replayed_jobs) + " jobs (" +
+      std::to_string(parked_replies_.size()) + " finished replies parked, " +
+      std::to_string(pending_tags_.size()) +
+      " in flight) through slot " + std::to_string(driver_.now()) +
+      " from '" + options_.recover_path + "'";
+  if (journal.torn_tail) {
+    recovery_summary_ += " — dropped torn tail (" + journal.tail_error + ")";
+  }
+  return true;
+}
+
+bool ScheduleServer::open_journal(std::string* error) {
+  const bool wants_snapshots =
+      options_.journal_rotate || options_.snapshot_every > 0;
+  if (options_.journal_path.empty()) {
+    if (wants_snapshots) {
+      if (error != nullptr) {
+        *error = "--journal-rotate / --snapshot-every need --journal";
+      }
+      return false;
+    }
+    return true;
+  }
+  if (wants_snapshots && !scheduler_->supports_warm_start()) {
+    if (error != nullptr) {
+      *error = "policy '" + options_.policy +
+               "' is stateful: snapshot-truncated journals would lose its "
+               "decision state (full-journal replay still works; rotation "
+               "needs a warm-startable policy such as fifo/first-ready)";
+    }
+    return false;
+  }
+  const bool recovering = !options_.recover_path.empty();
+  if (recovering && recovered_torn_tail_) {
+    // Drop the torn bytes so new records append to the valid prefix —
+    // leaving them would read as interior corruption next recovery.
+    if (::truncate(options_.journal_path.c_str(), recovered_valid_bytes_) !=
+        0) {
+      if (error != nullptr) {
+        *error = "cannot truncate torn tail of '" + options_.journal_path +
+                 "': " + strerror(errno);
+      }
+      return false;
+    }
+  }
+  std::string journal_error;
+  journal_ = JournalWriter::Open(options_.journal_path, &journal_error);
+  if (journal_ == nullptr) {
+    if (error != nullptr) *error = journal_error;
+    return false;
+  }
+  if (recovering) {
+    journal_->note_existing_records(recovered_records_);
+  } else {
+    if (journal_->bytes_committed() > 0) {
+      if (error != nullptr) {
+        *error = "journal '" + options_.journal_path + "' already holds " +
+                 std::to_string(journal_->bytes_committed()) +
+                 " bytes; pass --recover " + options_.journal_path +
+                 " to resume it, or remove the file";
+      }
+      return false;
+    }
+    journal_->append(
+        JournalOpen{options_.policy, options_.m,
+                    static_cast<std::int64_t>(options_.seed)});
+    if (!journal_->commit(&journal_error)) {
+      if (error != nullptr) *error = journal_error;
+      return false;
+    }
+  }
+  last_snapshot_records_ = journal_->records_committed();
+  registry_.counter("serve.journal_records")
+      .set(journal_->records_committed());
+  registry_.counter("serve.journal_bytes").set(journal_->bytes_committed());
+  return true;
+}
+
 bool ScheduleServer::start(std::string* error) {
+  // Flag coherence first, before the (possibly long) replay: appended
+  // records must extend the history they follow.
+  if (!options_.recover_path.empty() && !options_.journal_path.empty() &&
+      options_.recover_path != options_.journal_path) {
+    if (error != nullptr) {
+      *error = "--journal must name the same file as --recover: appended "
+               "records must extend the history they follow";
+    }
+    return false;
+  }
+  if (!options_.recover_path.empty() && !replay_journal(error)) return false;
+  if (!open_journal(error)) return false;
+
   const std::string& listen = options_.listen;
   if (listen.rfind("unix:", 0) == 0) {
     const std::string path = listen.substr(5);
@@ -171,8 +406,8 @@ bool ScheduleServer::start(std::string* error) {
   const std::string instance = "serve:" + address_;
   registry_.set_manifest("instance", instance);
   registry_.set_manifest("instance_hash", FingerprintString(instance));
-  registry_.set_manifest("jobs", std::int64_t{0});
-  registry_.set_manifest("total_work", std::int64_t{0});
+  registry_.set_manifest("jobs", jobs_submitted_);
+  registry_.set_manifest("total_work", total_submitted_work_);
   registry_.set_manifest("policy", options_.policy);
   registry_.set_manifest("m", static_cast<std::int64_t>(options_.m));
   registry_.set_manifest("seed", static_cast<std::int64_t>(options_.seed));
@@ -191,6 +426,24 @@ void ScheduleServer::accept_ready() {
       ::close(fd);
       continue;
     }
+    if (options_.max_connections > 0) {
+      std::size_t live = 0;
+      for (const Connection& conn : connections_) {
+        if (conn.fd >= 0) ++live;
+      }
+      if (live >= options_.max_connections) {
+        // Shed at the door: one structured reply, then close.  The
+        // short reply fits any socket buffer, so the blocking-free
+        // send is best-effort but reliable in practice.
+        registry_.counter("serve.rejected_connections").inc();
+        const std::string reply = FormatErrorReply(
+            "overloaded: connection limit (" +
+            std::to_string(options_.max_connections) + ") reached");
+        ::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
+        ::close(fd);
+        continue;
+      }
+    }
     registry_.counter("serve.connections").inc();
     // Reuse a dead slot so pending_ job -> connection indices stay
     // stable for the connections that are still alive.
@@ -205,13 +458,17 @@ void ScheduleServer::accept_ready() {
       connections_.push_back(Connection{});
       slot = &connections_.back();
     }
+    const std::uint64_t generation = slot->generation;  // bumped at close
     *slot = Connection{};
+    slot->generation = generation;
     slot->fd = fd;
+    slot->last_activity = std::chrono::steady_clock::now();
   }
 }
 
 void ScheduleServer::read_connection(Connection& conn) {
   char buffer[65536];
+  bool progressed = false;
   while (true) {
     // Stop pulling once the buffer already holds an over-cap line:
     // process_lines() will reject it, and reading further just feeds a
@@ -224,9 +481,11 @@ void ScheduleServer::read_connection(Connection& conn) {
       // Rejected connections drain-and-discard: closing with unread
       // bytes would RST the socket and destroy the error reply in
       // flight, so the remaining input is read and dropped (memory
-      // O(1)) until the peer half-closes.
+      // O(1)) until the peer half-closes.  Discarded bytes do NOT
+      // count as activity — a flood cannot outlive the idle deadline.
       if (!conn.discard_input) {
         conn.in.append(buffer, static_cast<std::size_t>(got));
+        progressed = true;
       }
       if (got < static_cast<ssize_t>(sizeof(buffer))) break;
       continue;
@@ -239,7 +498,68 @@ void ScheduleServer::read_connection(Connection& conn) {
     conn.eof = true;  // hard error: flush what we owe, then close
     break;
   }
+  if (progressed) conn.last_activity = std::chrono::steady_clock::now();
   if (!conn.discard_input) process_lines(conn);
+}
+
+bool ScheduleServer::adopt_recovered(Connection& conn,
+                                     const std::string& tag) {
+  const auto parked = parked_replies_.find(tag);
+  if (parked != parked_replies_.end()) {
+    // The job finished in a previous life (or after its submitter
+    // died); the resubmission is the claim ticket, not a new job.
+    conn.out += parked->second;
+    parked_replies_.erase(parked);
+    registry_.counter("serve.recovered_replies").inc();
+    return true;
+  }
+  const auto pending = pending_tags_.find(tag);
+  if (pending != pending_tags_.end()) {
+    PendingJob& owner = pending_[static_cast<std::size_t>(pending->second)];
+    if (owner.conn == PendingJob::kNoConn) {
+      // In flight with no owner (recovered from the journal, or the
+      // submitter died): adopt it — the reply lands here when it
+      // finishes, under the original wire id.
+      owner.conn = static_cast<std::size_t>(&conn - connections_.data());
+      owner.generation = conn.generation;
+      ++conn.pending_jobs;
+      registry_.counter("serve.recovered_replies").inc();
+    } else {
+      // In flight and owned: a retried (or chaos-duplicated) line.
+      // Drop it — exactly one reply per tag, to the original owner.
+      registry_.counter("serve.duplicate_submissions").inc();
+    }
+    return true;
+  }
+  return false;
+}
+
+JobId ScheduleServer::admit_job(Dag dag, Time release,
+                                const std::string& tag) {
+  const NodeId nodes = dag.node_count();
+  if (journal_ != nullptr) {
+    JournalJob record;
+    record.id = jobs_submitted_;
+    record.release = release;
+    record.tag = tag;
+    record.nodes = nodes;
+    record.edges.reserve(static_cast<std::size_t>(dag.edge_count()));
+    for (NodeId v = 0; v < nodes; ++v) {
+      for (const NodeId child : dag.children(v)) {
+        record.edges.emplace_back(v, child);
+      }
+    }
+    journal_->append(record);
+  }
+  total_submitted_work_ += nodes;
+  const JobId id = driver_.submit(
+      Job(std::move(dag), release,
+          tag.empty() ? "job-" + std::to_string(jobs_submitted_) : tag));
+  OTSCHED_CHECK(static_cast<std::size_t>(id) == pending_.size());
+  pending_.push_back(PendingJob{PendingJob::kNoConn, 0, tag});
+  if (!tag.empty()) pending_tags_[tag] = id;
+  ++jobs_submitted_;
+  return id;
 }
 
 void ScheduleServer::process_lines(Connection& conn) {
@@ -290,21 +610,35 @@ void ScheduleServer::process_lines(Connection& conn) {
       conn.out += FormatErrorReply(error);
       continue;
     }
+    // A resubmission of a pending tag (its owner died, the daemon did,
+    // or the line was duplicated in flight): deliver the parked reply,
+    // adopt the in-flight job, or drop the duplicate — never run a
+    // second copy.
+    if (!request->tag.empty() && adopt_recovered(conn, request->tag)) {
+      continue;
+    }
+    if (options_.max_pending_jobs > 0 &&
+        jobs_submitted_ - jobs_finished_ >= options_.max_pending_jobs) {
+      // Watermark shedding: an explicit overloaded reply instead of
+      // silent queue growth.  Nothing is journaled for a shed job.
+      registry_.counter("serve.overloaded_replies").inc();
+      conn.out += FormatErrorReply(
+          "overloaded: " +
+          std::to_string(jobs_submitted_ - jobs_finished_) +
+          " jobs pending (watermark " +
+          std::to_string(options_.max_pending_jobs) + "); resubmit later");
+      continue;
+    }
     // A release in the simulated past cannot be honored (those slots are
     // gone); clamp up to the current slot.  The reply echoes the
     // effective release, keeping offline replays faithful.
     const Time release = std::max(request->release, driver_.now());
-    total_submitted_work_ += request->dag.node_count();
-    const JobId id = driver_.submit(
-        Job(std::move(request->dag), release,
-            request->tag.empty() ? "job-" + std::to_string(jobs_submitted_)
-                                 : request->tag));
-    OTSCHED_CHECK(static_cast<std::size_t>(id) == pending_.size());
-    pending_.push_back(PendingJob{
-        static_cast<std::size_t>(&conn - connections_.data()),
-        std::move(request->tag)});
+    const JobId id =
+        admit_job(std::move(request->dag), release, request->tag);
+    pending_[static_cast<std::size_t>(id)].conn =
+        static_cast<std::size_t>(&conn - connections_.data());
+    pending_[static_cast<std::size_t>(id)].generation = conn.generation;
     ++conn.pending_jobs;
-    ++jobs_submitted_;
   }
   conn.in.erase(0, start);
 }
@@ -359,6 +693,56 @@ void ScheduleServer::handle_http(Connection& conn) {
   conn.in.clear();
 }
 
+void ScheduleServer::deliver_finished() {
+  const std::vector<SimDriver::FinishedJob> finished =
+      driver_.take_finished();
+  for (const SimDriver::FinishedJob& job : finished) {
+    PendingJob& owner = pending_[static_cast<std::size_t>(job.job)];
+    const JobId wire_id = static_cast<JobId>(id_base_) + job.job;
+    total_flow_ += job.flow;
+    max_flow_ = std::max(max_flow_, job.flow);
+    bool delivered = false;
+    if (owner.conn != PendingJob::kNoConn) {
+      Connection& conn = connections_[owner.conn];
+      // The generation pin: a reused slot holds a DIFFERENT client;
+      // its replies must never leak there.
+      if (conn.fd >= 0 && !conn.http &&
+          conn.generation == owner.generation) {
+        conn.out += FormatFinishedReply(wire_id, owner.tag, job.release,
+                                        job.finish, job.flow);
+        --conn.pending_jobs;
+        delivered = true;
+      }
+    }
+    if (!owner.tag.empty()) pending_tags_.erase(owner.tag);
+    if (!delivered && !owner.tag.empty()) {
+      // Recovery replay, or the submitter died: park the reply for a
+      // reconnecting client to claim by resubmitting the tag.
+      parked_replies_[owner.tag] = FormatFinishedReply(
+          wire_id, owner.tag, job.release, job.finish, job.flow);
+      registry_.counter("serve.replies_parked").inc();
+    }
+    owner.conn = PendingJob::kNoConn;
+    owner.generation = 0;
+    owner.tag.clear();
+    owner.tag.shrink_to_fit();
+    ++jobs_finished_;
+  }
+  driver_.retire_finished();
+}
+
+void ScheduleServer::refresh_metrics() {
+  registry_.counter("serve.jobs_submitted").set(jobs_submitted_);
+  registry_.counter("serve.jobs_finished").set(jobs_finished_);
+  registry_.gauge("serve.pending_work")
+      .set(static_cast<double>(driver_.pending_work()));
+  registry_.gauge("serve.arena_nodes")
+      .set(static_cast<double>(driver_.arena_nodes()));
+  registry_.gauge("serve.slot").set(static_cast<double>(driver_.now()));
+  registry_.set_manifest("jobs", jobs_submitted_);
+  registry_.set_manifest("total_work", total_submitted_work_);
+}
+
 void ScheduleServer::tick_driver() {
   bool activity = false;
   if (!driver_.idle()) {
@@ -368,66 +752,133 @@ void ScheduleServer::tick_driver() {
                                    : options_.chunk_slots;
     activity = driver_.advance(budget) > 0;
   }
-  const std::vector<SimDriver::FinishedJob> finished =
-      driver_.take_finished();
-  for (const SimDriver::FinishedJob& job : finished) {
-    PendingJob& owner = pending_[static_cast<std::size_t>(job.job)];
-    Connection& conn = connections_[owner.conn];
-    if (conn.fd >= 0 && !conn.http) {
-      conn.out += FormatFinishedReply(job.job, owner.tag, job.release,
-                                      job.finish, job.flow);
-      --conn.pending_jobs;
-    }
-    owner.tag.clear();
-    owner.tag.shrink_to_fit();
-    ++jobs_finished_;
+  const std::int64_t finished_before = jobs_finished_;
+  deliver_finished();
+  if (journal_ != nullptr && driver_.now() != last_journaled_slot_) {
+    journal_->append(JournalAdvance{driver_.now()});
+    last_journaled_slot_ = driver_.now();
   }
-  driver_.retire_finished();
+  if (activity || jobs_finished_ != finished_before) refresh_metrics();
+}
 
-  if (activity || !finished.empty()) {
-    registry_.counter("serve.jobs_submitted").set(jobs_submitted_);
-    registry_.counter("serve.jobs_finished").set(jobs_finished_);
-    registry_.gauge("serve.pending_work")
-        .set(static_cast<double>(driver_.pending_work()));
-    registry_.gauge("serve.arena_nodes")
-        .set(static_cast<double>(driver_.arena_nodes()));
-    registry_.gauge("serve.slot").set(static_cast<double>(driver_.now()));
-    registry_.set_manifest("jobs", jobs_submitted_);
-    registry_.set_manifest("total_work", total_submitted_work_);
+void ScheduleServer::commit_journal() {
+  if (journal_ == nullptr || !journal_->dirty()) return;
+  std::string error;
+  // A journal the daemon cannot persist means acknowledgements it
+  // cannot back — dying loudly beats lying about durability.
+  OTSCHED_CHECK(journal_->commit(&error), "serve: " << error);
+  registry_.counter("serve.journal_records")
+      .set(journal_->records_committed());
+  registry_.counter("serve.journal_bytes").set(journal_->bytes_committed());
+}
+
+void ScheduleServer::maybe_snapshot() {
+  if (journal_ == nullptr ||
+      (!options_.journal_rotate && options_.snapshot_every <= 0)) {
+    return;
   }
+  // Quiescent point: everything accepted has finished (which empties
+  // pending_tags_), every reply has been handed over (none parked,
+  // none buffered) — the whole history is summarized by its counters,
+  // so a base snapshot loses nothing a future recovery needs.
+  if (!driver_.idle() || jobs_finished_ != jobs_submitted_ ||
+      !parked_replies_.empty()) {
+    return;
+  }
+  for (const Connection& conn : connections_) {
+    if (conn.fd >= 0 && !conn.out.empty()) return;
+  }
+  const std::int64_t cadence =
+      options_.snapshot_every > 0 ? options_.snapshot_every : 256;
+  if (journal_->records_committed() - last_snapshot_records_ < cadence) {
+    return;
+  }
+  std::string error;
+  const JournalOpen open{options_.policy, options_.m,
+                         static_cast<std::int64_t>(options_.seed)};
+  if (options_.journal_rotate) {
+    OTSCHED_CHECK(journal_->rotate(open, snapshot_now(), &error),
+                  "serve: journal rotation failed: " << error);
+    registry_.counter("serve.journal_rotations").inc();
+  } else {
+    journal_->append_snapshot(snapshot_now());
+    OTSCHED_CHECK(journal_->commit(&error), "serve: " << error);
+    registry_.counter("serve.journal_snapshots").inc();
+  }
+  last_snapshot_records_ = journal_->records_committed();
+  registry_.counter("serve.journal_records")
+      .set(journal_->records_committed());
+  registry_.counter("serve.journal_bytes").set(journal_->bytes_committed());
 }
 
 void ScheduleServer::flush_writes() {
   for (Connection& conn : connections_) {
     if (conn.fd < 0) continue;
+    bool progressed = false;
     while (!conn.out.empty()) {
       const ssize_t wrote =
           ::send(conn.fd, conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
       if (wrote > 0) {
         conn.out.erase(0, static_cast<std::size_t>(wrote));
+        progressed = true;
         continue;
       }
       if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-      close_connection(conn);  // peer went away; drop its replies
+      close_connection(conn);  // peer went away; park its replies
       break;
     }
-    if (conn.fd >= 0 && conn.out.empty() && conn.discard_input &&
-        conn.pending_jobs == 0 && !conn.write_shut) {
+    if (conn.fd < 0) continue;
+    if (progressed) conn.last_activity = std::chrono::steady_clock::now();
+    if (conn.out.empty() && conn.discard_input && conn.pending_jobs == 0 &&
+        !conn.write_shut) {
       // Rejected connection, everything owed delivered: FIN the write
       // side so the peer sees end-of-replies; keep draining its input.
       ::shutdown(conn.fd, SHUT_WR);
       conn.write_shut = true;
     }
-    if (conn.fd >= 0 && conn.out.empty() && conn.eof &&
-        conn.pending_jobs == 0) {
+    if (conn.out.empty() && conn.eof && conn.pending_jobs == 0) {
+      close_connection(conn);
+    }
+  }
+}
+
+void ScheduleServer::enforce_idle_deadline() {
+  if (options_.idle_timeout_ms <= 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  const auto limit = std::chrono::milliseconds(options_.idle_timeout_ms);
+  for (Connection& conn : connections_) {
+    if (conn.fd < 0 || now - conn.last_activity < limit) continue;
+    // A connection that owes us nothing and is owed nothing is stuck,
+    // not waiting; a rejected (discarding) one is closed regardless —
+    // its reply went out with the FIN long ago.
+    if (conn.discard_input ||
+        (conn.out.empty() && conn.pending_jobs == 0)) {
+      registry_.counter("serve.idle_timeouts").inc();
       close_connection(conn);
     }
   }
 }
 
 void ScheduleServer::close_connection(Connection& conn) {
-  if (conn.fd >= 0) ::close(conn.fd);
+  if (conn.fd < 0) return;
+  ::close(conn.fd);
+  if (conn.pending_jobs > 0) {
+    // The peer died still owed replies: orphan its in-flight jobs
+    // (their tags stay in pending_tags_) so a reconnecting client can
+    // resubmit the tags and claim them.
+    const std::size_t index =
+        static_cast<std::size_t>(&conn - connections_.data());
+    for (PendingJob& owner : pending_) {
+      if (owner.conn != index || owner.generation != conn.generation) {
+        continue;
+      }
+      owner.conn = PendingJob::kNoConn;
+      owner.generation = 0;
+    }
+  }
+  const std::uint64_t generation = conn.generation + 1;
   conn = Connection{};
+  conn.generation = generation;
 }
 
 void ScheduleServer::run() {
@@ -437,6 +888,8 @@ void ScheduleServer::run() {
   std::vector<std::size_t> polled;  // connections_ index; npos = listener
 
   while (true) {
+    if (halt_ != 0) return;  // simulated crash: abandon everything
+
     const bool draining = stopping();
     if (draining && listener_open) {
       ::close(listen_fd_);
@@ -494,7 +947,13 @@ void ScheduleServer::run() {
     }
 
     tick_driver();
+    // Durability ordering: the records behind this cycle's work hit
+    // the disk BEFORE flush_writes() lets any reply out, so a client
+    // can never hold an acknowledgement the journal does not.
+    commit_journal();
+    maybe_snapshot();
     flush_writes();
+    enforce_idle_deadline();
   }
 
   // Drained: nothing left to write, close whatever connections remain.

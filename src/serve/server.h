@@ -22,19 +22,40 @@
 // reply, so an offline replay of the effective stream reproduces the
 // daemon's flows bit-identically — the serve integration test's check).
 //
+// Durability (docs/SERVING.md, "Durability & recovery"): with
+// ServeOptions::journal_path set, every accepted submission and slot
+// advance is appended to a write-ahead journal (serve/journal.h) and
+// fsynced BEFORE the cycle's replies flush, so any reply a client ever
+// saw is backed by a durable record; recover_path replays such a
+// journal through the driver before the listener binds, re-deriving
+// the crashed daemon's state bit-identically.  Replies whose owning
+// connection is gone (it died, or the whole process did) are parked by
+// client tag; a client that reconnects and resubmits its unacknowledged
+// tags gets the parked reply (already finished) or adopts the in-flight
+// job (exactly-once per unique tag, at-least-once otherwise).
+//
+// Overload behavior (docs/SERVING.md): oversized lines, the connection
+// ceiling, the pending-jobs watermark, and idle deadlines each shed
+// load with a structured error reply and a metric rather than letting
+// memory grow.
+//
 // Shutdown: request_stop() (the CLI wires SIGTERM/SIGINT to it through
 // a sig_atomic_t flag polled via ServeOptions::stop_flag) closes the
 // listener, drains all submitted work, flushes the remaining replies,
-// and returns from run() — exit 0.
+// and returns from run() — exit 0.  halt() abandons the loop without
+// draining — the crash-recovery tests' stand-in for SIGKILL.
 #pragma once
 
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/metrics.h"
+#include "serve/journal.h"
 #include "sim/driver.h"
 
 namespace otsched::serve {
@@ -60,6 +81,32 @@ struct ServeOptions {
   /// and is closed, so per-connection memory is bounded by this cap
   /// plus one read chunk (counted in serve.rejected_lines).
   std::size_t max_line_bytes = 1 << 20;
+  /// Write-ahead journal path ("" = no journaling).  With recovery, it
+  /// must be the SAME file as recover_path (the appended records must
+  /// follow the replayed history they extend).
+  std::string journal_path;
+  /// Journal to replay before the listener binds ("" = cold start).
+  std::string recover_path;
+  /// Truncate the journal to open-header + base snapshot at quiescent
+  /// points (requires journal_path and a warm-startable policy).
+  bool journal_rotate = false;
+  /// Append a snapshot record at the first quiescent point after this
+  /// many journal records (0 = only the rotation default).  Requires a
+  /// warm-startable policy.
+  std::int64_t snapshot_every = 0;
+  /// Live-connection ceiling (0 = unlimited): connections past it get
+  /// one "overloaded" error reply and are closed
+  /// (serve.rejected_connections).
+  std::size_t max_connections = 0;
+  /// Pending (accepted, unfinished) jobs watermark (0 = unlimited):
+  /// submissions past it get an explicit "overloaded" error reply and
+  /// are NOT accepted (serve.overloaded_replies).
+  std::int64_t max_pending_jobs = 0;
+  /// Idle deadline, milliseconds (0 = none): a connection that makes no
+  /// read/write progress for this long while owing nothing and being
+  /// owed nothing is closed (serve.idle_timeouts); a rejected
+  /// (discarding) connection is closed unconditionally at the deadline.
+  int idle_timeout_ms = 0;
   /// Optional external stop flag (e.g. set by a SIGTERM handler); the
   /// loop treats a nonzero value exactly like request_stop().
   const volatile std::sig_atomic_t* stop_flag = nullptr;
@@ -75,13 +122,20 @@ class ScheduleServer {
   ScheduleServer(const ScheduleServer&) = delete;
   ScheduleServer& operator=(const ScheduleServer&) = delete;
 
-  /// Binds and listens.  Returns false (with a diagnostic in `error`)
-  /// on bad addresses or bind failures; no partial state survives.
+  /// Replays recover_path (if set), opens the journal (if set), binds
+  /// and listens — in that order, so a recovery or journal problem is
+  /// diagnosed before the address is taken.  Returns false (with a
+  /// diagnostic in `error`) on any failure; no partial state survives
+  /// a bind failure.
   bool start(std::string* error);
 
   /// The bound address ("127.0.0.1:41873" with the ephemeral port
   /// resolved, or the unix path).  Valid after start().
   const std::string& address() const { return address_; }
+
+  /// One-line human summary of what recovery replayed (empty when no
+  /// recovery ran) — the CLI prints it before "listening on".
+  const std::string& recovery_summary() const { return recovery_summary_; }
 
   /// Serves until request_stop() / *stop_flag, then drains and returns.
   void run();
@@ -89,6 +143,11 @@ class ScheduleServer {
   /// Signals run() to stop accepting, drain, and return.  Callable from
   /// another thread (the in-process integration test's shape).
   void request_stop() { stop_ = 1; }
+
+  /// Signals run() to return IMMEDIATELY: no drain, no reply flush, no
+  /// journal commit beyond what already happened.  The recovery tests'
+  /// in-process stand-in for SIGKILL (thread-safe like request_stop).
+  void halt() { halt_ = 1; }
 
   /// The daemon's metrics registry (the /metrics document).
   const MetricsRegistry& registry() const { return registry_; }
@@ -116,6 +175,22 @@ class ScheduleServer {
     bool discard_input = false;
     bool write_shut = false;  // shutdown(SHUT_WR) already issued
     std::int64_t pending_jobs = 0;  // submitted, not yet replied
+    // Distinguishes successive tenants of a reused slot: a finished
+    // job's reply is only delivered when the slot's generation still
+    // matches the submitter's, never to a newer client that happens to
+    // occupy the same index.
+    std::uint64_t generation = 0;
+    std::chrono::steady_clock::time_point last_activity{};
+  };
+
+  /// pending_[driver job id] -> who gets the reply.  conn == kNoConn
+  /// marks an orphan (recovered from the journal, or its submitter
+  /// died): the finished reply parks under the job's tag instead.
+  struct PendingJob {
+    static constexpr std::size_t kNoConn = static_cast<std::size_t>(-1);
+    std::size_t conn = kNoConn;
+    std::uint64_t generation = 0;
+    std::string tag;
   };
 
   void accept_ready();
@@ -124,8 +199,24 @@ class ScheduleServer {
   void reject_oversized_line(Connection& conn);
   void handle_http(Connection& conn);
   void tick_driver();
+  /// take_finished + reply/park + retire — shared by the live tick and
+  /// the recovery replay.
+  void deliver_finished();
+  void commit_journal();
+  void maybe_snapshot();
+  void enforce_idle_deadline();
   void flush_writes();
   void close_connection(Connection& conn);
+  bool replay_journal(std::string* error);
+  bool open_journal(std::string* error);
+  /// Consumes one submission whose tag is already known: parked reply
+  /// delivered, orphaned in-flight job adopted, or live duplicate
+  /// dropped.  False = not matched (a genuinely new submission).
+  bool adopt_recovered(Connection& conn, const std::string& tag);
+  /// Accepted-job bookkeeping shared by live submission and replay.
+  JobId admit_job(Dag dag, Time release, const std::string& tag);
+  JournalSnapshot snapshot_now() const;
+  void refresh_metrics();
   bool stopping() const {
     return stop_ != 0 ||
            (options_.stop_flag != nullptr && *options_.stop_flag != 0);
@@ -140,17 +231,37 @@ class ScheduleServer {
   std::string address_;
   std::string unix_path_;  // unlinked on close when non-empty
   std::vector<Connection> connections_;
-  // job id -> (connection index, client tag); parallel to driver ids.
-  struct PendingJob {
-    std::size_t conn = 0;
-    std::string tag;
-  };
-  std::vector<PendingJob> pending_;
+  std::vector<PendingJob> pending_;  // parallel to driver job ids
+
+  std::unique_ptr<JournalWriter> journal_;
+  /// Wire job id = id_base_ + driver id: a recovery that warm-starts
+  /// from a rotated journal rebuilds a fresh driver (ids from 0) while
+  /// the wire ids stay dense across the daemon's whole lineage.
+  std::int64_t id_base_ = 0;
+  Time last_journaled_slot_ = 0;
+  std::int64_t last_snapshot_records_ = 0;
+  std::string recovery_summary_;
+  // Replay leftovers open_journal() needs: how much of the recovered
+  // file was valid (a torn tail is truncated away before appending).
+  std::int64_t recovered_valid_bytes_ = 0;
+  std::int64_t recovered_records_ = 0;
+  bool recovered_torn_tail_ = false;
+  /// tag -> reply line, for finished jobs whose submitter is gone.
+  std::unordered_map<std::string, std::string> parked_replies_;
+  /// tag -> driver job id for EVERY tagged unfinished job — the dedup
+  /// index.  A resubmitted pending tag is idempotent: it adopts the job
+  /// when its owner is gone (reconnect after a drop or a recovery) and
+  /// is ignored as a duplicate when the owner is alive (a retried or
+  /// chaos-duplicated line), so a tag never yields two replies.
+  std::unordered_map<std::string, JobId> pending_tags_;
 
   volatile std::sig_atomic_t stop_ = 0;
+  volatile std::sig_atomic_t halt_ = 0;
   std::int64_t jobs_submitted_ = 0;
   std::int64_t jobs_finished_ = 0;
   std::int64_t total_submitted_work_ = 0;
+  std::int64_t total_flow_ = 0;  // sum of finished flows (snapshots)
+  Time max_flow_ = 0;            // the served stream's F_max so far
 };
 
 /// Installs `flag` as the target of SIGTERM/SIGINT (handler just sets

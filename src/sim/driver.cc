@@ -132,6 +132,16 @@ void SimDriver::submit_all(const Instance& instance) {
   max_span_ = instance.max_span();
 }
 
+void SimDriver::warm_start(Time resume_slot) {
+  OTSCHED_CHECK(!begun_ && jobs_.empty(),
+                "warm_start requires a fresh driver");
+  OTSCHED_CHECK(resume_slot >= 0);
+  // now() == resume_slot; begin() keeps a warm slot (it only clamps up
+  // to 1, the cold-start value).
+  slot_ = resume_slot > 0 ? resume_slot + 1 : 0;
+  max_release_ = resume_slot;  // horizon bound covers the resumed clock
+}
+
 JobId SimDriver::submit(Job job) {
   OTSCHED_CHECK(!finalized_, "submit after drain()");
   OTSCHED_CHECK(job.dag().node_count() >= 1,
@@ -189,7 +199,7 @@ void SimDriver::begin() {
   emitter_.reset(this, observer_, batch_capacity_);
   time_picks_ = observer_ != nullptr && observer_->wants_pick_timing();
   if (observer_ != nullptr) observer_->on_run_begin(*this);
-  slot_ = 1;
+  slot_ = std::max<Time>(slot_, 1);  // keep a warm_start() position
 }
 
 std::optional<std::pair<Time, JobId>> SimDriver::next_pending_arrival()

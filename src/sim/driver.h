@@ -80,6 +80,16 @@ class SimDriver final : public EngineBackend {
   /// Returns the job's dense id.  Enables finished-job tracking.
   JobId submit(Job job);
 
+  /// Snapshot hook for the serve journal's rotation (serve/journal.h):
+  /// positions a FRESH driver (nothing submitted, nothing advanced) so
+  /// now() == resume_slot, as if it had already simulated through that
+  /// slot.  Only sound when the resumed stream is a quiescent suffix —
+  /// every earlier job finished, its flow accounted for elsewhere — and
+  /// the scheduler's decisions are a pure function of the current view
+  /// (Scheduler::supports_warm_start); a stateful policy would have
+  /// carried state across the cut that a warm start cannot rebuild.
+  void warm_start(Time resume_slot);
+
   /// Simulates at most `max_slots` further slots (fast-forwarded empty
   /// stretches count as one).  Returns the number of slots visited: 0
   /// means the driver is idle (all submitted work done).

@@ -190,6 +190,17 @@ class Scheduler {
   /// them under an active job-fault model.
   virtual bool supports_job_rollback() const { return true; }
 
+  /// Declares whether the policy's decisions are a pure function of the
+  /// current SchedulerView — no state carried across slots (RNG draws,
+  /// restart phases, learned guesses).  Such a policy can be "warm
+  /// started": resuming at a later slot with only the jobs live from
+  /// then on reproduces the decisions a full-history run would make.
+  /// The serve journal (serve/journal.h) only writes snapshot records —
+  /// and so only allows `--journal-rotate` truncation — for policies
+  /// that return true; everything else replays its full journal.
+  /// Default false: statefulness is the safe assumption.
+  virtual bool supports_warm_start() const { return false; }
+
   /// Called once before the run; `m` is fixed for the whole run.
   virtual void reset(int m, JobId job_count) {
     (void)m;

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Fault-injecting TCP proxy for `otsched serve` (docs/ROBUSTNESS.md).
+
+Stdlib-only.  Sits between a client and the daemon and misbehaves on
+purpose, deterministically (--seed):
+
+  * connection drops  — with --drop-prob, any forwarded chunk may
+    instead close BOTH sides mid-stream (the half-written-line crash a
+    reconnecting client must survive);
+  * byte splits + delays — client->server bytes are re-chunked into
+    random 1..--max-split slices, each optionally delayed up to
+    --max-delay-ms, so daemon line reassembly sees every framing;
+  * duplicate submissions — with --dup-prob, a complete client line is
+    forwarded twice (the daemon's pending-tag dedup must reply once).
+
+Each accepted connection gets its own RNG stream (seed ^ connection
+index), so a run is reproducible regardless of thread interleaving.
+
+Usage:
+  chaos_proxy.py --listen PORT --upstream HOST:PORT [--seed N]
+                 [--drop-prob P] [--dup-prob P] [--max-split N]
+                 [--max-delay-ms MS] [--max-conns N]
+
+Prints "proxy listening on 127.0.0.1:PORT" (flushed) once ready, then
+serves until stdin closes or --max-conns connections have finished.
+Exit 0 on a clean run; the *correctness* checks live in the client
+(serve_client.py --reconnect) and the daemon's own metrics.
+"""
+
+import argparse
+import random
+import socket
+import sys
+import threading
+import time
+
+
+class Drop(Exception):
+    """Injected connection drop."""
+
+
+class Pump(threading.Thread):
+    """One direction of one proxied connection."""
+
+    def __init__(self, name, src, dst, chaos, rng, stats):
+        super().__init__(name=name, daemon=True)
+        self.src, self.dst = src, dst
+        self.chaos = chaos  # True only client->server: mutate submissions
+        self.rng = rng
+        self.stats = stats
+        self.args = stats["args"]
+        self.carry = b""  # partial line awaiting its newline (dup logic)
+
+    def maybe_drop(self):
+        if self.rng.random() < self.args.drop_prob:
+            raise Drop()
+
+    def forward(self, data):
+        """Re-chunks and delays; duplicates completed lines."""
+        if not self.chaos:
+            self.dst.sendall(data)
+            return
+        if self.args.dup_prob > 0:
+            # Duplicate at line granularity: a torn duplicate would be a
+            # parse error, which is a different fault family.
+            self.carry += data
+            out = b""
+            while True:
+                newline = self.carry.find(b"\n")
+                if newline < 0:
+                    break
+                line = self.carry[:newline + 1]
+                self.carry = self.carry[newline + 1:]
+                out += line
+                if self.rng.random() < self.args.dup_prob:
+                    out += line
+                    self.stats["dups"] += 1
+            data = out + b""
+            if not data:
+                return
+        sent = 0
+        while sent < len(data):
+            self.maybe_drop()
+            size = self.rng.randint(1, self.args.max_split)
+            chunk = data[sent:sent + size]
+            if self.args.max_delay_ms > 0:
+                time.sleep(self.rng.random() *
+                           self.args.max_delay_ms / 1000.0)
+            self.dst.sendall(chunk)
+            self.stats["chunks"] += 1
+            sent += len(chunk)
+
+    def run(self):
+        try:
+            while True:
+                data = self.src.recv(65536)
+                if not data:
+                    break
+                self.forward(data)
+            # Flush any carried partial line before passing the FIN on.
+            if self.carry:
+                self.dst.sendall(self.carry)
+            try:
+                self.dst.shutdown(socket.SHUT_WR)
+            except OSError:
+                pass
+        except Drop:
+            self.stats["drops"] += 1
+            for sock in (self.src, self.dst):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        except OSError:
+            pass
+
+
+def serve(args):
+    host, _, port = args.upstream.rpartition(":")
+    upstream = (host or "127.0.0.1", int(port))
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind(("127.0.0.1", args.listen))
+    listener.listen(64)
+    bound = listener.getsockname()
+    print(f"proxy listening on {bound[0]}:{bound[1]}", flush=True)
+
+    stats = {"args": args, "conns": 0, "drops": 0, "dups": 0, "chunks": 0}
+    pumps = []
+    try:
+        while args.max_conns == 0 or stats["conns"] < args.max_conns:
+            try:
+                client, _ = listener.accept()
+            except OSError:
+                break
+            index = stats["conns"]
+            stats["conns"] += 1
+            try:
+                server = socket.create_connection(upstream)
+            except OSError as err:
+                print(f"upstream connect failed: {err}", file=sys.stderr)
+                client.close()
+                continue
+            # Independent deterministic streams per connection and
+            # direction; thread scheduling cannot change the draws.
+            c2s = Pump(f"c2s-{index}", client, server, True,
+                       random.Random(args.seed ^ (2 * index)), stats)
+            s2c = Pump(f"s2c-{index}", server, client, False,
+                       random.Random(args.seed ^ (2 * index + 1)), stats)
+            c2s.start()
+            s2c.start()
+            pumps += [c2s, s2c]
+    finally:
+        listener.close()
+    for pump in pumps:
+        pump.join(timeout=30)
+    print(f"proxy done: {stats['conns']} connections, "
+          f"{stats['drops']} injected drops, {stats['dups']} duplicated "
+          f"lines, {stats['chunks']} chunks", flush=True)
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--listen", type=int, default=0,
+                        help="local port (default: ephemeral, printed)")
+    parser.add_argument("--upstream", required=True,
+                        help="daemon address HOST:PORT")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--drop-prob", type=float, default=0.0,
+                        help="per-chunk probability of dropping the "
+                             "connection (both directions)")
+    parser.add_argument("--dup-prob", type=float, default=0.0,
+                        help="per-line probability of duplicating a "
+                             "client submission line")
+    parser.add_argument("--max-split", type=int, default=512,
+                        help="largest forwarded chunk, bytes (default 512)")
+    parser.add_argument("--max-delay-ms", type=float, default=0.0,
+                        help="largest per-chunk delay, milliseconds")
+    parser.add_argument("--max-conns", type=int, default=0,
+                        help="exit after N proxied connections "
+                             "(default: run until killed)")
+    args = parser.parse_args(argv[1:])
+    if args.max_split < 1:
+        parser.error("--max-split must be >= 1")
+    return serve(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

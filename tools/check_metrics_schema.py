@@ -121,6 +121,27 @@ def check_serve_profile(doc):
         require(manifest["jobs"] == submitted,
                 f"manifest jobs {manifest['jobs']} != "
                 f"serve.jobs_submitted {submitted}")
+    # Durability counters are lazy: a healthy run without --journal has
+    # NONE of them, keeping its /metrics bit-identical to older daemons.
+    # When they do appear they obey the journal's framing arithmetic.
+    if "serve.journal_records" in counters or "serve.journal_bytes" in counters:
+        require("serve.journal_records" in counters
+                and "serve.journal_bytes" in counters,
+                "serve.journal_records and serve.journal_bytes must "
+                "appear together")
+        require(counters["serve.journal_bytes"]
+                >= counters["serve.journal_records"],
+                "serve.journal_bytes smaller than one byte per record")
+    for name in ("serve.journal_snapshots", "serve.journal_rotations"):
+        if name in counters:
+            require("serve.journal_records" in counters,
+                    f"{name} without serve.journal_records")
+    # Each recovered job's tag can be claimed by a resubmission at most
+    # once, so claims never exceed the replayed-job count.
+    if "serve.recovered_replies" in counters:
+        require(counters["serve.recovered_replies"]
+                <= counters.get("serve.recovered_jobs", 0),
+                "serve.recovered_replies exceeds serve.recovered_jobs")
 
 
 def check_metrics(doc, schema):

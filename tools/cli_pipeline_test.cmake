@@ -359,6 +359,39 @@ expect_diagnostic("needs explicit per-slot budgets"
 # Non-positive machine counts get a diagnostic too.
 expect_diagnostic("m >= 1" ${CLI} bounds ${INST} 0)
 
+# ---- serve durability flags (docs/SERVING.md) ----
+
+# --help documents the daemon without starting it.
+execute_process(COMMAND ${CLI} serve --help RESULT_VARIABLE code
+                OUTPUT_VARIABLE serve_help WORKING_DIRECTORY ${WORKDIR})
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "serve --help failed (${code})")
+endif()
+foreach(flag --journal --recover --journal-rotate --snapshot-every
+        --max-line --max-conns --max-pending --idle-timeout-ms)
+  if(NOT serve_help MATCHES "${flag}")
+    message(FATAL_ERROR "serve --help is missing '${flag}'")
+  endif()
+endforeach()
+
+# Malformed durability flags: per-token diagnostics, each exit 2,
+# before any socket is bound.
+expect_diagnostic("serve: --journal needs a path" ${CLI} serve --journal)
+expect_diagnostic("serve: --recover needs a path" ${CLI} serve --recover)
+expect_diagnostic("needs a nonnegative integer, got 'nope'"
+                  ${CLI} serve --snapshot-every nope)
+expect_diagnostic("needs a nonnegative integer"
+                  ${CLI} serve --max-pending -3)
+expect_diagnostic("--max-line needs at least 1" ${CLI} serve --max-line 0)
+expect_diagnostic("cannot open journal"
+                  ${CLI} serve --recover ${WORKDIR}/no_such.journal)
+expect_diagnostic("must name the same file as --recover"
+                  ${CLI} serve --journal ${WORKDIR}/a.ndjson
+                  --recover ${WORKDIR}/b.ndjson)
+# A stateful policy cannot warm-start from snapshots: rotation refused.
+expect_diagnostic("snapshot" ${CLI} serve --policy fifo/random
+                  --journal ${WORKDIR}/cli_serve.ndjson --journal-rotate)
+
 # A checkpoint from a DIFFERENT grid must be rejected, not spliced in.
 expect_diagnostic("different sweep"
                   ${CLI} sweep ${INST} fifo/first-ready --m 2,8 --seeds 2

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Compares two `otsched serve` /metrics captures modulo durability noise.
+
+The crash-recovery contract (docs/SERVING.md) is that a SIGKILLed and
+--recover'ed daemon converges to the SAME serving state as one that
+never crashed: same jobs submitted/finished, same total work, same
+final slot.  What legitimately differs is the *history* of getting
+there — how many connections it took, how many journal records were
+committed, how many replies were parked and re-claimed.  This tool
+deletes exactly that noise from both captures and diffs the rest,
+so CI can assert convergence with one exit code.
+
+Normalization:
+  * manifest: drop "instance" (embeds the listen address, which is
+    ephemeral) and "instance_hash" (derived from it);
+  * counters: drop serve.connections, serve.http_requests, and every
+    journal/recovery/overload counter (serve.journal_*,
+    serve.recovered_*, serve.replies_parked,
+    serve.duplicate_submissions, serve.rejected_*,
+    serve.overloaded_replies, serve.idle_timeouts);
+  * gauges: drop serve.arena_nodes (arena capacity depends on replay
+    batching) and keep only the "last" sample of the rest — min/mean/
+    count summarize the observation history, not the converged state;
+  * histograms/series: kept verbatim (the daemon emits none today;
+    if one appears, a diff should fail loudly and force a decision).
+
+Usage: diff_serve_metrics.py <recovered.json> <uninterrupted.json>
+Exit 0 when the normalized documents are identical; exit 1 with a
+per-key report otherwise.
+"""
+
+import json
+import sys
+
+DROP_COUNTERS = ("serve.connections", "serve.http_requests")
+DROP_COUNTER_PREFIXES = ("serve.journal_", "serve.recovered_",
+                         "serve.rejected_")
+DROP_COUNTER_EXACT = ("serve.replies_parked", "serve.duplicate_submissions",
+                      "serve.overloaded_replies", "serve.idle_timeouts")
+DROP_GAUGES = ("serve.arena_nodes",)
+
+
+def normalize(doc):
+    out = json.loads(json.dumps(doc))  # deep copy
+    manifest = out.get("manifest", {})
+    manifest.pop("instance", None)
+    manifest.pop("instance_hash", None)
+    counters = out.get("counters", {})
+    for name in list(counters):
+        if (name in DROP_COUNTERS or name in DROP_COUNTER_EXACT
+                or name.startswith(DROP_COUNTER_PREFIXES)):
+            del counters[name]
+    gauges = out.get("gauges", {})
+    for name in list(gauges):
+        if name in DROP_GAUGES:
+            del gauges[name]
+        else:
+            gauges[name] = {"last": gauges[name].get("last")}
+    return out
+
+
+def report(path_a, a, path_b, b, crumb=""):
+    """Prints the differing leaves; returns how many it found."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        count = 0
+        for key in sorted(set(a) | set(b)):
+            where = f"{crumb}.{key}" if crumb else key
+            if key not in a:
+                print(f"  {where}: only in {path_b}: {b[key]!r}")
+                count += 1
+            elif key not in b:
+                print(f"  {where}: only in {path_a}: {a[key]!r}")
+                count += 1
+            else:
+                count += report(path_a, a[key], path_b, b[key], where)
+        return count
+    if a != b:
+        print(f"  {crumb}: {a!r} != {b!r}")
+        return 1
+    return 0
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    docs = []
+    for path in argv[1:]:
+        with open(path, encoding="utf-8") as f:
+            docs.append(normalize(json.load(f)))
+    if docs[0] == docs[1]:
+        print(f"serve metrics converge: {argv[1]} == {argv[2]} "
+              "(modulo durability counters)")
+        return 0
+    print(f"serve metrics DIVERGE between {argv[1]} and {argv[2]}:")
+    report(argv[1], docs[0], argv[2], docs[1])
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

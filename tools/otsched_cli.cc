@@ -19,7 +19,7 @@
 //   otsched faults emit <spec> <m> <horizon> [out.csv]   freeze a model
 //   otsched faults inspect <trace.csv> <m>        summarize a budget trace
 //   otsched serve [--listen A] [--m M] [--policy P]      NDJSON-over-socket
-//       [--seed S] [--chunk N]                    scheduler daemon (SERVING.md)
+//       [--journal F] [--recover F] [...]         scheduler daemon (SERVING.md)
 //   otsched list-policies                         list the policy registry
 //
 // Policies are constructed through the shared registry (sched/registry.h)
@@ -41,6 +41,7 @@
 // (`--faults`) use the `model[:seed[:rate]]` shorthand from
 // docs/ROBUSTNESS.md; `sweep --checkpoint` + `--resume` give crash-tolerant
 // sweeps with bit-identical output.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -109,7 +110,10 @@ int Usage() {
       "  otsched faults emit <model[:seed[:rate]]> <m> <horizon> [out.csv]\n"
       "  otsched faults inspect <trace.csv> <m>\n"
       "  otsched serve [--listen H:P|unix:PATH] [--m M] [--policy P]\n"
-      "              [--seed S] [--chunk N]       streaming scheduler daemon\n"
+      "              [--seed S] [--chunk N] [--journal F] [--recover F]\n"
+      "              [--journal-rotate] [--snapshot-every N] [--max-line B]\n"
+      "              [--max-conns N] [--max-pending N] [--idle-timeout-ms T]\n"
+      "              streaming scheduler daemon (serve --help for details)\n"
       "  otsched list-policies\n"
       "  otsched list-job-faults\n");
   return 2;
@@ -1025,11 +1029,74 @@ int CmdTrace(int argc, char** argv) {
   return 0;
 }
 
+void PrintServeHelp() {
+  std::fputs(
+      "usage: otsched serve [flags]      streaming scheduler daemon\n"
+      "\n"
+      "Socket front-end over a SimDriver: NDJSON submissions in, one\n"
+      "reply line per finished job out; GET /metrics and /healthz on the\n"
+      "same port.  See docs/SERVING.md.\n"
+      "\n"
+      "  --listen H:P|unix:PATH  bind address (default 127.0.0.1:0;\n"
+      "                          port 0 = ephemeral, printed on stdout)\n"
+      "  --m M                   processors (default 4)\n"
+      "  --policy P              scheduling policy (default alg-a/general)\n"
+      "  --seed S                policy seed (default 0)\n"
+      "  --chunk N               slots simulated per poll round (default 128)\n"
+      "\n"
+      "durability (docs/SERVING.md, \"Durability & recovery\"):\n"
+      "  --journal PATH          append a write-ahead journal: every\n"
+      "                          accepted job and slot advance, fsynced\n"
+      "                          before the cycle's replies flush\n"
+      "  --recover PATH          replay PATH through the driver before\n"
+      "                          accepting connections; combined with\n"
+      "                          --journal it must be the SAME file\n"
+      "  --journal-rotate        truncate the journal to header + base\n"
+      "                          snapshot at quiescent points (needs a\n"
+      "                          warm-startable policy, e.g. fifo/first-ready)\n"
+      "  --snapshot-every N      append a snapshot record at the first\n"
+      "                          quiescent point every N journal records\n"
+      "\n"
+      "overload shedding (docs/SERVING.md, \"Overload behavior\"):\n"
+      "  --max-line BYTES        longest accepted line; past it the\n"
+      "                          connection gets one structured error and\n"
+      "                          is closed (default 1048576)\n"
+      "  --max-conns N           live-connection ceiling; extra\n"
+      "                          connections are refused with an\n"
+      "                          'overloaded' reply (default unlimited)\n"
+      "  --max-pending N         pending-jobs watermark; submissions past\n"
+      "                          it get an 'overloaded' reply and are not\n"
+      "                          accepted (default unlimited)\n"
+      "  --idle-timeout-ms MS    close connections idle this long that\n"
+      "                          owe nothing and are owed nothing\n"
+      "                          (default: never)\n",
+      stdout);
+}
+
+/// Parses a nonnegative integer CLI value; complains naming the flag
+/// and returns false on anything else (including trailing garbage).
+bool ParseServeCount(const char* flag, const char* text, long long* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || value < 0) {
+    std::fprintf(stderr, "serve: %s needs a nonnegative integer, got '%s'\n",
+                 flag, text);
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
 int CmdServe(int argc, char** argv) {
   serve::ServeOptions options;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--listen" && i + 1 < argc) {
+    long long value = 0;
+    if (arg == "--help" || arg == "-h") {
+      PrintServeHelp();
+      return 0;
+    } else if (arg == "--listen" && i + 1 < argc) {
       options.listen = argv[++i];
     } else if (arg == "--m" && i + 1 < argc) {
       options.m = std::atoi(argv[++i]);
@@ -1039,8 +1106,38 @@ int CmdServe(int argc, char** argv) {
       options.seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--chunk" && i + 1 < argc) {
       options.chunk_slots = std::atoll(argv[++i]);
+    } else if (arg == "--journal" && i + 1 < argc) {
+      options.journal_path = argv[++i];
+    } else if (arg == "--recover" && i + 1 < argc) {
+      options.recover_path = argv[++i];
+    } else if (arg == "--journal-rotate") {
+      options.journal_rotate = true;
+    } else if (arg == "--snapshot-every" && i + 1 < argc) {
+      if (!ParseServeCount("--snapshot-every", argv[++i], &value)) return 2;
+      options.snapshot_every = value;
+    } else if (arg == "--max-line" && i + 1 < argc) {
+      if (!ParseServeCount("--max-line", argv[++i], &value)) return 2;
+      if (value < 1) {
+        std::fprintf(stderr, "serve: --max-line needs at least 1 byte\n");
+        return 2;
+      }
+      options.max_line_bytes = static_cast<std::size_t>(value);
+    } else if (arg == "--max-conns" && i + 1 < argc) {
+      if (!ParseServeCount("--max-conns", argv[++i], &value)) return 2;
+      options.max_connections = static_cast<std::size_t>(value);
+    } else if (arg == "--max-pending" && i + 1 < argc) {
+      if (!ParseServeCount("--max-pending", argv[++i], &value)) return 2;
+      options.max_pending_jobs = value;
+    } else if (arg == "--idle-timeout-ms" && i + 1 < argc) {
+      if (!ParseServeCount("--idle-timeout-ms", argv[++i], &value)) return 2;
+      options.idle_timeout_ms = static_cast<int>(value);
+    } else if (arg == "--journal" || arg == "--recover") {
+      std::fprintf(stderr, "serve: %s needs a path\n", arg.c_str());
+      return 2;
     } else {
-      std::fprintf(stderr, "serve: unknown argument '%s'\n", arg.c_str());
+      std::fprintf(stderr,
+                   "serve: unknown argument '%s' (try otsched serve --help)\n",
+                   arg.c_str());
       return Usage();
     }
   }
@@ -1065,8 +1162,14 @@ int CmdServe(int argc, char** argv) {
   serve::ScheduleServer server(options, std::move(policy));
   std::string error;
   if (!server.start(&error)) {
+    // Unusable options (an unreadable/corrupt journal, a rotation
+    // request a stateful policy cannot honor, a malformed address) are
+    // invalid-input failures: exit 2, matching the rest of the CLI.
     std::fprintf(stderr, "serve: %s\n", error.c_str());
-    return 1;
+    return 2;
+  }
+  if (!server.recovery_summary().empty()) {
+    std::printf("%s\n", server.recovery_summary().c_str());
   }
   // Line-buffered and flushed so a supervising script (the CI smoke job)
   // can scrape the resolved ephemeral port before the first submission.

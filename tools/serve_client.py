@@ -12,16 +12,27 @@ sent with a bounded in-flight window, and each reply line
 
 is checked: every submitted job must be answered exactly once, with
 flow == finish - release and the echoed (effective) release >= the
-requested one.  Any {"error": ...} reply, short stream, or failed check
-exits nonzero — which makes this the CI serve smoke probe.
+requested one.  Any {"error": ...} reply, short stream, duplicate reply,
+or failed check exits nonzero — which makes this the CI serve smoke
+probe.
 
-Usage: serve_client.py --addr HOST:PORT|unix:/path [--window N] file.inst ...
+With --reconnect the client rides out dropped connections (a daemon
+restart, a chaos proxy cutting the wire): it reconnects with capped
+exponential backoff and resubmits its unacknowledged tags in their
+original order.  The daemon's reply parking / orphan adoption
+(docs/SERVING.md, "Durability & recovery") turns each resubmission into
+the original reply — the exactly-once check above doubles as the proof
+that no duplicate flow replies arrive after a reconnect.
+
+Usage: serve_client.py --addr HOST:PORT|unix:/path [--window N]
+                       [--reconnect] [--max-retries N] file.inst ...
 """
 
 import argparse
 import json
 import socket
 import sys
+import time
 
 
 def parse_instance(path):
@@ -71,16 +82,125 @@ def connect(addr):
     return socket.create_connection((host, int(port)))
 
 
+class Client:
+    """One verified streaming session, surviving reconnects."""
+
+    def __init__(self, args, submissions, requested):
+        self.args = args
+        self.submissions = submissions  # [(tag, line)], file order
+        self.requested = requested      # tag -> requested release
+        self.unacked = {}               # tag -> line, submission order
+        self.answered_tags = set()
+        self.next_index = 0
+        self.answered = 0
+        self.failures = 0
+        self.reconnects = 0
+
+    def read_reply(self, reader):
+        line = reader.readline()
+        if not line:
+            raise EOFError("daemon closed the stream early")
+        reply = json.loads(line)
+        if "error" in reply:
+            print(f"error reply: {reply['error']}", file=sys.stderr)
+            self.failures += 1
+            return
+        tag = reply.get("id")
+        if tag in self.answered_tags:
+            # The --reconnect contract under test: a resubmitted tag must
+            # never produce a second flow reply.
+            print(f"duplicate flow reply for {tag!r}", file=sys.stderr)
+            self.failures += 1
+            return
+        if tag not in self.requested:
+            print(f"reply for unknown tag {tag!r}", file=sys.stderr)
+            self.failures += 1
+            return
+        want = self.requested.pop(tag)
+        self.unacked.pop(tag, None)
+        self.answered_tags.add(tag)
+        release, finish, flow = (reply["release"], reply["finish"],
+                                 reply["flow"])
+        if release < want or flow != finish - release or flow < 1:
+            print(f"bad reply for {tag}: requested release {want}, "
+                  f"got {line.strip()}", file=sys.stderr)
+            self.failures += 1
+            return
+        self.answered += 1
+
+    def stream_once(self):
+        """One connection's worth of progress; raises OSError/EOFError on
+        a drop (the caller decides whether to reconnect)."""
+        sock = connect(self.args.addr)
+        try:
+            reader = sock.makefile("r", encoding="utf-8", newline="\n")
+            # After a drop: resubmit every unacknowledged tag first, in
+            # the order it was originally sent, so the daemon's replay
+            # (parked replies / adopted orphans) lines up with ours.
+            for line in self.unacked.values():
+                sock.sendall(line.encode("utf-8"))
+            while self.next_index < len(self.submissions):
+                while len(self.unacked) >= self.args.window:
+                    self.read_reply(reader)
+                tag, line = self.submissions[self.next_index]
+                sock.sendall(line.encode("utf-8"))
+                self.unacked[tag] = line
+                self.next_index += 1
+            sock.shutdown(socket.SHUT_WR)  # daemon flushes, then closes
+            while self.unacked:
+                self.read_reply(reader)
+        finally:
+            sock.close()
+
+    def run(self):
+        attempt = 0
+        while True:
+            answered_before = self.answered
+            try:
+                self.stream_once()
+                return 0
+            except (EOFError, OSError) as err:
+                if not self.args.reconnect:
+                    print(f"{err} ({self.answered}/{len(self.submissions)} "
+                          f"answered)", file=sys.stderr)
+                    return 1
+                if self.answered > answered_before:
+                    attempt = 0  # progress: restart the backoff ladder
+                if attempt >= self.args.max_retries:
+                    print(f"giving up after {attempt} reconnect attempts: "
+                          f"{err}", file=sys.stderr)
+                    return 1
+                delay = min(self.args.backoff * (2 ** attempt),
+                            self.args.backoff_cap)
+                attempt += 1
+                self.reconnects += 1
+                print(f"connection dropped ({err}); retry {attempt} "
+                      f"in {delay:.2f}s with {len(self.unacked)} "
+                      f"unacked tags", file=sys.stderr)
+                time.sleep(delay)
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--addr", required=True,
                         help="daemon address: HOST:PORT or unix:/path")
     parser.add_argument("--window", type=int, default=64,
                         help="max in-flight (unanswered) submissions")
+    parser.add_argument("--reconnect", action="store_true",
+                        help="survive dropped connections: reconnect with "
+                             "capped exponential backoff and resubmit "
+                             "unacknowledged tags in original order")
+    parser.add_argument("--max-retries", type=int, default=8,
+                        help="consecutive no-progress reconnects before "
+                             "giving up (default 8)")
+    parser.add_argument("--backoff", type=float, default=0.05,
+                        help="first reconnect delay, seconds (default 0.05)")
+    parser.add_argument("--backoff-cap", type=float, default=2.0,
+                        help="largest reconnect delay, seconds (default 2)")
     parser.add_argument("files", nargs="+", help="otsched-instance-v1 files")
     args = parser.parse_args(argv[1:])
 
-    submissions = []  # tag -> requested release, via parallel dict
+    submissions = []
     requested = {}
     for path in args.files:
         for k, (release, node_count, edges) in enumerate(
@@ -89,65 +209,21 @@ def main(argv):
             line = {"id": tag, "release": release, "nodes": node_count}
             if edges:
                 line["edges"] = edges
-            submissions.append(json.dumps(line) + "\n")
+            submissions.append((tag, json.dumps(line) + "\n"))
             requested[tag] = release
 
-    sock = connect(args.addr)
-    reader = sock.makefile("r", encoding="utf-8", newline="\n")
-
-    answered = 0
-    failures = 0
-
-    def read_reply():
-        nonlocal answered, failures
-        line = reader.readline()
-        if not line:
-            raise EOFError("daemon closed the stream early")
-        reply = json.loads(line)
-        if "error" in reply:
-            print(f"error reply: {reply['error']}", file=sys.stderr)
-            failures += 1
-            return
-        tag = reply.get("id")
-        if tag not in requested:
-            print(f"reply for unknown tag {tag!r}", file=sys.stderr)
-            failures += 1
-            return
-        want = requested.pop(tag)
-        release, finish, flow = (reply["release"], reply["finish"],
-                                 reply["flow"])
-        if release < want or flow != finish - release or flow < 1:
-            print(f"bad reply for {tag}: requested release {want}, "
-                  f"got {line.strip()}", file=sys.stderr)
-            failures += 1
-            return
-        answered += 1
-
-    try:
-        in_flight = 0
-        for line in submissions:
-            while in_flight >= args.window:
-                read_reply()
-                in_flight -= 1
-            sock.sendall(line.encode("utf-8"))
-            in_flight += 1
-        sock.shutdown(socket.SHUT_WR)  # daemon flushes replies, then closes
-        while in_flight > 0:
-            read_reply()
-            in_flight -= 1
-    except EOFError as err:
-        print(f"{err} ({answered}/{len(submissions)} answered)",
-              file=sys.stderr)
+    client = Client(args, submissions, requested)
+    status = client.run()
+    if status != 0:
+        return status
+    if client.failures or client.requested:
+        print(f"{client.failures} failures, {len(client.requested)} "
+              f"unanswered of {len(submissions)}", file=sys.stderr)
         return 1
-    finally:
-        sock.close()
-
-    if failures or requested:
-        print(f"{failures} failures, {len(requested)} unanswered "
-              f"of {len(submissions)}", file=sys.stderr)
-        return 1
-    print(f"{answered} jobs streamed and verified "
-          f"(window {args.window})")
+    extra = (f", {client.reconnects} reconnects"
+             if client.reconnects else "")
+    print(f"{client.answered} jobs streamed and verified "
+          f"(window {args.window}{extra})")
     return 0
 
 

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Crash-recovery gate for `otsched serve` (docs/SERVING.md): SIGKILL a
+# journaled daemon mid-stream, --recover, resume the stream, and assert
+# the reply set AND the /metrics document are identical to an
+# uninterrupted run's (modulo durability counters —
+# tools/diff_serve_metrics.py encodes that "modulo").
+#
+# Usage: serve_crash_smoke.sh <otsched-binary> <workdir>
+set -euo pipefail
+
+BIN=$(readlink -f "$1")
+WORK=$2
+TOOLS=$(dirname "$(readlink -f "$0")")
+mkdir -p "$WORK"
+cd "$WORK"
+
+# Spaced releases (job k at slot 8k, 5 nodes spanning 3 slots on m=2):
+# the daemon is never behind a release, so clamping cannot occur and
+# the stream is deterministic regardless of TCP batching.
+python3 - <<'EOF' > stream.jsonl
+for k in range(40):
+    print('{"id": "job-%04d", "release": %d, "nodes": 5,'
+          ' "edges": [[0,1],[0,2],[1,3],[2,4]]}' % (k, k * 8))
+EOF
+head -20 stream.jsonl > first.jsonl
+tail -20 stream.jsonl > second.jsonl
+
+start_daemon() {  # extra serve flags in "$@"; sets DPID and PORT
+  "$BIN" serve --listen 127.0.0.1:0 --m 2 --policy fifo/first-ready \
+    "$@" > daemon.log 2>&1 &
+  DPID=$!
+  PORT=""
+  for _ in $(seq 100); do
+    PORT=$(awk '/^listening on /{sub(/.*:/, "", $3); print $3; exit}' \
+           daemon.log 2>/dev/null)
+    [ -n "$PORT" ] && return 0
+    sleep 0.1
+  done
+  echo "daemon never printed its port:" >&2
+  cat daemon.log >&2
+  return 1
+}
+
+drive() {  # $1 = stream file, $2 = append-to reply file
+  python3 - "$PORT" "$1" "$2" <<'EOF'
+import socket, sys
+port, stream, out = int(sys.argv[1]), sys.argv[2], sys.argv[3]
+s = socket.create_connection(("127.0.0.1", port))
+lines = open(stream).read()
+s.sendall(lines.encode())
+want = lines.count("\n")
+buf = b""
+while buf.count(b"\n") < want:
+    chunk = s.recv(65536)
+    if not chunk:
+        sys.exit("connection closed %d replies short" %
+                 (want - buf.count(b"\n")))
+    buf += chunk
+open(out, "ab").write(buf)
+s.close()
+EOF
+}
+
+# Reference: the uninterrupted run.
+start_daemon
+drive stream.jsonl ref.out
+curl -fsS "http://127.0.0.1:$PORT/metrics" > ref.metrics.json
+kill -TERM "$DPID"; wait "$DPID"
+
+# Crash run: journal, stream half, SIGKILL, recover, stream the rest.
+start_daemon --journal wal.ndjson
+drive first.jsonl crash.out
+kill -KILL "$DPID"; wait "$DPID" 2>/dev/null || true
+start_daemon --journal wal.ndjson --recover wal.ndjson
+grep '^recovered ' daemon.log
+# Client contract after a crash: resubmit every unacknowledged tag
+# (the daemon answers from parked replies / adopted jobs, never twice).
+python3 - <<'EOF'
+import json
+acked = {json.loads(line)["id"] for line in open("crash.out")}
+unacked = [l for l in open("first.jsonl") if json.loads(l)["id"] not in acked]
+open("resub.jsonl", "w").writelines(unacked)
+print("resubmitting", len(unacked), "unacknowledged tags")
+EOF
+if [ -s resub.jsonl ]; then drive resub.jsonl crash.out; fi
+drive second.jsonl crash.out
+curl -fsS "http://127.0.0.1:$PORT/metrics" > crash.metrics.json
+kill -TERM "$DPID"; wait "$DPID"
+
+# The gate: identical reply sets, schema-valid captures, and /metrics
+# convergence modulo durability counters.
+sort ref.out > ref.sorted
+sort crash.out > crash.sorted
+diff ref.sorted crash.sorted
+python3 "$TOOLS/check_metrics_schema.py" ref.metrics.json crash.metrics.json
+python3 "$TOOLS/diff_serve_metrics.py" crash.metrics.json ref.metrics.json
+echo "serve crash smoke: PASS ($(wc -l < ref.out) replies converge)"
